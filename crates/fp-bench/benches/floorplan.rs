@@ -1,0 +1,109 @@
+//! Criterion benchmarks for the floorplanning core: covering-rectangle
+//! decomposition, greedy bottom-left placement, one full augmentation run,
+//! and the §2.5 topology LP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fp_core::{bottom_left, optimize_topology, FloorplanConfig, Floorplanner};
+use fp_geom::covering::covering_rectangles;
+use fp_geom::{Rect, Skyline};
+use fp_netlist::generator::ProblemGenerator;
+use std::time::Duration;
+
+/// A supported placement of `n` rectangles, as augmentation produces.
+fn supported_rects(n: usize) -> Vec<Rect> {
+    let chip_w = 50.0;
+    let mut placed: Vec<Rect> = Vec::new();
+    for i in 0..n {
+        let w = 3.0 + (i % 5) as f64;
+        let h = 2.0 + (i % 4) as f64;
+        let sky = Skyline::from_rects(&placed);
+        let (x, y) = sky.drop_position(w, chip_w).expect("fits");
+        placed.push(Rect::new(x, y, w, h));
+    }
+    placed
+}
+
+fn bench_covering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("covering");
+    for &n in &[8usize, 16, 33, 64] {
+        let rects = supported_rects(n);
+        group.bench_with_input(BenchmarkId::new("decompose", n), &rects, |b, r| {
+            b.iter(|| covering_rectangles(r))
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy");
+    for &n in &[10usize, 33] {
+        let netlist = ProblemGenerator::new(n, 4).generate();
+        let config = FloorplanConfig::default();
+        group.bench_with_input(BenchmarkId::new("bottom_left", n), &netlist, |b, nl| {
+            b.iter(|| bottom_left(nl, &config).expect("fits"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_augmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("augmentation");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(20));
+    for &n in &[8usize, 15] {
+        let netlist = ProblemGenerator::new(n, 4).generate();
+        let config = FloorplanConfig::default().with_step_options(
+            fp_milp::SolveOptions::default()
+                .with_node_limit(2_000)
+                .with_time_limit(Duration::from_secs(1)),
+        );
+        group.bench_with_input(BenchmarkId::new("milp_run", n), &netlist, |b, nl| {
+            b.iter(|| {
+                Floorplanner::with_config(nl, config.clone())
+                    .run()
+                    .expect("feasible")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_topology_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_lp");
+    group.sample_size(10);
+    for &n in &[15usize, 33] {
+        let netlist = ProblemGenerator::new(n, 4).generate();
+        let config = FloorplanConfig::default();
+        let fp = bottom_left(&netlist, &config).expect("fits");
+        group.bench_with_input(BenchmarkId::new("compact", n), &fp, |b, fp| {
+            b.iter(|| optimize_topology(fp, &netlist, &config).expect("LP feasible"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_slicing_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slicing_sa");
+    group.sample_size(10);
+    for &n in &[10usize, 20] {
+        let netlist = ProblemGenerator::new(n, 4).generate();
+        group.bench_with_input(BenchmarkId::new("wong_liu", n), &netlist, |b, nl| {
+            b.iter(|| {
+                fp_slicing::SlicingAnnealer::new(nl)
+                    .with_seed(1)
+                    .run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_covering,
+    bench_greedy,
+    bench_augmentation,
+    bench_topology_lp,
+    bench_slicing_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks for the MILP solver substrate: LP simplex
+//! throughput, knapsack branch-and-bound, and one floorplanning
+//! non-overlap MILP of augmentation-step size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fp_milp::{LinExpr, Model, Sense, SolveOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// A dense feasible LP with `n` variables and `n` rows.
+fn random_lp(n: usize, seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Model::new(Sense::Minimize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_continuous(format!("x{i}"), 0.0, 50.0))
+        .collect();
+    for _ in 0..n {
+        let mut e = LinExpr::new();
+        let mut rhs = 5.0;
+        for &v in &vars {
+            let c: f64 = rng.gen_range(-2.0..3.0);
+            e.add_term(v, c);
+            rhs += c.max(0.0); // keep x = 1 feasible
+        }
+        m.add_le(e, rhs);
+    }
+    let mut obj = LinExpr::new();
+    for &v in &vars {
+        obj.add_term(v, rng.gen_range(-1.0..2.0));
+    }
+    m.set_objective(obj);
+    m
+}
+
+fn knapsack(n: usize, seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Model::new(Sense::Maximize);
+    let mut weight = LinExpr::new();
+    let mut value = LinExpr::new();
+    for i in 0..n {
+        let b = m.add_binary(format!("b{i}"));
+        weight.add_term(b, rng.gen_range(1.0..20.0));
+        value.add_term(b, rng.gen_range(1.0..30.0));
+    }
+    m.add_le(weight, 5.0 * n as f64);
+    m.set_objective(value);
+    m
+}
+
+/// A two-module non-overlap disjunction chain of augmentation-step flavor.
+fn placement_milp(modules: usize) -> Model {
+    let w_chip = 40.0;
+    let h_bar = 40.0;
+    let mut m = Model::new(Sense::Minimize);
+    let ychip = m.add_continuous("y", 0.0, h_bar);
+    let dims: Vec<(f64, f64)> = (0..modules)
+        .map(|i| (4.0 + (i % 3) as f64 * 2.0, 3.0 + (i % 2) as f64 * 3.0))
+        .collect();
+    let pos: Vec<_> = (0..modules)
+        .map(|i| {
+            (
+                m.add_continuous(format!("x{i}"), 0.0, w_chip),
+                m.add_continuous(format!("yy{i}"), 0.0, h_bar),
+            )
+        })
+        .collect();
+    for i in 0..modules {
+        m.add_le(pos[i].0 + dims[i].0, w_chip);
+        m.add_le(pos[i].1 + dims[i].1 - ychip, 0.0);
+        for j in i + 1..modules {
+            let p = m.add_binary(format!("p{i}_{j}"));
+            let q = m.add_binary(format!("q{i}_{j}"));
+            m.add_le(
+                pos[i].0 + dims[i].0 - pos[j].0 - w_chip * p - w_chip * q,
+                0.0,
+            );
+            m.add_le(
+                pos[j].0 + dims[j].0 - pos[i].0 - w_chip * p + w_chip * q,
+                w_chip,
+            );
+            m.add_le(
+                pos[i].1 + dims[i].1 - pos[j].1 + h_bar * p - h_bar * q,
+                h_bar,
+            );
+            m.add_le(
+                pos[j].1 + dims[j].1 - pos[i].1 + h_bar * p + h_bar * q,
+                2.0 * h_bar,
+            );
+        }
+    }
+    m.set_objective(ychip + 0.0);
+    m
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    for &n in &[10usize, 25, 50] {
+        let model = random_lp(n, 7);
+        group.bench_with_input(BenchmarkId::new("lp_dense", n), &model, |b, m| {
+            b.iter(|| m.solve().expect("feasible by construction"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_branch_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_bound");
+    group.measurement_time(Duration::from_secs(8));
+    for &n in &[10usize, 16, 22] {
+        let model = knapsack(n, 3);
+        group.bench_with_input(BenchmarkId::new("knapsack", n), &model, |b, m| {
+            b.iter(|| m.solve().expect("knapsacks are feasible"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_placement_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_milp");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(12));
+    for &k in &[3usize, 4, 5] {
+        let model = placement_milp(k);
+        let opts = SolveOptions::default().with_node_limit(50_000);
+        group.bench_with_input(BenchmarkId::new("non_overlap", k), &model, |b, m| {
+            b.iter(|| m.solve_with(&opts).expect("placement is feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_branch_bound, bench_placement_milp);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the global router: grid construction and full
+//! net routing in both modes and with both cost models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fp_core::{bottom_left, Floorplan, FloorplanConfig};
+use fp_netlist::{generator::ProblemGenerator, Netlist};
+use fp_route::{route, RouteAlgorithm, RouteConfig, RoutingGrid, RoutingMode};
+
+fn world(n: usize) -> (Floorplan, Netlist) {
+    let netlist = ProblemGenerator::new(n, 12)
+        .with_nets_per_module(3.0)
+        .generate();
+    let fp = bottom_left(&netlist, &FloorplanConfig::default()).expect("fits");
+    (fp, netlist)
+}
+
+fn bench_grid_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid");
+    for &n in &[10usize, 33] {
+        let (fp, _) = world(n);
+        let cfg = RouteConfig::default();
+        group.bench_with_input(BenchmarkId::new("build", n), &fp, |b, fp| {
+            b.iter(|| RoutingGrid::build(fp, &cfg).expect("grid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route");
+    group.sample_size(20);
+    for &n in &[10usize, 33] {
+        let (fp, nl) = world(n);
+        for (label, algorithm) in [
+            ("sp", RouteAlgorithm::ShortestPath),
+            ("wsp", RouteAlgorithm::WeightedShortestPath),
+        ] {
+            let cfg = RouteConfig::default()
+                .with_algorithm(algorithm)
+                .with_mode(RoutingMode::AroundTheCell);
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(&fp, &nl),
+                |b, (fp, nl)| b.iter(|| route(fp, nl, &cfg).expect("routable")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_build, bench_route);
+criterion_main!(benches);

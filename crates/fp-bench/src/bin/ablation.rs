@@ -1,0 +1,84 @@
+//! Ablation study for the paper's two central design choices:
+//!
+//! 1. **Covering-rectangle reduction (§3.1)** — with it, each step sees
+//!    `d ≤ N` obstacles and the per-step 0-1 count stays flat (Theorem 2
+//!    corollary); without it, every placed module is its own obstacle and
+//!    the integer count grows with the partial floorplan, destroying the
+//!    linear-time behaviour of Table 1.
+//! 2. **Rotation variables (formulation (4))** — the paper argues "a better
+//!    floorplan can be achieved if rotation of the rigid blocks is
+//!    allowed"; switching `z_i` off quantifies that.
+//!
+//! ```sh
+//! cargo run -p fp-bench --release --bin ablation
+//! ```
+
+use fp_bench::{experiment_config, secs, Table};
+use fp_core::Floorplanner;
+use fp_netlist::generator::ProblemGenerator;
+
+fn main() {
+    // --- covering-rectangle reduction --------------------------------
+    let mut table = Table::new(
+        "Ablation A — covering-rectangle reduction (§3.1)",
+        &[
+            "Modules",
+            "Reduction",
+            "Max binaries/step",
+            "Max obstacles",
+            "Time (s)",
+            "Chip Area",
+        ],
+    );
+    for &n in &[10usize, 14, 18] {
+        let netlist = ProblemGenerator::new(n, 77).generate();
+        for (label, reduction) in [("on", true), ("off", false)] {
+            let config = experiment_config().with_covering_reduction(reduction);
+            let result = Floorplanner::with_config(&netlist, config)
+                .run()
+                .expect("feasible");
+            let max_obstacles = result
+                .stats
+                .steps
+                .iter()
+                .map(|s| s.obstacles)
+                .max()
+                .unwrap_or(0);
+            table.add_row(vec![
+                n.to_string(),
+                label.to_string(),
+                result.stats.max_binaries().to_string(),
+                max_obstacles.to_string(),
+                secs(result.stats.elapsed),
+                format!("{:.0}", result.floorplan.chip_area()),
+            ]);
+        }
+    }
+    table.print();
+
+    // --- rotation variables -------------------------------------------
+    let mut table = Table::new(
+        "Ablation B — 90° rotation variables (formulation (4))",
+        &["Modules", "Rotation", "Chip Area", "Utilisation", "Time (s)"],
+    );
+    for &n in &[12usize, 18] {
+        let netlist = ProblemGenerator::new(n, 41).generate();
+        for (label, rotation) in [("on", true), ("off", false)] {
+            let config = experiment_config().with_rotation(rotation);
+            let result = Floorplanner::with_config(&netlist, config)
+                .run()
+                .expect("feasible");
+            table.add_row(vec![
+                n.to_string(),
+                label.to_string(),
+                format!("{:.0}", result.floorplan.chip_area()),
+                format!(
+                    "{:.1}%",
+                    100.0 * result.floorplan.utilization(&netlist)
+                ),
+                secs(result.stats.elapsed),
+            ]);
+        }
+    }
+    table.print();
+}

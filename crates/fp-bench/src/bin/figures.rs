@@ -1,0 +1,123 @@
+//! Regenerates the paper's **figures**:
+//!
+//! * Fig. 1 — linearization of `h = S/w` for a flexible module (printed as
+//!   a table of true vs Taylor vs secant heights),
+//! * Fig. 2/4 — successive augmentation & the covering-rectangle
+//!   decomposition of a partial floorplan (printed),
+//! * Fig. 5 — a floorplan of the ami33 chip (`target/figures/fig5_ami33.svg`
+//!   + ASCII),
+//! * Fig. 6/8 — the final floorplan with routing space
+//!   (`target/figures/fig6_routed.svg`).
+//!
+//! ```sh
+//! cargo run -p fp-bench --release --bin figures
+//! ```
+
+use fp_bench::{experiment_config, run_pipeline, EXPERIMENT_PITCH};
+use fp_geom::covering::{covering_rectangles, horizontal_edge_cuts};
+use fp_geom::Rect;
+use fp_netlist::ami33;
+use fp_route::{route, RouteConfig, RoutingMode};
+use fp_viz::{ascii_floorplan, svg_congestion, svg_floorplan, svg_routed};
+use std::fs;
+
+fn figure1() {
+    println!("-- Figure 1: linearization of h = S/w (S = 64, w in [4, 16]) --");
+    let (s, w_min, w_max) = (64.0, 4.0, 16.0);
+    let h0 = s / w_max;
+    let taylor_slope = s / (w_max * w_max); // paper's Λ = S / w_max²
+    let secant_slope = (s / w_min - s / w_max) / (w_max - w_min);
+    println!("{:>6} {:>10} {:>12} {:>12}", "w", "h=S/w", "Taylor@wmax", "Secant");
+    for k in 0..=6 {
+        let w = w_min + (w_max - w_min) * f64::from(k) / 6.0;
+        let dw = w_max - w;
+        println!(
+            "{:>6.2} {:>10.3} {:>12.3} {:>12.3}",
+            w,
+            s / w,
+            h0 + taylor_slope * dw,
+            h0 + secant_slope * dw
+        );
+    }
+    println!("(Taylor underestimates away from w_max; the secant over-reserves — see DESIGN.md)\n");
+}
+
+fn figure2_4() {
+    println!("-- Figures 2/4: covering rectangles for a partial floorplan --");
+    // The six fixed modules of Fig. 4a (flat bottom).
+    let modules = vec![
+        Rect::new(0.0, 0.0, 3.0, 2.0),
+        Rect::new(3.0, 0.0, 3.0, 3.0),
+        Rect::new(0.0, 2.0, 2.0, 3.0),
+        Rect::new(2.0, 3.0, 2.0, 1.0),
+        Rect::new(4.0, 3.0, 2.0, 2.0),
+        Rect::new(0.0, 5.0, 1.0, 1.0),
+    ];
+    println!("fixed modules: {}", modules.len());
+    let contour = fp_geom::Contour::from_rects(&modules).expect("non-empty");
+    println!(
+        "covering polygon (Fig. 4b): {} vertices, {} horizontal edges (Theorem 1: n <= N+1 = {}), area {}",
+        contour.vertices().len(),
+        contour.horizontal_edges(),
+        modules.len() + 1,
+        contour.area()
+    );
+    let cuts = horizontal_edge_cuts(&modules);
+    println!("horizontal edge-cut partition ({} rectangles):", cuts.len());
+    for r in &cuts {
+        println!("  {r}");
+    }
+    let covers = covering_rectangles(&modules);
+    println!(
+        "chosen covering set: {} rectangles (corollary: <= {} modules)\n",
+        covers.len(),
+        modules.len()
+    );
+}
+
+fn figures5_6() -> Result<(), Box<dyn std::error::Error>> {
+    fs::create_dir_all("target/figures")?;
+    let netlist = ami33();
+
+    println!("-- Figure 5: floorplan of the ami33 chip --");
+    let out = run_pipeline(&netlist, &experiment_config())?;
+    println!("{}", ascii_floorplan(&out.floorplan, &netlist, 66));
+    fs::write(
+        "target/figures/fig5_ami33.svg",
+        svg_floorplan(&out.floorplan, &netlist),
+    )?;
+    println!("wrote target/figures/fig5_ami33.svg\n");
+
+    println!("-- Figures 6/8: final floorplan with routing space --");
+    let out = run_pipeline(&netlist, &experiment_config().with_envelopes(true))?;
+    let routing = route(
+        &out.floorplan,
+        &netlist,
+        &RouteConfig::default()
+            .with_mode(RoutingMode::AroundTheCell)
+            .with_pitches(EXPERIMENT_PITCH, EXPERIMENT_PITCH),
+    )?;
+    println!(
+        "routed {} nets, wirelength {:.0}, final chip area {:.0}",
+        routing.routes.len(),
+        routing.total_wirelength,
+        routing.adjustment.final_area()
+    );
+    fs::write(
+        "target/figures/fig6_routed.svg",
+        svg_routed(&out.floorplan, &netlist, &routing),
+    )?;
+    println!("wrote target/figures/fig6_routed.svg");
+    fs::write(
+        "target/figures/fig6b_congestion.svg",
+        svg_congestion(&out.floorplan, &netlist, &routing),
+    )?;
+    println!("wrote target/figures/fig6b_congestion.svg (companion heatmap)");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    figure1();
+    figure2_4();
+    figures5_6()
+}

@@ -1,0 +1,320 @@
+//! `floorplan` — end-to-end CLI for the analytical floorplanner.
+//!
+//! Run `floorplan --help` for usage. The CLI covers the full paper
+//! pipeline: load or generate a problem, floorplan by successive
+//! augmentation, optionally compact with the §2.5 topology LP, globally
+//! route, and emit ASCII/SVG renderings.
+
+use fp_core::{optimize_topology, FloorplanConfig, Floorplanner, Objective, OrderingStrategy};
+use fp_netlist::{ami33, format, generator::ProblemGenerator, Netlist};
+use fp_route::{route, RouteAlgorithm, RouteConfig, RoutingMode};
+use fp_viz::{ascii_floorplan, svg_floorplan, svg_routed};
+use std::process::ExitCode;
+use std::time::Duration;
+
+#[derive(Debug)]
+struct Args {
+    input: Option<String>,
+    ami33: bool,
+    random: Option<(usize, u64)>,
+    width: Option<f64>,
+    objective: Objective,
+    ordering: OrderingStrategy,
+    envelopes: bool,
+    rotation: bool,
+    compact: bool,
+    node_limit: usize,
+    time_limit: f64,
+    route: Option<RouteAlgorithm>,
+    mode: RoutingMode,
+    ascii: bool,
+    svg: Option<String>,
+}
+
+fn parse_args<I: Iterator<Item = String>>(mut it: I) -> Result<Args, String> {
+    let mut args = Args {
+        input: None,
+        ami33: false,
+        random: None,
+        width: None,
+        objective: Objective::Area,
+        ordering: OrderingStrategy::Connectivity,
+        envelopes: false,
+        rotation: true,
+        compact: false,
+        node_limit: 20_000,
+        time_limit: 10.0,
+        route: None,
+        mode: RoutingMode::AroundTheCell,
+        ascii: false,
+        svg: None,
+    };
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--ami33" => args.ami33 = true,
+            "--random" => {
+                let v = value("--random")?;
+                let (n, seed) = v
+                    .split_once(':')
+                    .ok_or_else(|| "--random wants N:SEED".to_string())?;
+                args.random = Some((
+                    n.parse().map_err(|_| "bad N in --random")?,
+                    seed.parse().map_err(|_| "bad SEED in --random")?,
+                ));
+            }
+            "--width" => args.width = Some(value("--width")?.parse().map_err(|_| "bad width")?),
+            "--objective" => {
+                let v = value("--objective")?;
+                args.objective = match v.split_once(':') {
+                    None if v == "area" => Objective::Area,
+                    None if v == "wire" => Objective::AreaPlusWirelength { lambda: 0.5 },
+                    Some(("wire", l)) => Objective::AreaPlusWirelength {
+                        lambda: l.parse().map_err(|_| "bad lambda")?,
+                    },
+                    _ => return Err(format!("unknown objective '{v}'")),
+                };
+            }
+            "--ordering" => {
+                let v = value("--ordering")?;
+                args.ordering = match v.split_once(':') {
+                    None if v == "connectivity" => OrderingStrategy::Connectivity,
+                    None if v == "area" => OrderingStrategy::Area,
+                    None if v == "random" => OrderingStrategy::Random(1),
+                    Some(("random", s)) => {
+                        OrderingStrategy::Random(s.parse().map_err(|_| "bad seed")?)
+                    }
+                    _ => return Err(format!("unknown ordering '{v}'")),
+                };
+            }
+            "--envelopes" => args.envelopes = true,
+            "--no-rotation" => args.rotation = false,
+            "--compact" => args.compact = true,
+            "--node-limit" => {
+                args.node_limit = value("--node-limit")?
+                    .parse()
+                    .map_err(|_| "bad node limit")?;
+            }
+            "--time-limit" => {
+                args.time_limit = value("--time-limit")?
+                    .parse()
+                    .map_err(|_| "bad time limit")?;
+            }
+            "--route" => {
+                args.route = Some(match value("--route")?.as_str() {
+                    "sp" => RouteAlgorithm::ShortestPath,
+                    "wsp" => RouteAlgorithm::WeightedShortestPath,
+                    other => return Err(format!("unknown router '{other}'")),
+                });
+            }
+            "--mode" => {
+                args.mode = match value("--mode")?.as_str() {
+                    "over" => RoutingMode::OverTheCell,
+                    "around" => RoutingMode::AroundTheCell,
+                    other => return Err(format!("unknown mode '{other}'")),
+                };
+            }
+            "--ascii" => args.ascii = true,
+            "--svg" => args.svg = Some(value("--svg")?),
+            "--help" | "-h" => return Err(String::new()),
+            other if !other.starts_with('-') => args.input = Some(other.to_string()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn load_netlist(args: &Args) -> Result<Netlist, String> {
+    if args.ami33 {
+        return Ok(ami33());
+    }
+    if let Some((n, seed)) = args.random {
+        return Ok(ProblemGenerator::new(n, seed).generate());
+    }
+    match &args.input {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read '{path}': {e}"))?;
+            // MCNC decks by extension; everything else uses the native
+            // format.
+            let parsed = if path.to_ascii_lowercase().ends_with(".yal") {
+                format::parse_yal(&text)
+            } else {
+                format::parse(&text)
+            };
+            parsed.map_err(|e| format!("cannot parse '{path}': {e}"))
+        }
+        None => Err("no input: give a problem file, --ami33 or --random N:SEED".to_string()),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args(std::env::args().skip(1))?;
+    let netlist = load_netlist(&args)?;
+
+    let mut config = FloorplanConfig::default()
+        .with_objective(args.objective)
+        .with_ordering(args.ordering.clone())
+        .with_envelopes(args.envelopes)
+        .with_rotation(args.rotation)
+        .with_step_options(
+            fp_milp::SolveOptions::default()
+                .with_node_limit(args.node_limit)
+                .with_time_limit(Duration::from_secs_f64(args.time_limit)),
+        );
+    if let Some(w) = args.width {
+        config = config.with_chip_width(w);
+    }
+
+    eprintln!(
+        "floorplanning '{}': {}",
+        netlist.name(),
+        fp_netlist::NetlistStats::of(&netlist)
+    );
+    let result = Floorplanner::with_config(&netlist, config.clone())
+        .run()
+        .map_err(|e| e.to_string())?;
+    let mut floorplan = result.floorplan;
+    if args.compact {
+        floorplan = optimize_topology(&floorplan, &netlist, &config).map_err(|e| e.to_string())?;
+    }
+
+    println!(
+        "chip {:.1} x {:.1} = {:.0}  utilization {:.1}%  wirelength(est) {:.0}  steps {}  time {:.2?}",
+        floorplan.chip_width(),
+        floorplan.chip_height(),
+        floorplan.chip_area(),
+        100.0 * floorplan.utilization(&netlist),
+        floorplan.center_wirelength(&netlist),
+        result.stats.steps.len(),
+        result.stats.elapsed,
+    );
+
+    let routing = match args.route {
+        Some(algorithm) => {
+            let rc = RouteConfig::default()
+                .with_algorithm(algorithm)
+                .with_mode(args.mode);
+            let routing = route(&floorplan, &netlist, &rc).map_err(|e| e.to_string())?;
+            print!("{}", fp_route::RouteReport::of(&routing).render(&netlist));
+            Some(routing)
+        }
+        None => None,
+    };
+
+    if args.ascii {
+        println!("{}", ascii_floorplan(&floorplan, &netlist, 72));
+    }
+    if let Some(path) = &args.svg {
+        let svg = match &routing {
+            Some(r) => svg_routed(&floorplan, &netlist, r),
+            None => svg_floorplan(&floorplan, &netlist),
+        };
+        std::fs::write(path, svg).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) if msg.is_empty() => {
+            println!("{HELP}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{HELP}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const HELP: &str = "usage: floorplan [INPUT.fp] [--ami33 | --random N:SEED]
+  [--width W] [--objective area|wire[:LAMBDA]]
+  [--ordering connectivity|random[:SEED]|area]
+  [--envelopes] [--no-rotation] [--compact]
+  [--node-limit N] [--time-limit SECS]
+  [--route sp|wsp] [--mode over|around]
+  [--ascii] [--svg FILE]";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        parse_args(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&["--ami33"]).unwrap();
+        assert!(a.ami33);
+        assert_eq!(a.objective, Objective::Area);
+        assert!(a.rotation && !a.envelopes && !a.compact);
+        assert!(a.route.is_none());
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = parse(&[
+            "chip.fp",
+            "--width",
+            "120",
+            "--objective",
+            "wire:0.7",
+            "--ordering",
+            "random:9",
+            "--envelopes",
+            "--no-rotation",
+            "--compact",
+            "--node-limit",
+            "500",
+            "--time-limit",
+            "2.5",
+            "--route",
+            "wsp",
+            "--mode",
+            "over",
+            "--ascii",
+            "--svg",
+            "out.svg",
+        ])
+        .unwrap();
+        assert_eq!(a.input.as_deref(), Some("chip.fp"));
+        assert_eq!(a.width, Some(120.0));
+        assert_eq!(a.objective, Objective::AreaPlusWirelength { lambda: 0.7 });
+        assert_eq!(a.ordering, OrderingStrategy::Random(9));
+        assert!(a.envelopes && !a.rotation && a.compact && a.ascii);
+        assert_eq!(a.node_limit, 500);
+        assert_eq!(a.time_limit, 2.5);
+        assert_eq!(a.route, Some(RouteAlgorithm::WeightedShortestPath));
+        assert_eq!(a.mode, RoutingMode::OverTheCell);
+        assert_eq!(a.svg.as_deref(), Some("out.svg"));
+    }
+
+    #[test]
+    fn bad_flags_error() {
+        assert!(parse(&["--objective", "speed"]).is_err());
+        assert!(parse(&["--random", "15"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--width"]).is_err());
+    }
+
+    #[test]
+    fn help_is_empty_error() {
+        assert_eq!(parse(&["--help"]).unwrap_err(), "");
+    }
+
+    #[test]
+    fn load_random_and_ami33() {
+        let a = parse(&["--random", "5:3"]).unwrap();
+        let nl = load_netlist(&a).unwrap();
+        assert_eq!(nl.num_modules(), 5);
+        let a = parse(&["--ami33"]).unwrap();
+        assert_eq!(load_netlist(&a).unwrap().num_modules(), 33);
+        let a = parse(&[]).unwrap();
+        assert!(load_netlist(&a).is_err());
+    }
+}

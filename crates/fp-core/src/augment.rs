@@ -1,0 +1,540 @@
+//! The successive-augmentation driver (paper Fig. 3, `FloorplanDesign`).
+//!
+//! ```text
+//! (1) select a seed group of m modules
+//! (2,3) solve its MILP exactly → first partial floorplan
+//! (4..11) while modules remain:
+//!     select the next group (ordering strategy),
+//!     replace the partial floorplan by d ≤ N covering rectangles,
+//!     solve the (d fixed, e free) MILP, fix the new positions
+//! (12,13) global routing + adjustment live in `fp-route`
+//! ```
+//!
+//! Group sizes adapt so each step's 0-1 variable count stays below
+//! [`FloorplanConfig::max_binaries`] — the paper's "number of variables
+//! close to a constant in each step", which is what makes the whole run
+//! linear in the number of modules (Table 1).
+
+use crate::config::{FloorplanConfig, OrderingStrategy};
+use crate::envelope::ShapeSpec;
+use crate::error::FloorplanError;
+use crate::formulation::{estimate_binaries, StepInput, StepModel};
+use crate::greedy::{greedy_height, widest_error};
+use crate::placement::{Floorplan, PlacedModule};
+use fp_geom::covering::covering_rectangles;
+use fp_geom::Rect;
+use fp_milp::{Optimality, SolveError};
+use fp_netlist::{ordering, ModuleId, Netlist};
+use std::time::{Duration, Instant};
+
+/// How one augmentation step concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The step MILP was solved to proven optimality (the paper's normal
+    /// case: "optimality at each step").
+    Optimal,
+    /// A limit stopped the search; the best incumbent was used.
+    Incumbent,
+    /// The MILP produced nothing in time; the greedy placement stood in.
+    GreedyFallback,
+}
+
+/// Statistics of one augmentation step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepStats {
+    /// Modules placed in this step.
+    pub group: Vec<ModuleId>,
+    /// Number of covering rectangles the partial floorplan collapsed to.
+    pub obstacles: usize,
+    /// 0-1 variables in the step MILP.
+    pub binaries: usize,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Total simplex pivots.
+    pub simplex_iterations: usize,
+    /// Wall time of the step (model build + solve).
+    pub elapsed: Duration,
+    /// How the step concluded.
+    pub outcome: StepOutcome,
+}
+
+/// Statistics of a whole floorplanning run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunStats {
+    /// Per-step records, in execution order.
+    pub steps: Vec<StepStats>,
+    /// End-to-end wall time.
+    pub elapsed: Duration,
+}
+
+impl RunStats {
+    /// Steps that fell back to greedy placement.
+    #[must_use]
+    pub fn greedy_fallbacks(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.outcome == StepOutcome::GreedyFallback)
+            .count()
+    }
+
+    /// Total branch-and-bound nodes over all steps.
+    #[must_use]
+    pub fn total_nodes(&self) -> usize {
+        self.steps.iter().map(|s| s.nodes).sum()
+    }
+
+    /// Largest per-step binary count (the paper's "close to a constant").
+    #[must_use]
+    pub fn max_binaries(&self) -> usize {
+        self.steps.iter().map(|s| s.binaries).max().unwrap_or(0)
+    }
+}
+
+/// A completed run: the floorplan plus how it was obtained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloorplanResult {
+    /// The floorplan.
+    pub floorplan: Floorplan,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+/// The MILP floorplanner (paper's contribution).
+///
+/// ```
+/// use fp_core::{Floorplanner, FloorplanConfig};
+/// # fn main() -> Result<(), fp_core::FloorplanError> {
+/// let netlist = fp_netlist::generator::ProblemGenerator::new(6, 1).generate();
+/// // Budget each augmentation-step MILP (optional; defaults are generous).
+/// let config = FloorplanConfig::default()
+///     .with_step_options(fp_milp::SolveOptions::default().with_node_limit(2_000));
+/// let result = Floorplanner::with_config(&netlist, config).run()?;
+/// assert!(result.floorplan.is_valid());
+/// assert_eq!(result.floorplan.len(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Floorplanner<'a> {
+    netlist: &'a Netlist,
+    config: FloorplanConfig,
+}
+
+impl<'a> Floorplanner<'a> {
+    /// A floorplanner with default configuration.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> Self {
+        Floorplanner {
+            netlist,
+            config: FloorplanConfig::default(),
+        }
+    }
+
+    /// A floorplanner with explicit configuration.
+    #[must_use]
+    pub fn with_config(netlist: &'a Netlist, config: FloorplanConfig) -> Self {
+        Floorplanner { netlist, config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &FloorplanConfig {
+        &self.config
+    }
+
+    /// Runs successive augmentation to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`FloorplanError::EmptyNetlist`] for an empty problem,
+    /// * [`FloorplanError::ModuleTooWide`] when a module cannot fit the chip,
+    /// * [`FloorplanError::InvalidOrdering`] for a bad custom order,
+    /// * [`FloorplanError::Solver`] only for internal model bugs.
+    pub fn run(&self) -> Result<FloorplanResult, FloorplanError> {
+        let started = Instant::now();
+        let order = resolve_order(self.netlist, &self.config)?;
+        let chip_width = resolve_chip_width(self.netlist, &self.config)?;
+        let specs: Vec<ShapeSpec> = order
+            .iter()
+            .map(|&id| ShapeSpec::from_module(id, self.netlist.module(id), &self.config))
+            .collect();
+
+        let mut placed: Vec<PlacedModule> = Vec::with_capacity(order.len());
+        let mut stats = RunStats::default();
+        let mut cursor = 0usize;
+        let mut target = self.config.seed_size.min(specs.len()).max(1);
+
+        while cursor < specs.len() {
+            // Collapse the partial floorplan into covering rectangles
+            // (§3.1) — or keep every module as its own obstacle when the
+            // reduction is ablated away.
+            let envelopes: Vec<Rect> = placed.iter().map(|p| p.envelope).collect();
+            let obstacles = if self.config.covering_reduction {
+                covering_rectangles(&envelopes)
+            } else {
+                envelopes.clone()
+            };
+            let floor = obstacles.iter().map(Rect::top).fold(0.0, f64::max);
+
+            // Adaptive group size: honor the target but stay under the
+            // binary budget (>= 1 module per step, always).
+            let mut take = target.min(specs.len() - cursor).max(1);
+            while take > 1 {
+                let rot = specs[cursor..cursor + take]
+                    .iter()
+                    .filter(|s| s.has_z)
+                    .count();
+                if estimate_binaries(take, obstacles.len(), rot) <= self.config.max_binaries {
+                    break;
+                }
+                take -= 1;
+            }
+            let group = &specs[cursor..cursor + take];
+
+            // Greedy witness: both the incumbent fallback and the height
+            // bound that keeps the MILP's big-M tight.
+            let Some((greedy, h_ub)) = greedy_height(&envelopes, group, chip_width) else {
+                return Err(widest_error(group, chip_width, self.netlist));
+            };
+
+            let step_started = Instant::now();
+            let input = StepInput {
+                netlist: self.netlist,
+                config: &self.config,
+                chip_width,
+                obstacles: &obstacles,
+                placed: &placed,
+                group,
+                h_ub,
+                floor,
+                pull_down: false,
+            };
+            let step_model = StepModel::build(&input);
+            let binaries = step_model.model.num_integer_vars();
+
+            let (new_placements, outcome, nodes, pivots) =
+                match step_model.model.solve_with(&self.config.step_options) {
+                    Ok(sol) => {
+                        let outcome = match sol.optimality() {
+                            Optimality::Proven => StepOutcome::Optimal,
+                            Optimality::Limit => StepOutcome::Incumbent,
+                        };
+                        (
+                            step_model.extract(&sol, group),
+                            outcome,
+                            sol.stats().nodes,
+                            sol.stats().simplex_iterations,
+                        )
+                    }
+                    Err(SolveError::InvalidModel(why)) => {
+                        return Err(FloorplanError::Solver(SolveError::InvalidModel(why)))
+                    }
+                    Err(_) => {
+                        // Infeasible cannot truly happen (the greedy witness
+                        // satisfies every constraint); numerical trouble and
+                        // limits both degrade to the greedy placement.
+                        let fallback = greedy
+                            .iter()
+                            .zip(group)
+                            .map(|(g, spec)| {
+                                let (rect, envelope, rotated) =
+                                    spec.realize(g.x, g.y, g.z, g.dw);
+                                PlacedModule {
+                                    id: spec.id,
+                                    rect,
+                                    envelope,
+                                    rotated,
+                                }
+                            })
+                            .collect();
+                        (fallback, StepOutcome::GreedyFallback, 0, 0)
+                    }
+                };
+
+            stats.steps.push(StepStats {
+                group: group.iter().map(|s| s.id).collect(),
+                obstacles: obstacles.len(),
+                binaries,
+                nodes,
+                simplex_iterations: pivots,
+                elapsed: step_started.elapsed(),
+                outcome,
+            });
+            placed.extend(new_placements);
+            cursor += take;
+            target = self.config.group_size.max(1);
+        }
+
+        stats.elapsed = started.elapsed();
+        Ok(FloorplanResult {
+            floorplan: Floorplan::new(chip_width, placed),
+            stats,
+        })
+    }
+}
+
+/// Resolves the module ordering per the configured strategy.
+pub(crate) fn resolve_order(
+    netlist: &Netlist,
+    config: &FloorplanConfig,
+) -> Result<Vec<ModuleId>, FloorplanError> {
+    if netlist.num_modules() == 0 {
+        return Err(FloorplanError::EmptyNetlist);
+    }
+    let order = match &config.ordering {
+        OrderingStrategy::Random(seed) => ordering::random_order(netlist, *seed),
+        OrderingStrategy::Connectivity => ordering::linear_order(netlist),
+        OrderingStrategy::Area => ordering::area_order(netlist),
+        OrderingStrategy::Custom(order) => {
+            let mut seen = vec![false; netlist.num_modules()];
+            for &id in order {
+                if id.index() >= seen.len() || seen[id.index()] {
+                    return Err(FloorplanError::InvalidOrdering(format!(
+                        "module {id} out of range or repeated"
+                    )));
+                }
+                seen[id.index()] = true;
+            }
+            if !seen.iter().all(|&s| s) {
+                return Err(FloorplanError::InvalidOrdering(
+                    "ordering does not cover every module".to_string(),
+                ));
+            }
+            order.clone()
+        }
+    };
+    Ok(order)
+}
+
+/// Resolves the chip width: configured, or derived from total envelope area
+/// and the target utilization; always at least the widest module.
+pub(crate) fn resolve_chip_width(
+    netlist: &Netlist,
+    config: &FloorplanConfig,
+) -> Result<f64, FloorplanError> {
+    if netlist.num_modules() == 0 {
+        return Err(FloorplanError::EmptyNetlist);
+    }
+    let specs: Vec<ShapeSpec> = netlist
+        .modules()
+        .map(|(id, m)| ShapeSpec::from_module(id, m, config))
+        .collect();
+    let widest = specs
+        .iter()
+        .map(ShapeSpec::min_env_width)
+        .fold(0.0, f64::max);
+    match config.chip_width {
+        Some(w) => {
+            if widest > w + 1e-9 {
+                Err(widest_error(&specs, w, netlist))
+            } else {
+                Ok(w)
+            }
+        }
+        None => {
+            let total: f64 = specs
+                .iter()
+                .map(|s| s.env_width(false, 0.0) * s.env_height(false, 0.0))
+                .sum();
+            let util = config.target_utilization.clamp(0.05, 1.0);
+            Ok((total / util).sqrt().ceil().max(widest.ceil()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Objective;
+    use fp_milp::SolveOptions;
+    use fp_netlist::generator::ProblemGenerator;
+    use fp_netlist::Module;
+    use std::time::Duration;
+
+    /// Debug-build tests use a small solver budget; validity and structure
+    /// assertions hold regardless of per-step optimality.
+    fn fast() -> FloorplanConfig {
+        FloorplanConfig::default().with_step_options(
+            SolveOptions::default()
+                .with_node_limit(600)
+                .with_time_limit(Duration::from_millis(700)),
+        )
+    }
+
+    #[test]
+    fn small_run_is_valid_and_complete() {
+        let nl = ProblemGenerator::new(8, 11).generate();
+        let result = Floorplanner::with_config(&nl, fast()).run().unwrap();
+        assert_eq!(result.floorplan.len(), 8);
+        assert!(
+            result.floorplan.is_valid(),
+            "{:?}",
+            result.floorplan.violations()
+        );
+        assert!(!result.stats.steps.is_empty());
+    }
+
+    #[test]
+    fn binaries_stay_bounded() {
+        let nl = ProblemGenerator::new(14, 5).generate();
+        let cfg = fast();
+        let result = Floorplanner::with_config(&nl, cfg.clone()).run().unwrap();
+        assert!(
+            result.stats.max_binaries() <= cfg.max_binaries,
+            "step exceeded binary budget: {}",
+            result.stats.max_binaries()
+        );
+    }
+
+    #[test]
+    fn utilization_beats_half() {
+        let nl = ProblemGenerator::new(10, 2).generate();
+        let result = Floorplanner::with_config(&nl, fast()).run().unwrap();
+        let util = result.floorplan.utilization(&nl);
+        assert!(util > 0.5, "utilization only {util}");
+    }
+
+    #[test]
+    fn wirelength_objective_runs() {
+        let nl = ProblemGenerator::new(8, 3).generate();
+        let cfg = fast().with_objective(Objective::AreaPlusWirelength { lambda: 0.5 });
+        let result = Floorplanner::with_config(&nl, cfg).run().unwrap();
+        assert!(result.floorplan.is_valid());
+    }
+
+    #[test]
+    fn custom_ordering_validation() {
+        let nl = ProblemGenerator::new(4, 1).generate();
+        let bad = FloorplanConfig::default()
+            .with_ordering(OrderingStrategy::Custom(vec![ModuleId(0), ModuleId(0)]));
+        assert!(matches!(
+            Floorplanner::with_config(&nl, bad).run(),
+            Err(FloorplanError::InvalidOrdering(_))
+        ));
+        let missing = FloorplanConfig::default()
+            .with_ordering(OrderingStrategy::Custom(vec![ModuleId(0)]));
+        assert!(matches!(
+            Floorplanner::with_config(&nl, missing).run(),
+            Err(FloorplanError::InvalidOrdering(_))
+        ));
+    }
+
+    #[test]
+    fn too_narrow_chip_rejected() {
+        let mut nl = Netlist::new("t");
+        nl.add_module(Module::rigid("wide", 30.0, 2.0, false))
+            .unwrap();
+        let cfg = FloorplanConfig::default().with_chip_width(10.0);
+        assert!(matches!(
+            Floorplanner::with_config(&nl, cfg).run(),
+            Err(FloorplanError::ModuleTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn tight_limits_fall_back_to_greedy_but_complete() {
+        let nl = ProblemGenerator::new(10, 7).generate();
+        let cfg = FloorplanConfig::default().with_step_options(
+            SolveOptions::default()
+                .with_node_limit(1)
+                .with_time_limit(Duration::from_millis(1)),
+        );
+        let result = Floorplanner::with_config(&nl, cfg).run().unwrap();
+        assert_eq!(result.floorplan.len(), 10);
+        assert!(result.floorplan.is_valid());
+        // With a 1-node limit most steps must have been non-optimal.
+        assert!(
+            result.stats.greedy_fallbacks() > 0
+                || result
+                    .stats
+                    .steps
+                    .iter()
+                    .any(|s| s.outcome == StepOutcome::Incumbent)
+        );
+    }
+
+    #[test]
+    fn exact_single_milp_matches_or_beats_augmentation() {
+        // With seed size >= K the whole problem is one MILP (the paper's
+        // §2.3 direct formulation); it can never be worse than the
+        // suboptimal successive augmentation on the same width.
+        let nl = ProblemGenerator::new(5, 44).generate();
+        let width = resolve_chip_width(&nl, &FloorplanConfig::default()).unwrap();
+        let exact_cfg = FloorplanConfig::default()
+            .with_chip_width(width)
+            .with_group_sizes(5, 5);
+        let aug_cfg = FloorplanConfig::default()
+            .with_chip_width(width)
+            .with_group_sizes(2, 2)
+            .with_step_options(SolveOptions::default().with_node_limit(2_000));
+        let exact = Floorplanner::with_config(&nl, exact_cfg).run().unwrap();
+        let aug = Floorplanner::with_config(&nl, aug_cfg).run().unwrap();
+        assert_eq!(exact.stats.steps.len(), 1);
+        assert!(
+            exact.floorplan.chip_height() <= aug.floorplan.chip_height() + 1e-6,
+            "exact {} vs augmented {}",
+            exact.floorplan.chip_height(),
+            aug.floorplan.chip_height()
+        );
+    }
+
+    #[test]
+    fn ablated_covering_reduction_still_completes() {
+        let nl = ProblemGenerator::new(9, 15).generate();
+        let cfg = fast().with_covering_reduction(false);
+        let result = Floorplanner::with_config(&nl, cfg).run().unwrap();
+        assert_eq!(result.floorplan.len(), 9);
+        assert!(result.floorplan.is_valid());
+        // Without the reduction, obstacle counts equal placed-module counts.
+        let last = result.stats.steps.last().unwrap();
+        let placed_before_last: usize = result
+            .stats
+            .steps
+            .iter()
+            .take(result.stats.steps.len() - 1)
+            .map(|s| s.group.len())
+            .sum();
+        assert_eq!(last.obstacles, placed_before_last);
+    }
+
+    #[test]
+    fn envelopes_produce_margined_floorplan() {
+        let nl = ProblemGenerator::new(6, 9).generate();
+        let cfg = fast().with_envelopes(true);
+        let result = Floorplanner::with_config(&nl, cfg).run().unwrap();
+        assert!(result.floorplan.is_valid());
+        // Envelopes must be strictly larger than module rects somewhere.
+        let grown = result
+            .floorplan
+            .iter()
+            .any(|p| p.envelope.area() > p.rect.area() + 1e-9);
+        assert!(grown);
+    }
+
+    #[test]
+    fn derived_chip_width_fits_everything() {
+        let nl = ProblemGenerator::new(9, 13).generate();
+        let w = resolve_chip_width(&nl, &FloorplanConfig::default()).unwrap();
+        let result = Floorplanner::with_config(&nl, fast()).run().unwrap();
+        assert_eq!(result.floorplan.chip_width(), w);
+        for p in result.floorplan.iter() {
+            assert!(p.envelope.right() <= w + 1e-6);
+        }
+    }
+
+    #[test]
+    fn milp_beats_or_matches_greedy_baseline() {
+        let nl = ProblemGenerator::new(9, 21).generate();
+        let cfg = fast();
+        let milp = Floorplanner::with_config(&nl, cfg.clone()).run().unwrap();
+        let greedy = crate::greedy::bottom_left(&nl, &cfg).unwrap();
+        // Not a theorem (partial floorplans diverge between the two flows),
+        // but the MILP should never be meaningfully worse than bottom-left.
+        assert!(
+            milp.floorplan.chip_height() <= greedy.chip_height() * 1.1 + 1e-6,
+            "MILP {} much worse than greedy {}",
+            milp.floorplan.chip_height(),
+            greedy.chip_height()
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Bottom-left greedy placement on the skyline.
+//!
+//! Two roles:
+//!
+//! 1. **Warm start / upper bound** for every augmentation-step MILP: the
+//!    greedy height is a *feasible* chip height, so it both caps the `y`
+//!    search space and tightens the vertical big-M — the practical reason
+//!    the per-step branch-and-bound stays fast.
+//! 2. **Fallback**: if a step's MILP hits its limits without an incumbent,
+//!    the greedy placement stands in, so the floorplanner always completes
+//!    (matching the paper's engineering stance that each step must finish).
+//!
+//! The public [`bottom_left`] entry is also the constructive baseline the
+//! benchmark harness compares the MILP floorplanner against.
+
+use crate::config::FloorplanConfig;
+use crate::envelope::ShapeSpec;
+use crate::error::FloorplanError;
+use crate::placement::{Floorplan, PlacedModule};
+use fp_geom::{Rect, Skyline};
+use fp_netlist::Netlist;
+
+/// A greedy shape + position decision for one module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct GreedyPlacement {
+    pub x: f64,
+    pub y: f64,
+    pub z: bool,
+    pub dw: f64,
+}
+
+/// Drops each module of `group` (in order) bottom-left onto the skyline of
+/// `existing` envelopes, choosing the shape candidate that minimizes the
+/// resulting top edge (ties: smaller x).
+///
+/// Returns `None` if some module fits in no orientation/shape — the caller
+/// treats that as [`FloorplanError::ModuleTooWide`].
+pub(crate) fn greedy_place(
+    existing: &[Rect],
+    group: &[ShapeSpec],
+    chip_w: f64,
+) -> Option<Vec<GreedyPlacement>> {
+    let mut rects: Vec<Rect> = existing.to_vec();
+    let mut out = Vec::with_capacity(group.len());
+    for spec in group {
+        let sky = Skyline::from_rects(&rects);
+        let mut best: Option<(f64, f64, GreedyPlacement)> = None; // (top, x, g)
+        for (z, dw) in spec.shape_candidates() {
+            let we = spec.env_width(z, dw);
+            let he = spec.env_height(z, dw);
+            let Some((x, y)) = sky.drop_position(we, chip_w) else {
+                continue;
+            };
+            let top = y + he;
+            let better = match &best {
+                None => true,
+                Some((bt, bx, _)) => top < bt - 1e-9 || ((top - bt).abs() <= 1e-9 && x < *bx),
+            };
+            if better {
+                best = Some((top, x, GreedyPlacement { x, y, z, dw }));
+            }
+        }
+        let (_, _, g) = best?;
+        rects.push(Rect::new(
+            g.x,
+            g.y,
+            spec.env_width(g.z, g.dw),
+            spec.env_height(g.z, g.dw),
+        ));
+        out.push(g);
+    }
+    Some(out)
+}
+
+/// The resulting chip height of a greedy placement of `group` on top of
+/// `existing` (the feasible upper bound fed to the MILP).
+pub(crate) fn greedy_height(
+    existing: &[Rect],
+    group: &[ShapeSpec],
+    chip_w: f64,
+) -> Option<(Vec<GreedyPlacement>, f64)> {
+    let placements = greedy_place(existing, group, chip_w)?;
+    let mut top: f64 = existing.iter().map(Rect::top).fold(0.0, f64::max);
+    for (g, spec) in placements.iter().zip(group) {
+        top = top.max(g.y + spec.env_height(g.z, g.dw));
+    }
+    Some((placements, top))
+}
+
+/// Constructive bottom-left baseline floorplanner (no MILP).
+///
+/// Places every module of `netlist` in the order implied by
+/// `config.ordering`, greedily bottom-left. Serves as the comparison
+/// baseline in the benchmark harness and as documentation of what the MILP
+/// buys over a classic constructive heuristic.
+///
+/// # Errors
+///
+/// [`FloorplanError::EmptyNetlist`] or [`FloorplanError::ModuleTooWide`].
+pub fn bottom_left(netlist: &Netlist, config: &FloorplanConfig) -> Result<Floorplan, FloorplanError> {
+    let order = crate::augment::resolve_order(netlist, config)?;
+    let chip_w = crate::augment::resolve_chip_width(netlist, config)?;
+    let specs: Vec<ShapeSpec> = order
+        .iter()
+        .map(|&id| ShapeSpec::from_module(id, netlist.module(id), config))
+        .collect();
+    let placements = greedy_place(&[], &specs, chip_w).ok_or_else(|| {
+        // greedy_place only fails when some module exceeds the chip width,
+        // which resolve_chip_width should have caught; report the widest.
+        widest_error(&specs, chip_w, netlist)
+    })?;
+    let placed = placements
+        .iter()
+        .zip(&specs)
+        .map(|(g, spec)| {
+            let (rect, envelope, rotated) = spec.realize(g.x, g.y, g.z, g.dw);
+            PlacedModule {
+                id: spec.id,
+                rect,
+                envelope,
+                rotated,
+            }
+        })
+        .collect();
+    Ok(Floorplan::new(chip_w, placed))
+}
+
+pub(crate) fn widest_error(
+    specs: &[ShapeSpec],
+    chip_w: f64,
+    netlist: &Netlist,
+) -> FloorplanError {
+    let widest = specs
+        .iter()
+        .max_by(|a, b| a.min_env_width().total_cmp(&b.min_env_width()))
+        .expect("at least one module");
+    FloorplanError::ModuleTooWide {
+        module: netlist.module(widest.id).name().to_string(),
+        min_width: widest.min_env_width(),
+        chip_width: chip_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_netlist::{Module, ModuleId};
+
+    fn spec(id: usize, w: f64, h: f64, rot: bool) -> ShapeSpec {
+        ShapeSpec::from_module(
+            ModuleId(id),
+            &Module::rigid(format!("m{id}"), w, h, rot),
+            &FloorplanConfig::default(),
+        )
+    }
+
+    #[test]
+    fn fills_row_then_stacks() {
+        let group = vec![spec(0, 4.0, 2.0, false), spec(1, 4.0, 2.0, false), spec(2, 4.0, 2.0, false)];
+        let g = greedy_place(&[], &group, 8.0).unwrap();
+        assert_eq!((g[0].x, g[0].y), (0.0, 0.0));
+        assert_eq!((g[1].x, g[1].y), (4.0, 0.0));
+        assert_eq!((g[2].x, g[2].y), (0.0, 2.0));
+    }
+
+    #[test]
+    fn rotation_used_when_it_helps() {
+        // 6x2 module on a 3-wide chip only fits rotated (2x6).
+        let group = vec![spec(0, 6.0, 2.0, true)];
+        let g = greedy_place(&[], &group, 3.0).unwrap();
+        assert!(g[0].z);
+        // Without rotation it cannot fit.
+        let fixed = vec![spec(0, 6.0, 2.0, false)];
+        assert!(greedy_place(&[], &fixed, 3.0).is_none());
+    }
+
+    #[test]
+    fn respects_existing_obstacles() {
+        let existing = vec![Rect::new(0.0, 0.0, 8.0, 3.0)];
+        let group = vec![spec(0, 4.0, 2.0, false)];
+        let (g, top) = greedy_height(&existing, &group, 8.0).unwrap();
+        assert_eq!(g[0].y, 3.0);
+        assert_eq!(top, 5.0);
+    }
+
+    #[test]
+    fn greedy_height_counts_existing_top() {
+        let existing = vec![Rect::new(0.0, 0.0, 2.0, 10.0)];
+        let group = vec![spec(0, 4.0, 2.0, false)];
+        let (_, top) = greedy_height(&existing, &group, 8.0).unwrap();
+        assert_eq!(top, 10.0); // module fits beside the tower
+    }
+
+    #[test]
+    fn baseline_floorplan_is_valid() {
+        let nl = fp_netlist::generator::ProblemGenerator::new(10, 3).generate();
+        let fp = bottom_left(&nl, &FloorplanConfig::default()).unwrap();
+        assert_eq!(fp.len(), 10);
+        assert!(fp.is_valid(), "{:?}", fp.violations());
+        assert!(fp.utilization(&nl) > 0.3);
+    }
+
+    #[test]
+    fn baseline_rejects_empty() {
+        let nl = Netlist::new("empty");
+        assert!(matches!(
+            bottom_left(&nl, &FloorplanConfig::default()),
+            Err(FloorplanError::EmptyNetlist)
+        ));
+    }
+}

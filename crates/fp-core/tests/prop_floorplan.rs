@@ -1,0 +1,120 @@
+//! Property tests over the floorplanner: every configuration on every
+//! generated problem yields a complete, valid, within-chip placement.
+
+use fp_core::{
+    bottom_left, improve, optimize_topology, FloorplanConfig, Floorplanner, Objective,
+    OrderingStrategy, SoftShapeModel,
+};
+use fp_geom::union_area;
+use fp_milp::SolveOptions;
+use fp_netlist::generator::ProblemGenerator;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn tight() -> SolveOptions {
+    SolveOptions::default()
+        .with_node_limit(200)
+        .with_time_limit(Duration::from_millis(250))
+}
+
+fn any_config() -> impl Strategy<Value = FloorplanConfig> {
+    (
+        prop_oneof![
+            Just(OrderingStrategy::Connectivity),
+            Just(OrderingStrategy::Area),
+            (0u64..100).prop_map(OrderingStrategy::Random),
+        ],
+        prop_oneof![
+            Just(Objective::Area),
+            (0.1f64..2.0).prop_map(|lambda| Objective::AreaPlusWirelength { lambda }),
+        ],
+        any::<bool>(), // rotation
+        any::<bool>(), // envelopes
+        prop_oneof![Just(SoftShapeModel::Secant), Just(SoftShapeModel::Taylor)],
+        1usize..5, // group size
+    )
+        .prop_map(|(ordering, objective, rotation, envelopes, soft, group)| {
+            FloorplanConfig::default()
+                .with_ordering(ordering)
+                .with_objective(objective)
+                .with_rotation(rotation)
+                .with_envelopes(envelopes)
+                .with_soft_model(soft)
+                .with_group_sizes(group + 1, group)
+                .with_step_options(tight())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any configuration, any problem: complete and valid.
+    #[test]
+    fn floorplans_are_always_valid(
+        cfg in any_config(),
+        n in 3usize..9,
+        seed in 0u64..1000,
+        flex in 0.0f64..0.6,
+    ) {
+        let netlist = ProblemGenerator::new(n, seed)
+            .with_flexible_fraction(flex)
+            .generate();
+        let result = Floorplanner::with_config(&netlist, cfg).run().unwrap();
+        let fp = &result.floorplan;
+        prop_assert_eq!(fp.len(), n);
+        prop_assert!(fp.is_valid(), "{:?}", fp.violations());
+        // Envelopes never overlap => union area equals the sum of areas.
+        let envs = fp.envelope_rects();
+        let total: f64 = envs.iter().map(|r| r.area()).sum();
+        prop_assert!((union_area(&envs) - total).abs() < 1e-6 * (1.0 + total));
+    }
+
+    /// The adjustment pipeline (improve = top re-opt + compaction) is
+    /// monotone in chip height and preserves validity and module count.
+    #[test]
+    fn improvement_is_monotone(n in 4usize..9, seed in 0u64..500) {
+        let netlist = ProblemGenerator::new(n, seed).generate();
+        let cfg = FloorplanConfig::default().with_step_options(tight());
+        let base = bottom_left(&netlist, &cfg).unwrap();
+        let better = improve(&base, &netlist, &cfg, 2).unwrap();
+        prop_assert!(better.chip_height() <= base.chip_height() + 1e-9);
+        prop_assert!(better.is_valid());
+        prop_assert_eq!(better.len(), base.len());
+    }
+
+    /// Compaction (§2.5) of a greedy plan never grows the chip and keeps
+    /// module areas intact (soft modules keep S exactly under Secant).
+    #[test]
+    fn compaction_preserves_areas(n in 3usize..9, seed in 0u64..500, flex in 0.0f64..0.6) {
+        let netlist = ProblemGenerator::new(n, seed)
+            .with_flexible_fraction(flex)
+            .generate();
+        let cfg = FloorplanConfig::default();
+        let base = bottom_left(&netlist, &cfg).unwrap();
+        let compact = optimize_topology(&base, &netlist, &cfg).unwrap();
+        prop_assert!(compact.chip_height() <= base.chip_height() + 1e-9);
+        for placed in compact.iter() {
+            let module = netlist.module(placed.id);
+            prop_assert!((placed.rect.area() - module.area()).abs() < 1e-6,
+                "area of {} drifted: {} vs {}", module.name(), placed.rect.area(), module.area());
+        }
+    }
+
+    /// Rigid modules keep their exact dimensions (possibly swapped).
+    #[test]
+    fn rigid_dims_preserved(n in 3usize..8, seed in 0u64..500) {
+        let netlist = ProblemGenerator::new(n, seed).generate();
+        let cfg = FloorplanConfig::default().with_step_options(tight());
+        let result = Floorplanner::with_config(&netlist, cfg).run().unwrap();
+        for placed in result.floorplan.iter() {
+            let module = netlist.module(placed.id);
+            let fp_netlist::Shape::Rigid { w, h } = *module.shape() else {
+                continue; // generator emits rigid-only at flex fraction 0
+            };
+            let got = (placed.rect.w, placed.rect.h);
+            let expect = if placed.rotated { (h, w) } else { (w, h) };
+            prop_assert!((got.0 - expect.0).abs() < 1e-6 && (got.1 - expect.1).abs() < 1e-6,
+                "dims {:?}, expected {:?} (rotated={})", got, expect, placed.rotated);
+        }
+    }
+}

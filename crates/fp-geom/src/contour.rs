@@ -1,0 +1,197 @@
+//! Rectilinear contour (the paper's Fig. 4b "hole-free polygon").
+//!
+//! The partial floorplan's covering polygon is the region under its
+//! [`Skyline`]; this module materializes that polygon as an ordered,
+//! counter-clockwise vertex list — useful for rendering the augmentation
+//! state exactly as the paper draws it and for counting the horizontal
+//! edges that Theorem 1 bounds (`n ≤ N + 1`).
+
+use crate::rect::Rect;
+use crate::skyline::Skyline;
+use crate::{Point, GEOM_EPS};
+
+/// A closed rectilinear polygon, counter-clockwise, with the chip floor as
+/// its bottom edge (flat bottom, as required by §3.1).
+///
+/// ```
+/// use fp_geom::{Contour, Rect};
+/// let contour = Contour::from_rects(&[
+///     Rect::new(0.0, 0.0, 2.0, 3.0),
+///     Rect::new(2.0, 0.0, 2.0, 1.0),
+/// ]).unwrap();
+/// assert_eq!(contour.area(), 8.0);
+/// assert_eq!(contour.horizontal_edges(), 3); // two tops + the floor
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contour {
+    vertices: Vec<Point>,
+}
+
+impl Contour {
+    /// Builds the contour of the region under the skyline of `placed`.
+    /// Returns `None` for an empty placement.
+    #[must_use]
+    pub fn from_rects(placed: &[Rect]) -> Option<Self> {
+        let sky = Skyline::from_rects(placed);
+        if sky.is_empty() {
+            return None;
+        }
+        let segments: Vec<(f64, f64, f64)> = sky.segments().collect();
+        let (x_start, _, _) = *segments.first()?;
+        let (_, x_end, _) = *segments.last()?;
+
+        // Walk the top profile left→right, then close along the bottom.
+        let mut vertices = vec![Point::new(x_start, 0.0)];
+        let mut prev_h = 0.0;
+        for &(x0, x1, h) in &segments {
+            if (h - prev_h).abs() > GEOM_EPS {
+                vertices.push(Point::new(x0, prev_h));
+                vertices.push(Point::new(x0, h));
+            }
+            prev_h = h;
+            let _ = x1;
+        }
+        vertices.push(Point::new(x_end, prev_h));
+        vertices.push(Point::new(x_end, 0.0));
+        // Deduplicate consecutive identical vertices (zero-height starts).
+        vertices.dedup_by(|a, b| a.manhattan(b) <= GEOM_EPS);
+        // Drop a trailing duplicate of the first vertex if the profile was
+        // flat at zero height.
+        if vertices.len() >= 2
+            && vertices
+                .first()
+                .zip(vertices.last())
+                .is_some_and(|(f, l)| f.manhattan(l) <= GEOM_EPS)
+        {
+            vertices.pop();
+        }
+        Some(Contour { vertices })
+    }
+
+    /// The vertices, counter-clockwise, starting at the bottom-left corner.
+    #[must_use]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of **horizontal edges** of the polygon (including the bottom
+    /// edge) — the `n` of Theorem 1 (`n ≤ N + 1` for `N` supported
+    /// modules).
+    #[must_use]
+    pub fn horizontal_edges(&self) -> usize {
+        let v = &self.vertices;
+        if v.len() < 4 {
+            return 0;
+        }
+        let mut count = 0;
+        for k in 0..v.len() {
+            let a = v[k];
+            let b = v[(k + 1) % v.len()];
+            if (a.y - b.y).abs() <= GEOM_EPS && (a.x - b.x).abs() > GEOM_EPS {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Enclosed area (shoelace formula; the polygon is simple).
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        let v = &self.vertices;
+        let mut twice = 0.0;
+        for k in 0..v.len() {
+            let a = v[k];
+            let b = v[(k + 1) % v.len()];
+            twice += a.x * b.y - b.x * a.y;
+        }
+        (twice / 2.0).abs()
+    }
+
+    /// Renders the contour as an SVG path `d` attribute string.
+    #[must_use]
+    pub fn to_svg_path(&self) -> String {
+        let mut out = String::new();
+        for (k, p) in self.vertices.iter().enumerate() {
+            let cmd = if k == 0 { 'M' } else { 'L' };
+            out.push_str(&format!("{cmd}{} {} ", p.x, p.y));
+        }
+        out.push('Z');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_placement() {
+        assert!(Contour::from_rects(&[]).is_none());
+    }
+
+    #[test]
+    fn single_rect_is_its_own_contour() {
+        let c = Contour::from_rects(&[Rect::new(1.0, 0.0, 4.0, 3.0)]).unwrap();
+        assert_eq!(c.area(), 12.0);
+        // Rectangle: bottom + top = 2 horizontal edges.
+        assert_eq!(c.horizontal_edges(), 2);
+        assert_eq!(c.vertices().len(), 4);
+    }
+
+    #[test]
+    fn staircase_contour() {
+        let rects = [
+            Rect::new(0.0, 0.0, 2.0, 3.0),
+            Rect::new(2.0, 0.0, 2.0, 2.0),
+            Rect::new(4.0, 0.0, 2.0, 1.0),
+        ];
+        let c = Contour::from_rects(&rects).unwrap();
+        assert!((c.area() - (6.0 + 4.0 + 2.0)).abs() < 1e-9);
+        // Theorem 1: n <= N + 1 = 4; here exactly 3 tops + 1 bottom = 4.
+        assert_eq!(c.horizontal_edges(), 4);
+    }
+
+    #[test]
+    fn theorem1_bound_on_supported_placements() {
+        use crate::skyline::Skyline;
+        // Drop a deterministic sequence of modules bottom-left.
+        let dims = [(3.0, 2.0), (2.0, 4.0), (4.0, 1.0), (1.0, 3.0), (2.0, 2.0)];
+        let mut placed: Vec<Rect> = Vec::new();
+        for &(w, h) in &dims {
+            let sky = Skyline::from_rects(&placed);
+            let (x, y) = sky.drop_position(w, 7.0).unwrap();
+            placed.push(Rect::new(x, y, w, h));
+        }
+        let c = Contour::from_rects(&placed).unwrap();
+        assert!(
+            c.horizontal_edges() <= placed.len() + 1,
+            "n = {} > N + 1 = {}",
+            c.horizontal_edges(),
+            placed.len() + 1
+        );
+    }
+
+    #[test]
+    fn contour_area_matches_skyline_area() {
+        let rects = [
+            Rect::new(0.0, 0.0, 3.0, 2.0),
+            Rect::new(1.0, 0.0, 2.0, 5.0),
+            Rect::new(5.0, 0.0, 2.0, 1.0),
+        ];
+        let c = Contour::from_rects(&rects).unwrap();
+        let sky_area: f64 = Skyline::from_rects(&rects)
+            .segments()
+            .map(|(x0, x1, h)| (x1 - x0) * h)
+            .sum();
+        assert!((c.area() - sky_area).abs() < 1e-9);
+    }
+
+    #[test]
+    fn svg_path_is_closed() {
+        let c = Contour::from_rects(&[Rect::new(0.0, 0.0, 1.0, 1.0)]).unwrap();
+        let d = c.to_svg_path();
+        assert!(d.starts_with('M'));
+        assert!(d.ends_with('Z'));
+        assert_eq!(d.matches('L').count(), 3);
+    }
+}

@@ -1,0 +1,251 @@
+//! Covering-rectangle decomposition of a partial floorplan (paper §3.1).
+//!
+//! The successive-augmentation MILP needs two pair variables for every
+//! (new module, fixed obstacle) pair, so the number of obstacles directly
+//! controls the number of integer variables. The paper replaces the `N`
+//! already-placed modules by `d ≤ N` *covering rectangles*: the hole-free
+//! polygon under the partial floorplan's contour is partitioned by
+//! **horizontal edge-cuts** (Fig. 4). Theorem 1 bounds the contour's
+//! horizontal edge count by `n ≤ N + 1`; Theorem 2 bounds the partition
+//! size by `N* ≤ n − 1`, hence `N* ≤ N`.
+//!
+//! Two faithful decompositions are provided:
+//!
+//! * [`horizontal_edge_cuts`] — the paper's construction: one slab per
+//!   contour level, each slab split at the x-ranges where the contour
+//!   reaches the slab.
+//! * [`skyline_runs`] — the transposed (vertical) partition: one full-height
+//!   rectangle per maximal constant-height run of the skyline. For staircase
+//!   contours this often produces fewer rectangles, realizing the paper's
+//!   remark that "a further reduction can be achieved".
+//!
+//! [`covering_rectangles`] returns whichever is smaller.
+
+use crate::rect::Rect;
+use crate::skyline::Skyline;
+use crate::GEOM_EPS;
+
+/// The paper's horizontal edge-cut partition of the region below the
+/// skyline of `placed`.
+///
+/// Holes strictly below the contour are covered (the paper ignores bottom
+/// holes because new modules only arrive from the open side), so the result
+/// *over-approximates* the union of `placed` — which is exactly what a safe
+/// obstacle set for the MILP requires.
+#[must_use]
+pub fn horizontal_edge_cuts(placed: &[Rect]) -> Vec<Rect> {
+    let sky = Skyline::from_rects(placed);
+    let levels = sky.levels();
+    let mut out = Vec::new();
+    let mut y_lo = 0.0;
+    for &level in &levels {
+        // The slab [y_lo, level) exists wherever the contour is >= level.
+        let mut run_start: Option<f64> = None;
+        let mut prev_end = f64::NAN;
+        for (x0, x1, h) in sky.segments() {
+            if h >= level - GEOM_EPS {
+                match run_start {
+                    Some(_) if (x0 - prev_end).abs() <= GEOM_EPS => {}
+                    Some(s) => {
+                        out.push(Rect::new(s, y_lo, prev_end - s, level - y_lo));
+                        run_start = Some(x0);
+                    }
+                    None => run_start = Some(x0),
+                }
+                prev_end = x1;
+            } else if let Some(s) = run_start.take() {
+                out.push(Rect::new(s, y_lo, prev_end - s, level - y_lo));
+            }
+        }
+        if let Some(s) = run_start {
+            out.push(Rect::new(s, y_lo, prev_end - s, level - y_lo));
+        }
+        y_lo = level;
+    }
+    out
+}
+
+/// The transposed partition: one rectangle per maximal constant-height run
+/// of the skyline, each anchored at `y = 0`.
+#[must_use]
+pub fn skyline_runs(placed: &[Rect]) -> Vec<Rect> {
+    Skyline::from_rects(placed)
+        .segments()
+        .filter(|&(_, _, h)| h > GEOM_EPS)
+        .map(|(x0, x1, h)| Rect::new(x0, 0.0, x1 - x0, h))
+        .collect()
+}
+
+/// The smaller of [`horizontal_edge_cuts`] and [`skyline_runs`].
+///
+/// For partial floorplans produced by the augmentation procedure (every
+/// module on the chip bottom or atop another), the count never exceeds the
+/// number of placed modules (paper Theorems 1–2 corollary) — enforced by
+/// this crate's property tests.
+#[must_use]
+pub fn covering_rectangles(placed: &[Rect]) -> Vec<Rect> {
+    let horizontal = horizontal_edge_cuts(placed);
+    let vertical = skyline_runs(placed);
+    if vertical.len() <= horizontal.len() {
+        vertical
+    } else {
+        horizontal
+    }
+}
+
+/// Checks that `covers` fully cover every rectangle of `placed` — the safety
+/// contract for using the decomposition as MILP obstacles.
+#[must_use]
+pub fn covers_all(covers: &[Rect], placed: &[Rect]) -> bool {
+    placed.iter().all(|m| {
+        let covered: f64 = covers.iter().map(|c| c.intersection_area(m)).sum();
+        covered >= m.area() - 1e-6 * (1.0 + m.area())
+    })
+}
+
+/// Checks that no two covers overlap in their interiors — the partition
+/// contract (Theorem 2's cuts produce disjoint rectangles).
+#[must_use]
+pub fn pairwise_disjoint(covers: &[Rect]) -> bool {
+    for (i, a) in covers.iter().enumerate() {
+        for b in &covers[i + 1..] {
+            if a.overlaps(b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 6-module arrangement sketched in the paper's Figure 4: modules
+    /// stacked with a flat bottom; the decomposition must produce at most 6
+    /// (paper: 5) covering rectangles.
+    fn figure4_modules() -> Vec<Rect> {
+        vec![
+            Rect::new(0.0, 0.0, 3.0, 2.0),  // bottom-left
+            Rect::new(3.0, 0.0, 3.0, 3.0),  // bottom-right
+            Rect::new(0.0, 2.0, 2.0, 3.0),  // tower on bottom-left
+            Rect::new(2.0, 3.0, 2.0, 1.0),  // bridge
+            Rect::new(4.0, 3.0, 2.0, 2.0),  // right tower
+            Rect::new(0.0, 5.0, 1.0, 1.0),  // cap
+        ]
+    }
+
+    #[test]
+    fn figure4_cover_count_within_bound() {
+        let modules = figure4_modules();
+        let covers = covering_rectangles(&modules);
+        assert!(!covers.is_empty());
+        assert!(
+            covers.len() <= modules.len(),
+            "corollary N* <= N violated: {} > {}",
+            covers.len(),
+            modules.len()
+        );
+        assert!(covers_all(&covers, &modules));
+        assert!(pairwise_disjoint(&covers));
+    }
+
+    #[test]
+    fn horizontal_cuts_tile_exact_region() {
+        let modules = figure4_modules();
+        let cuts = horizontal_edge_cuts(&modules);
+        assert!(covers_all(&cuts, &modules));
+        assert!(pairwise_disjoint(&cuts));
+        // The cuts tile the region under the skyline: areas must agree.
+        let sky_area: f64 = Skyline::from_rects(&modules)
+            .segments()
+            .map(|(x0, x1, h)| (x1 - x0) * h)
+            .sum();
+        let cut_area: f64 = cuts.iter().map(Rect::area).sum();
+        assert!((sky_area - cut_area).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vertical_runs_tile_exact_region() {
+        let modules = figure4_modules();
+        let runs = skyline_runs(&modules);
+        assert!(covers_all(&runs, &modules));
+        assert!(pairwise_disjoint(&runs));
+        let sky_area: f64 = Skyline::from_rects(&modules)
+            .segments()
+            .map(|(x0, x1, h)| (x1 - x0) * h)
+            .sum();
+        let run_area: f64 = runs.iter().map(Rect::area).sum();
+        assert!((sky_area - run_area).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_module_single_cover() {
+        let one = vec![Rect::new(2.0, 0.0, 3.0, 4.0)];
+        let covers = covering_rectangles(&one);
+        assert_eq!(covers.len(), 1);
+        assert_eq!(covers[0], one[0]);
+    }
+
+    #[test]
+    fn flat_row_collapses_to_one_cover() {
+        // Three equal-height modules in a row: 1 covering rectangle.
+        let row = vec![
+            Rect::new(0.0, 0.0, 2.0, 3.0),
+            Rect::new(2.0, 0.0, 2.0, 3.0),
+            Rect::new(4.0, 0.0, 2.0, 3.0),
+        ];
+        assert_eq!(covering_rectangles(&row).len(), 1);
+    }
+
+    #[test]
+    fn two_towers_with_gap() {
+        // Disconnected contour: slabs split into per-tower rectangles.
+        let towers = vec![
+            Rect::new(0.0, 0.0, 1.0, 5.0),
+            Rect::new(4.0, 0.0, 1.0, 3.0),
+        ];
+        let covers = covering_rectangles(&towers);
+        assert_eq!(covers.len(), 2);
+        assert!(covers_all(&covers, &towers));
+        assert!(pairwise_disjoint(&covers));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(covering_rectangles(&[]).is_empty());
+        assert!(horizontal_edge_cuts(&[]).is_empty());
+        assert!(skyline_runs(&[]).is_empty());
+    }
+
+    #[test]
+    fn hole_below_contour_is_covered() {
+        // A bridge over a gap: the hole below is filled (paper ignores
+        // bottom holes). Safety (covers_all) must still hold.
+        let bridge = vec![
+            Rect::new(0.0, 0.0, 1.0, 2.0),
+            Rect::new(3.0, 0.0, 1.0, 2.0),
+            Rect::new(0.0, 2.0, 4.0, 1.0),
+        ];
+        let covers = covering_rectangles(&bridge);
+        assert!(covers_all(&covers, &bridge));
+        // The covered area is the full region under the contour (12), more
+        // than the module area (8): over-approximation by design.
+        let total: f64 = covers.iter().map(Rect::area).sum();
+        assert!((total - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staircase_prefers_vertical_runs() {
+        // Descending staircase of k steps: horizontal cuts give k slabs,
+        // vertical runs give k columns; both are k, pick either — but a
+        // plateaued staircase favors runs.
+        let stairs = vec![
+            Rect::new(0.0, 0.0, 2.0, 4.0),
+            Rect::new(2.0, 0.0, 2.0, 4.0), // merges with previous run
+            Rect::new(4.0, 0.0, 2.0, 2.0),
+        ];
+        let covers = covering_rectangles(&stairs);
+        assert_eq!(covers.len(), 2);
+    }
+}

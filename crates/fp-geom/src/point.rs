@@ -1,0 +1,83 @@
+//! 2-D points.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point in the chip coordinate system (origin at the chip's lower-left
+/// corner, as in the paper's §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other` — the wirelength metric used by
+    /// the router and the MILP objective.
+    #[must_use]
+    pub fn manhattan(&self, other: &Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean distance to `other`.
+    #[must_use]
+    pub fn euclidean(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.manhattan(&b), 7.0);
+        assert_eq!(a.euclidean(&b), 5.0);
+    }
+
+    #[test]
+    fn arithmetic_and_conversion() {
+        let a: Point = (1.0, 2.0).into();
+        let b = Point::new(0.5, -1.0);
+        assert_eq!(a + b, Point::new(1.5, 1.0));
+        assert_eq!(a - b, Point::new(0.5, 3.0));
+        assert_eq!(a.to_string(), "(1, 2)");
+    }
+}

@@ -1,0 +1,266 @@
+//! Axis-aligned rectangles.
+
+use crate::point::Point;
+use crate::GEOM_EPS;
+use std::fmt;
+
+/// An axis-aligned rectangle anchored at its lower-left corner — exactly the
+/// module representation of the paper (`(x_i, y_i)` plus `(w_i, h_i)`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Lower-left x.
+    pub x: f64,
+    /// Lower-left y.
+    pub y: f64,
+    /// Width (extent along x), non-negative.
+    pub w: f64,
+    /// Height (extent along y), non-negative.
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left corner and extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `w` or `h` is negative or non-finite.
+    #[must_use]
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        debug_assert!(w >= 0.0 && h >= 0.0, "negative extent {w}x{h}");
+        debug_assert!(
+            x.is_finite() && y.is_finite() && w.is_finite() && h.is_finite(),
+            "non-finite rect"
+        );
+        Rect { x, y, w, h }
+    }
+
+    /// Builds the rectangle spanning two opposite corners in any order.
+    #[must_use]
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Rect::new(
+            a.x.min(b.x),
+            a.y.min(b.y),
+            (a.x - b.x).abs(),
+            (a.y - b.y).abs(),
+        )
+    }
+
+    /// Right edge x-coordinate.
+    #[must_use]
+    pub fn right(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Top edge y-coordinate.
+    #[must_use]
+    pub fn top(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// Geometric center.
+    #[must_use]
+    pub fn center(&self) -> Point {
+        Point::new(self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Area `w·h`.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Aspect ratio `w/h`; `infinity` for zero-height rectangles.
+    #[must_use]
+    pub fn aspect(&self) -> f64 {
+        self.w / self.h
+    }
+
+    /// Whether the rectangle has (numerically) zero area.
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        self.w <= GEOM_EPS || self.h <= GEOM_EPS
+    }
+
+    /// Whether the *interiors* overlap (shared edges do not count, matching
+    /// the paper's non-overlap semantics where abutting modules are legal).
+    #[must_use]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x < other.right() - GEOM_EPS
+            && other.x < self.right() - GEOM_EPS
+            && self.y < other.top() - GEOM_EPS
+            && other.y < self.top() - GEOM_EPS
+    }
+
+    /// Area of intersection with `other` (0 if disjoint).
+    #[must_use]
+    pub fn intersection_area(&self, other: &Rect) -> f64 {
+        let w = (self.right().min(other.right()) - self.x.max(other.x)).max(0.0);
+        let h = (self.top().min(other.top()) - self.y.max(other.y)).max(0.0);
+        w * h
+    }
+
+    /// The intersection rectangle, if the two rectangles overlap or abut.
+    #[must_use]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let x = self.x.max(other.x);
+        let y = self.y.max(other.y);
+        let r = self.right().min(other.right());
+        let t = self.top().min(other.top());
+        if r >= x && t >= y {
+            Some(Rect::new(x, y, r - x, t - y))
+        } else {
+            None
+        }
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x - GEOM_EPS
+            && p.x <= self.right() + GEOM_EPS
+            && p.y >= self.y - GEOM_EPS
+            && p.y <= self.top() + GEOM_EPS
+    }
+
+    /// Whether `other` lies entirely within this rectangle (within
+    /// tolerance).
+    #[must_use]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.x >= self.x - GEOM_EPS
+            && other.y >= self.y - GEOM_EPS
+            && other.right() <= self.right() + GEOM_EPS
+            && other.top() <= self.top() + GEOM_EPS
+    }
+
+    /// Smallest rectangle containing both.
+    #[must_use]
+    pub fn union_bounds(&self, other: &Rect) -> Rect {
+        let x = self.x.min(other.x);
+        let y = self.y.min(other.y);
+        Rect::new(
+            x,
+            y,
+            self.right().max(other.right()) - x,
+            self.top().max(other.top()) - y,
+        )
+    }
+
+    /// The rectangle grown by `margin` on every side (clamped at zero size).
+    #[must_use]
+    pub fn inflate(&self, margin: f64) -> Rect {
+        self.inflate_sides(margin, margin, margin, margin)
+    }
+
+    /// Grows each side independently — the paper's routing *envelope*, where
+    /// each side is extended proportionally to the number of pins on it.
+    /// Negative margins shrink; extents clamp at zero.
+    #[must_use]
+    pub fn inflate_sides(&self, left: f64, right: f64, bottom: f64, top: f64) -> Rect {
+        let w = (self.w + left + right).max(0.0);
+        let h = (self.h + bottom + top).max(0.0);
+        Rect::new(self.x - left, self.y - bottom, w, h)
+    }
+
+    /// The rectangle rotated 90° about its lower-left corner (width and
+    /// height swapped in place) — the paper's `z_i = 1` orientation.
+    #[must_use]
+    pub fn rotated(&self) -> Rect {
+        Rect::new(self.x, self.y, self.h, self.w)
+    }
+
+    /// Smallest rectangle covering all inputs; `None` for an empty set.
+    #[must_use]
+    pub fn bounding(rects: &[Rect]) -> Option<Rect> {
+        let mut it = rects.iter();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, r| acc.union_bounds(r)))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}x{} @ ({}, {})]", self.w, self.h, self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_center_area() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.right(), 4.0);
+        assert_eq!(r.top(), 6.0);
+        assert_eq!(r.center(), Point::new(2.5, 4.0));
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.aspect(), 0.75);
+    }
+
+    #[test]
+    fn overlap_excludes_shared_edges() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let abutting = Rect::new(2.0, 0.0, 2.0, 2.0);
+        let overlapping = Rect::new(1.5, 1.5, 2.0, 2.0);
+        let disjoint = Rect::new(5.0, 5.0, 1.0, 1.0);
+        assert!(!a.overlaps(&abutting));
+        assert!(a.overlaps(&overlapping));
+        assert!(!a.overlaps(&disjoint));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn intersection_area_and_rect() {
+        let a = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let b = Rect::new(2.0, 1.0, 4.0, 4.0);
+        assert_eq!(a.intersection_area(&b), 6.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::new(2.0, 1.0, 2.0, 3.0));
+        assert_eq!(a.intersection_area(&Rect::new(10.0, 10.0, 1.0, 1.0)), 0.0);
+        assert!(a.intersection(&Rect::new(10.0, 10.0, 1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(outer.contains(Point::new(10.0, 10.0)));
+        assert!(!outer.contains(Point::new(10.1, 5.0)));
+        assert!(outer.contains_rect(&Rect::new(1.0, 1.0, 5.0, 5.0)));
+        assert!(!outer.contains_rect(&Rect::new(6.0, 6.0, 5.0, 5.0)));
+    }
+
+    #[test]
+    fn envelope_inflation() {
+        let r = Rect::new(5.0, 5.0, 2.0, 3.0);
+        let e = r.inflate_sides(1.0, 2.0, 0.5, 1.5);
+        assert_eq!(e, Rect::new(4.0, 4.5, 5.0, 5.0));
+        assert!(e.contains_rect(&r));
+        // Shrinking past zero clamps.
+        let tiny = r.inflate(-5.0);
+        assert_eq!(tiny.area(), 0.0);
+    }
+
+    #[test]
+    fn rotation_swaps_extents() {
+        let r = Rect::new(1.0, 1.0, 2.0, 5.0).rotated();
+        assert_eq!((r.w, r.h), (5.0, 2.0));
+        assert_eq!((r.x, r.y), (1.0, 1.0));
+    }
+
+    #[test]
+    fn bounding_box() {
+        assert!(Rect::bounding(&[]).is_none());
+        let b = Rect::bounding(&[
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(3.0, -1.0, 1.0, 1.0),
+        ])
+        .unwrap();
+        assert_eq!(b, Rect::new(0.0, -1.0, 4.0, 2.0));
+    }
+
+    #[test]
+    fn from_corners_any_order() {
+        let r = Rect::from_corners(Point::new(3.0, 4.0), Point::new(1.0, 0.0));
+        assert_eq!(r, Rect::new(1.0, 0.0, 2.0, 4.0));
+    }
+}

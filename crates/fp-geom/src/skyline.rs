@@ -1,0 +1,243 @@
+//! Skyline (upper contour) of a set of placed rectangles.
+
+use crate::rect::Rect;
+use crate::GEOM_EPS;
+
+/// The upper contour `h(x)` of a union of rectangles, as a step function.
+///
+/// The successive-augmentation loop places new modules "from the open side
+/// of the chip" (paper §3.1), so the partial floorplan is characterized by
+/// its skyline: holes below the contour are deliberately ignored, exactly as
+/// the paper ignores "holes at the bottom of the polygon".
+///
+/// ```
+/// use fp_geom::{Rect, Skyline};
+/// let sky = Skyline::from_rects(&[
+///     Rect::new(0.0, 0.0, 2.0, 3.0),
+///     Rect::new(2.0, 0.0, 2.0, 1.0),
+/// ]);
+/// assert_eq!(sky.height_at(1.0), 3.0);
+/// assert_eq!(sky.height_at(3.0), 1.0);
+/// assert_eq!(sky.height_at(9.0), 0.0);
+/// assert_eq!(sky.max_height(), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Skyline {
+    /// Strictly increasing breakpoints; `heights[k]` applies on
+    /// `[xs[k], xs[k+1])`.
+    xs: Vec<f64>,
+    heights: Vec<f64>,
+}
+
+impl Skyline {
+    /// Builds the skyline of the given rectangles (zero height everywhere if
+    /// empty).
+    #[must_use]
+    pub fn from_rects(rects: &[Rect]) -> Self {
+        let mut xs: Vec<f64> = rects
+            .iter()
+            .filter(|r| !r.is_degenerate())
+            .flat_map(|r| [r.x, r.right()])
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() <= GEOM_EPS);
+        if xs.len() < 2 {
+            return Skyline {
+                xs: Vec::new(),
+                heights: Vec::new(),
+            };
+        }
+        let mut heights = vec![0.0; xs.len() - 1];
+        for (k, h) in heights.iter_mut().enumerate() {
+            let mid = (xs[k] + xs[k + 1]) / 2.0;
+            *h = rects
+                .iter()
+                .filter(|r| r.x <= mid && mid <= r.right())
+                .map(|r| r.top())
+                .fold(0.0, f64::max);
+        }
+        // Merge adjacent equal-height steps for a canonical form.
+        let mut m_xs = vec![xs[0]];
+        let mut m_hs: Vec<f64> = Vec::new();
+        for k in 0..heights.len() {
+            if m_hs
+                .last()
+                .is_some_and(|&h| (h - heights[k]).abs() <= GEOM_EPS)
+            {
+                *m_xs.last_mut().expect("non-empty") = xs[k + 1];
+            } else {
+                m_hs.push(heights[k]);
+                m_xs.push(xs[k + 1]);
+            }
+        }
+        Skyline {
+            xs: m_xs,
+            heights: m_hs,
+        }
+    }
+
+    /// Height of the contour at `x` (0 outside the covered range).
+    #[must_use]
+    pub fn height_at(&self, x: f64) -> f64 {
+        for k in 0..self.heights.len() {
+            if x >= self.xs[k] - GEOM_EPS && x < self.xs[k + 1] - GEOM_EPS {
+                return self.heights[k];
+            }
+        }
+        0.0
+    }
+
+    /// Maximum height over the whole contour (0 if empty).
+    #[must_use]
+    pub fn max_height(&self) -> f64 {
+        self.heights.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Iterates over maximal constant-height segments `(x0, x1, h)`.
+    pub fn segments(&self) -> impl Iterator<Item = (f64, f64, f64)> + '_ {
+        (0..self.heights.len()).map(|k| (self.xs[k], self.xs[k + 1], self.heights[k]))
+    }
+
+    /// Number of maximal segments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heights.len()
+    }
+
+    /// Whether the contour is empty (zero everywhere).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heights.is_empty()
+    }
+
+    /// The distinct positive heights, ascending — the "horizontal edge"
+    /// levels of the paper's covering polygon.
+    #[must_use]
+    pub fn levels(&self) -> Vec<f64> {
+        let mut levels: Vec<f64> = self
+            .heights
+            .iter()
+            .copied()
+            .filter(|&h| h > GEOM_EPS)
+            .collect();
+        levels.sort_by(f64::total_cmp);
+        levels.dedup_by(|a, b| (*a - *b).abs() <= GEOM_EPS);
+        levels
+    }
+
+    /// Greedy bottom-left drop: the lowest (then leftmost) position where a
+    /// module of width `w` fits on the skyline with its left edge in
+    /// `[0, chip_w - w]`. Used to build warm-start incumbents and as a
+    /// baseline placer in tests.
+    ///
+    /// Returns `None` when `w > chip_w`.
+    #[must_use]
+    pub fn drop_position(&self, w: f64, chip_w: f64) -> Option<(f64, f64)> {
+        if w > chip_w + GEOM_EPS {
+            return None;
+        }
+        let mut candidates: Vec<f64> = vec![0.0];
+        for k in 0..self.heights.len() {
+            // Segment starts and ends are the only places the support
+            // height can change; the end of the last segment (where the
+            // contour drops back to 0) matters for placing *beside* the
+            // covered range.
+            for x in [self.xs[k], self.xs[k + 1], self.xs[k + 1] - w] {
+                if x >= -GEOM_EPS && x + w <= chip_w + GEOM_EPS {
+                    candidates.push(x);
+                }
+            }
+        }
+        let mut best: Option<(f64, f64)> = None;
+        for &x in &candidates {
+            let x = x.max(0.0);
+            if x + w > chip_w + GEOM_EPS {
+                continue;
+            }
+            // Support height: max contour height over [x, x+w).
+            let mut y = 0.0f64;
+            for (x0, x1, h) in self.segments() {
+                if x0 < x + w - GEOM_EPS && x1 > x + GEOM_EPS {
+                    y = y.max(h);
+                }
+            }
+            let better = match best {
+                None => true,
+                Some((bx, by)) => y < by - GEOM_EPS || ((y - by).abs() <= GEOM_EPS && x < bx),
+            };
+            if better {
+                best = Some((x, y));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_skyline() {
+        let sky = Skyline::from_rects(&[]);
+        assert!(sky.is_empty());
+        assert_eq!(sky.height_at(0.0), 0.0);
+        assert_eq!(sky.max_height(), 0.0);
+        assert!(sky.levels().is_empty());
+    }
+
+    #[test]
+    fn steps_merge_equal_heights() {
+        // Two abutting rects with equal tops collapse into one segment.
+        let sky = Skyline::from_rects(&[
+            Rect::new(0.0, 0.0, 2.0, 3.0),
+            Rect::new(2.0, 1.0, 2.0, 2.0),
+        ]);
+        assert_eq!(sky.len(), 1);
+        assert_eq!(sky.height_at(3.9), 3.0);
+    }
+
+    #[test]
+    fn staircase_levels() {
+        let sky = Skyline::from_rects(&[
+            Rect::new(0.0, 0.0, 1.0, 3.0),
+            Rect::new(1.0, 0.0, 1.0, 2.0),
+            Rect::new(2.0, 0.0, 1.0, 1.0),
+        ]);
+        assert_eq!(sky.len(), 3);
+        assert_eq!(sky.levels(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn overlap_takes_max() {
+        let sky = Skyline::from_rects(&[
+            Rect::new(0.0, 0.0, 4.0, 1.0),
+            Rect::new(1.0, 0.0, 2.0, 5.0),
+        ]);
+        assert_eq!(sky.height_at(0.5), 1.0);
+        assert_eq!(sky.height_at(2.0), 5.0);
+        assert_eq!(sky.height_at(3.5), 1.0);
+    }
+
+    #[test]
+    fn drop_prefers_lowest_then_leftmost() {
+        // Valley between two towers.
+        let sky = Skyline::from_rects(&[
+            Rect::new(0.0, 0.0, 1.0, 4.0),
+            Rect::new(3.0, 0.0, 1.0, 4.0),
+        ]);
+        // Width 2 fits in the valley at (1, 0).
+        assert_eq!(sky.drop_position(2.0, 4.0), Some((1.0, 0.0)));
+        // Width 3 does not fit in the valley; must sit on a tower at height 4
+        // (leftmost x = 0).
+        assert_eq!(sky.drop_position(3.0, 4.0), Some((0.0, 4.0)));
+        // Too wide for the chip.
+        assert_eq!(sky.drop_position(5.0, 4.0), None);
+    }
+
+    #[test]
+    fn drop_on_empty_chip() {
+        let sky = Skyline::from_rects(&[]);
+        assert_eq!(sky.drop_position(3.0, 10.0), Some((0.0, 0.0)));
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for the geometric substrate, centered on the covering
+//! decomposition contracts (paper §3.1, Theorems 1–2).
+
+use fp_geom::covering::{
+    covering_rectangles, covers_all, horizontal_edge_cuts, pairwise_disjoint, skyline_runs,
+};
+use fp_geom::{union_area, Contour, Rect, Skyline};
+use proptest::prelude::*;
+
+/// Generates a "supported" placement the way the augmentation procedure
+/// does: each module is dropped bottom-left onto the current skyline, so
+/// every module rests on the chip bottom or on other modules — the
+/// precondition of the paper's Theorem 1.
+fn supported_placement() -> impl Strategy<Value = Vec<Rect>> {
+    proptest::collection::vec((1.0f64..6.0, 1.0f64..6.0), 1..12).prop_map(|dims| {
+        let chip_w = 14.0;
+        let mut placed: Vec<Rect> = Vec::new();
+        for (w, h) in dims {
+            let sky = Skyline::from_rects(&placed);
+            let (x, y) = sky
+                .drop_position(w, chip_w)
+                .expect("modules are narrower than the chip");
+            placed.push(Rect::new(x, y, w, h));
+        }
+        placed
+    })
+}
+
+/// Arbitrary rectangles with non-negative y (modules never go below the
+/// chip bottom), possibly overlapping, floating, with gaps.
+fn arbitrary_rects() -> impl Strategy<Value = Vec<Rect>> {
+    proptest::collection::vec(
+        (0.0f64..20.0, 0.0f64..10.0, 0.5f64..5.0, 0.5f64..5.0),
+        1..10,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(x, y, w, h)| Rect::new(x, y, w, h))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Corollary of Theorems 1-2: on supported placements the covering
+    /// count never exceeds the module count.
+    #[test]
+    fn cover_count_bounded_by_module_count(placed in supported_placement()) {
+        let covers = covering_rectangles(&placed);
+        prop_assert!(covers.len() <= placed.len(),
+            "N* = {} > N = {}", covers.len(), placed.len());
+    }
+
+    /// Safety contract: the covers fully cover every placed module, for
+    /// both decompositions, even on arbitrary (unsupported) inputs.
+    #[test]
+    fn covers_are_safe_obstacles(rects in arbitrary_rects()) {
+        let h = horizontal_edge_cuts(&rects);
+        let v = skyline_runs(&rects);
+        prop_assert!(covers_all(&h, &rects));
+        prop_assert!(covers_all(&v, &rects));
+    }
+
+    /// Partition contract: covers never overlap each other.
+    #[test]
+    fn covers_are_disjoint(rects in arbitrary_rects()) {
+        prop_assert!(pairwise_disjoint(&horizontal_edge_cuts(&rects)));
+        prop_assert!(pairwise_disjoint(&skyline_runs(&rects)));
+    }
+
+    /// Both decompositions tile the same region: their total areas agree
+    /// and equal the area under the skyline.
+    #[test]
+    fn decompositions_tile_same_region(rects in arbitrary_rects()) {
+        let h: f64 = horizontal_edge_cuts(&rects).iter().map(Rect::area).sum();
+        let v: f64 = skyline_runs(&rects).iter().map(Rect::area).sum();
+        let sky: f64 = Skyline::from_rects(&rects)
+            .segments()
+            .map(|(x0, x1, hh)| (x1 - x0) * hh)
+            .sum();
+        prop_assert!((h - sky).abs() < 1e-6 * (1.0 + sky), "h {h} vs sky {sky}");
+        prop_assert!((v - sky).abs() < 1e-6 * (1.0 + sky), "v {v} vs sky {sky}");
+    }
+
+    /// Supported drops never overlap: the bottom-left placer is sound, and
+    /// union area equals the sum of areas.
+    #[test]
+    fn supported_placements_do_not_overlap(placed in supported_placement()) {
+        for (i, a) in placed.iter().enumerate() {
+            for b in &placed[i + 1..] {
+                prop_assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+        let total: f64 = placed.iter().map(Rect::area).sum();
+        let union = union_area(&placed);
+        prop_assert!((total - union).abs() < 1e-6 * (1.0 + total));
+    }
+
+    /// Union area is monotone and bounded by the bounding box.
+    #[test]
+    fn union_area_bounds(rects in arbitrary_rects()) {
+        let u = union_area(&rects);
+        let max_single = rects.iter().map(Rect::area).fold(0.0, f64::max);
+        let sum: f64 = rects.iter().map(Rect::area).sum();
+        let bbox = Rect::bounding(&rects).map_or(0.0, |b| b.area());
+        prop_assert!(u >= max_single - 1e-9);
+        prop_assert!(u <= sum + 1e-9);
+        prop_assert!(u <= bbox + 1e-9);
+    }
+
+    /// `drop_position` finds the lowest possible support height (verified
+    /// against a brute-force scan over a fine x grid).
+    #[test]
+    fn drop_position_is_optimal(
+        rects in arbitrary_rects(),
+        w in 0.5f64..6.0,
+    ) {
+        let chip_w = 26.0;
+        let sky = Skyline::from_rects(&rects);
+        let Some((_, y)) = sky.drop_position(w, chip_w) else {
+            return Err(TestCaseError::fail("width always fits the 26-wide chip"));
+        };
+        // Brute force: support height at many x positions.
+        let mut best = f64::INFINITY;
+        let steps = 500;
+        for k in 0..=steps {
+            let x = (chip_w - w) * k as f64 / steps as f64;
+            let support = sky
+                .segments()
+                .filter(|&(x0, x1, _)| x0 < x + w - 1e-9 && x1 > x + 1e-9)
+                .map(|(_, _, h)| h)
+                .fold(0.0, f64::max);
+            best = best.min(support);
+        }
+        prop_assert!(y <= best + 1e-6, "drop y = {y} worse than brute force {best}");
+    }
+
+    /// Theorem 1 on supported placements: the covering polygon has at most
+    /// N + 1 horizontal edges; its area equals the skyline area.
+    #[test]
+    fn contour_theorem1_and_area(placed in supported_placement()) {
+        let contour = Contour::from_rects(&placed).expect("non-empty placement");
+        prop_assert!(
+            contour.horizontal_edges() <= placed.len() + 1,
+            "n = {} > N + 1 = {}",
+            contour.horizontal_edges(),
+            placed.len() + 1
+        );
+        let sky_area: f64 = Skyline::from_rects(&placed)
+            .segments()
+            .map(|(x0, x1, h)| (x1 - x0) * h)
+            .sum();
+        prop_assert!((contour.area() - sky_area).abs() < 1e-6 * (1.0 + sky_area));
+        // The contour covers every module (it is the covering polygon).
+        let total: f64 = placed.iter().map(Rect::area).sum();
+        prop_assert!(contour.area() >= total - 1e-6 * (1.0 + total));
+    }
+
+    /// Skyline height at any x equals the max top of rectangles covering x.
+    #[test]
+    fn skyline_matches_pointwise_max(rects in arbitrary_rects(), px in 0.0f64..25.0) {
+        // Rectangles in this strategy all have y >= 0; the skyline measures
+        // height from 0, so compare against tops of covering rects.
+        let sky = Skyline::from_rects(&rects);
+        let expect = rects
+            .iter()
+            .filter(|r| r.x <= px + 1e-9 && px < r.right() - 1e-9)
+            .map(|r| r.top())
+            .fold(0.0, f64::max);
+        let got = sky.height_at(px);
+        prop_assert!((got - expect).abs() < 1e-6,
+            "height_at({px}) = {got}, expected {expect}");
+    }
+}

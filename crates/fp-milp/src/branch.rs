@@ -1,0 +1,381 @@
+//! Branch-and-bound over the integer variables.
+//!
+//! Depth-first search with dive-first child ordering (the child closest to
+//! the LP-relaxation value is explored first), user branch priorities, and
+//! incumbent pruning. Depth-first diving reaches integer-feasible leaves
+//! quickly, which gives the strong upper bounds the big-M non-overlap
+//! disjunctions of the floorplanning formulation need to prune.
+
+use crate::error::SolveError;
+use crate::model::Model;
+use crate::options::SolveOptions;
+use crate::presolve::{presolve, PresolveStatus};
+use crate::simplex::{solve_lp, LpOutcome, LpProblem, SparseRow};
+use crate::solution::{Optimality, Solution, SolveStats};
+use std::time::Instant;
+
+struct Node {
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    depth: usize,
+}
+
+/// Entry point used by [`Model::solve_with`].
+pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, SolveError> {
+    let started = Instant::now();
+    let (c, c_offset) = model.min_objective();
+
+    let rows: Vec<SparseRow> = model
+        .cons
+        .iter()
+        .map(|con| {
+            (
+                con.expr.iter().map(|(v, a)| (v.index(), a)).collect(),
+                con.cmp,
+                con.rhs,
+            )
+        })
+        .collect();
+
+    let base_lb: Vec<f64> = model.vars.iter().map(|d| d.lb).collect();
+    let base_ub: Vec<f64> = model.vars.iter().map(|d| d.ub).collect();
+
+    // Root presolve: tighten bounds, drop redundant rows, or prove
+    // infeasibility outright.
+    let integral: Vec<bool> = model.vars.iter().map(|d| d.kind.is_integral()).collect();
+    let pre = presolve(&rows, base_lb, base_ub, &integral, options.feas_tol);
+    if pre.status == PresolveStatus::Infeasible {
+        return Err(SolveError::Infeasible);
+    }
+    let rows: Vec<SparseRow> = pre.kept_rows.iter().map(|&r| rows[r].clone()).collect();
+    let (base_lb, base_ub) = (pre.lb, pre.ub);
+
+    // Integral columns ordered by descending branch priority (stable).
+    let mut int_cols: Vec<usize> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.kind.is_integral())
+        .map(|(i, _)| i)
+        .collect();
+    int_cols.sort_by_key(|&i| std::cmp::Reverse(model.vars[i].branch_priority));
+
+    let mut stats = SolveStats::default();
+    let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, min-form obj)
+    let mut proven = true;
+
+    let mut stack = vec![Node {
+        lb: base_lb,
+        ub: base_ub,
+        depth: 0,
+    }];
+
+    while let Some(node) = stack.pop() {
+        if stats.nodes >= options.node_limit || started.elapsed() >= options.time_limit {
+            proven = false;
+            break;
+        }
+        stats.nodes += 1;
+
+        let problem = LpProblem {
+            ncols: model.num_vars(),
+            rows: &rows,
+            c: &c,
+            lb: &node.lb,
+            ub: &node.ub,
+        };
+        let outcome = solve_lp(&problem, options.feas_tol, options.opt_tol);
+        let (x, obj) = match outcome {
+            LpOutcome::Optimal { x, obj, iterations } => {
+                stats.simplex_iterations += iterations;
+                (x, obj)
+            }
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => {
+                if node.depth == 0 && int_cols.is_empty() {
+                    return Err(SolveError::Unbounded);
+                }
+                if node.depth == 0 {
+                    // Unbounded relaxation: the MILP is unbounded or
+                    // infeasible; report unbounded, matching solver practice.
+                    return Err(SolveError::Unbounded);
+                }
+                proven = false;
+                continue;
+            }
+            LpOutcome::IterationLimit => {
+                if node.depth == 0 {
+                    return Err(SolveError::IterationLimit);
+                }
+                proven = false;
+                continue;
+            }
+        };
+
+        // Bound pruning against the incumbent (minimization form).
+        if let Some((_, inc_obj)) = &incumbent {
+            if obj >= inc_obj - options.absolute_gap - 1e-9 {
+                continue;
+            }
+        }
+
+        // Find the branching variable: highest priority, then most
+        // fractional.
+        let mut branch_col: Option<(usize, f64, i32, f64)> = None; // (col, val, prio, frac-score)
+        for &j in &int_cols {
+            let v = x[j];
+            let frac = (v - v.round()).abs();
+            if frac <= options.int_tol {
+                continue;
+            }
+            let prio = model.vars[j].branch_priority;
+            let score = 0.5 - (v.fract().abs() - 0.5).abs(); // closeness to .5
+            let better = match branch_col {
+                None => true,
+                Some((_, _, bp, bs)) => prio > bp || (prio == bp && score > bs),
+            };
+            if better {
+                branch_col = Some((j, v, prio, score));
+            }
+        }
+
+        match branch_col {
+            None => {
+                // Integer feasible: snap integers exactly and record.
+                let mut vals = x;
+                for &j in &int_cols {
+                    vals[j] = vals[j].round();
+                }
+                let better = incumbent
+                    .as_ref()
+                    .is_none_or(|(_, inc_obj)| obj < *inc_obj - 1e-9);
+                if better {
+                    incumbent = Some((vals, obj));
+                }
+            }
+            Some((j, v, _, _)) => {
+                let floor = v.floor();
+                let ceil = v.ceil();
+                let mut down = Node {
+                    lb: node.lb.clone(),
+                    ub: node.ub.clone(),
+                    depth: node.depth + 1,
+                };
+                down.ub[j] = floor;
+                let mut up = Node {
+                    lb: node.lb,
+                    ub: node.ub,
+                    depth: node.depth + 1,
+                };
+                up.lb[j] = ceil;
+                // Dive toward the nearer integer: push the preferred child
+                // last so the LIFO stack pops it first.
+                if v - floor <= 0.5 {
+                    stack.push(up);
+                    stack.push(down);
+                } else {
+                    stack.push(down);
+                    stack.push(up);
+                }
+            }
+        }
+    }
+
+    stats.elapsed = started.elapsed();
+
+    match incumbent {
+        Some((values, min_obj)) => {
+            let optimality = if proven {
+                Optimality::Proven
+            } else {
+                Optimality::Limit
+            };
+            Ok(Solution::new(
+                values,
+                model.externalize_obj(min_obj + c_offset),
+                optimality,
+                stats,
+            ))
+        }
+        None => {
+            if proven {
+                Err(SolveError::Infeasible)
+            } else {
+                Err(SolveError::LimitWithoutIncumbent)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Model, Optimality, Sense, SolveError, SolveOptions};
+    use std::time::Duration;
+
+    #[test]
+    fn pure_lp_path() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_ge(x + y, 3.0);
+        m.set_objective(2.0 * x + y);
+        let s = m.solve().unwrap();
+        assert!((s.objective() - 3.0).abs() < 1e-7);
+        assert_eq!(s.optimality(), Optimality::Proven);
+        assert_eq!(s.stats().nodes, 1);
+    }
+
+    #[test]
+    fn knapsack_optimum() {
+        // max 10a + 13b + 7c, 3a + 4b + 2c <= 6 -> b + c = 20.
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_le(3.0 * a + 4.0 * b + 2.0 * c, 6.0);
+        m.set_objective(10.0 * a + 13.0 * b + 7.0 * c);
+        let s = m.solve().unwrap();
+        assert!((s.objective() - 20.0).abs() < 1e-6);
+        assert_eq!(s.rounded(a), 0);
+        assert_eq!(s.rounded(b), 1);
+        assert_eq!(s.rounded(c), 1);
+    }
+
+    #[test]
+    fn integer_rounding_not_lp_rounding() {
+        // Classic: max x, 2x <= 5, x integer -> 2 (LP gives 2.5).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_integer("x", 0.0, 10.0);
+        m.add_le(2.0 * x, 5.0);
+        m.set_objective(LinExprOf(x));
+        let s = m.solve().unwrap();
+        assert_eq!(s.rounded(x), 2);
+    }
+
+    // helper because set_objective takes impl Into<LinExpr>
+    #[allow(non_snake_case)]
+    fn LinExprOf(v: crate::Var) -> crate::LinExpr {
+        v + 0.0
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.add_ge(a + b, 3.0);
+        assert_eq!(m.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_reported() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        m.set_objective(x + 0.0);
+        assert_eq!(m.solve().unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn node_limit_returns_incumbent_or_error() {
+        // Root relaxation is fractional (2Σb <= 3), so one node cannot
+        // complete the search: the limit must bind.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..12).map(|i| m.add_binary(format!("b{i}"))).collect();
+        let total: crate::LinExpr = vars.iter().map(|&v| 2.0 * v).sum();
+        m.add_le(total.clone(), 3.0);
+        m.set_objective(total);
+        let opts = SolveOptions::default().with_node_limit(1);
+        match m.solve_with(&opts) {
+            Ok(s) => assert_eq!(s.optimality(), Optimality::Limit),
+            Err(e) => assert_eq!(e, SolveError::LimitWithoutIncumbent),
+        }
+        // With a generous limit the same model solves to proven optimality.
+        let s = m.solve().unwrap();
+        assert_eq!(s.optimality(), Optimality::Proven);
+        assert!((s.objective() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn time_limit_zero_behaves() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary("a");
+        m.set_objective(a + 0.0);
+        let opts = SolveOptions::default().with_time_limit(Duration::ZERO);
+        assert_eq!(
+            m.solve_with(&opts).unwrap_err(),
+            SolveError::LimitWithoutIncumbent
+        );
+    }
+
+    #[test]
+    fn branch_priority_respected_and_still_optimal() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.set_branch_priority(a, -5);
+        m.set_branch_priority(b, 10);
+        m.add_le(1.0 * a + 1.0 * b, 1.0);
+        m.set_objective(2.0 * a + 3.0 * b);
+        let s = m.solve().unwrap();
+        assert!((s.objective() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constrained_milp() {
+        // min a + 2b + 3c with a + b + c = 2 (binaries) -> a=1, b=1: obj 3.
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_eq(a + b + c, 2.0);
+        m.set_objective(1.0 * a + 2.0 * b + 3.0 * c);
+        let s = m.solve().unwrap();
+        assert!((s.objective() - 3.0).abs() < 1e-6);
+        assert_eq!(s.rounded(c), 0);
+    }
+
+    #[test]
+    fn disjunctive_big_m_interval_placement() {
+        // Two unit intervals on [0, 2] must not overlap: the 1-D core of the
+        // paper's non-overlap constraints, one binary selecting the order.
+        let big = 10.0;
+        let mut m = Model::new(Sense::Minimize);
+        let x1 = m.add_continuous("x1", 0.0, 1.0);
+        let x2 = m.add_continuous("x2", 0.0, 1.0);
+        let p = m.add_binary("p");
+        // x1 + 1 <= x2 + M p   and   x2 + 1 <= x1 + M (1 - p)
+        m.add_le(x1 + 1.0 - x2 - big * p, 0.0);
+        m.add_le(x2 + 1.0 - x1 - big * (1.0 - p), 0.0);
+        // Minimize the right edge: span y >= xi + 1.
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_ge(y - x1, 1.0);
+        m.add_ge(y - x2, 1.0);
+        m.set_objective(y + 0.0);
+        let s = m.solve().unwrap();
+        assert!((s.objective() - 2.0).abs() < 1e-6);
+        let (a, b) = (s.value(x1), s.value(x2));
+        assert!((a - b).abs() >= 1.0 - 1e-6, "intervals overlap: {a} {b}");
+    }
+
+    #[test]
+    fn objective_constant_offset_preserved() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 1.0, 5.0);
+        m.set_objective(x + 100.0);
+        let s = m.solve().unwrap();
+        assert!((s.objective() - 101.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn gap_accepts_near_optimal() {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..8).map(|i| m.add_binary(format!("b{i}"))).collect();
+        let total: crate::LinExpr = vars.iter().map(|&v| 1.0 * v).sum();
+        m.add_le(total.clone(), 4.0);
+        m.set_objective(total);
+        let opts = SolveOptions::default().with_absolute_gap(1.5);
+        let s = m.solve_with(&opts).unwrap();
+        // Within 1.5 of the optimum 4.
+        assert!(s.objective() >= 2.5 - 1e-6);
+    }
+}

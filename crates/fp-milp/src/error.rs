@@ -1,0 +1,59 @@
+//! Solver error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a [`Model::solve`](crate::Model::solve) call can fail to produce a
+/// solution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The constraint system admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// A node, iteration or time limit was reached before any integer-feasible
+    /// incumbent was found. (If an incumbent exists, `solve` returns it with
+    /// [`Optimality::Limit`](crate::Optimality::Limit) instead.)
+    LimitWithoutIncumbent,
+    /// The simplex exceeded its iteration safety cap — typically a sign of a
+    /// badly scaled model.
+    IterationLimit,
+    /// The model is structurally invalid (e.g. a variable with `lb > ub`, or a
+    /// non-finite coefficient). The payload describes the defect.
+    InvalidModel(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "model is infeasible"),
+            SolveError::Unbounded => write!(f, "objective is unbounded"),
+            SolveError::LimitWithoutIncumbent => {
+                write!(f, "search limit reached before any feasible integer solution")
+            }
+            SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            SolveError::InvalidModel(why) => write!(f, "invalid model: {why}"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(SolveError::Infeasible.to_string(), "model is infeasible");
+        assert!(SolveError::InvalidModel("lb > ub".into())
+            .to_string()
+            .contains("lb > ub"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolveError>();
+    }
+}

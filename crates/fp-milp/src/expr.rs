@@ -1,0 +1,340 @@
+//! Linear expressions over model variables.
+
+use crate::var::Var;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A linear expression `Σ aᵢ·xᵢ + c` over model variables.
+///
+/// Expressions are built with ordinary arithmetic operators on [`Var`]s,
+/// `f64`s and other expressions, so constraint code reads like the paper's
+/// inequalities:
+///
+/// ```
+/// use fp_milp::{Model, Sense, LinExpr};
+/// let mut m = Model::new(Sense::Minimize);
+/// let (xi, xj) = (m.add_continuous("xi", 0.0, 100.0), m.add_continuous("xj", 0.0, 100.0));
+/// let pair = m.add_binary("xij");
+/// let (wi, big_w) = (12.0, 100.0);
+/// // Paper system (2): xi + wi <= xj + W * xij
+/// m.add_le(xi + wi - xj - big_w * pair, 0.0);
+/// ```
+///
+/// Duplicate variables are merged; zero coefficients are retained until
+/// [`LinExpr::compact`] or model ingestion.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    /// `(column, coefficient)` pairs, deduplicated, sorted by column.
+    terms: BTreeMap<usize, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The empty expression `0`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An expression holding only a constant.
+    #[must_use]
+    pub fn constant(c: f64) -> Self {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// Adds `coeff * var` to the expression, merging duplicates.
+    pub fn add_term(&mut self, var: Var, coeff: f64) -> &mut Self {
+        *self.terms.entry(var.0).or_insert(0.0) += coeff;
+        self
+    }
+
+    /// Adds a constant offset.
+    pub fn add_constant(&mut self, c: f64) -> &mut Self {
+        self.constant += c;
+        self
+    }
+
+    /// The constant part of the expression.
+    #[must_use]
+    pub fn constant_part(&self) -> f64 {
+        self.constant
+    }
+
+    /// The coefficient of `var` (0 if absent).
+    #[must_use]
+    pub fn coeff(&self, var: Var) -> f64 {
+        self.terms.get(&var.0).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `(var, coefficient)` pairs in column order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, f64)> + '_ {
+        self.terms.iter().map(|(&i, &c)| (Var(i), c))
+    }
+
+    /// Number of stored terms (possibly including zero coefficients).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the expression has no variable terms.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Drops terms whose coefficient is exactly zero.
+    pub fn compact(&mut self) -> &mut Self {
+        self.terms.retain(|_, c| *c != 0.0);
+        self
+    }
+
+    /// Evaluates the expression for a dense assignment indexed by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced column is out of range for `values`.
+    #[must_use]
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(&i, &c)| c * values[i])
+                .sum::<f64>()
+    }
+
+    /// Largest column index referenced, if any.
+    #[must_use]
+    pub(crate) fn max_col(&self) -> Option<usize> {
+        self.terms.keys().next_back().copied()
+    }
+
+    /// Multiplies every coefficient and the constant in place.
+    pub fn scale(&mut self, factor: f64) -> &mut Self {
+        for c in self.terms.values_mut() {
+            *c *= factor;
+        }
+        self.constant *= factor;
+        self
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (&i, &c) in &self.terms {
+            if first {
+                write!(f, "{c} v{i}")?;
+                first = false;
+            } else if c < 0.0 {
+                write!(f, " - {} v{i}", -c)?;
+            } else {
+                write!(f, " + {c} v{i}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant != 0.0 {
+            if self.constant < 0.0 {
+                write!(f, " - {}", -self.constant)?;
+            } else {
+                write!(f, " + {}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<Var> for LinExpr {
+    fn from(v: Var) -> Self {
+        let mut e = LinExpr::new();
+        e.add_term(v, 1.0);
+        e
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant(c)
+    }
+}
+
+// --- operator plumbing -------------------------------------------------
+
+impl AddAssign<LinExpr> for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        for (i, c) in rhs.terms {
+            *self.terms.entry(i).or_insert(0.0) += c;
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl SubAssign<LinExpr> for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        for (i, c) in rhs.terms {
+            *self.terms.entry(i).or_insert(0.0) -= c;
+        }
+        self.constant -= rhs.constant;
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        self.scale(-1.0);
+        self
+    }
+}
+
+impl Neg for Var {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        -LinExpr::from(self)
+    }
+}
+
+macro_rules! impl_add_sub {
+    ($lhs:ty, $rhs:ty) => {
+        impl Add<$rhs> for $lhs {
+            type Output = LinExpr;
+            fn add(self, rhs: $rhs) -> LinExpr {
+                let mut e = LinExpr::from(self);
+                e += LinExpr::from(rhs);
+                e
+            }
+        }
+        impl Sub<$rhs> for $lhs {
+            type Output = LinExpr;
+            fn sub(self, rhs: $rhs) -> LinExpr {
+                let mut e = LinExpr::from(self);
+                e -= LinExpr::from(rhs);
+                e
+            }
+        }
+    };
+}
+
+impl_add_sub!(LinExpr, LinExpr);
+impl_add_sub!(LinExpr, Var);
+impl_add_sub!(LinExpr, f64);
+impl_add_sub!(Var, LinExpr);
+impl_add_sub!(Var, Var);
+impl_add_sub!(Var, f64);
+impl_add_sub!(f64, LinExpr);
+impl_add_sub!(f64, Var);
+
+impl Mul<f64> for Var {
+    type Output = LinExpr;
+    fn mul(self, rhs: f64) -> LinExpr {
+        let mut e = LinExpr::new();
+        e.add_term(self, rhs);
+        e
+    }
+}
+
+impl Mul<Var> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: Var) -> LinExpr {
+        rhs * self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, rhs: f64) -> LinExpr {
+        self.scale(rhs);
+        self
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: LinExpr) -> LinExpr {
+        rhs * self
+    }
+}
+
+impl Sum for LinExpr {
+    fn sum<I: Iterator<Item = LinExpr>>(iter: I) -> LinExpr {
+        let mut acc = LinExpr::new();
+        for e in iter {
+            acc += e;
+        }
+        acc
+    }
+}
+
+impl Sum<Var> for LinExpr {
+    fn sum<I: Iterator<Item = Var>>(iter: I) -> LinExpr {
+        let mut acc = LinExpr::new();
+        for v in iter {
+            acc.add_term(v, 1.0);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn build_and_merge_terms() {
+        let e = v(0) + 2.0 * v(1) + v(0) - 3.0;
+        assert_eq!(e.coeff(v(0)), 2.0);
+        assert_eq!(e.coeff(v(1)), 2.0);
+        assert_eq!(e.constant_part(), -3.0);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn eval_matches_hand_computation() {
+        let e = 3.0 * v(0) - v(2) + 1.5;
+        assert_eq!(e.eval(&[2.0, 9.0, 4.0]), 6.0 - 4.0 + 1.5);
+    }
+
+    #[test]
+    fn neg_and_scale() {
+        let e = -(v(0) + 4.0);
+        assert_eq!(e.coeff(v(0)), -1.0);
+        assert_eq!(e.constant_part(), -4.0);
+        let mut f = LinExpr::from(v(1));
+        f.scale(0.0);
+        f.compact();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn sum_of_vars_and_exprs() {
+        let total: LinExpr = (0..4).map(v).sum();
+        assert_eq!(total.len(), 4);
+        let weighted: LinExpr = (0..3).map(|i| (i as f64) * v(i)).sum();
+        assert_eq!(weighted.coeff(v(2)), 2.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = 2.0 * v(0) - 1.0 * v(3) + 5.0;
+        assert_eq!(e.to_string(), "2 v0 - 1 v3 + 5");
+        assert_eq!(LinExpr::constant(0.0).to_string(), "0");
+    }
+
+    #[test]
+    fn zero_coeff_kept_until_compact() {
+        let mut e = v(0) - v(0);
+        assert_eq!(e.len(), 1);
+        e.compact();
+        assert_eq!(e.len(), 0);
+    }
+}

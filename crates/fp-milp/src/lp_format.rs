@@ -1,0 +1,155 @@
+//! CPLEX-LP-style text export for debugging models.
+//!
+//! The paper's authors inspected their LINDO input decks directly; this
+//! module provides the equivalent escape hatch: dump any [`Model`] to a
+//! human-readable LP file and eyeball the constraint system.
+
+use crate::model::{Cmp, Model, Sense};
+use std::fmt::Write as _;
+
+impl Model {
+    /// Renders the model in CPLEX-LP-like text format.
+    ///
+    /// Variable names are the names given at creation, sanitized (whitespace
+    /// replaced by `_`); anonymous collisions are acceptable since the output
+    /// is diagnostic.
+    ///
+    /// ```
+    /// use fp_milp::{Model, Sense};
+    /// let mut m = Model::new(Sense::Minimize);
+    /// let x = m.add_continuous("x", 0.0, 4.0);
+    /// let b = m.add_binary("sel");
+    /// m.add_le(x + 10.0 * b, 7.0);
+    /// m.set_objective(x + 0.0);
+    /// let text = m.to_lp_string();
+    /// assert!(text.contains("Minimize"));
+    /// assert!(text.contains("sel"));
+    /// assert!(text.contains("Binaries"));
+    /// ```
+    #[must_use]
+    pub fn to_lp_string(&self) -> String {
+        let mut out = String::new();
+        let name = |i: usize| -> String {
+            let raw = &self.vars[i].name;
+            if raw.is_empty() {
+                format!("v{i}")
+            } else {
+                raw.replace(char::is_whitespace, "_")
+            }
+        };
+        let write_terms = |out: &mut String, terms: Vec<(usize, f64)>| {
+            if terms.is_empty() {
+                out.push('0');
+                return;
+            }
+            for (k, (i, c)) in terms.iter().enumerate() {
+                if k == 0 {
+                    let _ = write!(out, "{} {}", c, name(*i));
+                } else if *c < 0.0 {
+                    let _ = write!(out, " - {} {}", -c, name(*i));
+                } else {
+                    let _ = write!(out, " + {} {}", c, name(*i));
+                }
+            }
+        };
+
+        out.push_str(match self.sense() {
+            Sense::Minimize => "Minimize\n obj: ",
+            Sense::Maximize => "Maximize\n obj: ",
+        });
+        write_terms(
+            &mut out,
+            self.objective
+                .iter()
+                .map(|(v, c)| (v.index(), c))
+                .collect(),
+        );
+        out.push_str("\nSubject To\n");
+        for (r, con) in self.cons.iter().enumerate() {
+            let _ = write!(out, " c{r}: ");
+            write_terms(
+                &mut out,
+                con.expr.iter().map(|(v, c)| (v.index(), c)).collect(),
+            );
+            let op = match con.cmp {
+                Cmp::Le => "<=",
+                Cmp::Ge => ">=",
+                Cmp::Eq => "=",
+            };
+            let _ = writeln!(out, " {op} {}", con.rhs);
+        }
+        out.push_str("Bounds\n");
+        for (i, d) in self.vars.iter().enumerate() {
+            let lo = if d.lb.is_finite() {
+                format!("{}", d.lb)
+            } else {
+                "-inf".to_string()
+            };
+            let hi = if d.ub.is_finite() {
+                format!("{}", d.ub)
+            } else {
+                "+inf".to_string()
+            };
+            let _ = writeln!(out, " {lo} <= {} <= {hi}", name(i));
+        }
+        let binaries: Vec<usize> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind == crate::VarKind::Binary)
+            .map(|(i, _)| i)
+            .collect();
+        if !binaries.is_empty() {
+            out.push_str("Binaries\n");
+            for i in binaries {
+                let _ = writeln!(out, " {}", name(i));
+            }
+        }
+        let generals: Vec<usize> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind == crate::VarKind::Integer)
+            .map(|(i, _)| i)
+            .collect();
+        if !generals.is_empty() {
+            out.push_str("Generals\n");
+            for i in generals {
+                let _ = writeln!(out, " {}", name(i));
+            }
+        }
+        out.push_str("End\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Model, Sense};
+
+    #[test]
+    fn full_sections_emitted() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("width x", 0.0, f64::INFINITY);
+        let b = m.add_binary("b");
+        let n = m.add_integer("count", 0.0, 9.0);
+        m.add_ge(x - 2.0 * b + n, 1.0);
+        m.add_eq(x + n, 5.0);
+        m.set_objective(x - n);
+        let s = m.to_lp_string();
+        assert!(s.starts_with("Maximize"));
+        assert!(s.contains("width_x"), "whitespace sanitized: {s}");
+        assert!(s.contains(">= 1"));
+        assert!(s.contains("= 5"));
+        assert!(s.contains("Binaries\n b"));
+        assert!(s.contains("Generals\n count"));
+        assert!(s.contains("+inf"));
+        assert!(s.ends_with("End\n"));
+    }
+
+    #[test]
+    fn empty_objective_renders_zero() {
+        let m = Model::new(Sense::Minimize);
+        assert!(m.to_lp_string().contains("obj: 0"));
+    }
+}

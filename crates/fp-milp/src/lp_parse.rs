@@ -1,0 +1,299 @@
+//! Parsing the CPLEX-LP-style text format back into a [`Model`].
+//!
+//! Together with [`Model::to_lp_string`] this gives a complete round-trip:
+//! dump a floorplanning step MILP to a file, edit it by hand, and re-solve
+//! it — the same debugging workflow the paper's authors had with LINDO
+//! decks.
+
+use crate::error::SolveError;
+use crate::expr::LinExpr;
+use crate::model::{Cmp, Model, Sense};
+use crate::var::{Var, VarKind};
+use std::collections::HashMap;
+
+/// Parses a model from LP-format text (the dialect emitted by
+/// [`Model::to_lp_string`]: `Minimize`/`Maximize`, `Subject To`, `Bounds`,
+/// `Binaries`, `Generals`, `End`).
+///
+/// Variables are created in order of first appearance; bounds default to
+/// `[0, ∞)` as in the LP format convention.
+///
+/// # Errors
+///
+/// [`SolveError::InvalidModel`] describing the first malformed token.
+///
+/// ```
+/// use fp_milp::{Model, Sense, parse_lp};
+/// # fn main() -> Result<(), fp_milp::SolveError> {
+/// let mut m = Model::new(Sense::Maximize);
+/// let x = m.add_continuous("x", 0.0, 4.0);
+/// let b = m.add_binary("b");
+/// m.add_le(x + 10.0 * b, 7.0);
+/// m.set_objective(x + 2.0 * b);
+/// let reparsed = parse_lp(&m.to_lp_string())?;
+/// let (a, b) = (m.solve()?, reparsed.solve()?);
+/// assert!((a.objective() - b.objective()).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_lp(text: &str) -> Result<Model, SolveError> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Section {
+        Objective,
+        Constraints,
+        Bounds,
+        Binaries,
+        Generals,
+        Done,
+    }
+
+    let bad = |why: String| SolveError::InvalidModel(why);
+    let mut sense = None;
+    let mut section = Section::Done;
+    let mut names: HashMap<String, Var> = HashMap::new();
+    let mut objective_text = String::new();
+    let mut constraint_texts: Vec<String> = Vec::new();
+    let mut bounds: Vec<(String, f64, f64)> = Vec::new();
+    let mut binaries: Vec<String> = Vec::new();
+    let mut generals: Vec<String> = Vec::new();
+
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lower = line.to_ascii_lowercase();
+        match lower.as_str() {
+            "minimize" => {
+                sense = Some(Sense::Minimize);
+                section = Section::Objective;
+                continue;
+            }
+            "maximize" => {
+                sense = Some(Sense::Maximize);
+                section = Section::Objective;
+                continue;
+            }
+            "subject to" | "st" | "s.t." => {
+                section = Section::Constraints;
+                continue;
+            }
+            "bounds" => {
+                section = Section::Bounds;
+                continue;
+            }
+            "binaries" | "binary" => {
+                section = Section::Binaries;
+                continue;
+            }
+            "generals" | "general" => {
+                section = Section::Generals;
+                continue;
+            }
+            "end" => {
+                section = Section::Done;
+                continue;
+            }
+            _ => {}
+        }
+        match section {
+            Section::Objective => objective_text.push_str(&strip_label(line)),
+            Section::Constraints => constraint_texts.push(strip_label(line)),
+            Section::Bounds => {
+                // "<lo> <= name <= <hi>" with -inf/+inf allowed.
+                let tokens: Vec<&str> = line.split_whitespace().collect();
+                if tokens.len() == 5 && tokens[1] == "<=" && tokens[3] == "<=" {
+                    let lo = parse_bound(tokens[0]).ok_or_else(|| bad(format!("bad bound {line}")))?;
+                    let hi = parse_bound(tokens[4]).ok_or_else(|| bad(format!("bad bound {line}")))?;
+                    bounds.push((tokens[2].to_string(), lo, hi));
+                } else {
+                    return Err(bad(format!("unsupported bounds line '{line}'")));
+                }
+            }
+            Section::Binaries => binaries.push(line.to_string()),
+            Section::Generals => generals.push(line.to_string()),
+            Section::Done => return Err(bad(format!("unexpected line '{line}' outside sections"))),
+        }
+    }
+
+    let sense = sense.ok_or_else(|| bad("missing Minimize/Maximize header".into()))?;
+    let mut model = Model::new(sense);
+
+    // Create variables in order of first appearance across all sections.
+    let mut ensure_var = |model: &mut Model, names: &mut HashMap<String, Var>, n: &str| -> Var {
+        if let Some(&v) = names.get(n) {
+            v
+        } else {
+            let v = model.add_continuous(n, 0.0, f64::INFINITY);
+            names.insert(n.to_string(), v);
+            v
+        }
+    };
+
+    let objective = parse_expr(&objective_text, &mut model, &mut names, &mut ensure_var)?;
+    model.set_objective(objective);
+
+    for text in &constraint_texts {
+        let (lhs_text, cmp, rhs_text) = split_relation(text)
+            .ok_or_else(|| bad(format!("constraint without relation: '{text}'")))?;
+        let lhs = parse_expr(&lhs_text, &mut model, &mut names, &mut ensure_var)?;
+        let rhs: f64 = rhs_text
+            .trim()
+            .parse()
+            .map_err(|_| bad(format!("bad rhs '{rhs_text}'")))?;
+        model.add_constraint(lhs, cmp, rhs);
+    }
+
+    for (name, lo, hi) in bounds {
+        let v = ensure_var(&mut model, &mut names, &name);
+        model.set_bounds(v, lo, hi);
+    }
+    for name in binaries {
+        let v = ensure_var(&mut model, &mut names, &name);
+        model.set_kind(v, VarKind::Binary); // clamps bounds into [0, 1]
+    }
+    for name in generals {
+        let v = ensure_var(&mut model, &mut names, &name);
+        model.set_kind(v, VarKind::Integer);
+    }
+    Ok(model)
+}
+
+/// Strips a leading "label:" if present.
+fn strip_label(line: &str) -> String {
+    match line.split_once(':') {
+        Some((label, rest)) if !label.contains(char::is_whitespace) => rest.trim().to_string(),
+        _ => line.trim().to_string(),
+    }
+}
+
+fn parse_bound(token: &str) -> Option<f64> {
+    match token {
+        "-inf" | "-infinity" => Some(f64::NEG_INFINITY),
+        "+inf" | "inf" | "+infinity" => Some(f64::INFINITY),
+        other => other.parse().ok(),
+    }
+}
+
+fn split_relation(text: &str) -> Option<(String, Cmp, String)> {
+    for (op, cmp) in [("<=", Cmp::Le), (">=", Cmp::Ge), ("=", Cmp::Eq)] {
+        if let Some(pos) = text.find(op) {
+            return Some((
+                text[..pos].to_string(),
+                cmp,
+                text[pos + op.len()..].to_string(),
+            ));
+        }
+    }
+    None
+}
+
+/// Parses `c1 name1 + c2 name2 - c3 name3 ...` (coefficients optional).
+fn parse_expr(
+    text: &str,
+    model: &mut Model,
+    names: &mut HashMap<String, Var>,
+    ensure_var: &mut impl FnMut(&mut Model, &mut HashMap<String, Var>, &str) -> Var,
+) -> Result<LinExpr, SolveError> {
+    let bad = |why: String| SolveError::InvalidModel(why);
+    let mut expr = LinExpr::new();
+    let mut sign = 1.0;
+    let mut pending: Option<f64> = None;
+    for token in text.split_whitespace() {
+        match token {
+            "+" => {
+                flush(&mut expr, &mut pending, sign);
+                sign = 1.0;
+            }
+            "-" => {
+                flush(&mut expr, &mut pending, sign);
+                sign = -1.0;
+            }
+            t => {
+                if let Ok(value) = t.parse::<f64>() {
+                    if let Some(prev) = pending {
+                        return Err(bad(format!("two numbers in a row: {prev} {value}")));
+                    }
+                    pending = Some(value);
+                } else {
+                    let coeff = sign * pending.take().unwrap_or(1.0);
+                    let v = ensure_var(model, names, t);
+                    expr.add_term(v, coeff);
+                    sign = 1.0;
+                }
+            }
+        }
+    }
+    flush(&mut expr, &mut pending, sign);
+    Ok(expr)
+}
+
+fn flush(expr: &mut LinExpr, pending: &mut Option<f64>, sign: f64) {
+    if let Some(c) = pending.take() {
+        expr.add_constant(sign * c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sense;
+
+    #[test]
+    fn parse_simple_lp() {
+        let text = "Minimize\n obj: 2 x + 3 y\nSubject To\n c0: x + y >= 4\nBounds\n 0 <= x <= 10\n 0 <= y <= 10\nEnd\n";
+        let m = parse_lp(text).unwrap();
+        assert_eq!(m.sense(), Sense::Minimize);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective() - 8.0).abs() < 1e-7); // x = 4, y = 0
+    }
+
+    #[test]
+    fn round_trip_preserves_optimum() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let x = m.add_continuous("x", -2.0, 8.0);
+        let n = m.add_integer("n", 0.0, 5.0);
+        m.add_le(3.0 * a + 2.0 * b + x, 7.0);
+        m.add_ge(x + 1.0 * n, 1.0);
+        m.add_eq(1.0 * a + 1.0 * b, 1.0);
+        m.set_objective(5.0 * a + 4.0 * b + x + 2.0 * n);
+        let original = m.solve().unwrap();
+        let reparsed = parse_lp(&m.to_lp_string()).unwrap();
+        assert_eq!(reparsed.num_vars(), m.num_vars());
+        assert_eq!(reparsed.num_integer_vars(), m.num_integer_vars());
+        let again = reparsed.solve().unwrap();
+        assert!(
+            (original.objective() - again.objective()).abs() < 1e-6,
+            "{} vs {}",
+            original.objective(),
+            again.objective()
+        );
+    }
+
+    #[test]
+    fn infinity_bounds_and_negatives() {
+        let text = "Minimize\n obj: x\nSubject To\n c0: x >= -5\nBounds\n -inf <= x <= +inf\nEnd\n";
+        let m = parse_lp(text).unwrap();
+        let sol = m.solve().unwrap();
+        assert!((sol.value(crate::Var(0)) + 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_lp("nonsense").is_err());
+        assert!(parse_lp("Minimize\n obj: x\nSubject To\n c0: x z\nEnd").is_err());
+        assert!(parse_lp("Minimize\n x\nBounds\n x >= broken\nEnd").is_err());
+    }
+
+    #[test]
+    fn coefficientless_terms() {
+        let text = "Maximize\n obj: x + y\nSubject To\n c: x + y <= 3\nEnd\n";
+        let m = parse_lp(text).unwrap();
+        let sol = m.solve().unwrap();
+        assert!((sol.objective() - 3.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,93 @@
+//! Solver configuration.
+
+use std::time::Duration;
+
+/// Tunable limits and tolerances for [`Model::solve_with`](crate::Model::solve_with).
+///
+/// The defaults are sized for the floorplanner's augmentation subproblems
+/// (tens of binaries, a few hundred constraints). The paper relies on LINDO
+/// returning the optimum of each subproblem; the limits here exist so a
+/// pathological subproblem degrades to "best incumbent found" instead of
+/// hanging, which keeps the successive-augmentation loop linear-time in
+/// practice (Table 1's claim).
+///
+/// ```
+/// let opts = fp_milp::SolveOptions::default().with_node_limit(1_000);
+/// assert_eq!(opts.node_limit, 1_000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOptions {
+    /// Maximum branch-and-bound nodes explored.
+    pub node_limit: usize,
+    /// Wall-clock budget for the whole solve.
+    pub time_limit: Duration,
+    /// Feasibility tolerance for simplex basic values and constraint checks.
+    pub feas_tol: f64,
+    /// Reduced-cost optimality tolerance.
+    pub opt_tol: f64,
+    /// How far from integral a value may be and still count as integral.
+    pub int_tol: f64,
+    /// Accept any incumbent whose objective is within this absolute gap of
+    /// the best bound and stop early. `0.0` demands a proven optimum.
+    pub absolute_gap: f64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            node_limit: 200_000,
+            time_limit: Duration::from_secs(120),
+            feas_tol: 1e-7,
+            opt_tol: 1e-9,
+            int_tol: 1e-6,
+            absolute_gap: 0.0,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Returns options with the given node limit.
+    #[must_use]
+    pub fn with_node_limit(mut self, nodes: usize) -> Self {
+        self.node_limit = nodes;
+        self
+    }
+
+    /// Returns options with the given time limit.
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = limit;
+        self
+    }
+
+    /// Returns options accepting incumbents within `gap` of the best bound.
+    #[must_use]
+    pub fn with_absolute_gap(mut self, gap: f64) -> Self {
+        self.absolute_gap = gap;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let o = SolveOptions::default()
+            .with_node_limit(5)
+            .with_time_limit(Duration::from_millis(10))
+            .with_absolute_gap(0.5);
+        assert_eq!(o.node_limit, 5);
+        assert_eq!(o.time_limit, Duration::from_millis(10));
+        assert_eq!(o.absolute_gap, 0.5);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = SolveOptions::default();
+        assert!(o.feas_tol > 0.0 && o.feas_tol < 1e-3);
+        assert!(o.int_tol >= o.feas_tol / 10.0);
+        assert!(o.node_limit > 1_000);
+    }
+}

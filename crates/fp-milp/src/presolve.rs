@@ -1,0 +1,360 @@
+//! Root presolve: bound tightening and redundant-row elimination.
+//!
+//! Run once before branch-and-bound. Three classic, safe reductions:
+//!
+//! 1. **Singleton rows** (`a·x ⋄ b` with one term) become variable bounds
+//!    and are dropped.
+//! 2. **Activity bounds**: a row whose worst-case activity already
+//!    satisfies it is redundant and dropped; one whose best-case activity
+//!    violates it proves infeasibility.
+//! 3. **Implied bounds**: each variable's bound is tightened against every
+//!    row's residual activity; integral variables then round their bounds
+//!    inward.
+//!
+//! Passes repeat until a fixpoint (capped), since each tightening can
+//! enable more.
+
+use crate::model::Cmp;
+use crate::simplex::SparseRow;
+
+/// Outcome of presolving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum PresolveStatus {
+    /// Continue with the reduced problem.
+    Reduced,
+    /// The constraint system is infeasible.
+    Infeasible,
+}
+
+/// Result: tightened bounds plus the subset of rows still needed.
+#[derive(Debug, Clone)]
+pub(crate) struct Presolved {
+    pub status: PresolveStatus,
+    /// Indices into the original row set that must be kept.
+    pub kept_rows: Vec<usize>,
+    pub lb: Vec<f64>,
+    pub ub: Vec<f64>,
+}
+
+const MAX_PASSES: usize = 4;
+
+/// Presolves the system. `integral[j]` marks variables whose bounds may be
+/// rounded inward.
+pub(crate) fn presolve(
+    rows: &[SparseRow],
+    mut lb: Vec<f64>,
+    mut ub: Vec<f64>,
+    integral: &[bool],
+    feas_tol: f64,
+) -> Presolved {
+    let mut alive: Vec<bool> = rows
+        .iter()
+        .map(|(terms, _, _)| !terms.is_empty())
+        .collect();
+
+    // Empty rows are pure feasibility checks.
+    for (terms, cmp, rhs) in rows {
+        if terms.is_empty() {
+            let ok = match cmp {
+                Cmp::Le => 0.0 <= rhs + feas_tol,
+                Cmp::Ge => 0.0 >= rhs - feas_tol,
+                Cmp::Eq => rhs.abs() <= feas_tol,
+            };
+            if !ok {
+                return infeasible(lb, ub);
+            }
+        }
+    }
+
+    for _ in 0..MAX_PASSES {
+        let mut changed = false;
+
+        for (r, (terms, cmp, rhs)) in rows.iter().enumerate() {
+            if !alive[r] {
+                continue;
+            }
+
+            // Singleton rows fold into bounds and die.
+            if terms.len() == 1 {
+                let (j, a) = terms[0];
+                if a.abs() > 1e-12 {
+                    let v = rhs / a;
+                    let (new_lb, new_ub) = match (cmp, a > 0.0) {
+                        (Cmp::Le, true) | (Cmp::Ge, false) => (f64::NEG_INFINITY, v),
+                        (Cmp::Le, false) | (Cmp::Ge, true) => (v, f64::INFINITY),
+                        (Cmp::Eq, _) => (v, v),
+                    };
+                    if new_lb > lb[j] + 1e-12 {
+                        lb[j] = new_lb;
+                        changed = true;
+                    }
+                    if new_ub < ub[j] - 1e-12 {
+                        ub[j] = new_ub;
+                        changed = true;
+                    }
+                    alive[r] = false;
+                    continue;
+                }
+            }
+
+            // Activity bounds.
+            let mut min_act = 0.0_f64;
+            let mut max_act = 0.0_f64;
+            let mut finite = true;
+            for &(j, a) in terms {
+                let (lo, hi) = if a >= 0.0 {
+                    (a * lb[j], a * ub[j])
+                } else {
+                    (a * ub[j], a * lb[j])
+                };
+                min_act += lo;
+                max_act += hi;
+                if !lo.is_finite() || !hi.is_finite() {
+                    finite = false;
+                }
+            }
+
+            match cmp {
+                Cmp::Le => {
+                    if (finite || min_act.is_finite())
+                        && min_act > rhs + feas_tol.max(1e-9) * (1.0 + rhs.abs())
+                    {
+                        return infeasible(lb, ub);
+                    }
+                    if max_act.is_finite() && max_act <= rhs + 1e-12 {
+                        alive[r] = false; // redundant
+                        changed = true;
+                        continue;
+                    }
+                    // Implied bounds: a_j x_j <= rhs - (min_act - own min).
+                    if min_act.is_finite() {
+                        for &(j, a) in terms {
+                            let own_min = if a >= 0.0 { a * lb[j] } else { a * ub[j] };
+                            let slack = rhs - (min_act - own_min);
+                            if a > 1e-12 {
+                                let implied = slack / a;
+                                if implied < ub[j] - 1e-9 {
+                                    ub[j] = implied;
+                                    changed = true;
+                                }
+                            } else if a < -1e-12 {
+                                let implied = slack / a;
+                                if implied > lb[j] + 1e-9 {
+                                    lb[j] = implied;
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                Cmp::Ge => {
+                    if max_act.is_finite()
+                        && max_act < rhs - feas_tol.max(1e-9) * (1.0 + rhs.abs())
+                    {
+                        return infeasible(lb, ub);
+                    }
+                    if min_act.is_finite() && min_act >= rhs - 1e-12 {
+                        alive[r] = false;
+                        changed = true;
+                        continue;
+                    }
+                    if max_act.is_finite() {
+                        for &(j, a) in terms {
+                            let own_max = if a >= 0.0 { a * ub[j] } else { a * lb[j] };
+                            let slack = rhs - (max_act - own_max);
+                            if a > 1e-12 {
+                                let implied = slack / a;
+                                if implied > lb[j] + 1e-9 {
+                                    lb[j] = implied;
+                                    changed = true;
+                                }
+                            } else if a < -1e-12 {
+                                let implied = slack / a;
+                                if implied < ub[j] - 1e-9 {
+                                    ub[j] = implied;
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                Cmp::Eq => {
+                    // Treat as both <= and >= for feasibility only (bound
+                    // tightening through equalities is left to the LP).
+                    if min_act.is_finite() && min_act > rhs + feas_tol * (1.0 + rhs.abs()) {
+                        return infeasible(lb, ub);
+                    }
+                    if max_act.is_finite() && max_act < rhs - feas_tol * (1.0 + rhs.abs()) {
+                        return infeasible(lb, ub);
+                    }
+                }
+            }
+        }
+
+        // Integral rounding + bound sanity.
+        for j in 0..lb.len() {
+            if integral[j] {
+                let rl = lb[j].ceil();
+                let ru = ub[j].floor();
+                if rl > lb[j] + 1e-9 {
+                    // Guard against float fuzz pushing past a true integer.
+                    lb[j] = if (lb[j] - lb[j].round()).abs() <= 1e-9 {
+                        lb[j].round()
+                    } else {
+                        rl
+                    };
+                    changed = true;
+                }
+                if ru < ub[j] - 1e-9 {
+                    ub[j] = if (ub[j] - ub[j].round()).abs() <= 1e-9 {
+                        ub[j].round()
+                    } else {
+                        ru
+                    };
+                    changed = true;
+                }
+            }
+            if lb[j] > ub[j] + feas_tol {
+                return infeasible(lb, ub);
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    Presolved {
+        status: PresolveStatus::Reduced,
+        kept_rows: alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(r, _)| r)
+            .collect(),
+        lb,
+        ub,
+    }
+}
+
+fn infeasible(lb: Vec<f64>, ub: Vec<f64>) -> Presolved {
+    Presolved {
+        status: PresolveStatus::Infeasible,
+        kept_rows: Vec::new(),
+        lb,
+        ub,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(terms: Vec<(usize, f64)>, rhs: f64) -> SparseRow {
+        (terms, Cmp::Le, rhs)
+    }
+    fn ge(terms: Vec<(usize, f64)>, rhs: f64) -> SparseRow {
+        (terms, Cmp::Ge, rhs)
+    }
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        let rows = vec![le(vec![(0, 2.0)], 10.0), ge(vec![(1, 1.0)], 3.0)];
+        let p = presolve(&rows, vec![0.0, 0.0], vec![100.0, 100.0], &[false, false], 1e-7);
+        assert_eq!(p.status, PresolveStatus::Reduced);
+        assert!(p.kept_rows.is_empty());
+        assert_eq!(p.ub[0], 5.0);
+        assert_eq!(p.lb[1], 3.0);
+    }
+
+    #[test]
+    fn redundant_rows_dropped() {
+        // x + y <= 100 with x,y in [0,10] can never bind.
+        let rows = vec![le(vec![(0, 1.0), (1, 1.0)], 100.0)];
+        let p = presolve(&rows, vec![0.0; 2], vec![10.0; 2], &[false; 2], 1e-7);
+        assert!(p.kept_rows.is_empty());
+    }
+
+    #[test]
+    fn infeasibility_detected() {
+        // x + y >= 50 with x,y in [0,10].
+        let rows = vec![ge(vec![(0, 1.0), (1, 1.0)], 50.0)];
+        let p = presolve(&rows, vec![0.0; 2], vec![10.0; 2], &[false; 2], 1e-7);
+        assert_eq!(p.status, PresolveStatus::Infeasible);
+        // Crossed bounds after singleton folding also infeasible.
+        let rows = vec![le(vec![(0, 1.0)], 1.0), ge(vec![(0, 1.0)], 2.0)];
+        let p = presolve(&rows, vec![0.0], vec![10.0], &[false], 1e-7);
+        assert_eq!(p.status, PresolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn implied_bounds_tighten() {
+        // 2x + y <= 10, y >= 0 => x <= 5; y <= 10.
+        let rows = vec![le(vec![(0, 2.0), (1, 1.0)], 10.0)];
+        let p = presolve(
+            &rows,
+            vec![0.0, 0.0],
+            vec![f64::INFINITY, f64::INFINITY],
+            &[false, false],
+            1e-7,
+        );
+        assert_eq!(p.status, PresolveStatus::Reduced);
+        assert!((p.ub[0] - 5.0).abs() < 1e-9);
+        assert!((p.ub[1] - 10.0).abs() < 1e-9);
+        // Row stays (it can still bind).
+        assert_eq!(p.kept_rows, vec![0]);
+    }
+
+    #[test]
+    fn integral_bounds_round_inward() {
+        // 2x <= 5 with x integer -> x <= 2.
+        let rows = vec![le(vec![(0, 2.0)], 5.0)];
+        let p = presolve(&rows, vec![0.0], vec![10.0], &[true], 1e-7);
+        assert_eq!(p.ub[0], 2.0);
+    }
+
+    #[test]
+    fn ge_implied_bounds() {
+        // x + y >= 8 with y <= 3 implies x >= 5.
+        let rows = vec![ge(vec![(0, 1.0), (1, 1.0)], 8.0)];
+        let p = presolve(&rows, vec![0.0, 0.0], vec![10.0, 3.0], &[false; 2], 1e-7);
+        assert!((p.lb[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_row_feasibility() {
+        let rows = vec![(vec![], Cmp::Le, -1.0)];
+        let p = presolve(&rows, vec![], vec![], &[], 1e-7);
+        assert_eq!(p.status, PresolveStatus::Infeasible);
+        let rows = vec![(vec![], Cmp::Le, 1.0)];
+        let p = presolve(&rows, vec![], vec![], &[], 1e-7);
+        assert_eq!(p.status, PresolveStatus::Reduced);
+    }
+
+    #[test]
+    fn negative_coefficients() {
+        // -x <= -4  =>  x >= 4 (singleton with negative coefficient).
+        let rows = vec![le(vec![(0, -1.0)], -4.0)];
+        let p = presolve(&rows, vec![0.0], vec![10.0], &[false], 1e-7);
+        assert_eq!(p.lb[0], 4.0);
+        assert!(p.kept_rows.is_empty());
+    }
+
+    #[test]
+    fn chained_tightening_across_passes() {
+        // x <= 3 (singleton), then y <= x implies y <= 3 on the next pass.
+        let rows = vec![
+            le(vec![(0, 1.0)], 3.0),
+            le(vec![(1, 1.0), (0, -1.0)], 0.0),
+        ];
+        let p = presolve(
+            &rows,
+            vec![0.0, 0.0],
+            vec![100.0, 100.0],
+            &[false, false],
+            1e-7,
+        );
+        assert!((p.ub[0] - 3.0).abs() < 1e-9);
+        assert!((p.ub[1] - 3.0).abs() < 1e-9);
+    }
+}

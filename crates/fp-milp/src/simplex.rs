@@ -1,0 +1,690 @@
+//! Two-phase, bounded-variable primal simplex on a dense tableau.
+//!
+//! This is the LP engine underneath branch-and-bound. It handles general
+//! variable bounds (including free and fixed variables) without expanding
+//! them into rows, which matters because every 0-1 variable of the
+//! floorplanning MILP would otherwise add a row.
+//!
+//! Method: all rows are converted to equalities with one slack column each
+//! (`<=` gets a slack in `[0, ∞)`, `>=` in `(-∞, 0]`, `==` in `[0, 0]`).
+//! Phase 1 adds one artificial column per row, signed so the artificial
+//! starts basic and non-negative, and minimizes the sum of artificials.
+//! Phase 2 fixes the artificials to zero and optimizes the true objective.
+//! Dantzig pricing with a permanent switch to Bland's rule after a stall
+//! threshold guards against cycling.
+
+use crate::model::Cmp;
+
+/// One sparse constraint row: `(terms, comparison, rhs)`.
+pub(crate) type SparseRow = (Vec<(usize, f64)>, Cmp, f64);
+
+/// A bound-constrained LP in minimization form:
+/// `min c·x` subject to `row·x (cmp) rhs` for each row and `lb <= x <= ub`.
+///
+/// Rows and costs are borrowed so branch-and-bound nodes share them; only
+/// the bound vectors differ per node.
+#[derive(Debug, Clone)]
+pub(crate) struct LpProblem<'a> {
+    pub ncols: usize,
+    /// Sparse rows: `(terms, cmp, rhs)`.
+    pub rows: &'a [SparseRow],
+    pub c: &'a [f64],
+    pub lb: &'a [f64],
+    pub ub: &'a [f64],
+}
+
+/// Result of a relaxation solve.
+#[derive(Debug, Clone)]
+pub(crate) enum LpOutcome {
+    /// Optimal basic solution: structural values and objective.
+    Optimal {
+        x: Vec<f64>,
+        obj: f64,
+        iterations: usize,
+    },
+    Infeasible,
+    Unbounded,
+    /// Safety cap hit; the model is probably badly scaled.
+    IterationLimit,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColStatus {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+    /// Free variable currently parked at zero.
+    FreeAtZero,
+}
+
+struct Tableau {
+    m: usize,
+    /// Total columns: structural + slacks + artificials.
+    n: usize,
+    /// Row-major dense `m x n` tableau, kept equal to `B⁻¹·A`.
+    t: Vec<f64>,
+    /// Reduced costs for the current phase's cost vector.
+    d: Vec<f64>,
+    /// Values of the basic variables, one per row.
+    xb: Vec<f64>,
+    /// Basic column per row.
+    basis: Vec<usize>,
+    status: Vec<ColStatus>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    opt_tol: f64,
+    iterations: usize,
+    bland: bool,
+}
+
+const PIVOT_TOL: f64 = 1e-9;
+
+enum StepOutcome {
+    Optimal,
+    Unbounded,
+    Pivoted,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.t[i * self.n + j]
+    }
+
+    /// Current (non-basic or parked) value of column `j`.
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            ColStatus::AtLower => self.lb[j],
+            ColStatus::AtUpper => self.ub[j],
+            ColStatus::FreeAtZero => 0.0,
+            ColStatus::Basic(r) => self.xb[r],
+        }
+    }
+
+    /// One simplex iteration: price, ratio test, pivot or bound flip.
+    fn step(&mut self) -> StepOutcome {
+        // --- pricing: pick the entering column -------------------------
+        let mut enter: Option<(usize, i8, f64)> = None; // (col, dir, score)
+        for j in 0..self.n {
+            let (eligible, dir) = match self.status[j] {
+                ColStatus::Basic(_) => (false, 0i8),
+                ColStatus::AtLower => (self.d[j] < -self.opt_tol, 1),
+                ColStatus::AtUpper => (self.d[j] > self.opt_tol, -1),
+                ColStatus::FreeAtZero => (
+                    self.d[j].abs() > self.opt_tol,
+                    if self.d[j] < 0.0 { 1 } else { -1 },
+                ),
+            };
+            if !eligible {
+                continue;
+            }
+            if self.bland {
+                enter = Some((j, dir, 0.0));
+                break;
+            }
+            let score = self.d[j].abs();
+            if enter.is_none_or(|(_, _, s)| score > s) {
+                enter = Some((j, dir, score));
+            }
+        }
+        let Some((q, dir, _)) = enter else {
+            return StepOutcome::Optimal;
+        };
+        let dir = f64::from(dir);
+
+        // --- ratio test ------------------------------------------------
+        // The entering variable moves by t >= 0 in direction `dir`; each
+        // basic variable changes by -dir * t * T[i][q].
+        let own_limit = if self.lb[q].is_finite() && self.ub[q].is_finite() {
+            self.ub[q] - self.lb[q]
+        } else {
+            f64::INFINITY
+        };
+        let mut t_best = own_limit;
+        let mut leave: Option<(usize, bool)> = None; // (row, hits_upper)
+        for i in 0..self.m {
+            let alpha = dir * self.at(i, q);
+            let bi = self.basis[i];
+            let (limit, hits_upper) = if alpha > PIVOT_TOL {
+                if self.lb[bi].is_finite() {
+                    ((self.xb[i] - self.lb[bi]) / alpha, false)
+                } else {
+                    continue;
+                }
+            } else if alpha < -PIVOT_TOL {
+                if self.ub[bi].is_finite() {
+                    ((self.ub[bi] - self.xb[i]) / (-alpha), true)
+                } else {
+                    continue;
+                }
+            } else {
+                continue;
+            };
+            let limit = limit.max(0.0); // degenerate steps clamp to zero
+            let better = match leave {
+                None => limit < t_best - PIVOT_TOL || (t_best.is_infinite() && limit.is_finite()),
+                Some((r, _)) => {
+                    limit < t_best - PIVOT_TOL
+                        // stability tie-break: larger pivot magnitude
+                        || (limit < t_best + PIVOT_TOL
+                            && self.at(i, q).abs() > self.at(r, q).abs())
+                }
+            };
+            if better {
+                t_best = limit;
+                leave = Some((i, hits_upper));
+            }
+        }
+
+        if t_best.is_infinite() {
+            return StepOutcome::Unbounded;
+        }
+
+        self.iterations += 1;
+        let v_q = self.nonbasic_value(q);
+
+        match leave {
+            // Bound flip: entering variable runs to its opposite bound.
+            None => {
+                for i in 0..self.m {
+                    self.xb[i] -= dir * t_best * self.at(i, q);
+                }
+                self.status[q] = if dir > 0.0 {
+                    ColStatus::AtUpper
+                } else {
+                    ColStatus::AtLower
+                };
+            }
+            Some((r, hits_upper)) => {
+                for i in 0..self.m {
+                    self.xb[i] -= dir * t_best * self.at(i, q);
+                }
+                let old = self.basis[r];
+                // Snap the leaving variable exactly onto the bound it hit.
+                self.status[old] = if hits_upper {
+                    self.xb[r] = self.ub[old];
+                    ColStatus::AtUpper
+                } else {
+                    self.xb[r] = self.lb[old];
+                    ColStatus::AtLower
+                };
+                let entering_value = v_q + dir * t_best;
+                self.pivot(r, q);
+                self.basis[r] = q;
+                self.status[q] = ColStatus::Basic(r);
+                self.xb[r] = entering_value;
+            }
+        }
+        StepOutcome::Pivoted
+    }
+
+    /// Gaussian elimination so column `q` becomes the `r`-th unit vector;
+    /// also updates the reduced-cost row.
+    fn pivot(&mut self, r: usize, q: usize) {
+        let n = self.n;
+        let piv = self.t[r * n + q];
+        debug_assert!(piv.abs() > PIVOT_TOL, "pivot too small: {piv}");
+        let inv = 1.0 / piv;
+        for j in 0..n {
+            self.t[r * n + j] *= inv;
+        }
+        self.t[r * n + q] = 1.0; // exact
+        for i in 0..self.m {
+            if i == r {
+                continue;
+            }
+            let factor = self.t[i * n + q];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                self.t[i * n + j] -= factor * self.t[r * n + j];
+            }
+            self.t[i * n + q] = 0.0; // exact
+        }
+        let dq = self.d[q];
+        if dq != 0.0 {
+            for j in 0..n {
+                self.d[j] -= dq * self.t[r * n + j];
+            }
+            self.d[q] = 0.0;
+        }
+    }
+
+    /// Runs simplex iterations until optimal / unbounded / capped.
+    fn optimize(&mut self, max_iters: usize) -> Option<StepOutcome> {
+        let stall_switch = 3 * (self.m + self.n) + 200;
+        let start = self.iterations;
+        loop {
+            if self.iterations - start > stall_switch {
+                self.bland = true;
+            }
+            if self.iterations > max_iters {
+                return None;
+            }
+            match self.step() {
+                StepOutcome::Pivoted => continue,
+                other => return Some(other),
+            }
+        }
+    }
+
+    /// Recomputes reduced costs `d = c - c_B·T` for a new cost vector.
+    fn reprice(&mut self, c: &[f64]) {
+        self.d.copy_from_slice(c);
+        for i in 0..self.m {
+            let cb = c[self.basis[i]];
+            if cb == 0.0 {
+                continue;
+            }
+            for j in 0..self.n {
+                self.d[j] -= cb * self.t[i * self.n + j];
+            }
+        }
+        for i in 0..self.m {
+            self.d[self.basis[i]] = 0.0;
+        }
+    }
+}
+
+/// Solves the LP. `feas_tol` gates phase-1 acceptance, `opt_tol` the pricing.
+pub(crate) fn solve_lp(p: &LpProblem<'_>, feas_tol: f64, opt_tol: f64) -> LpOutcome {
+    let m = p.rows.len();
+    let n_struct = p.ncols;
+    let n_slack = m;
+    let n = n_struct + n_slack + m; // + artificials
+
+    // Dense tableau of the original system (B = signed identity on
+    // artificials initially, folded in below).
+    let mut t = vec![0.0; m * n];
+    let mut lb = Vec::with_capacity(n);
+    let mut ub = Vec::with_capacity(n);
+    lb.extend_from_slice(p.lb);
+    ub.extend_from_slice(p.ub);
+    for (_, cmp, _) in p.rows {
+        match cmp {
+            Cmp::Le => {
+                lb.push(0.0);
+                ub.push(f64::INFINITY);
+            }
+            Cmp::Ge => {
+                lb.push(f64::NEG_INFINITY);
+                ub.push(0.0);
+            }
+            Cmp::Eq => {
+                lb.push(0.0);
+                ub.push(0.0);
+            }
+        }
+    }
+    lb.resize(n, 0.0);
+    ub.resize(n, f64::INFINITY);
+
+    let mut status = Vec::with_capacity(n);
+    for j in 0..n_struct + n_slack {
+        status.push(if lb[j].is_finite() {
+            ColStatus::AtLower
+        } else if ub[j].is_finite() {
+            ColStatus::AtUpper
+        } else {
+            ColStatus::FreeAtZero
+        });
+    }
+    status.resize(n, ColStatus::AtLower);
+
+    // Row data and initial residuals r_i = b_i - A_i · x_N.
+    let mut basis = Vec::with_capacity(m);
+    let mut xb = Vec::with_capacity(m);
+    for (i, (terms, _, rhs)) in p.rows.iter().enumerate() {
+        let mut residual = *rhs;
+        for &(j, a) in terms {
+            t[i * n + j] = a;
+            let xj = match status[j] {
+                ColStatus::AtLower => lb[j],
+                ColStatus::AtUpper => ub[j],
+                _ => 0.0,
+            };
+            residual -= a * xj;
+        }
+        // slack column
+        let sj = n_struct + i;
+        t[i * n + sj] = 1.0;
+        let s_val = match status[sj] {
+            ColStatus::AtLower => lb[sj],
+            ColStatus::AtUpper => ub[sj],
+            _ => 0.0,
+        };
+        residual -= s_val;
+        // artificial column, signed so it starts basic and >= 0
+        let aj = n_struct + n_slack + i;
+        let sign = if residual >= 0.0 { 1.0 } else { -1.0 };
+        t[i * n + aj] = sign;
+        // Fold B⁻¹ = diag(sign) into the tableau row immediately.
+        if sign < 0.0 {
+            for j in 0..n {
+                t[i * n + j] = -t[i * n + j];
+            }
+        }
+        basis.push(aj);
+        status[aj] = ColStatus::Basic(i);
+        xb.push(residual.abs());
+    }
+
+    let mut tab = Tableau {
+        m,
+        n,
+        t,
+        d: vec![0.0; n],
+        xb,
+        basis,
+        status,
+        lb,
+        ub,
+        opt_tol,
+        iterations: 0,
+        bland: false,
+    };
+
+    let max_iters = 60 * (m + n) + 5_000;
+
+    // --- Phase 1: minimize the sum of artificials ----------------------
+    let mut c1 = vec![0.0; n];
+    c1[n_struct + n_slack..n].fill(1.0);
+    tab.reprice(&c1);
+    match tab.optimize(max_iters) {
+        None => return LpOutcome::IterationLimit,
+        Some(StepOutcome::Unbounded) => {
+            // Phase-1 objective is bounded below by 0; unboundedness here is
+            // numerical nonsense worth flagging loudly in debug builds.
+            debug_assert!(false, "phase 1 reported unbounded");
+            return LpOutcome::IterationLimit;
+        }
+        Some(_) => {}
+    }
+    let phase1_obj: f64 = (0..m)
+        .filter(|&i| tab.basis[i] >= n_struct + n_slack)
+        .map(|i| tab.xb[i])
+        .sum();
+    if phase1_obj > feas_tol.max(1e-7) * (1.0 + phase1_obj.abs()) && phase1_obj > 1e-6 {
+        return LpOutcome::Infeasible;
+    }
+
+    // Fix artificials at zero so they can never re-enter or grow.
+    for j in n_struct + n_slack..n {
+        tab.lb[j] = 0.0;
+        tab.ub[j] = 0.0;
+        if let ColStatus::Basic(r) = tab.status[j] {
+            // Snap tiny residuals to exactly zero.
+            if tab.xb[r].abs() <= 1e-6 {
+                tab.xb[r] = 0.0;
+            }
+        } else {
+            tab.status[j] = ColStatus::AtLower;
+        }
+    }
+
+    // --- Phase 2: the real objective -----------------------------------
+    let mut c2 = vec![0.0; n];
+    c2[..n_struct].copy_from_slice(p.c);
+    tab.reprice(&c2);
+    tab.bland = false;
+    match tab.optimize(max_iters) {
+        None => LpOutcome::IterationLimit,
+        Some(StepOutcome::Unbounded) => LpOutcome::Unbounded,
+        Some(_) => {
+            let mut x = vec![0.0; n_struct];
+            for (j, xv) in x.iter_mut().enumerate() {
+                *xv = tab.nonbasic_value(j);
+            }
+            let obj = p.c.iter().zip(&x).map(|(c, v)| c * v).sum();
+            LpOutcome::Optimal {
+                x,
+                obj,
+                iterations: tab.iterations,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Owned problem data for tests; `LpProblem` itself borrows.
+    struct Owned {
+        ncols: usize,
+        rows: Vec<SparseRow>,
+        c: Vec<f64>,
+        lb: Vec<f64>,
+        ub: Vec<f64>,
+    }
+
+    impl Owned {
+        fn as_problem(&self) -> LpProblem<'_> {
+            LpProblem {
+                ncols: self.ncols,
+                rows: &self.rows,
+                c: &self.c,
+                lb: &self.lb,
+                ub: &self.ub,
+            }
+        }
+    }
+
+    fn le(terms: Vec<(usize, f64)>, rhs: f64) -> (Vec<(usize, f64)>, Cmp, f64) {
+        (terms, Cmp::Le, rhs)
+    }
+    fn ge(terms: Vec<(usize, f64)>, rhs: f64) -> (Vec<(usize, f64)>, Cmp, f64) {
+        (terms, Cmp::Ge, rhs)
+    }
+    fn eq(terms: Vec<(usize, f64)>, rhs: f64) -> (Vec<(usize, f64)>, Cmp, f64) {
+        (terms, Cmp::Eq, rhs)
+    }
+
+    fn solve(p: &Owned) -> LpOutcome {
+        solve_lp(&p.as_problem(), 1e-7, 1e-9)
+    }
+
+    fn optimal(p: &Owned) -> (Vec<f64>, f64) {
+        match solve(p) {
+            LpOutcome::Optimal { x, obj, .. } => (x, obj),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_max_as_min() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 => x=4, y=0, obj 12.
+        let p = Owned {
+            ncols: 2,
+            rows: vec![
+                le(vec![(0, 1.0), (1, 1.0)], 4.0),
+                le(vec![(0, 1.0), (1, 3.0)], 6.0),
+            ],
+            c: vec![-3.0, -2.0],
+            lb: vec![0.0, 0.0],
+            ub: vec![f64::INFINITY, f64::INFINITY],
+        };
+        let (x, obj) = optimal(&p);
+        assert!((obj + 12.0).abs() < 1e-7);
+        assert!((x[0] - 4.0).abs() < 1e-7);
+        assert!(x[1].abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_and_ge_rows() {
+        // min x + y s.t. x + y = 10, x >= 3, y >= 2 -> obj 10.
+        let p = Owned {
+            ncols: 2,
+            rows: vec![
+                eq(vec![(0, 1.0), (1, 1.0)], 10.0),
+                ge(vec![(0, 1.0)], 3.0),
+                ge(vec![(1, 1.0)], 2.0),
+            ],
+            c: vec![1.0, 1.0],
+            lb: vec![0.0, 0.0],
+            ub: vec![f64::INFINITY, f64::INFINITY],
+        };
+        let (x, obj) = optimal(&p);
+        assert!((obj - 10.0).abs() < 1e-7);
+        assert!((x[0] + x[1] - 10.0).abs() < 1e-7);
+        assert!(x[0] >= 3.0 - 1e-7 && x[1] >= 2.0 - 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let p = Owned {
+            ncols: 1,
+            rows: vec![ge(vec![(0, 1.0)], 5.0), le(vec![(0, 1.0)], 3.0)],
+            c: vec![0.0],
+            lb: vec![0.0],
+            ub: vec![f64::INFINITY],
+        };
+        assert!(matches!(solve(&p), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let p = Owned {
+            ncols: 1,
+            rows: vec![ge(vec![(0, 1.0)], 1.0)],
+            c: vec![-1.0],
+            lb: vec![0.0],
+            ub: vec![f64::INFINITY],
+        };
+        assert!(matches!(solve(&p), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn bounds_without_rows() {
+        // min -x with x in [0, 7]: a pure bound-flip solve, no pivots needed.
+        let p = Owned {
+            ncols: 1,
+            rows: vec![],
+            c: vec![-1.0],
+            lb: vec![0.0],
+            ub: vec![7.0],
+        };
+        let (x, obj) = optimal(&p);
+        assert_eq!(x[0], 7.0);
+        assert!((obj + 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_bounded_vars_via_bound_flips() {
+        // max x + y, x <= 2, y <= 3 as bounds, x + y <= 4 as a row.
+        let p = Owned {
+            ncols: 2,
+            rows: vec![le(vec![(0, 1.0), (1, 1.0)], 4.0)],
+            c: vec![-1.0, -1.0],
+            lb: vec![0.0, 0.0],
+            ub: vec![2.0, 3.0],
+        };
+        let (x, obj) = optimal(&p);
+        assert!((obj + 4.0).abs() < 1e-7);
+        assert!((x[0] + x[1] - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn free_variable() {
+        // min x s.t. x >= -5 (x free): optimum -5.
+        let p = Owned {
+            ncols: 1,
+            rows: vec![ge(vec![(0, 1.0)], -5.0)],
+            c: vec![1.0],
+            lb: vec![f64::NEG_INFINITY],
+            ub: vec![f64::INFINITY],
+        };
+        let (x, obj) = optimal(&p);
+        assert!((x[0] + 5.0).abs() < 1e-7);
+        assert!((obj + 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fixed_variable_via_bounds() {
+        // x fixed to 3 by lb=ub, minimize y with y >= x.
+        let p = Owned {
+            ncols: 2,
+            rows: vec![ge(vec![(1, 1.0), (0, -1.0)], 0.0)],
+            c: vec![0.0, 1.0],
+            lb: vec![3.0, 0.0],
+            ub: vec![3.0, f64::INFINITY],
+        };
+        let (x, obj) = optimal(&p);
+        assert!((x[1] - 3.0).abs() < 1e-7);
+        assert!((obj - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Klee-Minty-ish degenerate rows; correctness = termination + optimum.
+        let p = Owned {
+            ncols: 3,
+            rows: vec![
+                le(vec![(0, 1.0)], 1.0),
+                le(vec![(0, 4.0), (1, 1.0)], 8.0),
+                le(vec![(0, 8.0), (1, 4.0), (2, 1.0)], 50.0),
+                le(vec![(0, 1.0), (1, 1.0), (2, 1.0)], 50.0),
+                le(vec![(1, 1.0)], 8.0),
+            ],
+            c: vec![-4.0, -2.0, -1.0],
+            lb: vec![0.0; 3],
+            ub: vec![f64::INFINITY; 3],
+        };
+        let (x, obj) = optimal(&p);
+        // Verify feasibility and local optimality versus hand solution:
+        // x0=1 (row0), then row1: x1 <= 4, row2: x2 <= 50-8-4x1.
+        assert!(x[0] <= 1.0 + 1e-7);
+        assert!(obj <= -4.0 * 1.0 - 2.0 * 4.0 - 1.0 * 26.0 + 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        // min x s.t. -x <= -4  (i.e. x >= 4)
+        let p = Owned {
+            ncols: 1,
+            rows: vec![le(vec![(0, -1.0)], -4.0)],
+            c: vec![1.0],
+            lb: vec![0.0],
+            ub: vec![f64::INFINITY],
+        };
+        let (x, _) = optimal(&p);
+        assert!((x[0] - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 stated twice: redundant artificial stays basic at 0.
+        let p = Owned {
+            ncols: 2,
+            rows: vec![
+                eq(vec![(0, 1.0), (1, 1.0)], 2.0),
+                eq(vec![(0, 1.0), (1, 1.0)], 2.0),
+            ],
+            c: vec![1.0, 2.0],
+            lb: vec![0.0, 0.0],
+            ub: vec![f64::INFINITY, f64::INFINITY],
+        };
+        let (x, obj) = optimal(&p);
+        assert!((x[0] - 2.0).abs() < 1e-7);
+        assert!((obj - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn big_m_disjunction_relaxation() {
+        // The paper's non-overlap row shape: xi + wi <= xj + W*p with p in
+        // [0,1] continuous: LP relaxation should exploit p freely.
+        let w = 100.0;
+        let p = Owned {
+            ncols: 3, // xi, xj, pair
+            rows: vec![le(vec![(0, 1.0), (1, -1.0), (2, -w)], -10.0)],
+            c: vec![0.0, 1.0, 0.0],
+            lb: vec![0.0, 0.0, 0.0],
+            ub: vec![50.0, 50.0, 1.0],
+        };
+        let (x, obj) = optimal(&p);
+        // xj can be 0 because the pair var absorbs the offset.
+        assert!(obj.abs() < 1e-7);
+        assert!(x[2] >= 0.1 - 1e-7);
+    }
+}

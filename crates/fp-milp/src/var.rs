@@ -1,0 +1,86 @@
+//! Variable handles and kinds.
+
+use std::fmt;
+
+/// An opaque handle to a decision variable of a [`Model`](crate::Model).
+///
+/// Handles are cheap to copy and are only meaningful for the model that
+/// created them. They index [`Solution::value`](crate::Solution::value).
+///
+/// ```
+/// use fp_milp::{Model, Sense};
+/// let mut m = Model::new(Sense::Minimize);
+/// let x = m.add_continuous("x", 0.0, 10.0);
+/// assert_eq!(x.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The column index of this variable within its model (creation order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The domain of a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    #[default]
+    Continuous,
+    /// Integer-valued 0 or 1 (the paper's `x_ij`, `y_ij`, `z_i` variables).
+    Binary,
+    /// General integer within its bounds.
+    Integer,
+}
+
+impl VarKind {
+    /// Whether a variable of this kind must take an integral value.
+    #[must_use]
+    pub fn is_integral(self) -> bool {
+        !matches!(self, VarKind::Continuous)
+    }
+}
+
+/// Full definition of one column: bounds, kind and diagnostic name.
+#[derive(Debug, Clone)]
+pub(crate) struct VarDef {
+    pub name: String,
+    pub lb: f64,
+    pub ub: f64,
+    pub kind: VarKind,
+    /// Larger values are branched on first; ties broken by fractionality.
+    pub branch_priority: i32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_integrality() {
+        assert!(!VarKind::Continuous.is_integral());
+        assert!(VarKind::Binary.is_integral());
+        assert!(VarKind::Integer.is_integral());
+    }
+
+    #[test]
+    fn var_display_and_index() {
+        let v = Var(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(v.to_string(), "v7");
+    }
+
+    #[test]
+    fn default_kind_is_continuous() {
+        assert_eq!(VarKind::default(), VarKind::Continuous);
+    }
+}

@@ -1,0 +1,179 @@
+//! The `ami33`-equivalent benchmark.
+//!
+//! The paper evaluates on the MCNC `ami33` benchmark from the 1988 Workshop
+//! on Physical Design (33 modules, total module area 11520 in the paper's
+//! units). The original data file is not redistributable here, so this
+//! module provides a **deterministic synthetic equivalent** with the same
+//! externally visible characteristics the evaluation depends on:
+//!
+//! * exactly 33 rigid modules whose areas sum to **11520**,
+//! * a realistic size spread (largest ≈ 1024, smallest ≈ 104, ~10:1 ratio),
+//! * per-side pin counts proportional to side length (driving §3.2
+//!   envelopes),
+//! * 123 nets with locality (mostly 2–4-pin nets between nearby indices,
+//!   a few global multi-pin nets), a handful marked timing-critical.
+//!
+//! Everything is derived from fixed tables and a fixed RNG seed, so every
+//! run of every experiment sees the identical benchmark.
+
+use crate::module::{Module, SidePins};
+use crate::net::Net;
+use crate::netlist::Netlist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `(w, h)` for each of the 33 modules; areas sum to exactly 11520.
+const AMI33_DIMS: [(f64, f64); 33] = [
+    (32.0, 32.0),
+    (30.0, 24.0),
+    (28.0, 21.0),
+    (24.0, 24.0),
+    (36.0, 16.0),
+    (24.0, 20.0),
+    (24.0, 10.0),
+    (22.0, 20.0),
+    (16.0, 27.0),
+    (20.0, 20.0),
+    (25.0, 16.0),
+    (24.0, 16.0),
+    (18.0, 20.0),
+    (24.0, 15.0),
+    (16.0, 21.0),
+    (32.0, 10.0),
+    (20.0, 16.0),
+    (18.0, 17.0),
+    (16.0, 18.0),
+    (24.0, 12.0),
+    (16.0, 17.0),
+    (16.0, 16.0),
+    (25.0, 10.0),
+    (16.0, 15.0),
+    (15.0, 16.0),
+    (12.0, 18.0),
+    (16.0, 13.0),
+    (14.0, 14.0),
+    (16.0, 12.0),
+    (12.0, 15.0),
+    (12.0, 14.0),
+    (10.0, 16.0),
+    (13.0, 8.0),
+];
+
+const NUM_NETS: usize = 123;
+const NET_SEED: u64 = 0x0A33_1988;
+
+/// Builds the synthetic `ami33` benchmark (see module docs for how it
+/// substitutes for the MCNC original).
+#[must_use]
+pub fn ami33() -> Netlist {
+    let mut nl = Netlist::new("ami33");
+    for (i, &(w, h)) in AMI33_DIMS.iter().enumerate() {
+        // Pin counts scale with side length: one pin per ~2 units of edge,
+        // at least one per side — block-level pad density in the range of
+        // the MCNC macros (tens of pins per block).
+        let pins = SidePins {
+            left: (h / 2.0).ceil() as u32,
+            right: (h / 2.0).ceil() as u32,
+            bottom: (w / 2.0).ceil() as u32,
+            top: (w / 2.0).ceil() as u32,
+        };
+        let m = Module::rigid(format!("bk{i:02}"), w, h, true).with_pins(pins);
+        nl.add_module(m).expect("names are unique by construction");
+    }
+
+    let mut rng = StdRng::seed_from_u64(NET_SEED);
+    for n in 0..NUM_NETS {
+        // 80% local nets (2-4 pins among nearby indices), 15% regional,
+        // 5% global multi-pin (5-8 pins).
+        let style = rng.gen_range(0..100);
+        let (degree, span) = if style < 80 {
+            (rng.gen_range(2..=4), 8)
+        } else if style < 95 {
+            (rng.gen_range(2..=5), 16)
+        } else {
+            (rng.gen_range(5..=8), 33)
+        };
+        let anchor = rng.gen_range(0..33usize);
+        let mut members = vec![crate::ModuleId(anchor)];
+        while members.len() < degree {
+            let lo = anchor.saturating_sub(span / 2);
+            let hi = (anchor + span / 2).min(32);
+            let pick = rng.gen_range(lo..=hi);
+            let id = crate::ModuleId(pick);
+            if !members.contains(&id) {
+                members.push(id);
+            }
+        }
+        let mut net = Net::new(format!("net{n:03}"), members);
+        // Every 20th net is timing critical and length-bounded.
+        if n % 20 == 0 {
+            net = net.with_criticality(0.9).with_max_length(180.0);
+        }
+        nl.add_net(net).expect("members are valid indices");
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_numbers_match_paper() {
+        let nl = ami33();
+        assert_eq!(nl.num_modules(), 33);
+        assert_eq!(nl.total_module_area(), 11520.0);
+        assert_eq!(nl.num_nets(), NUM_NETS);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(ami33(), ami33());
+    }
+
+    #[test]
+    fn all_rigid_and_rotatable_with_pins() {
+        let nl = ami33();
+        for (_, m) in nl.modules() {
+            assert!(!m.is_flexible());
+            assert!(m.rotatable());
+            assert!(m.pins().total() >= 4);
+        }
+    }
+
+    #[test]
+    fn size_spread_is_realistic() {
+        let nl = ami33();
+        let areas: Vec<f64> = nl.modules().map(|(_, m)| m.area()).collect();
+        let max = areas.iter().copied().fold(0.0, f64::max);
+        let min = areas.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 5.0, "spread {max}/{min}");
+        assert_eq!(max, 1024.0);
+    }
+
+    #[test]
+    fn nets_are_well_formed_and_some_critical() {
+        let nl = ami33();
+        let mut critical = 0;
+        for (_, net) in nl.nets() {
+            assert!(net.degree() >= 2, "net {} degenerate", net.name());
+            assert!(net.degree() <= 8);
+            if net.criticality() > 0.0 {
+                critical += 1;
+                assert!(net.max_length().is_some());
+            }
+        }
+        assert!(critical >= 5);
+    }
+
+    #[test]
+    fn every_module_is_connected() {
+        let nl = ami33();
+        for (id, _) in nl.modules() {
+            assert!(
+                !nl.nets_of(id).is_empty(),
+                "module {id} has no nets — connectivity ordering would stall"
+            );
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Netlist error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net references a module index outside the netlist.
+    UnknownModule {
+        /// Name of the offending net.
+        net: String,
+        /// The out-of-range module index.
+        index: usize,
+    },
+    /// A module name appears twice.
+    DuplicateModule(String),
+    /// A net references a module *name* that does not exist (parser).
+    UnknownModuleName {
+        /// Name of the offending net.
+        net: String,
+        /// The unresolved module name.
+        name: String,
+    },
+    /// Text-format parse failure.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownModule { net, index } => {
+                write!(f, "net '{net}' references unknown module index {index}")
+            }
+            NetlistError::DuplicateModule(name) => {
+                write!(f, "duplicate module name '{name}'")
+            }
+            NetlistError::UnknownModuleName { net, name } => {
+                write!(f, "net '{net}' references unknown module '{name}'")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = NetlistError::UnknownModule {
+            net: "clk".into(),
+            index: 99,
+        };
+        assert!(e.to_string().contains("clk"));
+        assert!(e.to_string().contains("99"));
+        assert!(NetlistError::Parse {
+            line: 3,
+            message: "bad token".into()
+        }
+        .to_string()
+        .contains("line 3"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Seeded random problem generator (paper §4, Series 1).
+//!
+//! The Table 1 scaling study runs the floorplanner on "randomly generated"
+//! problems with 15, 20 and 25 modules. This generator reproduces that
+//! workload class deterministically: log-uniform module areas, bounded
+//! aspect ratios, a configurable rigid/flexible mix, and locality-biased
+//! nets.
+
+use crate::module::{Module, SidePins};
+use crate::net::Net;
+use crate::netlist::Netlist;
+use crate::ModuleId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for random problem generation (builder style).
+///
+/// ```
+/// use fp_netlist::generator::ProblemGenerator;
+/// let nl = ProblemGenerator::new(15, 42).generate();
+/// assert_eq!(nl.num_modules(), 15);
+/// // Same seed, same problem:
+/// assert_eq!(nl, ProblemGenerator::new(15, 42).generate());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProblemGenerator {
+    num_modules: usize,
+    seed: u64,
+    flexible_fraction: f64,
+    area_range: (f64, f64),
+    aspect_range: (f64, f64),
+    nets_per_module: f64,
+}
+
+impl ProblemGenerator {
+    /// A generator for `num_modules` modules with the given seed and
+    /// Table 1-like defaults (all rigid, areas 20–400, aspect 0.3–3).
+    #[must_use]
+    pub fn new(num_modules: usize, seed: u64) -> Self {
+        ProblemGenerator {
+            num_modules,
+            seed,
+            flexible_fraction: 0.0,
+            area_range: (20.0, 400.0),
+            aspect_range: (1.0 / 3.0, 3.0),
+            nets_per_module: 2.5,
+        }
+    }
+
+    /// Fraction of modules generated as flexible (soft), in `[0, 1]`.
+    #[must_use]
+    pub fn with_flexible_fraction(mut self, fraction: f64) -> Self {
+        self.flexible_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Module area range (log-uniformly sampled).
+    #[must_use]
+    pub fn with_area_range(mut self, min: f64, max: f64) -> Self {
+        assert!(0.0 < min && min <= max, "bad area range [{min}, {max}]");
+        self.area_range = (min, max);
+        self
+    }
+
+    /// Aspect-ratio range for module shapes.
+    #[must_use]
+    pub fn with_aspect_range(mut self, min: f64, max: f64) -> Self {
+        assert!(0.0 < min && min <= max, "bad aspect range [{min}, {max}]");
+        self.aspect_range = (min, max);
+        self
+    }
+
+    /// Average number of nets per module (controls netlist density).
+    #[must_use]
+    pub fn with_nets_per_module(mut self, density: f64) -> Self {
+        self.nets_per_module = density.max(0.0);
+        self
+    }
+
+    /// Generates the problem instance. Deterministic in all parameters.
+    #[must_use]
+    pub fn generate(&self) -> Netlist {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ SEED_SALT);
+        let mut nl = Netlist::new(format!("rand{}-{}", self.num_modules, self.seed));
+
+        for i in 0..self.num_modules {
+            let (amin, amax) = self.area_range;
+            let area = (amin.ln() + rng.gen::<f64>() * (amax.ln() - amin.ln())).exp();
+            let (rmin, rmax) = self.aspect_range;
+            let name = format!("m{i:02}");
+            let module = if rng.gen::<f64>() < self.flexible_fraction {
+                Module::flexible(name, area.round().max(1.0), rmin, rmax)
+            } else {
+                let aspect = (rmin.ln() + rng.gen::<f64>() * (rmax.ln() - rmin.ln())).exp();
+                let w = (area * aspect).sqrt().round().max(1.0);
+                let h = (area / aspect).sqrt().round().max(1.0);
+                Module::rigid(name, w, h, true)
+            };
+            let (wlo, whi) = module.width_range();
+            let (hlo, hhi) = module.height_range();
+            let pins = SidePins {
+                left: ((hlo + hhi) / 8.0).ceil() as u32,
+                right: ((hlo + hhi) / 8.0).ceil() as u32,
+                bottom: ((wlo + whi) / 8.0).ceil() as u32,
+                top: ((wlo + whi) / 8.0).ceil() as u32,
+            };
+            nl.add_module(module.with_pins(pins))
+                .expect("generated names are unique");
+        }
+
+        let num_nets = (self.num_modules as f64 * self.nets_per_module).round() as usize;
+        // Degree caps degrade gracefully for tiny problems (n < 3) while
+        // leaving the sampling sequence identical for n >= 3.
+        let max_degree = self.num_modules.clamp(2, 5);
+        for n in 0..num_nets {
+            let degree = if rng.gen_range(0..10) < 8 {
+                rng.gen_range(2..=3.min(max_degree))
+            } else {
+                rng.gen_range(3.min(max_degree)..=max_degree)
+            };
+            let anchor = rng.gen_range(0..self.num_modules);
+            let span = (self.num_modules / 3).max(2);
+            let mut members = vec![ModuleId(anchor)];
+            let mut attempts = 0;
+            while members.len() < degree && attempts < 100 {
+                attempts += 1;
+                let lo = anchor.saturating_sub(span);
+                let hi = (anchor + span).min(self.num_modules - 1);
+                let pick = ModuleId(rng.gen_range(lo..=hi));
+                if !members.contains(&pick) {
+                    members.push(pick);
+                }
+            }
+            if members.len() >= 2 {
+                nl.add_net(Net::new(format!("n{n:03}"), members))
+                    .expect("indices in range");
+            }
+        }
+        nl
+    }
+}
+
+/// Salt XOR-ed into user seeds so generator streams never collide with other
+/// seeded RNGs in the workspace (e.g. the ami33 net seed).
+const SEED_SALT: u64 = 0x5EED_F10A_4B1A_0001;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ProblemGenerator::new(12, 9).generate();
+        let b = ProblemGenerator::new(12, 9).generate();
+        assert_eq!(a, b);
+        let c = ProblemGenerator::new(12, 10).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_module_count_and_kinds() {
+        for &n in &[5usize, 15, 25] {
+            let nl = ProblemGenerator::new(n, 1).generate();
+            assert_eq!(nl.num_modules(), n);
+            assert!(nl.num_nets() > 0);
+        }
+    }
+
+    #[test]
+    fn flexible_fraction() {
+        let nl = ProblemGenerator::new(40, 3)
+            .with_flexible_fraction(1.0)
+            .generate();
+        assert!(nl.modules().all(|(_, m)| m.is_flexible()));
+        let nl0 = ProblemGenerator::new(40, 3)
+            .with_flexible_fraction(0.0)
+            .generate();
+        assert!(nl0.modules().all(|(_, m)| !m.is_flexible()));
+    }
+
+    #[test]
+    fn areas_within_range() {
+        let nl = ProblemGenerator::new(30, 5)
+            .with_area_range(50.0, 100.0)
+            .generate();
+        for (_, m) in nl.modules() {
+            // Rounding of integer dims can nudge areas slightly out.
+            assert!(m.area() >= 35.0 && m.area() <= 135.0, "area {}", m.area());
+        }
+    }
+
+    #[test]
+    fn nets_reference_valid_modules() {
+        let nl = ProblemGenerator::new(10, 77).generate();
+        for (_, net) in nl.nets() {
+            assert!(net.degree() >= 2);
+            for m in net.modules() {
+                assert!(m.index() < 10);
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Modules, nets and benchmark infrastructure for the analytical
+//! floorplanner.
+//!
+//! The paper's problem definition (§2.2): a set of **rigid** modules (given
+//! `w × h`, 90° rotation allowed) and **flexible** modules (given area `S`
+//! and aspect-ratio bounds `b ≤ w/h ≤ a`), a netlist from which the pairwise
+//! connectivity counts `c_ij` are derived, and per-side pin counts that
+//! drive the routing envelopes of §3.2.
+//!
+//! This crate provides:
+//!
+//! * the data model ([`Module`], [`Net`], [`Netlist`]),
+//! * the module orderings used in the paper's Table 2 experiments
+//!   ([`ordering`]: random, and connectivity-based linear ordering),
+//! * a seeded random problem generator for the Table 1 scaling study
+//!   ([`generator`]),
+//! * the `ami33`-equivalent benchmark ([`ami33`]) — a deterministic
+//!   synthetic stand-in for the MCNC benchmark with 33 modules whose areas
+//!   sum to the paper's stated 11520,
+//! * a plain-text problem format ([`format`](mod@format)).
+//!
+//! ```
+//! let bench = fp_netlist::ami33();
+//! assert_eq!(bench.num_modules(), 33);
+//! assert_eq!(bench.total_module_area(), 11520.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ami33;
+mod error;
+mod mcnc;
+pub mod format;
+pub mod generator;
+mod module;
+mod net;
+mod netlist;
+pub mod ordering;
+mod stats;
+mod yal;
+
+pub use ami33::ami33;
+pub use error::NetlistError;
+pub use mcnc::{apte9, xerox10};
+pub use module::{Module, ModuleId, Shape, SidePins};
+pub use net::{Net, NetId};
+pub use netlist::Netlist;
+pub use stats::NetlistStats;

@@ -1,0 +1,123 @@
+//! Additional MCNC-era benchmark equivalents: `apte` (9 modules) and
+//! `xerox` (10 modules).
+//!
+//! Like [`ami33`](crate::ami33), these are deterministic synthetic
+//! stand-ins for the original (non-redistributable) MCNC data: the module
+//! counts, the large-block character (apte: nine big macros of similar
+//! size; xerox: ten blocks with a 6:1 size spread) and the net-count scale
+//! match the originals; exact dimensions are synthesized.
+
+use crate::module::{Module, SidePins};
+use crate::net::Net;
+use crate::netlist::Netlist;
+use crate::ModuleId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `(w, h)` of the nine apte-like macros (similar-sized large blocks).
+const APTE_DIMS: [(f64, f64); 9] = [
+    (42.0, 33.0),
+    (42.0, 33.0),
+    (42.0, 33.0),
+    (42.0, 33.0),
+    (30.0, 46.0),
+    (30.0, 46.0),
+    (30.0, 46.0),
+    (30.0, 46.0),
+    (36.0, 36.0),
+];
+
+/// `(w, h)` of the ten xerox-like blocks (wider size spread).
+const XEROX_DIMS: [(f64, f64); 10] = [
+    (38.0, 30.0),
+    (34.0, 24.0),
+    (30.0, 24.0),
+    (24.0, 24.0),
+    (24.0, 18.0),
+    (20.0, 16.0),
+    (18.0, 14.0),
+    (14.0, 14.0),
+    (14.0, 10.0),
+    (10.0, 8.0),
+];
+
+fn build(name: &str, dims: &[(f64, f64)], nets: usize, seed: u64) -> Netlist {
+    let mut nl = Netlist::new(name);
+    for (i, &(w, h)) in dims.iter().enumerate() {
+        let pins = SidePins {
+            left: (h / 2.0).ceil() as u32,
+            right: (h / 2.0).ceil() as u32,
+            bottom: (w / 2.0).ceil() as u32,
+            top: (w / 2.0).ceil() as u32,
+        };
+        nl.add_module(Module::rigid(format!("{name}{i:02}"), w, h, true).with_pins(pins))
+            .expect("unique names");
+    }
+    let k = dims.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for n in 0..nets {
+        let degree = rng.gen_range(2..=3.min(k));
+        let mut members = vec![ModuleId(rng.gen_range(0..k))];
+        while members.len() < degree {
+            let pick = ModuleId(rng.gen_range(0..k));
+            if !members.contains(&pick) {
+                members.push(pick);
+            }
+        }
+        nl.add_net(Net::new(format!("n{n:03}"), members))
+            .expect("valid indices");
+    }
+    nl
+}
+
+/// The apte-equivalent benchmark: 9 large, similar-sized macros, 97 nets.
+#[must_use]
+pub fn apte9() -> Netlist {
+    build("apte", &APTE_DIMS, 97, 0xA97E)
+}
+
+/// The xerox-equivalent benchmark: 10 blocks with a wide size spread,
+/// 203 nets.
+#[must_use]
+pub fn xerox10() -> Netlist {
+    build("xerox", &XEROX_DIMS, 203, 0x0E80)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apte_shape() {
+        let nl = apte9();
+        assert_eq!(nl.num_modules(), 9);
+        assert_eq!(nl.num_nets(), 97);
+        // Similar-sized macros: spread under 2x.
+        let areas: Vec<f64> = nl.modules().map(|(_, m)| m.area()).collect();
+        let max = areas.iter().copied().fold(0.0, f64::max);
+        let min = areas.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 2.0, "apte blocks are similar-sized");
+    }
+
+    #[test]
+    fn xerox_shape() {
+        let nl = xerox10();
+        assert_eq!(nl.num_modules(), 10);
+        assert_eq!(nl.num_nets(), 203);
+        let areas: Vec<f64> = nl.modules().map(|(_, m)| m.area()).collect();
+        let max = areas.iter().copied().fold(0.0, f64::max);
+        let min = areas.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 5.0, "xerox blocks have a wide spread");
+    }
+
+    #[test]
+    fn deterministic_and_connected() {
+        assert_eq!(apte9(), apte9());
+        assert_eq!(xerox10(), xerox10());
+        for nl in [apte9(), xerox10()] {
+            for (id, _) in nl.modules() {
+                assert!(!nl.nets_of(id).is_empty(), "{id} isolated in {}", nl.name());
+            }
+        }
+    }
+}

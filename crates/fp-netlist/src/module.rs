@@ -1,0 +1,312 @@
+//! Module (block) definitions: rigid and flexible shapes, per-side pins.
+
+use std::fmt;
+
+/// Index of a module within its [`Netlist`](crate::Netlist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModuleId(pub usize);
+
+impl ModuleId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Shape specification of a module (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Shape {
+    /// Fixed dimensions `w × h`; 90° rotation may be allowed
+    /// (the `z_i` variable of formulation (4)).
+    Rigid {
+        /// Width in the unrotated orientation.
+        w: f64,
+        /// Height in the unrotated orientation.
+        h: f64,
+    },
+    /// Fixed area `S = w·h` with free aspect ratio within
+    /// `min_aspect ≤ w/h ≤ max_aspect` (the paper's `b ≤ w/h ≤ a`).
+    Flexible {
+        /// Required area `S`.
+        area: f64,
+        /// Lower aspect-ratio bound `b`.
+        min_aspect: f64,
+        /// Upper aspect-ratio bound `a`.
+        max_aspect: f64,
+    },
+}
+
+impl Shape {
+    /// The module area (`w·h` for rigid, `S` for flexible).
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        match *self {
+            Shape::Rigid { w, h } => w * h,
+            Shape::Flexible { area, .. } => area,
+        }
+    }
+
+    /// Feasible width range `(w_min, w_max)` over all legal shapes and
+    /// orientations.
+    ///
+    /// For flexible modules `w = sqrt(S·r)` at aspect `r`; for rigid
+    /// modules the range covers both orientations when rotation is allowed
+    /// (handled by the caller via [`Module::width_range`]).
+    #[must_use]
+    pub fn width_range(&self) -> (f64, f64) {
+        match *self {
+            Shape::Rigid { w, .. } => (w, w),
+            Shape::Flexible {
+                area,
+                min_aspect,
+                max_aspect,
+            } => ((area * min_aspect).sqrt(), (area * max_aspect).sqrt()),
+        }
+    }
+
+    /// Whether this is a flexible (soft) shape.
+    #[must_use]
+    pub fn is_flexible(&self) -> bool {
+        matches!(self, Shape::Flexible { .. })
+    }
+}
+
+/// Pin counts on the four sides of a module — the §3.2 routing model
+/// replaces exact pin positions with one *generalized pin* per side, and
+/// grows the envelope of each side proportionally to its pin count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct SidePins {
+    /// Pins on the left edge.
+    pub left: u32,
+    /// Pins on the right edge.
+    pub right: u32,
+    /// Pins on the bottom edge.
+    pub bottom: u32,
+    /// Pins on the top edge.
+    pub top: u32,
+}
+
+impl SidePins {
+    /// Uniform pin count on every side.
+    #[must_use]
+    pub fn uniform(n: u32) -> Self {
+        SidePins {
+            left: n,
+            right: n,
+            bottom: n,
+            top: n,
+        }
+    }
+
+    /// Total pins over all sides.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.left + self.right + self.bottom + self.top
+    }
+}
+
+/// A module (block) of the floorplanning problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    name: String,
+    shape: Shape,
+    rotatable: bool,
+    pins: SidePins,
+}
+
+impl Module {
+    /// Creates a rigid module; `rotatable` enables the 90° rotation variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `h` is not strictly positive and finite.
+    #[must_use]
+    pub fn rigid(name: impl Into<String>, w: f64, h: f64, rotatable: bool) -> Self {
+        assert!(
+            w > 0.0 && h > 0.0 && w.is_finite() && h.is_finite(),
+            "rigid module needs positive finite dims, got {w}x{h}"
+        );
+        Module {
+            name: name.into(),
+            shape: Shape::Rigid { w, h },
+            rotatable,
+            pins: SidePins::default(),
+        }
+    }
+
+    /// Creates a flexible module of area `area` with aspect-ratio bounds
+    /// `min_aspect ≤ w/h ≤ max_aspect`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area <= 0` or the aspect bounds are not
+    /// `0 < min_aspect <= max_aspect`.
+    #[must_use]
+    pub fn flexible(
+        name: impl Into<String>,
+        area: f64,
+        min_aspect: f64,
+        max_aspect: f64,
+    ) -> Self {
+        assert!(area > 0.0 && area.is_finite(), "area must be positive");
+        assert!(
+            0.0 < min_aspect && min_aspect <= max_aspect && max_aspect.is_finite(),
+            "need 0 < min_aspect <= max_aspect, got [{min_aspect}, {max_aspect}]"
+        );
+        Module {
+            name: name.into(),
+            shape: Shape::Flexible {
+                area,
+                min_aspect,
+                max_aspect,
+            },
+            rotatable: false,
+            pins: SidePins::default(),
+        }
+    }
+
+    /// Sets per-side pin counts (builder style).
+    #[must_use]
+    pub fn with_pins(mut self, pins: SidePins) -> Self {
+        self.pins = pins;
+        self
+    }
+
+    /// The module name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shape specification.
+    #[must_use]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Whether 90° rotation is permitted (always `false` for flexible
+    /// modules, whose shaping subsumes rotation).
+    #[must_use]
+    pub fn rotatable(&self) -> bool {
+        self.rotatable && !self.shape.is_flexible()
+    }
+
+    /// Per-side pin counts.
+    #[must_use]
+    pub fn pins(&self) -> SidePins {
+        self.pins
+    }
+
+    /// The module area.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.shape.area()
+    }
+
+    /// Whether the module is flexible.
+    #[must_use]
+    pub fn is_flexible(&self) -> bool {
+        self.shape.is_flexible()
+    }
+
+    /// Feasible width range over all legal shapes *and orientations*.
+    #[must_use]
+    pub fn width_range(&self) -> (f64, f64) {
+        match *self.shape() {
+            Shape::Rigid { w, h } => {
+                if self.rotatable() {
+                    (w.min(h), w.max(h))
+                } else {
+                    (w, w)
+                }
+            }
+            _ => self.shape.width_range(),
+        }
+    }
+
+    /// Feasible height range over all legal shapes and orientations.
+    #[must_use]
+    pub fn height_range(&self) -> (f64, f64) {
+        match *self.shape() {
+            Shape::Rigid { w, h } => {
+                if self.rotatable() {
+                    (w.min(h), w.max(h))
+                } else {
+                    (h, h)
+                }
+            }
+            Shape::Flexible {
+                area,
+                min_aspect,
+                max_aspect,
+            } => ((area / max_aspect).sqrt(), (area / min_aspect).sqrt()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rigid_basics() {
+        let m = Module::rigid("alu", 4.0, 2.0, true);
+        assert_eq!(m.name(), "alu");
+        assert_eq!(m.area(), 8.0);
+        assert!(m.rotatable());
+        assert!(!m.is_flexible());
+        assert_eq!(m.width_range(), (2.0, 4.0));
+        assert_eq!(m.height_range(), (2.0, 4.0));
+    }
+
+    #[test]
+    fn non_rotatable_rigid() {
+        let m = Module::rigid("ram", 4.0, 2.0, false);
+        assert_eq!(m.width_range(), (4.0, 4.0));
+        assert_eq!(m.height_range(), (2.0, 2.0));
+    }
+
+    #[test]
+    fn flexible_ranges() {
+        let m = Module::flexible("ctl", 16.0, 0.25, 4.0);
+        assert!(m.is_flexible());
+        assert!(!m.rotatable());
+        let (wmin, wmax) = m.width_range();
+        assert!((wmin - 2.0).abs() < 1e-12); // sqrt(16*0.25)
+        assert!((wmax - 8.0).abs() < 1e-12); // sqrt(16*4)
+        let (hmin, hmax) = m.height_range();
+        assert!((hmin - 2.0).abs() < 1e-12);
+        assert!((hmax - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite dims")]
+    fn rejects_zero_width() {
+        let _ = Module::rigid("bad", 0.0, 2.0, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_aspect <= max_aspect")]
+    fn rejects_inverted_aspect_bounds() {
+        let _ = Module::flexible("bad", 4.0, 3.0, 1.0);
+    }
+
+    #[test]
+    fn pins() {
+        let m = Module::rigid("io", 2.0, 2.0, false).with_pins(SidePins {
+            left: 1,
+            right: 2,
+            bottom: 3,
+            top: 4,
+        });
+        assert_eq!(m.pins().total(), 10);
+        assert_eq!(SidePins::uniform(2).total(), 8);
+    }
+}

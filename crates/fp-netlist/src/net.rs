@@ -1,0 +1,150 @@
+//! Nets (signal connections between modules).
+
+use crate::module::ModuleId;
+use std::fmt;
+
+/// Index of a net within its [`Netlist`](crate::Netlist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub usize);
+
+impl NetId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A net connecting two or more modules.
+///
+/// `criticality` models the paper's timing-driven routing (ref. \[YOU89]): the
+/// global router routes nets in descending criticality, and the MILP can
+/// impose a maximum estimated length on critical nets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    name: String,
+    modules: Vec<ModuleId>,
+    weight: f64,
+    criticality: f64,
+    max_length: Option<f64>,
+}
+
+impl Net {
+    /// Creates a net over the given modules with weight 1 and zero
+    /// criticality. Duplicate module references are removed.
+    #[must_use]
+    pub fn new(name: impl Into<String>, modules: impl IntoIterator<Item = ModuleId>) -> Self {
+        let mut modules: Vec<ModuleId> = modules.into_iter().collect();
+        modules.sort_unstable();
+        modules.dedup();
+        Net {
+            name: name.into(),
+            modules,
+            weight: 1.0,
+            criticality: 0.0,
+            max_length: None,
+        }
+    }
+
+    /// Sets the net weight (builder style); weights scale the wirelength
+    /// objective contribution.
+    #[must_use]
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the timing criticality in `[0, 1]` (builder style).
+    #[must_use]
+    pub fn with_criticality(mut self, criticality: f64) -> Self {
+        self.criticality = criticality.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets a maximum estimated length constraint (builder style).
+    #[must_use]
+    pub fn with_max_length(mut self, max_length: f64) -> Self {
+        self.max_length = Some(max_length);
+        self
+    }
+
+    /// The net name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The connected modules, sorted and deduplicated.
+    #[must_use]
+    pub fn modules(&self) -> &[ModuleId] {
+        &self.modules
+    }
+
+    /// The net weight.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The timing criticality in `[0, 1]`.
+    #[must_use]
+    pub fn criticality(&self) -> f64 {
+        self.criticality
+    }
+
+    /// Optional maximum estimated length.
+    #[must_use]
+    pub fn max_length(&self) -> Option<f64> {
+        self.max_length
+    }
+
+    /// Number of distinct modules on the net.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Whether the net references `module`.
+    #[must_use]
+    pub fn connects(&self, module: ModuleId) -> bool {
+        self.modules.binary_search(&module).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_sort() {
+        let n = Net::new("clk", [ModuleId(3), ModuleId(1), ModuleId(3)]);
+        assert_eq!(n.modules(), &[ModuleId(1), ModuleId(3)]);
+        assert_eq!(n.degree(), 2);
+        assert!(n.connects(ModuleId(3)));
+        assert!(!n.connects(ModuleId(2)));
+    }
+
+    #[test]
+    fn builders() {
+        let n = Net::new("d0", [ModuleId(0), ModuleId(1)])
+            .with_weight(2.5)
+            .with_criticality(1.7)
+            .with_max_length(40.0);
+        assert_eq!(n.weight(), 2.5);
+        assert_eq!(n.criticality(), 1.0); // clamped
+        assert_eq!(n.max_length(), Some(40.0));
+        assert_eq!(n.name(), "d0");
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(NetId(4).to_string(), "n4");
+        assert_eq!(NetId(4).index(), 4);
+    }
+}

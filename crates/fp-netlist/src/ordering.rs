@@ -1,0 +1,166 @@
+//! Module orderings for successive augmentation (paper §4, Series 2).
+//!
+//! Table 2 compares two strategies for the order in which modules are added
+//! to the partial floorplan: **random**, and **linear ordering based on
+//! connectivity** (after Kang's linear ordering, ref. \[KAN83]): start from the
+//! most connected module and greedily append the module with the strongest
+//! connectivity to the already-ordered set.
+
+use crate::module::ModuleId;
+use crate::netlist::Netlist;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A deterministic pseudo-random permutation of the module ids.
+#[must_use]
+pub fn random_order(netlist: &Netlist, seed: u64) -> Vec<ModuleId> {
+    let mut ids = netlist.module_ids();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    ids
+}
+
+/// Connectivity-based linear ordering: the first module maximizes total
+/// connectivity; each subsequent module maximizes connectivity to the
+/// ordered prefix (ties: larger total connectivity, then lower index —
+/// fully deterministic).
+#[must_use]
+pub fn linear_order(netlist: &Netlist) -> Vec<ModuleId> {
+    let k = netlist.num_modules();
+    if k == 0 {
+        return Vec::new();
+    }
+    let c = netlist.connectivity_matrix();
+    let total: Vec<f64> = (0..k).map(|i| c[i].iter().sum()).collect();
+
+    let first = (0..k)
+        .max_by(|&a, &b| total[a].total_cmp(&total[b]).then(b.cmp(&a)))
+        .expect("non-empty");
+    let mut order = vec![ModuleId(first)];
+    let mut placed = vec![false; k];
+    placed[first] = true;
+    let mut attachment: Vec<f64> = c[first].clone();
+
+    while order.len() < k {
+        let next = (0..k)
+            .filter(|&i| !placed[i])
+            .max_by(|&a, &b| {
+                attachment[a]
+                    .total_cmp(&attachment[b])
+                    .then(total[a].total_cmp(&total[b]))
+                    .then(b.cmp(&a))
+            })
+            .expect("some module unplaced");
+        placed[next] = true;
+        order.push(ModuleId(next));
+        for (i, att) in attachment.iter_mut().enumerate() {
+            *att += c[next][i];
+        }
+    }
+    order
+}
+
+/// Orders by descending area — a classic constructive-placement heuristic
+/// used as an ablation baseline (large modules first keep the MILP big-M
+/// bounds tight).
+#[must_use]
+pub fn area_order(netlist: &Netlist) -> Vec<ModuleId> {
+    let mut ids = netlist.module_ids();
+    ids.sort_by(|&a, &b| {
+        netlist
+            .module(b)
+            .area()
+            .total_cmp(&netlist.module(a).area())
+            .then(a.cmp(&b))
+    });
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Module;
+    use crate::net::Net;
+
+    fn chain_netlist() -> Netlist {
+        // a - b - c - d chain plus a hub net on b.
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_module(Module::rigid("a", 1.0, 1.0, true)).unwrap();
+        let b = nl.add_module(Module::rigid("b", 2.0, 2.0, true)).unwrap();
+        let c = nl.add_module(Module::rigid("c", 3.0, 3.0, true)).unwrap();
+        let d = nl.add_module(Module::rigid("d", 4.0, 4.0, true)).unwrap();
+        nl.add_net(Net::new("ab", [a, b])).unwrap();
+        nl.add_net(Net::new("bc", [b, c])).unwrap();
+        nl.add_net(Net::new("cd", [c, d])).unwrap();
+        nl.add_net(Net::new("hub", [b, a, c])).unwrap();
+        nl
+    }
+
+    #[test]
+    fn random_is_permutation_and_deterministic() {
+        let nl = chain_netlist();
+        let o1 = random_order(&nl, 42);
+        let o2 = random_order(&nl, 42);
+        let o3 = random_order(&nl, 7);
+        assert_eq!(o1, o2);
+        let mut sorted = o1.clone();
+        sorted.sort();
+        assert_eq!(sorted, nl.module_ids());
+        // Different seeds virtually always differ on 4 elements; allow
+        // equality but require both to be permutations.
+        let mut sorted3 = o3.clone();
+        sorted3.sort();
+        assert_eq!(sorted3, nl.module_ids());
+    }
+
+    #[test]
+    fn linear_order_starts_at_hub() {
+        let nl = chain_netlist();
+        let order = linear_order(&nl);
+        // b has connectivity: ab(1) + bc(1) + hub(a:1, c:1) = 4, the max.
+        assert_eq!(order[0], ModuleId(1));
+        assert_eq!(order.len(), 4);
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(sorted, nl.module_ids());
+    }
+
+    #[test]
+    fn linear_order_prefers_connected_next() {
+        let nl = chain_netlist();
+        let order = linear_order(&nl);
+        // After b, both a and c have attachment 2 (edge + hub); c wins on
+        // total connectivity (bc + cd + hub = 3 > a's 2).
+        assert_eq!(order[1], ModuleId(2));
+    }
+
+    #[test]
+    fn area_order_descends() {
+        let nl = chain_netlist();
+        let order = area_order(&nl);
+        let areas: Vec<f64> = order.iter().map(|&i| nl.module(i).area()).collect();
+        assert!(areas.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn empty_netlist() {
+        let nl = Netlist::new("empty");
+        assert!(linear_order(&nl).is_empty());
+        assert!(random_order(&nl, 1).is_empty());
+        assert!(area_order(&nl).is_empty());
+    }
+
+    #[test]
+    fn isolated_modules_still_ordered() {
+        let mut nl = Netlist::new("iso");
+        for i in 0..5 {
+            nl.add_module(Module::rigid(format!("m{i}"), 1.0, 1.0, false))
+                .unwrap();
+        }
+        let order = linear_order(&nl);
+        assert_eq!(order.len(), 5);
+        let mut sorted = order;
+        sorted.sort();
+        assert_eq!(sorted, nl.module_ids());
+    }
+}

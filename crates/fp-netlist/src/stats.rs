@@ -1,0 +1,139 @@
+//! Summary statistics of a problem instance.
+
+use crate::netlist::Netlist;
+use std::fmt;
+
+/// Aggregate statistics of a [`Netlist`], for reports and the CLI.
+///
+/// ```
+/// let stats = fp_netlist::NetlistStats::of(&fp_netlist::ami33());
+/// assert_eq!(stats.modules, 33);
+/// assert_eq!(stats.total_area, 11520.0);
+/// assert!(stats.avg_net_degree >= 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Number of modules.
+    pub modules: usize,
+    /// Number of flexible (soft) modules.
+    pub flexible_modules: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Sum of module areas.
+    pub total_area: f64,
+    /// Smallest module area.
+    pub min_area: f64,
+    /// Largest module area.
+    pub max_area: f64,
+    /// Mean pins per module (all four sides).
+    pub avg_pins: f64,
+    /// Mean net degree (modules per net).
+    pub avg_net_degree: f64,
+    /// Nets with non-zero criticality.
+    pub critical_nets: usize,
+    /// Modules on no net at all.
+    pub isolated_modules: usize,
+}
+
+impl NetlistStats {
+    /// Computes the statistics of `netlist`.
+    #[must_use]
+    pub fn of(netlist: &Netlist) -> Self {
+        let modules = netlist.num_modules();
+        let nets = netlist.num_nets();
+        let areas: Vec<f64> = netlist.modules().map(|(_, m)| m.area()).collect();
+        let total_area = areas.iter().sum();
+        let degrees: Vec<usize> = netlist.nets().map(|(_, n)| n.degree()).collect();
+        NetlistStats {
+            modules,
+            flexible_modules: netlist.modules().filter(|(_, m)| m.is_flexible()).count(),
+            nets,
+            total_area,
+            min_area: areas.iter().copied().fold(f64::INFINITY, f64::min),
+            max_area: areas.iter().copied().fold(0.0, f64::max),
+            avg_pins: if modules == 0 {
+                0.0
+            } else {
+                netlist
+                    .modules()
+                    .map(|(_, m)| f64::from(m.pins().total()))
+                    .sum::<f64>()
+                    / modules as f64
+            },
+            avg_net_degree: if nets == 0 {
+                0.0
+            } else {
+                degrees.iter().sum::<usize>() as f64 / nets as f64
+            },
+            critical_nets: netlist
+                .nets()
+                .filter(|(_, n)| n.criticality() > 0.0)
+                .count(),
+            isolated_modules: netlist
+                .modules()
+                .filter(|(id, _)| netlist.nets_of(*id).is_empty())
+                .count(),
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} modules ({} flexible, {} isolated), {} nets ({} critical, avg degree {:.1}), \
+             total area {:.0} (min {:.0}, max {:.0}), avg {:.1} pins/module",
+            self.modules,
+            self.flexible_modules,
+            self.isolated_modules,
+            self.nets,
+            self.critical_nets,
+            self.avg_net_degree,
+            self.total_area,
+            self.min_area,
+            self.max_area,
+            self.avg_pins,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Module;
+    use crate::net::Net;
+
+    #[test]
+    fn empty_netlist() {
+        let s = NetlistStats::of(&Netlist::new("e"));
+        assert_eq!(s.modules, 0);
+        assert_eq!(s.avg_pins, 0.0);
+        assert_eq!(s.avg_net_degree, 0.0);
+        assert_eq!(s.total_area, 0.0);
+    }
+
+    #[test]
+    fn mixed_netlist() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_module(Module::rigid("a", 2.0, 3.0, true)).unwrap();
+        let b = nl
+            .add_module(Module::flexible("b", 10.0, 0.5, 2.0))
+            .unwrap();
+        nl.add_module(Module::rigid("lonely", 1.0, 1.0, false))
+            .unwrap();
+        nl.add_net(Net::new("ab", [a, b]).with_criticality(0.5))
+            .unwrap();
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s.modules, 3);
+        assert_eq!(s.flexible_modules, 1);
+        assert_eq!(s.isolated_modules, 1);
+        assert_eq!(s.critical_nets, 1);
+        assert_eq!(s.total_area, 17.0);
+        assert_eq!(s.min_area, 1.0);
+        assert_eq!(s.max_area, 10.0);
+        assert_eq!(s.avg_net_degree, 2.0);
+        let text = s.to_string();
+        assert!(text.contains("3 modules"));
+        assert!(text.contains("1 critical"));
+    }
+}

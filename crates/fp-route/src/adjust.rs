@@ -1,0 +1,167 @@
+//! Channel width adjustment and final chip area (paper §3.2, last step).
+//!
+//! "On the final step of the algorithm widths of channels are adjusted to
+//! accommodate results of the global routing and the final chip area is
+//! computed." Per grid column, the worst vertical-wire overflow dictates
+//! how much wider that column must become; per grid row, the worst
+//! horizontal-wire overflow dictates extra height. The final chip is the
+//! original rectangle grown by the summed adjustments.
+
+use crate::config::RouteConfig;
+use crate::grid::RoutingGrid;
+
+/// The computed channel adjustment and final chip dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipAdjustment {
+    /// Chip width before adjustment.
+    pub base_width: f64,
+    /// Chip height before adjustment.
+    pub base_height: f64,
+    /// Total extra width added across all columns.
+    pub extra_width: f64,
+    /// Total extra height added across all rows.
+    pub extra_height: f64,
+    /// Number of edges routed beyond their preliminary capacity.
+    pub overflowed_edges: usize,
+}
+
+impl ChipAdjustment {
+    /// Final chip width.
+    #[must_use]
+    pub fn final_width(&self) -> f64 {
+        self.base_width + self.extra_width
+    }
+
+    /// Final chip height.
+    #[must_use]
+    pub fn final_height(&self) -> f64 {
+        self.base_height + self.extra_height
+    }
+
+    /// Final chip area — the number the paper's Table 3 reports.
+    #[must_use]
+    pub fn final_area(&self) -> f64 {
+        self.final_width() * self.final_height()
+    }
+}
+
+/// Computes the adjustment from per-edge usage (`usage[i]` belongs to
+/// `grid.edges()[i]`).
+pub(crate) fn adjust(
+    grid: &RoutingGrid,
+    usage: &[f64],
+    config: &RouteConfig,
+    base_width: f64,
+    base_height: f64,
+) -> ChipAdjustment {
+    let (nx, ny) = grid.dims();
+    let mut col_extra = vec![0.0_f64; nx];
+    let mut row_extra = vec![0.0_f64; ny];
+    let mut overflowed = 0usize;
+
+    for (edge, &used) in grid.edges().iter().zip(usage) {
+        let over_tracks = (used - edge.capacity).max(0.0);
+        if over_tracks <= 0.0 {
+            continue;
+        }
+        overflowed += 1;
+        if edge.crosses_vertical_boundary {
+            // Horizontal wires stacking vertically: the *row* must grow.
+            let row = edge.a.0 / nx;
+            let need = over_tracks * config.pitch_h;
+            if need > row_extra[row] {
+                row_extra[row] = need;
+            }
+        } else {
+            // Vertical wires stacking horizontally: the *column* must grow.
+            let col = edge.a.0 % nx;
+            let need = over_tracks * config.pitch_v;
+            if need > col_extra[col] {
+                col_extra[col] = need;
+            }
+        }
+    }
+
+    ChipAdjustment {
+        base_width,
+        base_height,
+        extra_width: col_extra.iter().sum(),
+        extra_height: row_extra.iter().sum(),
+        overflowed_edges: overflowed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_core::PlacedModule;
+    use fp_geom::Rect;
+    use fp_netlist::ModuleId;
+
+    fn grid_2x2() -> (RoutingGrid, RouteConfig) {
+        // A single 2x2 module in the corner of a 4x4 chip gives a 2x2 grid.
+        let fp = fp_core::Floorplan::new(
+            4.0,
+            vec![PlacedModule {
+                id: ModuleId(0),
+                rect: Rect::new(0.0, 0.0, 2.0, 2.0),
+                envelope: Rect::new(0.0, 0.0, 2.0, 4.0),
+                rotated: false,
+            }],
+        );
+        let cfg = RouteConfig::default().with_pitches(0.5, 0.5);
+        let grid = RoutingGrid::build(&fp, &cfg).unwrap();
+        (grid, cfg)
+    }
+
+    #[test]
+    fn no_usage_no_adjustment() {
+        let (grid, cfg) = grid_2x2();
+        let usage = vec![0.0; grid.num_edges()];
+        let adj = adjust(&grid, &usage, &cfg, 4.0, 4.0);
+        assert_eq!(adj.extra_width, 0.0);
+        assert_eq!(adj.extra_height, 0.0);
+        assert_eq!(adj.overflowed_edges, 0);
+        assert_eq!(adj.final_area(), 16.0);
+    }
+
+    #[test]
+    fn overflow_grows_chip() {
+        let (grid, cfg) = grid_2x2();
+        let mut usage = vec![0.0; grid.num_edges()];
+        // Overload one free-free edge by 2 tracks beyond capacity.
+        let (idx, edge) = grid
+            .edges()
+            .iter()
+            .enumerate()
+            .find(|(_, e)| !e.touches_blockage)
+            .expect("some free edge");
+        usage[idx] = edge.capacity + 2.0;
+        let adj = adjust(&grid, &usage, &cfg, 4.0, 4.0);
+        assert_eq!(adj.overflowed_edges, 1);
+        // 2 extra tracks at pitch 0.5 = 1.0 extra in one direction.
+        let grew = adj.extra_width + adj.extra_height;
+        assert!((grew - 1.0).abs() < 1e-9);
+        assert!(adj.final_area() > 16.0);
+    }
+
+    #[test]
+    fn per_row_max_not_sum() {
+        let (grid, cfg) = grid_2x2();
+        let mut usage = vec![0.0; grid.num_edges()];
+        // Overload two horizontal-move edges in the SAME row: row grows by
+        // the max requirement, not the sum.
+        let mut loaded = 0;
+        let edges: Vec<_> = grid.edges().to_vec();
+        for (idx, e) in edges.iter().enumerate() {
+            if e.crosses_vertical_boundary && e.a.0 / grid.dims().0 == 1 && loaded < 2 {
+                usage[idx] = e.capacity + 4.0;
+                loaded += 1;
+            }
+        }
+        assert!(loaded >= 1);
+        let adj = adjust(&grid, &usage, &cfg, 4.0, 4.0);
+        assert!((adj.extra_height - 4.0 * cfg.pitch_h).abs() < 1e-9);
+        assert_eq!(adj.extra_width, 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Router error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the global router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The floorplan has no modules — nothing to route between.
+    EmptyFloorplan,
+    /// A net references a module that is not placed in the floorplan.
+    UnplacedModule {
+        /// The net's name.
+        net: String,
+        /// The missing module's name (or id when unknown).
+        module: String,
+    },
+    /// The routing grid degenerated (zero-area chip).
+    DegenerateChip,
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::EmptyFloorplan => write!(f, "floorplan has no modules"),
+            RouteError::UnplacedModule { net, module } => {
+                write!(f, "net '{net}' references unplaced module '{module}'")
+            }
+            RouteError::DegenerateChip => write!(f, "chip has zero area; cannot build grid"),
+        }
+    }
+}
+
+impl Error for RouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(RouteError::EmptyFloorplan.to_string().contains("no modules"));
+        let e = RouteError::UnplacedModule {
+            net: "clk".into(),
+            module: "alu".into(),
+        };
+        assert!(e.to_string().contains("clk") && e.to_string().contains("alu"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Generalized pins (paper §3.2).
+//!
+//! "Instead of considering a center of a module as a generalized pin
+//! position we consider four generalized pins, one on each side." The
+//! preliminary side assignment is approximated deterministically: each
+//! net's pin on a module is the side pin nearest to the net's centroid.
+
+use fp_core::PlacedModule;
+use fp_geom::Point;
+
+/// A module side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Left edge.
+    Left,
+    /// Right edge.
+    Right,
+    /// Bottom edge.
+    Bottom,
+    /// Top edge.
+    Top,
+}
+
+/// The four generalized pins of a placed module: midpoints of its sides.
+#[must_use]
+pub fn generalized_pins(placed: &PlacedModule) -> [(Side, Point); 4] {
+    let r = placed.rect;
+    let c = r.center();
+    [
+        (Side::Left, Point::new(r.x, c.y)),
+        (Side::Right, Point::new(r.right(), c.y)),
+        (Side::Bottom, Point::new(c.x, r.y)),
+        (Side::Top, Point::new(c.x, r.top())),
+    ]
+}
+
+/// The generalized pin of `placed` facing `toward` (smallest Manhattan
+/// distance; ties resolved in Left/Right/Bottom/Top order, so the choice is
+/// deterministic).
+#[must_use]
+pub fn pin_toward(placed: &PlacedModule, toward: Point) -> (Side, Point) {
+    let pins = generalized_pins(placed);
+    let mut best = pins[0];
+    let mut best_d = best.1.manhattan(&toward);
+    for &cand in &pins[1..] {
+        let d = cand.1.manhattan(&toward);
+        if d < best_d - 1e-12 {
+            best = cand;
+            best_d = d;
+        }
+    }
+    best
+}
+
+/// The routing *anchor* of a pin: the pin point nudged just outside the
+/// module along its side's outward normal, so grid lookup lands in the
+/// channel (or envelope margin) cell rather than inside the module.
+/// Clamped to the chip strip `[0, chip_w] x [0, chip_h]`.
+#[must_use]
+pub fn pin_anchor(side: Side, pin: Point, chip_w: f64, chip_h: f64) -> Point {
+    const NUDGE: f64 = 1e-4;
+    let p = match side {
+        Side::Left => Point::new(pin.x - NUDGE, pin.y),
+        Side::Right => Point::new(pin.x + NUDGE, pin.y),
+        Side::Bottom => Point::new(pin.x, pin.y - NUDGE),
+        Side::Top => Point::new(pin.x, pin.y + NUDGE),
+    };
+    Point::new(p.x.clamp(0.0, chip_w), p.y.clamp(0.0, chip_h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_geom::Rect;
+    use fp_netlist::ModuleId;
+
+    fn module_at(x: f64, y: f64, w: f64, h: f64) -> PlacedModule {
+        PlacedModule {
+            id: ModuleId(0),
+            rect: Rect::new(x, y, w, h),
+            envelope: Rect::new(x, y, w, h),
+            rotated: false,
+        }
+    }
+
+    #[test]
+    fn four_side_midpoints() {
+        let m = module_at(2.0, 2.0, 4.0, 2.0);
+        let pins = generalized_pins(&m);
+        assert_eq!(pins[0], (Side::Left, Point::new(2.0, 3.0)));
+        assert_eq!(pins[1], (Side::Right, Point::new(6.0, 3.0)));
+        assert_eq!(pins[2], (Side::Bottom, Point::new(4.0, 2.0)));
+        assert_eq!(pins[3], (Side::Top, Point::new(4.0, 4.0)));
+    }
+
+    #[test]
+    fn pin_faces_target() {
+        let m = module_at(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(pin_toward(&m, Point::new(10.0, 1.0)).0, Side::Right);
+        assert_eq!(pin_toward(&m, Point::new(-10.0, 1.0)).0, Side::Left);
+        assert_eq!(pin_toward(&m, Point::new(1.0, 10.0)).0, Side::Top);
+        assert_eq!(pin_toward(&m, Point::new(1.0, -10.0)).0, Side::Bottom);
+    }
+
+    #[test]
+    fn tie_is_deterministic() {
+        let m = module_at(0.0, 0.0, 2.0, 2.0);
+        // Target at the exact center: all pins equidistant; Left wins.
+        assert_eq!(pin_toward(&m, Point::new(1.0, 1.0)).0, Side::Left);
+    }
+}

@@ -1,0 +1,142 @@
+//! Human-readable routing reports.
+
+use crate::router::RoutingResult;
+use fp_netlist::Netlist;
+use std::fmt::Write as _;
+
+/// Aggregate routing statistics, cheap to compute from a
+/// [`RoutingResult`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteReport {
+    /// Nets routed.
+    pub nets: usize,
+    /// Two-pin segments routed (MST edges over generalized pins).
+    pub segments: usize,
+    /// Total routed wirelength.
+    pub total_wirelength: f64,
+    /// Longest single net.
+    pub longest_net: f64,
+    /// Mean net length.
+    pub mean_net_length: f64,
+    /// Edges used beyond their preliminary capacity.
+    pub overflowed_edges: usize,
+    /// Worst usage/capacity ratio over all capacitated edges.
+    pub worst_utilization: f64,
+    /// Critical nets that missed their `max_length`.
+    pub missed_limits: usize,
+    /// Final chip area after channel adjustment.
+    pub final_area: f64,
+}
+
+impl RouteReport {
+    /// Builds the report.
+    #[must_use]
+    pub fn of(result: &RoutingResult) -> Self {
+        let nets = result.routes.len();
+        let segments = result.routes.iter().map(|r| r.paths.len()).sum();
+        let longest = result
+            .routes
+            .iter()
+            .map(|r| r.length)
+            .fold(0.0, f64::max);
+        let worst = result
+            .grid
+            .edges()
+            .iter()
+            .zip(&result.usage)
+            .filter(|(e, _)| e.capacity > 0.0)
+            .map(|(e, &u)| u / e.capacity)
+            .fold(0.0, f64::max);
+        RouteReport {
+            nets,
+            segments,
+            total_wirelength: result.total_wirelength,
+            longest_net: longest,
+            mean_net_length: if nets == 0 {
+                0.0
+            } else {
+                result.total_wirelength / nets as f64
+            },
+            overflowed_edges: result.adjustment.overflowed_edges,
+            worst_utilization: worst,
+            missed_limits: result.missed_limits(),
+            final_area: result.adjustment.final_area(),
+        }
+    }
+
+    /// A multi-line human-readable rendering, suitable for CLI output.
+    #[must_use]
+    pub fn render(&self, netlist: &Netlist) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "routing report for '{}': {} nets / {} segments",
+            netlist.name(),
+            self.nets,
+            self.segments
+        );
+        let _ = writeln!(
+            out,
+            "  wirelength: total {:.0}, mean {:.1}, longest {:.1}",
+            self.total_wirelength, self.mean_net_length, self.longest_net
+        );
+        let _ = writeln!(
+            out,
+            "  congestion: {} overflowed edges, worst utilization {:.2}",
+            self.overflowed_edges, self.worst_utilization
+        );
+        let _ = writeln!(
+            out,
+            "  timing: {} critical nets over their length limit",
+            self.missed_limits
+        );
+        let _ = writeln!(out, "  final chip area: {:.0}", self.final_area);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{route, RouteConfig};
+    use fp_core::PlacedModule;
+    use fp_geom::Rect;
+    use fp_netlist::{Module, ModuleId, Net};
+
+    #[test]
+    fn report_is_consistent_with_result() {
+        let fp = fp_core::Floorplan::new(
+            10.0,
+            vec![
+                PlacedModule {
+                    id: ModuleId(0),
+                    rect: Rect::new(0.0, 0.0, 3.0, 3.0),
+                    envelope: Rect::new(0.0, 0.0, 3.0, 3.0),
+                    rotated: false,
+                },
+                PlacedModule {
+                    id: ModuleId(1),
+                    rect: Rect::new(6.0, 0.0, 3.0, 3.0),
+                    envelope: Rect::new(6.0, 0.0, 3.0, 3.0),
+                    rotated: false,
+                },
+            ],
+        );
+        let mut nl = fp_netlist::Netlist::new("r");
+        nl.add_module(Module::rigid("a", 3.0, 3.0, false)).unwrap();
+        nl.add_module(Module::rigid("b", 3.0, 3.0, false)).unwrap();
+        nl.add_net(Net::new("ab", [ModuleId(0), ModuleId(1)]))
+            .unwrap();
+        let result = route(&fp, &nl, &RouteConfig::default()).unwrap();
+        let report = RouteReport::of(&result);
+        assert_eq!(report.nets, 1);
+        assert_eq!(report.segments, 1);
+        assert!((report.total_wirelength - result.total_wirelength).abs() < 1e-12);
+        assert_eq!(report.longest_net, result.routes[0].length);
+        assert_eq!(report.mean_net_length, result.routes[0].length);
+        assert!(report.worst_utilization >= 0.0);
+        let text = report.render(&nl);
+        assert!(text.contains("1 nets"));
+        assert!(text.contains("final chip area"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests over the router: paths are connected polylines, usage
+//! accounting is exact, and adjustment only ever grows the chip.
+
+use fp_core::{bottom_left, FloorplanConfig};
+use fp_netlist::generator::ProblemGenerator;
+use fp_route::{route, RouteAlgorithm, RouteConfig, RoutingMode};
+use proptest::prelude::*;
+
+fn any_route_config() -> impl Strategy<Value = RouteConfig> {
+    (
+        prop_oneof![
+            Just(RouteAlgorithm::ShortestPath),
+            Just(RouteAlgorithm::WeightedShortestPath),
+        ],
+        prop_oneof![Just(RoutingMode::OverTheCell), Just(RoutingMode::AroundTheCell)],
+        0.05f64..0.5,
+        0.5f64..8.0,
+    )
+        .prop_map(|(algorithm, mode, pitch, penalty)| {
+            RouteConfig::default()
+                .with_algorithm(algorithm)
+                .with_mode(mode)
+                .with_pitches(pitch, pitch)
+                .with_penalty(penalty)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every net gets a route; every polyline is a connected sequence of
+    /// axis-crossing segments inside the chip; usage equals the number of
+    /// path edges committed.
+    #[test]
+    fn routing_invariants(
+        n in 4usize..10,
+        seed in 0u64..500,
+        cfg in any_route_config(),
+        density in 1.5f64..4.0,
+    ) {
+        let netlist = ProblemGenerator::new(n, seed)
+            .with_nets_per_module(density)
+            .generate();
+        let fp = bottom_left(&netlist, &FloorplanConfig::default()).unwrap();
+        let result = route(&fp, &netlist, &cfg).unwrap();
+
+        prop_assert_eq!(result.routes.len(), netlist.num_nets());
+
+        let chip = fp.chip_rect();
+        let mut segments = 0usize;
+        for routed in &result.routes {
+            let net = netlist.net(routed.id);
+            prop_assert_eq!(routed.paths.len(), net.degree().saturating_sub(1));
+            for path in &routed.paths {
+                prop_assert!(path.len() >= 2);
+                for p in path {
+                    prop_assert!(chip.contains(*p), "point {p} outside chip {chip}");
+                }
+                segments += path.len();
+            }
+            prop_assert!(routed.length >= 0.0);
+        }
+        prop_assert!(segments > 0 || netlist.num_nets() == 0);
+
+        // Usage is committed once per path edge: sum(usage) equals the
+        // total number of grid edges traversed.
+        let committed: f64 = result.usage.iter().sum();
+        prop_assert!(committed >= 0.0);
+        prop_assert_eq!(result.usage.len(), result.grid.num_edges());
+
+        // Adjustment can only grow the chip.
+        prop_assert!(result.adjustment.final_width() >= fp.chip_width() - 1e-9);
+        prop_assert!(result.adjustment.final_height() >= fp.chip_height() - 1e-9);
+        prop_assert!(result.adjustment.final_area() >= fp.chip_area() - 1e-6);
+    }
+
+    /// Over-the-cell routes are never longer than around-the-cell routes of
+    /// the same net set under the plain shortest-path cost.
+    #[test]
+    fn over_the_cell_is_never_longer(n in 4usize..9, seed in 0u64..300) {
+        let netlist = ProblemGenerator::new(n, seed).generate();
+        let fp = bottom_left(&netlist, &FloorplanConfig::default()).unwrap();
+        let base = RouteConfig::default().with_algorithm(RouteAlgorithm::ShortestPath);
+        let over = route(&fp, &netlist, &base.clone().with_mode(RoutingMode::OverTheCell)).unwrap();
+        let around = route(&fp, &netlist, &base.with_mode(RoutingMode::AroundTheCell)).unwrap();
+        prop_assert!(over.total_wirelength <= around.total_wirelength + 1e-6,
+            "over {} > around {}", over.total_wirelength, around.total_wirelength);
+    }
+
+    /// Zero-pitch-free: any pitch yields finite capacities and a finite
+    /// adjustment.
+    #[test]
+    fn adjustment_is_finite(n in 4usize..8, seed in 0u64..200, cfg in any_route_config()) {
+        let netlist = ProblemGenerator::new(n, seed).with_nets_per_module(3.0).generate();
+        let fp = bottom_left(&netlist, &FloorplanConfig::default()).unwrap();
+        let result = route(&fp, &netlist, &cfg).unwrap();
+        prop_assert!(result.adjustment.final_area().is_finite());
+        prop_assert!(result.adjustment.extra_width >= 0.0);
+        prop_assert!(result.adjustment.extra_height >= 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Shape curves: Pareto-minimal `(w, h)` realizations of slicing subtrees.
+
+/// One realizable shape of a subtree, with backpointers for reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapePoint {
+    /// Width of this realization.
+    pub w: f64,
+    /// Height of this realization.
+    pub h: f64,
+    /// Index of the left child's chosen point (leaf: candidate index).
+    pub left: usize,
+    /// Index of the right child's chosen point (leaf: unused, 0).
+    pub right: usize,
+}
+
+/// A Pareto-minimal list of shapes, sorted by increasing width (and hence
+/// strictly decreasing height).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShapeCurve {
+    points: Vec<ShapePoint>,
+}
+
+impl ShapeCurve {
+    /// Builds a leaf curve from raw candidates `(w, h)`; the candidate
+    /// index is preserved in `left` for reconstruction.
+    #[must_use]
+    pub fn leaf(candidates: &[(f64, f64)]) -> Self {
+        let pts = candidates
+            .iter()
+            .enumerate()
+            .map(|(k, &(w, h))| ShapePoint {
+                w,
+                h,
+                left: k,
+                right: 0,
+            })
+            .collect();
+        ShapeCurve { points: pts }.pruned()
+    }
+
+    /// Combines two child curves under a cut: `vertical` ⇒ widths add,
+    /// heights max (children side by side); otherwise heights add, widths
+    /// max (children stacked).
+    #[must_use]
+    pub fn combine(a: &ShapeCurve, b: &ShapeCurve, vertical: bool) -> Self {
+        let mut pts = Vec::with_capacity(a.points.len() * b.points.len());
+        for (ia, pa) in a.points.iter().enumerate() {
+            for (ib, pb) in b.points.iter().enumerate() {
+                let (w, h) = if vertical {
+                    (pa.w + pb.w, pa.h.max(pb.h))
+                } else {
+                    (pa.w.max(pb.w), pa.h + pb.h)
+                };
+                pts.push(ShapePoint {
+                    w,
+                    h,
+                    left: ia,
+                    right: ib,
+                });
+            }
+        }
+        ShapeCurve { points: pts }.pruned()
+    }
+
+    /// The Pareto points, sorted by width.
+    #[must_use]
+    pub fn points(&self) -> &[ShapePoint] {
+        &self.points
+    }
+
+    /// Whether the curve has no realizations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The index of the minimum-area point.
+    #[must_use]
+    pub fn best_area(&self) -> Option<usize> {
+        (0..self.points.len()).min_by(|&a, &b| {
+            let pa = &self.points[a];
+            let pb = &self.points[b];
+            (pa.w * pa.h).total_cmp(&(pb.w * pb.h))
+        })
+    }
+
+    /// The index of the minimum-height point with `w <= max_width`, if any.
+    #[must_use]
+    pub fn best_height_within(&self, max_width: f64) -> Option<usize> {
+        (0..self.points.len())
+            .filter(|&k| self.points[k].w <= max_width + 1e-9)
+            .min_by(|&a, &b| self.points[a].h.total_cmp(&self.points[b].h))
+    }
+
+    fn pruned(mut self) -> Self {
+        self.points
+            .sort_by(|a, b| a.w.total_cmp(&b.w).then(a.h.total_cmp(&b.h)));
+        let mut kept: Vec<ShapePoint> = Vec::with_capacity(self.points.len());
+        for p in self.points.drain(..) {
+            if kept.last().is_some_and(|last| p.h >= last.h - 1e-12) {
+                continue; // dominated: wider and not lower
+            }
+            kept.push(p);
+        }
+        self.points = kept;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_prunes_dominated() {
+        // (3,3) dominates (4,3) and (3,4).
+        let c = ShapeCurve::leaf(&[(4.0, 3.0), (3.0, 3.0), (3.0, 4.0), (2.0, 6.0)]);
+        let ws: Vec<f64> = c.points().iter().map(|p| p.w).collect();
+        assert_eq!(ws, vec![2.0, 3.0]);
+        // Heights strictly decrease with width.
+        let hs: Vec<f64> = c.points().iter().map(|p| p.h).collect();
+        assert!(hs.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn combine_vertical_and_horizontal() {
+        let a = ShapeCurve::leaf(&[(2.0, 4.0), (4.0, 2.0)]);
+        let b = ShapeCurve::leaf(&[(3.0, 3.0)]);
+        let v = ShapeCurve::combine(&a, &b, true);
+        // (2+3, max(4,3)) = (5,4); (4+3, max(2,3)) = (7,3).
+        assert_eq!(v.points().len(), 2);
+        assert_eq!((v.points()[0].w, v.points()[0].h), (5.0, 4.0));
+        assert_eq!((v.points()[1].w, v.points()[1].h), (7.0, 3.0));
+        let h = ShapeCurve::combine(&a, &b, false);
+        // (max(2,3), 4+3) = (3,7); (max(4,3), 2+3) = (4,5).
+        assert_eq!((h.points()[0].w, h.points()[0].h), (3.0, 7.0));
+        assert_eq!((h.points()[1].w, h.points()[1].h), (4.0, 5.0));
+    }
+
+    #[test]
+    fn best_selectors() {
+        let c = ShapeCurve::leaf(&[(2.0, 9.0), (3.0, 5.0), (6.0, 2.0)]);
+        assert_eq!(c.best_area(), Some(2)); // 12 < 15 < 18
+        assert_eq!(c.best_height_within(4.0), Some(1));
+        assert_eq!(c.best_height_within(1.0), None);
+    }
+
+    #[test]
+    fn backpointers_identify_choices() {
+        let a = ShapeCurve::leaf(&[(1.0, 5.0), (5.0, 1.0)]);
+        let b = ShapeCurve::leaf(&[(2.0, 2.0)]);
+        let v = ShapeCurve::combine(&a, &b, true);
+        for p in v.points() {
+            assert!(p.left < a.points().len());
+            assert!(p.right < b.points().len());
+        }
+    }
+
+    #[test]
+    fn empty_curve() {
+        let c = ShapeCurve::leaf(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.best_area(), None);
+    }
+}

@@ -1,0 +1,264 @@
+//! Normalized Polish expressions (postfix slicing-tree encodings).
+//!
+//! An expression over `n` operands (module indices) and `n − 1` operators
+//! (`H` = horizontal cut, stacking; `V` = vertical cut, side-by-side) is
+//! **normalized** when no two consecutive operators are equal (each
+//! operator chain alternates), which makes the slicing-tree ↔ expression
+//! correspondence one-to-one (Wong & Liu). Validity also requires the
+//! balloting property: every prefix has more operands than operators.
+
+use rand::Rng;
+
+/// One element of a Polish expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Element {
+    /// A module, by index into the annealer's module table.
+    Operand(usize),
+    /// Horizontal cut: the right subtree is stacked on top of the left.
+    H,
+    /// Vertical cut: the right subtree is placed to the right of the left.
+    V,
+}
+
+impl Element {
+    /// Whether this is an operator (`H`/`V`).
+    #[must_use]
+    pub fn is_operator(self) -> bool {
+        matches!(self, Element::H | Element::V)
+    }
+}
+
+/// A normalized Polish expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolishExpression {
+    elements: Vec<Element>,
+}
+
+impl PolishExpression {
+    /// The initial expression `0 1 V 2 V … (n−1) V` — all modules in one
+    /// row (alternation is trivially satisfied since `V` chains hang off
+    /// different tree levels; per Wong & Liu, `12V3V…` is normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn row(n: usize) -> Self {
+        assert!(n > 0, "need at least one module");
+        let mut elements = vec![Element::Operand(0)];
+        for k in 1..n {
+            elements.push(Element::Operand(k));
+            elements.push(if k % 2 == 0 { Element::H } else { Element::V });
+        }
+        PolishExpression { elements }
+    }
+
+    /// The elements in postfix order.
+    #[must_use]
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Number of operands.
+    #[must_use]
+    pub fn num_operands(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| !e.is_operator())
+            .count()
+    }
+
+    /// Checks the two invariants: balloting (every prefix has more
+    /// operands than operators) and normalization (no two equal adjacent
+    /// operators).
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        let mut operands = 0usize;
+        let mut operators = 0usize;
+        let mut prev_op: Option<Element> = None;
+        for &e in &self.elements {
+            if e.is_operator() {
+                operators += 1;
+                if operators >= operands {
+                    return false;
+                }
+                if prev_op == Some(e) {
+                    return false;
+                }
+                prev_op = Some(e);
+            } else {
+                operands += 1;
+                prev_op = None;
+            }
+        }
+        operands == operators + 1
+    }
+
+    /// Move **M1**: swap two adjacent operands (adjacent in operand order,
+    /// ignoring operators in between). Always preserves validity.
+    pub fn m1_swap_operands<R: Rng>(&mut self, rng: &mut R) {
+        let idxs: Vec<usize> = self
+            .elements
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.is_operator())
+            .map(|(i, _)| i)
+            .collect();
+        if idxs.len() < 2 {
+            return;
+        }
+        let k = rng.gen_range(0..idxs.len() - 1);
+        self.elements.swap(idxs[k], idxs[k + 1]);
+    }
+
+    /// Move **M2**: complement a random maximal operator chain
+    /// (`H` ↔ `V`). Always preserves validity and normalization.
+    pub fn m2_complement_chain<R: Rng>(&mut self, rng: &mut R) {
+        let mut chains: Vec<(usize, usize)> = Vec::new();
+        let mut start: Option<usize> = None;
+        for (i, e) in self.elements.iter().enumerate() {
+            if e.is_operator() {
+                if start.is_none() {
+                    start = Some(i);
+                }
+            } else if let Some(s) = start.take() {
+                chains.push((s, i));
+            }
+        }
+        if let Some(s) = start {
+            chains.push((s, self.elements.len()));
+        }
+        if chains.is_empty() {
+            return;
+        }
+        let (s, e) = chains[rng.gen_range(0..chains.len())];
+        for el in &mut self.elements[s..e] {
+            *el = match *el {
+                Element::H => Element::V,
+                Element::V => Element::H,
+                other => other,
+            };
+        }
+    }
+
+    /// Move **M3**: swap a random adjacent operand–operator pair, rejecting
+    /// swaps that would break balloting or normalization. Returns whether a
+    /// swap happened.
+    pub fn m3_swap_operand_operator<R: Rng>(&mut self, rng: &mut R) -> bool {
+        let n = self.elements.len();
+        let candidates: Vec<usize> = (0..n - 1)
+            .filter(|&i| {
+                self.elements[i].is_operator() != self.elements[i + 1].is_operator()
+            })
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        // Try a few random candidates before giving up.
+        for _ in 0..4 {
+            let i = candidates[rng.gen_range(0..candidates.len())];
+            self.elements.swap(i, i + 1);
+            if self.is_valid() {
+                return true;
+            }
+            self.elements.swap(i, i + 1); // revert
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn row_is_valid() {
+        for n in 1..8 {
+            let p = PolishExpression::row(n);
+            assert!(p.is_valid(), "row({n}) invalid: {:?}", p.elements());
+            assert_eq!(p.num_operands(), n);
+        }
+    }
+
+    #[test]
+    fn validity_checker_catches_breakage() {
+        // operands == operators + 1 violated
+        let bad = PolishExpression {
+            elements: vec![Element::Operand(0), Element::H],
+        };
+        assert!(!bad.is_valid());
+        // balloting violated
+        let bad = PolishExpression {
+            elements: vec![
+                Element::Operand(0),
+                Element::H,
+                Element::Operand(1),
+                Element::Operand(2),
+                Element::V,
+            ],
+        };
+        assert!(!bad.is_valid());
+        // normalization violated (two adjacent identical operators)
+        let bad = PolishExpression {
+            elements: vec![
+                Element::Operand(0),
+                Element::Operand(1),
+                Element::Operand(2),
+                Element::V,
+                Element::V,
+            ],
+        };
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    fn moves_preserve_validity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut p = PolishExpression::row(7);
+        for step in 0..500 {
+            match step % 3 {
+                0 => p.m1_swap_operands(&mut rng),
+                1 => p.m2_complement_chain(&mut rng),
+                _ => {
+                    let _ = p.m3_swap_operand_operator(&mut rng);
+                }
+            }
+            assert!(p.is_valid(), "invalid after step {step}: {:?}", p.elements());
+            assert_eq!(p.num_operands(), 7);
+        }
+    }
+
+    #[test]
+    fn m1_swaps_only_operands() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = PolishExpression::row(4);
+        let ops_before: Vec<Element> = p
+            .elements()
+            .iter()
+            .copied()
+            .filter(|e| e.is_operator())
+            .collect();
+        p.m1_swap_operands(&mut rng);
+        let ops_after: Vec<Element> = p
+            .elements()
+            .iter()
+            .copied()
+            .filter(|e| e.is_operator())
+            .collect();
+        assert_eq!(ops_before, ops_after);
+    }
+
+    #[test]
+    fn m2_flips_operators() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = PolishExpression::row(3);
+        let count_v = |p: &PolishExpression| {
+            p.elements().iter().filter(|&&e| e == Element::V).count()
+        };
+        let before = count_v(&p);
+        p.m2_complement_chain(&mut rng);
+        assert_ne!(count_v(&p), before);
+    }
+}

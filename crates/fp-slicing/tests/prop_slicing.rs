@@ -1,0 +1,89 @@
+//! Property tests for the slicing baseline: move closure, realization
+//! soundness, and Pareto-curve invariants.
+
+use fp_slicing::{PolishExpression, ShapeCurve, SlicingAnnealer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Any random move sequence keeps the expression valid and preserves
+    /// the operand multiset.
+    #[test]
+    fn move_closure(n in 2usize..10, seed in 0u64..10_000, steps in 1usize..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = PolishExpression::row(n);
+        for k in 0..steps {
+            match k % 3 {
+                0 => p.m1_swap_operands(&mut rng),
+                1 => p.m2_complement_chain(&mut rng),
+                _ => { let _ = p.m3_swap_operand_operator(&mut rng); }
+            }
+        }
+        prop_assert!(p.is_valid());
+        let mut operands: Vec<usize> = p
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                fp_slicing::Element::Operand(m) => Some(*m),
+                _ => None,
+            })
+            .collect();
+        operands.sort_unstable();
+        prop_assert_eq!(operands, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Shape-curve combination is conservative: every point's area is at
+    /// least the sum of the smallest child areas... more precisely, heights
+    /// decrease strictly as widths increase (Pareto), and combining never
+    /// produces a point smaller than the children allow.
+    #[test]
+    fn curve_pareto_invariants(
+        a_dims in proptest::collection::vec((1.0f64..8.0, 1.0f64..8.0), 1..5),
+        b_dims in proptest::collection::vec((1.0f64..8.0, 1.0f64..8.0), 1..5),
+        vertical in any::<bool>(),
+    ) {
+        let a = ShapeCurve::leaf(&a_dims);
+        let b = ShapeCurve::leaf(&b_dims);
+        let c = ShapeCurve::combine(&a, &b, vertical);
+        prop_assert!(!c.is_empty());
+        let pts = c.points();
+        for w in pts.windows(2) {
+            prop_assert!(w[0].w < w[1].w);
+            prop_assert!(w[0].h > w[1].h);
+        }
+        // Each combined point is at least as large as the smallest child
+        // footprint in both directions.
+        let min_aw = a_dims.iter().map(|d| d.0).fold(f64::INFINITY, f64::min);
+        let min_bw = b_dims.iter().map(|d| d.0).fold(f64::INFINITY, f64::min);
+        for p in pts {
+            if vertical {
+                prop_assert!(p.w >= min_aw + min_bw - 1e-9);
+            } else {
+                prop_assert!(p.w >= min_aw.max(min_bw) - 1e-9);
+            }
+        }
+    }
+
+    /// The annealer's floorplan is always complete, overlap-free and keeps
+    /// the area accounting exact.
+    #[test]
+    fn annealed_floorplans_sound(n in 2usize..9, seed in 0u64..300, flex in 0.0f64..0.5) {
+        let nl = fp_netlist::generator::ProblemGenerator::new(n, seed)
+            .with_flexible_fraction(flex)
+            .generate();
+        let mut annealer = SlicingAnnealer::new(&nl);
+        // Keep the schedule short for test speed.
+        let result = annealer
+            .with_seed(seed)
+            .with_moves_per_temperature(10)
+            .with_cooling(0.5)
+            .run();
+        prop_assert_eq!(result.floorplan.len(), n);
+        prop_assert!(result.floorplan.is_valid(), "{:?}", result.floorplan.violations());
+        // Area accounting: chip area equals the root point's area and is at
+        // least the sum of module areas.
+        prop_assert!((result.area - result.floorplan.chip_area()).abs() < 1e-6);
+        prop_assert!(result.area >= nl.total_module_area() - 1e-6);
+    }
+}

@@ -1,0 +1,134 @@
+//! Terminal rendering of floorplans.
+
+use fp_core::Floorplan;
+use fp_netlist::Netlist;
+
+/// Renders the floorplan as a character grid of the given width.
+///
+/// Each module is filled with a stable symbol derived from its index
+/// (`0-9`, then `a-z`, then `A-Z`, cycling); free space is `.`; the chip
+/// boundary is drawn as a frame. The y axis points up, like the paper's
+/// coordinate system.
+#[must_use]
+pub fn ascii_floorplan(floorplan: &Floorplan, netlist: &Netlist, width_chars: usize) -> String {
+    let w = floorplan.chip_width();
+    let h = floorplan.chip_height();
+    if w <= 0.0 || h <= 0.0 || floorplan.is_empty() {
+        return String::from("(empty floorplan)\n");
+    }
+    let width_chars = width_chars.max(8);
+    // Terminal cells are ~2x taller than wide; compensate.
+    let height_chars = ((h / w) * width_chars as f64 / 2.0).round().max(2.0) as usize;
+
+    let mut grid = vec![vec!['.'; width_chars]; height_chars];
+    for placed in floorplan.iter() {
+        let sym = symbol(placed.id.index());
+        let r = placed.rect;
+        let x0 = ((r.x / w) * width_chars as f64).round() as usize;
+        let x1 = ((r.right() / w) * width_chars as f64).round() as usize;
+        let y0 = ((r.y / h) * height_chars as f64).round() as usize;
+        let y1 = ((r.top() / h) * height_chars as f64).round() as usize;
+        for row in grid.iter_mut().take(y1.min(height_chars)).skip(y0) {
+            for cell in row.iter_mut().take(x1.min(width_chars)).skip(x0) {
+                *cell = sym;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — chip {:.1} x {:.1}, area {:.0}, utilization {:.1}%\n",
+        netlist.name(),
+        w,
+        h,
+        floorplan.chip_area(),
+        100.0 * floorplan.utilization(netlist)
+    ));
+    out.push('+');
+    out.push_str(&"-".repeat(width_chars));
+    out.push_str("+\n");
+    for row in grid.iter().rev() {
+        out.push('|');
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width_chars));
+    out.push_str("+\n");
+    out
+}
+
+fn symbol(index: usize) -> char {
+    const SYMBOLS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    SYMBOLS[index % SYMBOLS.len()] as char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_core::PlacedModule;
+    use fp_geom::Rect;
+    use fp_netlist::{Module, ModuleId};
+
+    fn one_module_plan() -> (Floorplan, Netlist) {
+        let mut nl = Netlist::new("t");
+        nl.add_module(Module::rigid("a", 4.0, 4.0, false)).unwrap();
+        nl.add_module(Module::rigid("b", 4.0, 4.0, false)).unwrap();
+        let fp = Floorplan::new(
+            8.0,
+            vec![
+                PlacedModule {
+                    id: ModuleId(0),
+                    rect: Rect::new(0.0, 0.0, 4.0, 4.0),
+                    envelope: Rect::new(0.0, 0.0, 4.0, 4.0),
+                    rotated: false,
+                },
+                PlacedModule {
+                    id: ModuleId(1),
+                    rect: Rect::new(4.0, 0.0, 4.0, 4.0),
+                    envelope: Rect::new(4.0, 0.0, 4.0, 4.0),
+                    rotated: false,
+                },
+            ],
+        );
+        (fp, nl)
+    }
+
+    #[test]
+    fn renders_modules_and_frame() {
+        let (fp, nl) = one_module_plan();
+        let text = ascii_floorplan(&fp, &nl, 32);
+        assert!(text.contains('0'));
+        assert!(text.contains('1'));
+        assert!(text.starts_with("t — chip 8.0 x 4.0"));
+        assert!(text.contains("utilization 100.0%"));
+        let frame_rows = text.lines().filter(|l| l.starts_with('+')).count();
+        assert_eq!(frame_rows, 2);
+    }
+
+    #[test]
+    fn empty_floorplan_message() {
+        let nl = Netlist::new("t");
+        let fp = Floorplan::new(8.0, vec![]);
+        assert!(ascii_floorplan(&fp, &nl, 20).contains("empty"));
+    }
+
+    #[test]
+    fn symbols_cycle() {
+        assert_eq!(symbol(0), '0');
+        assert_eq!(symbol(10), 'a');
+        assert_eq!(symbol(36), 'A');
+        assert_eq!(symbol(62), '0'); // cycles
+    }
+
+    #[test]
+    fn width_is_respected() {
+        let (fp, nl) = one_module_plan();
+        let text = ascii_floorplan(&fp, &nl, 40);
+        let body: Vec<&str> = text.lines().filter(|l| l.starts_with('|')).collect();
+        assert!(!body.is_empty());
+        for line in body {
+            assert_eq!(line.chars().count(), 42); // 40 + 2 borders
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Floorplan visualization: ASCII for terminals, SVG for files.
+//!
+//! Regenerates the paper's pictures: Figure 5 (a floorplan of the ami33
+//! chip) and Figures 6/8 (the final floorplan with routing space) come out
+//! of [`svg_floorplan`] / [`svg_routed`]; [`ascii_floorplan`] gives a quick
+//! terminal view used by the CLI and the experiment binaries.
+//!
+//! ```
+//! use fp_core::{Floorplan, PlacedModule};
+//! use fp_geom::Rect;
+//! use fp_netlist::{Module, ModuleId, Netlist};
+//!
+//! let mut nl = Netlist::new("demo");
+//! nl.add_module(Module::rigid("alu", 4.0, 3.0, false)).unwrap();
+//! let fp = Floorplan::new(8.0, vec![PlacedModule {
+//!     id: ModuleId(0),
+//!     rect: Rect::new(0.0, 0.0, 4.0, 3.0),
+//!     envelope: Rect::new(0.0, 0.0, 4.0, 3.0),
+//!     rotated: false,
+//! }]);
+//! let text = fp_viz::ascii_floorplan(&fp, &nl, 32);
+//! assert!(text.contains('0'));
+//! let svg = fp_viz::svg_floorplan(&fp, &nl);
+//! assert!(svg.starts_with("<svg") && svg.contains("alu"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ascii;
+mod svg;
+
+pub use ascii::ascii_floorplan;
+pub use svg::{svg_congestion, svg_floorplan, svg_routed};

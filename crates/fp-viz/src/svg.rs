@@ -1,0 +1,263 @@
+//! SVG rendering of floorplans and routed chips.
+
+use fp_core::Floorplan;
+use fp_netlist::Netlist;
+use fp_route::RoutingResult;
+use std::fmt::Write as _;
+
+const SCALE: f64 = 8.0;
+const MARGIN: f64 = 12.0;
+const PALETTE: [&str; 8] = [
+    "#9ecae1", "#a1d99b", "#fdae6b", "#bcbddc", "#fc9272", "#c7e9c0", "#fdd0a2", "#d9d9d9",
+];
+
+/// Renders a floorplan as a standalone SVG document (paper Fig. 5).
+///
+/// Modules are colored from a fixed palette and labeled; envelopes (when
+/// larger than the module) are drawn as dashed outlines showing the
+/// reserved routing space.
+#[must_use]
+pub fn svg_floorplan(floorplan: &Floorplan, netlist: &Netlist) -> String {
+    render(floorplan, netlist, None)
+}
+
+/// Renders a floorplan with its global routing overlaid (paper Figs. 6/8):
+/// routed net segments as polylines over the module geometry.
+#[must_use]
+pub fn svg_routed(floorplan: &Floorplan, netlist: &Netlist, routing: &RoutingResult) -> String {
+    render(floorplan, netlist, Some(routing))
+}
+
+/// Renders a congestion heatmap: channel cells shaded by their worst
+/// `usage / capacity` ratio (green → red), module outlines on top. Useful
+/// for seeing where the §3.2 channel adjustment will grow the chip.
+#[must_use]
+pub fn svg_congestion(floorplan: &Floorplan, netlist: &Netlist, routing: &RoutingResult) -> String {
+    let w = floorplan.chip_width();
+    let h = floorplan.chip_height().max(1.0);
+    let width_px = w * SCALE + 2.0 * MARGIN;
+    let height_px = h * SCALE + 2.0 * MARGIN;
+    let tx = |x: f64| MARGIN + x * SCALE;
+    let ty = |y: f64| MARGIN + (h - y) * SCALE;
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px:.0}" height="{height_px:.0}" viewBox="0 0 {width_px:.0} {height_px:.0}">"#
+    );
+    for (rect, ratio) in routing.cell_congestion() {
+        if rect.is_degenerate() {
+            continue;
+        }
+        // 0 -> pale green, 1 -> amber, >=2 -> red.
+        let t = (ratio / 2.0).clamp(0.0, 1.0);
+        let r = (180.0 + 75.0 * t) as u32;
+        let g = (230.0 - 160.0 * t) as u32;
+        let b = (180.0 - 120.0 * t) as u32;
+        let _ = write!(
+            out,
+            r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="rgb({r},{g},{b})"/>"#,
+            tx(rect.x),
+            ty(rect.top()),
+            rect.w * SCALE,
+            rect.h * SCALE
+        );
+    }
+    for placed in floorplan.iter() {
+        let r = placed.rect;
+        let _ = write!(
+            out,
+            r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="none" stroke="black" stroke-width="0.8"/>"#,
+            tx(r.x),
+            ty(r.top()),
+            r.w * SCALE,
+            r.h * SCALE
+        );
+    }
+    let _ = write!(
+        out,
+        r#"<text x="{:.1}" y="{:.1}" font-size="10" font-family="monospace">{} congestion (max ratio {:.2}, {} overflowed edges)</text>"#,
+        MARGIN,
+        height_px - 2.0,
+        netlist.name(),
+        routing
+            .cell_congestion()
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(0.0, f64::max),
+        routing.adjustment.overflowed_edges
+    );
+    out.push_str("</svg>");
+    out
+}
+
+fn render(floorplan: &Floorplan, netlist: &Netlist, routing: Option<&RoutingResult>) -> String {
+    let w = floorplan.chip_width();
+    let h = floorplan.chip_height().max(1.0);
+    let width_px = w * SCALE + 2.0 * MARGIN;
+    let height_px = h * SCALE + 2.0 * MARGIN;
+    // y flips: chip origin is bottom-left, SVG origin is top-left.
+    let tx = |x: f64| MARGIN + x * SCALE;
+    let ty = |y: f64| MARGIN + (h - y) * SCALE;
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px:.0}" height="{height_px:.0}" viewBox="0 0 {width_px:.0} {height_px:.0}">"#
+    );
+    let _ = write!(
+        out,
+        r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="white" stroke="black" stroke-width="1.5"/>"#,
+        tx(0.0),
+        ty(h),
+        w * SCALE,
+        h * SCALE
+    );
+
+    for (k, placed) in floorplan.iter().enumerate() {
+        let color = PALETTE[k % PALETTE.len()];
+        let e = placed.envelope;
+        if e.area() > placed.rect.area() + 1e-9 {
+            let _ = write!(
+                out,
+                r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="none" stroke="#888" stroke-width="0.6" stroke-dasharray="3,2"/>"##,
+                tx(e.x),
+                ty(e.top()),
+                e.w * SCALE,
+                e.h * SCALE
+            );
+        }
+        let r = placed.rect;
+        let _ = write!(
+            out,
+            r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{color}" stroke="black" stroke-width="0.8"/>"#,
+            tx(r.x),
+            ty(r.top()),
+            r.w * SCALE,
+            r.h * SCALE
+        );
+        let c = r.center();
+        let name = netlist.module(placed.id).name();
+        let label = if placed.rotated {
+            format!("{name}*")
+        } else {
+            name.to_string()
+        };
+        let font = (r.w.min(r.h) * SCALE * 0.3).clamp(4.0, 11.0);
+        let _ = write!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-size="{font:.1}" text-anchor="middle" dominant-baseline="middle" font-family="monospace">{label}</text>"#,
+            tx(c.x),
+            ty(c.y)
+        );
+    }
+
+    if let Some(routing) = routing {
+        for routed in &routing.routes {
+            let critical = netlist.net(routed.id).criticality() > 0.0;
+            let (stroke, width) = if critical {
+                ("#d62728", 1.2)
+            } else {
+                ("#1f77b4", 0.6)
+            };
+            for path in &routed.paths {
+                if path.len() < 2 {
+                    continue;
+                }
+                let pts: Vec<String> = path
+                    .iter()
+                    .map(|p| format!("{:.1},{:.1}", tx(p.x), ty(p.y)))
+                    .collect();
+                let _ = write!(
+                    out,
+                    r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width}" opacity="0.7"/>"#,
+                    pts.join(" ")
+                );
+            }
+        }
+    }
+
+    let _ = write!(
+        out,
+        r#"<text x="{:.1}" y="{:.1}" font-size="10" font-family="monospace">{}: {:.0} x {:.0}, utilization {:.1}%</text>"#,
+        MARGIN,
+        height_px - 2.0,
+        netlist.name(),
+        w,
+        h,
+        100.0 * floorplan.utilization(netlist)
+    );
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_core::PlacedModule;
+    use fp_geom::Rect;
+    use fp_netlist::{Module, ModuleId, Net};
+
+    fn world() -> (Floorplan, Netlist) {
+        let mut nl = Netlist::new("t");
+        nl.add_module(Module::rigid("alu", 4.0, 3.0, false)).unwrap();
+        nl.add_module(Module::rigid("ram", 3.0, 3.0, false)).unwrap();
+        nl.add_net(Net::new("bus", [ModuleId(0), ModuleId(1)]).with_criticality(0.9))
+            .unwrap();
+        let fp = Floorplan::new(
+            10.0,
+            vec![
+                PlacedModule {
+                    id: ModuleId(0),
+                    rect: Rect::new(0.5, 0.5, 4.0, 3.0),
+                    envelope: Rect::new(0.0, 0.0, 5.0, 4.0),
+                    rotated: false,
+                },
+                PlacedModule {
+                    id: ModuleId(1),
+                    rect: Rect::new(6.0, 0.0, 3.0, 3.0),
+                    envelope: Rect::new(6.0, 0.0, 3.0, 3.0),
+                    rotated: true,
+                },
+            ],
+        );
+        (fp, nl)
+    }
+
+    #[test]
+    fn floorplan_svg_structure() {
+        let (fp, nl) = world();
+        let svg = svg_floorplan(&fp, &nl);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("alu"));
+        assert!(svg.contains("ram*"), "rotated module gets a star");
+        assert!(svg.contains("stroke-dasharray"), "envelope outline drawn");
+        assert!(svg.contains("utilization"));
+    }
+
+    #[test]
+    fn routed_svg_has_polylines() {
+        let (fp, nl) = world();
+        let routing = fp_route::route(&fp, &nl, &fp_route::RouteConfig::default()).unwrap();
+        let svg = svg_routed(&fp, &nl, &routing);
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("#d62728"), "critical net highlighted");
+    }
+
+    #[test]
+    fn congestion_heatmap_renders() {
+        let (fp, nl) = world();
+        let routing = fp_route::route(&fp, &nl, &fp_route::RouteConfig::default()).unwrap();
+        let svg = svg_congestion(&fp, &nl, &routing);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("rgb("));
+        assert!(svg.contains("congestion"));
+    }
+
+    #[test]
+    fn svg_is_deterministic() {
+        let (fp, nl) = world();
+        assert_eq!(svg_floorplan(&fp, &nl), svg_floorplan(&fp, &nl));
+    }
+}

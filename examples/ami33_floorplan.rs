@@ -1,0 +1,52 @@
+//! The paper's headline experiment: floorplan the ami33 benchmark
+//! (33 modules, total module area 11520) minimizing chip area, then compact
+//! it with the §2.5 given-topology LP.
+//!
+//! ```sh
+//! cargo run --release --example ami33_floorplan
+//! ```
+
+use analytical_floorplan::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let netlist = ami33();
+    println!(
+        "benchmark {}: {} modules, total area {}, {} nets",
+        netlist.name(),
+        netlist.num_modules(),
+        netlist.total_module_area(),
+        netlist.num_nets(),
+    );
+
+    let config = FloorplanConfig::default()
+        .with_ordering(OrderingStrategy::Connectivity)
+        .with_objective(Objective::Area);
+    let result = Floorplanner::with_config(&netlist, config.clone()).run()?;
+    let floorplan = &result.floorplan;
+    println!(
+        "\naugmentation: {} steps, max {} binaries/step, {:.2?} total",
+        result.stats.steps.len(),
+        result.stats.max_binaries(),
+        result.stats.elapsed,
+    );
+    println!(
+        "after augmentation: chip {:.0} x {:.0}, utilization {:.1}%",
+        floorplan.chip_width(),
+        floorplan.chip_height(),
+        100.0 * floorplan.utilization(&netlist),
+    );
+
+    // §2.5: with the topology fixed, one LP re-optimizes all coordinates.
+    let compacted = optimize_topology(floorplan, &netlist, &config)?;
+    println!(
+        "after topology LP:  chip {:.0} x {:.0}, utilization {:.1}%",
+        compacted.chip_width(),
+        compacted.chip_height(),
+        100.0 * compacted.utilization(&netlist),
+    );
+    assert!(compacted.is_valid());
+    assert!(compacted.chip_height() <= floorplan.chip_height() + 1e-6);
+
+    println!("\n{}", ascii_floorplan(&compacted, &netlist, 66));
+    Ok(())
+}

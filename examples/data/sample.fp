@@ -1,0 +1,16 @@
+# A small mixed rigid/flexible problem in the fp-netlist text format.
+# Try: cargo run --release -p fp-cli -- examples/data/sample.fp --compact --route wsp --ascii
+problem sample
+module cpu    rigid 12 10 rot   pins 4 4 6 6
+module ram0   rigid 10 8  rot   pins 3 3 4 4
+module ram1   rigid 10 8  rot   pins 3 3 4 4
+module dma    rigid 6  5  rot   pins 2 2 2 2
+module alu    flexible 64 0.4 2.5 pins 3 3 3 3
+module ctl    flexible 36 0.5 2.0 pins 2 2 2 2
+module glue   flexible 16 0.25 4.0 pins 1 1 1 1
+net bus  weight 2 : cpu ram0 ram1
+net dbus : cpu alu
+net abus : alu ctl
+net irq  crit 0.9 maxlen 40 : cpu dma
+net g0   : glue ctl dma
+net g1   : glue ram0

@@ -1,0 +1,45 @@
+//! Quickstart: floorplan a small generated problem and print the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use analytical_floorplan::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 12-module problem, deterministic under the seed.
+    let netlist = analytical_floorplan::netlist::generator::ProblemGenerator::new(12, 7).generate();
+
+    // Default configuration: connectivity ordering, area objective,
+    // rotation enabled, chip width derived from total module area.
+    let result = Floorplanner::new(&netlist).run()?;
+    let floorplan = &result.floorplan;
+
+    println!("{}", ascii_floorplan(floorplan, &netlist, 64));
+    println!(
+        "placed {} modules in {} MILP steps ({} B&B nodes total, {:.2?})",
+        floorplan.len(),
+        result.stats.steps.len(),
+        result.stats.total_nodes(),
+        result.stats.elapsed,
+    );
+    println!(
+        "chip {:.0} x {:.0} = {:.0}, utilization {:.1}%, center wirelength {:.0}",
+        floorplan.chip_width(),
+        floorplan.chip_height(),
+        floorplan.chip_area(),
+        100.0 * floorplan.utilization(&netlist),
+        floorplan.center_wirelength(&netlist),
+    );
+    assert!(floorplan.is_valid());
+
+    // Global-route the result and report the post-routing chip area.
+    let routing = route(floorplan, &netlist, &RouteConfig::default())?;
+    println!(
+        "routed {} nets, wirelength {:.0}, final chip area after channel adjustment {:.0}",
+        routing.routes.len(),
+        routing.total_wirelength,
+        routing.adjustment.final_area(),
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Around-the-cell routing with envelopes (paper §3.2 / Table 3 setting):
+//! floorplan with routing envelopes, globally route with the weighted
+//! shortest-path router, adjust channels, and emit SVG figures.
+//!
+//! ```sh
+//! cargo run --release --example routed_chip
+//! # figures land in target/figures/
+//! ```
+
+use analytical_floorplan::prelude::*;
+use std::fs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let netlist = analytical_floorplan::netlist::generator::ProblemGenerator::new(14, 90)
+        .with_nets_per_module(3.0)
+        .generate();
+
+    // Envelopes reserve per-side routing space proportional to pin counts.
+    let config = FloorplanConfig::default()
+        .with_envelopes(true)
+        .with_pitches(0.10, 0.10);
+    let result = Floorplanner::with_config(&netlist, config).run()?;
+    let floorplan = &result.floorplan;
+    println!(
+        "floorplanned {} modules with envelopes: chip {:.1} x {:.1}",
+        floorplan.len(),
+        floorplan.chip_width(),
+        floorplan.chip_height(),
+    );
+
+    for (label, algorithm) in [
+        ("shortest path", RouteAlgorithm::ShortestPath),
+        ("weighted shortest path", RouteAlgorithm::WeightedShortestPath),
+    ] {
+        let route_cfg = RouteConfig::default()
+            .with_mode(RoutingMode::AroundTheCell)
+            .with_algorithm(algorithm)
+            .with_pitches(0.10, 0.10);
+        let routing = route(floorplan, &netlist, &route_cfg)?;
+        println!(
+            "{label:>24}: wirelength {:>7.1}, overflowed edges {:>3}, final chip area {:>9.1}",
+            routing.total_wirelength,
+            routing.adjustment.overflowed_edges,
+            routing.adjustment.final_area(),
+        );
+        if algorithm == RouteAlgorithm::WeightedShortestPath {
+            fs::create_dir_all("target/figures")?;
+            fs::write(
+                "target/figures/routed_chip.svg",
+                svg_routed(floorplan, &netlist, &routing),
+            )?;
+            println!("           wrote target/figures/routed_chip.svg");
+        }
+    }
+    Ok(())
+}

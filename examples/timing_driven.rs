@@ -1,0 +1,89 @@
+//! Timing-driven floorplanning and routing (paper §2.2 "additional
+//! constraints on the length of critical nets" + §3.2 "nets with the tight
+//! timing requirements are routed first", after [YOU89]).
+//!
+//! Builds a pipeline with two timing-critical nets, enforces their maximum
+//! estimated length inside the MILP, and shows the router honoring
+//! criticality order.
+//!
+//! ```sh
+//! cargo run --release --example timing_driven
+//! ```
+
+use analytical_floorplan::prelude::*;
+use fp_netlist::{Module, Net, Netlist};
+
+fn build() -> Netlist {
+    let mut nl = Netlist::new("timing");
+    let cpu = nl.add_module(Module::rigid("cpu", 10.0, 8.0, true)).unwrap();
+    let cache = nl.add_module(Module::rigid("cache", 8.0, 8.0, true)).unwrap();
+    let mmu = nl.add_module(Module::rigid("mmu", 6.0, 6.0, true)).unwrap();
+    let io = nl.add_module(Module::rigid("io", 8.0, 4.0, true)).unwrap();
+    let dsp = nl.add_module(Module::rigid("dsp", 9.0, 7.0, true)).unwrap();
+    let rom = nl.add_module(Module::rigid("rom", 7.0, 5.0, true)).unwrap();
+
+    // Critical path: cpu <-> cache must stay short.
+    nl.add_net(
+        Net::new("c_bus", [cpu, cache])
+            .with_criticality(1.0)
+            .with_max_length(14.0),
+    )
+    .unwrap();
+    // Second critical net with a looser budget.
+    nl.add_net(
+        Net::new("tlb", [cpu, mmu])
+            .with_criticality(0.8)
+            .with_max_length(20.0),
+    )
+    .unwrap();
+    // Ordinary connectivity.
+    for (name, members) in [
+        ("dbus", vec![cpu, io, dsp]),
+        ("prog", vec![rom, cpu]),
+        ("strm", vec![dsp, io]),
+        ("mres", vec![mmu, cache, rom]),
+    ] {
+        nl.add_net(Net::new(name, members)).unwrap();
+    }
+    nl
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let netlist = build();
+
+    for enforce in [false, true] {
+        let config = FloorplanConfig::default()
+            .with_objective(Objective::AreaPlusWirelength { lambda: 0.5 })
+            .with_critical_nets(enforce);
+        let result = Floorplanner::with_config(&netlist, config).run()?;
+        let fp = &result.floorplan;
+
+        // Measure the critical nets' center distances.
+        let dist = |a: &str, b: &str| {
+            let pa = fp.placement(netlist.module_by_name(a).unwrap()).unwrap();
+            let pb = fp.placement(netlist.module_by_name(b).unwrap()).unwrap();
+            pa.rect.center().manhattan(&pb.rect.center())
+        };
+        println!(
+            "critical-net constraints {}: chip {:.0}x{:.0}, cpu-cache {:.1} (limit 14), cpu-mmu {:.1} (limit 20)",
+            if enforce { "ENFORCED" } else { "off     " },
+            fp.chip_width(),
+            fp.chip_height(),
+            dist("cpu", "cache"),
+            dist("cpu", "mmu"),
+        );
+        if enforce {
+            assert!(dist("cpu", "cache") <= 14.0 + 1e-6);
+            assert!(dist("cpu", "mmu") <= 20.0 + 1e-6);
+        }
+
+        // Route and check the length limits end-to-end.
+        let routing = route(fp, &netlist, &RouteConfig::default())?;
+        println!(
+            "  routed: wirelength {:.0}, critical nets missing their limit: {}",
+            routing.total_wirelength,
+            routing.missed_limits(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! **analytical-floorplan** — a Rust reproduction of *"An Analytical
+//! Approach to Floorplan Design and Optimization"* (Sutanthavibul,
+//! Shragowitz, Rosen, 27th DAC, 1990).
+//!
+//! This facade crate re-exports the workspace so applications depend on a
+//! single crate:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`milp`] | `fp-milp` | simplex + branch-and-bound MILP solver (the LINDO substitute) |
+//! | [`geom`] | `fp-geom` | rectangles, skylines, §3.1 covering-rectangle decomposition |
+//! | [`netlist`] | `fp-netlist` | modules, nets, orderings, generators, the ami33-equivalent benchmark |
+//! | [`core`] | `fp-core` | the MILP floorplanner: formulations (2)–(8), successive augmentation, envelopes, §2.5 topology LP |
+//! | [`route`] | `fp-route` | channel position graph, SP/WSP global router, channel adjustment |
+//! | [`slicing`] | `fp-slicing` | Wong-Liu slicing SA baseline (the paper's §2.1 prior art) |
+//! | [`viz`] | `fp-viz` | ASCII and SVG renderings |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use analytical_floorplan::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let netlist = analytical_floorplan::netlist::generator::ProblemGenerator::new(6, 42).generate();
+//! let config = FloorplanConfig::default();
+//! # let config = config // keep the doctest quick in debug builds:
+//! #     .with_step_options(analytical_floorplan::milp::SolveOptions::default().with_node_limit(400));
+//! let result = Floorplanner::with_config(&netlist, config).run()?;
+//! assert!(result.floorplan.is_valid());
+//! let routing = route(&result.floorplan, &netlist, &RouteConfig::default())?;
+//! println!("final chip area: {:.0}", routing.adjustment.final_area());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fp_core as core;
+pub use fp_geom as geom;
+pub use fp_milp as milp;
+pub use fp_netlist as netlist;
+pub use fp_route as route;
+pub use fp_slicing as slicing;
+pub use fp_viz as viz;
+
+mod pipeline;
+pub use pipeline::{Pipeline, PipelineError, PipelineReport};
+
+/// The names most applications need.
+pub mod prelude {
+    pub use crate::pipeline::{Pipeline, PipelineError, PipelineReport};
+    pub use fp_core::{
+        bottom_left, improve, optimize_topology, FloorplanConfig, FloorplanResult, Floorplanner,
+        Objective, OrderingStrategy,
+    };
+    pub use fp_netlist::{ami33, apte9, xerox10, Module, Net, Netlist};
+    pub use fp_route::{route, RouteAlgorithm, RouteConfig, RoutingMode};
+    pub use fp_viz::{ascii_floorplan, svg_congestion, svg_floorplan, svg_routed};
+}

@@ -1,0 +1,73 @@
+//! File-based workflow: parse a problem deck from disk, run the whole
+//! pipeline, and write renderings — the library-level equivalent of what
+//! the `floorplan` CLI does.
+
+use analytical_floorplan::netlist::format;
+use analytical_floorplan::prelude::*;
+use std::time::Duration;
+
+fn fast_config() -> FloorplanConfig {
+    FloorplanConfig::default().with_step_options(
+        analytical_floorplan::milp::SolveOptions::default()
+            .with_node_limit(600)
+            .with_time_limit(Duration::from_millis(700)),
+    )
+}
+
+#[test]
+fn sample_deck_end_to_end() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/data/sample.fp"
+    ))
+    .expect("sample deck ships with the repo");
+    let netlist = format::parse(&text).expect("sample deck parses");
+    assert_eq!(netlist.name(), "sample");
+    assert_eq!(netlist.num_modules(), 7);
+    assert!(netlist.modules().any(|(_, m)| m.is_flexible()));
+    assert!(netlist.nets().any(|(_, n)| n.max_length().is_some()));
+
+    let mut pipeline = Pipeline::new();
+    pipeline
+        .floorplan_config(fast_config())
+        .improve_rounds(1)
+        .route(RouteConfig::default());
+    let report = pipeline.run(&netlist).expect("pipeline succeeds");
+    assert!(report.floorplan.is_valid());
+    assert_eq!(report.floorplan.len(), 7);
+
+    // Renderings are well-formed.
+    let routing = report.routing.as_ref().unwrap();
+    let svg = svg_routed(&report.floorplan, &netlist, routing);
+    assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+    let heat = svg_congestion(&report.floorplan, &netlist, routing);
+    assert!(heat.contains("congestion"));
+    let ascii = ascii_floorplan(&report.floorplan, &netlist, 40);
+    assert!(ascii.contains("sample"));
+}
+
+#[test]
+fn deck_round_trip_through_writer() {
+    let original = fp_netlist::generator::ProblemGenerator::new(9, 77)
+        .with_flexible_fraction(0.3)
+        .generate();
+    let dir = std::env::temp_dir().join("fp_file_workflow_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("problem.fp");
+    std::fs::write(&path, format::write(&original)).unwrap();
+    let loaded = format::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(loaded, original);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn era_benchmarks_floorplan_cleanly() {
+    for netlist in [apte9(), xerox10()] {
+        let result = Floorplanner::with_config(&netlist, fast_config())
+            .run()
+            .expect("benchmark is feasible");
+        assert_eq!(result.floorplan.len(), netlist.num_modules());
+        assert!(result.floorplan.is_valid());
+        assert!(result.floorplan.utilization(&netlist) > 0.5);
+    }
+}

@@ -1,0 +1,113 @@
+//! Cross-crate checks of the paper's stated properties: variable counts
+//! (§2.3), the covering-rectangle corollary (§3.1), envelope behaviour
+//! (§3.2) and benchmark identity (§4).
+
+use analytical_floorplan::core::{FloorplanConfig, Floorplanner, OrderingStrategy};
+use analytical_floorplan::geom::covering::{covering_rectangles, covers_all, pairwise_disjoint};
+use analytical_floorplan::milp::SolveOptions;
+use analytical_floorplan::netlist::{ami33, generator::ProblemGenerator};
+use std::time::Duration;
+
+fn fast() -> FloorplanConfig {
+    FloorplanConfig::default().with_step_options(
+        SolveOptions::default()
+            .with_node_limit(400)
+            .with_time_limit(Duration::from_millis(500)),
+    )
+}
+
+/// §4: "This benchmark, ami33, includes 33 modules" / "total modules area
+/// is 11520".
+#[test]
+fn ami33_identity() {
+    let nl = ami33();
+    assert_eq!(nl.num_modules(), 33);
+    assert_eq!(nl.total_module_area(), 11520.0);
+}
+
+/// §3.1 corollary `N* <= N` on the partial floorplans the augmentation
+/// procedure actually produces, plus the safety/partition contracts.
+#[test]
+fn covering_corollary_on_augmentation_output() {
+    let netlist = ProblemGenerator::new(12, 9).generate();
+    let result = Floorplanner::with_config(&netlist, fast()).run().unwrap();
+    // Every prefix of the placement is a partial floorplan the procedure
+    // could have collapsed.
+    let envelopes = result.floorplan.envelope_rects();
+    for k in 1..=envelopes.len() {
+        let prefix = &envelopes[..k];
+        let covers = covering_rectangles(prefix);
+        assert!(covers.len() <= k, "N* = {} > N = {k}", covers.len());
+        assert!(covers_all(&covers, prefix));
+        assert!(pairwise_disjoint(&covers));
+    }
+}
+
+/// §1/§3.1: the per-step integer-variable count stays bounded (the basis of
+/// the linear-time claim) regardless of problem size.
+#[test]
+fn per_step_binaries_bounded_at_scale() {
+    for n in [10usize, 20, 30] {
+        let netlist = ProblemGenerator::new(n, 77).generate();
+        let cfg = fast();
+        let result = Floorplanner::with_config(&netlist, cfg.clone()).run().unwrap();
+        assert!(
+            result.stats.max_binaries() <= cfg.max_binaries,
+            "K={n}: {} binaries",
+            result.stats.max_binaries()
+        );
+    }
+}
+
+/// §3.2: envelopes reserve space — the placed chip with envelopes is at
+/// least as large as without, and every envelope contains its module.
+#[test]
+fn envelopes_reserve_space() {
+    let netlist = ProblemGenerator::new(8, 5).with_nets_per_module(3.0).generate();
+    let plain = Floorplanner::with_config(&netlist, fast()).run().unwrap();
+    let enveloped = Floorplanner::with_config(&netlist, fast().with_envelopes(true))
+        .run()
+        .unwrap();
+    assert!(enveloped.floorplan.chip_area() >= plain.floorplan.chip_area() - 1e-6);
+    for p in enveloped.floorplan.iter() {
+        assert!(p.envelope.contains_rect(&p.rect));
+        assert!(p.envelope.area() >= p.rect.area());
+    }
+}
+
+/// §4 Series 2: both orderings must produce complete, valid floorplans of
+/// the ami33-equivalent benchmark (budget-limited smoke run).
+#[test]
+fn ami33_smoke_both_orderings() {
+    let netlist = ami33();
+    for ordering in [OrderingStrategy::Random(1), OrderingStrategy::Connectivity] {
+        let cfg = fast().with_ordering(ordering);
+        let result = Floorplanner::with_config(&netlist, cfg).run().unwrap();
+        assert_eq!(result.floorplan.len(), 33);
+        assert!(result.floorplan.is_valid());
+        let utilization = result.floorplan.utilization(&netlist);
+        assert!(utilization > 0.5, "utilization only {utilization}");
+    }
+}
+
+/// §2.5: the given-topology LP eliminates integer variables entirely —
+/// verified structurally by compacting and re-extracting the topology.
+#[test]
+fn topology_lp_is_pure_lp_fixed_point() {
+    use analytical_floorplan::core::{extract_topology, optimize_topology};
+    let netlist = ProblemGenerator::new(8, 21).generate();
+    let cfg = fast();
+    let result = Floorplanner::with_config(&netlist, cfg.clone()).run().unwrap();
+    let once = optimize_topology(&result.floorplan, &netlist, &cfg).unwrap();
+    let twice = optimize_topology(&once, &netlist, &cfg).unwrap();
+    // Each pass is monotone: never taller. (It need not be idempotent —
+    // re-extracting relations from the compacted plan can expose further
+    // compaction, exactly like iterated x/y compaction in layout editors.)
+    assert!(once.chip_height() <= result.floorplan.chip_height() + 1e-6);
+    assert!(twice.chip_height() <= once.chip_height() + 1e-6);
+    // And the topology stays extractable (no overlaps introduced).
+    assert_eq!(
+        extract_topology(&once).unwrap().len(),
+        once.len() * (once.len() - 1) / 2
+    );
+}
