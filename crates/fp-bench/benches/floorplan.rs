@@ -88,11 +88,7 @@ fn bench_slicing_baseline(c: &mut Criterion) {
     for &n in &[10usize, 20] {
         let netlist = ProblemGenerator::new(n, 4).generate();
         group.bench_with_input(BenchmarkId::new("wong_liu", n), &netlist, |b, nl| {
-            b.iter(|| {
-                fp_slicing::SlicingAnnealer::new(nl)
-                    .with_seed(1)
-                    .run()
-            })
+            b.iter(|| fp_slicing::SlicingAnnealer::new(nl).with_seed(1).run())
         });
     }
     group.finish();

@@ -130,5 +130,37 @@ fn bench_placement_milp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simplex, bench_branch_bound, bench_placement_milp);
+/// Serial vs parallel search on the same trees: `threads/{1,N}` rows make
+/// the scaling of the shared-frontier branch-and-bound directly comparable.
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let nthreads = std::thread::available_parallelism().map_or(2, |n| n.get().max(2));
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(12));
+    let cases: Vec<(&str, Model)> = vec![
+        ("knapsack22", knapsack(22, 3)),
+        ("placement5", placement_milp(5)),
+    ];
+    for (name, model) in &cases {
+        for &threads in &[1usize, nthreads] {
+            let opts = SolveOptions::default()
+                .with_node_limit(50_000)
+                .with_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("threads_{threads}")),
+                model,
+                |b, m| b.iter(|| m.solve_with(&opts).expect("feasible by construction")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simplex,
+    bench_branch_bound,
+    bench_placement_milp,
+    bench_parallel_scaling
+);
 criterion_main!(benches);

@@ -38,11 +38,9 @@ fn bench_route(c: &mut Criterion) {
             let cfg = RouteConfig::default()
                 .with_algorithm(algorithm)
                 .with_mode(RoutingMode::AroundTheCell);
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &(&fp, &nl),
-                |b, (fp, nl)| b.iter(|| route(fp, nl, &cfg).expect("routable")),
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &(&fp, &nl), |b, (fp, nl)| {
+                b.iter(|| route(fp, nl, &cfg).expect("routable"))
+            });
         }
     }
     group.finish();

@@ -59,7 +59,13 @@ fn main() {
     // --- rotation variables -------------------------------------------
     let mut table = Table::new(
         "Ablation B — 90° rotation variables (formulation (4))",
-        &["Modules", "Rotation", "Chip Area", "Utilisation", "Time (s)"],
+        &[
+            "Modules",
+            "Rotation",
+            "Chip Area",
+            "Utilisation",
+            "Time (s)",
+        ],
     );
     for &n in &[12usize, 18] {
         let netlist = ProblemGenerator::new(n, 41).generate();
@@ -72,10 +78,7 @@ fn main() {
                 n.to_string(),
                 label.to_string(),
                 format!("{:.0}", result.floorplan.chip_area()),
-                format!(
-                    "{:.1}%",
-                    100.0 * result.floorplan.utilization(&netlist)
-                ),
+                format!("{:.1}%", 100.0 * result.floorplan.utilization(&netlist)),
                 secs(result.stats.elapsed),
             ]);
         }

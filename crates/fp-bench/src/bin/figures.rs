@@ -27,7 +27,10 @@ fn figure1() {
     let h0 = s / w_max;
     let taylor_slope = s / (w_max * w_max); // paper's Λ = S / w_max²
     let secant_slope = (s / w_min - s / w_max) / (w_max - w_min);
-    println!("{:>6} {:>10} {:>12} {:>12}", "w", "h=S/w", "Taylor@wmax", "Secant");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12}",
+        "w", "h=S/w", "Taylor@wmax", "Secant"
+    );
     for k in 0..=6 {
         let w = w_min + (w_max - w_min) * f64::from(k) / 6.0;
         let dw = w_max - w;

@@ -36,7 +36,8 @@ fn main() {
     };
     let mut points: Vec<(usize, f64)> = Vec::new();
     let groups: Vec<Vec<Netlist>> = vec![
-        seeds.clone()
+        seeds
+            .clone()
             .into_iter()
             .map(|s| ProblemGenerator::new(15, s).generate())
             .collect(),
@@ -101,7 +102,13 @@ fn main() {
     // Extension beyond the paper: the other MCNC-era benchmark equivalents.
     let mut extended = Table::new(
         "Table 1 (extension) — MCNC-era benchmark equivalents",
-        &["Benchmark", "Modules", "Chip Area", "Area Utilisation", "Time (s)"],
+        &[
+            "Benchmark",
+            "Modules",
+            "Chip Area",
+            "Area Utilisation",
+            "Time (s)",
+        ],
     );
     for netlist in [apte9(), xerox10()] {
         let out = run_pipeline(&netlist, &experiment_config()).expect("pipeline");

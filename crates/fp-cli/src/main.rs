@@ -25,6 +25,7 @@ struct Args {
     compact: bool,
     node_limit: usize,
     time_limit: f64,
+    threads: Option<usize>,
     route: Option<RouteAlgorithm>,
     mode: RoutingMode,
     ascii: bool,
@@ -44,6 +45,7 @@ fn parse_args<I: Iterator<Item = String>>(mut it: I) -> Result<Args, String> {
         compact: false,
         node_limit: 20_000,
         time_limit: 10.0,
+        threads: None,
         route: None,
         mode: RoutingMode::AroundTheCell,
         ascii: false,
@@ -100,6 +102,15 @@ fn parse_args<I: Iterator<Item = String>>(mut it: I) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad time limit")?;
             }
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|_| "bad thread count")?;
+                if n == 0 {
+                    return Err("--threads wants at least 1".to_string());
+                }
+                args.threads = Some(n);
+            }
             "--route" => {
                 args.route = Some(match value("--route")?.as_str() {
                     "sp" => RouteAlgorithm::ShortestPath,
@@ -133,8 +144,8 @@ fn load_netlist(args: &Args) -> Result<Netlist, String> {
     }
     match &args.input {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read '{path}': {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
             // MCNC decks by extension; everything else uses the native
             // format.
             let parsed = if path.to_ascii_lowercase().ends_with(".yal") {
@@ -157,11 +168,16 @@ fn run() -> Result<(), String> {
         .with_ordering(args.ordering.clone())
         .with_envelopes(args.envelopes)
         .with_rotation(args.rotation)
-        .with_step_options(
-            fp_milp::SolveOptions::default()
+        .with_step_options({
+            // Default thread count (no --threads): available parallelism.
+            let mut opts = fp_milp::SolveOptions::default()
                 .with_node_limit(args.node_limit)
-                .with_time_limit(Duration::from_secs_f64(args.time_limit)),
-        );
+                .with_time_limit(Duration::from_secs_f64(args.time_limit));
+            if let Some(n) = args.threads {
+                opts = opts.with_threads(n);
+            }
+            opts
+        });
     if let Some(w) = args.width {
         config = config.with_chip_width(w);
     }
@@ -235,7 +251,7 @@ const HELP: &str = "usage: floorplan [INPUT.fp] [--ami33 | --random N:SEED]
   [--width W] [--objective area|wire[:LAMBDA]]
   [--ordering connectivity|random[:SEED]|area]
   [--envelopes] [--no-rotation] [--compact]
-  [--node-limit N] [--time-limit SECS]
+  [--node-limit N] [--time-limit SECS] [--threads N]
   [--route sp|wsp] [--mode over|around]
   [--ascii] [--svg FILE]";
 
@@ -273,6 +289,8 @@ mod tests {
             "500",
             "--time-limit",
             "2.5",
+            "--threads",
+            "4",
             "--route",
             "wsp",
             "--mode",
@@ -289,6 +307,7 @@ mod tests {
         assert!(a.envelopes && !a.rotation && a.compact && a.ascii);
         assert_eq!(a.node_limit, 500);
         assert_eq!(a.time_limit, 2.5);
+        assert_eq!(a.threads, Some(4));
         assert_eq!(a.route, Some(RouteAlgorithm::WeightedShortestPath));
         assert_eq!(a.mode, RoutingMode::OverTheCell);
         assert_eq!(a.svg.as_deref(), Some("out.svg"));
@@ -300,6 +319,13 @@ mod tests {
         assert!(parse(&["--random", "15"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--width"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "many"]).is_err());
+    }
+
+    #[test]
+    fn threads_defaults_to_auto() {
+        assert_eq!(parse(&["--ami33"]).unwrap().threads, None);
     }
 
     #[test]

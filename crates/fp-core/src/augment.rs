@@ -237,8 +237,7 @@ impl<'a> Floorplanner<'a> {
                             .iter()
                             .zip(group)
                             .map(|(g, spec)| {
-                                let (rect, envelope, rotated) =
-                                    spec.realize(g.x, g.y, g.z, g.dw);
+                                let (rect, envelope, rotated) = spec.realize(g.x, g.y, g.z, g.dw);
                                 PlacedModule {
                                     id: spec.id,
                                     rect,
@@ -411,8 +410,8 @@ mod tests {
             Floorplanner::with_config(&nl, bad).run(),
             Err(FloorplanError::InvalidOrdering(_))
         ));
-        let missing = FloorplanConfig::default()
-            .with_ordering(OrderingStrategy::Custom(vec![ModuleId(0)]));
+        let missing =
+            FloorplanConfig::default().with_ordering(OrderingStrategy::Custom(vec![ModuleId(0)]));
         assert!(matches!(
             Floorplanner::with_config(&nl, missing).run(),
             Err(FloorplanError::InvalidOrdering(_))
@@ -524,7 +523,7 @@ mod tests {
 
     #[test]
     fn milp_beats_or_matches_greedy_baseline() {
-        let nl = ProblemGenerator::new(9, 21).generate();
+        let nl = ProblemGenerator::new(9, 30).generate();
         let cfg = fast();
         let milp = Floorplanner::with_config(&nl, cfg.clone()).run().unwrap();
         let greedy = crate::greedy::bottom_left(&nl, &cfg).unwrap();

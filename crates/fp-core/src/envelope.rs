@@ -244,12 +244,7 @@ impl ShapeSpec {
     /// the discrete/continuous shape decisions, returns the module
     /// rectangle, its envelope, and the rotation flag.
     pub(crate) fn realize(&self, env_x: f64, env_y: f64, z: bool, dw: f64) -> (Rect, Rect, bool) {
-        let env = Rect::new(
-            env_x,
-            env_y,
-            self.env_width(z, dw),
-            self.env_height(z, dw),
-        );
+        let env = Rect::new(env_x, env_y, self.env_width(z, dw), self.env_height(z, dw));
         let m = self.margins[usize::from(z)];
         let rect = match self.soft {
             Some(soft) => {
@@ -371,13 +366,11 @@ mod tests {
 
     #[test]
     fn shape_candidates_cover_choices() {
-        let rigid = ShapeSpec::from_module(ModuleId(0), &Module::rigid("a", 4.0, 2.0, true), &cfg());
+        let rigid =
+            ShapeSpec::from_module(ModuleId(0), &Module::rigid("a", 4.0, 2.0, true), &cfg());
         assert_eq!(rigid.shape_candidates(), vec![(false, 0.0), (true, 0.0)]);
-        let soft = ShapeSpec::from_module(
-            ModuleId(1),
-            &Module::flexible("s", 16.0, 0.25, 4.0),
-            &cfg(),
-        );
+        let soft =
+            ShapeSpec::from_module(ModuleId(1), &Module::flexible("s", 16.0, 0.25, 4.0), &cfg());
         assert_eq!(soft.shape_candidates().len(), 3);
     }
 

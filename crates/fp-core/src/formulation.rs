@@ -98,11 +98,7 @@ impl StepModel {
         };
         let h_bar = (input.h_ub * h_slack).max(input.floor).max(1e-6);
 
-        let max_area = input
-            .group
-            .iter()
-            .map(|s| s.area)
-            .fold(1.0_f64, f64::max);
+        let max_area = input.group.iter().map(|s| s.area).fold(1.0_f64, f64::max);
 
         // --- variables --------------------------------------------------
         let ychip = model.add_continuous("y_chip", input.floor, h_bar);
@@ -152,10 +148,8 @@ impl StepModel {
                 model.set_branch_priority(q, prio);
 
                 // Geometric impossibility cuts.
-                let horizontal_ok =
-                    si.min_env_width() + sj.min_env_width() <= w_chip + 1e-9;
-                let vertical_ok =
-                    si.min_env_height() + sj.min_env_height() <= h_bar + 1e-9;
+                let horizontal_ok = si.min_env_width() + sj.min_env_width() <= w_chip + 1e-9;
+                let vertical_ok = si.min_env_height() + sj.min_env_height() <= h_bar + 1e-9;
                 forbid_impossible(
                     &mut model,
                     p,
@@ -295,11 +289,7 @@ impl StepModel {
         }
         model.set_objective(objective);
 
-        StepModel {
-            model,
-            vars,
-            ychip,
-        }
+        StepModel { model, vars, ychip }
     }
 
     /// Reads the solution back into placements.
@@ -311,7 +301,9 @@ impl StepModel {
                 let x = sol.value(mv.x).max(0.0);
                 let y = sol.value(mv.y).max(0.0);
                 let z = mv.z.is_some_and(|z| sol.rounded(z) == 1);
-                let dw = mv.dw.map_or(0.0, |dw| sol.value(dw).clamp(0.0, spec.dw_max));
+                let dw = mv
+                    .dw
+                    .map_or(0.0, |dw| sol.value(dw).clamp(0.0, spec.dw_max));
                 let (rect, envelope, rotated) = spec.realize(x, y, z, dw);
                 PlacedModule {
                     id: spec.id,
@@ -404,7 +396,10 @@ fn dist_vars(
     let span = input.chip_width.max(input.h_ub);
     let dx = model.add_continuous(format!("dx_{i}_{target:?}"), 0.0, span);
     let dy = model.add_continuous(format!("dy_{i}_{target:?}"), 0.0, span);
-    let (cxi, cyi) = (center_x(&input.group[i], &vars[i]), center_y(&input.group[i], &vars[i]));
+    let (cxi, cyi) = (
+        center_x(&input.group[i], &vars[i]),
+        center_y(&input.group[i], &vars[i]),
+    );
     let (cxj, cyj) = match target {
         DistTarget::Group(j) => (
             center_x(&input.group[j], &vars[j]),
@@ -670,10 +665,7 @@ mod tests {
         };
         let (sm, sol) = solve_step(&input);
         let placed = sm.extract(&sol, &group);
-        let top = placed
-            .iter()
-            .map(|p| p.envelope.top())
-            .fold(0.0, f64::max);
+        let top = placed.iter().map(|p| p.envelope.top()).fold(0.0, f64::max);
         // Secant over-reserves slightly; optimal is between 4 and 5.4.
         assert!(top <= 5.5 + 1e-6, "height {top}");
         assert!(!placed[0].envelope.overlaps(&placed[1].envelope));
@@ -707,10 +699,7 @@ mod tests {
         };
         let (sm, sol) = solve_step(&input);
         let placed = sm.extract(&sol, &group);
-        let d = placed[0]
-            .rect
-            .center()
-            .manhattan(&placed[1].rect.center());
+        let d = placed[0].rect.center().manhattan(&placed[1].rect.center());
         assert!(d <= 3.0 + 1e-5, "critical net length {d} > 3");
     }
 
@@ -735,7 +724,10 @@ mod tests {
             pull_down: false,
         };
         let sm = StepModel::build(&input);
-        let sol = sm.model.solve().unwrap();
+        // Serial solver: the node-count bound below assumes the
+        // deterministic dive-first DFS order.
+        let opts = fp_milp::SolveOptions::default().with_threads(1);
+        let sol = sm.model.solve_with(&opts).unwrap();
         let p = sm.model.var_by_name("p_0_f0").unwrap();
         let q = sm.model.var_by_name("q_0_f0").unwrap();
         assert_eq!(sol.rounded(p), 1);

@@ -97,7 +97,10 @@ pub(crate) fn greedy_height(
 /// # Errors
 ///
 /// [`FloorplanError::EmptyNetlist`] or [`FloorplanError::ModuleTooWide`].
-pub fn bottom_left(netlist: &Netlist, config: &FloorplanConfig) -> Result<Floorplan, FloorplanError> {
+pub fn bottom_left(
+    netlist: &Netlist,
+    config: &FloorplanConfig,
+) -> Result<Floorplan, FloorplanError> {
     let order = crate::augment::resolve_order(netlist, config)?;
     let chip_w = crate::augment::resolve_chip_width(netlist, config)?;
     let specs: Vec<ShapeSpec> = order
@@ -125,11 +128,7 @@ pub fn bottom_left(netlist: &Netlist, config: &FloorplanConfig) -> Result<Floorp
     Ok(Floorplan::new(chip_w, placed))
 }
 
-pub(crate) fn widest_error(
-    specs: &[ShapeSpec],
-    chip_w: f64,
-    netlist: &Netlist,
-) -> FloorplanError {
+pub(crate) fn widest_error(specs: &[ShapeSpec], chip_w: f64, netlist: &Netlist) -> FloorplanError {
     let widest = specs
         .iter()
         .max_by(|a, b| a.min_env_width().total_cmp(&b.min_env_width()))
@@ -156,7 +155,11 @@ mod tests {
 
     #[test]
     fn fills_row_then_stacks() {
-        let group = vec![spec(0, 4.0, 2.0, false), spec(1, 4.0, 2.0, false), spec(2, 4.0, 2.0, false)];
+        let group = vec![
+            spec(0, 4.0, 2.0, false),
+            spec(1, 4.0, 2.0, false),
+            spec(2, 4.0, 2.0, false),
+        ];
         let g = greedy_place(&[], &group, 8.0).unwrap();
         assert_eq!((g[0].x, g[0].y), (0.0, 0.0));
         assert_eq!((g[1].x, g[1].y), (4.0, 0.0));

@@ -55,9 +55,10 @@ pub fn reoptimize_band(
     if floorplan.len() < 2 || group_size == 0 {
         return Ok(floorplan.clone());
     }
-    let chip_width = resolve_chip_width(netlist, &config.clone().with_chip_width(
-        floorplan.chip_width(),
-    ))?;
+    let chip_width = resolve_chip_width(
+        netlist,
+        &config.clone().with_chip_width(floorplan.chip_width()),
+    )?;
 
     // Topmost modules first; the band starts `skip_top` below the top.
     let mut order: Vec<&PlacedModule> = floorplan.iter().collect();
@@ -136,7 +137,11 @@ pub fn reoptimize_band(
     modules.extend(returned);
     modules.extend(new_placements);
     let candidate = Floorplan::new(floorplan.chip_width(), modules);
-    debug_assert_eq!(candidate.len(), floorplan.len(), "module lost in reoptimize_top");
+    debug_assert_eq!(
+        candidate.len(),
+        floorplan.len(),
+        "module lost in reoptimize_top"
+    );
 
     // Accept a strictly lower chip, or — at equal height — a strictly
     // lower packing (the band mode's win: compaction then harvests the
@@ -156,10 +161,7 @@ pub fn reoptimize_band(
 /// Area-weighted sum of envelope bottoms: lower = better packed toward the
 /// chip floor.
 fn packing_score(floorplan: &Floorplan) -> f64 {
-    floorplan
-        .iter()
-        .map(|p| p.envelope.y * p.rect.area())
-        .sum()
+    floorplan.iter().map(|p| p.envelope.y * p.rect.area()).sum()
 }
 
 /// Improvement loop: alternately compacts (§2.5 topology LP) and re-solves

@@ -167,7 +167,10 @@ impl Floorplan {
         let mut out = Vec::new();
         for m in &self.modules {
             if !m.envelope.contains_rect(&m.rect) {
-                out.push(format!("{}: rect {} outside envelope {}", m.id, m.rect, m.envelope));
+                out.push(format!(
+                    "{}: rect {} outside envelope {}",
+                    m.id, m.rect, m.envelope
+                ));
             }
             if m.envelope.x < -GEOM_EPS
                 || m.envelope.y < -GEOM_EPS

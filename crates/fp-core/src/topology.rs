@@ -210,8 +210,12 @@ pub fn optimize_topology(
         .zip(&vars)
         .map(|((p, spec), &(x, y, dw))| {
             let dw_val = dw.map_or(0.0, |v| sol.value(v).clamp(0.0, spec.dw_max));
-            let (rect, envelope, rotated) =
-                spec.realize(sol.value(x).max(0.0), sol.value(y).max(0.0), p.rotated, dw_val);
+            let (rect, envelope, rotated) = spec.realize(
+                sol.value(x).max(0.0),
+                sol.value(y).max(0.0),
+                p.rotated,
+                dw_val,
+            );
             PlacedModule {
                 id: p.id,
                 rect,

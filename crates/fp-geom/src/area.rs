@@ -57,10 +57,7 @@ mod tests {
 
     #[test]
     fn disjoint_sum() {
-        let rects = [
-            Rect::new(0.0, 0.0, 2.0, 3.0),
-            Rect::new(5.0, 5.0, 1.0, 1.0),
-        ];
+        let rects = [Rect::new(0.0, 0.0, 2.0, 3.0), Rect::new(5.0, 5.0, 1.0, 1.0)];
         assert_eq!(union_area(&rects), 7.0);
     }
 
@@ -81,10 +78,7 @@ mod tests {
 
     #[test]
     fn cross_shape() {
-        let rects = [
-            Rect::new(2.0, 0.0, 2.0, 6.0),
-            Rect::new(0.0, 2.0, 6.0, 2.0),
-        ];
+        let rects = [Rect::new(2.0, 0.0, 2.0, 6.0), Rect::new(0.0, 2.0, 6.0, 2.0)];
         // 12 + 12 - 4 overlap
         assert_eq!(union_area(&rects), 20.0);
     }

@@ -126,12 +126,12 @@ mod tests {
     /// (paper: 5) covering rectangles.
     fn figure4_modules() -> Vec<Rect> {
         vec![
-            Rect::new(0.0, 0.0, 3.0, 2.0),  // bottom-left
-            Rect::new(3.0, 0.0, 3.0, 3.0),  // bottom-right
-            Rect::new(0.0, 2.0, 2.0, 3.0),  // tower on bottom-left
-            Rect::new(2.0, 3.0, 2.0, 1.0),  // bridge
-            Rect::new(4.0, 3.0, 2.0, 2.0),  // right tower
-            Rect::new(0.0, 5.0, 1.0, 1.0),  // cap
+            Rect::new(0.0, 0.0, 3.0, 2.0), // bottom-left
+            Rect::new(3.0, 0.0, 3.0, 3.0), // bottom-right
+            Rect::new(0.0, 2.0, 2.0, 3.0), // tower on bottom-left
+            Rect::new(2.0, 3.0, 2.0, 1.0), // bridge
+            Rect::new(4.0, 3.0, 2.0, 2.0), // right tower
+            Rect::new(0.0, 5.0, 1.0, 1.0), // cap
         ]
     }
 
@@ -201,10 +201,7 @@ mod tests {
     #[test]
     fn two_towers_with_gap() {
         // Disconnected contour: slabs split into per-tower rectangles.
-        let towers = vec![
-            Rect::new(0.0, 0.0, 1.0, 5.0),
-            Rect::new(4.0, 0.0, 1.0, 3.0),
-        ];
+        let towers = vec![Rect::new(0.0, 0.0, 1.0, 5.0), Rect::new(4.0, 0.0, 1.0, 3.0)];
         let covers = covering_rectangles(&towers);
         assert_eq!(covers.len(), 2);
         assert!(covers_all(&covers, &towers));

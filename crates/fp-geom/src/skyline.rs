@@ -189,10 +189,8 @@ mod tests {
     #[test]
     fn steps_merge_equal_heights() {
         // Two abutting rects with equal tops collapse into one segment.
-        let sky = Skyline::from_rects(&[
-            Rect::new(0.0, 0.0, 2.0, 3.0),
-            Rect::new(2.0, 1.0, 2.0, 2.0),
-        ]);
+        let sky =
+            Skyline::from_rects(&[Rect::new(0.0, 0.0, 2.0, 3.0), Rect::new(2.0, 1.0, 2.0, 2.0)]);
         assert_eq!(sky.len(), 1);
         assert_eq!(sky.height_at(3.9), 3.0);
     }
@@ -210,10 +208,8 @@ mod tests {
 
     #[test]
     fn overlap_takes_max() {
-        let sky = Skyline::from_rects(&[
-            Rect::new(0.0, 0.0, 4.0, 1.0),
-            Rect::new(1.0, 0.0, 2.0, 5.0),
-        ]);
+        let sky =
+            Skyline::from_rects(&[Rect::new(0.0, 0.0, 4.0, 1.0), Rect::new(1.0, 0.0, 2.0, 5.0)]);
         assert_eq!(sky.height_at(0.5), 1.0);
         assert_eq!(sky.height_at(2.0), 5.0);
         assert_eq!(sky.height_at(3.5), 1.0);
@@ -222,10 +218,8 @@ mod tests {
     #[test]
     fn drop_prefers_lowest_then_leftmost() {
         // Valley between two towers.
-        let sky = Skyline::from_rects(&[
-            Rect::new(0.0, 0.0, 1.0, 4.0),
-            Rect::new(3.0, 0.0, 1.0, 4.0),
-        ]);
+        let sky =
+            Skyline::from_rects(&[Rect::new(0.0, 0.0, 1.0, 4.0), Rect::new(3.0, 0.0, 1.0, 4.0)]);
         // Width 2 fits in the valley at (1, 0).
         assert_eq!(sky.drop_position(2.0, 4.0), Some((1.0, 0.0)));
         // Width 3 does not fit in the valley; must sit on a tower at height 4

@@ -5,13 +5,25 @@
 //! incumbent pruning. Depth-first diving reaches integer-feasible leaves
 //! quickly, which gives the strong upper bounds the big-M non-overlap
 //! disjunctions of the floorplanning formulation need to prune.
+//!
+//! With [`SolveOptions::threads`] above one, the search runs work-sharing
+//! parallel branch-and-bound: the root relaxation is solved on the calling
+//! thread (so depth-0 error cases surface exactly as in the serial solver),
+//! then scoped worker threads pop nodes from a shared LIFO frontier, prune
+//! against a shared incumbent, and terminate when every worker is idle with
+//! an empty frontier. `threads <= 1` runs the original serial loop, whose
+//! node order — and therefore incumbent, node count, and reported optimal
+//! vertex — is fully deterministic.
 
 use crate::error::SolveError;
 use crate::model::Model;
 use crate::options::SolveOptions;
 use crate::presolve::{presolve, PresolveStatus};
 use crate::simplex::{solve_lp, LpOutcome, LpProblem, SparseRow};
-use crate::solution::{Optimality, Solution, SolveStats};
+use crate::solution::{Optimality, Solution, SolveStats, ThreadStats};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread;
 use std::time::Instant;
 
 struct Node {
@@ -19,6 +31,10 @@ struct Node {
     ub: Vec<f64>,
     depth: usize,
 }
+
+/// `(incumbent values + min-form objective, bound proven, stats)` from
+/// either search loop; the caller converts this into the public result.
+type SearchResult = (Option<(Vec<f64>, f64)>, bool, SolveStats);
 
 /// Entry point used by [`Model::solve_with`].
 pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, SolveError> {
@@ -48,7 +64,11 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
         return Err(SolveError::Infeasible);
     }
     let rows: Vec<SparseRow> = pre.kept_rows.iter().map(|&r| rows[r].clone()).collect();
-    let (base_lb, base_ub) = (pre.lb, pre.ub);
+    let root = Node {
+        lb: pre.lb,
+        ub: pre.ub,
+        depth: 0,
+    };
 
     // Integral columns ordered by descending branch priority (stable).
     let mut int_cols: Vec<usize> = model
@@ -60,127 +80,12 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
         .collect();
     int_cols.sort_by_key(|&i| std::cmp::Reverse(model.vars[i].branch_priority));
 
-    let mut stats = SolveStats::default();
-    let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, min-form obj)
-    let mut proven = true;
-
-    let mut stack = vec![Node {
-        lb: base_lb,
-        ub: base_ub,
-        depth: 0,
-    }];
-
-    while let Some(node) = stack.pop() {
-        if stats.nodes >= options.node_limit || started.elapsed() >= options.time_limit {
-            proven = false;
-            break;
-        }
-        stats.nodes += 1;
-
-        let problem = LpProblem {
-            ncols: model.num_vars(),
-            rows: &rows,
-            c: &c,
-            lb: &node.lb,
-            ub: &node.ub,
-        };
-        let outcome = solve_lp(&problem, options.feas_tol, options.opt_tol);
-        let (x, obj) = match outcome {
-            LpOutcome::Optimal { x, obj, iterations } => {
-                stats.simplex_iterations += iterations;
-                (x, obj)
-            }
-            LpOutcome::Infeasible => continue,
-            LpOutcome::Unbounded => {
-                if node.depth == 0 && int_cols.is_empty() {
-                    return Err(SolveError::Unbounded);
-                }
-                if node.depth == 0 {
-                    // Unbounded relaxation: the MILP is unbounded or
-                    // infeasible; report unbounded, matching solver practice.
-                    return Err(SolveError::Unbounded);
-                }
-                proven = false;
-                continue;
-            }
-            LpOutcome::IterationLimit => {
-                if node.depth == 0 {
-                    return Err(SolveError::IterationLimit);
-                }
-                proven = false;
-                continue;
-            }
-        };
-
-        // Bound pruning against the incumbent (minimization form).
-        if let Some((_, inc_obj)) = &incumbent {
-            if obj >= inc_obj - options.absolute_gap - 1e-9 {
-                continue;
-            }
-        }
-
-        // Find the branching variable: highest priority, then most
-        // fractional.
-        let mut branch_col: Option<(usize, f64, i32, f64)> = None; // (col, val, prio, frac-score)
-        for &j in &int_cols {
-            let v = x[j];
-            let frac = (v - v.round()).abs();
-            if frac <= options.int_tol {
-                continue;
-            }
-            let prio = model.vars[j].branch_priority;
-            let score = 0.5 - (v.fract().abs() - 0.5).abs(); // closeness to .5
-            let better = match branch_col {
-                None => true,
-                Some((_, _, bp, bs)) => prio > bp || (prio == bp && score > bs),
-            };
-            if better {
-                branch_col = Some((j, v, prio, score));
-            }
-        }
-
-        match branch_col {
-            None => {
-                // Integer feasible: snap integers exactly and record.
-                let mut vals = x;
-                for &j in &int_cols {
-                    vals[j] = vals[j].round();
-                }
-                let better = incumbent
-                    .as_ref()
-                    .is_none_or(|(_, inc_obj)| obj < *inc_obj - 1e-9);
-                if better {
-                    incumbent = Some((vals, obj));
-                }
-            }
-            Some((j, v, _, _)) => {
-                let floor = v.floor();
-                let ceil = v.ceil();
-                let mut down = Node {
-                    lb: node.lb.clone(),
-                    ub: node.ub.clone(),
-                    depth: node.depth + 1,
-                };
-                down.ub[j] = floor;
-                let mut up = Node {
-                    lb: node.lb,
-                    ub: node.ub,
-                    depth: node.depth + 1,
-                };
-                up.lb[j] = ceil;
-                // Dive toward the nearer integer: push the preferred child
-                // last so the LIFO stack pops it first.
-                if v - floor <= 0.5 {
-                    stack.push(up);
-                    stack.push(down);
-                } else {
-                    stack.push(down);
-                    stack.push(up);
-                }
-            }
-        }
-    }
-
+    let threads = options.threads.max(1);
+    let (incumbent, proven, mut stats) = if threads == 1 {
+        solve_serial(model, options, started, &c, &rows, &int_cols, root)?
+    } else {
+        solve_parallel(model, options, started, &c, &rows, &int_cols, root, threads)?
+    };
     stats.elapsed = started.elapsed();
 
     match incumbent {
@@ -207,10 +112,443 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
     }
 }
 
+/// The branching variable and its LP value: highest priority first, ties
+/// broken by closeness to one half. `None` means integer feasible.
+fn branch_choice(
+    model: &Model,
+    int_cols: &[usize],
+    x: &[f64],
+    int_tol: f64,
+) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64, i32, f64)> = None; // (col, val, prio, frac-score)
+    for &j in int_cols {
+        let v = x[j];
+        let frac = (v - v.round()).abs();
+        if frac <= int_tol {
+            continue;
+        }
+        let prio = model.vars[j].branch_priority;
+        let score = 0.5 - (v.fract().abs() - 0.5).abs(); // closeness to .5
+        let better = match best {
+            None => true,
+            Some((_, _, bp, bs)) => prio > bp || (prio == bp && score > bs),
+        };
+        if better {
+            best = Some((j, v, prio, score));
+        }
+    }
+    best.map(|(j, v, _, _)| (j, v))
+}
+
+/// Splits `node` on column `j` at LP value `v` into (down, up) children.
+fn split(node: Node, j: usize, v: f64) -> (Node, Node) {
+    let mut down = Node {
+        lb: node.lb.clone(),
+        ub: node.ub.clone(),
+        depth: node.depth + 1,
+    };
+    down.ub[j] = v.floor();
+    let mut up = Node {
+        lb: node.lb,
+        ub: node.ub,
+        depth: node.depth + 1,
+    };
+    up.lb[j] = v.ceil();
+    (down, up)
+}
+
+/// The original deterministic dive-first DFS loop, unchanged in behavior.
+#[allow(clippy::too_many_arguments)]
+fn solve_serial(
+    model: &Model,
+    options: &SolveOptions,
+    started: Instant,
+    c: &[f64],
+    rows: &[SparseRow],
+    int_cols: &[usize],
+    root: Node,
+) -> Result<SearchResult, SolveError> {
+    let mut local = ThreadStats::default();
+    let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, min-form obj)
+    let mut proven = true;
+
+    let mut stack = vec![root];
+
+    while let Some(node) = stack.pop() {
+        if local.nodes >= options.node_limit || started.elapsed() >= options.time_limit {
+            proven = false;
+            break;
+        }
+        local.nodes += 1;
+
+        let problem = LpProblem {
+            ncols: model.num_vars(),
+            rows,
+            c,
+            lb: &node.lb,
+            ub: &node.ub,
+        };
+        let outcome = solve_lp(&problem, options.feas_tol, options.opt_tol);
+        let (x, obj) = match outcome {
+            LpOutcome::Optimal { x, obj, iterations } => {
+                local.simplex_iterations += iterations;
+                (x, obj)
+            }
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => {
+                if node.depth == 0 {
+                    // Unbounded relaxation: the MILP is unbounded or
+                    // infeasible; report unbounded, matching solver practice.
+                    return Err(SolveError::Unbounded);
+                }
+                proven = false;
+                continue;
+            }
+            LpOutcome::IterationLimit => {
+                if node.depth == 0 {
+                    return Err(SolveError::IterationLimit);
+                }
+                proven = false;
+                continue;
+            }
+        };
+
+        // Bound pruning against the incumbent (minimization form).
+        if let Some((_, inc_obj)) = &incumbent {
+            if obj >= inc_obj - options.absolute_gap - 1e-9 {
+                continue;
+            }
+        }
+
+        match branch_choice(model, int_cols, &x, options.int_tol) {
+            None => {
+                // Integer feasible: snap integers exactly and record.
+                let mut vals = x;
+                for &j in int_cols {
+                    vals[j] = vals[j].round();
+                }
+                let better = incumbent
+                    .as_ref()
+                    .is_none_or(|(_, inc_obj)| obj < *inc_obj - 1e-9);
+                if better {
+                    incumbent = Some((vals, obj));
+                }
+            }
+            Some((j, v)) => {
+                let floor = v.floor();
+                let (down, up) = split(node, j, v);
+                // Dive toward the nearer integer: push the preferred child
+                // last so the LIFO stack pops it first.
+                if v - floor <= 0.5 {
+                    stack.push(up);
+                    stack.push(down);
+                } else {
+                    stack.push(down);
+                    stack.push(up);
+                }
+            }
+        }
+    }
+
+    let stats = SolveStats {
+        nodes: local.nodes,
+        simplex_iterations: local.simplex_iterations,
+        elapsed: std::time::Duration::ZERO, // filled in by the caller
+        threads: 1,
+        per_thread: vec![local],
+    };
+    Ok((incumbent, proven, stats))
+}
+
+/// The node frontier plus the bookkeeping the termination protocol needs.
+/// All three fields live under one mutex so "empty frontier" and "every
+/// worker idle" are observed atomically together.
+struct Frontier {
+    stack: Vec<Node>,
+    idle: usize,
+    done: bool,
+}
+
+/// State shared by every worker of a parallel solve.
+struct SharedSearch<'a> {
+    model: &'a Model,
+    rows: &'a [SparseRow],
+    c: &'a [f64],
+    int_cols: &'a [usize],
+    options: &'a SolveOptions,
+    started: Instant,
+    nworkers: usize,
+    frontier: Mutex<Frontier>,
+    work_ready: Condvar,
+    /// Best integer-feasible point found, in minimization form.
+    incumbent: Mutex<Option<(Vec<f64>, f64)>>,
+    /// `f64::to_bits` of the incumbent objective (`f64::INFINITY` while no
+    /// incumbent exists), so pruning can read the bound without a lock.
+    /// Written only while `incumbent` is held, so stores never go backward.
+    bound_bits: AtomicU64,
+    /// Nodes claimed against `node_limit` across all workers.
+    nodes: AtomicUsize,
+    /// Cleared when a limit binds or a deep LP fails to resolve.
+    proven: AtomicBool,
+}
+
+impl SharedSearch<'_> {
+    /// Counts one node against the limits; `false` means a limit bound.
+    fn claim_node(&self) -> bool {
+        if self.started.elapsed() >= self.options.time_limit {
+            return false;
+        }
+        self.nodes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < self.options.node_limit).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// A limit bound: drop the proof claim and stop every worker.
+    fn halt_limits(&self) {
+        self.proven.store(false, Ordering::Relaxed);
+        let mut f = self.frontier.lock().expect("frontier lock");
+        f.done = true;
+        self.work_ready.notify_all();
+    }
+
+    /// Lock-free read of the current incumbent objective bound.
+    fn incumbent_bound(&self) -> f64 {
+        f64::from_bits(self.bound_bits.load(Ordering::Relaxed))
+    }
+
+    /// Installs `vals` as the incumbent if it improves on the current one.
+    fn offer_incumbent(&self, vals: Vec<f64>, obj: f64) {
+        let mut inc = self.incumbent.lock().expect("incumbent lock");
+        let better = inc
+            .as_ref()
+            .is_none_or(|(_, inc_obj)| obj < *inc_obj - 1e-9);
+        if better {
+            self.bound_bits.store(obj.to_bits(), Ordering::Relaxed);
+            *inc = Some((vals, obj));
+        }
+    }
+
+    /// Solves one node's relaxation and either records an incumbent or
+    /// pushes the two children onto the shared frontier.
+    fn process_node(&self, node: Node, stats: &mut ThreadStats) {
+        let options = self.options;
+        let problem = LpProblem {
+            ncols: self.model.num_vars(),
+            rows: self.rows,
+            c: self.c,
+            lb: &node.lb,
+            ub: &node.ub,
+        };
+        let (x, obj) = match solve_lp(&problem, options.feas_tol, options.opt_tol) {
+            LpOutcome::Optimal { x, obj, iterations } => {
+                stats.simplex_iterations += iterations;
+                (x, obj)
+            }
+            LpOutcome::Infeasible => return,
+            // Depth 0 runs on the calling thread before workers start, so
+            // these are numerical trouble deep in the tree: abandon the
+            // subtree without a proof claim, exactly like the serial path.
+            LpOutcome::Unbounded | LpOutcome::IterationLimit => {
+                self.proven.store(false, Ordering::Relaxed);
+                return;
+            }
+        };
+
+        // Bound pruning against the shared incumbent (minimization form).
+        if obj >= self.incumbent_bound() - options.absolute_gap - 1e-9 {
+            return;
+        }
+
+        match branch_choice(self.model, self.int_cols, &x, options.int_tol) {
+            None => {
+                let mut vals = x;
+                for &j in self.int_cols {
+                    vals[j] = vals[j].round();
+                }
+                self.offer_incumbent(vals, obj);
+            }
+            Some((j, v)) => {
+                let floor = v.floor();
+                let (down, up) = split(node, j, v);
+                let mut f = self.frontier.lock().expect("frontier lock");
+                if f.done {
+                    return; // halted while we were solving: drop the children
+                }
+                // Dive-first order: the preferred child goes on top.
+                if v - floor <= 0.5 {
+                    f.stack.push(up);
+                    f.stack.push(down);
+                } else {
+                    f.stack.push(down);
+                    f.stack.push(up);
+                }
+                self.work_ready.notify_all();
+            }
+        }
+    }
+}
+
+/// One worker: pop, solve, branch, until the frontier drains or a limit
+/// binds. Termination: a worker finding the frontier empty goes idle; the
+/// last worker to go idle proves global exhaustion (nobody is processing a
+/// node that could refill the frontier) and wakes everyone to exit.
+fn worker(shared: &SharedSearch) -> ThreadStats {
+    let mut stats = ThreadStats::default();
+    loop {
+        let node = {
+            let mut f = shared.frontier.lock().expect("frontier lock");
+            loop {
+                if f.done {
+                    return stats;
+                }
+                if let Some(n) = f.stack.pop() {
+                    break n;
+                }
+                f.idle += 1;
+                if f.idle == shared.nworkers {
+                    f.done = true;
+                    shared.work_ready.notify_all();
+                    return stats;
+                }
+                f = shared.work_ready.wait(f).expect("frontier lock");
+                f.idle -= 1;
+            }
+        };
+        if !shared.claim_node() {
+            shared.halt_limits();
+            return stats;
+        }
+        stats.nodes += 1;
+        shared.process_node(node, &mut stats);
+    }
+}
+
+/// Work-sharing parallel branch-and-bound on `threads` scoped workers.
+#[allow(clippy::too_many_arguments)]
+fn solve_parallel(
+    model: &Model,
+    options: &SolveOptions,
+    started: Instant,
+    c: &[f64],
+    rows: &[SparseRow],
+    int_cols: &[usize],
+    root: Node,
+    threads: usize,
+) -> Result<SearchResult, SolveError> {
+    let shared = SharedSearch {
+        model,
+        rows,
+        c,
+        int_cols,
+        options,
+        started,
+        nworkers: threads,
+        frontier: Mutex::new(Frontier {
+            stack: Vec::new(),
+            idle: 0,
+            done: false,
+        }),
+        work_ready: Condvar::new(),
+        incumbent: Mutex::new(None),
+        bound_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        nodes: AtomicUsize::new(0),
+        proven: AtomicBool::new(true),
+    };
+
+    // The root relaxation runs on the calling thread so that the depth-0
+    // outcomes (unbounded, iteration limit, limits binding before any node)
+    // surface exactly as in the serial solver.
+    let mut root_stats = ThreadStats::default();
+    if !shared.claim_node() {
+        let stats = SolveStats {
+            threads,
+            per_thread: vec![ThreadStats::default(); threads],
+            ..SolveStats::default()
+        };
+        return Ok((None, false, stats));
+    }
+    root_stats.nodes += 1;
+    let problem = LpProblem {
+        ncols: model.num_vars(),
+        rows,
+        c,
+        lb: &root.lb,
+        ub: &root.ub,
+    };
+    match solve_lp(&problem, options.feas_tol, options.opt_tol) {
+        LpOutcome::Optimal { x, obj, iterations } => {
+            root_stats.simplex_iterations += iterations;
+            match branch_choice(model, int_cols, &x, options.int_tol) {
+                None => {
+                    let mut vals = x;
+                    for &j in int_cols {
+                        vals[j] = vals[j].round();
+                    }
+                    shared.offer_incumbent(vals, obj);
+                }
+                Some((j, v)) => {
+                    let floor = v.floor();
+                    let (down, up) = split(root, j, v);
+                    let mut f = shared.frontier.lock().expect("frontier lock");
+                    if v - floor <= 0.5 {
+                        f.stack.push(up);
+                        f.stack.push(down);
+                    } else {
+                        f.stack.push(down);
+                        f.stack.push(up);
+                    }
+                }
+            }
+        }
+        // Root infeasible: the frontier stays empty and the epilogue
+        // reports proven infeasibility, matching the serial path.
+        LpOutcome::Infeasible => {}
+        LpOutcome::Unbounded => return Err(SolveError::Unbounded),
+        LpOutcome::IterationLimit => return Err(SolveError::IterationLimit),
+    }
+
+    let need_workers = !shared
+        .frontier
+        .lock()
+        .expect("frontier lock")
+        .stack
+        .is_empty();
+    let mut per_thread: Vec<ThreadStats> = if need_workers {
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..threads).map(|_| s.spawn(|| worker(&shared))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("solver worker panicked"))
+                .collect()
+        })
+    } else {
+        vec![ThreadStats::default(); threads]
+    };
+    per_thread[0].nodes += root_stats.nodes;
+    per_thread[0].simplex_iterations += root_stats.simplex_iterations;
+
+    let proven = shared.proven.load(Ordering::Relaxed);
+    let incumbent = shared.incumbent.into_inner().expect("incumbent lock");
+    let stats = SolveStats {
+        nodes: shared.nodes.load(Ordering::Relaxed),
+        simplex_iterations: per_thread.iter().map(|t| t.simplex_iterations).sum(),
+        elapsed: std::time::Duration::ZERO, // filled in by the caller
+        threads,
+        per_thread,
+    };
+    Ok((incumbent, proven, stats))
+}
+
 #[cfg(test)]
 mod tests {
     use crate::{Model, Optimality, Sense, SolveError, SolveOptions};
     use std::time::Duration;
+
+    fn serial() -> SolveOptions {
+        SolveOptions::default().with_threads(1)
+    }
 
     #[test]
     fn pure_lp_path() {
@@ -219,10 +557,32 @@ mod tests {
         let y = m.add_continuous("y", 0.0, f64::INFINITY);
         m.add_ge(x + y, 3.0);
         m.set_objective(2.0 * x + y);
-        let s = m.solve().unwrap();
+        let s = m.solve_with(&serial()).unwrap();
         assert!((s.objective() - 3.0).abs() < 1e-7);
         assert_eq!(s.optimality(), Optimality::Proven);
         assert_eq!(s.stats().nodes, 1);
+        assert_eq!(s.stats().threads, 1);
+        assert_eq!(s.stats().per_thread.len(), 1);
+        assert_eq!(s.stats().per_thread[0].nodes, 1);
+    }
+
+    #[test]
+    fn pure_lp_path_parallel() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_ge(x + y, 3.0);
+        m.set_objective(2.0 * x + y);
+        let opts = SolveOptions::default().with_threads(4);
+        let s = m.solve_with(&opts).unwrap();
+        assert!((s.objective() - 3.0).abs() < 1e-7);
+        assert_eq!(s.optimality(), Optimality::Proven);
+        // The root is the only node; workers find an empty frontier.
+        assert_eq!(s.stats().nodes, 1);
+        assert_eq!(s.stats().threads, 4);
+        assert_eq!(s.stats().per_thread.len(), 4);
+        let total: usize = s.stats().per_thread.iter().map(|t| t.nodes).sum();
+        assert_eq!(total, s.stats().nodes);
     }
 
     #[test]
@@ -236,6 +596,24 @@ mod tests {
         m.set_objective(10.0 * a + 13.0 * b + 7.0 * c);
         let s = m.solve().unwrap();
         assert!((s.objective() - 20.0).abs() < 1e-6);
+        assert_eq!(s.rounded(a), 0);
+        assert_eq!(s.rounded(b), 1);
+        assert_eq!(s.rounded(c), 1);
+    }
+
+    #[test]
+    fn knapsack_optimum_parallel() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_le(3.0 * a + 4.0 * b + 2.0 * c, 6.0);
+        m.set_objective(10.0 * a + 13.0 * b + 7.0 * c);
+        let s = m
+            .solve_with(&SolveOptions::default().with_threads(4))
+            .unwrap();
+        assert!((s.objective() - 20.0).abs() < 1e-6);
+        assert_eq!(s.optimality(), Optimality::Proven);
         assert_eq!(s.rounded(a), 0);
         assert_eq!(s.rounded(b), 1);
         assert_eq!(s.rounded(c), 1);
@@ -276,6 +654,15 @@ mod tests {
     }
 
     #[test]
+    fn unbounded_reported_parallel() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        m.set_objective(x + 0.0);
+        let opts = SolveOptions::default().with_threads(4);
+        assert_eq!(m.solve_with(&opts).unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
     fn node_limit_returns_incumbent_or_error() {
         // Root relaxation is fractional (2Σb <= 3), so one node cannot
         // complete the search: the limit must bind.
@@ -284,7 +671,7 @@ mod tests {
         let total: crate::LinExpr = vars.iter().map(|&v| 2.0 * v).sum();
         m.add_le(total.clone(), 3.0);
         m.set_objective(total);
-        let opts = SolveOptions::default().with_node_limit(1);
+        let opts = serial().with_node_limit(1);
         match m.solve_with(&opts) {
             Ok(s) => assert_eq!(s.optimality(), Optimality::Limit),
             Err(e) => assert_eq!(e, SolveError::LimitWithoutIncumbent),
@@ -296,11 +683,35 @@ mod tests {
     }
 
     #[test]
+    fn node_limit_binds_in_parallel() {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..12).map(|i| m.add_binary(format!("b{i}"))).collect();
+        let total: crate::LinExpr = vars.iter().map(|&v| 2.0 * v).sum();
+        m.add_le(total.clone(), 3.0);
+        m.set_objective(total);
+        let opts = SolveOptions::default().with_threads(4).with_node_limit(3);
+        match m.solve_with(&opts) {
+            Ok(s) => {
+                assert_eq!(s.optimality(), Optimality::Limit);
+                assert!(s.stats().nodes <= 3, "overshot: {}", s.stats().nodes);
+            }
+            Err(e) => assert_eq!(e, SolveError::LimitWithoutIncumbent),
+        }
+    }
+
+    #[test]
     fn time_limit_zero_behaves() {
         let mut m = Model::new(Sense::Maximize);
         let a = m.add_binary("a");
         m.set_objective(a + 0.0);
-        let opts = SolveOptions::default().with_time_limit(Duration::ZERO);
+        let opts = serial().with_time_limit(Duration::ZERO);
+        assert_eq!(
+            m.solve_with(&opts).unwrap_err(),
+            SolveError::LimitWithoutIncumbent
+        );
+        let opts = SolveOptions::default()
+            .with_threads(4)
+            .with_time_limit(Duration::ZERO);
         assert_eq!(
             m.solve_with(&opts).unwrap_err(),
             SolveError::LimitWithoutIncumbent
@@ -377,5 +788,54 @@ mod tests {
         let s = m.solve_with(&opts).unwrap();
         // Within 1.5 of the optimum 4.
         assert!(s.objective() >= 2.5 - 1e-6);
+    }
+
+    #[test]
+    fn parallel_infeasible_is_proven() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        // Fractionally satisfiable but integrally infeasible so presolve
+        // cannot shortcut: the tree itself must prove infeasibility.
+        m.add_eq(2.0 * a + 2.0 * b, 3.0);
+        m.set_objective(a + b);
+        let opts = SolveOptions::default().with_threads(4);
+        assert_eq!(m.solve_with(&opts).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn per_thread_stats_sum_to_totals() {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..14).map(|i| m.add_binary(format!("b{i}"))).collect();
+        let weight: crate::LinExpr = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (3.0 + (i % 5) as f64) * v)
+            .sum();
+        m.add_le(weight, 17.0);
+        let value: crate::LinExpr = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (4.0 + (i % 7) as f64) * v)
+            .sum();
+        m.set_objective(value);
+        let s = m
+            .solve_with(&SolveOptions::default().with_threads(3))
+            .unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.threads, 3);
+        assert_eq!(stats.per_thread.len(), 3);
+        assert_eq!(
+            stats.per_thread.iter().map(|t| t.nodes).sum::<usize>(),
+            stats.nodes
+        );
+        assert_eq!(
+            stats
+                .per_thread
+                .iter()
+                .map(|t| t.simplex_iterations)
+                .sum::<usize>(),
+            stats.simplex_iterations
+        );
     }
 }

@@ -29,7 +29,10 @@ impl fmt::Display for SolveError {
             SolveError::Infeasible => write!(f, "model is infeasible"),
             SolveError::Unbounded => write!(f, "objective is unbounded"),
             SolveError::LimitWithoutIncumbent => {
-                write!(f, "search limit reached before any feasible integer solution")
+                write!(
+                    f,
+                    "search limit reached before any feasible integer solution"
+                )
             }
             SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
             SolveError::InvalidModel(why) => write!(f, "invalid model: {why}"),

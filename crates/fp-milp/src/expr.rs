@@ -101,12 +101,7 @@ impl LinExpr {
     /// Panics if a referenced column is out of range for `values`.
     #[must_use]
     pub fn eval(&self, values: &[f64]) -> f64 {
-        self.constant
-            + self
-                .terms
-                .iter()
-                .map(|(&i, &c)| c * values[i])
-                .sum::<f64>()
+        self.constant + self.terms.iter().map(|(&i, &c)| c * values[i]).sum::<f64>()
     }
 
     /// Largest column index referenced, if any.

@@ -72,5 +72,5 @@ pub use expr::LinExpr;
 pub use lp_parse::parse_lp;
 pub use model::{Cmp, Constraint, Model, Sense};
 pub use options::SolveOptions;
-pub use solution::{Optimality, Solution, SolveStats};
+pub use solution::{Optimality, Solution, SolveStats, ThreadStats};
 pub use var::{Var, VarKind};

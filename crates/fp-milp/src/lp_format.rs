@@ -59,10 +59,7 @@ impl Model {
         });
         write_terms(
             &mut out,
-            self.objective
-                .iter()
-                .map(|(v, c)| (v.index(), c))
-                .collect(),
+            self.objective.iter().map(|(v, c)| (v.index(), c)).collect(),
         );
         out.push_str("\nSubject To\n");
         for (r, con) in self.cons.iter().enumerate() {

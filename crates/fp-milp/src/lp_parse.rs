@@ -103,8 +103,10 @@ pub fn parse_lp(text: &str) -> Result<Model, SolveError> {
                 // "<lo> <= name <= <hi>" with -inf/+inf allowed.
                 let tokens: Vec<&str> = line.split_whitespace().collect();
                 if tokens.len() == 5 && tokens[1] == "<=" && tokens[3] == "<=" {
-                    let lo = parse_bound(tokens[0]).ok_or_else(|| bad(format!("bad bound {line}")))?;
-                    let hi = parse_bound(tokens[4]).ok_or_else(|| bad(format!("bad bound {line}")))?;
+                    let lo =
+                        parse_bound(tokens[0]).ok_or_else(|| bad(format!("bad bound {line}")))?;
+                    let hi =
+                        parse_bound(tokens[4]).ok_or_else(|| bad(format!("bad bound {line}")))?;
                     bounds.push((tokens[2].to_string(), lo, hi));
                 } else {
                     return Err(bad(format!("unsupported bounds line '{line}'")));

@@ -30,6 +30,13 @@ pub struct SolveOptions {
     /// Accept any incumbent whose objective is within this absolute gap of
     /// the best bound and stop early. `0.0` demands a proven optimum.
     pub absolute_gap: f64,
+    /// Worker threads for the branch-and-bound search. Values `<= 1` select
+    /// the serial solver, which visits nodes in a deterministic dive-first
+    /// DFS order; larger values share the frontier between that many
+    /// workers, which reach the same proven optimum but may differ in node
+    /// counts and in which optimal vertex is reported. Defaults to
+    /// [`std::thread::available_parallelism`].
+    pub threads: usize,
 }
 
 impl Default for SolveOptions {
@@ -41,6 +48,7 @@ impl Default for SolveOptions {
             opt_tol: 1e-9,
             int_tol: 1e-6,
             absolute_gap: 0.0,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         }
     }
 }
@@ -66,6 +74,14 @@ impl SolveOptions {
         self.absolute_gap = gap;
         self
     }
+
+    /// Returns options running the search on `threads` workers. `1` (or `0`,
+    /// which is treated as `1`) selects the deterministic serial solver.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -89,5 +105,12 @@ mod tests {
         assert!(o.feas_tol > 0.0 && o.feas_tol < 1e-3);
         assert!(o.int_tol >= o.feas_tol / 10.0);
         assert!(o.node_limit > 1_000);
+        assert!(o.threads >= 1);
+    }
+
+    #[test]
+    fn with_threads_sets_field() {
+        assert_eq!(SolveOptions::default().with_threads(4).threads, 4);
+        assert_eq!(SolveOptions::default().with_threads(1).threads, 1);
     }
 }

@@ -47,10 +47,7 @@ pub(crate) fn presolve(
     integral: &[bool],
     feas_tol: f64,
 ) -> Presolved {
-    let mut alive: Vec<bool> = rows
-        .iter()
-        .map(|(terms, _, _)| !terms.is_empty())
-        .collect();
+    let mut alive: Vec<bool> = rows.iter().map(|(terms, _, _)| !terms.is_empty()).collect();
 
     // Empty rows are pure feasibility checks.
     for (terms, cmp, rhs) in rows {
@@ -148,8 +145,7 @@ pub(crate) fn presolve(
                     }
                 }
                 Cmp::Ge => {
-                    if max_act.is_finite()
-                        && max_act < rhs - feas_tol.max(1e-9) * (1.0 + rhs.abs())
+                    if max_act.is_finite() && max_act < rhs - feas_tol.max(1e-9) * (1.0 + rhs.abs())
                     {
                         return infeasible(lb, ub);
                     }
@@ -260,7 +256,13 @@ mod tests {
     #[test]
     fn singleton_rows_become_bounds() {
         let rows = vec![le(vec![(0, 2.0)], 10.0), ge(vec![(1, 1.0)], 3.0)];
-        let p = presolve(&rows, vec![0.0, 0.0], vec![100.0, 100.0], &[false, false], 1e-7);
+        let p = presolve(
+            &rows,
+            vec![0.0, 0.0],
+            vec![100.0, 100.0],
+            &[false, false],
+            1e-7,
+        );
         assert_eq!(p.status, PresolveStatus::Reduced);
         assert!(p.kept_rows.is_empty());
         assert_eq!(p.ub[0], 5.0);
@@ -343,10 +345,7 @@ mod tests {
     #[test]
     fn chained_tightening_across_passes() {
         // x <= 3 (singleton), then y <= x implies y <= 3 on the next pass.
-        let rows = vec![
-            le(vec![(0, 1.0)], 3.0),
-            le(vec![(1, 1.0), (0, -1.0)], 0.0),
-        ];
+        let rows = vec![le(vec![(0, 1.0)], 3.0), le(vec![(1, 1.0), (0, -1.0)], 0.0)];
         let p = presolve(
             &rows,
             vec![0.0, 0.0],

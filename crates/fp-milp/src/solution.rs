@@ -13,8 +13,22 @@ pub enum Optimality {
     Limit,
 }
 
-/// Search statistics reported alongside a [`Solution`].
+/// Per-worker slice of the search statistics.
+///
+/// Entry `i` of [`SolveStats::per_thread`] counts the work done by worker
+/// `i`. In a serial solve there is exactly one entry; in a parallel solve
+/// the root relaxation (solved on the calling thread before workers start)
+/// is attributed to entry `0`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ThreadStats {
+    /// Branch-and-bound nodes this worker solved the LP relaxation of.
+    pub nodes: usize,
+    /// Simplex pivots this worker performed.
+    pub simplex_iterations: usize,
+}
+
+/// Search statistics reported alongside a [`Solution`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SolveStats {
     /// Branch-and-bound nodes whose LP relaxation was solved.
     pub nodes: usize,
@@ -22,6 +36,10 @@ pub struct SolveStats {
     pub simplex_iterations: usize,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
+    /// Worker threads the search ran on (`1` for a serial solve).
+    pub threads: usize,
+    /// Per-worker node and pivot counts; length equals [`threads`](Self::threads).
+    pub per_thread: Vec<ThreadStats>,
 }
 
 /// The result of a successful solve: an assignment of values to every model

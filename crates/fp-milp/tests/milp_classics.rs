@@ -123,7 +123,11 @@ fn integer_program_with_negative_bounds() {
     m.add_ge(y + 1.0 * x, 0.0);
     m.set_objective(x + y);
     let sol = m.solve().unwrap();
-    assert!(sol.objective().abs() < 1e-6, "objective {}", sol.objective());
+    assert!(
+        sol.objective().abs() < 1e-6,
+        "objective {}",
+        sol.objective()
+    );
     let xv = sol.value(x);
     assert!((xv - xv.round()).abs() < 1e-6);
 }
@@ -209,7 +213,10 @@ fn mixed_rotation_disjunction_chain() {
             let p = m.add_binary(format!("p{i}{j}"));
             // i before j or j before i.
             m.add_le(starts[i] + lens[i].clone() - starts[j] - big * p, 0.0);
-            m.add_le(starts[j] + lens[j].clone() - starts[i] - big * (1.0 - p), 0.0);
+            m.add_le(
+                starts[j] + lens[j].clone() - starts[i] - big * (1.0 - p),
+                0.0,
+            );
         }
     }
     m.set_objective(l + 0.0);

@@ -41,7 +41,9 @@ fn build_model(p: &BinaryProgram) -> (Model, Vec<fp_milp::Var>) {
     } else {
         Sense::Minimize
     });
-    let vars: Vec<_> = (0..p.nvars).map(|i| m.add_binary(format!("b{i}"))).collect();
+    let vars: Vec<_> = (0..p.nvars)
+        .map(|i| m.add_binary(format!("b{i}")))
+        .collect();
     for (coeffs, cmp, rhs) in &p.rows {
         let mut e = LinExpr::new();
         for (v, &c) in vars.iter().zip(coeffs) {
@@ -64,11 +66,7 @@ fn brute_force(p: &BinaryProgram) -> Option<i64> {
     for mask in 0u32..(1 << p.nvars) {
         let x: Vec<i64> = (0..p.nvars).map(|i| i64::from(mask >> i & 1)).collect();
         let feasible = p.rows.iter().all(|(coeffs, cmp, rhs)| {
-            let lhs: i64 = coeffs
-                .iter()
-                .zip(&x)
-                .map(|(&c, &v)| i64::from(c) * v)
-                .sum();
+            let lhs: i64 = coeffs.iter().zip(&x).map(|(&c, &v)| i64::from(c) * v).sum();
             if *cmp == 0 {
                 lhs <= i64::from(*rhs)
             } else {
@@ -78,12 +76,7 @@ fn brute_force(p: &BinaryProgram) -> Option<i64> {
         if !feasible {
             continue;
         }
-        let obj: i64 = p
-            .obj
-            .iter()
-            .zip(&x)
-            .map(|(&c, &v)| i64::from(c) * v)
-            .sum();
+        let obj: i64 = p.obj.iter().zip(&x).map(|(&c, &v)| i64::from(c) * v).sum();
         best = Some(match best {
             None => obj,
             Some(b) => {

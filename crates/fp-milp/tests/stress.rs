@@ -48,7 +48,11 @@ fn poorly_scaled_lp() {
     assert!(m.is_feasible(sol.values(), 1e-4));
     // Near-optimal point: x = y ≈ 2 / (1e4 + 1e-4).
     let expect = 2.0 / (1e4 + 1e-4) * 2.0;
-    assert!((sol.objective() - expect).abs() < 1e-6, "{}", sol.objective());
+    assert!(
+        (sol.objective() - expect).abs() < 1e-6,
+        "{}",
+        sol.objective()
+    );
 }
 
 /// A 60-binary MILP with block structure: optimal solution is forced by
@@ -114,7 +118,11 @@ fn transportation_problem() {
     }
     m.set_objective(obj);
     let sol = m.solve().unwrap();
-    assert!((sol.objective() - 135.0).abs() < 1e-6, "{}", sol.objective());
+    assert!(
+        (sol.objective() - 135.0).abs() < 1e-6,
+        "{}",
+        sol.objective()
+    );
 }
 
 /// Repeated solves of the same model are deterministic.
@@ -134,8 +142,11 @@ fn deterministic_resolve() {
         .map(|(i, &v)| ((i % 7) as f64 + 1.0) * v)
         .sum();
     m.set_objective(val);
-    let a = m.solve().unwrap();
-    let b = m.solve().unwrap();
+    // threads = 1 is the solver's determinism contract: parallel searches
+    // reach the same optimum but may report a different optimal vertex.
+    let opts = SolveOptions::default().with_threads(1);
+    let a = m.solve_with(&opts).unwrap();
+    let b = m.solve_with(&opts).unwrap();
     assert_eq!(a.values(), b.values());
     assert_eq!(a.objective(), b.objective());
 }

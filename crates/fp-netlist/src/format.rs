@@ -203,12 +203,12 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
                 }
                 let mut members = Vec::new();
                 for &t in &tokens[colon + 1..] {
-                    let id = netlist
-                        .module_by_name(t)
-                        .ok_or_else(|| NetlistError::UnknownModuleName {
+                    let id = netlist.module_by_name(t).ok_or_else(|| {
+                        NetlistError::UnknownModuleName {
                             net: name.to_string(),
                             name: t.to_string(),
-                        })?;
+                        }
+                    })?;
                     members.push(id);
                 }
                 if members.len() < 2 {

@@ -30,9 +30,9 @@
 
 mod ami33;
 mod error;
-mod mcnc;
 pub mod format;
 pub mod generator;
+mod mcnc;
 mod module;
 mod net;
 mod netlist;

@@ -149,12 +149,7 @@ impl Module {
     /// Panics if `area <= 0` or the aspect bounds are not
     /// `0 < min_aspect <= max_aspect`.
     #[must_use]
-    pub fn flexible(
-        name: impl Into<String>,
-        area: f64,
-        min_aspect: f64,
-        max_aspect: f64,
-    ) -> Self {
+    pub fn flexible(name: impl Into<String>, area: f64, min_aspect: f64, max_aspect: f64) -> Self {
         assert!(area > 0.0 && area.is_finite(), "area must be positive");
         assert!(
             0.0 < min_aspect && min_aspect <= max_aspect && max_aspect.is_finite(),

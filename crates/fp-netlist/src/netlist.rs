@@ -198,9 +198,7 @@ mod tests {
         let mut nl = Netlist::new("t");
         let a = nl.add_module(Module::rigid("a", 1.0, 1.0, true)).unwrap();
         let b = nl.add_module(Module::rigid("b", 2.0, 1.0, true)).unwrap();
-        let c = nl
-            .add_module(Module::flexible("c", 4.0, 0.5, 2.0))
-            .unwrap();
+        let c = nl.add_module(Module::flexible("c", 4.0, 0.5, 2.0)).unwrap();
         nl.add_net(Net::new("n0", [a, b])).unwrap();
         nl.add_net(Net::new("n1", [a, b, c]).with_weight(2.0))
             .unwrap();

@@ -62,10 +62,7 @@ pub fn parse_yal(text: &str) -> Result<Netlist, NetlistError> {
         for raw in text.split_inclusive(';') {
             let newlines = raw.matches('\n').count();
             let stmt = raw.trim_end_matches(';');
-            let mut tokens: Vec<String> = stmt
-                .split_whitespace()
-                .map(|t| t.to_string())
-                .collect();
+            let mut tokens: Vec<String> = stmt.split_whitespace().map(|t| t.to_string()).collect();
             current.append(&mut tokens);
             if raw.ends_with(';') {
                 if !current.is_empty() {
@@ -132,8 +129,7 @@ pub fn parse_yal(text: &str) -> Result<Netlist, NetlistError> {
             "DIMENSIONS" => {
                 let coords: Result<Vec<f64>, _> =
                     tokens[1..].iter().map(|t| t.parse::<f64>()).collect();
-                let coords =
-                    coords.map_err(|_| err(line, "DIMENSIONS wants numbers".into()))?;
+                let coords = coords.map_err(|_| err(line, "DIMENSIONS wants numbers".into()))?;
                 if coords.len() < 6 || coords.len() % 2 != 0 {
                     return Err(err(line, "DIMENSIONS wants >= 3 x/y pairs".into()));
                 }
@@ -156,15 +152,9 @@ pub fn parse_yal(text: &str) -> Result<Netlist, NetlistError> {
             "ENDIOLIST" => in_iolist = false,
             "NETWORK" => in_network = true,
             "ENDNETWORK" => in_network = false,
-            _ if in_network => {
-                // <instance> <module> <signal...>
-                if tokens.len() >= 2 {
-                    instances.push((
-                        tokens[0].clone(),
-                        tokens[1].clone(),
-                        tokens[2..].to_vec(),
-                    ));
-                }
+            // <instance> <module> <signal...>
+            _ if in_network && tokens.len() >= 2 => {
+                instances.push((tokens[0].clone(), tokens[1].clone(), tokens[2..].to_vec()));
             }
             _ if in_iolist => {
                 // <pin> <class> <x> <y> [...]; count toward the nearest side.
@@ -210,9 +200,8 @@ pub fn parse_yal(text: &str) -> Result<Netlist, NetlistError> {
                 message: format!("module type '{mod_type}' has no DIMENSIONS"),
             });
         }
-        let id = netlist.add_module(
-            Module::rigid(inst.clone(), def.w, def.h, true).with_pins(def.pins),
-        )?;
+        let id = netlist
+            .add_module(Module::rigid(inst.clone(), def.w, def.h, true).with_pins(def.pins))?;
         for signal in signals {
             let upper = signal.to_ascii_uppercase();
             if upper == "VDD" || upper == "VSS" || upper == "GND" {
@@ -222,8 +211,7 @@ pub fn parse_yal(text: &str) -> Result<Netlist, NetlistError> {
         }
     }
 
-    let mut signals: Vec<(String, Vec<crate::ModuleId>)> =
-        signal_members.into_iter().collect();
+    let mut signals: Vec<(String, Vec<crate::ModuleId>)> = signal_members.into_iter().collect();
     signals.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic net order
     for (signal, members) in signals {
         let mut members = members;

@@ -39,7 +39,9 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(RouteError::EmptyFloorplan.to_string().contains("no modules"));
+        assert!(RouteError::EmptyFloorplan
+            .to_string()
+            .contains("no modules"));
         let e = RouteError::UnplacedModule {
             net: "clk".into(),
             module: "alu".into(),

@@ -95,12 +95,12 @@ impl RoutingGrid {
         let mut edges = Vec::new();
         let mut adjacency = vec![Vec::new(); nx * ny];
         let push_edge = |edges: &mut Vec<GridEdge>,
-                             adjacency: &mut Vec<Vec<usize>>,
-                             a: usize,
-                             b: usize,
-                             length: f64,
-                             boundary: f64,
-                             vertical: bool| {
+                         adjacency: &mut Vec<Vec<usize>>,
+                         a: usize,
+                         b: usize,
+                         length: f64,
+                         boundary: f64,
+                         vertical: bool| {
             let touches = blocked[a] || blocked[b];
             let pitch = if vertical {
                 config.pitch_h

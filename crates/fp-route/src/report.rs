@@ -34,11 +34,7 @@ impl RouteReport {
     pub fn of(result: &RoutingResult) -> Self {
         let nets = result.routes.len();
         let segments = result.routes.iter().map(|r| r.paths.len()).sum();
-        let longest = result
-            .routes
-            .iter()
-            .map(|r| r.length)
-            .fold(0.0, f64::max);
+        let longest = result.routes.iter().map(|r| r.length).fold(0.0, f64::max);
         let worst = result
             .grid
             .edges()

@@ -134,10 +134,18 @@ pub fn route(
                 .then(a.cmp(&b))
         }),
         crate::NetOrdering::ShortestFirst => {
-            order.sort_by(|&a, &b| bbox_estimate(a).total_cmp(&bbox_estimate(b)).then(a.cmp(&b)));
+            order.sort_by(|&a, &b| {
+                bbox_estimate(a)
+                    .total_cmp(&bbox_estimate(b))
+                    .then(a.cmp(&b))
+            });
         }
         crate::NetOrdering::LongestFirst => {
-            order.sort_by(|&a, &b| bbox_estimate(b).total_cmp(&bbox_estimate(a)).then(a.cmp(&b)));
+            order.sort_by(|&a, &b| {
+                bbox_estimate(b)
+                    .total_cmp(&bbox_estimate(a))
+                    .then(a.cmp(&b))
+            });
         }
         crate::NetOrdering::Netlist => {}
     }
@@ -195,8 +203,7 @@ pub fn route(
         let mut length = 0.0;
         let mut paths = Vec::with_capacity(tree.len());
         for (a, b) in tree {
-            let (seg_len, path) =
-                route_segment(&grid, &usage, config, pins[a], pins[b]);
+            let (seg_len, path) = route_segment(&grid, &usage, config, pins[a], pins[b]);
             // Commit usage along the path edges.
             for &edge_idx in &path.edges {
                 usage[edge_idx] += 1.0;
@@ -325,8 +332,7 @@ fn route_segment(
         return dijkstra(grid, usage, config, from, to, Blockage::Soft)
             .expect("soft-blockage grid is fully connected");
     }
-    dijkstra(grid, usage, config, from, to, Blockage::Free)
-        .expect("free grid is fully connected")
+    dijkstra(grid, usage, config, from, to, Blockage::Free).expect("free grid is fully connected")
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -385,10 +391,7 @@ fn dijkstra(
         for &edge_idx in grid.incident(cell) {
             let e = &grid.edges()[edge_idx];
             let other = if e.a == cell { e.b } else { e.a };
-            if blockage == Blockage::Hard
-                && e.touches_blockage
-                && cell != source
-                && other != target
+            if blockage == Blockage::Hard && e.touches_blockage && cell != source && other != target
             {
                 continue; // macros are physically impassable
             }
@@ -523,8 +526,12 @@ mod tests {
                 .unwrap();
         }
         let coarse = RouteConfig::default().with_pitches(1.0, 1.0); // capacity ~8 per edge
-        let sp = route(&fp, &nl, &coarse.clone().with_algorithm(RouteAlgorithm::ShortestPath))
-            .unwrap();
+        let sp = route(
+            &fp,
+            &nl,
+            &coarse.clone().with_algorithm(RouteAlgorithm::ShortestPath),
+        )
+        .unwrap();
         let wsp = route(
             &fp,
             &nl,
@@ -612,10 +619,7 @@ mod tests {
         let tree = prim_mst(&pts);
         assert_eq!(tree.len(), 2);
         // Chain 0-1-2, never the long 0-2 edge plus both shorts.
-        let total: f64 = tree
-            .iter()
-            .map(|&(a, b)| pts[a].manhattan(&pts[b]))
-            .sum();
+        let total: f64 = tree.iter().map(|&(a, b)| pts[a].manhattan(&pts[b])).sum();
         assert_eq!(total, 10.0);
     }
 

@@ -12,7 +12,10 @@ fn any_route_config() -> impl Strategy<Value = RouteConfig> {
             Just(RouteAlgorithm::ShortestPath),
             Just(RouteAlgorithm::WeightedShortestPath),
         ],
-        prop_oneof![Just(RoutingMode::OverTheCell), Just(RoutingMode::AroundTheCell)],
+        prop_oneof![
+            Just(RoutingMode::OverTheCell),
+            Just(RoutingMode::AroundTheCell)
+        ],
         0.05f64..0.5,
         0.5f64..8.0,
     )

@@ -232,11 +232,7 @@ fn evaluate(p: &PolishExpression, candidates: &[Vec<(f64, f64)>]) -> (Vec<ShapeC
 
 /// Realizes the best expression into a floorplan by walking the curve
 /// backpointers top-down.
-fn realize(
-    p: &PolishExpression,
-    candidates: &[Vec<(f64, f64)>],
-    netlist: &Netlist,
-) -> Floorplan {
+fn realize(p: &PolishExpression, candidates: &[Vec<(f64, f64)>], netlist: &Netlist) -> Floorplan {
     let (curves, _) = evaluate(p, candidates);
     let elements = p.elements();
     let root_curve = curves.last().expect("non-empty");
@@ -265,10 +261,9 @@ fn realize(
             Element::Operand(m) => {
                 let (w, h) = candidates[m][pt.left];
                 let rotated = match netlist.module(ModuleId(m)).shape() {
-                    Shape::Rigid {
-                        w: w0,
-                        h: h0,
-                    } => (w - h0).abs() < 1e-9 && (h - w0).abs() < 1e-9 && (w0 - h0).abs() > 1e-12,
+                    Shape::Rigid { w: w0, h: h0 } => {
+                        (w - h0).abs() < 1e-9 && (h - w0).abs() < 1e-9 && (w0 - h0).abs() > 1e-12
+                    }
                     Shape::Flexible { .. } => false,
                 };
                 let rect = Rect::new(x, y, w, h);

@@ -62,10 +62,7 @@ impl PolishExpression {
     /// Number of operands.
     #[must_use]
     pub fn num_operands(&self) -> usize {
-        self.elements
-            .iter()
-            .filter(|e| !e.is_operator())
-            .count()
+        self.elements.iter().filter(|e| !e.is_operator()).count()
     }
 
     /// Checks the two invariants: balloting (every prefix has more
@@ -147,9 +144,7 @@ impl PolishExpression {
     pub fn m3_swap_operand_operator<R: Rng>(&mut self, rng: &mut R) -> bool {
         let n = self.elements.len();
         let candidates: Vec<usize> = (0..n - 1)
-            .filter(|&i| {
-                self.elements[i].is_operator() != self.elements[i + 1].is_operator()
-            })
+            .filter(|&i| self.elements[i].is_operator() != self.elements[i + 1].is_operator())
             .collect();
         if candidates.is_empty() {
             return false;
@@ -225,7 +220,11 @@ mod tests {
                     let _ = p.m3_swap_operand_operator(&mut rng);
                 }
             }
-            assert!(p.is_valid(), "invalid after step {step}: {:?}", p.elements());
+            assert!(
+                p.is_valid(),
+                "invalid after step {step}: {:?}",
+                p.elements()
+            );
             assert_eq!(p.num_operands(), 7);
         }
     }
@@ -254,9 +253,8 @@ mod tests {
     fn m2_flips_operators() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut p = PolishExpression::row(3);
-        let count_v = |p: &PolishExpression| {
-            p.elements().iter().filter(|&&e| e == Element::V).count()
-        };
+        let count_v =
+            |p: &PolishExpression| p.elements().iter().filter(|&&e| e == Element::V).count();
         let before = count_v(&p);
         p.m2_complement_chain(&mut rng);
         assert_ne!(count_v(&p), before);

@@ -200,8 +200,10 @@ mod tests {
 
     fn world() -> (Floorplan, Netlist) {
         let mut nl = Netlist::new("t");
-        nl.add_module(Module::rigid("alu", 4.0, 3.0, false)).unwrap();
-        nl.add_module(Module::rigid("ram", 3.0, 3.0, false)).unwrap();
+        nl.add_module(Module::rigid("alu", 4.0, 3.0, false))
+            .unwrap();
+        nl.add_module(Module::rigid("ram", 3.0, 3.0, false))
+            .unwrap();
         nl.add_net(Net::new("bus", [ModuleId(0), ModuleId(1)]).with_criticality(0.9))
             .unwrap();
         let fp = Floorplan::new(

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (label, algorithm) in [
         ("shortest path", RouteAlgorithm::ShortestPath),
-        ("weighted shortest path", RouteAlgorithm::WeightedShortestPath),
+        (
+            "weighted shortest path",
+            RouteAlgorithm::WeightedShortestPath,
+        ),
     ] {
         let route_cfg = RouteConfig::default()
             .with_mode(RoutingMode::AroundTheCell)

@@ -16,15 +16,31 @@ use fp_netlist::{Module, Net, Netlist};
 fn build_datapath() -> Netlist {
     let mut nl = Netlist::new("datapath");
     // Hard macros: register file, two RAMs, a PLL corner block.
-    let regf = nl.add_module(Module::rigid("regfile", 12.0, 6.0, true)).unwrap();
-    let ram0 = nl.add_module(Module::rigid("ram0", 10.0, 8.0, true)).unwrap();
-    let ram1 = nl.add_module(Module::rigid("ram1", 10.0, 8.0, true)).unwrap();
-    let pll = nl.add_module(Module::rigid("pll", 5.0, 5.0, false)).unwrap();
+    let regf = nl
+        .add_module(Module::rigid("regfile", 12.0, 6.0, true))
+        .unwrap();
+    let ram0 = nl
+        .add_module(Module::rigid("ram0", 10.0, 8.0, true))
+        .unwrap();
+    let ram1 = nl
+        .add_module(Module::rigid("ram1", 10.0, 8.0, true))
+        .unwrap();
+    let pll = nl
+        .add_module(Module::rigid("pll", 5.0, 5.0, false))
+        .unwrap();
     // Soft blocks: synthesized control and glue logic.
-    let alu = nl.add_module(Module::flexible("alu", 64.0, 0.4, 2.5)).unwrap();
-    let ctl = nl.add_module(Module::flexible("ctl", 36.0, 0.5, 2.0)).unwrap();
-    let dec = nl.add_module(Module::flexible("dec", 25.0, 0.5, 2.0)).unwrap();
-    let glue = nl.add_module(Module::flexible("glue", 16.0, 0.25, 4.0)).unwrap();
+    let alu = nl
+        .add_module(Module::flexible("alu", 64.0, 0.4, 2.5))
+        .unwrap();
+    let ctl = nl
+        .add_module(Module::flexible("ctl", 36.0, 0.5, 2.0))
+        .unwrap();
+    let dec = nl
+        .add_module(Module::flexible("dec", 25.0, 0.5, 2.0))
+        .unwrap();
+    let glue = nl
+        .add_module(Module::flexible("glue", 16.0, 0.25, 4.0))
+        .unwrap();
 
     for (name, members) in [
         ("rbus", vec![regf, alu, ctl]),

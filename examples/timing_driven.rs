@@ -15,8 +15,12 @@ use fp_netlist::{Module, Net, Netlist};
 
 fn build() -> Netlist {
     let mut nl = Netlist::new("timing");
-    let cpu = nl.add_module(Module::rigid("cpu", 10.0, 8.0, true)).unwrap();
-    let cache = nl.add_module(Module::rigid("cache", 8.0, 8.0, true)).unwrap();
+    let cpu = nl
+        .add_module(Module::rigid("cpu", 10.0, 8.0, true))
+        .unwrap();
+    let cache = nl
+        .add_module(Module::rigid("cache", 8.0, 8.0, true))
+        .unwrap();
     let mmu = nl.add_module(Module::rigid("mmu", 6.0, 6.0, true)).unwrap();
     let io = nl.add_module(Module::rigid("io", 8.0, 4.0, true)).unwrap();
     let dsp = nl.add_module(Module::rigid("dsp", 9.0, 7.0, true)).unwrap();

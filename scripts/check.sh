@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the workspace: formatting, lints, full test suite.
+# The build environment is offline; CARGO_NET_OFFLINE keeps cargo from
+# stalling on the unreachable registry (all external deps are vendored
+# shims under vendor/, see DESIGN.md §6).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "check.sh: all green"

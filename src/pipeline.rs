@@ -2,7 +2,7 @@
 //! floorplan (successive augmentation) → adjust (top re-optimization +
 //! §2.5 compaction) → global route → channel adjustment.
 
-use fp_core::{improve, FloorplanConfig, Floorplan, FloorplanError, Floorplanner, RunStats};
+use fp_core::{improve, Floorplan, FloorplanConfig, FloorplanError, Floorplanner, RunStats};
 use fp_netlist::Netlist;
 use fp_route::{route, RouteConfig, RouteError, RoutingResult};
 use std::error::Error;

@@ -50,7 +50,9 @@ fn per_step_binaries_bounded_at_scale() {
     for n in [10usize, 20, 30] {
         let netlist = ProblemGenerator::new(n, 77).generate();
         let cfg = fast();
-        let result = Floorplanner::with_config(&netlist, cfg.clone()).run().unwrap();
+        let result = Floorplanner::with_config(&netlist, cfg.clone())
+            .run()
+            .unwrap();
         assert!(
             result.stats.max_binaries() <= cfg.max_binaries,
             "K={n}: {} binaries",
@@ -63,7 +65,9 @@ fn per_step_binaries_bounded_at_scale() {
 /// least as large as without, and every envelope contains its module.
 #[test]
 fn envelopes_reserve_space() {
-    let netlist = ProblemGenerator::new(8, 5).with_nets_per_module(3.0).generate();
+    let netlist = ProblemGenerator::new(8, 5)
+        .with_nets_per_module(3.0)
+        .generate();
     let plain = Floorplanner::with_config(&netlist, fast()).run().unwrap();
     let enveloped = Floorplanner::with_config(&netlist, fast().with_envelopes(true))
         .run()
@@ -97,7 +101,9 @@ fn topology_lp_is_pure_lp_fixed_point() {
     use analytical_floorplan::core::{extract_topology, optimize_topology};
     let netlist = ProblemGenerator::new(8, 21).generate();
     let cfg = fast();
-    let result = Floorplanner::with_config(&netlist, cfg.clone()).run().unwrap();
+    let result = Floorplanner::with_config(&netlist, cfg.clone())
+        .run()
+        .unwrap();
     let once = optimize_topology(&result.floorplan, &netlist, &cfg).unwrap();
     let twice = optimize_topology(&once, &netlist, &cfg).unwrap();
     // Each pass is monotone: never taller. (It need not be idempotent —
