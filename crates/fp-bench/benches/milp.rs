@@ -156,11 +156,49 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Observability overhead: the same solves untraced, with a disabled
+/// tracer, and with a no-op sink attached. `disabled` must track `off`
+/// within noise (one `Option` check per emit site); `null_sink` bounds the
+/// full event-construction cost.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(12));
+    let cases: Vec<(&str, Model)> = vec![
+        ("knapsack22", knapsack(22, 3)),
+        ("placement5", placement_milp(5)),
+    ];
+    let opts = SolveOptions::default()
+        .with_node_limit(50_000)
+        .with_threads(1);
+    for (name, model) in &cases {
+        group.bench_with_input(BenchmarkId::new(*name, "off"), model, |b, m| {
+            b.iter(|| m.solve_with(&opts).expect("feasible by construction"))
+        });
+        let disabled = fp_obs::Tracer::disabled();
+        group.bench_with_input(BenchmarkId::new(*name, "disabled"), model, |b, m| {
+            b.iter(|| {
+                m.solve_traced(&opts, &disabled)
+                    .expect("feasible by construction")
+            })
+        });
+        let null = fp_obs::Tracer::new(fp_obs::NullSink);
+        group.bench_with_input(BenchmarkId::new(*name, "null_sink"), model, |b, m| {
+            b.iter(|| {
+                m.solve_traced(&opts, &null)
+                    .expect("feasible by construction")
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_simplex,
     bench_branch_bound,
     bench_placement_milp,
-    bench_parallel_scaling
+    bench_parallel_scaling,
+    bench_trace_overhead
 );
 criterion_main!(benches);

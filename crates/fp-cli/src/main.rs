@@ -30,6 +30,8 @@ struct Args {
     mode: RoutingMode,
     ascii: bool,
     svg: Option<String>,
+    trace: Option<String>,
+    summary: bool,
 }
 
 fn parse_args<I: Iterator<Item = String>>(mut it: I) -> Result<Args, String> {
@@ -50,6 +52,8 @@ fn parse_args<I: Iterator<Item = String>>(mut it: I) -> Result<Args, String> {
         mode: RoutingMode::AroundTheCell,
         ascii: false,
         svg: None,
+        trace: None,
+        summary: false,
     };
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -127,6 +131,8 @@ fn parse_args<I: Iterator<Item = String>>(mut it: I) -> Result<Args, String> {
             }
             "--ascii" => args.ascii = true,
             "--svg" => args.svg = Some(value("--svg")?),
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--summary" => args.summary = true,
             "--help" | "-h" => return Err(String::new()),
             other if !other.starts_with('-') => args.input = Some(other.to_string()),
             other => return Err(format!("unknown option '{other}'")),
@@ -163,7 +169,29 @@ fn run() -> Result<(), String> {
     let args = parse_args(std::env::args().skip(1))?;
     let netlist = load_netlist(&args)?;
 
+    // One tracer feeds every pipeline phase: a JSONL file sink for --trace,
+    // an in-memory collector for --summary, both behind a fanout when
+    // combined, and a free no-op when neither flag is given.
+    let collector = args.summary.then(fp_obs::Collector::new);
+    let tracer = {
+        let mut sinks: Vec<Box<dyn fp_obs::Sink>> = Vec::new();
+        if let Some(path) = &args.trace {
+            let sink = fp_obs::JsonlSink::create(path)
+                .map_err(|e| format!("cannot create trace file '{path}': {e}"))?;
+            sinks.push(Box::new(sink));
+        }
+        if let Some(c) = &collector {
+            sinks.push(Box::new(c.clone()));
+        }
+        if sinks.is_empty() {
+            fp_obs::Tracer::disabled()
+        } else {
+            fp_obs::Tracer::fanout(sinks)
+        }
+    };
+
     let mut config = FloorplanConfig::default()
+        .with_tracer(tracer.clone())
         .with_objective(args.objective)
         .with_ordering(args.ordering.clone())
         .with_envelopes(args.envelopes)
@@ -196,13 +224,14 @@ fn run() -> Result<(), String> {
     }
 
     println!(
-        "chip {:.1} x {:.1} = {:.0}  utilization {:.1}%  wirelength(est) {:.0}  steps {}  time {:.2?}",
+        "chip {:.1} x {:.1} = {:.0}  utilization {:.1}%  wirelength(est) {:.0}  steps {}  nodes {}  time {:.2?}",
         floorplan.chip_width(),
         floorplan.chip_height(),
         floorplan.chip_area(),
         100.0 * floorplan.utilization(&netlist),
         floorplan.center_wirelength(&netlist),
         result.stats.steps.len(),
+        result.stats.total_nodes(),
         result.stats.elapsed,
     );
 
@@ -210,7 +239,8 @@ fn run() -> Result<(), String> {
         Some(algorithm) => {
             let rc = RouteConfig::default()
                 .with_algorithm(algorithm)
-                .with_mode(args.mode);
+                .with_mode(args.mode)
+                .with_tracer(tracer.clone());
             let routing = route(&floorplan, &netlist, &rc).map_err(|e| e.to_string())?;
             print!("{}", fp_route::RouteReport::of(&routing).render(&netlist));
             Some(routing)
@@ -228,6 +258,14 @@ fn run() -> Result<(), String> {
         };
         std::fs::write(path, svg).map_err(|e| format!("cannot write '{path}': {e}"))?;
         eprintln!("wrote {path}");
+    }
+
+    tracer.flush();
+    if let Some(path) = &args.trace {
+        eprintln!("wrote trace {path} ({} events)", tracer.total_events());
+    }
+    if let Some(collector) = &collector {
+        print!("{}", fp_obs::render_summary(&collector.records()));
     }
     Ok(())
 }
@@ -253,7 +291,12 @@ const HELP: &str = "usage: floorplan [INPUT.fp] [--ami33 | --random N:SEED]
   [--envelopes] [--no-rotation] [--compact]
   [--node-limit N] [--time-limit SECS] [--threads N]
   [--route sp|wsp] [--mode over|around]
-  [--ascii] [--svg FILE]";
+  [--ascii] [--svg FILE]
+  [--trace FILE.jsonl] [--summary]
+
+  --trace FILE   write structured trace events (one JSON object per line:
+                 solver nodes/incumbents, augmentation steps, routing)
+  --summary      print a per-phase rollup of the traced run";
 
 #[cfg(test)]
 mod tests {
@@ -270,6 +313,7 @@ mod tests {
         assert_eq!(a.objective, Objective::Area);
         assert!(a.rotation && !a.envelopes && !a.compact);
         assert!(a.route.is_none());
+        assert!(a.trace.is_none() && !a.summary);
     }
 
     #[test]
@@ -298,6 +342,9 @@ mod tests {
             "--ascii",
             "--svg",
             "out.svg",
+            "--trace",
+            "out.jsonl",
+            "--summary",
         ])
         .unwrap();
         assert_eq!(a.input.as_deref(), Some("chip.fp"));
@@ -311,6 +358,8 @@ mod tests {
         assert_eq!(a.route, Some(RouteAlgorithm::WeightedShortestPath));
         assert_eq!(a.mode, RoutingMode::OverTheCell);
         assert_eq!(a.svg.as_deref(), Some("out.svg"));
+        assert_eq!(a.trace.as_deref(), Some("out.jsonl"));
+        assert!(a.summary);
     }
 
     #[test]
@@ -321,6 +370,7 @@ mod tests {
         assert!(parse(&["--width"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--threads", "many"]).is_err());
+        assert!(parse(&["--trace"]).is_err());
     }
 
     #[test]

@@ -25,6 +25,7 @@ use fp_geom::covering::covering_rectangles;
 use fp_geom::Rect;
 use fp_milp::{Optimality, SolveError};
 use fp_netlist::{ordering, ModuleId, Netlist};
+use fp_obs::{Event, Phase, StepTermination};
 use std::time::{Duration, Instant};
 
 /// How one augmentation step concluded.
@@ -39,9 +40,33 @@ pub enum StepOutcome {
     GreedyFallback,
 }
 
+impl StepOutcome {
+    /// The trace-event form of this outcome.
+    #[must_use]
+    pub fn termination(self) -> StepTermination {
+        match self {
+            StepOutcome::Optimal => StepTermination::Optimal,
+            StepOutcome::Incumbent => StepTermination::Incumbent,
+            StepOutcome::GreedyFallback => StepTermination::GreedyFallback,
+        }
+    }
+}
+
+/// Which part of the pipeline a [`StepStats`] record came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// An augmentation step of [`Floorplanner::run`].
+    Placement,
+    /// A re-optimization solve of [`improve_traced`](crate::improve_traced)
+    /// / [`reoptimize_top`](crate::reoptimize_top).
+    Reoptimize,
+}
+
 /// Statistics of one augmentation step.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepStats {
+    /// Where this step ran (augmentation vs re-optimization).
+    pub kind: StepKind,
     /// Modules placed in this step.
     pub group: Vec<ModuleId>,
     /// Number of covering rectangles the partial floorplan collapsed to.
@@ -77,10 +102,22 @@ impl RunStats {
             .count()
     }
 
-    /// Total branch-and-bound nodes over all steps.
+    /// Total branch-and-bound nodes over all steps — augmentation *and*
+    /// re-optimization solves recorded by
+    /// [`improve_traced`](crate::improve_traced).
     #[must_use]
     pub fn total_nodes(&self) -> usize {
         self.steps.iter().map(|s| s.nodes).sum()
+    }
+
+    /// Branch-and-bound nodes of steps of one [`StepKind`].
+    #[must_use]
+    pub fn nodes_of_kind(&self, kind: StepKind) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.nodes)
+            .sum()
     }
 
     /// Largest per-step binary count (the paper's "close to a constant").
@@ -211,46 +248,66 @@ impl<'a> Floorplanner<'a> {
             };
             let step_model = StepModel::build(&input);
             let binaries = step_model.model.num_integer_vars();
+            let step_index = stats.steps.len();
 
-            let (new_placements, outcome, nodes, pivots) =
-                match step_model.model.solve_with(&self.config.step_options) {
-                    Ok(sol) => {
-                        let outcome = match sol.optimality() {
-                            Optimality::Proven => StepOutcome::Optimal,
-                            Optimality::Limit => StepOutcome::Incumbent,
-                        };
-                        (
-                            step_model.extract(&sol, group),
-                            outcome,
-                            sol.stats().nodes,
-                            sol.stats().simplex_iterations,
-                        )
-                    }
-                    Err(SolveError::InvalidModel(why)) => {
-                        return Err(FloorplanError::Solver(SolveError::InvalidModel(why)))
-                    }
-                    Err(_) => {
-                        // Infeasible cannot truly happen (the greedy witness
-                        // satisfies every constraint); numerical trouble and
-                        // limits both degrade to the greedy placement.
-                        let fallback = greedy
-                            .iter()
-                            .zip(group)
-                            .map(|(g, spec)| {
-                                let (rect, envelope, rotated) = spec.realize(g.x, g.y, g.z, g.dw);
-                                PlacedModule {
-                                    id: spec.id,
-                                    rect,
-                                    envelope,
-                                    rotated,
-                                }
-                            })
-                            .collect();
-                        (fallback, StepOutcome::GreedyFallback, 0, 0)
-                    }
-                };
+            let (new_placements, outcome, nodes, pivots) = match step_model
+                .model
+                .solve_traced(&self.config.step_options, &self.config.tracer)
+            {
+                Ok(sol) => {
+                    let outcome = match sol.optimality() {
+                        Optimality::Proven => StepOutcome::Optimal,
+                        Optimality::Limit => StepOutcome::Incumbent,
+                    };
+                    (
+                        step_model.extract(&sol, group),
+                        outcome,
+                        sol.stats().nodes,
+                        sol.stats().simplex_iterations,
+                    )
+                }
+                Err(SolveError::InvalidModel(why)) => {
+                    return Err(FloorplanError::Solver(SolveError::InvalidModel(why)))
+                }
+                Err(_) => {
+                    // Infeasible cannot truly happen (the greedy witness
+                    // satisfies every constraint); numerical trouble and
+                    // limits both degrade to the greedy placement.
+                    self.config
+                        .tracer
+                        .emit(Phase::Augment, Event::GreedyFallback { step: step_index });
+                    let fallback = greedy
+                        .iter()
+                        .zip(group)
+                        .map(|(g, spec)| {
+                            let (rect, envelope, rotated) = spec.realize(g.x, g.y, g.z, g.dw);
+                            PlacedModule {
+                                id: spec.id,
+                                rect,
+                                envelope,
+                                rotated,
+                            }
+                        })
+                        .collect();
+                    (fallback, StepOutcome::GreedyFallback, 0, 0)
+                }
+            };
 
+            // Exactly one terminal event per augmentation step, after any
+            // fallback marker.
+            self.config.tracer.emit(
+                Phase::Augment,
+                Event::AugmentStep {
+                    step: step_index,
+                    group: take,
+                    obstacles: obstacles.len(),
+                    binaries,
+                    nodes,
+                    outcome: outcome.termination(),
+                },
+            );
             stats.steps.push(StepStats {
+                kind: StepKind::Placement,
                 group: group.iter().map(|s| s.id).collect(),
                 obstacles: obstacles.len(),
                 binaries,

@@ -112,6 +112,10 @@ pub struct FloorplanConfig {
     /// the ablation: every placed module becomes its own obstacle and the
     /// per-step integer count grows with the partial floorplan.
     pub covering_reduction: bool,
+    /// Structured-event tracer threaded through every step MILP, the
+    /// augmentation driver, and [`improve_traced`](crate::improve_traced).
+    /// Disabled by default (one pointer check per would-be event).
+    pub tracer: fp_obs::Tracer,
 }
 
 impl Default for FloorplanConfig {
@@ -135,6 +139,7 @@ impl Default for FloorplanConfig {
                 .with_time_limit(Duration::from_secs(10)),
             enforce_critical_nets: false,
             covering_reduction: true,
+            tracer: fp_obs::Tracer::disabled(),
         }
     }
 }
@@ -226,6 +231,22 @@ impl FloorplanConfig {
     #[must_use]
     pub fn with_covering_reduction(mut self, on: bool) -> Self {
         self.covering_reduction = on;
+        self
+    }
+
+    /// Installs a structured-event tracer; every step MILP, the
+    /// augmentation loop, and the improvement loop emit through it.
+    ///
+    /// ```
+    /// use fp_core::FloorplanConfig;
+    /// use fp_obs::{Collector, Tracer};
+    /// let collector = Collector::new();
+    /// let cfg = FloorplanConfig::default().with_tracer(Tracer::new(collector.clone()));
+    /// assert!(cfg.tracer.is_enabled());
+    /// ```
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: fp_obs::Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 }

@@ -10,7 +10,7 @@
 //! stays bounded. [`improve`] alternates this with the §2.5 topology LP
 //! until a round stops helping.
 
-use crate::augment::resolve_chip_width;
+use crate::augment::{resolve_chip_width, RunStats, StepKind, StepOutcome, StepStats};
 use crate::config::FloorplanConfig;
 use crate::envelope::ShapeSpec;
 use crate::error::FloorplanError;
@@ -20,7 +20,10 @@ use crate::placement::{Floorplan, PlacedModule};
 use crate::topology::optimize_topology;
 use fp_geom::covering::covering_rectangles;
 use fp_geom::Rect;
+use fp_milp::Optimality;
 use fp_netlist::Netlist;
+use fp_obs::{Event, Phase};
+use std::time::Instant;
 
 /// Removes the `group_size` modules with the highest envelope tops and
 /// re-places them optimally against the rest. Returns the improved
@@ -51,6 +54,21 @@ pub fn reoptimize_band(
     config: &FloorplanConfig,
     group_size: usize,
     skip_top: usize,
+) -> Result<Floorplan, FloorplanError> {
+    reoptimize_band_recorded(floorplan, netlist, config, group_size, skip_top, None)
+}
+
+/// [`reoptimize_band`] plus per-solve bookkeeping: when `stats` is given,
+/// every MILP actually solved is appended as a
+/// [`StepKind::Reoptimize`] step, so re-optimization branch-and-bound
+/// nodes show up in [`RunStats::total_nodes`].
+fn reoptimize_band_recorded(
+    floorplan: &Floorplan,
+    netlist: &Netlist,
+    config: &FloorplanConfig,
+    group_size: usize,
+    skip_top: usize,
+    stats: Option<&mut RunStats>,
 ) -> Result<Floorplan, FloorplanError> {
     if floorplan.len() < 2 || group_size == 0 {
         return Ok(floorplan.clone());
@@ -128,7 +146,42 @@ pub fn reoptimize_band(
         pull_down: skip > 0,
     };
     let step = StepModel::build(&input);
-    let Ok(sol) = step.model.solve_with(&config.step_options) else {
+    let step_started = Instant::now();
+    let nodes_before = config.tracer.count(fp_obs::EventKind::BnbNode);
+    let solved = step
+        .model
+        .solve_traced(&config.step_options, &config.tracer);
+    if let Some(stats) = stats {
+        // Record the solve whatever its outcome: a limit that produced no
+        // incumbent still explored nodes, and those belong in the totals.
+        // On errors no `Solution` exists, so the node count comes from the
+        // tracer's counter delta (0 when tracing is disabled).
+        let (outcome, nodes, pivots) = match &solved {
+            Ok(sol) => (
+                match sol.optimality() {
+                    Optimality::Proven => StepOutcome::Optimal,
+                    Optimality::Limit => StepOutcome::Incumbent,
+                },
+                sol.stats().nodes,
+                sol.stats().simplex_iterations,
+            ),
+            Err(_) => {
+                let explored = config.tracer.count(fp_obs::EventKind::BnbNode) - nodes_before;
+                (StepOutcome::GreedyFallback, explored as usize, 0)
+            }
+        };
+        stats.steps.push(StepStats {
+            kind: StepKind::Reoptimize,
+            group: specs.iter().map(|s| s.id).collect(),
+            obstacles: obstacles.len(),
+            binaries: step.model.num_integer_vars(),
+            nodes,
+            simplex_iterations: pivots,
+            elapsed: step_started.elapsed(),
+            outcome,
+        });
+    }
+    let Ok(sol) = solved else {
         return Ok(floorplan.clone());
     };
     let new_placements = step.extract(&sol, &specs);
@@ -179,11 +232,35 @@ pub fn improve(
     config: &FloorplanConfig,
     rounds: usize,
 ) -> Result<Floorplan, FloorplanError> {
+    let mut discarded = RunStats::default();
+    improve_traced(floorplan, netlist, config, rounds, &mut discarded)
+}
+
+/// [`improve`] with per-solve bookkeeping: every re-optimization MILP is
+/// appended to `stats` as a [`StepKind::Reoptimize`] step (so
+/// [`RunStats::total_nodes`] covers the whole pipeline, not just
+/// augmentation), and each round emits an
+/// [`fp_obs::Event::ImproveRound`] through the config's tracer.
+///
+/// The §2.5 topology LP has no integer variables and is deliberately left
+/// untraced: traced branch-and-bound node totals stay comparable to the
+/// recorded MILP step statistics.
+///
+/// # Errors
+///
+/// Propagates [`FloorplanError`] from the topology LP or configuration.
+pub fn improve_traced(
+    floorplan: &Floorplan,
+    netlist: &Netlist,
+    config: &FloorplanConfig,
+    rounds: usize,
+    stats: &mut RunStats,
+) -> Result<Floorplan, FloorplanError> {
     let mut best = optimize_topology(floorplan, netlist, config)?;
     let group = config.group_size.max(3) + 2;
     let mut skip = 0usize;
-    for _ in 0..rounds {
-        let candidate = reoptimize_band(&best, netlist, config, group, skip)?;
+    for round in 0..rounds {
+        let candidate = reoptimize_band_recorded(&best, netlist, config, group, skip, Some(stats))?;
         let candidate = optimize_topology(&candidate, netlist, config)?;
         let better = candidate.chip_height() < best.chip_height() - 1e-9
             || (candidate.chip_height() < best.chip_height() + 1e-9
@@ -191,7 +268,16 @@ pub fn improve(
         if better {
             best = candidate;
             skip = 0; // progress: go back to attacking the top
-        } else {
+        }
+        config.tracer.emit(
+            Phase::Improve,
+            Event::ImproveRound {
+                round,
+                accepted: better,
+                height: best.chip_height(),
+            },
+        );
+        if !better {
             // Stalled at this band: move one band deeper into the chip.
             skip += group;
             if skip + 1 >= best.len() {

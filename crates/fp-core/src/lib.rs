@@ -54,10 +54,10 @@ mod improve;
 mod placement;
 mod topology;
 
-pub use augment::{FloorplanResult, Floorplanner, RunStats, StepOutcome, StepStats};
+pub use augment::{FloorplanResult, Floorplanner, RunStats, StepKind, StepOutcome, StepStats};
 pub use config::{FloorplanConfig, Objective, OrderingStrategy, SoftShapeModel};
 pub use error::FloorplanError;
 pub use greedy::bottom_left;
-pub use improve::{improve, reoptimize_top};
+pub use improve::{improve, improve_traced, reoptimize_top};
 pub use placement::{Floorplan, PlacedModule};
 pub use topology::{extract_topology, optimize_topology, Relation};

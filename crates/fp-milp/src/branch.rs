@@ -21,6 +21,7 @@ use crate::options::SolveOptions;
 use crate::presolve::{presolve, PresolveStatus};
 use crate::simplex::{solve_lp, LpOutcome, LpProblem, SparseRow};
 use crate::solution::{Optimality, Solution, SolveStats, ThreadStats};
+use fp_obs::{Event, Phase, Tracer};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::thread;
@@ -36,9 +37,24 @@ struct Node {
 /// either search loop; the caller converts this into the public result.
 type SearchResult = (Option<(Vec<f64>, f64)>, bool, SolveStats);
 
-/// Entry point used by [`Model::solve_with`].
-pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, SolveError> {
+/// Entry point used by [`Model::solve_with`] and [`Model::solve_traced`].
+///
+/// Trace contract: exactly one `SolveStart` is emitted on entry and exactly
+/// one `SolveEnd` on every exit path (including errors), with one `BnbNode`
+/// per node counted in [`SolveStats::nodes`] in between.
+pub(crate) fn solve(
+    model: &Model,
+    options: &SolveOptions,
+    tracer: &Tracer,
+) -> Result<Solution, SolveError> {
     let started = Instant::now();
+    tracer.emit(
+        Phase::Solver,
+        Event::SolveStart {
+            binaries: model.num_integer_vars(),
+            constraints: model.num_constraints(),
+        },
+    );
     let (c, c_offset) = model.min_objective();
 
     let rows: Vec<SparseRow> = model
@@ -61,6 +77,14 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
     let integral: Vec<bool> = model.vars.iter().map(|d| d.kind.is_integral()).collect();
     let pre = presolve(&rows, base_lb, base_ub, &integral, options.feas_tol);
     if pre.status == PresolveStatus::Infeasible {
+        tracer.emit(
+            Phase::Solver,
+            Event::SolveEnd {
+                nodes: 0,
+                simplex_iterations: 0,
+                proven: true,
+            },
+        );
         return Err(SolveError::Infeasible);
     }
     let rows: Vec<SparseRow> = pre.kept_rows.iter().map(|&r| rows[r].clone()).collect();
@@ -81,12 +105,43 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
     int_cols.sort_by_key(|&i| std::cmp::Reverse(model.vars[i].branch_priority));
 
     let threads = options.threads.max(1);
-    let (incumbent, proven, mut stats) = if threads == 1 {
-        solve_serial(model, options, started, &c, &rows, &int_cols, root)?
+    let trace = TraceCtx {
+        tracer,
+        model,
+        c_offset,
+    };
+    let searched = if threads == 1 {
+        solve_serial(model, options, started, &c, &rows, &int_cols, root, &trace)
     } else {
-        solve_parallel(model, options, started, &c, &rows, &int_cols, root, threads)?
+        solve_parallel(
+            model, options, started, &c, &rows, &int_cols, root, threads, &trace,
+        )
+    };
+    let (incumbent, proven, mut stats) = match searched {
+        Ok(result) => result,
+        Err(err) => {
+            // Root-LP failure: no search statistics exist, but SolveEnd
+            // must still pair with the SolveStart above.
+            tracer.emit(
+                Phase::Solver,
+                Event::SolveEnd {
+                    nodes: 0,
+                    simplex_iterations: 0,
+                    proven: false,
+                },
+            );
+            return Err(err);
+        }
     };
     stats.elapsed = started.elapsed();
+    tracer.emit(
+        Phase::Solver,
+        Event::SolveEnd {
+            nodes: stats.nodes,
+            simplex_iterations: stats.simplex_iterations,
+            proven,
+        },
+    );
 
     match incumbent {
         Some((values, min_obj)) => {
@@ -157,6 +212,43 @@ fn split(node: Node, j: usize, v: f64) -> (Node, Node) {
     (down, up)
 }
 
+/// Tracing context shared by both search loops: the tracer plus what is
+/// needed to report objectives in the model's external sense.
+struct TraceCtx<'a> {
+    tracer: &'a Tracer,
+    model: &'a Model,
+    c_offset: f64,
+}
+
+impl TraceCtx<'_> {
+    /// Converts a minimization-form objective to the model's sense.
+    fn external(&self, min_obj: f64) -> f64 {
+        self.model.externalize_obj(min_obj + self.c_offset)
+    }
+
+    fn node(&self, depth: usize) {
+        self.tracer.emit(Phase::Solver, Event::BnbNode { depth });
+    }
+
+    fn root_lp(&self, min_obj: f64) {
+        self.tracer.emit(
+            Phase::Solver,
+            Event::RootLp {
+                objective: self.external(min_obj),
+            },
+        );
+    }
+
+    fn incumbent(&self, min_obj: f64) {
+        self.tracer.emit(
+            Phase::Solver,
+            Event::Incumbent {
+                objective: self.external(min_obj),
+            },
+        );
+    }
+}
+
 /// The original deterministic dive-first DFS loop, unchanged in behavior.
 #[allow(clippy::too_many_arguments)]
 fn solve_serial(
@@ -167,6 +259,7 @@ fn solve_serial(
     rows: &[SparseRow],
     int_cols: &[usize],
     root: Node,
+    trace: &TraceCtx,
 ) -> Result<SearchResult, SolveError> {
     let mut local = ThreadStats::default();
     let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, min-form obj)
@@ -180,6 +273,7 @@ fn solve_serial(
             break;
         }
         local.nodes += 1;
+        trace.node(node.depth);
 
         let problem = LpProblem {
             ncols: model.num_vars(),
@@ -192,6 +286,9 @@ fn solve_serial(
         let (x, obj) = match outcome {
             LpOutcome::Optimal { x, obj, iterations } => {
                 local.simplex_iterations += iterations;
+                if node.depth == 0 {
+                    trace.root_lp(obj);
+                }
                 (x, obj)
             }
             LpOutcome::Infeasible => continue,
@@ -231,6 +328,7 @@ fn solve_serial(
                     .as_ref()
                     .is_none_or(|(_, inc_obj)| obj < *inc_obj - 1e-9);
                 if better {
+                    trace.incumbent(obj);
                     incumbent = Some((vals, obj));
                 }
             }
@@ -278,6 +376,7 @@ struct SharedSearch<'a> {
     options: &'a SolveOptions,
     started: Instant,
     nworkers: usize,
+    trace: &'a TraceCtx<'a>,
     frontier: Mutex<Frontier>,
     work_ready: Condvar,
     /// Best integer-feasible point found, in minimization form.
@@ -326,6 +425,10 @@ impl SharedSearch<'_> {
             .is_none_or(|(_, inc_obj)| obj < *inc_obj - 1e-9);
         if better {
             self.bound_bits.store(obj.to_bits(), Ordering::Relaxed);
+            // Emitted while the incumbent lock is held so sink order equals
+            // improvement order: collected incumbent objectives are monotone
+            // even with racing workers.
+            self.trace.incumbent(obj);
             *inc = Some((vals, obj));
         }
     }
@@ -421,6 +524,7 @@ fn worker(shared: &SharedSearch) -> ThreadStats {
             return stats;
         }
         stats.nodes += 1;
+        shared.trace.node(node.depth);
         shared.process_node(node, &mut stats);
     }
 }
@@ -436,6 +540,7 @@ fn solve_parallel(
     int_cols: &[usize],
     root: Node,
     threads: usize,
+    trace: &TraceCtx,
 ) -> Result<SearchResult, SolveError> {
     let shared = SharedSearch {
         model,
@@ -445,6 +550,7 @@ fn solve_parallel(
         options,
         started,
         nworkers: threads,
+        trace,
         frontier: Mutex::new(Frontier {
             stack: Vec::new(),
             idle: 0,
@@ -470,6 +576,7 @@ fn solve_parallel(
         return Ok((None, false, stats));
     }
     root_stats.nodes += 1;
+    trace.node(0);
     let problem = LpProblem {
         ncols: model.num_vars(),
         rows,
@@ -480,6 +587,7 @@ fn solve_parallel(
     match solve_lp(&problem, options.feas_tol, options.opt_tol) {
         LpOutcome::Optimal { x, obj, iterations } => {
             root_stats.simplex_iterations += iterations;
+            trace.root_lp(obj);
             match branch_choice(model, int_cols, &x, options.int_tol) {
                 None => {
                     let mut vals = x;

@@ -351,8 +351,45 @@ impl Model {
     ///
     /// See [`SolveError`].
     pub fn solve_with(&self, options: &SolveOptions) -> Result<Solution, SolveError> {
+        self.solve_traced(options, &fp_obs::Tracer::disabled())
+    }
+
+    /// Solves the model with explicit options, emitting structured trace
+    /// events ([`fp_obs::Event::SolveStart`], per-node
+    /// [`fp_obs::Event::BnbNode`], [`fp_obs::Event::Incumbent`] updates in
+    /// improvement order, and a final [`fp_obs::Event::SolveEnd`] whose node
+    /// and simplex totals match [`Solution::stats`](crate::Solution::stats))
+    /// through `tracer`. With [`fp_obs::Tracer::disabled`] this is exactly
+    /// [`Model::solve_with`].
+    ///
+    /// ```
+    /// use fp_milp::{Model, Sense, SolveOptions};
+    /// use fp_obs::{Collector, EventKind, Tracer};
+    /// # fn main() -> Result<(), fp_milp::SolveError> {
+    /// let mut m = Model::new(Sense::Maximize);
+    /// let x = m.add_integer("x", 0.0, 10.0);
+    /// m.add_le(2.0 * x, 5.0);
+    /// m.set_objective(x + 0.0);
+    /// let collector = Collector::new();
+    /// let s = m.solve_traced(&SolveOptions::default(), &Tracer::new(collector.clone()))?;
+    /// assert_eq!(collector.count_of(EventKind::BnbNode), s.stats().nodes);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// See [`SolveError`]. Even on errors the trace pairs every
+    /// `SolveStart` with a `SolveEnd`, except for
+    /// [`SolveError::InvalidModel`], which is rejected before the solve
+    /// starts and emits nothing.
+    pub fn solve_traced(
+        &self,
+        options: &SolveOptions,
+        tracer: &fp_obs::Tracer,
+    ) -> Result<Solution, SolveError> {
         self.validate()?;
-        branch::solve(self, options)
+        branch::solve(self, options, tracer)
     }
 
     /// Solves the **LP relaxation**: integrality is dropped, everything else

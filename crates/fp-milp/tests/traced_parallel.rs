@@ -1,0 +1,146 @@
+//! Parallel-safety of the observability layer (satellite of the fp-obs PR):
+//! solving with a [`fp_obs::Collector`] attached must tell the same story as
+//! [`SolveStats`](fp_milp::SolveStats) at every thread count.
+//!
+//! Order of events is NOT part of the contract under parallelism (workers
+//! race), so assertions are over the event *multiset*: counts, totals, and
+//! the incumbent subsequence — which IS ordered, because incumbent events
+//! are emitted while the incumbent lock is held.
+
+mod common;
+
+use common::{classic_cases, random_milp};
+use fp_milp::{Model, Optimality, SolveOptions};
+use fp_obs::{Collector, Event, EventKind, Tracer};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Solves `m` with a collector attached and cross-checks the trace against
+/// the solver's own statistics. Returns the proven objective.
+fn solve_and_check(m: &Model, threads: usize, label: &str) -> f64 {
+    let collector = Collector::new();
+    let tracer = Tracer::new(collector.clone());
+    let opts = SolveOptions::default().with_threads(threads);
+    let sol = m.solve_traced(&opts, &tracer).expect("solve");
+    assert_eq!(
+        sol.optimality(),
+        Optimality::Proven,
+        "{label} t{threads}: not proven"
+    );
+
+    // Exactly one SolveStart / SolveEnd pair per solve.
+    assert_eq!(
+        collector.count_of(EventKind::SolveStart),
+        1,
+        "{label} t{threads}: SolveStart count"
+    );
+    assert_eq!(
+        collector.count_of(EventKind::SolveEnd),
+        1,
+        "{label} t{threads}: SolveEnd count"
+    );
+
+    // The trace's node multiset matches the solver's own accounting.
+    assert_eq!(
+        collector.count_of(EventKind::BnbNode),
+        sol.stats().nodes,
+        "{label} t{threads}: BnbNode count vs stats.nodes"
+    );
+
+    // SolveEnd carries the same totals the stats report.
+    let ends = collector.of_kind(EventKind::SolveEnd);
+    let Event::SolveEnd {
+        nodes,
+        simplex_iterations,
+        proven,
+    } = ends[0].event
+    else {
+        unreachable!("of_kind returned a non-SolveEnd record");
+    };
+    assert_eq!(nodes, sol.stats().nodes, "{label} t{threads}: end nodes");
+    assert_eq!(
+        simplex_iterations,
+        sol.stats().simplex_iterations,
+        "{label} t{threads}: end simplex iterations"
+    );
+    assert!(proven, "{label} t{threads}: end proven flag");
+
+    // Incumbents are emitted under the incumbent lock, so the collected
+    // sequence is strictly improving and ends at the reported objective.
+    let incumbents: Vec<f64> = collector
+        .of_kind(EventKind::Incumbent)
+        .iter()
+        .map(|r| match r.event {
+            Event::Incumbent { objective } => objective,
+            _ => unreachable!(),
+        })
+        .collect();
+    assert!(
+        !incumbents.is_empty(),
+        "{label} t{threads}: no incumbent events on a feasible solve"
+    );
+    for pair in incumbents.windows(2) {
+        let improved = match m.sense() {
+            fp_milp::Sense::Minimize => pair[1] < pair[0],
+            fp_milp::Sense::Maximize => pair[1] > pair[0],
+        };
+        assert!(
+            improved,
+            "{label} t{threads}: incumbent sequence not monotone: {incumbents:?}"
+        );
+    }
+    let last = *incumbents.last().unwrap();
+    assert!(
+        (last - sol.objective()).abs() < 1e-9,
+        "{label} t{threads}: last incumbent {last} != objective {}",
+        sol.objective()
+    );
+
+    sol.objective()
+}
+
+#[test]
+fn classics_trace_consistently_across_thread_counts() {
+    for (label, build) in classic_cases() {
+        let (m, expected) = build();
+        let mut objectives = Vec::new();
+        for threads in THREAD_COUNTS {
+            objectives.push(solve_and_check(&m, threads, label));
+        }
+        for &obj in &objectives {
+            assert!(
+                (obj - expected).abs() < 1e-6,
+                "{label}: objective {obj} != known optimum {expected}"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_models_trace_consistently_across_thread_counts() {
+    for seed in 0..8u64 {
+        let m = random_milp(seed);
+        let label = format!("random_milp(seed {seed})");
+        let serial_obj = solve_and_check(&m, 1, &label);
+        for threads in [2, 4] {
+            let obj = solve_and_check(&m, threads, &label);
+            assert!(
+                (obj - serial_obj).abs() < 1e-6,
+                "{label}: t{threads} objective {obj} != serial {serial_obj}"
+            );
+        }
+    }
+}
+
+/// With no tracer attached the solver must behave identically — this pins
+/// the "cheap when disabled" contract at the solver layer.
+#[test]
+fn disabled_tracer_changes_nothing() {
+    let (m, _) = common::facility_location();
+    let opts = SolveOptions::default().with_threads(1);
+    let plain = m.solve_with(&opts).unwrap();
+    let traced = m.solve_traced(&opts, &Tracer::disabled()).unwrap();
+    assert_eq!(plain.values(), traced.values());
+    assert_eq!(plain.objective(), traced.objective());
+    assert_eq!(plain.stats().nodes, traced.stats().nodes);
+}

@@ -1,0 +1,442 @@
+//! Typed trace events and their JSON rendering.
+
+/// Which pipeline stage emitted an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Inside a MILP solve (`fp-milp` branch-and-bound).
+    Solver,
+    /// The successive-augmentation driver (`fp-core::Floorplanner`).
+    Augment,
+    /// Post-augmentation improvement (`fp-core::improve`).
+    Improve,
+    /// Global routing and channel adjustment (`fp-route`).
+    Route,
+}
+
+impl Phase {
+    /// Stable lowercase name used in JSONL output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Solver => "solver",
+            Phase::Augment => "augment",
+            Phase::Improve => "improve",
+            Phase::Route => "route",
+        }
+    }
+}
+
+/// How a driver-level MILP step terminated (mirrors
+/// `fp_core::StepOutcome` without depending on it — `fp-obs` sits below
+/// every other crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepTermination {
+    /// Solved to proven optimality.
+    Optimal,
+    /// A limit bound; the best incumbent was used.
+    Incumbent,
+    /// The solver produced nothing usable; greedy placement stood in.
+    GreedyFallback,
+}
+
+impl StepTermination {
+    /// Stable name used in JSONL output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StepTermination::Optimal => "optimal",
+            StepTermination::Incumbent => "incumbent",
+            StepTermination::GreedyFallback => "greedy_fallback",
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// Every variant is cheap to construct; emitters behind a disabled
+/// [`Tracer`](crate::Tracer) pay only an `Option` check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A MILP solve began (`binaries` integral variables, `constraints`
+    /// rows after presolve row filtering).
+    SolveStart {
+        /// Integral (binary + general integer) variables in the model.
+        binaries: usize,
+        /// Constraint rows handed to the search.
+        constraints: usize,
+    },
+    /// The root LP relaxation solved to optimality.
+    RootLp {
+        /// Relaxation objective in the model's own sense.
+        objective: f64,
+    },
+    /// One branch-and-bound node was claimed for expansion.
+    BnbNode {
+        /// Depth of the node in the search tree (root = 0).
+        depth: usize,
+    },
+    /// A new incumbent was installed. Within one solve these are emitted
+    /// in improvement order, so the objective sequence is monotone
+    /// (decreasing when minimizing, increasing when maximizing).
+    Incumbent {
+        /// Incumbent objective in the model's own sense.
+        objective: f64,
+    },
+    /// A MILP solve finished (also emitted when the solve errors; node
+    /// counts then reflect the work done before the error).
+    SolveEnd {
+        /// Branch-and-bound nodes expanded.
+        nodes: usize,
+        /// Total simplex pivots.
+        simplex_iterations: usize,
+        /// Whether the search proved its answer (optimum or infeasible).
+        proven: bool,
+    },
+    /// Terminal outcome of one augmentation step — emitted exactly once
+    /// per step by the successive-augmentation driver.
+    AugmentStep {
+        /// Zero-based step index in execution order.
+        step: usize,
+        /// Modules placed in this step.
+        group: usize,
+        /// Covering rectangles the partial floorplan collapsed to.
+        obstacles: usize,
+        /// 0-1 variables in the step MILP.
+        binaries: usize,
+        /// Branch-and-bound nodes the step's solve expanded.
+        nodes: usize,
+        /// How the step concluded.
+        outcome: StepTermination,
+    },
+    /// An augmentation or improvement step fell back to greedy placement
+    /// (marker event; the terminal [`Event::AugmentStep`] carries the
+    /// same fact in its `outcome`).
+    GreedyFallback {
+        /// Step index the fallback happened in.
+        step: usize,
+    },
+    /// One round of the improvement loop finished.
+    ImproveRound {
+        /// Zero-based round index.
+        round: usize,
+        /// Whether the round's candidate was accepted.
+        accepted: bool,
+        /// Chip height after the round.
+        height: f64,
+    },
+    /// Global routing began.
+    RouteStart {
+        /// Nets to route.
+        nets: usize,
+        /// Cells in the channel position graph.
+        cells: usize,
+        /// Edges in the channel position graph.
+        edges: usize,
+    },
+    /// One net was routed.
+    RouteNet {
+        /// Net index ([`fp_netlist::NetId`] index).
+        net: usize,
+        /// Routed length.
+        length: f64,
+        /// Two-pin segments the net decomposed into.
+        segments: usize,
+    },
+    /// Channel widths were adjusted after routing (paper §3.2 last step).
+    ChannelAdjust {
+        /// Total extra width added across columns.
+        extra_width: f64,
+        /// Total extra height added across rows.
+        extra_height: f64,
+        /// Edges routed beyond their preliminary capacity.
+        overflowed_edges: usize,
+    },
+    /// A named span of work completed.
+    Span {
+        /// Span name (static, from the instrumentation site).
+        name: &'static str,
+        /// Elapsed wall time in microseconds.
+        micros: u64,
+    },
+}
+
+/// Discriminant-only view of [`Event`], used for counters and filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// [`Event::SolveStart`]
+    SolveStart,
+    /// [`Event::RootLp`]
+    RootLp,
+    /// [`Event::BnbNode`]
+    BnbNode,
+    /// [`Event::Incumbent`]
+    Incumbent,
+    /// [`Event::SolveEnd`]
+    SolveEnd,
+    /// [`Event::AugmentStep`]
+    AugmentStep,
+    /// [`Event::GreedyFallback`]
+    GreedyFallback,
+    /// [`Event::ImproveRound`]
+    ImproveRound,
+    /// [`Event::RouteStart`]
+    RouteStart,
+    /// [`Event::RouteNet`]
+    RouteNet,
+    /// [`Event::ChannelAdjust`]
+    ChannelAdjust,
+    /// [`Event::Span`]
+    Span,
+}
+
+impl EventKind {
+    /// Number of event kinds (sizes the per-kind counter array).
+    pub const COUNT: usize = 12;
+
+    /// Every kind, in counter-index order.
+    pub const ALL: [EventKind; EventKind::COUNT] = [
+        EventKind::SolveStart,
+        EventKind::RootLp,
+        EventKind::BnbNode,
+        EventKind::Incumbent,
+        EventKind::SolveEnd,
+        EventKind::AugmentStep,
+        EventKind::GreedyFallback,
+        EventKind::ImproveRound,
+        EventKind::RouteStart,
+        EventKind::RouteNet,
+        EventKind::ChannelAdjust,
+        EventKind::Span,
+    ];
+
+    /// Dense index of this kind in [`EventKind::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            EventKind::SolveStart => 0,
+            EventKind::RootLp => 1,
+            EventKind::BnbNode => 2,
+            EventKind::Incumbent => 3,
+            EventKind::SolveEnd => 4,
+            EventKind::AugmentStep => 5,
+            EventKind::GreedyFallback => 6,
+            EventKind::ImproveRound => 7,
+            EventKind::RouteStart => 8,
+            EventKind::RouteNet => 9,
+            EventKind::ChannelAdjust => 10,
+            EventKind::Span => 11,
+        }
+    }
+
+    /// Stable name used as the `event` field in JSONL output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::SolveStart => "SolveStart",
+            EventKind::RootLp => "RootLp",
+            EventKind::BnbNode => "BnbNode",
+            EventKind::Incumbent => "Incumbent",
+            EventKind::SolveEnd => "SolveEnd",
+            EventKind::AugmentStep => "AugmentStep",
+            EventKind::GreedyFallback => "GreedyFallback",
+            EventKind::ImproveRound => "ImproveRound",
+            EventKind::RouteStart => "RouteStart",
+            EventKind::RouteNet => "RouteNet",
+            EventKind::ChannelAdjust => "ChannelAdjust",
+            EventKind::Span => "Span",
+        }
+    }
+}
+
+impl Event {
+    /// The discriminant of this event.
+    #[must_use]
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::SolveStart { .. } => EventKind::SolveStart,
+            Event::RootLp { .. } => EventKind::RootLp,
+            Event::BnbNode { .. } => EventKind::BnbNode,
+            Event::Incumbent { .. } => EventKind::Incumbent,
+            Event::SolveEnd { .. } => EventKind::SolveEnd,
+            Event::AugmentStep { .. } => EventKind::AugmentStep,
+            Event::GreedyFallback { .. } => EventKind::GreedyFallback,
+            Event::ImproveRound { .. } => EventKind::ImproveRound,
+            Event::RouteStart { .. } => EventKind::RouteStart,
+            Event::RouteNet { .. } => EventKind::RouteNet,
+            Event::ChannelAdjust { .. } => EventKind::ChannelAdjust,
+            Event::Span { .. } => EventKind::Span,
+        }
+    }
+}
+
+/// A sequence-stamped event as delivered to sinks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Monotone per-tracer sequence number (dense from 0).
+    pub seq: u64,
+    /// Pipeline stage that emitted the event.
+    pub phase: Phase,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// Formats an `f64` as a JSON value (`null` for non-finite values, which
+/// JSON cannot represent).
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl Record {
+    /// Renders the record as one flat JSON object. Every line carries the
+    /// `seq`, `phase` and `event` fields; the remaining keys are the
+    /// event's own payload.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"seq\":{},\"phase\":\"{}\",\"event\":\"{}\"",
+            self.seq,
+            self.phase.as_str(),
+            self.event.kind().name()
+        );
+        let mut field = |key: &str, value: String| {
+            s.push_str(",\"");
+            s.push_str(key);
+            s.push_str("\":");
+            s.push_str(&value);
+        };
+        match &self.event {
+            Event::SolveStart {
+                binaries,
+                constraints,
+            } => {
+                field("binaries", binaries.to_string());
+                field("constraints", constraints.to_string());
+            }
+            Event::RootLp { objective } => field("objective", jnum(*objective)),
+            Event::BnbNode { depth } => field("depth", depth.to_string()),
+            Event::Incumbent { objective } => field("objective", jnum(*objective)),
+            Event::SolveEnd {
+                nodes,
+                simplex_iterations,
+                proven,
+            } => {
+                field("nodes", nodes.to_string());
+                field("simplex_iterations", simplex_iterations.to_string());
+                field("proven", proven.to_string());
+            }
+            Event::AugmentStep {
+                step,
+                group,
+                obstacles,
+                binaries,
+                nodes,
+                outcome,
+            } => {
+                field("step", step.to_string());
+                field("group", group.to_string());
+                field("obstacles", obstacles.to_string());
+                field("binaries", binaries.to_string());
+                field("nodes", nodes.to_string());
+                field("outcome", format!("\"{}\"", outcome.as_str()));
+            }
+            Event::GreedyFallback { step } => field("step", step.to_string()),
+            Event::ImproveRound {
+                round,
+                accepted,
+                height,
+            } => {
+                field("round", round.to_string());
+                field("accepted", accepted.to_string());
+                field("height", jnum(*height));
+            }
+            Event::RouteStart { nets, cells, edges } => {
+                field("nets", nets.to_string());
+                field("cells", cells.to_string());
+                field("edges", edges.to_string());
+            }
+            Event::RouteNet {
+                net,
+                length,
+                segments,
+            } => {
+                field("net", net.to_string());
+                field("length", jnum(*length));
+                field("segments", segments.to_string());
+            }
+            Event::ChannelAdjust {
+                extra_width,
+                extra_height,
+                overflowed_edges,
+            } => {
+                field("extra_width", jnum(*extra_width));
+                field("extra_height", jnum(*extra_height));
+                field("overflowed_edges", overflowed_edges.to_string());
+            }
+            Event::Span { name, micros } => {
+                field("name", format!("\"{name}\""));
+                field("micros", micros.to_string());
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_dense_and_named() {
+        for (i, kind) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn json_has_required_fields() {
+        let r = Record {
+            seq: 7,
+            phase: Phase::Augment,
+            event: Event::AugmentStep {
+                step: 2,
+                group: 3,
+                obstacles: 4,
+                binaries: 30,
+                nodes: 99,
+                outcome: StepTermination::Optimal,
+            },
+        };
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"seq\":7"));
+        assert!(json.contains("\"phase\":\"augment\""));
+        assert!(json.contains("\"event\":\"AugmentStep\""));
+        assert!(json.contains("\"outcome\":\"optimal\""));
+        assert!(json.contains("\"nodes\":99"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let r = Record {
+            seq: 0,
+            phase: Phase::Solver,
+            event: Event::Incumbent {
+                objective: f64::INFINITY,
+            },
+        };
+        assert!(r.to_json().contains("\"objective\":null"));
+    }
+
+    #[test]
+    fn float_rendering_is_plain() {
+        assert_eq!(jnum(1.0), "1");
+        assert_eq!(jnum(-2.5), "-2.5");
+        assert_eq!(jnum(f64::NAN), "null");
+    }
+}

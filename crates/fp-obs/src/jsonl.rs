@@ -1,0 +1,446 @@
+//! JSONL file sink and a minimal parser/validator for its output.
+//!
+//! The trace format is one flat JSON object per line; every line carries
+//! at least `seq` (number), `phase` (string) and `event` (string). The
+//! parser here is intentionally small — it understands exactly the flat
+//! string/number/bool/null objects [`Record::to_json`] emits — and
+//! exists so tests and `scripts/check.sh` can round-trip traces without
+//! an external JSON dependency.
+
+use crate::event::Record;
+use crate::sink::Sink;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Writes one JSON object per record to a buffered writer.
+///
+/// Lines are written atomically under a mutex, so a parallel solve
+/// produces interleaved but individually well-formed lines. Buffered
+/// output is flushed by [`Sink::flush`] and on drop.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and writes records to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-creation error.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::to_writer(Box::new(file)))
+    }
+
+    /// Wraps an arbitrary writer (used by tests).
+    #[must_use]
+    pub fn to_writer(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, record: &Record) {
+        let line = record.to_json();
+        let mut out = self.out.lock().expect("jsonl lock");
+        // A full disk mid-trace must not abort the solve; the final
+        // flush will surface persistent failures to whoever checks.
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl lock").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+/// A parsed JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+}
+
+/// One parsed trace line: flat key → scalar pairs in source order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRecord {
+    /// The object's fields, in source order.
+    pub fields: Vec<(String, JsonValue)>,
+}
+
+impl ParsedRecord {
+    /// The value of `key`, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The numeric value of `key`, if present and a number.
+    #[must_use]
+    pub fn num(&self, key: &str) -> Option<f64> {
+        match self.get(key) {
+            Some(JsonValue::Num(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value of `key`, if present and a string.
+    #[must_use]
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(JsonValue::Str(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("dangling escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        other => {
+                            return Err(format!("unsupported escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let rest = &self.bytes[self.pos..];
+                    let ch = std::str::from_utf8(rest)
+                        .map_err(|_| "invalid UTF-8 in string")?
+                        .chars()
+                        .next()
+                        .ok_or("empty string tail")?;
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.pos;
+                while self.peek().is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid number bytes")?;
+                text.parse::<f64>()
+                    .map(JsonValue::Num)
+                    .map_err(|_| format!("bad number '{text}'"))
+            }
+            other => Err(format!(
+                "unsupported value start {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected '{word}' at byte {}", self.pos))
+        }
+    }
+}
+
+/// Parses one flat JSON object line into key/scalar pairs.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax problem; nested objects and
+/// arrays are rejected (the trace format is flat by construction).
+pub fn parse_line(line: &str) -> Result<ParsedRecord, String> {
+    let mut c = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    c.skip_ws();
+    c.expect(b'{')?;
+    let mut fields = Vec::new();
+    c.skip_ws();
+    if c.peek() == Some(b'}') {
+        c.pos += 1;
+    } else {
+        loop {
+            c.skip_ws();
+            let key = c.string()?;
+            c.skip_ws();
+            c.expect(b':')?;
+            let value = c.value()?;
+            fields.push((key, value));
+            c.skip_ws();
+            match c.peek() {
+                Some(b',') => c.pos += 1,
+                Some(b'}') => {
+                    c.pos += 1;
+                    break;
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        c.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+    c.skip_ws();
+    if c.pos != c.bytes.len() {
+        return Err(format!("trailing bytes after object at {}", c.pos));
+    }
+    Ok(ParsedRecord { fields })
+}
+
+/// Parses `line` and checks the trace schema: a numeric `seq`, a string
+/// `phase` and a string `event` field must be present.
+///
+/// # Errors
+///
+/// Returns what is malformed or missing.
+pub fn validate_line(line: &str) -> Result<ParsedRecord, String> {
+    let parsed = parse_line(line)?;
+    if parsed.num("seq").is_none() {
+        return Err("missing numeric 'seq' field".to_string());
+    }
+    for key in ["phase", "event"] {
+        if parsed.str_field(key).is_none() {
+            return Err(format!("missing string '{key}' field"));
+        }
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, Phase, StepTermination};
+    use crate::Tracer;
+    use std::sync::{Arc, Mutex};
+
+    /// A Write target backed by shared memory, to capture sink output.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn every_emitted_line_validates() {
+        let buf = SharedBuf::default();
+        let t = Tracer::new(JsonlSink::to_writer(Box::new(buf.clone())));
+        t.emit(
+            Phase::Solver,
+            Event::SolveStart {
+                binaries: 12,
+                constraints: 30,
+            },
+        );
+        t.emit(Phase::Solver, Event::RootLp { objective: -3.25 });
+        t.emit(Phase::Solver, Event::BnbNode { depth: 2 });
+        t.emit(Phase::Solver, Event::Incumbent { objective: 7.0 });
+        t.emit(
+            Phase::Solver,
+            Event::SolveEnd {
+                nodes: 3,
+                simplex_iterations: 40,
+                proven: true,
+            },
+        );
+        t.emit(
+            Phase::Augment,
+            Event::AugmentStep {
+                step: 0,
+                group: 3,
+                obstacles: 2,
+                binaries: 22,
+                nodes: 3,
+                outcome: StepTermination::Incumbent,
+            },
+        );
+        t.emit(Phase::Augment, Event::GreedyFallback { step: 1 });
+        t.emit(
+            Phase::Improve,
+            Event::ImproveRound {
+                round: 0,
+                accepted: true,
+                height: 12.5,
+            },
+        );
+        t.emit(
+            Phase::Route,
+            Event::RouteStart {
+                nets: 5,
+                cells: 9,
+                edges: 12,
+            },
+        );
+        t.emit(
+            Phase::Route,
+            Event::RouteNet {
+                net: 4,
+                length: 8.75,
+                segments: 2,
+            },
+        );
+        t.emit(
+            Phase::Route,
+            Event::ChannelAdjust {
+                extra_width: 0.5,
+                extra_height: 0.0,
+                overflowed_edges: 1,
+            },
+        );
+        t.emit(
+            Phase::Solver,
+            Event::Span {
+                name: "step",
+                micros: 1234,
+            },
+        );
+        t.flush();
+
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 12);
+        for (i, line) in lines.iter().enumerate() {
+            let parsed = validate_line(line).unwrap_or_else(|e| panic!("line {i}: {e}\n{line}"));
+            assert_eq!(parsed.num("seq"), Some(i as f64));
+        }
+        // Spot-check payload round-trips.
+        let inc = parse_line(lines[3]).unwrap();
+        assert_eq!(inc.str_field("event"), Some("Incumbent"));
+        assert_eq!(inc.num("objective"), Some(7.0));
+        let adj = parse_line(lines[10]).unwrap();
+        assert_eq!(adj.num("extra_width"), Some(0.5));
+        assert_eq!(adj.num("overflowed_edges"), Some(1.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_line("").is_err());
+        assert!(parse_line("{").is_err());
+        assert!(parse_line("{\"a\":1,}").is_err());
+        assert!(parse_line("{\"a\":1} extra").is_err());
+        assert!(parse_line("{\"a\":[1]}").is_err()); // arrays unsupported
+        assert!(validate_line("{\"seq\":1}").is_err()); // missing phase/event
+        assert!(validate_line("{\"seq\":\"x\",\"phase\":\"p\",\"event\":\"e\"}").is_err());
+    }
+
+    #[test]
+    fn parser_accepts_scalars() {
+        let p =
+            parse_line("{\"a\": null, \"b\": false, \"c\": -1.5e2, \"d\": \"x\\\"y\"}").unwrap();
+        assert_eq!(p.get("a"), Some(&JsonValue::Null));
+        assert_eq!(p.get("b"), Some(&JsonValue::Bool(false)));
+        assert_eq!(p.num("c"), Some(-150.0));
+        assert_eq!(p.str_field("d"), Some("x\"y"));
+        assert_eq!(p.get("missing"), None);
+        let empty = parse_line("{}").unwrap();
+        assert!(empty.fields.is_empty());
+    }
+
+    #[test]
+    fn file_sink_round_trips() {
+        let dir = std::env::temp_dir().join("fp_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace_{}.jsonl", std::process::id()));
+        {
+            let t = Tracer::new(JsonlSink::create(&path).unwrap());
+            t.emit(Phase::Solver, Event::BnbNode { depth: 0 });
+            t.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        validate_line(text.lines().next().unwrap()).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+}

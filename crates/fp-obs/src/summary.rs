@@ -1,0 +1,227 @@
+//! Human-readable run summary rendered from collected records.
+
+use crate::event::{Event, Record, StepTermination};
+
+/// Rolls a record stream up into a short per-phase report.
+///
+/// The output is stable plain text intended for `fp-cli --summary` and
+/// log files, one section per pipeline phase that actually emitted
+/// events.
+#[must_use]
+pub fn render_summary(records: &[Record]) -> String {
+    let mut solves = 0usize;
+    let mut proven = 0usize;
+    let mut solver_nodes = 0usize;
+    let mut simplex = 0usize;
+    let mut incumbents = 0usize;
+
+    let mut steps = 0usize;
+    let mut optimal = 0usize;
+    let mut incumbent_steps = 0usize;
+    let mut fallback_steps = 0usize;
+    let mut max_binaries = 0usize;
+    let mut augment_nodes = 0usize;
+
+    let mut rounds = 0usize;
+    let mut accepted_rounds = 0usize;
+    let mut final_height = None;
+
+    let mut nets = 0usize;
+    let mut wirelength = 0.0f64;
+    let mut segments = 0usize;
+    let mut adjusts = 0usize;
+    let mut extra = (0.0f64, 0.0f64);
+
+    for record in records {
+        match &record.event {
+            Event::SolveStart { .. } => solves += 1,
+            Event::SolveEnd {
+                nodes,
+                simplex_iterations,
+                proven: p,
+            } => {
+                solver_nodes += nodes;
+                simplex += simplex_iterations;
+                proven += usize::from(*p);
+            }
+            Event::Incumbent { .. } => incumbents += 1,
+            Event::AugmentStep {
+                binaries,
+                nodes,
+                outcome,
+                ..
+            } => {
+                steps += 1;
+                max_binaries = max_binaries.max(*binaries);
+                augment_nodes += nodes;
+                match outcome {
+                    StepTermination::Optimal => optimal += 1,
+                    StepTermination::Incumbent => incumbent_steps += 1,
+                    StepTermination::GreedyFallback => fallback_steps += 1,
+                }
+            }
+            Event::ImproveRound {
+                accepted, height, ..
+            } => {
+                rounds += 1;
+                accepted_rounds += usize::from(*accepted);
+                final_height = Some(*height);
+            }
+            Event::RouteNet {
+                length,
+                segments: s,
+                ..
+            } => {
+                nets += 1;
+                wirelength += length;
+                segments += s;
+            }
+            Event::ChannelAdjust {
+                extra_width,
+                extra_height,
+                ..
+            } => {
+                adjusts += 1;
+                extra.0 += extra_width;
+                extra.1 += extra_height;
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("trace summary: {} events\n", records.len()));
+    if solves > 0 {
+        out.push_str(&format!(
+            "  solver:  {solves} solves ({proven} proven optimal), \
+             {solver_nodes} nodes, {simplex} simplex iterations, \
+             {incumbents} incumbent updates\n"
+        ));
+    }
+    if steps > 0 {
+        out.push_str(&format!(
+            "  augment: {steps} steps ({optimal} optimal, \
+             {incumbent_steps} incumbent, {fallback_steps} greedy fallback), \
+             max {max_binaries} binaries/step, {augment_nodes} nodes\n"
+        ));
+    }
+    if rounds > 0 {
+        let height = final_height
+            .map(|h| format!(", final height {h:.3}"))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "  improve: {rounds} rounds ({accepted_rounds} accepted){height}\n"
+        ));
+    }
+    if nets > 0 || adjusts > 0 {
+        out.push_str(&format!(
+            "  route:   {nets} nets, wirelength {wirelength:.3}, \
+             {segments} segments, {adjusts} channel adjustments \
+             (+{:.3} w, +{:.3} h)\n",
+            extra.0, extra.1
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+
+    fn rec(seq: u64, phase: Phase, event: Event) -> Record {
+        Record { seq, phase, event }
+    }
+
+    #[test]
+    fn summary_rolls_up_each_phase() {
+        let records = vec![
+            rec(
+                0,
+                Phase::Solver,
+                Event::SolveStart {
+                    binaries: 8,
+                    constraints: 20,
+                },
+            ),
+            rec(1, Phase::Solver, Event::Incumbent { objective: 5.0 }),
+            rec(
+                2,
+                Phase::Solver,
+                Event::SolveEnd {
+                    nodes: 7,
+                    simplex_iterations: 90,
+                    proven: true,
+                },
+            ),
+            rec(
+                3,
+                Phase::Augment,
+                Event::AugmentStep {
+                    step: 0,
+                    group: 2,
+                    obstacles: 0,
+                    binaries: 8,
+                    nodes: 7,
+                    outcome: StepTermination::Optimal,
+                },
+            ),
+            rec(
+                4,
+                Phase::Augment,
+                Event::AugmentStep {
+                    step: 1,
+                    group: 2,
+                    obstacles: 2,
+                    binaries: 30,
+                    nodes: 0,
+                    outcome: StepTermination::GreedyFallback,
+                },
+            ),
+            rec(
+                5,
+                Phase::Improve,
+                Event::ImproveRound {
+                    round: 0,
+                    accepted: true,
+                    height: 11.5,
+                },
+            ),
+            rec(
+                6,
+                Phase::Route,
+                Event::RouteNet {
+                    net: 0,
+                    length: 4.5,
+                    segments: 2,
+                },
+            ),
+            rec(
+                7,
+                Phase::Route,
+                Event::ChannelAdjust {
+                    extra_width: 1.0,
+                    extra_height: 0.5,
+                    overflowed_edges: 2,
+                },
+            ),
+        ];
+        let text = render_summary(&records);
+        assert!(text.contains("8 events"), "{text}");
+        assert!(text.contains("1 solves (1 proven optimal)"), "{text}");
+        assert!(text.contains("7 nodes"), "{text}");
+        assert!(text.contains("2 steps (1 optimal"), "{text}");
+        assert!(text.contains("1 greedy fallback"), "{text}");
+        assert!(text.contains("max 30 binaries/step"), "{text}");
+        assert!(text.contains("1 rounds (1 accepted)"), "{text}");
+        assert!(text.contains("final height 11.500"), "{text}");
+        assert!(text.contains("wirelength 4.500"), "{text}");
+        assert!(text.contains("1 channel adjustments"), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_summarizes_to_header_only() {
+        let text = render_summary(&[]);
+        assert_eq!(text, "trace summary: 0 events\n");
+    }
+}

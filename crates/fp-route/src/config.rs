@@ -67,6 +67,9 @@ pub struct RouteConfig {
     pub penalty: f64,
     /// Cost multiplier for crossing a module interior (AroundTheCell only).
     pub blockage_penalty: f64,
+    /// Structured-event tracer: [`route`](crate::route) emits per-net and
+    /// channel-adjustment events through it. Disabled by default.
+    pub tracer: fp_obs::Tracer,
 }
 
 impl Default for RouteConfig {
@@ -79,6 +82,7 @@ impl Default for RouteConfig {
             pitch_v: 0.10,
             penalty: 4.0,
             blockage_penalty: 25.0,
+            tracer: fp_obs::Tracer::disabled(),
         }
     }
 }
@@ -117,6 +121,13 @@ impl RouteConfig {
     #[must_use]
     pub fn with_ordering(mut self, ordering: NetOrdering) -> Self {
         self.ordering = ordering;
+        self
+    }
+
+    /// Installs a structured-event tracer for routing events.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: fp_obs::Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 }

@@ -8,6 +8,7 @@ use crate::pins::{pin_anchor, pin_toward};
 use fp_core::Floorplan;
 use fp_geom::Point;
 use fp_netlist::{NetId, Netlist};
+use fp_obs::{Event, Phase};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -105,6 +106,14 @@ pub fn route(
 ) -> Result<RoutingResult, RouteError> {
     let grid = RoutingGrid::build(floorplan, config)?;
     let mut usage = vec![0.0_f64; grid.num_edges()];
+    config.tracer.emit(
+        Phase::Route,
+        Event::RouteStart {
+            nets: netlist.num_nets(),
+            cells: grid.num_cells(),
+            edges: grid.num_edges(),
+        },
+    );
 
     // Net routing order per the configured strategy.
     let mut order: Vec<NetId> = netlist.nets().map(|(id, _)| id).collect();
@@ -165,6 +174,14 @@ pub fn route(
             members.push(placed);
         }
         if members.len() < 2 {
+            config.tracer.emit(
+                Phase::Route,
+                Event::RouteNet {
+                    net: id.index(),
+                    length: 0.0,
+                    segments: 0,
+                },
+            );
             routes[id.index()] = Some(RoutedNet {
                 id,
                 length: 0.0,
@@ -212,6 +229,14 @@ pub fn route(
             paths.push(path.points);
         }
 
+        config.tracer.emit(
+            Phase::Route,
+            Event::RouteNet {
+                net: id.index(),
+                length,
+                segments: paths.len(),
+            },
+        );
         routes[id.index()] = Some(RoutedNet {
             id,
             length,
@@ -226,6 +251,14 @@ pub fn route(
         config,
         floorplan.chip_width(),
         floorplan.chip_height(),
+    );
+    config.tracer.emit(
+        Phase::Route,
+        Event::ChannelAdjust {
+            extra_width: adjustment.extra_width,
+            extra_height: adjustment.extra_height,
+            overflowed_edges: adjustment.overflowed_edges,
+        },
     );
     let routes: Vec<RoutedNet> = routes
         .into_iter()

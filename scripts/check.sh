@@ -17,4 +17,21 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+# Observability: an end-to-end traced run must produce schema-valid JSONL
+# (each line parses as a flat object carrying numeric `seq` plus string
+# `phase`/`event`) and a non-empty per-phase summary. The trace suites
+# themselves (trace_invariants, trace_regression, traced_parallel) already
+# ran under `cargo test --workspace` above.
+echo "== trace schema sanity (fp-cli --trace | validate_trace)"
+trace_file="$(mktemp --suffix=.jsonl)"
+summary_file="$(mktemp)"
+trap 'rm -f "$trace_file" "$summary_file"' EXIT
+cargo run --release -q -p fp-cli -- --ami33 --trace "$trace_file" --summary \
+    > "$summary_file"
+cargo run --release -q -p fp-obs --example validate_trace -- "$trace_file"
+# At stock budgets the release pipeline must never degrade to greedy
+# (the debug-build equivalent pin lives in fp-core's trace_regression).
+grep -q "0 greedy fallback" "$summary_file" \
+    || { echo "check.sh: ami33 run reported greedy fallbacks"; exit 1; }
+
 echo "check.sh: all green"
