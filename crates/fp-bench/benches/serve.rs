@@ -1,0 +1,93 @@
+//! Criterion benchmarks for the fp-serve engine: in-process client
+//! throughput as the worker pool widens, and the latency gap between a
+//! solution-cache hit and a full pipeline miss.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fp_netlist::generator::ProblemGenerator;
+use fp_netlist::Netlist;
+use fp_serve::{Engine, JobRequest, ServeConfig};
+use std::cell::Cell;
+use std::time::Duration;
+
+/// Tiny distinct instances; the node limit in [`config`] keeps each solve
+/// in the low-millisecond range so the queue/pool overhead is visible.
+fn instances(count: usize) -> Vec<Netlist> {
+    (0..count)
+        .map(|i| ProblemGenerator::new(3 + i % 2, 100 + i as u64).generate())
+        .collect()
+}
+
+fn config() -> ServeConfig {
+    ServeConfig::default().with_node_limit(400)
+}
+
+/// One batch of distinct jobs pushed through the engine and fully drained:
+/// the per-iteration unit for the throughput rows.
+fn solve_batch(engine: &Engine, batch: &[Netlist]) {
+    let client = engine.client();
+    let receivers: Vec<_> = batch
+        .iter()
+        .enumerate()
+        .map(|(i, nl)| client.submit(JobRequest::new(i as u64, nl)))
+        .collect();
+    for rx in receivers {
+        let resp = rx.recv().expect("engine answered");
+        assert!(resp.ok, "bench job failed: {}", resp.error);
+    }
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+    let batch = instances(8);
+    for &workers in &[1usize, 2, 4] {
+        // Cache off so every job pays the full pipeline and the rows
+        // measure the worker pool, not the cache.
+        let engine = Engine::start(config().with_workers(workers).with_cache_capacity(0));
+        group.bench_with_input(
+            BenchmarkId::new("batch8", format!("workers_{workers}")),
+            &batch,
+            |b, batch| b.iter(|| solve_batch(&engine, batch)),
+        );
+        engine.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_cache_hit_vs_miss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_cache");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+
+    // Hit: the same instance every iteration; everything after the first
+    // call is answered from the cache.
+    let engine = Engine::start(config().with_workers(1).with_cache_capacity(4096));
+    let nl = ProblemGenerator::new(4, 7).generate();
+    let client = engine.client();
+    let warm = client.call(JobRequest::new(0, &nl));
+    assert!(warm.ok, "warm-up failed: {}", warm.error);
+    group.bench_function("hit", |b| {
+        b.iter(|| {
+            let resp = client.call(JobRequest::new(1, &nl));
+            assert!(resp.ok && resp.cached, "expected a cache hit");
+        })
+    });
+
+    // Miss: a fresh seed every iteration, so every job runs the pipeline.
+    let next_seed = Cell::new(10_000u64);
+    group.bench_function("miss", |b| {
+        b.iter(|| {
+            let seed = next_seed.get();
+            next_seed.set(seed + 1);
+            let nl = ProblemGenerator::new(4, seed).generate();
+            let resp = client.call(JobRequest::new(seed, &nl));
+            assert!(resp.ok && !resp.cached, "expected a cache miss");
+        })
+    });
+    engine.shutdown();
+    group.finish();
+}
+
+criterion_group!(benches, bench_worker_scaling, bench_cache_hit_vs_miss);
+criterion_main!(benches);

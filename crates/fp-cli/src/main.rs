@@ -1,173 +1,28 @@
 //! `floorplan` — end-to-end CLI for the analytical floorplanner.
 //!
-//! Run `floorplan --help` for usage. The CLI covers the full paper
-//! pipeline: load or generate a problem, floorplan by successive
-//! augmentation, optionally compact with the §2.5 topology LP, globally
-//! route, and emit ASCII/SVG renderings.
+//! Run `floorplan --help` for usage. The default invocation covers the
+//! full paper pipeline: load or generate a problem, floorplan by
+//! successive augmentation, optionally compact with the §2.5 topology LP,
+//! globally route, and emit ASCII/SVG renderings. `floorplan serve` runs
+//! the same pipeline as a concurrent TCP service (see fp-serve) and
+//! `floorplan load` drives a running service and reports throughput and
+//! latency percentiles.
 
-use fp_core::{optimize_topology, FloorplanConfig, Floorplanner, Objective, OrderingStrategy};
-use fp_netlist::{ami33, format, generator::ProblemGenerator, Netlist};
-use fp_route::{route, RouteAlgorithm, RouteConfig, RoutingMode};
+mod args;
+
+use args::{Command, LoadArgs, RunArgs, ServeArgs, HELP};
+use fp_core::{optimize_topology, FloorplanConfig, Floorplanner};
+use fp_netlist::generator::ProblemGenerator;
+use fp_route::{route, RouteConfig};
+use fp_serve::{JobRequest, JobResponse, ServeConfig, Server};
 use fp_viz::{ascii_floorplan, svg_floorplan, svg_routed};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-#[derive(Debug)]
-struct Args {
-    input: Option<String>,
-    ami33: bool,
-    random: Option<(usize, u64)>,
-    width: Option<f64>,
-    objective: Objective,
-    ordering: OrderingStrategy,
-    envelopes: bool,
-    rotation: bool,
-    compact: bool,
-    node_limit: usize,
-    time_limit: f64,
-    threads: Option<usize>,
-    route: Option<RouteAlgorithm>,
-    mode: RoutingMode,
-    ascii: bool,
-    svg: Option<String>,
-    trace: Option<String>,
-    summary: bool,
-}
-
-fn parse_args<I: Iterator<Item = String>>(mut it: I) -> Result<Args, String> {
-    let mut args = Args {
-        input: None,
-        ami33: false,
-        random: None,
-        width: None,
-        objective: Objective::Area,
-        ordering: OrderingStrategy::Connectivity,
-        envelopes: false,
-        rotation: true,
-        compact: false,
-        node_limit: 20_000,
-        time_limit: 10.0,
-        threads: None,
-        route: None,
-        mode: RoutingMode::AroundTheCell,
-        ascii: false,
-        svg: None,
-        trace: None,
-        summary: false,
-    };
-    while let Some(arg) = it.next() {
-        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
-        match arg.as_str() {
-            "--ami33" => args.ami33 = true,
-            "--random" => {
-                let v = value("--random")?;
-                let (n, seed) = v
-                    .split_once(':')
-                    .ok_or_else(|| "--random wants N:SEED".to_string())?;
-                args.random = Some((
-                    n.parse().map_err(|_| "bad N in --random")?,
-                    seed.parse().map_err(|_| "bad SEED in --random")?,
-                ));
-            }
-            "--width" => args.width = Some(value("--width")?.parse().map_err(|_| "bad width")?),
-            "--objective" => {
-                let v = value("--objective")?;
-                args.objective = match v.split_once(':') {
-                    None if v == "area" => Objective::Area,
-                    None if v == "wire" => Objective::AreaPlusWirelength { lambda: 0.5 },
-                    Some(("wire", l)) => Objective::AreaPlusWirelength {
-                        lambda: l.parse().map_err(|_| "bad lambda")?,
-                    },
-                    _ => return Err(format!("unknown objective '{v}'")),
-                };
-            }
-            "--ordering" => {
-                let v = value("--ordering")?;
-                args.ordering = match v.split_once(':') {
-                    None if v == "connectivity" => OrderingStrategy::Connectivity,
-                    None if v == "area" => OrderingStrategy::Area,
-                    None if v == "random" => OrderingStrategy::Random(1),
-                    Some(("random", s)) => {
-                        OrderingStrategy::Random(s.parse().map_err(|_| "bad seed")?)
-                    }
-                    _ => return Err(format!("unknown ordering '{v}'")),
-                };
-            }
-            "--envelopes" => args.envelopes = true,
-            "--no-rotation" => args.rotation = false,
-            "--compact" => args.compact = true,
-            "--node-limit" => {
-                args.node_limit = value("--node-limit")?
-                    .parse()
-                    .map_err(|_| "bad node limit")?;
-            }
-            "--time-limit" => {
-                args.time_limit = value("--time-limit")?
-                    .parse()
-                    .map_err(|_| "bad time limit")?;
-            }
-            "--threads" => {
-                let n: usize = value("--threads")?
-                    .parse()
-                    .map_err(|_| "bad thread count")?;
-                if n == 0 {
-                    return Err("--threads wants at least 1".to_string());
-                }
-                args.threads = Some(n);
-            }
-            "--route" => {
-                args.route = Some(match value("--route")?.as_str() {
-                    "sp" => RouteAlgorithm::ShortestPath,
-                    "wsp" => RouteAlgorithm::WeightedShortestPath,
-                    other => return Err(format!("unknown router '{other}'")),
-                });
-            }
-            "--mode" => {
-                args.mode = match value("--mode")?.as_str() {
-                    "over" => RoutingMode::OverTheCell,
-                    "around" => RoutingMode::AroundTheCell,
-                    other => return Err(format!("unknown mode '{other}'")),
-                };
-            }
-            "--ascii" => args.ascii = true,
-            "--svg" => args.svg = Some(value("--svg")?),
-            "--trace" => args.trace = Some(value("--trace")?),
-            "--summary" => args.summary = true,
-            "--help" | "-h" => return Err(String::new()),
-            other if !other.starts_with('-') => args.input = Some(other.to_string()),
-            other => return Err(format!("unknown option '{other}'")),
-        }
-    }
-    Ok(args)
-}
-
-fn load_netlist(args: &Args) -> Result<Netlist, String> {
-    if args.ami33 {
-        return Ok(ami33());
-    }
-    if let Some((n, seed)) = args.random {
-        return Ok(ProblemGenerator::new(n, seed).generate());
-    }
-    match &args.input {
-        Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
-            // MCNC decks by extension; everything else uses the native
-            // format.
-            let parsed = if path.to_ascii_lowercase().ends_with(".yal") {
-                format::parse_yal(&text)
-            } else {
-                format::parse(&text)
-            };
-            parsed.map_err(|e| format!("cannot parse '{path}': {e}"))
-        }
-        None => Err("no input: give a problem file, --ami33 or --random N:SEED".to_string()),
-    }
-}
-
-fn run() -> Result<(), String> {
-    let args = parse_args(std::env::args().skip(1))?;
-    let netlist = load_netlist(&args)?;
+fn cmd_run(args: &RunArgs) -> Result<(), String> {
+    let netlist = args::load_netlist(args)?;
 
     // One tracer feeds every pipeline phase: a JSONL file sink for --trace,
     // an in-memory collector for --summary, both behind a fanout when
@@ -270,6 +125,137 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &ServeArgs) -> Result<(), String> {
+    let tracer = match &args.trace {
+        Some(path) => {
+            let sink = fp_obs::JsonlSink::create(path)
+                .map_err(|e| format!("cannot create trace file '{path}': {e}"))?;
+            fp_obs::Tracer::new(sink)
+        }
+        None => fp_obs::Tracer::disabled(),
+    };
+    let config = ServeConfig::default()
+        .with_workers(args.workers)
+        .with_cache_capacity(args.cache)
+        .with_node_limit(args.node_limit)
+        .with_tracer(tracer);
+    let server = Server::bind(args.bind.as_str(), config).map_err(|e| e.to_string())?;
+    // The resolved address (not the bind string) so `--bind 127.0.0.1:0`
+    // callers learn the ephemeral port; flushed because scripts read this
+    // line through a pipe while the process keeps running.
+    println!(
+        "serving on {} ({} workers, cache {})",
+        server.local_addr(),
+        args.workers,
+        args.cache
+    );
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.wait();
+    Ok(())
+}
+
+/// The instance a load job submits: jobs cycle through `spread` distinct
+/// seeds, so every seed after the first round repeats an earlier instance
+/// and can be answered from the service's solution cache.
+fn load_instance(args: &LoadArgs, global_job: usize) -> JobRequest {
+    let seed = 1 + (global_job % args.spread) as u64;
+    let nl = ProblemGenerator::new(args.modules, seed).generate();
+    JobRequest::new(global_job as u64, &nl)
+        .with_deadline_ms(args.deadline_ms)
+        .with_cache(!args.no_cache)
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn cmd_load(args: &LoadArgs) -> Result<(), String> {
+    let total = args.clients * args.jobs;
+    println!(
+        "load: {} clients x {} jobs -> {} ({} distinct instances of {} modules)",
+        args.clients, args.jobs, args.addr, args.spread, args.modules
+    );
+    let started = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let args = args.clone();
+            std::thread::spawn(move || -> Result<Vec<(JobResponse, f64)>, String> {
+                let stream = TcpStream::connect(&args.addr)
+                    .map_err(|e| format!("cannot connect to '{}': {e}", args.addr))?;
+                // Each job is one small line each way; without NODELAY the
+                // Nagle/delayed-ACK interaction dominates latency.
+                stream.set_nodelay(true).map_err(|e| e.to_string())?;
+                let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+                let mut reader = BufReader::new(stream);
+                let mut out = Vec::with_capacity(args.jobs);
+                for j in 0..args.jobs {
+                    let req = load_instance(&args, c * args.jobs + j);
+                    let sent = Instant::now();
+                    writeln!(writer, "{}", req.encode()).map_err(|e| e.to_string())?;
+                    let mut line = String::new();
+                    if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+                        return Err("server closed the connection".to_string());
+                    }
+                    let resp = JobResponse::decode(line.trim_end())?;
+                    out.push((resp, sent.elapsed().as_secs_f64() * 1e3));
+                }
+                Ok(out)
+            })
+        })
+        .collect();
+    let mut responses = Vec::with_capacity(total);
+    for h in handles {
+        responses.extend(h.join().map_err(|_| "client thread panicked")??);
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    // Accounting: every id exactly once, nothing lost or duplicated.
+    let mut ids: Vec<u64> = responses.iter().map(|(r, _)| r.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let lost = total - ids.len();
+    let ok = responses.iter().filter(|(r, _)| r.ok).count();
+    let degraded = responses.iter().filter(|(r, _)| r.degraded).count();
+    let cached = responses.iter().filter(|(r, _)| r.cached).count();
+    println!("responses {ok}/{total} ok  degraded {degraded}  cached {cached}  lost {lost}");
+    for (r, _) in responses.iter().filter(|(r, _)| !r.ok).take(3) {
+        eprintln!("  job {} failed: {}", r.id, r.error);
+    }
+
+    let mut lat: Vec<f64> = responses.iter().map(|&(_, ms)| ms).collect();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "throughput {:.1} jobs/s  wall {wall:.2}s",
+        total as f64 / wall
+    );
+    println!(
+        "latency ms: p50 {:.1}  p90 {:.1}  p99 {:.1}  max {:.1}",
+        percentile(&lat, 50.0),
+        percentile(&lat, 90.0),
+        percentile(&lat, 99.0),
+        lat.last().copied().unwrap_or(0.0)
+    );
+    if lost > 0 {
+        return Err(format!("{lost} responses lost or duplicated"));
+    }
+    if ok < total {
+        return Err(format!("{} jobs failed", total - ok));
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    match args::parse_command(std::env::args().skip(1))? {
+        Command::Run(a) => cmd_run(&a),
+        Command::Serve(a) => cmd_serve(&a),
+        Command::Load(a) => cmd_load(&a),
+    }
+}
+
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
@@ -282,115 +268,5 @@ fn main() -> ExitCode {
             eprintln!("{HELP}");
             ExitCode::from(2)
         }
-    }
-}
-
-const HELP: &str = "usage: floorplan [INPUT.fp] [--ami33 | --random N:SEED]
-  [--width W] [--objective area|wire[:LAMBDA]]
-  [--ordering connectivity|random[:SEED]|area]
-  [--envelopes] [--no-rotation] [--compact]
-  [--node-limit N] [--time-limit SECS] [--threads N]
-  [--route sp|wsp] [--mode over|around]
-  [--ascii] [--svg FILE]
-  [--trace FILE.jsonl] [--summary]
-
-  --trace FILE   write structured trace events (one JSON object per line:
-                 solver nodes/incumbents, augmentation steps, routing)
-  --summary      print a per-phase rollup of the traced run";
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn parse(tokens: &[&str]) -> Result<Args, String> {
-        parse_args(tokens.iter().map(|s| s.to_string()))
-    }
-
-    #[test]
-    fn defaults() {
-        let a = parse(&["--ami33"]).unwrap();
-        assert!(a.ami33);
-        assert_eq!(a.objective, Objective::Area);
-        assert!(a.rotation && !a.envelopes && !a.compact);
-        assert!(a.route.is_none());
-        assert!(a.trace.is_none() && !a.summary);
-    }
-
-    #[test]
-    fn full_flags() {
-        let a = parse(&[
-            "chip.fp",
-            "--width",
-            "120",
-            "--objective",
-            "wire:0.7",
-            "--ordering",
-            "random:9",
-            "--envelopes",
-            "--no-rotation",
-            "--compact",
-            "--node-limit",
-            "500",
-            "--time-limit",
-            "2.5",
-            "--threads",
-            "4",
-            "--route",
-            "wsp",
-            "--mode",
-            "over",
-            "--ascii",
-            "--svg",
-            "out.svg",
-            "--trace",
-            "out.jsonl",
-            "--summary",
-        ])
-        .unwrap();
-        assert_eq!(a.input.as_deref(), Some("chip.fp"));
-        assert_eq!(a.width, Some(120.0));
-        assert_eq!(a.objective, Objective::AreaPlusWirelength { lambda: 0.7 });
-        assert_eq!(a.ordering, OrderingStrategy::Random(9));
-        assert!(a.envelopes && !a.rotation && a.compact && a.ascii);
-        assert_eq!(a.node_limit, 500);
-        assert_eq!(a.time_limit, 2.5);
-        assert_eq!(a.threads, Some(4));
-        assert_eq!(a.route, Some(RouteAlgorithm::WeightedShortestPath));
-        assert_eq!(a.mode, RoutingMode::OverTheCell);
-        assert_eq!(a.svg.as_deref(), Some("out.svg"));
-        assert_eq!(a.trace.as_deref(), Some("out.jsonl"));
-        assert!(a.summary);
-    }
-
-    #[test]
-    fn bad_flags_error() {
-        assert!(parse(&["--objective", "speed"]).is_err());
-        assert!(parse(&["--random", "15"]).is_err());
-        assert!(parse(&["--bogus"]).is_err());
-        assert!(parse(&["--width"]).is_err());
-        assert!(parse(&["--threads", "0"]).is_err());
-        assert!(parse(&["--threads", "many"]).is_err());
-        assert!(parse(&["--trace"]).is_err());
-    }
-
-    #[test]
-    fn threads_defaults_to_auto() {
-        assert_eq!(parse(&["--ami33"]).unwrap().threads, None);
-    }
-
-    #[test]
-    fn help_is_empty_error() {
-        assert_eq!(parse(&["--help"]).unwrap_err(), "");
-    }
-
-    #[test]
-    fn load_random_and_ami33() {
-        let a = parse(&["--random", "5:3"]).unwrap();
-        let nl = load_netlist(&a).unwrap();
-        assert_eq!(nl.num_modules(), 5);
-        let a = parse(&["--ami33"]).unwrap();
-        assert_eq!(load_netlist(&a).unwrap().num_modules(), 33);
-        let a = parse(&[]).unwrap();
-        assert!(load_netlist(&a).is_err());
     }
 }

@@ -264,6 +264,9 @@ fn solve_serial(
     let mut local = ThreadStats::default();
     let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, min-form obj)
     let mut proven = true;
+    // Absolute deadline handed to every LP so a single long relaxation
+    // cannot overshoot the time limit (`None` if it overflows Instant).
+    let deadline = started.checked_add(options.time_limit);
 
     let mut stack = vec![root];
 
@@ -282,7 +285,7 @@ fn solve_serial(
             lb: &node.lb,
             ub: &node.ub,
         };
-        let outcome = solve_lp(&problem, options.feas_tol, options.opt_tol);
+        let outcome = solve_lp(&problem, options.feas_tol, options.opt_tol, deadline);
         let (x, obj) = match outcome {
             LpOutcome::Optimal { x, obj, iterations } => {
                 local.simplex_iterations += iterations;
@@ -307,6 +310,12 @@ fn solve_serial(
                 }
                 proven = false;
                 continue;
+            }
+            // Deadline hit mid-LP: stop searching, exactly as if the
+            // node-boundary time check had bound.
+            LpOutcome::TimedOut => {
+                proven = false;
+                break;
             }
         };
 
@@ -375,6 +384,9 @@ struct SharedSearch<'a> {
     int_cols: &'a [usize],
     options: &'a SolveOptions,
     started: Instant,
+    /// `started + time_limit`, handed to every LP for cooperative timeout
+    /// (`None` if the sum overflows Instant).
+    deadline: Option<Instant>,
     nworkers: usize,
     trace: &'a TraceCtx<'a>,
     frontier: Mutex<Frontier>,
@@ -444,7 +456,7 @@ impl SharedSearch<'_> {
             lb: &node.lb,
             ub: &node.ub,
         };
-        let (x, obj) = match solve_lp(&problem, options.feas_tol, options.opt_tol) {
+        let (x, obj) = match solve_lp(&problem, options.feas_tol, options.opt_tol, self.deadline) {
             LpOutcome::Optimal { x, obj, iterations } => {
                 stats.simplex_iterations += iterations;
                 (x, obj)
@@ -455,6 +467,11 @@ impl SharedSearch<'_> {
             // subtree without a proof claim, exactly like the serial path.
             LpOutcome::Unbounded | LpOutcome::IterationLimit => {
                 self.proven.store(false, Ordering::Relaxed);
+                return;
+            }
+            // Deadline hit mid-LP: the time limit bound, stop every worker.
+            LpOutcome::TimedOut => {
+                self.halt_limits();
                 return;
             }
         };
@@ -549,6 +566,7 @@ fn solve_parallel(
         int_cols,
         options,
         started,
+        deadline: started.checked_add(options.time_limit),
         nworkers: threads,
         trace,
         frontier: Mutex::new(Frontier {
@@ -584,7 +602,7 @@ fn solve_parallel(
         lb: &root.lb,
         ub: &root.ub,
     };
-    match solve_lp(&problem, options.feas_tol, options.opt_tol) {
+    match solve_lp(&problem, options.feas_tol, options.opt_tol, shared.deadline) {
         LpOutcome::Optimal { x, obj, iterations } => {
             root_stats.simplex_iterations += iterations;
             trace.root_lp(obj);
@@ -615,6 +633,19 @@ fn solve_parallel(
         LpOutcome::Infeasible => {}
         LpOutcome::Unbounded => return Err(SolveError::Unbounded),
         LpOutcome::IterationLimit => return Err(SolveError::IterationLimit),
+        // Deadline hit inside the root LP: same shape as the limits binding
+        // before the root node, minus the root work already spent.
+        LpOutcome::TimedOut => {
+            let mut per_thread = vec![ThreadStats::default(); threads];
+            per_thread[0] = root_stats;
+            let stats = SolveStats {
+                nodes: shared.nodes.load(Ordering::Relaxed),
+                threads,
+                per_thread,
+                ..SolveStats::default()
+            };
+            return Ok((None, false, stats));
+        }
     }
 
     let need_workers = !shared

@@ -14,9 +14,16 @@
 //! threshold guards against cycling.
 
 use crate::model::Cmp;
+use std::time::Instant;
 
 /// One sparse constraint row: `(terms, comparison, rhs)`.
 pub(crate) type SparseRow = (Vec<(usize, f64)>, Cmp, f64);
+
+/// How often (in simplex iterations) the cooperative deadline is polled.
+/// `Instant::now()` costs tens of nanoseconds while even a small pivot is
+/// microseconds of dense row arithmetic, so polling every 16 iterations is
+/// free yet bounds the overshoot past a deadline to 16 pivots.
+const DEADLINE_POLL_MASK: usize = 15;
 
 /// A bound-constrained LP in minimization form:
 /// `min c·x` subject to `row·x (cmp) rhs` for each row and `lb <= x <= ub`.
@@ -46,6 +53,9 @@ pub(crate) enum LpOutcome {
     Unbounded,
     /// Safety cap hit; the model is probably badly scaled.
     IterationLimit,
+    /// The caller's deadline passed mid-solve (cooperative check inside the
+    /// pivot loop, so one long LP cannot overshoot a solve's time limit).
+    TimedOut,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +93,13 @@ enum StepOutcome {
     Optimal,
     Unbounded,
     Pivoted,
+}
+
+/// Why a call to [`Tableau::optimize`] stopped iterating.
+enum OptimizeEnd {
+    Done(StepOutcome),
+    IterationCap,
+    TimedOut,
 }
 
 impl Tableau {
@@ -251,8 +268,9 @@ impl Tableau {
         }
     }
 
-    /// Runs simplex iterations until optimal / unbounded / capped.
-    fn optimize(&mut self, max_iters: usize) -> Option<StepOutcome> {
+    /// Runs simplex iterations until optimal / unbounded / capped / past
+    /// the caller's deadline.
+    fn optimize(&mut self, max_iters: usize, deadline: Option<Instant>) -> OptimizeEnd {
         let stall_switch = 3 * (self.m + self.n) + 200;
         let start = self.iterations;
         loop {
@@ -260,11 +278,18 @@ impl Tableau {
                 self.bland = true;
             }
             if self.iterations > max_iters {
-                return None;
+                return OptimizeEnd::IterationCap;
+            }
+            if self.iterations & DEADLINE_POLL_MASK == 0 {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return OptimizeEnd::TimedOut;
+                    }
+                }
             }
             match self.step() {
                 StepOutcome::Pivoted => continue,
-                other => return Some(other),
+                other => return OptimizeEnd::Done(other),
             }
         }
     }
@@ -288,7 +313,14 @@ impl Tableau {
 }
 
 /// Solves the LP. `feas_tol` gates phase-1 acceptance, `opt_tol` the pricing.
-pub(crate) fn solve_lp(p: &LpProblem<'_>, feas_tol: f64, opt_tol: f64) -> LpOutcome {
+/// A `deadline`, when given, is polled cooperatively inside the pivot loop so
+/// a single long solve cannot overshoot the caller's time budget.
+pub(crate) fn solve_lp(
+    p: &LpProblem<'_>,
+    feas_tol: f64,
+    opt_tol: f64,
+    deadline: Option<Instant>,
+) -> LpOutcome {
     let m = p.rows.len();
     let n_struct = p.ncols;
     let n_slack = m;
@@ -391,15 +423,16 @@ pub(crate) fn solve_lp(p: &LpProblem<'_>, feas_tol: f64, opt_tol: f64) -> LpOutc
     let mut c1 = vec![0.0; n];
     c1[n_struct + n_slack..n].fill(1.0);
     tab.reprice(&c1);
-    match tab.optimize(max_iters) {
-        None => return LpOutcome::IterationLimit,
-        Some(StepOutcome::Unbounded) => {
+    match tab.optimize(max_iters, deadline) {
+        OptimizeEnd::IterationCap => return LpOutcome::IterationLimit,
+        OptimizeEnd::TimedOut => return LpOutcome::TimedOut,
+        OptimizeEnd::Done(StepOutcome::Unbounded) => {
             // Phase-1 objective is bounded below by 0; unboundedness here is
             // numerical nonsense worth flagging loudly in debug builds.
             debug_assert!(false, "phase 1 reported unbounded");
             return LpOutcome::IterationLimit;
         }
-        Some(_) => {}
+        OptimizeEnd::Done(_) => {}
     }
     let phase1_obj: f64 = (0..m)
         .filter(|&i| tab.basis[i] >= n_struct + n_slack)
@@ -428,10 +461,11 @@ pub(crate) fn solve_lp(p: &LpProblem<'_>, feas_tol: f64, opt_tol: f64) -> LpOutc
     c2[..n_struct].copy_from_slice(p.c);
     tab.reprice(&c2);
     tab.bland = false;
-    match tab.optimize(max_iters) {
-        None => LpOutcome::IterationLimit,
-        Some(StepOutcome::Unbounded) => LpOutcome::Unbounded,
-        Some(_) => {
+    match tab.optimize(max_iters, deadline) {
+        OptimizeEnd::IterationCap => LpOutcome::IterationLimit,
+        OptimizeEnd::TimedOut => LpOutcome::TimedOut,
+        OptimizeEnd::Done(StepOutcome::Unbounded) => LpOutcome::Unbounded,
+        OptimizeEnd::Done(_) => {
             let mut x = vec![0.0; n_struct];
             for (j, xv) in x.iter_mut().enumerate() {
                 *xv = tab.nonbasic_value(j);
@@ -482,7 +516,7 @@ mod tests {
     }
 
     fn solve(p: &Owned) -> LpOutcome {
-        solve_lp(&p.as_problem(), 1e-7, 1e-9)
+        solve_lp(&p.as_problem(), 1e-7, 1e-9, None)
     }
 
     fn optimal(p: &Owned) -> (Vec<f64>, f64) {

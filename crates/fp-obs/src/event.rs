@@ -11,6 +11,9 @@ pub enum Phase {
     Improve,
     /// Global routing and channel adjustment (`fp-route`).
     Route,
+    /// The floorplanning service (`fp-serve`): job lifecycle and the
+    /// fingerprint solution cache.
+    Serve,
 }
 
 impl Phase {
@@ -22,6 +25,7 @@ impl Phase {
             Phase::Augment => "augment",
             Phase::Improve => "improve",
             Phase::Route => "route",
+            Phase::Serve => "serve",
         }
     }
 }
@@ -158,6 +162,33 @@ pub enum Event {
         /// Elapsed wall time in microseconds.
         micros: u64,
     },
+    /// A service job's instance fingerprint was found in the solution
+    /// cache (`fp-serve`): the job is answered without a MILP solve.
+    CacheHit {
+        /// Canonical FNV-1a instance fingerprint (rendered as fixed-width
+        /// hex in JSONL so all 64 bits survive the f64 number type).
+        key: u64,
+    },
+    /// A service job's instance fingerprint was absent from the solution
+    /// cache (`fp-serve`): the full pipeline runs.
+    CacheMiss {
+        /// Canonical FNV-1a instance fingerprint.
+        key: u64,
+    },
+    /// A service job finished and its response was handed back
+    /// (`fp-serve`). Emitted exactly once per job, including failures.
+    JobDone {
+        /// Client-assigned job id.
+        id: u64,
+        /// Service time in microseconds, measured from job submission
+        /// (queue wait included).
+        micros: u64,
+        /// Whether the job exceeded its budget and degraded to the greedy
+        /// skyline placement (or to a partially-greedy run).
+        degraded: bool,
+        /// Whether the response came from the solution cache.
+        cached: bool,
+    },
 }
 
 /// Discriminant-only view of [`Event`], used for counters and filtering.
@@ -187,11 +218,17 @@ pub enum EventKind {
     ChannelAdjust,
     /// [`Event::Span`]
     Span,
+    /// [`Event::CacheHit`]
+    CacheHit,
+    /// [`Event::CacheMiss`]
+    CacheMiss,
+    /// [`Event::JobDone`]
+    JobDone,
 }
 
 impl EventKind {
     /// Number of event kinds (sizes the per-kind counter array).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 15;
 
     /// Every kind, in counter-index order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -207,6 +244,9 @@ impl EventKind {
         EventKind::RouteNet,
         EventKind::ChannelAdjust,
         EventKind::Span,
+        EventKind::CacheHit,
+        EventKind::CacheMiss,
+        EventKind::JobDone,
     ];
 
     /// Dense index of this kind in [`EventKind::ALL`].
@@ -225,6 +265,9 @@ impl EventKind {
             EventKind::RouteNet => 9,
             EventKind::ChannelAdjust => 10,
             EventKind::Span => 11,
+            EventKind::CacheHit => 12,
+            EventKind::CacheMiss => 13,
+            EventKind::JobDone => 14,
         }
     }
 
@@ -244,6 +287,9 @@ impl EventKind {
             EventKind::RouteNet => "RouteNet",
             EventKind::ChannelAdjust => "ChannelAdjust",
             EventKind::Span => "Span",
+            EventKind::CacheHit => "CacheHit",
+            EventKind::CacheMiss => "CacheMiss",
+            EventKind::JobDone => "JobDone",
         }
     }
 }
@@ -265,6 +311,9 @@ impl Event {
             Event::RouteNet { .. } => EventKind::RouteNet,
             Event::ChannelAdjust { .. } => EventKind::ChannelAdjust,
             Event::Span { .. } => EventKind::Span,
+            Event::CacheHit { .. } => EventKind::CacheHit,
+            Event::CacheMiss { .. } => EventKind::CacheMiss,
+            Event::JobDone { .. } => EventKind::JobDone,
         }
     }
 }
@@ -380,6 +429,22 @@ impl Record {
                 field("name", format!("\"{name}\""));
                 field("micros", micros.to_string());
             }
+            // Fingerprints are full 64-bit values; a JSON number would be
+            // parsed back as f64 and lose the low bits, so they travel as
+            // fixed-width hex strings.
+            Event::CacheHit { key } => field("key", format!("\"{key:016x}\"")),
+            Event::CacheMiss { key } => field("key", format!("\"{key:016x}\"")),
+            Event::JobDone {
+                id,
+                micros,
+                degraded,
+                cached,
+            } => {
+                field("id", id.to_string());
+                field("micros", micros.to_string());
+                field("degraded", degraded.to_string());
+                field("cached", cached.to_string());
+            }
         }
         s.push('}');
         s
@@ -419,6 +484,34 @@ mod tests {
         assert!(json.contains("\"event\":\"AugmentStep\""));
         assert!(json.contains("\"outcome\":\"optimal\""));
         assert!(json.contains("\"nodes\":99"));
+    }
+
+    #[test]
+    fn cache_keys_render_as_full_width_hex() {
+        let r = Record {
+            seq: 1,
+            phase: Phase::Serve,
+            event: Event::CacheHit {
+                key: 0xdead_beef_0000_0001,
+            },
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"phase\":\"serve\""), "{json}");
+        assert!(json.contains("\"key\":\"deadbeef00000001\""), "{json}");
+        let r = Record {
+            seq: 2,
+            phase: Phase::Serve,
+            event: Event::JobDone {
+                id: 42,
+                micros: 1500,
+                degraded: true,
+                cached: false,
+            },
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"id\":42"), "{json}");
+        assert!(json.contains("\"degraded\":true"), "{json}");
+        assert!(json.contains("\"cached\":false"), "{json}");
     }
 
     #[test]

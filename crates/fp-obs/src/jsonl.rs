@@ -385,12 +385,23 @@ mod tests {
                 micros: 1234,
             },
         );
+        t.emit(Phase::Serve, Event::CacheMiss { key: u64::MAX });
+        t.emit(Phase::Serve, Event::CacheHit { key: u64::MAX });
+        t.emit(
+            Phase::Serve,
+            Event::JobDone {
+                id: 9,
+                micros: 88,
+                degraded: false,
+                cached: true,
+            },
+        );
         t.flush();
 
         let bytes = buf.0.lock().unwrap().clone();
         let text = String::from_utf8(bytes).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 12);
+        assert_eq!(lines.len(), 15);
         for (i, line) in lines.iter().enumerate() {
             let parsed = validate_line(line).unwrap_or_else(|e| panic!("line {i}: {e}\n{line}"));
             assert_eq!(parsed.num("seq"), Some(i as f64));
@@ -402,6 +413,13 @@ mod tests {
         let adj = parse_line(lines[10]).unwrap();
         assert_eq!(adj.num("extra_width"), Some(0.5));
         assert_eq!(adj.num("overflowed_edges"), Some(1.0));
+        // Cache keys survive as full-width hex strings, not lossy numbers.
+        let hit = parse_line(lines[13]).unwrap();
+        assert_eq!(hit.str_field("event"), Some("CacheHit"));
+        assert_eq!(hit.str_field("key"), Some("ffffffffffffffff"));
+        let done = parse_line(lines[14]).unwrap();
+        assert_eq!(done.num("id"), Some(9.0));
+        assert_eq!(done.get("cached"), Some(&JsonValue::Bool(true)));
     }
 
     #[test]

@@ -32,6 +32,13 @@ pub fn render_summary(records: &[Record]) -> String {
     let mut adjusts = 0usize;
     let mut extra = (0.0f64, 0.0f64);
 
+    let mut jobs = 0usize;
+    let mut degraded_jobs = 0usize;
+    let mut cached_jobs = 0usize;
+    let mut job_micros = 0u64;
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
+
     for record in records {
         match &record.event {
             Event::SolveStart { .. } => solves += 1,
@@ -85,6 +92,19 @@ pub fn render_summary(records: &[Record]) -> String {
                 extra.0 += extra_width;
                 extra.1 += extra_height;
             }
+            Event::CacheHit { .. } => cache_hits += 1,
+            Event::CacheMiss { .. } => cache_misses += 1,
+            Event::JobDone {
+                micros,
+                degraded,
+                cached,
+                ..
+            } => {
+                jobs += 1;
+                degraded_jobs += usize::from(*degraded);
+                cached_jobs += usize::from(*cached);
+                job_micros += micros;
+            }
             _ => {}
         }
     }
@@ -119,6 +139,18 @@ pub fn render_summary(records: &[Record]) -> String {
              {segments} segments, {adjusts} channel adjustments \
              (+{:.3} w, +{:.3} h)\n",
             extra.0, extra.1
+        ));
+    }
+    if jobs > 0 || cache_hits > 0 || cache_misses > 0 {
+        let mean = if jobs > 0 {
+            job_micros / jobs as u64
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "  serve:   {jobs} jobs ({cached_jobs} cached, \
+             {degraded_jobs} degraded), cache {cache_hits} hits / \
+             {cache_misses} misses, mean {mean} us/job\n"
         ));
     }
     out
@@ -223,5 +255,37 @@ mod tests {
     fn empty_trace_summarizes_to_header_only() {
         let text = render_summary(&[]);
         assert_eq!(text, "trace summary: 0 events\n");
+    }
+
+    #[test]
+    fn serve_events_roll_up() {
+        let records = vec![
+            rec(0, Phase::Serve, Event::CacheMiss { key: 7 }),
+            rec(
+                1,
+                Phase::Serve,
+                Event::JobDone {
+                    id: 1,
+                    micros: 300,
+                    degraded: false,
+                    cached: false,
+                },
+            ),
+            rec(2, Phase::Serve, Event::CacheHit { key: 7 }),
+            rec(
+                3,
+                Phase::Serve,
+                Event::JobDone {
+                    id: 2,
+                    micros: 100,
+                    degraded: true,
+                    cached: true,
+                },
+            ),
+        ];
+        let text = render_summary(&records);
+        assert!(text.contains("2 jobs (1 cached, 1 degraded)"), "{text}");
+        assert!(text.contains("cache 1 hits / 1 misses"), "{text}");
+        assert!(text.contains("mean 200 us/job"), "{text}");
     }
 }

@@ -1,0 +1,156 @@
+//! An LRU solution cache keyed by instance fingerprints.
+//!
+//! Floorplanning is expensive and deterministic given the instance and
+//! parameters, so repeated instances (common in parameter sweeps and load
+//! tests) can be answered from memory. Eviction is least-recently-used via
+//! a monotone stamp per entry; hit/miss totals are relaxed atomics so the
+//! counters cost nothing on the solve path.
+
+use crate::protocol::JobResponse;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+struct Entry {
+    stamp: u64,
+    value: JobResponse,
+}
+
+/// A bounded LRU map from fingerprint key to solved response.
+///
+/// Stored responses are templates: per-job fields (`id`, `micros`,
+/// `cached`) are rewritten by [`SolutionCache::get`]'s caller, so one
+/// cached solve can answer many differently-numbered jobs.
+pub struct SolutionCache {
+    map: Mutex<(HashMap<u64, Entry>, u64)>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolutionCache {
+    /// A cache holding at most `capacity` solutions; 0 disables storage
+    /// (every lookup misses).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        SolutionCache {
+            map: Mutex::new((HashMap::new(), 0)),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit and counting the
+    /// outcome either way.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<JobResponse> {
+        let mut guard = self.map.lock().expect("cache lock");
+        let (map, clock) = &mut *guard;
+        *clock += 1;
+        let stamp = *clock;
+        match map.get_mut(&key) {
+            Some(entry) => {
+                entry.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `value` under `key`, evicting the least-recently-used entry
+    /// when the cache is full. A no-op at capacity 0.
+    pub fn insert(&self, key: u64, value: JobResponse) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut guard = self.map.lock().expect("cache lock");
+        let (map, clock) = &mut *guard;
+        *clock += 1;
+        let stamp = *clock;
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            let oldest = map.iter().min_by_key(|(_, e)| e.stamp).map(|(&k, _)| k);
+            if let Some(oldest) = oldest {
+                map.remove(&oldest);
+            }
+        }
+        map.insert(key, Entry { stamp, value });
+    }
+
+    /// `(hits, misses)` since construction.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of solutions currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").0.len()
+    }
+
+    /// Whether the cache currently stores nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(id: u64) -> JobResponse {
+        let mut r = JobResponse::failure(id, "");
+        r.ok = true;
+        r.area = id as f64;
+        r
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let c = SolutionCache::new(4);
+        assert!(c.get(7).is_none());
+        c.insert(7, resp(1));
+        let got = c.get(7).expect("hit");
+        assert_eq!(got.area, 1.0);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let c = SolutionCache::new(2);
+        c.insert(1, resp(1));
+        c.insert(2, resp(2));
+        assert!(c.get(1).is_some()); // refresh 1: now 2 is the LRU entry
+        c.insert(3, resp(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2).is_none(), "2 should have been evicted");
+        assert!(c.get(1).is_some() && c.get(3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let c = SolutionCache::new(0);
+        c.insert(1, resp(1));
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), (0, 1));
+    }
+
+    #[test]
+    fn reinsert_same_key_keeps_size() {
+        let c = SolutionCache::new(2);
+        c.insert(1, resp(1));
+        c.insert(1, resp(9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1).unwrap().area, 9.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Canonical instance fingerprints via FNV-1a.
+//!
+//! Two [`JobRequest`](crate::JobRequest)s describing the same problem with
+//! the same solve parameters must map to the same 64-bit key regardless of
+//! module/net declaration order, so the solution cache can answer repeats.
+//! Modules and nets are serialized to canonical strings, *sorted*, and fed
+//! through FNV-1a together with the parameters that change the answer
+//! (chip width, objective, rotation, routing).
+
+use fp_netlist::Netlist;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A tiny incremental FNV-1a 64-bit hasher (no `std::hash` detour so the
+/// key is stable across Rust versions and platforms).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A hasher at the standard FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorbs `bytes`.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// Solve parameters that are part of an instance's identity: the same
+/// netlist under a different objective or width is a different cache entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FingerprintParams {
+    /// Fixed chip width, `None` = derived from module area.
+    pub width: Option<f64>,
+    /// Wirelength weight λ (0 = pure area objective).
+    pub lambda: f64,
+    /// Whether 90° rotation is allowed.
+    pub rotation: bool,
+    /// Whether the job includes global routing.
+    pub route: bool,
+}
+
+/// The canonical 64-bit fingerprint of `netlist` solved under `params`.
+#[must_use]
+pub fn fingerprint(netlist: &Netlist, params: &FingerprintParams) -> u64 {
+    let mut h = Fnv1a::new();
+
+    // Modules: one canonical line each, sorted so declaration order is
+    // irrelevant. Dimensions and pin counts all land in the stream.
+    let mut modules: Vec<String> = netlist
+        .modules()
+        .map(|(_, m)| {
+            let p = m.pins();
+            match *m.shape() {
+                fp_netlist::Shape::Rigid { w, h } => format!(
+                    "r {} {} {} {} {} {} {} {}",
+                    m.name(),
+                    w,
+                    h,
+                    m.rotatable(),
+                    p.left,
+                    p.right,
+                    p.bottom,
+                    p.top
+                ),
+                fp_netlist::Shape::Flexible {
+                    area,
+                    min_aspect,
+                    max_aspect,
+                } => format!(
+                    "f {} {} {} {} {} {} {} {}",
+                    m.name(),
+                    area,
+                    min_aspect,
+                    max_aspect,
+                    p.left,
+                    p.right,
+                    p.bottom,
+                    p.top
+                ),
+            }
+        })
+        .collect();
+    modules.sort_unstable();
+    for line in &modules {
+        h.write(line.as_bytes());
+        h.write(b"\n");
+    }
+
+    // Nets: weight/criticality/max-length plus the *sorted* member names,
+    // the whole net list itself sorted.
+    let mut nets: Vec<String> = netlist
+        .nets()
+        .map(|(_, n)| {
+            let mut members: Vec<&str> = n
+                .modules()
+                .iter()
+                .map(|&m| netlist.module(m).name())
+                .collect();
+            members.sort_unstable();
+            format!(
+                "n {} {} {:?} {}",
+                n.weight(),
+                n.criticality(),
+                n.max_length(),
+                members.join(" ")
+            )
+        })
+        .collect();
+    nets.sort_unstable();
+    for line in &nets {
+        h.write(line.as_bytes());
+        h.write(b"\n");
+    }
+
+    // Parameters. Float identity is bit-exact: requests built from the same
+    // wire encoding decode to the same bits.
+    match params.width {
+        Some(w) => {
+            h.write(b"w");
+            h.write(&w.to_bits().to_le_bytes());
+        }
+        None => h.write(b"w-"),
+    }
+    h.write(&params.lambda.to_bits().to_le_bytes());
+    h.write(&[u8::from(params.rotation), u8::from(params.route)]);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_netlist::generator::ProblemGenerator;
+    use fp_netlist::{Module, Netlist, SidePins};
+
+    fn params() -> FingerprintParams {
+        FingerprintParams {
+            width: None,
+            lambda: 0.0,
+            rotation: true,
+            route: false,
+        }
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        let mut h = Fnv1a::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn identical_instances_agree() {
+        let a = ProblemGenerator::new(6, 3).generate();
+        let b = ProblemGenerator::new(6, 3).generate();
+        assert_eq!(fingerprint(&a, &params()), fingerprint(&b, &params()));
+    }
+
+    #[test]
+    fn different_instances_and_params_differ() {
+        let a = ProblemGenerator::new(6, 3).generate();
+        let b = ProblemGenerator::new(6, 4).generate();
+        let p = params();
+        assert_ne!(fingerprint(&a, &p), fingerprint(&b, &p));
+        let wider = FingerprintParams {
+            width: Some(50.0),
+            ..p
+        };
+        assert_ne!(fingerprint(&a, &p), fingerprint(&a, &wider));
+        let routed = FingerprintParams { route: true, ..p };
+        assert_ne!(fingerprint(&a, &p), fingerprint(&a, &routed));
+    }
+
+    #[test]
+    fn module_declaration_order_is_canonicalized() {
+        let mk = |first: bool| {
+            let mut nl = Netlist::new("t");
+            let a = Module::rigid("a", 4.0, 2.0, true).with_pins(SidePins::uniform(1));
+            let b = Module::rigid("b", 3.0, 3.0, true).with_pins(SidePins::uniform(1));
+            if first {
+                nl.add_module(a).unwrap();
+                nl.add_module(b).unwrap();
+            } else {
+                nl.add_module(b).unwrap();
+                nl.add_module(a).unwrap();
+            }
+            nl
+        };
+        assert_eq!(
+            fingerprint(&mk(true), &params()),
+            fingerprint(&mk(false), &params())
+        );
+    }
+}

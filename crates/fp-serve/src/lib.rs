@@ -1,0 +1,49 @@
+//! A concurrent floorplanning service over the DAC'90 pipeline.
+//!
+//! The paper's floorplanner is a batch algorithm: one netlist in, one
+//! placement out. This crate wraps the whole pipeline (successive
+//! augmentation → improvement → global routing) in a service shape so many
+//! instances can be solved concurrently with bounded resources:
+//!
+//! * **Typed jobs** ([`JobRequest`] / [`JobResponse`]) with a line-delimited
+//!   flat-JSON codec ([`protocol`]) reusing `fp_obs`'s hand-rolled trace
+//!   parser — no external JSON dependency.
+//! * **A bounded MPMC queue** ([`queue::Bounded`]) feeding a worker pool
+//!   ([`Engine`]); each worker runs the full pipeline per job.
+//! * **Per-job deadlines** measured from submission (queue wait counts
+//!   against the budget) with *graceful degradation*: a job that exceeds its
+//!   budget returns the greedy bottom-left skyline placement flagged
+//!   `degraded: true` instead of an error.
+//! * **A fingerprint solution cache** ([`cache::SolutionCache`]): instances
+//!   are keyed by an FNV-1a hash over canonical (sorted) module/net data
+//!   plus the solve parameters ([`fingerprint`]), with hit/miss counters
+//!   surfaced as [`fp_obs::Event::CacheHit`] / [`fp_obs::Event::CacheMiss`]
+//!   trace events.
+//! * **A TCP front end** ([`Server`]): one JSON object per line in, one per
+//!   line out, plus an in-process [`Client`] for embedding and benches.
+//!
+//! # Example
+//!
+//! ```
+//! use fp_serve::{Engine, JobRequest, ServeConfig};
+//!
+//! let engine = Engine::start(ServeConfig::default().with_workers(2));
+//! let client = engine.client();
+//! let netlist = fp_netlist::generator::ProblemGenerator::new(4, 7).generate();
+//! let resp = client.call(JobRequest::new(1, &netlist));
+//! assert!(resp.ok, "{:?}", resp.error);
+//! assert!(!resp.placement.is_empty());
+//! engine.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod fingerprint;
+pub mod protocol;
+pub mod queue;
+mod server;
+
+pub use protocol::{JobRequest, JobResponse, PlacedRect};
+pub use server::{Client, Engine, ServeConfig, Server};

@@ -1,0 +1,398 @@
+//! The wire protocol: one flat JSON object per line, both directions.
+//!
+//! The codec deliberately reuses the trace-line grammar of
+//! [`fp_obs::parse_line`] — flat objects of string/number/bool/null
+//! scalars — so the service needs no JSON dependency and the existing
+//! parser/validator tooling applies to request and response lines alike.
+//! The netlist itself travels as a string field holding the
+//! [`fp_netlist::format`] text (newlines escaped).
+
+use fp_netlist::Netlist;
+
+/// One floorplanning job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The instance in [`fp_netlist::format`] text.
+    pub netlist: String,
+    /// Fixed chip width; `None` derives one from module area.
+    pub width: Option<f64>,
+    /// Wirelength weight λ; 0 selects the pure-area objective.
+    pub lambda: f64,
+    /// Allow 90° rotation of rigid modules.
+    pub rotation: bool,
+    /// Run global routing after placement.
+    pub route: bool,
+    /// Wall-clock budget in milliseconds, measured from *submission*
+    /// (time spent queued counts). 0 = no deadline.
+    pub deadline_ms: u64,
+    /// Whether the solution cache may answer (and store) this job.
+    pub use_cache: bool,
+}
+
+impl JobRequest {
+    /// A request for `netlist` with default parameters (area objective,
+    /// rotation on, no routing, no deadline, cache enabled).
+    #[must_use]
+    pub fn new(id: u64, netlist: &Netlist) -> Self {
+        JobRequest {
+            id,
+            netlist: fp_netlist::format::write(netlist),
+            width: None,
+            lambda: 0.0,
+            rotation: true,
+            route: false,
+            deadline_ms: 0,
+            use_cache: true,
+        }
+    }
+
+    /// Sets the deadline in milliseconds (0 disables).
+    #[must_use]
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = ms;
+        self
+    }
+
+    /// Enables or disables the solution cache for this job.
+    #[must_use]
+    pub fn with_cache(mut self, on: bool) -> Self {
+        self.use_cache = on;
+        self
+    }
+
+    /// Parses the embedded netlist text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the format error as a string.
+    pub fn parse_netlist(&self) -> Result<Netlist, String> {
+        fp_netlist::format::parse(&self.netlist).map_err(|e| e.to_string())
+    }
+
+    /// Serializes to one JSON line (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut s = format!("{{\"id\":{}", self.id);
+        push_field(&mut s, "netlist", &json_str(&self.netlist));
+        if let Some(w) = self.width {
+            push_field(&mut s, "width", &jnum(w));
+        }
+        push_field(&mut s, "lambda", &jnum(self.lambda));
+        push_field(&mut s, "rotation", &self.rotation.to_string());
+        push_field(&mut s, "route", &self.route.to_string());
+        push_field(&mut s, "deadline_ms", &self.deadline_ms.to_string());
+        push_field(&mut s, "use_cache", &self.use_cache.to_string());
+        s.push('}');
+        s
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first syntax or schema problem.
+    pub fn decode(line: &str) -> Result<Self, String> {
+        let p = fp_obs::parse_line(line)?;
+        let id = num_u64(&p, "id")?;
+        let netlist = p
+            .str_field("netlist")
+            .ok_or("missing string 'netlist' field")?
+            .to_string();
+        Ok(JobRequest {
+            id,
+            netlist,
+            width: p.num("width"),
+            lambda: p.num("lambda").unwrap_or(0.0),
+            rotation: bool_or(&p, "rotation", true),
+            route: bool_or(&p, "route", false),
+            deadline_ms: p.num("deadline_ms").unwrap_or(0.0) as u64,
+            use_cache: bool_or(&p, "use_cache", true),
+        })
+    }
+}
+
+/// One placed rectangle of a response placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedRect {
+    /// Module name.
+    pub name: String,
+    /// Lower-left x.
+    pub x: f64,
+    /// Lower-left y.
+    pub y: f64,
+    /// Realized width.
+    pub w: f64,
+    /// Realized height.
+    pub h: f64,
+    /// Whether the module was rotated 90°.
+    pub rotated: bool,
+}
+
+/// The answer to one [`JobRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Whether a placement was produced at all. `false` means `error`
+    /// explains why (malformed request, infeasible greedy fallback, ...).
+    pub ok: bool,
+    /// Failure description when `ok` is false.
+    pub error: String,
+    /// Chip width of the placement.
+    pub chip_width: f64,
+    /// Chip height of the placement.
+    pub chip_height: f64,
+    /// Chip area (`width × height`).
+    pub area: f64,
+    /// Module-area / chip-area utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Routed wirelength when the job routed, center-to-center estimate
+    /// otherwise.
+    pub wirelength: f64,
+    /// `true` when the deadline (or an internal failure) forced a fallback
+    /// below the full MILP pipeline.
+    pub degraded: bool,
+    /// `true` when the solution cache answered.
+    pub cached: bool,
+    /// Wall-clock from submission to completion, microseconds.
+    pub micros: u64,
+    /// The placement as `name x y w h 0|1` entries joined with `;`.
+    /// Empty when `ok` is false.
+    pub placement: String,
+}
+
+impl JobResponse {
+    /// An error response for `id`.
+    #[must_use]
+    pub fn failure(id: u64, error: impl Into<String>) -> Self {
+        JobResponse {
+            id,
+            ok: false,
+            error: error.into(),
+            chip_width: 0.0,
+            chip_height: 0.0,
+            area: 0.0,
+            utilization: 0.0,
+            wirelength: 0.0,
+            degraded: false,
+            cached: false,
+            micros: 0,
+            placement: String::new(),
+        }
+    }
+
+    /// Parses the `placement` field back into typed entries.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed entry.
+    pub fn placement_entries(&self) -> Result<Vec<PlacedRect>, String> {
+        if self.placement.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.placement
+            .split(';')
+            .map(|entry| {
+                let parts: Vec<&str> = entry.split_whitespace().collect();
+                if parts.len() != 6 {
+                    return Err(format!("bad placement entry '{entry}'"));
+                }
+                let f = |s: &str| s.parse::<f64>().map_err(|_| format!("bad number '{s}'"));
+                Ok(PlacedRect {
+                    name: parts[0].to_string(),
+                    x: f(parts[1])?,
+                    y: f(parts[2])?,
+                    w: f(parts[3])?,
+                    h: f(parts[4])?,
+                    rotated: parts[5] == "1",
+                })
+            })
+            .collect()
+    }
+
+    /// Serializes to one JSON line (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut s = format!("{{\"id\":{},\"ok\":{}", self.id, self.ok);
+        if !self.ok {
+            push_field(&mut s, "error", &json_str(&self.error));
+        }
+        push_field(&mut s, "chip_width", &jnum(self.chip_width));
+        push_field(&mut s, "chip_height", &jnum(self.chip_height));
+        push_field(&mut s, "area", &jnum(self.area));
+        push_field(&mut s, "utilization", &jnum(self.utilization));
+        push_field(&mut s, "wirelength", &jnum(self.wirelength));
+        push_field(&mut s, "degraded", &self.degraded.to_string());
+        push_field(&mut s, "cached", &self.cached.to_string());
+        push_field(&mut s, "micros", &self.micros.to_string());
+        push_field(&mut s, "placement", &json_str(&self.placement));
+        s.push('}');
+        s
+    }
+
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first syntax or schema problem.
+    pub fn decode(line: &str) -> Result<Self, String> {
+        let p = fp_obs::parse_line(line)?;
+        let id = num_u64(&p, "id")?;
+        let ok = bool_or(&p, "ok", false);
+        Ok(JobResponse {
+            id,
+            ok,
+            error: p.str_field("error").unwrap_or_default().to_string(),
+            chip_width: p.num("chip_width").unwrap_or(0.0),
+            chip_height: p.num("chip_height").unwrap_or(0.0),
+            area: p.num("area").unwrap_or(0.0),
+            utilization: p.num("utilization").unwrap_or(0.0),
+            wirelength: p.num("wirelength").unwrap_or(0.0),
+            degraded: bool_or(&p, "degraded", false),
+            cached: bool_or(&p, "cached", false),
+            micros: p.num("micros").unwrap_or(0.0) as u64,
+            placement: p.str_field("placement").unwrap_or_default().to_string(),
+        })
+    }
+}
+
+fn push_field(s: &mut String, key: &str, value: &str) {
+    s.push_str(",\"");
+    s.push_str(key);
+    s.push_str("\":");
+    s.push_str(value);
+}
+
+/// JSON number: finite shortest round-trip, like the trace writer.
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Quotes and escapes `s` with exactly the escapes [`fp_obs::parse_line`]
+/// understands.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn num_u64(p: &fp_obs::ParsedRecord, key: &str) -> Result<u64, String> {
+    let n = p
+        .num(key)
+        .ok_or_else(|| format!("missing numeric '{key}' field"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("'{key}' must be a non-negative integer"));
+    }
+    Ok(n as u64)
+}
+
+fn bool_or(p: &fp_obs::ParsedRecord, key: &str, default: bool) -> bool {
+    match p.get(key) {
+        Some(fp_obs::JsonValue::Bool(b)) => *b,
+        _ => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_netlist::generator::ProblemGenerator;
+
+    #[test]
+    fn request_round_trips_with_netlist_text() {
+        let nl = ProblemGenerator::new(5, 11).generate();
+        let req = JobRequest {
+            id: 42,
+            netlist: fp_netlist::format::write(&nl),
+            width: Some(30.5),
+            lambda: 0.5,
+            rotation: false,
+            route: true,
+            deadline_ms: 250,
+            use_cache: false,
+        };
+        let line = req.encode();
+        assert!(!line.contains('\n'), "wire lines must be single-line");
+        let back = JobRequest::decode(&line).unwrap();
+        assert_eq!(back, req);
+        let parsed = back.parse_netlist().unwrap();
+        assert_eq!(parsed.num_modules(), 5);
+    }
+
+    #[test]
+    fn request_defaults_fill_in() {
+        let line = "{\"id\":7,\"netlist\":\"problem p\\n\"}";
+        let req = JobRequest::decode(line).unwrap();
+        assert_eq!(req.id, 7);
+        assert!(req.rotation && req.use_cache && !req.route);
+        assert_eq!(req.deadline_ms, 0);
+        assert_eq!(req.width, None);
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        assert!(JobRequest::decode("not json").is_err());
+        assert!(JobRequest::decode("{\"netlist\":\"x\"}").is_err()); // no id
+        assert!(JobRequest::decode("{\"id\":1}").is_err()); // no netlist
+        assert!(JobRequest::decode("{\"id\":-3,\"netlist\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = JobResponse {
+            id: 9,
+            ok: true,
+            error: String::new(),
+            chip_width: 12.0,
+            chip_height: 8.5,
+            area: 102.0,
+            utilization: 0.91,
+            wirelength: 44.25,
+            degraded: true,
+            cached: false,
+            micros: 12345,
+            placement: "a 0 0 4 2 0;b 4 0 3 3 1".to_string(),
+        };
+        let back = JobResponse::decode(&resp.encode()).unwrap();
+        assert_eq!(back, resp);
+        let rects = back.placement_entries().unwrap();
+        assert_eq!(rects.len(), 2);
+        assert_eq!(rects[1].name, "b");
+        assert!(rects[1].rotated);
+    }
+
+    #[test]
+    fn failure_response_carries_error() {
+        let resp = JobResponse::failure(3, "bad netlist: line 2");
+        let back = JobResponse::decode(&resp.encode()).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.error, "bad netlist: line 2");
+        assert!(back.placement_entries().unwrap().is_empty());
+    }
+
+    #[test]
+    fn placement_parser_rejects_garbage() {
+        let mut resp = JobResponse::failure(1, "");
+        resp.placement = "a 1 2 3".to_string();
+        assert!(resp.placement_entries().is_err());
+        resp.placement = "a 1 2 3 x 0".to_string();
+        assert!(resp.placement_entries().is_err());
+    }
+}

@@ -1,0 +1,519 @@
+//! The service engine: worker pool, in-process client, TCP front end.
+
+use crate::cache::SolutionCache;
+use crate::fingerprint::{fingerprint, FingerprintParams};
+use crate::protocol::{JobRequest, JobResponse};
+use crate::queue::Bounded;
+use fp_core::{FloorplanConfig, Floorplanner, Objective};
+use fp_obs::{Event, Phase, Tracer};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads running the floorplanning pipeline.
+    pub workers: usize,
+    /// Bounded job-queue capacity (back-pressure for producers).
+    pub queue_capacity: usize,
+    /// Solution-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Branch-and-bound node limit per augmentation step.
+    pub node_limit: usize,
+    /// Per-step solver time limit for jobs *without* a deadline; jobs with
+    /// a deadline use their remaining budget instead.
+    pub time_limit: Duration,
+    /// Improvement rounds after augmentation (skipped past a deadline).
+    pub improve_rounds: usize,
+    /// Tracer receiving [`Event::CacheHit`] / [`Event::CacheMiss`] /
+    /// [`Event::JobDone`] service events.
+    pub tracer: Tracer,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 128,
+            node_limit: 4_000,
+            time_limit: Duration::from_secs(10),
+            improve_rounds: 1,
+            tracer: Tracer::disabled(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the worker-thread count (minimum 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the solution-cache capacity (0 disables caching).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the bounded job-queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the per-step branch-and-bound node limit.
+    #[must_use]
+    pub fn with_node_limit(mut self, node_limit: usize) -> Self {
+        self.node_limit = node_limit;
+        self
+    }
+
+    /// Installs a tracer for the service events.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+}
+
+/// One queued job: the request, when it was submitted (deadlines count the
+/// queue wait), and where the answer goes.
+struct Job {
+    req: JobRequest,
+    submitted: Instant,
+    reply: mpsc::Sender<JobResponse>,
+}
+
+/// The worker-pool engine. Dropping it (or calling
+/// [`shutdown`](Engine::shutdown)) closes the queue, lets the workers
+/// drain every job already accepted, and joins them.
+pub struct Engine {
+    queue: Arc<Bounded<Job>>,
+    cache: Arc<SolutionCache>,
+    tracer: Tracer,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Starts `config.workers` pipeline workers.
+    #[must_use]
+    pub fn start(config: ServeConfig) -> Self {
+        let queue: Arc<Bounded<Job>> = Arc::new(Bounded::new(config.queue_capacity));
+        let cache = Arc::new(SolutionCache::new(config.cache_capacity));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let cache = Arc::clone(&cache);
+                let config = config.clone();
+                std::thread::spawn(move || {
+                    while let Some(job) = queue.pop() {
+                        let resp = process(&job.req, job.submitted, &cache, &config);
+                        // A gone receiver (client hung up) is not an error.
+                        let _ = job.reply.send(resp);
+                    }
+                })
+            })
+            .collect();
+        Engine {
+            queue,
+            cache,
+            tracer: config.tracer,
+            workers,
+        }
+    }
+
+    /// A cheap handle for submitting jobs in-process.
+    #[must_use]
+    pub fn client(&self) -> Client {
+        Client {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// `(hits, misses)` of the solution cache.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Closes the queue, drains every accepted job, joins the workers and
+    /// flushes the tracer.
+    pub fn shutdown(mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.tracer.flush();
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.tracer.flush();
+    }
+}
+
+/// In-process submission handle (cloneable; backed by the shared queue).
+#[derive(Clone)]
+pub struct Client {
+    queue: Arc<Bounded<Job>>,
+}
+
+impl Client {
+    /// Enqueues `req`; the response arrives on the returned receiver.
+    /// Blocks while the queue is full (back-pressure).
+    #[must_use]
+    pub fn submit(&self, req: JobRequest) -> mpsc::Receiver<JobResponse> {
+        let (tx, rx) = mpsc::channel();
+        self.submit_with(req, tx);
+        rx
+    }
+
+    /// Enqueues `req` with the response routed to `reply` — the TCP
+    /// front end funnels every job of one connection into one writer this
+    /// way. A closed engine answers immediately with a failure response.
+    pub fn submit_with(&self, req: JobRequest, reply: mpsc::Sender<JobResponse>) {
+        let job = Job {
+            req,
+            submitted: Instant::now(),
+            reply,
+        };
+        if let Err(job) = self.queue.push(job) {
+            let _ = job
+                .reply
+                .send(JobResponse::failure(job.req.id, "service shut down"));
+        }
+    }
+
+    /// Submits `req` and blocks for the answer.
+    #[must_use]
+    pub fn call(&self, req: JobRequest) -> JobResponse {
+        let id = req.id;
+        self.submit(req)
+            .recv()
+            .unwrap_or_else(|_| JobResponse::failure(id, "service shut down"))
+    }
+}
+
+/// Runs one job through the degradation ladder:
+/// cache hit → full pipeline (augment → improve → route) under the
+/// remaining budget → greedy bottom-left skyline when the budget is
+/// already gone or the pipeline fails. Only a missing/unplaceable
+/// instance yields `ok: false`.
+fn process(
+    req: &JobRequest,
+    submitted: Instant,
+    cache: &SolutionCache,
+    config: &ServeConfig,
+) -> JobResponse {
+    let tracer = &config.tracer;
+    let done = |mut resp: JobResponse| -> JobResponse {
+        resp.id = req.id;
+        resp.micros = submitted.elapsed().as_micros() as u64;
+        tracer.emit(
+            Phase::Serve,
+            Event::JobDone {
+                id: resp.id,
+                micros: resp.micros,
+                degraded: resp.degraded,
+                cached: resp.cached,
+            },
+        );
+        // Per-job flush so an external trace file is greppable while the
+        // server is still running (and after a hard kill).
+        tracer.flush();
+        resp
+    };
+
+    let netlist = match req.parse_netlist() {
+        Ok(n) => n,
+        Err(e) => return done(JobResponse::failure(req.id, format!("bad netlist: {e}"))),
+    };
+
+    let params = FingerprintParams {
+        width: req.width,
+        lambda: req.lambda,
+        rotation: req.rotation,
+        route: req.route,
+    };
+    let key = fingerprint(&netlist, &params);
+    if req.use_cache {
+        if let Some(mut hit) = cache.get(key) {
+            tracer.emit(Phase::Serve, Event::CacheHit { key });
+            hit.cached = true;
+            return done(hit);
+        }
+        tracer.emit(Phase::Serve, Event::CacheMiss { key });
+    }
+
+    let deadline =
+        (req.deadline_ms > 0).then(|| submitted + Duration::from_millis(req.deadline_ms));
+    let expired = |at: Instant| deadline.is_some_and(|d| at >= d);
+
+    let objective = if req.lambda > 0.0 {
+        Objective::AreaPlusWirelength { lambda: req.lambda }
+    } else {
+        Objective::Area
+    };
+    let mut fp_config = FloorplanConfig::default()
+        .with_objective(objective)
+        .with_rotation(req.rotation)
+        .with_step_options({
+            // Remaining budget caps each step MILP; the cooperative
+            // in-LP deadline check makes this binding at iteration
+            // granularity.
+            let budget = match deadline {
+                Some(d) => d
+                    .saturating_duration_since(Instant::now())
+                    .min(config.time_limit),
+                None => config.time_limit,
+            };
+            fp_milp::SolveOptions::default()
+                .with_node_limit(config.node_limit)
+                .with_time_limit(budget)
+                .with_threads(1)
+        });
+    if let Some(w) = req.width {
+        fp_config = fp_config.with_chip_width(w);
+    }
+
+    let mut degraded = false;
+    let floorplan = if expired(Instant::now()) {
+        // Budget gone before any solving started (long queue wait):
+        // greedy skyline placement instead of an error.
+        degraded = true;
+        match fp_core::bottom_left(&netlist, &fp_config) {
+            Ok(fp) => fp,
+            Err(e) => return done(JobResponse::failure(req.id, e.to_string())),
+        }
+    } else {
+        match Floorplanner::with_config(&netlist, fp_config.clone()).run() {
+            Ok(result) => {
+                degraded |= result.stats.greedy_fallbacks() > 0;
+                let mut fp = result.floorplan;
+                if config.improve_rounds > 0 && !expired(Instant::now()) {
+                    // Improvement is best-effort: keep the augmented
+                    // placement if re-optimization fails.
+                    if let Ok(better) =
+                        fp_core::improve(&fp, &netlist, &fp_config, config.improve_rounds)
+                    {
+                        fp = better;
+                    }
+                }
+                fp
+            }
+            Err(_) => {
+                degraded = true;
+                match fp_core::bottom_left(&netlist, &fp_config) {
+                    Ok(fp) => fp,
+                    Err(e) => return done(JobResponse::failure(req.id, e.to_string())),
+                }
+            }
+        }
+    };
+    degraded |= expired(Instant::now());
+
+    // Routed wirelength only when asked for and still inside budget;
+    // otherwise the paper's center-to-center estimate.
+    let mut wirelength = floorplan.center_wirelength(&netlist);
+    if req.route {
+        if expired(Instant::now()) {
+            degraded = true;
+        } else {
+            match fp_route::route(&floorplan, &netlist, &fp_route::RouteConfig::default()) {
+                Ok(routing) => wirelength = routing.total_wirelength,
+                Err(_) => degraded = true,
+            }
+        }
+    }
+
+    let mut placement = String::new();
+    for (i, m) in floorplan.iter().enumerate() {
+        if i > 0 {
+            placement.push(';');
+        }
+        let _ = write!(
+            placement,
+            "{} {} {} {} {} {}",
+            netlist.module(m.id).name(),
+            m.rect.x,
+            m.rect.y,
+            m.rect.w,
+            m.rect.h,
+            u8::from(m.rotated)
+        );
+    }
+
+    let resp = JobResponse {
+        id: req.id,
+        ok: true,
+        error: String::new(),
+        chip_width: floorplan.chip_width(),
+        chip_height: floorplan.chip_height(),
+        area: floorplan.chip_area(),
+        utilization: floorplan.utilization(&netlist),
+        wirelength,
+        degraded,
+        cached: false,
+        micros: 0, // stamped by `done`
+        placement,
+    };
+    // Only full-quality answers are worth replaying; a degraded result
+    // would pin a worse placement for future non-degraded requests.
+    if req.use_cache && !degraded {
+        cache.insert(key, resp.clone());
+    }
+    done(resp)
+}
+
+/// A line-delimited TCP front end over an [`Engine`].
+///
+/// One reader and one writer thread per connection: requests are decoded
+/// per line and submitted, responses (possibly out of request order) are
+/// funneled through a channel to the writer. Malformed lines get an
+/// `ok: false` response instead of killing the connection.
+pub struct Server {
+    engine: Option<Engine>,
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// accepting connections backed by a fresh engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let engine = Engine::start(config);
+        let client = engine.client();
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            // Responses are single small lines in a
+                            // request-reply exchange; Nagle + delayed ACK
+                            // would add tens of milliseconds to each.
+                            let _ = stream.set_nodelay(true);
+                            let client = client.clone();
+                            std::thread::spawn(move || handle_connection(stream, &client));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(Server {
+            engine: Some(engine),
+            local,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// `(hits, misses)` of the engine's solution cache.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.engine.as_ref().map_or((0, 0), Engine::cache_stats)
+    }
+
+    /// Blocks until the acceptor exits (it only exits on shutdown or a
+    /// listener error) — the `floorplan serve` foreground mode.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting, drains in-flight jobs and joins the workers.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+        if let Some(engine) = self.engine.take() {
+            engine.shutdown();
+        }
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+fn handle_connection(stream: TcpStream, client: &Client) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<JobResponse>();
+    let mut write_half = stream;
+    let writer = std::thread::spawn(move || {
+        while let Ok(resp) = rx.recv() {
+            if writeln!(write_half, "{}", resp.encode()).is_err() {
+                break;
+            }
+            let _ = write_half.flush();
+        }
+    });
+
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match JobRequest::decode(&line) {
+            Ok(req) => client.submit_with(req, tx.clone()),
+            Err(e) => {
+                // Echo the id back when it is at least parseable so the
+                // caller can correlate the failure.
+                let id = fp_obs::parse_line(&line)
+                    .ok()
+                    .and_then(|p| p.num("id"))
+                    .unwrap_or(0.0) as u64;
+                let _ = tx.send(JobResponse::failure(id, format!("bad request: {e}")));
+            }
+        }
+    }
+    // Reader done: once every in-flight job of this connection has
+    // answered, the last sender drops and the writer exits.
+    drop(tx);
+    let _ = writer.join();
+}

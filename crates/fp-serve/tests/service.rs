@@ -1,0 +1,231 @@
+//! Service-level concurrency tests: response accounting under many
+//! producers, deadline degradation, cache semantics, clean shutdown, and
+//! the TCP front end. Every potentially-blocking scenario runs under a
+//! watchdog (the `parallel_limits` idiom) so a stuck queue or a lost
+//! response fails the test instead of hanging the suite.
+
+use fp_netlist::generator::ProblemGenerator;
+use fp_obs::{Collector, Event, EventKind, Tracer};
+use fp_serve::{Engine, JobRequest, JobResponse, ServeConfig, Server};
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::time::Duration;
+
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+/// Runs `f` on its own thread, panicking if it outlives the watchdog.
+fn with_watchdog<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(WATCHDOG)
+        .expect("service did not settle before the watchdog")
+}
+
+fn tiny_config() -> ServeConfig {
+    // Small node budget keeps each job fast; the instances below are tiny.
+    ServeConfig::default().with_node_limit(500)
+}
+
+#[test]
+fn many_producers_zero_lost_or_duplicated_responses() {
+    let (all, expected) = with_watchdog(|| {
+        let engine = Engine::start(tiny_config().with_workers(3).with_cache_capacity(0));
+        let producers = 4usize;
+        let jobs_each = 8usize;
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let client = engine.client();
+                std::thread::spawn(move || {
+                    // Interleave a couple of distinct instances per producer
+                    // so different jobs take different amounts of work.
+                    let receivers: Vec<_> = (0..jobs_each)
+                        .map(|j| {
+                            let id = (p * jobs_each + j) as u64;
+                            let nl = ProblemGenerator::new(3 + (j % 3), 7 + p as u64).generate();
+                            client.submit(JobRequest::new(id, &nl))
+                        })
+                        .collect();
+                    receivers
+                        .into_iter()
+                        .map(|rx| rx.recv().expect("response lost"))
+                        .collect::<Vec<JobResponse>>()
+                })
+            })
+            .collect();
+        let all: Vec<JobResponse> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("producer panicked"))
+            .collect();
+        engine.shutdown();
+        (all, producers * jobs_each)
+    });
+
+    assert_eq!(all.len(), expected, "every job answered exactly once");
+    let ids: HashSet<u64> = all.iter().map(|r| r.id).collect();
+    assert_eq!(ids.len(), expected, "no duplicated or misrouted ids");
+    for resp in &all {
+        assert!(resp.ok, "job {} failed: {}", resp.id, resp.error);
+        assert!(!resp.placement.is_empty());
+    }
+}
+
+#[test]
+fn expired_deadline_returns_degraded_greedy_placement() {
+    let resp = with_watchdog(|| {
+        let engine = Engine::start(tiny_config().with_workers(1).with_cache_capacity(0));
+        let nl = ProblemGenerator::new(8, 3).generate();
+        // A 1 ms budget is gone before the first MILP can finish, so the
+        // ladder must fall through to the greedy skyline placement.
+        let resp = engine
+            .client()
+            .call(JobRequest::new(1, &nl).with_deadline_ms(1));
+        engine.shutdown();
+        resp
+    });
+    assert!(resp.ok, "degradation must not be an error: {}", resp.error);
+    assert!(resp.degraded, "a blown deadline must be flagged");
+    let rects = resp.placement_entries().expect("placement parses");
+    assert_eq!(rects.len(), 8, "every module is placed");
+    // The greedy placement is still a real placement: on-chip and disjoint.
+    for r in &rects {
+        assert!(r.x >= -1e-9 && r.y >= -1e-9);
+        assert!(r.x + r.w <= resp.chip_width + 1e-9);
+    }
+    for (i, a) in rects.iter().enumerate() {
+        for b in rects.iter().skip(i + 1) {
+            let overlap_w = (a.x + a.w).min(b.x + b.w) - a.x.max(b.x);
+            let overlap_h = (a.y + a.h).min(b.y + b.h) - a.y.max(b.y);
+            assert!(
+                overlap_w <= 1e-6 || overlap_h <= 1e-6,
+                "{} and {} overlap",
+                a.name,
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_answers_second_identical_job() {
+    let collector = Collector::new();
+    let tracer = Tracer::new(collector.clone());
+    let (first, second, stats, counts) = with_watchdog(move || {
+        let engine = Engine::start(tiny_config().with_workers(2).with_tracer(tracer.clone()));
+        let client = engine.client();
+        let nl = ProblemGenerator::new(5, 21).generate();
+        let first = client.call(JobRequest::new(1, &nl));
+        let second = client.call(JobRequest::new(2, &nl));
+        let stats = engine.cache_stats();
+        let counts = (
+            tracer.count(EventKind::CacheMiss),
+            tracer.count(EventKind::CacheHit),
+        );
+        engine.shutdown();
+        (first, second, stats, counts)
+    });
+
+    assert!(first.ok && second.ok);
+    assert!(!first.cached, "first sight of an instance cannot hit");
+    assert!(second.cached, "identical repeat must be served from cache");
+    assert_eq!(second.id, 2, "cached answers carry the new job id");
+    assert_eq!(first.placement, second.placement);
+    assert_eq!(first.area, second.area);
+    assert_eq!(stats, (1, 1));
+    assert_eq!(counts, (1, 1), "trace events mirror the counters");
+    // The collected records contain the serve events with matching kinds.
+    let records = collector.records();
+    let hits = records
+        .iter()
+        .filter(|r| matches!(r.event, Event::CacheHit { .. }))
+        .count();
+    assert_eq!(hits, 1);
+}
+
+#[test]
+fn shutdown_drains_all_inflight_jobs() {
+    let responses = with_watchdog(|| {
+        let engine = Engine::start(tiny_config().with_workers(2).with_cache_capacity(0));
+        let client = engine.client();
+        let receivers: Vec<_> = (0..10)
+            .map(|i| {
+                let nl = ProblemGenerator::new(3 + (i % 2) as usize, 40 + i).generate();
+                client.submit(JobRequest::new(i, &nl))
+            })
+            .collect();
+        // Shut down immediately: the queue closes but everything already
+        // accepted must still be answered before the workers exit.
+        engine.shutdown();
+        receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("in-flight job dropped on shutdown"))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(responses.len(), 10);
+    for resp in &responses {
+        assert!(resp.ok, "job {}: {}", resp.id, resp.error);
+    }
+}
+
+#[test]
+fn submit_after_shutdown_fails_cleanly() {
+    let resp = with_watchdog(|| {
+        let engine = Engine::start(tiny_config().with_workers(1));
+        let client = engine.client();
+        engine.shutdown();
+        let nl = ProblemGenerator::new(3, 1).generate();
+        client.call(JobRequest::new(77, &nl))
+    });
+    assert!(!resp.ok);
+    assert_eq!(resp.id, 77);
+    assert!(resp.error.contains("shut down"));
+}
+
+#[test]
+fn tcp_round_trip_and_malformed_line() {
+    let (responses, stats) = with_watchdog(|| {
+        let server =
+            Server::bind("127.0.0.1:0", tiny_config().with_workers(2)).expect("bind ephemeral");
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let nl = ProblemGenerator::new(4, 9).generate();
+
+        // Two good jobs (the second identical → cache hit) plus two bad
+        // lines — one schema-bad (valid JSON, missing the netlist, so its
+        // id is recoverable) and one syntax-bad (not JSON at all). The
+        // connection must survive all four. The first response is awaited
+        // before the repeat is sent so the repeat cannot race the cache
+        // fill on another worker.
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let read_one = |reader: &mut BufReader<TcpStream>| {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read line");
+            JobResponse::decode(line.trim_end()).expect("decode response")
+        };
+        writeln!(stream, "{}", JobRequest::new(1, &nl).encode()).unwrap();
+        let mut responses = vec![read_one(&mut reader)];
+        writeln!(stream, "{{\"id\":2}}").unwrap();
+        writeln!(stream, "this is not json").unwrap();
+        writeln!(stream, "{}", JobRequest::new(3, &nl).encode()).unwrap();
+        for _ in 0..3 {
+            responses.push(read_one(&mut reader));
+        }
+        let stats = server.cache_stats();
+        server.shutdown();
+        (responses, stats)
+    });
+
+    assert_eq!(responses.len(), 4);
+    let bad: Vec<_> = responses.iter().filter(|r| !r.ok).collect();
+    assert_eq!(bad.len(), 2, "both malformed lines answered with ok:false");
+    assert!(bad.iter().any(|r| r.id == 2), "recoverable id echoed");
+    assert!(bad.iter().any(|r| r.id == 0), "unrecoverable id reports 0");
+    assert!(bad.iter().all(|r| r.error.contains("bad request")));
+    let good: Vec<_> = responses.iter().filter(|r| r.ok).collect();
+    assert_eq!(good.len(), 2);
+    assert!(good.iter().any(|r| r.cached), "repeat served from cache");
+    assert_eq!(stats, (1, 1));
+}

@@ -2,7 +2,7 @@
 # Tier-1 verification for the workspace: formatting, lints, full test suite.
 # The build environment is offline; CARGO_NET_OFFLINE keeps cargo from
 # stalling on the unreachable registry (all external deps are vendored
-# shims under vendor/, see DESIGN.md §6).
+# shims under vendor/, see DESIGN.md §7).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,5 +33,40 @@ cargo run --release -q -p fp-obs --example validate_trace -- "$trace_file"
 # (the debug-build equivalent pin lives in fp-core's trace_regression).
 grep -q "0 greedy fallback" "$summary_file" \
     || { echo "check.sh: ami33 run reported greedy fallbacks"; exit 1; }
+
+# Service smoke: bring up `floorplan serve` on an ephemeral port, drive it
+# with the `load` generator over a repeated instance, and require (a) every
+# response accounted for and (b) the repeats answered from the solution
+# cache, visible both in the load accounting and as CacheHit events in the
+# service trace.
+echo "== service smoke (floorplan serve / load)"
+serve_log="$(mktemp)"
+serve_trace="$(mktemp --suffix=.jsonl)"
+load_log="$(mktemp)"
+trap 'rm -f "$trace_file" "$summary_file" "$serve_log" "$serve_trace" "$load_log"; kill "${serve_pid:-0}" 2>/dev/null || true' EXIT
+cargo build --release -q -p fp-cli
+./target/release/floorplan serve --bind 127.0.0.1:0 --workers 2 \
+    --trace "$serve_trace" > "$serve_log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "serving on" "$serve_log" && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$serve_log"; exit 1; }
+    sleep 0.1
+done
+serve_addr="$(sed -n 's/serving on \([0-9.:]*\) .*/\1/p' "$serve_log")"
+[ -n "$serve_addr" ] || { echo "check.sh: serve did not report its address"; cat "$serve_log"; exit 1; }
+./target/release/floorplan load --addr "$serve_addr" \
+    --clients 4 --jobs 8 --modules 4 --spread 2 | tee "$load_log"
+grep -q "lost 0" "$load_log" \
+    || { echo "check.sh: load lost responses"; exit 1; }
+grep -q "responses 32/32 ok" "$load_log" \
+    || { echo "check.sh: not every load job succeeded"; exit 1; }
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+# All service trace lines must satisfy the same JSONL schema as solver
+# traces, and the repeated instance must have produced at least one hit.
+cargo run --release -q -p fp-obs --example validate_trace -- "$serve_trace"
+grep -q '"event":"CacheHit"' "$serve_trace" \
+    || { echo "check.sh: repeated instance never hit the solution cache"; exit 1; }
 
 echo "check.sh: all green"
