@@ -250,9 +250,13 @@ impl<'a> Floorplanner<'a> {
             let binaries = step_model.model.num_integer_vars();
             let step_index = stats.steps.len();
 
+            // Re-budgeted per step: with a config deadline the limit is
+            // the *remaining* wall clock, so K steps cannot overshoot by
+            // K × the per-step limit.
+            let step_options = self.config.budgeted_step_options();
             let (new_placements, outcome, nodes, pivots) = match step_model
                 .model
-                .solve_traced(&self.config.step_options, &self.config.tracer)
+                .solve_traced(&step_options, &self.config.tracer)
             {
                 Ok(sol) => {
                     let outcome = match sol.optimality() {
@@ -506,6 +510,30 @@ mod tests {
                     .steps
                     .iter()
                     .any(|s| s.outcome == StepOutcome::Incumbent)
+        );
+    }
+
+    #[test]
+    fn run_deadline_bounds_total_time_across_steps() {
+        // Per-step limit far above the run deadline, small groups so the
+        // run takes many steps: without per-step re-budgeting each step
+        // could legally burn the full 60 s and the run would overshoot the
+        // deadline by a factor of the step count.
+        let nl = ProblemGenerator::new(12, 21).generate();
+        let cfg = FloorplanConfig::default()
+            .with_group_sizes(2, 2)
+            .with_step_options(SolveOptions::default().with_time_limit(Duration::from_secs(60)))
+            .with_deadline(Some(Instant::now() + Duration::from_millis(50)));
+        let started = Instant::now();
+        let result = Floorplanner::with_config(&nl, cfg).run().unwrap();
+        assert_eq!(result.floorplan.len(), 12);
+        assert!(result.floorplan.is_valid());
+        // Generous watchdog-style bound: model build + one polling
+        // granularity per step, nowhere near even one 60 s step limit.
+        assert!(
+            started.elapsed() < Duration::from_secs(20),
+            "deadline ignored across steps: run took {:?}",
+            started.elapsed()
         );
     }
 

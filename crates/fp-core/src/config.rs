@@ -2,7 +2,7 @@
 
 use fp_milp::SolveOptions;
 use fp_netlist::ModuleId;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Objective function for the MILP steps (paper §4, Series 2 compares the
 /// two).
@@ -105,6 +105,13 @@ pub struct FloorplanConfig {
     pub soft_model: SoftShapeModel,
     /// Solver limits for each augmentation-step MILP.
     pub step_options: SolveOptions,
+    /// Absolute wall-clock deadline for the whole run. Each step MILP's
+    /// time limit is clamped to the remaining budget (so a run of K steps
+    /// cannot overshoot by K × [`SolveOptions::time_limit`]); once the
+    /// deadline passes, remaining steps get a zero budget and degrade to
+    /// their greedy fallback. `None` (the default) leaves per-step limits
+    /// as configured.
+    pub deadline: Option<Instant>,
     /// Impose `max_length` constraints of critical nets inside the MILPs.
     pub enforce_critical_nets: bool,
     /// Collapse the partial floorplan into §3.1 covering rectangles before
@@ -137,6 +144,7 @@ impl Default for FloorplanConfig {
             step_options: SolveOptions::default()
                 .with_node_limit(20_000)
                 .with_time_limit(Duration::from_secs(10)),
+            deadline: None,
             enforce_critical_nets: false,
             covering_reduction: true,
             tracer: fp_obs::Tracer::disabled(),
@@ -186,6 +194,31 @@ impl FloorplanConfig {
     pub fn with_step_options(mut self, options: SolveOptions) -> Self {
         self.step_options = options;
         self
+    }
+
+    /// Sets (or clears) the absolute run deadline; every subsequent step
+    /// MILP is budgeted with the remaining time, not the full per-step
+    /// limit.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The per-step solver options with the time limit clamped to the time
+    /// left before [`FloorplanConfig::deadline`] — what the augmentation
+    /// and re-optimization drivers hand to each MILP solve.
+    #[must_use]
+    pub(crate) fn budgeted_step_options(&self) -> SolveOptions {
+        match self.deadline {
+            None => self.step_options.clone(),
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                self.step_options
+                    .clone()
+                    .with_time_limit(self.step_options.time_limit.min(remaining))
+            }
+        }
     }
 
     /// Sets the branch-and-bound worker-thread count for every step MILP.

@@ -150,7 +150,7 @@ fn reoptimize_band_recorded(
     let nodes_before = config.tracer.count(fp_obs::EventKind::BnbNode);
     let solved = step
         .model
-        .solve_traced(&config.step_options, &config.tracer);
+        .solve_traced(&config.budgeted_step_options(), &config.tracer);
     if let Some(stats) = stats {
         // Record the solve whatever its outcome: a limit that produced no
         // incumbent still explored nodes, and those belong in the totals.
@@ -260,6 +260,11 @@ pub fn improve_traced(
     let group = config.group_size.max(3) + 2;
     let mut skip = 0usize;
     for round in 0..rounds {
+        // Improvement is strictly optional polish: once the run deadline
+        // has passed, stop instead of burning zero-budget MILP rounds.
+        if config.deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
         let candidate = reoptimize_band_recorded(&best, netlist, config, group, skip, Some(stats))?;
         let candidate = optimize_topology(&candidate, netlist, config)?;
         let better = candidate.chip_height() < best.chip_height() - 1e-9

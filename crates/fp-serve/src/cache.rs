@@ -5,6 +5,12 @@
 //! tests) can be answered from memory. Eviction is least-recently-used via
 //! a monotone stamp per entry; hit/miss totals are relaxed atomics so the
 //! counters cost nothing on the solve path.
+//!
+//! The 64-bit FNV fingerprint is only an index: every entry also stores
+//! the [`canonical`](crate::fingerprint::canonical) instance text, and a
+//! lookup whose canonical form differs is a **miss** — a hash collision
+//! (FNV-1a is trivially collidable by an adversarial client) can never
+//! serve the wrong instance's placement.
 
 use crate::protocol::JobResponse;
 use std::collections::HashMap;
@@ -13,6 +19,9 @@ use std::sync::Mutex;
 
 struct Entry {
     stamp: u64,
+    /// Canonical instance text; compared on every hit to rule out
+    /// fingerprint collisions.
+    canon: String,
     value: JobResponse,
 }
 
@@ -42,29 +51,31 @@ impl SolutionCache {
     }
 
     /// Looks up `key`, refreshing its recency on a hit and counting the
-    /// outcome either way.
+    /// outcome either way. An entry whose stored canonical text differs
+    /// from `canon` is a fingerprint collision and counts as a miss.
     #[must_use]
-    pub fn get(&self, key: u64) -> Option<JobResponse> {
+    pub fn get(&self, key: u64, canon: &str) -> Option<JobResponse> {
         let mut guard = self.map.lock().expect("cache lock");
         let (map, clock) = &mut *guard;
         *clock += 1;
         let stamp = *clock;
         match map.get_mut(&key) {
-            Some(entry) => {
+            Some(entry) if entry.canon == canon => {
                 entry.stamp = stamp;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(entry.value.clone())
             }
-            None => {
+            _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Stores `value` under `key`, evicting the least-recently-used entry
+    /// Stores `value` under `key` (with its canonical text `canon` for
+    /// collision verification), evicting the least-recently-used entry
     /// when the cache is full. A no-op at capacity 0.
-    pub fn insert(&self, key: u64, value: JobResponse) {
+    pub fn insert(&self, key: u64, canon: String, value: JobResponse) {
         if self.capacity == 0 {
             return;
         }
@@ -78,7 +89,14 @@ impl SolutionCache {
                 map.remove(&oldest);
             }
         }
-        map.insert(key, Entry { stamp, value });
+        map.insert(
+            key,
+            Entry {
+                stamp,
+                canon,
+                value,
+            },
+        );
     }
 
     /// `(hits, misses)` since construction.
@@ -114,12 +132,18 @@ mod tests {
         r
     }
 
+    /// Shorthand: entry `k`'s canonical text in these tests is just `k`
+    /// stringified.
+    fn canon(key: u64) -> String {
+        key.to_string()
+    }
+
     #[test]
     fn miss_then_hit() {
         let c = SolutionCache::new(4);
-        assert!(c.get(7).is_none());
-        c.insert(7, resp(1));
-        let got = c.get(7).expect("hit");
+        assert!(c.get(7, &canon(7)).is_none());
+        c.insert(7, canon(7), resp(1));
+        let got = c.get(7, &canon(7)).expect("hit");
         assert_eq!(got.area, 1.0);
         assert_eq!(c.stats(), (1, 1));
     }
@@ -127,20 +151,20 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let c = SolutionCache::new(2);
-        c.insert(1, resp(1));
-        c.insert(2, resp(2));
-        assert!(c.get(1).is_some()); // refresh 1: now 2 is the LRU entry
-        c.insert(3, resp(3));
+        c.insert(1, canon(1), resp(1));
+        c.insert(2, canon(2), resp(2));
+        assert!(c.get(1, &canon(1)).is_some()); // refresh 1: now 2 is the LRU entry
+        c.insert(3, canon(3), resp(3));
         assert_eq!(c.len(), 2);
-        assert!(c.get(2).is_none(), "2 should have been evicted");
-        assert!(c.get(1).is_some() && c.get(3).is_some());
+        assert!(c.get(2, &canon(2)).is_none(), "2 should have been evicted");
+        assert!(c.get(1, &canon(1)).is_some() && c.get(3, &canon(3)).is_some());
     }
 
     #[test]
     fn zero_capacity_never_stores() {
         let c = SolutionCache::new(0);
-        c.insert(1, resp(1));
-        assert!(c.get(1).is_none());
+        c.insert(1, canon(1), resp(1));
+        assert!(c.get(1, &canon(1)).is_none());
         assert!(c.is_empty());
         assert_eq!(c.stats(), (0, 1));
     }
@@ -148,9 +172,24 @@ mod tests {
     #[test]
     fn reinsert_same_key_keeps_size() {
         let c = SolutionCache::new(2);
-        c.insert(1, resp(1));
-        c.insert(1, resp(9));
+        c.insert(1, canon(1), resp(1));
+        c.insert(1, canon(1), resp(9));
         assert_eq!(c.len(), 1);
-        assert_eq!(c.get(1).unwrap().area, 9.0);
+        assert_eq!(c.get(1, &canon(1)).unwrap().area, 9.0);
+    }
+
+    #[test]
+    fn fingerprint_collision_misses_instead_of_serving_wrong_instance() {
+        // Two different instances whose fingerprints collide on the same
+        // 64-bit key: the canonical-text check must turn the lookup into a
+        // miss, never hand instance B instance A's placement.
+        let c = SolutionCache::new(4);
+        c.insert(7, "instance-a".to_string(), resp(1));
+        assert!(c.get(7, "instance-b").is_none());
+        assert_eq!(c.stats(), (0, 1));
+        // The colliding instance may then claim the slot like any write.
+        c.insert(7, "instance-b".to_string(), resp(2));
+        assert_eq!(c.get(7, "instance-b").unwrap().area, 2.0);
+        assert!(c.get(7, "instance-a").is_none());
     }
 }

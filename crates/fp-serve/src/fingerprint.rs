@@ -3,11 +3,15 @@
 //! Two [`JobRequest`](crate::JobRequest)s describing the same problem with
 //! the same solve parameters must map to the same 64-bit key regardless of
 //! module/net declaration order, so the solution cache can answer repeats.
-//! Modules and nets are serialized to canonical strings, *sorted*, and fed
-//! through FNV-1a together with the parameters that change the answer
-//! (chip width, objective, rotation, routing).
+//! Modules and nets are serialized to one [`canonical`] text — lines
+//! sorted, parameters appended bit-exactly — and the [`fingerprint`] is
+//! FNV-1a over that text. The canonical string itself is stored next to
+//! each cache entry and compared on lookup, so a 64-bit hash collision
+//! (accidental or adversarial — FNV is not collision-resistant) degrades
+//! to a cache miss instead of serving the wrong instance's placement.
 
 use fp_netlist::Netlist;
+use std::fmt::Write as _;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -59,10 +63,28 @@ pub struct FingerprintParams {
     pub route: bool,
 }
 
-/// The canonical 64-bit fingerprint of `netlist` solved under `params`.
+/// The canonical 64-bit fingerprint of `netlist` solved under `params`:
+/// FNV-1a over [`canonical`].
 #[must_use]
 pub fn fingerprint(netlist: &Netlist, params: &FingerprintParams) -> u64 {
+    fingerprint_of(&canonical(netlist, params))
+}
+
+/// FNV-1a of an already-built [`canonical`] string — lets callers that
+/// keep the string around (the solution cache) hash without rebuilding it.
+#[must_use]
+pub fn fingerprint_of(canon: &str) -> u64 {
     let mut h = Fnv1a::new();
+    h.write(canon.as_bytes());
+    h.finish()
+}
+
+/// The canonical text of `netlist` solved under `params`. Two requests
+/// name the same cache entry **iff** their canonical strings are
+/// byte-identical, independent of module/net declaration order.
+#[must_use]
+pub fn canonical(netlist: &Netlist, params: &FingerprintParams) -> String {
+    let mut out = String::new();
 
     // Modules: one canonical line each, sorted so declaration order is
     // irrelevant. Dimensions and pin counts all land in the stream.
@@ -102,8 +124,8 @@ pub fn fingerprint(netlist: &Netlist, params: &FingerprintParams) -> u64 {
         .collect();
     modules.sort_unstable();
     for line in &modules {
-        h.write(line.as_bytes());
-        h.write(b"\n");
+        out.push_str(line);
+        out.push('\n');
     }
 
     // Nets: weight/criticality/max-length plus the *sorted* member names,
@@ -128,22 +150,26 @@ pub fn fingerprint(netlist: &Netlist, params: &FingerprintParams) -> u64 {
         .collect();
     nets.sort_unstable();
     for line in &nets {
-        h.write(line.as_bytes());
-        h.write(b"\n");
+        out.push_str(line);
+        out.push('\n');
     }
 
     // Parameters. Float identity is bit-exact: requests built from the same
     // wire encoding decode to the same bits.
     match params.width {
         Some(w) => {
-            h.write(b"w");
-            h.write(&w.to_bits().to_le_bytes());
+            let _ = writeln!(out, "w {:016x}", w.to_bits());
         }
-        None => h.write(b"w-"),
+        None => out.push_str("w -\n"),
     }
-    h.write(&params.lambda.to_bits().to_le_bytes());
-    h.write(&[u8::from(params.rotation), u8::from(params.route)]);
-    h.finish()
+    let _ = writeln!(
+        out,
+        "p {:016x} {} {}",
+        params.lambda.to_bits(),
+        u8::from(params.rotation),
+        u8::from(params.route)
+    );
+    out
 }
 
 #[cfg(test)]
@@ -190,6 +216,16 @@ mod tests {
         assert_ne!(fingerprint(&a, &p), fingerprint(&a, &wider));
         let routed = FingerprintParams { route: true, ..p };
         assert_ne!(fingerprint(&a, &p), fingerprint(&a, &routed));
+    }
+
+    #[test]
+    fn canonical_text_backs_the_fingerprint() {
+        let a = ProblemGenerator::new(5, 8).generate();
+        let p = params();
+        let canon = canonical(&a, &p);
+        assert_eq!(fingerprint(&a, &p), fingerprint_of(&canon));
+        let routed = FingerprintParams { route: true, ..p };
+        assert_ne!(canon, canonical(&a, &routed));
     }
 
     #[test]

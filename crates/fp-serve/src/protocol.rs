@@ -100,6 +100,14 @@ impl JobRequest {
             .str_field("netlist")
             .ok_or("missing string 'netlist' field")?
             .to_string();
+        // Negative or non-finite deadlines are rejected rather than
+        // silently saturated; values beyond u64 range clamp to u64::MAX,
+        // which the server treats as unrepresentable-far = no deadline.
+        let deadline_ms = match p.num("deadline_ms") {
+            None => 0,
+            Some(v) if v.is_finite() && v >= 0.0 => v as u64,
+            Some(_) => return Err("'deadline_ms' must be a non-negative number".to_string()),
+        };
         Ok(JobRequest {
             id,
             netlist,
@@ -107,7 +115,7 @@ impl JobRequest {
             lambda: p.num("lambda").unwrap_or(0.0),
             rotation: bool_or(&p, "rotation", true),
             route: bool_or(&p, "route", false),
-            deadline_ms: p.num("deadline_ms").unwrap_or(0.0) as u64,
+            deadline_ms,
             use_cache: bool_or(&p, "use_cache", true),
         })
     }
@@ -352,6 +360,16 @@ mod tests {
         assert!(JobRequest::decode("{\"netlist\":\"x\"}").is_err()); // no id
         assert!(JobRequest::decode("{\"id\":1}").is_err()); // no netlist
         assert!(JobRequest::decode("{\"id\":-3,\"netlist\":\"x\"}").is_err());
+        assert!(JobRequest::decode("{\"id\":1,\"netlist\":\"x\",\"deadline_ms\":-5}").is_err());
+    }
+
+    #[test]
+    fn absurd_deadline_saturates_instead_of_wrapping() {
+        // `1e30` is parseable JSON; the decode must keep it representable
+        // (saturating to u64::MAX) so the server's checked deadline
+        // arithmetic can treat it as "no deadline" instead of panicking.
+        let req = JobRequest::decode("{\"id\":1,\"netlist\":\"x\",\"deadline_ms\":1e30}").unwrap();
+        assert_eq!(req.deadline_ms, u64::MAX);
     }
 
     #[test]

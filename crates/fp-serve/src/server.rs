@@ -1,14 +1,14 @@
 //! The service engine: worker pool, in-process client, TCP front end.
 
 use crate::cache::SolutionCache;
-use crate::fingerprint::{fingerprint, FingerprintParams};
+use crate::fingerprint::{canonical, fingerprint_of, FingerprintParams};
 use crate::protocol::{JobRequest, JobResponse};
 use crate::queue::Bounded;
 use fp_core::{FloorplanConfig, Floorplanner, Objective};
 use fp_obs::{Event, Phase, Tracer};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -25,8 +25,8 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Branch-and-bound node limit per augmentation step.
     pub node_limit: usize,
-    /// Per-step solver time limit for jobs *without* a deadline; jobs with
-    /// a deadline use their remaining budget instead.
+    /// Per-step solver time-limit cap; jobs with a deadline additionally
+    /// clamp every step to the time remaining before it.
     pub time_limit: Duration,
     /// Improvement rounds after augmentation (skipped past a deadline).
     pub improve_rounds: usize,
@@ -250,9 +250,10 @@ fn process(
         rotation: req.rotation,
         route: req.route,
     };
-    let key = fingerprint(&netlist, &params);
+    let canon = canonical(&netlist, &params);
+    let key = fingerprint_of(&canon);
     if req.use_cache {
-        if let Some(mut hit) = cache.get(key) {
+        if let Some(mut hit) = cache.get(key, &canon) {
             tracer.emit(Phase::Serve, Event::CacheHit { key });
             hit.cached = true;
             return done(hit);
@@ -260,8 +261,12 @@ fn process(
         tracer.emit(Phase::Serve, Event::CacheMiss { key });
     }
 
-    let deadline =
-        (req.deadline_ms > 0).then(|| submitted + Duration::from_millis(req.deadline_ms));
+    // `checked_add` so a huge-but-parseable deadline_ms cannot panic the
+    // worker via `Instant` overflow; a deadline too far away to represent
+    // is no deadline at all.
+    let deadline = (req.deadline_ms > 0)
+        .then(|| submitted.checked_add(Duration::from_millis(req.deadline_ms)))
+        .flatten();
     let expired = |at: Instant| deadline.is_some_and(|d| at >= d);
 
     let objective = if req.lambda > 0.0 {
@@ -272,21 +277,18 @@ fn process(
     let mut fp_config = FloorplanConfig::default()
         .with_objective(objective)
         .with_rotation(req.rotation)
-        .with_step_options({
-            // Remaining budget caps each step MILP; the cooperative
-            // in-LP deadline check makes this binding at iteration
-            // granularity.
-            let budget = match deadline {
-                Some(d) => d
-                    .saturating_duration_since(Instant::now())
-                    .min(config.time_limit),
-                None => config.time_limit,
-            };
+        .with_step_options(
             fp_milp::SolveOptions::default()
                 .with_node_limit(config.node_limit)
-                .with_time_limit(budget)
-                .with_threads(1)
-        });
+                .with_time_limit(config.time_limit)
+                .with_threads(1),
+        )
+        // The driver re-budgets every augmentation/re-optimization MILP
+        // with the time *remaining* before the deadline (the per-step
+        // limit above is only a cap), so a K-step job cannot overshoot
+        // its deadline K-fold; the cooperative in-LP check makes each
+        // budget binding at simplex-iteration granularity.
+        .with_deadline(deadline);
     if let Some(w) = req.width {
         fp_config = fp_config.with_chip_width(w);
     }
@@ -375,7 +377,7 @@ fn process(
     // Only full-quality answers are worth replaying; a degraded result
     // would pin a worse placement for future non-degraded requests.
     if req.use_cache && !degraded {
-        cache.insert(key, resp.clone());
+        cache.insert(key, canon, resp.clone());
     }
     done(resp)
 }
@@ -465,8 +467,17 @@ impl Server {
 
     fn stop_accepting(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.local);
+        // Wake the blocking accept with a throwaway connection. A wildcard
+        // bind address (0.0.0.0 / [::]) is not a connectable destination
+        // on every platform, so aim at the same-family loopback instead.
+        let mut target = self.local;
+        if target.ip().is_unspecified() {
+            target.set_ip(match target {
+                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(target);
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
         }

@@ -110,6 +110,47 @@ fn expired_deadline_returns_degraded_greedy_placement() {
 }
 
 #[test]
+fn huge_deadline_does_not_kill_workers() {
+    let responses = with_watchdog(|| {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            tiny_config().with_workers(1).with_cache_capacity(0),
+        )
+        .expect("bind ephemeral");
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let nl = ProblemGenerator::new(3, 5).generate();
+
+        // `1e30` ms parses as a number and saturates to u64::MAX; it used
+        // to overflow `Instant + Duration` and panic the (sole) worker,
+        // after which every later job queued forever. Now it must be
+        // served as an ordinary no-deadline job, and the worker must
+        // still be alive for the follow-up.
+        let evil = JobRequest::new(1, &nl)
+            .encode()
+            .replace("\"deadline_ms\":0", "\"deadline_ms\":1e30");
+        assert!(evil.contains("1e30"), "evil line built as intended");
+        writeln!(stream, "{evil}").unwrap();
+        writeln!(stream, "{}", JobRequest::new(2, &nl).encode()).unwrap();
+        let responses: Vec<JobResponse> = (0..2)
+            .map(|_| {
+                let mut line = String::new();
+                reader.read_line(&mut line).expect("read line");
+                JobResponse::decode(line.trim_end()).expect("decode response")
+            })
+            .collect();
+        server.shutdown();
+        responses
+    });
+    assert_eq!(responses.len(), 2);
+    for resp in &responses {
+        assert!(resp.ok, "job {}: {}", resp.id, resp.error);
+        assert!(!resp.placement.is_empty());
+    }
+}
+
+#[test]
 fn cache_answers_second_identical_job() {
     let collector = Collector::new();
     let tracer = Tracer::new(collector.clone());
