@@ -3,95 +3,9 @@
 //! non-overlap MILP of augmentation-step size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fp_milp::{LinExpr, Model, Sense, SolveOptions};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fp_bench::instances::{knapsack, placement_milp, random_lp, seeded_set};
+use fp_milp::{Model, SolveOptions};
 use std::time::Duration;
-
-/// A dense feasible LP with `n` variables and `n` rows.
-fn random_lp(n: usize, seed: u64) -> Model {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut m = Model::new(Sense::Minimize);
-    let vars: Vec<_> = (0..n)
-        .map(|i| m.add_continuous(format!("x{i}"), 0.0, 50.0))
-        .collect();
-    for _ in 0..n {
-        let mut e = LinExpr::new();
-        let mut rhs = 5.0;
-        for &v in &vars {
-            let c: f64 = rng.gen_range(-2.0..3.0);
-            e.add_term(v, c);
-            rhs += c.max(0.0); // keep x = 1 feasible
-        }
-        m.add_le(e, rhs);
-    }
-    let mut obj = LinExpr::new();
-    for &v in &vars {
-        obj.add_term(v, rng.gen_range(-1.0..2.0));
-    }
-    m.set_objective(obj);
-    m
-}
-
-fn knapsack(n: usize, seed: u64) -> Model {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut m = Model::new(Sense::Maximize);
-    let mut weight = LinExpr::new();
-    let mut value = LinExpr::new();
-    for i in 0..n {
-        let b = m.add_binary(format!("b{i}"));
-        weight.add_term(b, rng.gen_range(1.0..20.0));
-        value.add_term(b, rng.gen_range(1.0..30.0));
-    }
-    m.add_le(weight, 5.0 * n as f64);
-    m.set_objective(value);
-    m
-}
-
-/// A two-module non-overlap disjunction chain of augmentation-step flavor.
-fn placement_milp(modules: usize) -> Model {
-    let w_chip = 40.0;
-    let h_bar = 40.0;
-    let mut m = Model::new(Sense::Minimize);
-    let ychip = m.add_continuous("y", 0.0, h_bar);
-    let dims: Vec<(f64, f64)> = (0..modules)
-        .map(|i| (4.0 + (i % 3) as f64 * 2.0, 3.0 + (i % 2) as f64 * 3.0))
-        .collect();
-    let pos: Vec<_> = (0..modules)
-        .map(|i| {
-            (
-                m.add_continuous(format!("x{i}"), 0.0, w_chip),
-                m.add_continuous(format!("yy{i}"), 0.0, h_bar),
-            )
-        })
-        .collect();
-    for i in 0..modules {
-        m.add_le(pos[i].0 + dims[i].0, w_chip);
-        m.add_le(pos[i].1 + dims[i].1 - ychip, 0.0);
-        for j in i + 1..modules {
-            let p = m.add_binary(format!("p{i}_{j}"));
-            let q = m.add_binary(format!("q{i}_{j}"));
-            m.add_le(
-                pos[i].0 + dims[i].0 - pos[j].0 - w_chip * p - w_chip * q,
-                0.0,
-            );
-            m.add_le(
-                pos[j].0 + dims[j].0 - pos[i].0 - w_chip * p + w_chip * q,
-                w_chip,
-            );
-            m.add_le(
-                pos[i].1 + dims[i].1 - pos[j].1 + h_bar * p - h_bar * q,
-                h_bar,
-            );
-            m.add_le(
-                pos[j].1 + dims[j].1 - pos[i].1 + h_bar * p + h_bar * q,
-                2.0 * h_bar,
-            );
-        }
-    }
-    m.set_objective(ychip + 0.0);
-    m
-}
 
 fn bench_simplex(c: &mut Criterion) {
     let mut group = c.benchmark_group("simplex");
@@ -193,12 +107,45 @@ fn bench_trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Warm vs cold node solves on the same trees: the `warm_start` rows pit
+/// the default dual-simplex basis reuse against `with_warm_start(false)`
+/// (every node solved by the cold two-phase primal), on the classic bench
+/// models and the seeded snapshot set, serial and parallel.
+fn bench_warm_start(c: &mut Criterion) {
+    let nthreads = std::thread::available_parallelism().map_or(2, |n| n.get().max(2));
+    let mut group = c.benchmark_group("warm_start");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(12));
+    let mut cases: Vec<(String, Model)> = vec![
+        ("knapsack22".into(), knapsack(22, 3)),
+        ("placement5".into(), placement_milp(5)),
+    ];
+    cases.extend(seeded_set());
+    for (name, model) in &cases {
+        for &threads in &[1usize, nthreads] {
+            for (mode, warm) in [("cold", false), ("warm", true)] {
+                let opts = SolveOptions::default()
+                    .with_node_limit(50_000)
+                    .with_threads(threads)
+                    .with_warm_start(warm);
+                group.bench_with_input(
+                    BenchmarkId::new(name.as_str(), format!("{mode}_threads_{threads}")),
+                    model,
+                    |b, m| b.iter(|| m.solve_with(&opts).expect("feasible by construction")),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_simplex,
     bench_branch_bound,
     bench_placement_milp,
     bench_parallel_scaling,
-    bench_trace_overhead
+    bench_trace_overhead,
+    bench_warm_start
 );
 criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Writes `BENCH_MILP.json`: warm-start vs cold node throughput on the
+//! seeded MILP instance set.
+//!
+//! Usage: `milp_snapshot [OUT_PATH]` (default `BENCH_MILP.json`). For each
+//! instance the solve runs serially, cold (`with_warm_start(false)`) and
+//! warm (default), three repetitions each; the reported elapsed time is
+//! the median repetition. Node throughput is `nodes / median elapsed`;
+//! the headline `median_node_throughput_speedup` is the median over
+//! instances of `warm throughput / cold throughput`.
+
+use fp_bench::instances::seeded_set;
+use fp_milp::SolveOptions;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const REPS: usize = 3;
+
+struct Measured {
+    elapsed_s: f64,
+    nodes: usize,
+    pivots: usize,
+    warm_nodes: usize,
+    cold_nodes: usize,
+    objective: f64,
+}
+
+fn measure(model: &fp_milp::Model, opts: &SolveOptions) -> Measured {
+    let mut runs: Vec<Measured> = (0..REPS)
+        .map(|_| {
+            let started = Instant::now();
+            let sol = model.solve_with(opts).expect("feasible by construction");
+            let elapsed_s = started.elapsed().as_secs_f64();
+            let stats = sol.stats();
+            Measured {
+                elapsed_s,
+                nodes: stats.nodes,
+                pivots: stats.simplex_iterations,
+                warm_nodes: stats.warm_nodes,
+                cold_nodes: stats.cold_nodes,
+                objective: sol.objective(),
+            }
+        })
+        .collect();
+    runs.sort_by(|a, b| a.elapsed_s.total_cmp(&b.elapsed_s));
+    runs.swap_remove(REPS / 2)
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(f64::total_cmp);
+    if values.is_empty() {
+        return 0.0;
+    }
+    values[values.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_MILP.json".to_string());
+    let cold_opts = SolveOptions::default()
+        .with_node_limit(200_000)
+        .with_warm_start(false);
+    let warm_opts = SolveOptions::default().with_node_limit(200_000);
+
+    let mut rows = String::new();
+    let mut speedups = Vec::new();
+    for (i, (name, model)) in seeded_set().into_iter().enumerate() {
+        let cold = measure(&model, &cold_opts);
+        let warm = measure(&model, &warm_opts);
+        assert!(
+            (cold.objective - warm.objective).abs() <= 1e-9 * (1.0 + cold.objective.abs()),
+            "{name}: warm objective {} != cold {}",
+            warm.objective,
+            cold.objective
+        );
+        let cold_tp = cold.nodes as f64 / cold.elapsed_s.max(1e-12);
+        let warm_tp = warm.nodes as f64 / warm.elapsed_s.max(1e-12);
+        let speedup = warm_tp / cold_tp.max(1e-12);
+        speedups.push(speedup);
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "    {{\"name\": \"{name}\", \
+             \"cold\": {{\"elapsed_s\": {:.6}, \"nodes\": {}, \"pivots\": {}, \
+             \"nodes_per_s\": {:.1}}}, \
+             \"warm\": {{\"elapsed_s\": {:.6}, \"nodes\": {}, \"pivots\": {}, \
+             \"warm_nodes\": {}, \"cold_nodes\": {}, \"nodes_per_s\": {:.1}}}, \
+             \"node_throughput_speedup\": {:.3}}}",
+            cold.elapsed_s,
+            cold.nodes,
+            cold.pivots,
+            cold_tp,
+            warm.elapsed_s,
+            warm.nodes,
+            warm.pivots,
+            warm.warm_nodes,
+            warm.cold_nodes,
+            warm_tp,
+            speedup
+        );
+        eprintln!(
+            "{name}: cold {:.1} nodes/s ({} pivots), warm {:.1} nodes/s \
+             ({} pivots, {}/{} warm), speedup {speedup:.2}x",
+            cold_tp, cold.pivots, warm_tp, warm.pivots, warm.warm_nodes, warm.nodes
+        );
+    }
+    let median_speedup = median(&mut speedups);
+    let json = format!(
+        "{{\n  \"bench\": \"milp_warm_start\",\n  \"reps\": {REPS},\n  \
+         \"median_node_throughput_speedup\": {median_speedup:.3},\n  \
+         \"instances\": [\n{rows}\n  ]\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    eprintln!("median node-throughput speedup: {median_speedup:.2}x -> {out_path}");
+}

@@ -1,0 +1,139 @@
+//! Shared MILP instance generators.
+//!
+//! The Criterion benches (`benches/milp.rs`) and the `milp_snapshot`
+//! binary measure the same models, so the generators live here instead of
+//! being duplicated per harness. All generators are deterministic in
+//! their `seed` argument.
+
+use fp_milp::{LinExpr, Model, Sense};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense feasible LP with `n` variables and `n` rows.
+#[must_use]
+pub fn random_lp(n: usize, seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Model::new(Sense::Minimize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_continuous(format!("x{i}"), 0.0, 50.0))
+        .collect();
+    for _ in 0..n {
+        let mut e = LinExpr::new();
+        let mut rhs = 5.0;
+        for &v in &vars {
+            let c: f64 = rng.gen_range(-2.0..3.0);
+            e.add_term(v, c);
+            rhs += c.max(0.0); // keep x = 1 feasible
+        }
+        m.add_le(e, rhs);
+    }
+    let mut obj = LinExpr::new();
+    for &v in &vars {
+        obj.add_term(v, rng.gen_range(-1.0..2.0));
+    }
+    m.set_objective(obj);
+    m
+}
+
+/// A 0-1 knapsack with `n` items and random weights/values.
+#[must_use]
+pub fn knapsack(n: usize, seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Model::new(Sense::Maximize);
+    let mut weight = LinExpr::new();
+    let mut value = LinExpr::new();
+    for i in 0..n {
+        let b = m.add_binary(format!("b{i}"));
+        weight.add_term(b, rng.gen_range(1.0..20.0));
+        value.add_term(b, rng.gen_range(1.0..30.0));
+    }
+    m.add_le(weight, 5.0 * n as f64);
+    m.set_objective(value);
+    m
+}
+
+/// A two-module non-overlap disjunction chain of augmentation-step flavor.
+#[must_use]
+pub fn placement_milp(modules: usize) -> Model {
+    let w_chip = 40.0;
+    let h_bar = 40.0;
+    let mut m = Model::new(Sense::Minimize);
+    let ychip = m.add_continuous("y", 0.0, h_bar);
+    let dims: Vec<(f64, f64)> = (0..modules)
+        .map(|i| (4.0 + (i % 3) as f64 * 2.0, 3.0 + (i % 2) as f64 * 3.0))
+        .collect();
+    let pos: Vec<_> = (0..modules)
+        .map(|i| {
+            (
+                m.add_continuous(format!("x{i}"), 0.0, w_chip),
+                m.add_continuous(format!("yy{i}"), 0.0, h_bar),
+            )
+        })
+        .collect();
+    for i in 0..modules {
+        m.add_le(pos[i].0 + dims[i].0, w_chip);
+        m.add_le(pos[i].1 + dims[i].1 - ychip, 0.0);
+        for j in i + 1..modules {
+            let p = m.add_binary(format!("p{i}_{j}"));
+            let q = m.add_binary(format!("q{i}_{j}"));
+            m.add_le(
+                pos[i].0 + dims[i].0 - pos[j].0 - w_chip * p - w_chip * q,
+                0.0,
+            );
+            m.add_le(
+                pos[j].0 + dims[j].0 - pos[i].0 - w_chip * p + w_chip * q,
+                w_chip,
+            );
+            m.add_le(
+                pos[i].1 + dims[i].1 - pos[j].1 + h_bar * p - h_bar * q,
+                h_bar,
+            );
+            m.add_le(
+                pos[j].1 + dims[j].1 - pos[i].1 + h_bar * p + h_bar * q,
+                2.0 * h_bar,
+            );
+        }
+    }
+    m.set_objective(ychip + 0.0);
+    m
+}
+
+/// The seeded instance set measured by `milp_snapshot` and the
+/// `warm_start` bench group: a spread of branch-and-bound shapes (pure
+/// knapsacks of growing size and non-overlap disjunction MILPs) that all
+/// explore enough nodes for warm starts to matter.
+#[must_use]
+pub fn seeded_set() -> Vec<(String, Model)> {
+    let mut set = Vec::new();
+    for (i, &n) in [14usize, 18, 22].iter().enumerate() {
+        set.push((format!("knapsack{n}"), knapsack(n, 3 + i as u64)));
+    }
+    for &k in &[4usize, 5] {
+        set.push((format!("placement{k}"), placement_milp(k)));
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = knapsack(10, 7).solve().expect("feasible");
+        let b = knapsack(10, 7).solve().expect("feasible");
+        assert_eq!(a.objective(), b.objective());
+        assert_eq!(a.values(), b.values());
+    }
+
+    #[test]
+    fn seeded_set_solves_with_nodes() {
+        // Every snapshot instance must actually branch, or the warm-start
+        // measurement would be measuring root-only solves.
+        let opts = fp_milp::SolveOptions::default().with_node_limit(50_000);
+        for (name, model) in seeded_set() {
+            let sol = model.solve_with(&opts).expect("feasible by construction");
+            assert!(sol.stats().nodes > 1, "{name} never branched");
+        }
+    }
+}

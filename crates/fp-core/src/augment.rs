@@ -77,6 +77,10 @@ pub struct StepStats {
     pub nodes: usize,
     /// Total simplex pivots.
     pub simplex_iterations: usize,
+    /// Branch-and-bound nodes solved warm from the parent basis.
+    pub warm_nodes: usize,
+    /// Branch-and-bound nodes solved by the cold two-phase primal.
+    pub cold_nodes: usize,
     /// Wall time of the step (model build + solve).
     pub elapsed: Duration,
     /// How the step concluded.
@@ -124,6 +128,21 @@ impl RunStats {
     #[must_use]
     pub fn max_binaries(&self) -> usize {
         self.steps.iter().map(|s| s.binaries).max().unwrap_or(0)
+    }
+
+    /// Branch-and-bound nodes solved warm from a parent basis, over all
+    /// steps. Together with [`cold_nodes`](Self::cold_nodes) this
+    /// partitions [`total_nodes`](Self::total_nodes).
+    #[must_use]
+    pub fn warm_nodes(&self) -> usize {
+        self.steps.iter().map(|s| s.warm_nodes).sum()
+    }
+
+    /// Branch-and-bound nodes solved by the cold two-phase primal, over
+    /// all steps.
+    #[must_use]
+    pub fn cold_nodes(&self) -> usize {
+        self.steps.iter().map(|s| s.cold_nodes).sum()
     }
 }
 
@@ -254,7 +273,7 @@ impl<'a> Floorplanner<'a> {
             // the *remaining* wall clock, so K steps cannot overshoot by
             // K × the per-step limit.
             let step_options = self.config.budgeted_step_options();
-            let (new_placements, outcome, nodes, pivots) = match step_model
+            let (new_placements, outcome, nodes, pivots, warm, cold) = match step_model
                 .model
                 .solve_traced(&step_options, &self.config.tracer)
             {
@@ -268,6 +287,8 @@ impl<'a> Floorplanner<'a> {
                         outcome,
                         sol.stats().nodes,
                         sol.stats().simplex_iterations,
+                        sol.stats().warm_nodes,
+                        sol.stats().cold_nodes,
                     )
                 }
                 Err(SolveError::InvalidModel(why)) => {
@@ -293,7 +314,7 @@ impl<'a> Floorplanner<'a> {
                             }
                         })
                         .collect();
-                    (fallback, StepOutcome::GreedyFallback, 0, 0)
+                    (fallback, StepOutcome::GreedyFallback, 0, 0, 0, 0)
                 }
             };
 
@@ -317,6 +338,8 @@ impl<'a> Floorplanner<'a> {
                 binaries,
                 nodes,
                 simplex_iterations: pivots,
+                warm_nodes: warm,
+                cold_nodes: cold,
                 elapsed: step_started.elapsed(),
                 outcome,
             });

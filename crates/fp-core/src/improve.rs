@@ -156,7 +156,7 @@ fn reoptimize_band_recorded(
         // incumbent still explored nodes, and those belong in the totals.
         // On errors no `Solution` exists, so the node count comes from the
         // tracer's counter delta (0 when tracing is disabled).
-        let (outcome, nodes, pivots) = match &solved {
+        let (outcome, nodes, pivots, warm, cold) = match &solved {
             Ok(sol) => (
                 match sol.optimality() {
                     Optimality::Proven => StepOutcome::Optimal,
@@ -164,10 +164,12 @@ fn reoptimize_band_recorded(
                 },
                 sol.stats().nodes,
                 sol.stats().simplex_iterations,
+                sol.stats().warm_nodes,
+                sol.stats().cold_nodes,
             ),
             Err(_) => {
                 let explored = config.tracer.count(fp_obs::EventKind::BnbNode) - nodes_before;
-                (StepOutcome::GreedyFallback, explored as usize, 0)
+                (StepOutcome::GreedyFallback, explored as usize, 0, 0, 0)
             }
         };
         stats.steps.push(StepStats {
@@ -177,6 +179,8 @@ fn reoptimize_band_recorded(
             binaries: step.model.num_integer_vars(),
             nodes,
             simplex_iterations: pivots,
+            warm_nodes: warm,
+            cold_nodes: cold,
             elapsed: step_started.elapsed(),
             outcome,
         });

@@ -58,6 +58,27 @@ fn assert_no_fallback_and_bounded(netlist: &Netlist, config: FloorplanConfig, la
         result.stats.max_binaries(),
         "{label}: trace and stats disagree on max binaries"
     );
+
+    // Warm-start coverage: every non-root branch-and-bound node inherits
+    // its parent's basis, so at default config the dual-simplex warm path
+    // must carry the large majority of non-root solves. A regression to
+    // all-cold (e.g. the fallback tripping on every node) is a perf bug
+    // the equivalence suites cannot see.
+    let (mut non_root, mut warm_non_root) = (0usize, 0usize);
+    for r in collector.of_kind(EventKind::BnbNode) {
+        if let Event::BnbNode { depth, warm, .. } = r.event {
+            if depth > 0 {
+                non_root += 1;
+                warm_non_root += usize::from(warm);
+            }
+        }
+    }
+    if non_root >= 20 {
+        assert!(
+            warm_non_root * 10 >= non_root * 7,
+            "{label}: only {warm_non_root}/{non_root} non-root nodes solved warm"
+        );
+    }
 }
 
 #[test]

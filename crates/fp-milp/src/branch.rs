@@ -19,11 +19,11 @@ use crate::error::SolveError;
 use crate::model::Model;
 use crate::options::SolveOptions;
 use crate::presolve::{presolve, PresolveStatus};
-use crate::simplex::{solve_lp, LpOutcome, LpProblem, SparseRow};
+use crate::simplex::{BasisSnapshot, LpConfig, LpOutcome, LpProblem, SparseRow, Workspace};
 use crate::solution::{Optimality, Solution, SolveStats, ThreadStats};
 use fp_obs::{Event, Phase, Tracer};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Instant;
 
@@ -31,6 +31,20 @@ struct Node {
     lb: Vec<f64>,
     ub: Vec<f64>,
     depth: usize,
+    /// The parent's optimal basis, shared by both children so each node's
+    /// LP can warm-start via the dual simplex. `None` at the root or when
+    /// [`SolveOptions::warm_start`] is off.
+    basis: Option<Arc<BasisSnapshot>>,
+}
+
+/// The per-node LP configuration derived once per solve.
+fn lp_config(options: &SolveOptions, deadline: Option<Instant>) -> LpConfig {
+    LpConfig {
+        feas_tol: options.feas_tol,
+        opt_tol: options.opt_tol,
+        deadline,
+        warm_pivot_cap: options.warm_pivot_cap,
+    }
 }
 
 /// `(incumbent values + min-form objective, bound proven, stats)` from
@@ -92,6 +106,7 @@ pub(crate) fn solve(
         lb: pre.lb,
         ub: pre.ub,
         depth: 0,
+        basis: None,
     };
 
     // Integral columns ordered by descending branch priority (stable).
@@ -195,18 +210,21 @@ fn branch_choice(
     best.map(|(j, v, _, _)| (j, v))
 }
 
-/// Splits `node` on column `j` at LP value `v` into (down, up) children.
-fn split(node: Node, j: usize, v: f64) -> (Node, Node) {
+/// Splits `node` on column `j` at LP value `v` into (down, up) children,
+/// both warm-startable from the parent's optimal `basis`.
+fn split(node: Node, j: usize, v: f64, basis: Option<Arc<BasisSnapshot>>) -> (Node, Node) {
     let mut down = Node {
         lb: node.lb.clone(),
         ub: node.ub.clone(),
         depth: node.depth + 1,
+        basis: basis.clone(),
     };
     down.ub[j] = v.floor();
     let mut up = Node {
         lb: node.lb,
         ub: node.ub,
         depth: node.depth + 1,
+        basis,
     };
     up.lb[j] = v.ceil();
     (down, up)
@@ -226,8 +244,17 @@ impl TraceCtx<'_> {
         self.model.externalize_obj(min_obj + self.c_offset)
     }
 
-    fn node(&self, depth: usize) {
-        self.tracer.emit(Phase::Solver, Event::BnbNode { depth });
+    /// One `BnbNode` per claimed node, emitted *after* its LP solve so the
+    /// warm/pivot fields are known; every outcome path emits exactly once.
+    fn node(&self, depth: usize, warm: bool, pivots: usize) {
+        self.tracer.emit(
+            Phase::Solver,
+            Event::BnbNode {
+                depth,
+                warm,
+                pivots: pivots as u64,
+            },
+        );
     }
 
     fn root_lp(&self, min_obj: f64) {
@@ -267,6 +294,11 @@ fn solve_serial(
     // Absolute deadline handed to every LP so a single long relaxation
     // cannot overshoot the time limit (`None` if it overflows Instant).
     let deadline = started.checked_add(options.time_limit);
+    let lp_cfg = lp_config(options, deadline);
+    // One workspace for the whole serial solve: the dive child is popped
+    // immediately after its parent, so its warm start is usually the hot
+    // path (bound deltas applied to the still-loaded parent tableau).
+    let mut ws = Workspace::new();
 
     let mut stack = vec![root];
 
@@ -276,7 +308,6 @@ fn solve_serial(
             break;
         }
         local.nodes += 1;
-        trace.node(node.depth);
 
         let problem = LpProblem {
             ncols: model.num_vars(),
@@ -285,10 +316,21 @@ fn solve_serial(
             lb: &node.lb,
             ub: &node.ub,
         };
-        let outcome = solve_lp(&problem, options.feas_tol, options.opt_tol, deadline);
+        let basis = if options.warm_start {
+            node.basis.as_ref()
+        } else {
+            None
+        };
+        let (outcome, info) = ws.solve(&problem, basis, &lp_cfg);
+        local.simplex_iterations += info.pivots;
+        if info.warm {
+            local.warm_nodes += 1;
+        } else {
+            local.cold_nodes += 1;
+        }
+        trace.node(node.depth, info.warm, info.pivots);
         let (x, obj) = match outcome {
-            LpOutcome::Optimal { x, obj, iterations } => {
-                local.simplex_iterations += iterations;
+            LpOutcome::Optimal { x, obj } => {
                 if node.depth == 0 {
                     trace.root_lp(obj);
                 }
@@ -343,7 +385,8 @@ fn solve_serial(
             }
             Some((j, v)) => {
                 let floor = v.floor();
-                let (down, up) = split(node, j, v);
+                let snap = options.warm_start.then(|| ws.snapshot());
+                let (down, up) = split(node, j, v, snap);
                 // Dive toward the nearer integer: push the preferred child
                 // last so the LIFO stack pops it first.
                 if v - floor <= 0.5 {
@@ -360,6 +403,8 @@ fn solve_serial(
     let stats = SolveStats {
         nodes: local.nodes,
         simplex_iterations: local.simplex_iterations,
+        warm_nodes: local.warm_nodes,
+        cold_nodes: local.cold_nodes,
         elapsed: std::time::Duration::ZERO, // filled in by the caller
         threads: 1,
         per_thread: vec![local],
@@ -384,9 +429,8 @@ struct SharedSearch<'a> {
     int_cols: &'a [usize],
     options: &'a SolveOptions,
     started: Instant,
-    /// `started + time_limit`, handed to every LP for cooperative timeout
-    /// (`None` if the sum overflows Instant).
-    deadline: Option<Instant>,
+    /// Per-node LP tolerances, deadline, and warm-start pivot cap.
+    lp_cfg: LpConfig,
     nworkers: usize,
     trace: &'a TraceCtx<'a>,
     frontier: Mutex<Frontier>,
@@ -447,7 +491,7 @@ impl SharedSearch<'_> {
 
     /// Solves one node's relaxation and either records an incumbent or
     /// pushes the two children onto the shared frontier.
-    fn process_node(&self, node: Node, stats: &mut ThreadStats) {
+    fn process_node(&self, node: Node, stats: &mut ThreadStats, ws: &mut Workspace) {
         let options = self.options;
         let problem = LpProblem {
             ncols: self.model.num_vars(),
@@ -456,11 +500,21 @@ impl SharedSearch<'_> {
             lb: &node.lb,
             ub: &node.ub,
         };
-        let (x, obj) = match solve_lp(&problem, options.feas_tol, options.opt_tol, self.deadline) {
-            LpOutcome::Optimal { x, obj, iterations } => {
-                stats.simplex_iterations += iterations;
-                (x, obj)
-            }
+        let basis = if options.warm_start {
+            node.basis.as_ref()
+        } else {
+            None
+        };
+        let (outcome, info) = ws.solve(&problem, basis, &self.lp_cfg);
+        stats.simplex_iterations += info.pivots;
+        if info.warm {
+            stats.warm_nodes += 1;
+        } else {
+            stats.cold_nodes += 1;
+        }
+        self.trace.node(node.depth, info.warm, info.pivots);
+        let (x, obj) = match outcome {
+            LpOutcome::Optimal { x, obj } => (x, obj),
             LpOutcome::Infeasible => return,
             // Depth 0 runs on the calling thread before workers start, so
             // these are numerical trouble deep in the tree: abandon the
@@ -491,7 +545,8 @@ impl SharedSearch<'_> {
             }
             Some((j, v)) => {
                 let floor = v.floor();
-                let (down, up) = split(node, j, v);
+                let snap = options.warm_start.then(|| ws.snapshot());
+                let (down, up) = split(node, j, v, snap);
                 let mut f = self.frontier.lock().expect("frontier lock");
                 if f.done {
                     return; // halted while we were solving: drop the children
@@ -516,6 +571,7 @@ impl SharedSearch<'_> {
 /// node that could refill the frontier) and wakes everyone to exit.
 fn worker(shared: &SharedSearch) -> ThreadStats {
     let mut stats = ThreadStats::default();
+    let mut ws = Workspace::new();
     loop {
         let node = {
             let mut f = shared.frontier.lock().expect("frontier lock");
@@ -541,8 +597,7 @@ fn worker(shared: &SharedSearch) -> ThreadStats {
             return stats;
         }
         stats.nodes += 1;
-        shared.trace.node(node.depth);
-        shared.process_node(node, &mut stats);
+        shared.process_node(node, &mut stats, &mut ws);
     }
 }
 
@@ -566,7 +621,7 @@ fn solve_parallel(
         int_cols,
         options,
         started,
-        deadline: started.checked_add(options.time_limit),
+        lp_cfg: lp_config(options, started.checked_add(options.time_limit)),
         nworkers: threads,
         trace,
         frontier: Mutex::new(Frontier {
@@ -594,7 +649,6 @@ fn solve_parallel(
         return Ok((None, false, stats));
     }
     root_stats.nodes += 1;
-    trace.node(0);
     let problem = LpProblem {
         ncols: model.num_vars(),
         rows,
@@ -602,9 +656,17 @@ fn solve_parallel(
         lb: &root.lb,
         ub: &root.ub,
     };
-    match solve_lp(&problem, options.feas_tol, options.opt_tol, shared.deadline) {
-        LpOutcome::Optimal { x, obj, iterations } => {
-            root_stats.simplex_iterations += iterations;
+    let mut root_ws = Workspace::new();
+    let (root_outcome, root_info) = root_ws.solve(&problem, None, &shared.lp_cfg);
+    root_stats.simplex_iterations += root_info.pivots;
+    if root_info.warm {
+        root_stats.warm_nodes += 1;
+    } else {
+        root_stats.cold_nodes += 1;
+    }
+    trace.node(0, root_info.warm, root_info.pivots);
+    match root_outcome {
+        LpOutcome::Optimal { x, obj } => {
             trace.root_lp(obj);
             match branch_choice(model, int_cols, &x, options.int_tol) {
                 None => {
@@ -616,7 +678,8 @@ fn solve_parallel(
                 }
                 Some((j, v)) => {
                     let floor = v.floor();
-                    let (down, up) = split(root, j, v);
+                    let snap = options.warm_start.then(|| root_ws.snapshot());
+                    let (down, up) = split(root, j, v, snap);
                     let mut f = shared.frontier.lock().expect("frontier lock");
                     if v - floor <= 0.5 {
                         f.stack.push(up);
@@ -640,6 +703,9 @@ fn solve_parallel(
             per_thread[0] = root_stats;
             let stats = SolveStats {
                 nodes: shared.nodes.load(Ordering::Relaxed),
+                simplex_iterations: root_stats.simplex_iterations,
+                warm_nodes: root_stats.warm_nodes,
+                cold_nodes: root_stats.cold_nodes,
                 threads,
                 per_thread,
                 ..SolveStats::default()
@@ -667,12 +733,16 @@ fn solve_parallel(
     };
     per_thread[0].nodes += root_stats.nodes;
     per_thread[0].simplex_iterations += root_stats.simplex_iterations;
+    per_thread[0].warm_nodes += root_stats.warm_nodes;
+    per_thread[0].cold_nodes += root_stats.cold_nodes;
 
     let proven = shared.proven.load(Ordering::Relaxed);
     let incumbent = shared.incumbent.into_inner().expect("incumbent lock");
     let stats = SolveStats {
         nodes: shared.nodes.load(Ordering::Relaxed),
         simplex_iterations: per_thread.iter().map(|t| t.simplex_iterations).sum(),
+        warm_nodes: per_thread.iter().map(|t| t.warm_nodes).sum(),
+        cold_nodes: per_thread.iter().map(|t| t.cold_nodes).sum(),
         elapsed: std::time::Duration::ZERO, // filled in by the caller
         threads,
         per_thread,
@@ -940,6 +1010,36 @@ mod tests {
         m.set_objective(a + b);
         let opts = SolveOptions::default().with_threads(4);
         assert_eq!(m.solve_with(&opts).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn warm_cold_counts_partition_nodes() {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..10).map(|i| m.add_binary(format!("b{i}"))).collect();
+        let weight: crate::LinExpr = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (2.0 + (i % 4) as f64) * v)
+            .sum();
+        m.add_le(weight, 11.0);
+        let value: crate::LinExpr = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (3.0 + (i % 5) as f64) * v)
+            .sum();
+        m.set_objective(value);
+
+        let warm = m.solve_with(&serial()).unwrap();
+        let ws = warm.stats();
+        assert_eq!(ws.warm_nodes + ws.cold_nodes, ws.nodes);
+        assert!(ws.cold_nodes >= 1, "the root is always cold");
+        assert!(ws.warm_nodes > 0, "a branching solve should warm-start");
+
+        let cold = m.solve_with(&serial().with_warm_start(false)).unwrap();
+        let cs = cold.stats();
+        assert_eq!(cs.warm_nodes, 0);
+        assert_eq!(cs.cold_nodes, cs.nodes);
+        assert!((warm.objective() - cold.objective()).abs() < 1e-9);
     }
 
     #[test]

@@ -22,8 +22,14 @@ use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 /// m.add_le(xi + wi - xj - big_w * pair, 0.0);
 /// ```
 ///
-/// Duplicate variables are merged; zero coefficients are retained until
-/// [`LinExpr::compact`] or model ingestion.
+/// Duplicate variables are merged on every insertion, but coefficients
+/// that merge to zero are *kept*: arithmetic never drops a term eagerly,
+/// so `e.coeff(v)` distinguishes "cancelled to 0.0" from "never present"
+/// via [`len`](LinExpr::len)/[`iter`](LinExpr::iter). Exact zeros are
+/// dropped only by an explicit [`compact`](LinExpr::compact), which the
+/// model runs on constraint ingestion (`add_le` / `add_ge` / `add_eq`),
+/// so stored constraint rows carry no zero terms. The objective is stored
+/// as given — its coefficients are densified per column anyway.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LinExpr {
     /// `(column, coefficient)` pairs, deduplicated, sorted by column.
@@ -88,7 +94,11 @@ impl LinExpr {
         self.terms.is_empty()
     }
 
-    /// Drops terms whose coefficient is exactly zero.
+    /// Drops terms whose coefficient is *exactly* `0.0` (or `-0.0`).
+    ///
+    /// Deliberately not an epsilon test: a tiny-but-nonzero coefficient is
+    /// the caller's modeling decision and must reach the solver; only
+    /// terms that cancelled exactly (e.g. `x - x`) are structural noise.
     pub fn compact(&mut self) -> &mut Self {
         self.terms.retain(|_, c| *c != 0.0);
         self
@@ -331,5 +341,24 @@ mod tests {
         assert_eq!(e.len(), 1);
         e.compact();
         assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn compact_drops_exact_zeros_only() {
+        // Duplicates merge on insertion; a merge that cancels to exactly
+        // zero survives until compact; a denormal-small coefficient is a
+        // real term and survives compact.
+        let mut e = LinExpr::new();
+        e.add_term(v(0), 2.5);
+        e.add_term(v(0), -2.5); // cancels exactly
+        e.add_term(v(1), 1e-300); // tiny but meaningful
+        e.add_term(v(1), 1e-300);
+        e.add_term(v(2), -0.0); // negative zero is still zero
+        assert_eq!(e.len(), 3, "nothing dropped before compact");
+        assert_eq!(e.coeff(v(0)), 0.0);
+        e.compact();
+        assert_eq!(e.len(), 1, "exact zeros dropped, tiny term kept");
+        assert_eq!(e.coeff(v(1)), 2e-300);
+        assert_eq!(e.coeff(v(2)), 0.0);
     }
 }

@@ -11,7 +11,10 @@
 //! * a **branch-and-bound** search on the integer variables with
 //!   most-fractional / user-priority branching, depth-first diving for early
 //!   incumbents, and node / time limits that return the best incumbent found
-//!   (the `branch` module).
+//!   (the `branch` module). Child nodes **warm-start a dual simplex** from
+//!   the parent's optimal basis instead of re-solving from scratch — a pure
+//!   performance lever (every warm answer is re-verified or re-solved cold),
+//!   toggled by [`SolveOptions::warm_start`].
 //!
 //! # Example
 //!

@@ -37,6 +37,15 @@ pub struct SolveOptions {
     /// counts and in which optimal vertex is reported. Defaults to
     /// [`std::thread::available_parallelism`].
     pub threads: usize,
+    /// Warm-start each node's LP from its parent's optimal basis via the
+    /// dual simplex instead of re-running two-phase primal from scratch.
+    /// Purely a performance lever: any numerical doubt falls back to the
+    /// cold solve, so results are identical either way. Default `true`.
+    pub warm_start: bool,
+    /// Maximum dual-simplex pivots per warm attempt before giving up and
+    /// re-solving cold. `0` (the default) sizes the cap automatically from
+    /// the row count.
+    pub warm_pivot_cap: usize,
 }
 
 impl Default for SolveOptions {
@@ -49,6 +58,8 @@ impl Default for SolveOptions {
             int_tol: 1e-6,
             absolute_gap: 0.0,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            warm_start: true,
+            warm_pivot_cap: 0,
         }
     }
 }
@@ -82,6 +93,20 @@ impl SolveOptions {
         self.threads = threads;
         self
     }
+
+    /// Returns options with warm-started node LPs enabled or disabled.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm: bool) -> Self {
+        self.warm_start = warm;
+        self
+    }
+
+    /// Returns options with the given per-node dual pivot cap (`0` = auto).
+    #[must_use]
+    pub fn with_warm_pivot_cap(mut self, cap: usize) -> Self {
+        self.warm_pivot_cap = cap;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +131,17 @@ mod tests {
         assert!(o.int_tol >= o.feas_tol / 10.0);
         assert!(o.node_limit > 1_000);
         assert!(o.threads >= 1);
+        assert!(o.warm_start);
+        assert_eq!(o.warm_pivot_cap, 0);
+    }
+
+    #[test]
+    fn warm_start_builders() {
+        let o = SolveOptions::default()
+            .with_warm_start(false)
+            .with_warm_pivot_cap(7);
+        assert!(!o.warm_start);
+        assert_eq!(o.warm_pivot_cap, 7);
     }
 
     #[test]

@@ -1,4 +1,6 @@
-//! Two-phase, bounded-variable primal simplex on a dense tableau.
+//! Two-phase, bounded-variable primal simplex on a dense tableau, plus a
+//! bounded-variable **dual simplex** used to warm-start branch-and-bound
+//! nodes from their parent's optimal basis.
 //!
 //! This is the LP engine underneath branch-and-bound. It handles general
 //! variable bounds (including free and fixed variables) without expanding
@@ -12,8 +14,21 @@
 //! Phase 2 fixes the artificials to zero and optimizes the true objective.
 //! Dantzig pricing with a permanent switch to Bland's rule after a stall
 //! threshold guards against cycling.
+//!
+//! Warm starts: a branch-and-bound child differs from its parent by one
+//! tightened 0-1 bound, so the parent's optimal basis is still dual
+//! feasible (reduced-cost signs are untouched by bound changes) while at
+//! most one basic variable is primal infeasible. [`Workspace`] keeps the
+//! tableau allocations alive across node solves and can be re-seeded from
+//! a [`BasisSnapshot`]; the dual simplex then restores primal feasibility
+//! in a handful of pivots instead of re-running phase 1 from scratch. Any
+//! numerical trouble (singular refactorization, dual pivot cap, a
+//! feasibility re-check failure against the original rows) falls back to
+//! the cold two-phase primal, so warm starts can only ever change speed,
+//! never answers.
 
 use crate::model::Cmp;
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 
 /// One sparse constraint row: `(terms, comparison, rhs)`.
@@ -47,7 +62,6 @@ pub(crate) enum LpOutcome {
     Optimal {
         x: Vec<f64>,
         obj: f64,
-        iterations: usize,
     },
     Infeasible,
     Unbounded,
@@ -58,6 +72,41 @@ pub(crate) enum LpOutcome {
     TimedOut,
 }
 
+/// Per-solve tolerances and limits, shared by every node of one B&B run.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LpConfig {
+    /// Gates phase-1 acceptance and the warm-path feasibility re-check.
+    pub feas_tol: f64,
+    /// Pricing tolerance for both primal and dual pivots.
+    pub opt_tol: f64,
+    /// Cooperative deadline polled inside the pivot loops.
+    pub deadline: Option<Instant>,
+    /// Max dual pivots per warm attempt before falling back cold
+    /// (`0` = auto: `2·m + 100`).
+    pub warm_pivot_cap: usize,
+}
+
+/// How a node's LP was solved, for stats and tracing.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LpInfo {
+    /// `true` if the result came from a warm (basis-seeded) solve; cold
+    /// fallbacks report `false` even when a warm attempt was made first.
+    pub warm: bool,
+    /// Simplex pivots spent on this node, wasted warm pivots included.
+    pub pivots: usize,
+}
+
+/// A saved basis: which column is basic in each row plus the resting
+/// status of every column, as captured at a node's optimum. Shared to both
+/// children through an [`Arc`] so the frontier never clones tableaux.
+#[derive(Debug)]
+pub(crate) struct BasisSnapshot {
+    m: usize,
+    n_struct: usize,
+    basis: Vec<usize>,
+    status: Vec<ColStatus>,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ColStatus {
     Basic(usize),
@@ -65,6 +114,17 @@ enum ColStatus {
     AtUpper,
     /// Free variable currently parked at zero.
     FreeAtZero,
+}
+
+/// The resting status a column would get in a fresh cold start.
+fn default_status(lb: f64, ub: f64) -> ColStatus {
+    if lb.is_finite() {
+        ColStatus::AtLower
+    } else if ub.is_finite() {
+        ColStatus::AtUpper
+    } else {
+        ColStatus::FreeAtZero
+    }
 }
 
 struct Tableau {
@@ -88,6 +148,10 @@ struct Tableau {
 }
 
 const PIVOT_TOL: f64 = 1e-9;
+/// Minimum acceptable pivot magnitude when re-eliminating a snapshot basis;
+/// anything smaller means the saved basis is (numerically) singular for the
+/// child and the warm attempt is abandoned.
+const REFACTOR_TOL: f64 = 1e-8;
 
 enum StepOutcome {
     Optimal,
@@ -99,6 +163,23 @@ enum StepOutcome {
 enum OptimizeEnd {
     Done(StepOutcome),
     IterationCap,
+    TimedOut,
+}
+
+/// Why a call to [`Tableau::dual_optimize`] stopped iterating.
+enum DualEnd {
+    /// All basic variables are back inside their bounds.
+    Feasible,
+    /// A violated row has no eligible entering column — an infeasibility
+    /// claim. The caller either certifies it from the stuck row
+    /// ([`Tableau::certify_infeasible`]) or confirms it with a cold solve;
+    /// the raw claim is never trusted on its own.
+    NoEntering {
+        /// The violated row the ratio test got stuck on.
+        row: usize,
+    },
+    /// Dual pivot budget exhausted (stall / cycling guard).
+    Cap,
     TimedOut,
 }
 
@@ -294,6 +375,169 @@ impl Tableau {
         }
     }
 
+    /// Bounded-variable dual simplex: starting from a dual-feasible basis
+    /// whose `xb` violates some bounds (the warm-start state after a
+    /// branching bound change), drives every basic variable back inside
+    /// its bounds while keeping the reduced-cost signs valid.
+    ///
+    /// Leaving row: the largest relative bound violation. Entering column:
+    /// minimum dual ratio `d_j / α_j` where `α_j = σ·T[r][j]` and `σ` is
+    /// `+1` above the upper bound, `-1` below the lower; ties break on
+    /// larger `|α|` for stability. The step moves the entering variable by
+    /// exactly enough to land the leaving one on its violated bound; the
+    /// entering variable is allowed to overshoot its own opposite bound
+    /// (that just becomes the next iteration's violation).
+    fn dual_optimize(
+        &mut self,
+        feas_tol: f64,
+        max_pivots: usize,
+        deadline: Option<Instant>,
+    ) -> DualEnd {
+        let start = self.iterations;
+        loop {
+            if self.iterations - start >= max_pivots {
+                return DualEnd::Cap;
+            }
+            if self.iterations & DEADLINE_POLL_MASK == 0 {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return DualEnd::TimedOut;
+                    }
+                }
+            }
+
+            // --- leaving row: worst bound violation --------------------
+            let mut leave: Option<(usize, f64, f64)> = None; // (row, target, viol)
+            for i in 0..self.m {
+                let bi = self.basis[i];
+                let (target, viol) = if self.xb[i] > self.ub[bi] {
+                    (
+                        self.ub[bi],
+                        (self.xb[i] - self.ub[bi]) / (1.0 + self.ub[bi].abs()),
+                    )
+                } else if self.xb[i] < self.lb[bi] {
+                    (
+                        self.lb[bi],
+                        (self.lb[bi] - self.xb[i]) / (1.0 + self.lb[bi].abs()),
+                    )
+                } else {
+                    continue;
+                };
+                if viol > feas_tol && leave.is_none_or(|(_, _, v)| viol > v) {
+                    leave = Some((i, target, viol));
+                }
+            }
+            let Some((r, target, _)) = leave else {
+                return DualEnd::Feasible;
+            };
+            let sigma = if self.xb[r] > target { 1.0 } else { -1.0 };
+
+            // --- entering column: min dual ratio -----------------------
+            let mut enter: Option<(usize, f64, f64)> = None; // (col, ratio, |alpha|)
+            for j in 0..self.n {
+                let alpha = sigma * self.at(r, j);
+                let eligible = match self.status[j] {
+                    ColStatus::Basic(_) => false,
+                    ColStatus::AtLower => alpha > PIVOT_TOL,
+                    ColStatus::AtUpper => alpha < -PIVOT_TOL,
+                    ColStatus::FreeAtZero => alpha.abs() > PIVOT_TOL,
+                };
+                if !eligible {
+                    continue;
+                }
+                // Both eligible cases give d_j/α_j >= 0 in exact arithmetic;
+                // clamp so a slightly wrong-signed d cannot produce a
+                // negative ratio that derails the min search.
+                let ratio = (self.d[j] / alpha).max(0.0);
+                let better = match enter {
+                    None => true,
+                    Some((_, best, besta)) => {
+                        ratio < best - PIVOT_TOL
+                            || (ratio < best + PIVOT_TOL && alpha.abs() > besta)
+                    }
+                };
+                if better {
+                    enter = Some((j, ratio, alpha.abs()));
+                }
+            }
+            let Some((q, _, _)) = enter else {
+                return DualEnd::NoEntering { row: r };
+            };
+
+            // --- pivot: land xb[r] exactly on its violated bound -------
+            self.iterations += 1;
+            let step = (self.xb[r] - target) / self.at(r, q);
+            let entering_value = self.nonbasic_value(q) + step;
+            for i in 0..self.m {
+                if i != r {
+                    self.xb[i] -= step * self.at(i, q);
+                }
+            }
+            let old = self.basis[r];
+            self.status[old] = if sigma > 0.0 {
+                ColStatus::AtUpper
+            } else {
+                ColStatus::AtLower
+            };
+            self.pivot(r, q);
+            self.basis[r] = q;
+            self.status[q] = ColStatus::Basic(r);
+            self.xb[r] = entering_value;
+        }
+    }
+
+    /// One-row infeasibility certificate for the state the dual ratio test
+    /// got stuck in: row `r`'s basic variable sits outside its bounds and
+    /// no eligible entering column exists, so the row equation
+    /// `xb[r] = resid_r − Σ T[r][j]·x_j` bounds how far `xb[r]` can move
+    /// over the whole nonbasic box. When even the extreme of that range
+    /// stays outside the violated bound by more than the margin, the LP is
+    /// infeasible regardless of further pivoting — no cold confirmation
+    /// needed.
+    ///
+    /// Columns with an unbounded range are only treated as immovable when
+    /// their row coefficient is below [`PIVOT_TOL`]: a sub-tolerance pivot
+    /// element is rejected by every pivoting rule in this module, so
+    /// "numerically zero" here matches what a cold solve could exploit.
+    fn certify_infeasible(&self, r: usize, feas_tol: f64) -> bool {
+        let bi = self.basis[r];
+        let (sigma, bound) = if self.xb[r] > self.ub[bi] {
+            (1.0, self.ub[bi])
+        } else if self.xb[r] < self.lb[bi] {
+            (-1.0, self.lb[bi])
+        } else {
+            return false;
+        };
+        // Total movement of `xb[r]` toward the violated bound achievable
+        // by sweeping every nonbasic column across its box.
+        let mut slack = 0.0f64;
+        for j in 0..self.n {
+            // Helpful coefficient: positive means moving `x_j` off its
+            // resting value (up from a lower bound, down from an upper)
+            // pushes `xb[r]` toward `bound`.
+            let helpful = match self.status[j] {
+                ColStatus::Basic(_) => continue,
+                ColStatus::AtLower => sigma * self.at(r, j),
+                ColStatus::AtUpper => -sigma * self.at(r, j),
+                ColStatus::FreeAtZero => self.at(r, j).abs(),
+            };
+            if helpful <= 0.0 {
+                continue;
+            }
+            let width = match self.status[j] {
+                ColStatus::FreeAtZero => f64::INFINITY,
+                _ => self.ub[j] - self.lb[j],
+            };
+            if width.is_finite() {
+                slack += helpful * width;
+            } else if helpful > PIVOT_TOL {
+                return false; // genuinely usable unbounded column
+            }
+        }
+        let margin = feas_tol.max(1e-7) * (1.0 + bound.abs());
+        (self.xb[r] - bound).abs() > slack + margin
+    }
+
     /// Recomputes reduced costs `d = c - c_B·T` for a new cost vector.
     fn reprice(&mut self, c: &[f64]) {
         self.d.copy_from_slice(c);
@@ -312,172 +556,564 @@ impl Tableau {
     }
 }
 
-/// Solves the LP. `feas_tol` gates phase-1 acceptance, `opt_tol` the pricing.
-/// A `deadline`, when given, is polled cooperatively inside the pivot loop so
-/// a single long solve cannot overshoot the caller's time budget.
+/// Reusable per-worker LP state: owns the tableau / reduced-cost / basis
+/// allocations so branch-and-bound nodes don't churn fresh `Vec`s, and
+/// remembers which [`BasisSnapshot`] its tableau currently realizes so a
+/// child popped right after its parent (the serial dive and the common
+/// parallel case) skips even the refactorization.
+pub(crate) struct Workspace {
+    tab: Tableau,
+    n_struct: usize,
+    /// Phase-2 cost buffer (structural costs then zeros), reused per solve.
+    cost: Vec<f64>,
+    /// Scratch `B⁻¹·b` column carried through refactorization.
+    resid: Vec<f64>,
+    row_used: Vec<bool>,
+    /// Snapshot the current tableau state was captured as, if any.
+    loaded: Option<Weak<BasisSnapshot>>,
+}
+
+enum WarmAttempt {
+    /// Warm solve finished with a trustworthy outcome.
+    Done(LpOutcome),
+    /// Abandon warm, run the cold path; carries the pivots already spent.
+    Fallback(usize),
+}
+
+impl Workspace {
+    pub(crate) fn new() -> Self {
+        Workspace {
+            tab: Tableau {
+                m: 0,
+                n: 0,
+                t: Vec::new(),
+                d: Vec::new(),
+                xb: Vec::new(),
+                basis: Vec::new(),
+                status: Vec::new(),
+                lb: Vec::new(),
+                ub: Vec::new(),
+                opt_tol: 1e-9,
+                iterations: 0,
+                bland: false,
+            },
+            n_struct: 0,
+            cost: Vec::new(),
+            resid: Vec::new(),
+            row_used: Vec::new(),
+            loaded: None,
+        }
+    }
+
+    /// Captures the current basis so children of this node can warm-start.
+    /// Only meaningful right after a solve that returned `Optimal`.
+    pub(crate) fn snapshot(&mut self) -> Arc<BasisSnapshot> {
+        let snap = Arc::new(BasisSnapshot {
+            m: self.tab.m,
+            n_struct: self.n_struct,
+            basis: self.tab.basis.clone(),
+            status: self.tab.status.clone(),
+        });
+        self.loaded = Some(Arc::downgrade(&snap));
+        snap
+    }
+
+    /// Solves the LP, warm-starting from `basis` when given and falling
+    /// back to the cold two-phase primal on any numerical doubt.
+    pub(crate) fn solve(
+        &mut self,
+        p: &LpProblem<'_>,
+        basis: Option<&Arc<BasisSnapshot>>,
+        cfg: &LpConfig,
+    ) -> (LpOutcome, LpInfo) {
+        let loaded = self.loaded.take();
+        self.tab.opt_tol = cfg.opt_tol;
+        let mut wasted = 0;
+        if let Some(snap) = basis {
+            if snap.m == p.rows.len() && snap.n_struct == p.ncols {
+                let hot = loaded
+                    .as_ref()
+                    .and_then(Weak::upgrade)
+                    .is_some_and(|cur| Arc::ptr_eq(&cur, snap));
+                match self.attempt_warm(p, snap, cfg, hot) {
+                    WarmAttempt::Done(out) => {
+                        let pivots = self.tab.iterations;
+                        return (out, LpInfo { warm: true, pivots });
+                    }
+                    WarmAttempt::Fallback(pivots) => wasted = pivots,
+                }
+            }
+        }
+        let out = self.solve_cold(p, cfg);
+        let pivots = self.tab.iterations + wasted;
+        (
+            out,
+            LpInfo {
+                warm: false,
+                pivots,
+            },
+        )
+    }
+
+    /// One warm attempt: seed the tableau (in place if `hot`, else by
+    /// refactorizing the snapshot basis against the child's rows), restore
+    /// primal feasibility with the dual simplex, polish with the primal,
+    /// and re-check the claimed optimum against the original rows.
+    fn attempt_warm(
+        &mut self,
+        p: &LpProblem<'_>,
+        snap: &BasisSnapshot,
+        cfg: &LpConfig,
+        hot: bool,
+    ) -> WarmAttempt {
+        let seeded = if hot {
+            self.apply_bound_deltas(p)
+        } else {
+            self.refactorize(p, snap)
+        };
+        if !seeded {
+            return WarmAttempt::Fallback(self.tab.iterations);
+        }
+
+        // Reprice from scratch every attempt: O(m·n), about one pivot, and
+        // it stops reduced-cost drift accumulating across a warm dive chain.
+        self.cost.clear();
+        self.cost.resize(self.tab.n, 0.0);
+        self.cost[..self.n_struct].copy_from_slice(p.c);
+        let cost = std::mem::take(&mut self.cost);
+        self.tab.reprice(&cost);
+        self.cost = cost;
+
+        let m = self.tab.m;
+        let cap = if cfg.warm_pivot_cap > 0 {
+            cfg.warm_pivot_cap
+        } else {
+            2 * m + 100
+        };
+        match self.tab.dual_optimize(cfg.feas_tol, cap, cfg.deadline) {
+            DualEnd::TimedOut => return WarmAttempt::Done(LpOutcome::TimedOut),
+            // An infeasibility claim from the dual ratio test is only as
+            // good as the refactorized tableau. The stuck row itself often
+            // carries an interval certificate (branched children with an
+            // empty feasible box); anything it cannot certify is confirmed
+            // cold so a noisy warm start can never prune a feasible subtree.
+            DualEnd::NoEntering { row } => {
+                if self.tab.certify_infeasible(row, cfg.feas_tol) {
+                    return WarmAttempt::Done(LpOutcome::Infeasible);
+                }
+                return WarmAttempt::Fallback(self.tab.iterations);
+            }
+            DualEnd::Cap => return WarmAttempt::Fallback(self.tab.iterations),
+            DualEnd::Feasible => {}
+        }
+
+        let max_iters = 60 * (m + self.tab.n) + 5_000;
+        self.tab.bland = false;
+        match self.tab.optimize(max_iters, cfg.deadline) {
+            OptimizeEnd::TimedOut => WarmAttempt::Done(LpOutcome::TimedOut),
+            // A warm "unbounded" on the child of a bounded parent is far
+            // more likely numerical drift than truth; let cold decide.
+            OptimizeEnd::IterationCap | OptimizeEnd::Done(StepOutcome::Unbounded) => {
+                WarmAttempt::Fallback(self.tab.iterations)
+            }
+            OptimizeEnd::Done(_) => match self.extract_checked(p, cfg.feas_tol) {
+                Some((x, obj)) => WarmAttempt::Done(LpOutcome::Optimal { x, obj }),
+                None => WarmAttempt::Fallback(self.tab.iterations),
+            },
+        }
+    }
+
+    /// Hot path: the tableau already realizes `snap` for the parent's
+    /// bounds, so only the bound deltas need applying — basic columns just
+    /// update their box, nonbasic columns shift `xb` by
+    /// `Δ(resting value) · T[·][j]`. No refactorization, no phase 1.
+    fn apply_bound_deltas(&mut self, p: &LpProblem<'_>) -> bool {
+        self.tab.iterations = 0;
+        self.tab.bland = false;
+        for j in 0..p.ncols {
+            let (nl, nu) = (p.lb[j], p.ub[j]);
+            if nl == self.tab.lb[j] && nu == self.tab.ub[j] {
+                continue;
+            }
+            match self.tab.status[j] {
+                ColStatus::Basic(_) => {
+                    self.tab.lb[j] = nl;
+                    self.tab.ub[j] = nu;
+                }
+                st => {
+                    let old_v = match st {
+                        ColStatus::AtLower => self.tab.lb[j],
+                        ColStatus::AtUpper => self.tab.ub[j],
+                        _ => 0.0,
+                    };
+                    let new_st = match st {
+                        ColStatus::AtLower if nl.is_finite() => ColStatus::AtLower,
+                        ColStatus::AtUpper if nu.is_finite() => ColStatus::AtUpper,
+                        ColStatus::FreeAtZero if nl == f64::NEG_INFINITY && nu == f64::INFINITY => {
+                            ColStatus::FreeAtZero
+                        }
+                        _ => default_status(nl, nu),
+                    };
+                    let new_v = match new_st {
+                        ColStatus::AtLower => nl,
+                        ColStatus::AtUpper => nu,
+                        _ => 0.0,
+                    };
+                    let delta = new_v - old_v;
+                    if !delta.is_finite() {
+                        return false; // resting on an infinite bound: refuse
+                    }
+                    if delta != 0.0 {
+                        let n = self.tab.n;
+                        for i in 0..self.tab.m {
+                            self.tab.xb[i] -= delta * self.tab.t[i * n + j];
+                        }
+                    }
+                    self.tab.lb[j] = nl;
+                    self.tab.ub[j] = nu;
+                    self.tab.status[j] = new_st;
+                }
+            }
+        }
+        true
+    }
+
+    /// Warm path for a snapshot taken on a *different* tableau state:
+    /// rebuild the raw rows, then Gauss-Jordan the snapshot's basis
+    /// columns to the identity (free row pivoting on the largest available
+    /// pivot), carrying the rhs along so `xb = B⁻¹b − B⁻¹N·x_N` drops out.
+    /// Returns `false` when the basis is singular for these rows.
+    fn refactorize(&mut self, p: &LpProblem<'_>, snap: &BasisSnapshot) -> bool {
+        let m = p.rows.len();
+        let n_struct = p.ncols;
+        let n = n_struct + 2 * m;
+        self.n_struct = n_struct;
+        let tab = &mut self.tab;
+        tab.m = m;
+        tab.n = n;
+        tab.iterations = 0;
+        tab.bland = false;
+
+        tab.t.clear();
+        tab.t.resize(m * n, 0.0);
+        tab.d.clear();
+        tab.d.resize(n, 0.0);
+        tab.lb.clear();
+        tab.ub.clear();
+        tab.lb.extend_from_slice(p.lb);
+        tab.ub.extend_from_slice(p.ub);
+        for (_, cmp, _) in p.rows {
+            match cmp {
+                Cmp::Le => {
+                    tab.lb.push(0.0);
+                    tab.ub.push(f64::INFINITY);
+                }
+                Cmp::Ge => {
+                    tab.lb.push(f64::NEG_INFINITY);
+                    tab.ub.push(0.0);
+                }
+                Cmp::Eq => {
+                    tab.lb.push(0.0);
+                    tab.ub.push(0.0);
+                }
+            }
+        }
+        // Artificials stay fixed at zero; they only exist so a snapshot in
+        // which a redundant row kept its artificial basic stays a basis.
+        // Phase-1 sign folds are irrelevant here (row scaling by ±1 never
+        // changes which column sets are bases), so plain +1 units do.
+        tab.lb.resize(n, 0.0);
+        tab.ub.resize(n, 0.0);
+
+        self.resid.clear();
+        for (i, (terms, _, rhs)) in p.rows.iter().enumerate() {
+            for &(j, a) in terms {
+                tab.t[i * n + j] = a;
+            }
+            tab.t[i * n + n_struct + i] = 1.0; // slack
+            tab.t[i * n + n_struct + m + i] = 1.0; // artificial
+            self.resid.push(*rhs);
+        }
+
+        // Resting statuses from the snapshot, sanitized against the
+        // child's bounds (a status is only kept if its bound is finite).
+        tab.status.clear();
+        for (j, st) in snap.status.iter().enumerate() {
+            tab.status.push(match st {
+                ColStatus::Basic(_) => ColStatus::AtLower, // overwritten below
+                ColStatus::AtLower if tab.lb[j].is_finite() => ColStatus::AtLower,
+                ColStatus::AtUpper if tab.ub[j].is_finite() => ColStatus::AtUpper,
+                ColStatus::FreeAtZero
+                    if tab.lb[j] == f64::NEG_INFINITY && tab.ub[j] == f64::INFINITY =>
+                {
+                    ColStatus::FreeAtZero
+                }
+                _ => default_status(tab.lb[j], tab.ub[j]),
+            });
+        }
+
+        // Gauss-Jordan: make each snapshot basis column a unit vector,
+        // picking the not-yet-used row with the largest pivot magnitude.
+        self.row_used.clear();
+        self.row_used.resize(m, false);
+        tab.basis.clear();
+        tab.basis.resize(m, usize::MAX);
+        for &col in &snap.basis {
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..m {
+                if self.row_used[i] {
+                    continue;
+                }
+                let a = tab.t[i * n + col].abs();
+                if best.is_none_or(|(_, b)| a > b) {
+                    best = Some((i, a));
+                }
+            }
+            let Some((r, mag)) = best else { return false };
+            if mag <= REFACTOR_TOL {
+                return false; // singular for the child's rows
+            }
+            let inv = 1.0 / tab.t[r * n + col];
+            for j in 0..n {
+                tab.t[r * n + j] *= inv;
+            }
+            tab.t[r * n + col] = 1.0; // exact
+            self.resid[r] *= inv;
+            for i in 0..m {
+                if i == r {
+                    continue;
+                }
+                let factor = tab.t[i * n + col];
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    tab.t[i * n + j] -= factor * tab.t[r * n + j];
+                }
+                tab.t[i * n + col] = 0.0; // exact
+                self.resid[i] -= factor * self.resid[r];
+            }
+            self.row_used[r] = true;
+            tab.basis[r] = col;
+            tab.status[col] = ColStatus::Basic(r);
+        }
+
+        // xb = B⁻¹b − Σ_{nonbasic j with nonzero resting value} T[·][j]·x_j.
+        tab.xb.clear();
+        tab.xb.extend_from_slice(&self.resid);
+        for j in 0..n {
+            if matches!(tab.status[j], ColStatus::Basic(_)) {
+                continue;
+            }
+            let v = tab.nonbasic_value(j);
+            if v == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                tab.xb[i] -= v * tab.t[i * n + j];
+            }
+        }
+        true
+    }
+
+    /// Reads the structural solution off the tableau and re-checks it
+    /// against the *original* bounds and rows — the warm path's defense
+    /// against accumulated elimination error. `None` means "don't trust
+    /// this tableau", which sends the caller to the cold path.
+    fn extract_checked(&self, p: &LpProblem<'_>, feas_tol: f64) -> Option<(Vec<f64>, f64)> {
+        let tol0 = feas_tol.max(1e-7);
+        let mut x = vec![0.0; p.ncols];
+        for (j, xv) in x.iter_mut().enumerate() {
+            *xv = self.tab.nonbasic_value(j);
+            let tol = tol0 * (1.0 + xv.abs());
+            if *xv < p.lb[j] - tol || *xv > p.ub[j] + tol {
+                return None;
+            }
+        }
+        for (terms, cmp, rhs) in p.rows {
+            let lhs: f64 = terms.iter().map(|&(j, a)| a * x[j]).sum();
+            let tol = tol0 * (1.0 + rhs.abs());
+            let ok = match cmp {
+                Cmp::Le => lhs <= rhs + tol,
+                Cmp::Ge => lhs >= rhs - tol,
+                Cmp::Eq => (lhs - rhs).abs() <= tol,
+            };
+            if !ok {
+                return None;
+            }
+        }
+        let obj = p.c.iter().zip(&x).map(|(c, v)| c * v).sum();
+        Some((x, obj))
+    }
+
+    /// The cold two-phase primal, building into this workspace's buffers.
+    fn solve_cold(&mut self, p: &LpProblem<'_>, cfg: &LpConfig) -> LpOutcome {
+        let m = p.rows.len();
+        let n_struct = p.ncols;
+        let n_slack = m;
+        let n = n_struct + n_slack + m; // + artificials
+        self.n_struct = n_struct;
+
+        let tab = &mut self.tab;
+        tab.m = m;
+        tab.n = n;
+        tab.iterations = 0;
+        tab.bland = false;
+
+        // Dense tableau of the original system (B = signed identity on
+        // artificials initially, folded in below).
+        tab.t.clear();
+        tab.t.resize(m * n, 0.0);
+        tab.lb.clear();
+        tab.ub.clear();
+        tab.lb.extend_from_slice(p.lb);
+        tab.ub.extend_from_slice(p.ub);
+        for (_, cmp, _) in p.rows {
+            match cmp {
+                Cmp::Le => {
+                    tab.lb.push(0.0);
+                    tab.ub.push(f64::INFINITY);
+                }
+                Cmp::Ge => {
+                    tab.lb.push(f64::NEG_INFINITY);
+                    tab.ub.push(0.0);
+                }
+                Cmp::Eq => {
+                    tab.lb.push(0.0);
+                    tab.ub.push(0.0);
+                }
+            }
+        }
+        tab.lb.resize(n, 0.0);
+        tab.ub.resize(n, f64::INFINITY);
+
+        tab.status.clear();
+        for j in 0..n_struct + n_slack {
+            tab.status.push(default_status(tab.lb[j], tab.ub[j]));
+        }
+        tab.status.resize(n, ColStatus::AtLower);
+
+        // Row data and initial residuals r_i = b_i - A_i · x_N.
+        tab.basis.clear();
+        tab.xb.clear();
+        for (i, (terms, _, rhs)) in p.rows.iter().enumerate() {
+            let mut residual = *rhs;
+            for &(j, a) in terms {
+                tab.t[i * n + j] = a;
+                let xj = match tab.status[j] {
+                    ColStatus::AtLower => tab.lb[j],
+                    ColStatus::AtUpper => tab.ub[j],
+                    _ => 0.0,
+                };
+                residual -= a * xj;
+            }
+            // slack column
+            let sj = n_struct + i;
+            tab.t[i * n + sj] = 1.0;
+            let s_val = match tab.status[sj] {
+                ColStatus::AtLower => tab.lb[sj],
+                ColStatus::AtUpper => tab.ub[sj],
+                _ => 0.0,
+            };
+            residual -= s_val;
+            // artificial column, signed so it starts basic and >= 0
+            let aj = n_struct + n_slack + i;
+            let sign = if residual >= 0.0 { 1.0 } else { -1.0 };
+            tab.t[i * n + aj] = sign;
+            // Fold B⁻¹ = diag(sign) into the tableau row immediately.
+            if sign < 0.0 {
+                for j in 0..n {
+                    tab.t[i * n + j] = -tab.t[i * n + j];
+                }
+            }
+            tab.basis.push(aj);
+            tab.status[aj] = ColStatus::Basic(i);
+            tab.xb.push(residual.abs());
+        }
+
+        let max_iters = 60 * (m + n) + 5_000;
+
+        // --- Phase 1: minimize the sum of artificials ------------------
+        self.cost.clear();
+        self.cost.resize(n, 0.0);
+        self.cost[n_struct + n_slack..n].fill(1.0);
+        let c1 = std::mem::take(&mut self.cost);
+        tab.d.clear();
+        tab.d.resize(n, 0.0);
+        tab.reprice(&c1);
+        self.cost = c1;
+        match tab.optimize(max_iters, cfg.deadline) {
+            OptimizeEnd::IterationCap => return LpOutcome::IterationLimit,
+            OptimizeEnd::TimedOut => return LpOutcome::TimedOut,
+            OptimizeEnd::Done(StepOutcome::Unbounded) => {
+                // Phase-1 objective is bounded below by 0; unboundedness here
+                // is numerical nonsense worth flagging loudly in debug builds.
+                debug_assert!(false, "phase 1 reported unbounded");
+                return LpOutcome::IterationLimit;
+            }
+            OptimizeEnd::Done(_) => {}
+        }
+        let phase1_obj: f64 = (0..m)
+            .filter(|&i| tab.basis[i] >= n_struct + n_slack)
+            .map(|i| tab.xb[i])
+            .sum();
+        if phase1_obj > cfg.feas_tol.max(1e-7) * (1.0 + phase1_obj.abs()) && phase1_obj > 1e-6 {
+            return LpOutcome::Infeasible;
+        }
+
+        // Fix artificials at zero so they can never re-enter or grow.
+        for j in n_struct + n_slack..n {
+            tab.lb[j] = 0.0;
+            tab.ub[j] = 0.0;
+            if let ColStatus::Basic(r) = tab.status[j] {
+                // Snap tiny residuals to exactly zero.
+                if tab.xb[r].abs() <= 1e-6 {
+                    tab.xb[r] = 0.0;
+                }
+            } else {
+                tab.status[j] = ColStatus::AtLower;
+            }
+        }
+
+        // --- Phase 2: the real objective -------------------------------
+        self.cost.clear();
+        self.cost.resize(n, 0.0);
+        self.cost[..n_struct].copy_from_slice(p.c);
+        let c2 = std::mem::take(&mut self.cost);
+        tab.reprice(&c2);
+        self.cost = c2;
+        tab.bland = false;
+        match tab.optimize(max_iters, cfg.deadline) {
+            OptimizeEnd::IterationCap => LpOutcome::IterationLimit,
+            OptimizeEnd::TimedOut => LpOutcome::TimedOut,
+            OptimizeEnd::Done(StepOutcome::Unbounded) => LpOutcome::Unbounded,
+            OptimizeEnd::Done(_) => {
+                let mut x = vec![0.0; n_struct];
+                for (j, xv) in x.iter_mut().enumerate() {
+                    *xv = tab.nonbasic_value(j);
+                }
+                let obj = p.c.iter().zip(&x).map(|(c, v)| c * v).sum();
+                LpOutcome::Optimal { x, obj }
+            }
+        }
+    }
+}
+
+/// Cold one-shot solve, kept as the test-suite entry point.
+#[cfg(test)]
 pub(crate) fn solve_lp(
     p: &LpProblem<'_>,
     feas_tol: f64,
     opt_tol: f64,
     deadline: Option<Instant>,
 ) -> LpOutcome {
-    let m = p.rows.len();
-    let n_struct = p.ncols;
-    let n_slack = m;
-    let n = n_struct + n_slack + m; // + artificials
-
-    // Dense tableau of the original system (B = signed identity on
-    // artificials initially, folded in below).
-    let mut t = vec![0.0; m * n];
-    let mut lb = Vec::with_capacity(n);
-    let mut ub = Vec::with_capacity(n);
-    lb.extend_from_slice(p.lb);
-    ub.extend_from_slice(p.ub);
-    for (_, cmp, _) in p.rows {
-        match cmp {
-            Cmp::Le => {
-                lb.push(0.0);
-                ub.push(f64::INFINITY);
-            }
-            Cmp::Ge => {
-                lb.push(f64::NEG_INFINITY);
-                ub.push(0.0);
-            }
-            Cmp::Eq => {
-                lb.push(0.0);
-                ub.push(0.0);
-            }
-        }
-    }
-    lb.resize(n, 0.0);
-    ub.resize(n, f64::INFINITY);
-
-    let mut status = Vec::with_capacity(n);
-    for j in 0..n_struct + n_slack {
-        status.push(if lb[j].is_finite() {
-            ColStatus::AtLower
-        } else if ub[j].is_finite() {
-            ColStatus::AtUpper
-        } else {
-            ColStatus::FreeAtZero
-        });
-    }
-    status.resize(n, ColStatus::AtLower);
-
-    // Row data and initial residuals r_i = b_i - A_i · x_N.
-    let mut basis = Vec::with_capacity(m);
-    let mut xb = Vec::with_capacity(m);
-    for (i, (terms, _, rhs)) in p.rows.iter().enumerate() {
-        let mut residual = *rhs;
-        for &(j, a) in terms {
-            t[i * n + j] = a;
-            let xj = match status[j] {
-                ColStatus::AtLower => lb[j],
-                ColStatus::AtUpper => ub[j],
-                _ => 0.0,
-            };
-            residual -= a * xj;
-        }
-        // slack column
-        let sj = n_struct + i;
-        t[i * n + sj] = 1.0;
-        let s_val = match status[sj] {
-            ColStatus::AtLower => lb[sj],
-            ColStatus::AtUpper => ub[sj],
-            _ => 0.0,
-        };
-        residual -= s_val;
-        // artificial column, signed so it starts basic and >= 0
-        let aj = n_struct + n_slack + i;
-        let sign = if residual >= 0.0 { 1.0 } else { -1.0 };
-        t[i * n + aj] = sign;
-        // Fold B⁻¹ = diag(sign) into the tableau row immediately.
-        if sign < 0.0 {
-            for j in 0..n {
-                t[i * n + j] = -t[i * n + j];
-            }
-        }
-        basis.push(aj);
-        status[aj] = ColStatus::Basic(i);
-        xb.push(residual.abs());
-    }
-
-    let mut tab = Tableau {
-        m,
-        n,
-        t,
-        d: vec![0.0; n],
-        xb,
-        basis,
-        status,
-        lb,
-        ub,
+    let cfg = LpConfig {
+        feas_tol,
         opt_tol,
-        iterations: 0,
-        bland: false,
+        deadline,
+        warm_pivot_cap: 0,
     };
-
-    let max_iters = 60 * (m + n) + 5_000;
-
-    // --- Phase 1: minimize the sum of artificials ----------------------
-    let mut c1 = vec![0.0; n];
-    c1[n_struct + n_slack..n].fill(1.0);
-    tab.reprice(&c1);
-    match tab.optimize(max_iters, deadline) {
-        OptimizeEnd::IterationCap => return LpOutcome::IterationLimit,
-        OptimizeEnd::TimedOut => return LpOutcome::TimedOut,
-        OptimizeEnd::Done(StepOutcome::Unbounded) => {
-            // Phase-1 objective is bounded below by 0; unboundedness here is
-            // numerical nonsense worth flagging loudly in debug builds.
-            debug_assert!(false, "phase 1 reported unbounded");
-            return LpOutcome::IterationLimit;
-        }
-        OptimizeEnd::Done(_) => {}
-    }
-    let phase1_obj: f64 = (0..m)
-        .filter(|&i| tab.basis[i] >= n_struct + n_slack)
-        .map(|i| tab.xb[i])
-        .sum();
-    if phase1_obj > feas_tol.max(1e-7) * (1.0 + phase1_obj.abs()) && phase1_obj > 1e-6 {
-        return LpOutcome::Infeasible;
-    }
-
-    // Fix artificials at zero so they can never re-enter or grow.
-    for j in n_struct + n_slack..n {
-        tab.lb[j] = 0.0;
-        tab.ub[j] = 0.0;
-        if let ColStatus::Basic(r) = tab.status[j] {
-            // Snap tiny residuals to exactly zero.
-            if tab.xb[r].abs() <= 1e-6 {
-                tab.xb[r] = 0.0;
-            }
-        } else {
-            tab.status[j] = ColStatus::AtLower;
-        }
-    }
-
-    // --- Phase 2: the real objective -----------------------------------
-    let mut c2 = vec![0.0; n];
-    c2[..n_struct].copy_from_slice(p.c);
-    tab.reprice(&c2);
-    tab.bland = false;
-    match tab.optimize(max_iters, deadline) {
-        OptimizeEnd::IterationCap => LpOutcome::IterationLimit,
-        OptimizeEnd::TimedOut => LpOutcome::TimedOut,
-        OptimizeEnd::Done(StepOutcome::Unbounded) => LpOutcome::Unbounded,
-        OptimizeEnd::Done(_) => {
-            let mut x = vec![0.0; n_struct];
-            for (j, xv) in x.iter_mut().enumerate() {
-                *xv = tab.nonbasic_value(j);
-            }
-            let obj = p.c.iter().zip(&x).map(|(c, v)| c * v).sum();
-            LpOutcome::Optimal {
-                x,
-                obj,
-                iterations: tab.iterations,
-            }
-        }
-    }
+    Workspace::new().solve(p, None, &cfg).0
 }
 
 #[cfg(test)]
@@ -515,13 +1151,22 @@ mod tests {
         (terms, Cmp::Eq, rhs)
     }
 
+    fn cfg() -> LpConfig {
+        LpConfig {
+            feas_tol: 1e-7,
+            opt_tol: 1e-9,
+            deadline: None,
+            warm_pivot_cap: 0,
+        }
+    }
+
     fn solve(p: &Owned) -> LpOutcome {
         solve_lp(&p.as_problem(), 1e-7, 1e-9, None)
     }
 
     fn optimal(p: &Owned) -> (Vec<f64>, f64) {
         match solve(p) {
-            LpOutcome::Optimal { x, obj, .. } => (x, obj),
+            LpOutcome::Optimal { x, obj } => (x, obj),
             other => panic!("expected optimal, got {other:?}"),
         }
     }
@@ -720,5 +1365,197 @@ mod tests {
         // xj can be 0 because the pair var absorbs the offset.
         assert!(obj.abs() < 1e-7);
         assert!(x[2] >= 0.1 - 1e-7);
+    }
+
+    // --- warm-start paths ---------------------------------------------
+
+    /// A small MILP-relaxation-shaped problem with a fractional optimum so
+    /// tightening a bound actually moves the solution.
+    fn branchy() -> Owned {
+        Owned {
+            ncols: 3,
+            rows: vec![
+                le(vec![(0, 3.0), (1, 5.0), (2, 4.0)], 10.0),
+                le(vec![(0, 2.0), (1, 1.0), (2, 3.0)], 6.0),
+                ge(vec![(0, 1.0), (1, 1.0), (2, 1.0)], 1.0),
+            ],
+            c: vec![-5.0, -4.0, -3.0],
+            lb: vec![0.0; 3],
+            ub: vec![1.0; 3],
+        }
+    }
+
+    fn expect_opt(out: &LpOutcome) -> (&[f64], f64) {
+        match out {
+            LpOutcome::Optimal { x, obj } => (x, *obj),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hot_warm_start_matches_cold_after_tightening() {
+        let mut p = branchy();
+        let mut ws = Workspace::new();
+        let (out, info) = ws.solve(&p.as_problem(), None, &cfg());
+        expect_opt(&out);
+        assert!(!info.warm);
+        let snap = ws.snapshot();
+
+        // Branch x1 down to 0, then up to 1, reusing the same workspace.
+        for (lo, hi) in [(0.0, 0.0), (1.0, 1.0)] {
+            p.lb[1] = lo;
+            p.ub[1] = hi;
+            let (warm_out, warm_info) = ws.solve(&p.as_problem(), Some(&snap), &cfg());
+            let (wx, wobj) = expect_opt(&warm_out);
+            assert!(warm_info.warm, "expected the warm path for ({lo},{hi})");
+            let (cx, cobj) = optimal(&p);
+            assert!(
+                (wobj - cobj).abs() <= 1e-9 * (1.0 + cobj.abs()),
+                "warm {wobj} vs cold {cobj}"
+            );
+            for (a, b) in wx.iter().zip(&cx) {
+                assert!((a - b).abs() < 1e-6, "warm x {wx:?} vs cold {cx:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn refactorized_warm_start_from_foreign_workspace() {
+        let mut p = branchy();
+        let mut ws1 = Workspace::new();
+        let (out, _) = ws1.solve(&p.as_problem(), None, &cfg());
+        expect_opt(&out);
+        let snap = ws1.snapshot();
+
+        // A different workspace never saw this tableau: must refactorize.
+        p.ub[0] = 0.0;
+        let mut ws2 = Workspace::new();
+        let (warm_out, warm_info) = ws2.solve(&p.as_problem(), Some(&snap), &cfg());
+        let (_, wobj) = expect_opt(&warm_out);
+        assert!(warm_info.warm);
+        let (_, cobj) = optimal(&p);
+        assert!((wobj - cobj).abs() <= 1e-9 * (1.0 + cobj.abs()));
+    }
+
+    #[test]
+    fn dimension_mismatch_falls_back_cold() {
+        let p = branchy();
+        let mut ws = Workspace::new();
+        ws.solve(&p.as_problem(), None, &cfg());
+        let snap = ws.snapshot();
+
+        // A different problem shape must ignore the snapshot entirely.
+        let q = Owned {
+            ncols: 2,
+            rows: vec![le(vec![(0, 1.0), (1, 1.0)], 4.0)],
+            c: vec![-3.0, -2.0],
+            lb: vec![0.0, 0.0],
+            ub: vec![f64::INFINITY, f64::INFINITY],
+        };
+        let (out, info) = ws.solve(&q.as_problem(), Some(&snap), &cfg());
+        expect_opt(&out);
+        assert!(!info.warm);
+    }
+
+    #[test]
+    fn warm_start_with_redundant_equality_basis() {
+        // The snapshot keeps an artificial basic on the redundant row;
+        // refactorization must re-admit it as a plain unit column.
+        let mut p = Owned {
+            ncols: 2,
+            rows: vec![
+                eq(vec![(0, 1.0), (1, 1.0)], 2.0),
+                eq(vec![(0, 1.0), (1, 1.0)], 2.0),
+            ],
+            c: vec![1.0, 2.0],
+            lb: vec![0.0, 0.0],
+            ub: vec![2.0, 2.0],
+        };
+        let mut ws = Workspace::new();
+        let (out, _) = ws.solve(&p.as_problem(), None, &cfg());
+        expect_opt(&out);
+        let snap = ws.snapshot();
+
+        p.ub[0] = 0.5; // force x1 = 1.5
+        let (warm_out, info) = ws.solve(&p.as_problem(), Some(&snap), &cfg());
+        let (x, obj) = expect_opt(&warm_out);
+        assert!(info.warm);
+        assert!((x[0] - 0.5).abs() < 1e-6);
+        assert!((obj - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tiny_pivot_cap_forces_cold_fallback() {
+        let mut p = branchy();
+        let mut ws = Workspace::new();
+        let mut c = cfg();
+        ws.solve(&p.as_problem(), None, &c);
+        let snap = ws.snapshot();
+
+        p.ub[1] = 0.0;
+        p.lb[2] = 1.0;
+        c.warm_pivot_cap = 1; // starve the dual loop so it caps out
+        let (out, info) = ws.solve(&p.as_problem(), Some(&snap), &c);
+        let (_, wobj) = expect_opt(&out);
+        let (_, cobj) = optimal(&p);
+        assert!((wobj - cobj).abs() <= 1e-9 * (1.0 + cobj.abs()));
+        // Either the dual finished within one pivot (warm) or it fell back
+        // cold; both must be correct, and a cap must never error out.
+        let _ = info;
+    }
+
+    #[test]
+    fn warm_infeasible_child_is_certified_or_cold_confirmed() {
+        // Tighten bounds until the >= 1 row is unsatisfiable. Both valid
+        // endings: the stuck dual row certifies infeasibility warm (every
+        // helpful column is boxed to zero width), or the claim fails the
+        // certificate and a cold solve confirms it. Either way the outcome
+        // must be `Infeasible` — never a bogus optimum.
+        let mut p = Owned {
+            ncols: 2,
+            rows: vec![ge(vec![(0, 1.0), (1, 1.0)], 1.5)],
+            c: vec![1.0, 1.0],
+            lb: vec![0.0, 0.0],
+            ub: vec![1.0, 1.0],
+        };
+        let mut ws = Workspace::new();
+        let (out, _) = ws.solve(&p.as_problem(), None, &cfg());
+        expect_opt(&out);
+        let snap = ws.snapshot();
+
+        p.ub[0] = 0.0;
+        p.ub[1] = 0.0;
+        let (out, _info) = ws.solve(&p.as_problem(), Some(&snap), &cfg());
+        assert!(matches!(out, LpOutcome::Infeasible), "got {out:?}");
+    }
+
+    #[test]
+    fn infeasibility_certificate_respects_unbounded_columns() {
+        // x in [2, 3] must equal the free variable y (y unbounded below
+        // via two Ge rows): feasible, but a narrow warm box might tempt a
+        // sloppy certificate. The solve must find the optimum, not claim
+        // infeasibility.
+        let mut p = Owned {
+            ncols: 2,
+            rows: vec![
+                ge(vec![(0, 1.0), (1, -1.0)], 0.0),
+                ge(vec![(0, -1.0), (1, 1.0)], 0.0),
+            ],
+            c: vec![1.0, 0.0],
+            lb: vec![0.0, f64::NEG_INFINITY],
+            ub: vec![5.0, f64::INFINITY],
+        };
+        let mut ws = Workspace::new();
+        let (out, _) = ws.solve(&p.as_problem(), None, &cfg());
+        expect_opt(&out);
+        let snap = ws.snapshot();
+
+        p.lb[0] = 2.0;
+        p.ub[0] = 3.0;
+        let (out, _) = ws.solve(&p.as_problem(), Some(&snap), &cfg());
+        let LpOutcome::Optimal { obj, .. } = out else {
+            panic!("feasible child judged {out:?}");
+        };
+        assert!((obj - 2.0).abs() < 1e-6, "obj {obj}");
     }
 }

@@ -25,6 +25,10 @@ pub struct ThreadStats {
     pub nodes: usize,
     /// Simplex pivots this worker performed.
     pub simplex_iterations: usize,
+    /// Nodes solved warm (dual simplex from the parent's basis).
+    pub warm_nodes: usize,
+    /// Nodes solved cold (two-phase primal), including warm fallbacks.
+    pub cold_nodes: usize,
 }
 
 /// Search statistics reported alongside a [`Solution`].
@@ -34,6 +38,13 @@ pub struct SolveStats {
     pub nodes: usize,
     /// Total simplex pivots across all nodes.
     pub simplex_iterations: usize,
+    /// Nodes whose LP was solved warm from the parent's basis. The root is
+    /// always cold, so `warm_nodes + cold_nodes == nodes` with
+    /// `cold_nodes >= 1` on any solve that reached the root LP.
+    pub warm_nodes: usize,
+    /// Nodes solved by the cold two-phase primal (including warm attempts
+    /// that fell back on numerical trouble).
+    pub cold_nodes: usize,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
     /// Worker threads the search ran on (`1` for a serial solve).

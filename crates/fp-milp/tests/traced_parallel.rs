@@ -47,6 +47,28 @@ fn solve_and_check(m: &Model, threads: usize, label: &str) -> f64 {
         "{label} t{threads}: BnbNode count vs stats.nodes"
     );
 
+    // Per-node pivots are counted on every outcome path (wasted warm
+    // pivots included), so they must sum to the stats total, and the
+    // per-node warm flags must sum to the stats warm count.
+    let (mut pivot_sum, mut warm_sum) = (0u64, 0usize);
+    for r in collector.of_kind(EventKind::BnbNode) {
+        let Event::BnbNode { warm, pivots, .. } = r.event else {
+            unreachable!("of_kind returned a non-BnbNode record");
+        };
+        pivot_sum += pivots;
+        warm_sum += usize::from(warm);
+    }
+    assert_eq!(
+        pivot_sum,
+        sol.stats().simplex_iterations as u64,
+        "{label} t{threads}: BnbNode pivot sum vs stats.simplex_iterations"
+    );
+    assert_eq!(
+        warm_sum,
+        sol.stats().warm_nodes,
+        "{label} t{threads}: BnbNode warm flags vs stats.warm_nodes"
+    );
+
     // SolveEnd carries the same totals the stats report.
     let ends = collector.of_kind(EventKind::SolveEnd);
     let Event::SolveEnd {

@@ -74,10 +74,16 @@ pub enum Event {
         /// Relaxation objective in the model's own sense.
         objective: f64,
     },
-    /// One branch-and-bound node was claimed for expansion.
+    /// One branch-and-bound node was claimed and its LP relaxation solved.
     BnbNode {
         /// Depth of the node in the search tree (root = 0).
         depth: usize,
+        /// Whether the node's LP was warm-started from the parent's basis
+        /// (dual simplex) rather than solved by the cold two-phase primal.
+        warm: bool,
+        /// Simplex pivots spent on this node's LP, wasted warm pivots
+        /// included on cold fallbacks.
+        pivots: u64,
     },
     /// A new incumbent was installed. Within one solve these are emitted
     /// in improvement order, so the objective sequence is monotone
@@ -366,7 +372,15 @@ impl Record {
                 field("constraints", constraints.to_string());
             }
             Event::RootLp { objective } => field("objective", jnum(*objective)),
-            Event::BnbNode { depth } => field("depth", depth.to_string()),
+            Event::BnbNode {
+                depth,
+                warm,
+                pivots,
+            } => {
+                field("depth", depth.to_string());
+                field("warm", warm.to_string());
+                field("pivots", pivots.to_string());
+            }
             Event::Incumbent { objective } => field("objective", jnum(*objective)),
             Event::SolveEnd {
                 nodes,

@@ -108,6 +108,15 @@ impl ParsedRecord {
             _ => None,
         }
     }
+
+    /// The boolean value of `key`, if present and a boolean.
+    #[must_use]
+    pub fn bool_field(&self, key: &str) -> Option<bool> {
+        match self.get(key) {
+            Some(JsonValue::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 struct Cursor<'a> {
@@ -273,7 +282,9 @@ pub fn parse_line(line: &str) -> Result<ParsedRecord, String> {
 }
 
 /// Parses `line` and checks the trace schema: a numeric `seq`, a string
-/// `phase` and a string `event` field must be present.
+/// `phase` and a string `event` field must be present. `BnbNode` lines
+/// additionally carry a numeric `depth`, a boolean `warm` and a numeric
+/// `pivots` (the warm-start coverage fields downstream tooling keys on).
 ///
 /// # Errors
 ///
@@ -286,6 +297,16 @@ pub fn validate_line(line: &str) -> Result<ParsedRecord, String> {
     for key in ["phase", "event"] {
         if parsed.str_field(key).is_none() {
             return Err(format!("missing string '{key}' field"));
+        }
+    }
+    if parsed.str_field("event") == Some("BnbNode") {
+        for key in ["depth", "pivots"] {
+            if parsed.num(key).is_none() {
+                return Err(format!("BnbNode: missing numeric '{key}' field"));
+            }
+        }
+        if parsed.bool_field("warm").is_none() {
+            return Err("BnbNode: missing boolean 'warm' field".to_string());
         }
     }
     Ok(parsed)
@@ -324,7 +345,14 @@ mod tests {
             },
         );
         t.emit(Phase::Solver, Event::RootLp { objective: -3.25 });
-        t.emit(Phase::Solver, Event::BnbNode { depth: 2 });
+        t.emit(
+            Phase::Solver,
+            Event::BnbNode {
+                depth: 2,
+                warm: true,
+                pivots: 7,
+            },
+        );
         t.emit(Phase::Solver, Event::Incumbent { objective: 7.0 });
         t.emit(
             Phase::Solver,
@@ -434,6 +462,23 @@ mod tests {
     }
 
     #[test]
+    fn bnb_node_lines_require_warm_start_fields() {
+        let ok = "{\"seq\":0,\"phase\":\"solver\",\"event\":\"BnbNode\",\
+                  \"depth\":1,\"warm\":true,\"pivots\":4}";
+        let parsed = validate_line(ok).unwrap();
+        assert_eq!(parsed.bool_field("warm"), Some(true));
+        assert_eq!(parsed.num("pivots"), Some(4.0));
+        // Missing warm, non-boolean warm, missing pivots: all rejected.
+        for bad in [
+            "{\"seq\":0,\"phase\":\"s\",\"event\":\"BnbNode\",\"depth\":1,\"pivots\":4}",
+            "{\"seq\":0,\"phase\":\"s\",\"event\":\"BnbNode\",\"depth\":1,\"warm\":1,\"pivots\":4}",
+            "{\"seq\":0,\"phase\":\"s\",\"event\":\"BnbNode\",\"depth\":1,\"warm\":false}",
+        ] {
+            assert!(validate_line(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
     fn parser_accepts_scalars() {
         let p =
             parse_line("{\"a\": null, \"b\": false, \"c\": -1.5e2, \"d\": \"x\\\"y\"}").unwrap();
@@ -453,7 +498,14 @@ mod tests {
         let path = dir.join(format!("trace_{}.jsonl", std::process::id()));
         {
             let t = Tracer::new(JsonlSink::create(&path).unwrap());
-            t.emit(Phase::Solver, Event::BnbNode { depth: 0 });
+            t.emit(
+                Phase::Solver,
+                Event::BnbNode {
+                    depth: 0,
+                    warm: false,
+                    pivots: 0,
+                },
+            );
             t.flush();
         }
         let text = std::fs::read_to_string(&path).unwrap();

@@ -27,7 +27,7 @@
 //!
 //! let collector = Collector::new();
 //! let tracer = Tracer::new(collector.clone());
-//! tracer.emit(Phase::Solver, Event::BnbNode { depth: 0 });
+//! tracer.emit(Phase::Solver, Event::BnbNode { depth: 0, warm: false, pivots: 0 });
 //! tracer.emit(Phase::Solver, Event::Incumbent { objective: 42.0 });
 //! assert_eq!(tracer.count(EventKind::BnbNode), 1);
 //! let records = collector.records();
@@ -36,7 +36,7 @@
 //!
 //! // Disabled tracing emits nothing and costs one Option check.
 //! let off = Tracer::disabled();
-//! off.emit(Phase::Solver, Event::BnbNode { depth: 9 });
+//! off.emit(Phase::Solver, Event::BnbNode { depth: 9, warm: false, pivots: 0 });
 //! assert_eq!(off.count(EventKind::BnbNode), 0);
 //! ```
 
@@ -219,7 +219,14 @@ mod tests {
     fn disabled_tracer_is_inert() {
         let t = Tracer::disabled();
         assert!(!t.is_enabled());
-        t.emit(Phase::Solver, Event::BnbNode { depth: 1 });
+        t.emit(
+            Phase::Solver,
+            Event::BnbNode {
+                depth: 1,
+                warm: false,
+                pivots: 0,
+            },
+        );
         drop(t.span(Phase::Augment, "noop"));
         assert_eq!(t.total_events(), 0);
         for kind in EventKind::ALL {
@@ -233,7 +240,14 @@ mod tests {
         let collector = Collector::new();
         let t = Tracer::new(collector.clone());
         for d in 0..5 {
-            t.emit(Phase::Solver, Event::BnbNode { depth: d });
+            t.emit(
+                Phase::Solver,
+                Event::BnbNode {
+                    depth: d,
+                    warm: false,
+                    pivots: 0,
+                },
+            );
         }
         let records = collector.records();
         let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
@@ -248,8 +262,22 @@ mod tests {
         let collector = Collector::new();
         let a = Tracer::new(collector.clone());
         let b = a.clone();
-        a.emit(Phase::Solver, Event::BnbNode { depth: 0 });
-        b.emit(Phase::Solver, Event::BnbNode { depth: 1 });
+        a.emit(
+            Phase::Solver,
+            Event::BnbNode {
+                depth: 0,
+                warm: false,
+                pivots: 0,
+            },
+        );
+        b.emit(
+            Phase::Solver,
+            Event::BnbNode {
+                depth: 1,
+                warm: false,
+                pivots: 0,
+            },
+        );
         assert_eq!(a.count(EventKind::BnbNode), 2);
         assert_eq!(collector.records().len(), 2);
         assert_eq!(a, b);
@@ -282,7 +310,14 @@ mod tests {
                 let t = t.clone();
                 s.spawn(move || {
                     for d in 0..100 {
-                        t.emit(Phase::Solver, Event::BnbNode { depth: d });
+                        t.emit(
+                            Phase::Solver,
+                            Event::BnbNode {
+                                depth: d,
+                                warm: false,
+                                pivots: 0,
+                            },
+                        );
                     }
                 });
             }

@@ -146,9 +146,23 @@ mod tests {
     fn collector_filters_by_kind() {
         let c = Collector::new();
         let t = Tracer::new(c.clone());
-        t.emit(Phase::Solver, Event::BnbNode { depth: 0 });
+        t.emit(
+            Phase::Solver,
+            Event::BnbNode {
+                depth: 0,
+                warm: false,
+                pivots: 0,
+            },
+        );
         t.emit(Phase::Solver, Event::Incumbent { objective: 1.0 });
-        t.emit(Phase::Solver, Event::BnbNode { depth: 1 });
+        t.emit(
+            Phase::Solver,
+            Event::BnbNode {
+                depth: 1,
+                warm: false,
+                pivots: 0,
+            },
+        );
         assert_eq!(c.len(), 3);
         assert!(!c.is_empty());
         assert_eq!(c.count_of(EventKind::BnbNode), 2);
@@ -171,7 +185,14 @@ mod tests {
     #[test]
     fn null_sink_accepts_everything() {
         let t = Tracer::new(NullSink);
-        t.emit(Phase::Solver, Event::BnbNode { depth: 0 });
+        t.emit(
+            Phase::Solver,
+            Event::BnbNode {
+                depth: 0,
+                warm: false,
+                pivots: 0,
+            },
+        );
         assert_eq!(t.count(EventKind::BnbNode), 1); // counters still work
         t.flush();
     }

@@ -14,6 +14,8 @@ pub fn render_summary(records: &[Record]) -> String {
     let mut solver_nodes = 0usize;
     let mut simplex = 0usize;
     let mut incumbents = 0usize;
+    let mut bnb_nodes = 0usize;
+    let mut warm_bnb = 0usize;
 
     let mut steps = 0usize;
     let mut optimal = 0usize;
@@ -52,6 +54,10 @@ pub fn render_summary(records: &[Record]) -> String {
                 proven += usize::from(*p);
             }
             Event::Incumbent { .. } => incumbents += 1,
+            Event::BnbNode { warm, .. } => {
+                bnb_nodes += 1;
+                warm_bnb += usize::from(*warm);
+            }
             Event::AugmentStep {
                 binaries,
                 nodes,
@@ -112,10 +118,18 @@ pub fn render_summary(records: &[Record]) -> String {
     let mut out = String::new();
     out.push_str(&format!("trace summary: {} events\n", records.len()));
     if solves > 0 {
+        // Node-level records are optional (summaries are also rendered from
+        // streams that only carry solve boundaries), so the warm-start
+        // rollup only appears when BnbNode events are present.
+        let warm = if bnb_nodes > 0 {
+            format!(", {warm_bnb}/{bnb_nodes} warm node solves")
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
             "  solver:  {solves} solves ({proven} proven optimal), \
              {solver_nodes} nodes, {simplex} simplex iterations, \
-             {incumbents} incumbent updates\n"
+             {incumbents} incumbent updates{warm}\n"
         ));
     }
     if steps > 0 {
@@ -255,6 +269,58 @@ mod tests {
     fn empty_trace_summarizes_to_header_only() {
         let text = render_summary(&[]);
         assert_eq!(text, "trace summary: 0 events\n");
+    }
+
+    #[test]
+    fn warm_node_rollup_appears_with_bnb_records() {
+        let records = vec![
+            rec(
+                0,
+                Phase::Solver,
+                Event::SolveStart {
+                    binaries: 4,
+                    constraints: 9,
+                },
+            ),
+            rec(
+                1,
+                Phase::Solver,
+                Event::BnbNode {
+                    depth: 0,
+                    warm: false,
+                    pivots: 12,
+                },
+            ),
+            rec(
+                2,
+                Phase::Solver,
+                Event::BnbNode {
+                    depth: 1,
+                    warm: true,
+                    pivots: 2,
+                },
+            ),
+            rec(
+                3,
+                Phase::Solver,
+                Event::BnbNode {
+                    depth: 1,
+                    warm: true,
+                    pivots: 3,
+                },
+            ),
+            rec(
+                4,
+                Phase::Solver,
+                Event::SolveEnd {
+                    nodes: 3,
+                    simplex_iterations: 17,
+                    proven: true,
+                },
+            ),
+        ];
+        let text = render_summary(&records);
+        assert!(text.contains("2/3 warm node solves"), "{text}");
     }
 
     #[test]

@@ -9,7 +9,7 @@ use fp_obs::{Event, Phase, Tracer};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -86,6 +86,30 @@ impl ServeConfig {
     }
 }
 
+/// Engine-wide branch-and-bound node counters, split by how each node's LP
+/// relaxation was solved (warm dual-simplex restart vs. cold two-phase).
+/// Relaxed ordering suffices: these are monotone telemetry counters, never
+/// used for synchronization.
+#[derive(Debug, Default)]
+struct SolverCounters {
+    warm: AtomicU64,
+    cold: AtomicU64,
+}
+
+impl SolverCounters {
+    fn record(&self, warm: usize, cold: usize) {
+        self.warm.fetch_add(warm as u64, Ordering::Relaxed);
+        self.cold.fetch_add(cold as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> (u64, u64) {
+        (
+            self.warm.load(Ordering::Relaxed),
+            self.cold.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// One queued job: the request, when it was submitted (deadlines count the
 /// queue wait), and where the answer goes.
 struct Job {
@@ -100,6 +124,7 @@ struct Job {
 pub struct Engine {
     queue: Arc<Bounded<Job>>,
     cache: Arc<SolutionCache>,
+    solver: Arc<SolverCounters>,
     tracer: Tracer,
     workers: Vec<JoinHandle<()>>,
 }
@@ -110,14 +135,16 @@ impl Engine {
     pub fn start(config: ServeConfig) -> Self {
         let queue: Arc<Bounded<Job>> = Arc::new(Bounded::new(config.queue_capacity));
         let cache = Arc::new(SolutionCache::new(config.cache_capacity));
+        let solver = Arc::new(SolverCounters::default());
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let queue = Arc::clone(&queue);
                 let cache = Arc::clone(&cache);
+                let solver = Arc::clone(&solver);
                 let config = config.clone();
                 std::thread::spawn(move || {
                     while let Some(job) = queue.pop() {
-                        let resp = process(&job.req, job.submitted, &cache, &config);
+                        let resp = process(&job.req, job.submitted, &cache, &solver, &config);
                         // A gone receiver (client hung up) is not an error.
                         let _ = job.reply.send(resp);
                     }
@@ -127,6 +154,7 @@ impl Engine {
         Engine {
             queue,
             cache,
+            solver,
             tracer: config.tracer,
             workers,
         }
@@ -144,6 +172,15 @@ impl Engine {
     #[must_use]
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.stats()
+    }
+
+    /// `(warm, cold)` branch-and-bound node counts accumulated over every
+    /// augmentation pipeline this engine has run. Warm nodes reused the
+    /// parent's simplex basis; cold nodes ran the two-phase primal from
+    /// scratch (the root of every solve is always cold).
+    #[must_use]
+    pub fn solver_stats(&self) -> (u64, u64) {
+        self.solver.snapshot()
     }
 
     /// Closes the queue, drains every accepted job, joins the workers and
@@ -218,6 +255,7 @@ fn process(
     req: &JobRequest,
     submitted: Instant,
     cache: &SolutionCache,
+    solver: &SolverCounters,
     config: &ServeConfig,
 ) -> JobResponse {
     let tracer = &config.tracer;
@@ -306,6 +344,7 @@ fn process(
         match Floorplanner::with_config(&netlist, fp_config.clone()).run() {
             Ok(result) => {
                 degraded |= result.stats.greedy_fallbacks() > 0;
+                solver.record(result.stats.warm_nodes(), result.stats.cold_nodes());
                 let mut fp = result.floorplan;
                 if config.improve_rounds > 0 && !expired(Instant::now()) {
                     // Improvement is best-effort: keep the augmented
@@ -447,6 +486,12 @@ impl Server {
     #[must_use]
     pub fn cache_stats(&self) -> (u64, u64) {
         self.engine.as_ref().map_or((0, 0), Engine::cache_stats)
+    }
+
+    /// `(warm, cold)` branch-and-bound node counts of the engine's solver.
+    #[must_use]
+    pub fn solver_stats(&self) -> (u64, u64) {
+        self.engine.as_ref().map_or((0, 0), Engine::solver_stats)
     }
 
     /// Blocks until the acceptor exits (it only exits on shutdown or a

@@ -154,7 +154,7 @@ fn huge_deadline_does_not_kill_workers() {
 fn cache_answers_second_identical_job() {
     let collector = Collector::new();
     let tracer = Tracer::new(collector.clone());
-    let (first, second, stats, counts) = with_watchdog(move || {
+    let (first, second, stats, counts, solver) = with_watchdog(move || {
         let engine = Engine::start(tiny_config().with_workers(2).with_tracer(tracer.clone()));
         let client = engine.client();
         let nl = ProblemGenerator::new(5, 21).generate();
@@ -165,8 +165,9 @@ fn cache_answers_second_identical_job() {
             tracer.count(EventKind::CacheMiss),
             tracer.count(EventKind::CacheHit),
         );
+        let solver = engine.solver_stats();
         engine.shutdown();
-        (first, second, stats, counts)
+        (first, second, stats, counts, solver)
     });
 
     assert!(first.ok && second.ok);
@@ -177,6 +178,13 @@ fn cache_answers_second_identical_job() {
     assert_eq!(first.area, second.area);
     assert_eq!(stats, (1, 1));
     assert_eq!(counts, (1, 1), "trace events mirror the counters");
+    // Exactly one job actually solved (the second came from the cache),
+    // and every solve roots at a cold node.
+    let (warm, cold) = solver;
+    assert!(
+        cold >= 1,
+        "the uncached job must have run at least one cold (root) node, got ({warm}, {cold})"
+    );
     // The collected records contain the serve events with matching kinds.
     let records = collector.records();
     let hits = records

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_MILP.json: warm-start vs cold branch-and-bound node
+# throughput on the seeded MILP instance set (see
+# crates/fp-bench/src/bin/milp_snapshot.rs for the methodology).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+out="${1:-BENCH_MILP.json}"
+
+cargo run --release -q -p fp-bench --bin milp_snapshot -- "$out"

@@ -17,6 +17,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== cargo bench --no-run (benches must keep compiling)"
+cargo bench --workspace --no-run -q
+
 # Observability: an end-to-end traced run must produce schema-valid JSONL
 # (each line parses as a flat object carrying numeric `seq` plus string
 # `phase`/`event`) and a non-empty per-phase summary. The trace suites
@@ -33,6 +36,12 @@ cargo run --release -q -p fp-obs --example validate_trace -- "$trace_file"
 # (the debug-build equivalent pin lives in fp-core's trace_regression).
 grep -q "0 greedy fallback" "$summary_file" \
     || { echo "check.sh: ami33 run reported greedy fallbacks"; exit 1; }
+# Warm-start smoke: the branch-and-bound trees behind an ami33 run are
+# deep enough that at least one node must have reused its parent basis.
+# All-cold means the warm path silently stopped engaging (the ratio pin
+# lives in fp-core's trace_regression).
+grep -q '"warm":true' "$trace_file" \
+    || { echo "check.sh: ami33 trace has no warm node solves"; exit 1; }
 
 # Service smoke: bring up `floorplan serve` on an ephemeral port, drive it
 # with the `load` generator over a repeated instance, and require (a) every
