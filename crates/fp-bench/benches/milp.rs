@@ -139,6 +139,38 @@ fn bench_warm_start(c: &mut Criterion) {
     group.finish();
 }
 
+/// Model strengthening on vs off on the same trees: probing presolve,
+/// coefficient tightening and root cuts shrink the tree before the first
+/// branch, so the `on` rows should win end-to-end wherever the instances
+/// carry big-M structure (the placement models), serial and parallel.
+fn bench_strengthen(c: &mut Criterion) {
+    let nthreads = std::thread::available_parallelism().map_or(2, |n| n.get().max(2));
+    let mut group = c.benchmark_group("strengthen");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(12));
+    let cases: Vec<(&str, Model)> = vec![
+        ("knapsack22", knapsack(22, 3)),
+        ("placement4", placement_milp(4)),
+        ("placement5", placement_milp(5)),
+    ];
+    for (name, model) in &cases {
+        for &threads in &[1usize, nthreads] {
+            for (mode, on) in [("off", false), ("on", true)] {
+                let opts = SolveOptions::default()
+                    .with_node_limit(50_000)
+                    .with_threads(threads)
+                    .with_strengthen(on);
+                group.bench_with_input(
+                    BenchmarkId::new(*name, format!("{mode}_threads_{threads}")),
+                    model,
+                    |b, m| b.iter(|| m.solve_with(&opts).expect("feasible by construction")),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_simplex,
@@ -146,6 +178,7 @@ criterion_group!(
     bench_placement_milp,
     bench_parallel_scaling,
     bench_trace_overhead,
-    bench_warm_start
+    bench_warm_start,
+    bench_strengthen
 );
 criterion_main!(benches);

@@ -1,12 +1,21 @@
-//! Writes `BENCH_MILP.json`: warm-start vs cold node throughput on the
-//! seeded MILP instance set.
+//! Writes `BENCH_MILP.json`: warm-start and model-strengthening impact on
+//! the seeded MILP instance set.
 //!
 //! Usage: `milp_snapshot [OUT_PATH]` (default `BENCH_MILP.json`). For each
-//! instance the solve runs serially, cold (`with_warm_start(false)`) and
-//! warm (default), three repetitions each; the reported elapsed time is
-//! the median repetition. Node throughput is `nodes / median elapsed`;
-//! the headline `median_node_throughput_speedup` is the median over
-//! instances of `warm throughput / cold throughput`.
+//! instance the solve runs serially under four configurations, three
+//! repetitions each (the reported elapsed time is the median repetition):
+//!
+//! * `cold` / `warm` — warm-start off vs on (strengthening at its default)
+//!   for the node-throughput comparison; the headline
+//!   `median_node_throughput_speedup` is the median over instances of
+//!   `warm throughput / cold throughput`.
+//! * `strengthen.off` / `strengthen.on` — probing presolve, coefficient
+//!   tightening and root cuts off vs on (warm starts at their default).
+//!   Per instance the snapshot records `node_reduction`
+//!   (`nodes_off / nodes_on` — how much smaller the tree got) and
+//!   `speedup` (`elapsed_off / elapsed_on` — the end-to-end win), with
+//!   medians `median_strengthen_node_reduction` and
+//!   `median_strengthen_speedup` as headlines.
 
 use fp_bench::instances::seeded_set;
 use fp_milp::SolveOptions;
@@ -21,6 +30,9 @@ struct Measured {
     pivots: usize,
     warm_nodes: usize,
     cold_nodes: usize,
+    rows_tightened: usize,
+    binaries_fixed: usize,
+    cuts_added: usize,
     objective: f64,
 }
 
@@ -37,6 +49,9 @@ fn measure(model: &fp_milp::Model, opts: &SolveOptions) -> Measured {
                 pivots: stats.simplex_iterations,
                 warm_nodes: stats.warm_nodes,
                 cold_nodes: stats.cold_nodes,
+                rows_tightened: stats.rows_tightened,
+                binaries_fixed: stats.binaries_fixed,
+                cuts_added: stats.cuts_added,
                 objective: sol.objective(),
             }
         })
@@ -53,6 +68,13 @@ fn median(values: &mut [f64]) -> f64 {
     values[values.len() / 2]
 }
 
+fn agree(name: &str, what: &str, a: f64, b: f64) {
+    assert!(
+        (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+        "{name}: {what} objective {b} != {a}"
+    );
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -61,22 +83,30 @@ fn main() {
         .with_node_limit(200_000)
         .with_warm_start(false);
     let warm_opts = SolveOptions::default().with_node_limit(200_000);
+    let off_opts = SolveOptions::default()
+        .with_node_limit(200_000)
+        .with_strengthen(false);
 
     let mut rows = String::new();
     let mut speedups = Vec::new();
+    let mut node_reductions = Vec::new();
+    let mut strengthen_speedups = Vec::new();
     for (i, (name, model)) in seeded_set().into_iter().enumerate() {
         let cold = measure(&model, &cold_opts);
         let warm = measure(&model, &warm_opts);
-        assert!(
-            (cold.objective - warm.objective).abs() <= 1e-9 * (1.0 + cold.objective.abs()),
-            "{name}: warm objective {} != cold {}",
-            warm.objective,
-            cold.objective
-        );
+        let off = measure(&model, &off_opts);
+        agree(&name, "warm", cold.objective, warm.objective);
+        agree(&name, "strengthen-off", cold.objective, off.objective);
         let cold_tp = cold.nodes as f64 / cold.elapsed_s.max(1e-12);
         let warm_tp = warm.nodes as f64 / warm.elapsed_s.max(1e-12);
         let speedup = warm_tp / cold_tp.max(1e-12);
         speedups.push(speedup);
+        // `warm` is the strengthen-on leg: both legs keep warm starts at
+        // their default so the comparison isolates the strengthening layer.
+        let node_reduction = off.nodes as f64 / (warm.nodes as f64).max(1.0);
+        let strengthen_speedup = off.elapsed_s / warm.elapsed_s.max(1e-12);
+        node_reductions.push(node_reduction);
+        strengthen_speedups.push(strengthen_speedup);
         if i > 0 {
             rows.push_str(",\n");
         }
@@ -87,7 +117,13 @@ fn main() {
              \"nodes_per_s\": {:.1}}}, \
              \"warm\": {{\"elapsed_s\": {:.6}, \"nodes\": {}, \"pivots\": {}, \
              \"warm_nodes\": {}, \"cold_nodes\": {}, \"nodes_per_s\": {:.1}}}, \
-             \"node_throughput_speedup\": {:.3}}}",
+             \"node_throughput_speedup\": {:.3}, \
+             \"strengthen\": {{\
+             \"off\": {{\"elapsed_s\": {:.6}, \"nodes\": {}, \"pivots\": {}}}, \
+             \"on\": {{\"elapsed_s\": {:.6}, \"nodes\": {}, \"pivots\": {}, \
+             \"rows_tightened\": {}, \"binaries_fixed\": {}, \
+             \"cuts_added\": {}}}, \
+             \"node_reduction\": {:.3}, \"speedup\": {:.3}}}}}",
             cold.elapsed_s,
             cold.nodes,
             cold.pivots,
@@ -98,20 +134,45 @@ fn main() {
             warm.warm_nodes,
             warm.cold_nodes,
             warm_tp,
-            speedup
+            speedup,
+            off.elapsed_s,
+            off.nodes,
+            off.pivots,
+            warm.elapsed_s,
+            warm.nodes,
+            warm.pivots,
+            warm.rows_tightened,
+            warm.binaries_fixed,
+            warm.cuts_added,
+            node_reduction,
+            strengthen_speedup
         );
         eprintln!(
             "{name}: cold {:.1} nodes/s ({} pivots), warm {:.1} nodes/s \
              ({} pivots, {}/{} warm), speedup {speedup:.2}x",
             cold_tp, cold.pivots, warm_tp, warm.pivots, warm.warm_nodes, warm.nodes
         );
+        eprintln!(
+            "{name}: strengthen {} -> {} nodes ({node_reduction:.2}x fewer, \
+             {} rows tightened, {} fixed, {} cuts), end-to-end \
+             {strengthen_speedup:.2}x",
+            off.nodes, warm.nodes, warm.rows_tightened, warm.binaries_fixed, warm.cuts_added
+        );
     }
     let median_speedup = median(&mut speedups);
+    let median_reduction = median(&mut node_reductions);
+    let median_strengthen_speedup = median(&mut strengthen_speedups);
     let json = format!(
         "{{\n  \"bench\": \"milp_warm_start\",\n  \"reps\": {REPS},\n  \
          \"median_node_throughput_speedup\": {median_speedup:.3},\n  \
+         \"median_strengthen_node_reduction\": {median_reduction:.3},\n  \
+         \"median_strengthen_speedup\": {median_strengthen_speedup:.3},\n  \
          \"instances\": [\n{rows}\n  ]\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
-    eprintln!("median node-throughput speedup: {median_speedup:.2}x -> {out_path}");
+    eprintln!(
+        "median node-throughput speedup: {median_speedup:.2}x, median \
+         strengthen node reduction: {median_reduction:.2}x, median \
+         strengthen speedup: {median_strengthen_speedup:.2}x -> {out_path}"
+    );
 }

@@ -81,6 +81,13 @@ pub struct StepStats {
     pub warm_nodes: usize,
     /// Branch-and-bound nodes solved by the cold two-phase primal.
     pub cold_nodes: usize,
+    /// Rows whose big-M coefficients the root strengthening layer
+    /// tightened in this step's MILP.
+    pub rows_tightened: usize,
+    /// Binaries fixed by root 0-1 probing.
+    pub binaries_fixed: usize,
+    /// Cutting planes appended to the step's root LP.
+    pub cuts_added: usize,
     /// Wall time of the step (model build + solve).
     pub elapsed: Duration,
     /// How the step concluded.
@@ -143,6 +150,24 @@ impl RunStats {
     #[must_use]
     pub fn cold_nodes(&self) -> usize {
         self.steps.iter().map(|s| s.cold_nodes).sum()
+    }
+
+    /// Rows tightened by the root strengthening layer, over all steps.
+    #[must_use]
+    pub fn rows_tightened(&self) -> usize {
+        self.steps.iter().map(|s| s.rows_tightened).sum()
+    }
+
+    /// Binaries fixed by root probing, over all steps.
+    #[must_use]
+    pub fn binaries_fixed(&self) -> usize {
+        self.steps.iter().map(|s| s.binaries_fixed).sum()
+    }
+
+    /// Root cutting planes added, over all steps.
+    #[must_use]
+    pub fn cuts_added(&self) -> usize {
+        self.steps.iter().map(|s| s.cuts_added).sum()
     }
 }
 
@@ -273,50 +298,56 @@ impl<'a> Floorplanner<'a> {
             // the *remaining* wall clock, so K steps cannot overshoot by
             // K × the per-step limit.
             let step_options = self.config.budgeted_step_options();
-            let (new_placements, outcome, nodes, pivots, warm, cold) = match step_model
-                .model
-                .solve_traced(&step_options, &self.config.tracer)
-            {
-                Ok(sol) => {
-                    let outcome = match sol.optimality() {
-                        Optimality::Proven => StepOutcome::Optimal,
-                        Optimality::Limit => StepOutcome::Incumbent,
-                    };
-                    (
-                        step_model.extract(&sol, group),
-                        outcome,
-                        sol.stats().nodes,
-                        sol.stats().simplex_iterations,
-                        sol.stats().warm_nodes,
-                        sol.stats().cold_nodes,
-                    )
-                }
-                Err(SolveError::InvalidModel(why)) => {
-                    return Err(FloorplanError::Solver(SolveError::InvalidModel(why)))
-                }
-                Err(_) => {
-                    // Infeasible cannot truly happen (the greedy witness
-                    // satisfies every constraint); numerical trouble and
-                    // limits both degrade to the greedy placement.
-                    self.config
-                        .tracer
-                        .emit(Phase::Augment, Event::GreedyFallback { step: step_index });
-                    let fallback = greedy
-                        .iter()
-                        .zip(group)
-                        .map(|(g, spec)| {
-                            let (rect, envelope, rotated) = spec.realize(g.x, g.y, g.z, g.dw);
-                            PlacedModule {
-                                id: spec.id,
-                                rect,
-                                envelope,
-                                rotated,
-                            }
-                        })
-                        .collect();
-                    (fallback, StepOutcome::GreedyFallback, 0, 0, 0, 0)
-                }
-            };
+            let (new_placements, outcome, nodes, pivots, warm, cold, strengthened) =
+                match step_model
+                    .model
+                    .solve_traced(&step_options, &self.config.tracer)
+                {
+                    Ok(sol) => {
+                        let outcome = match sol.optimality() {
+                            Optimality::Proven => StepOutcome::Optimal,
+                            Optimality::Limit => StepOutcome::Incumbent,
+                        };
+                        (
+                            step_model.extract(&sol, group),
+                            outcome,
+                            sol.stats().nodes,
+                            sol.stats().simplex_iterations,
+                            sol.stats().warm_nodes,
+                            sol.stats().cold_nodes,
+                            (
+                                sol.stats().rows_tightened,
+                                sol.stats().binaries_fixed,
+                                sol.stats().cuts_added,
+                            ),
+                        )
+                    }
+                    Err(SolveError::InvalidModel(why)) => {
+                        return Err(FloorplanError::Solver(SolveError::InvalidModel(why)))
+                    }
+                    Err(_) => {
+                        // Infeasible cannot truly happen (the greedy witness
+                        // satisfies every constraint); numerical trouble and
+                        // limits both degrade to the greedy placement.
+                        self.config
+                            .tracer
+                            .emit(Phase::Augment, Event::GreedyFallback { step: step_index });
+                        let fallback = greedy
+                            .iter()
+                            .zip(group)
+                            .map(|(g, spec)| {
+                                let (rect, envelope, rotated) = spec.realize(g.x, g.y, g.z, g.dw);
+                                PlacedModule {
+                                    id: spec.id,
+                                    rect,
+                                    envelope,
+                                    rotated,
+                                }
+                            })
+                            .collect();
+                        (fallback, StepOutcome::GreedyFallback, 0, 0, 0, 0, (0, 0, 0))
+                    }
+                };
 
             // Exactly one terminal event per augmentation step, after any
             // fallback marker.
@@ -340,6 +371,9 @@ impl<'a> Floorplanner<'a> {
                 simplex_iterations: pivots,
                 warm_nodes: warm,
                 cold_nodes: cold,
+                rows_tightened: strengthened.0,
+                binaries_fixed: strengthened.1,
+                cuts_added: strengthened.2,
                 elapsed: step_started.elapsed(),
                 outcome,
             });

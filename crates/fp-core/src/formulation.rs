@@ -88,15 +88,7 @@ impl StepModel {
         let mut model = Model::new(Sense::Minimize);
         let w_chip = input.chip_width;
         let w_bar = w_chip;
-        // The greedy height is a feasible bound for the plain problem, but
-        // critical-net length constraints (which greedy ignores) can force a
-        // taller chip — give the model headroom in that case.
-        let h_slack = if input.config.enforce_critical_nets {
-            1.5
-        } else {
-            1.0
-        };
-        let h_bar = (input.h_ub * h_slack).max(input.floor).max(1e-6);
+        let h_bar = height_bound(input);
 
         let max_area = input.group.iter().map(|s| s.area).fold(1.0_f64, f64::max);
 
@@ -316,6 +308,19 @@ impl StepModel {
     }
 }
 
+/// The chip-height bound H̄ used for variable bounds and big-M rows. The
+/// greedy height is a feasible bound for the plain problem, but
+/// critical-net length constraints (which greedy ignores) can force a
+/// taller chip — give the model headroom in that case.
+fn height_bound(input: &StepInput<'_>) -> f64 {
+    let h_slack = if input.config.enforce_critical_nets {
+        1.5
+    } else {
+        1.0
+    };
+    (input.h_ub * h_slack).max(input.floor).max(1e-6)
+}
+
 /// Identifies the second endpoint of a cached distance pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum DistTarget {
@@ -393,9 +398,12 @@ fn dist_vars(
     if let Some(&pair) = cache.get(&(i, target)) {
         return pair;
     }
-    let span = input.chip_width.max(input.h_ub);
-    let dx = model.add_continuous(format!("dx_{i}_{target:?}"), 0.0, span);
-    let dy = model.add_continuous(format!("dy_{i}_{target:?}"), 0.0, span);
+    // Tighter H̄ handoff: each separation is bounded by its own axis
+    // (|Δcx| ≤ W from the chip rows, |Δcy| ≤ H̄ from the height bound)
+    // instead of the symmetric worst case, so the activity bounds the
+    // solver's strengthening layer starts from are already per-axis tight.
+    let dx = model.add_continuous(format!("dx_{i}_{target:?}"), 0.0, input.chip_width);
+    let dy = model.add_continuous(format!("dy_{i}_{target:?}"), 0.0, height_bound(input));
     let (cxi, cyi) = (
         center_x(&input.group[i], &vars[i]),
         center_y(&input.group[i], &vars[i]),
@@ -772,5 +780,71 @@ mod tests {
         assert_eq!(sm.model.num_integer_vars(), k * (k - 1));
         // 2K positions + y_chip.
         assert_eq!(sm.model.num_vars() - sm.model.num_integer_vars(), 2 * k + 1);
+    }
+
+    /// The strengthen_equivalence pin for the real pipeline: the first
+    /// ami33 augmentation steps solve to the same proven objective with
+    /// root strengthening on and off. Each step's inputs are advanced with
+    /// the strengthen-on extraction so both solves always see one model.
+    #[test]
+    fn ami33_steps_objectives_match_strengthen_on_off() {
+        use crate::greedy::greedy_height;
+        let nl = fp_netlist::ami33();
+        let cfg = FloorplanConfig::default();
+        let order = crate::augment::resolve_order(&nl, &cfg).unwrap();
+        let chip_width = crate::augment::resolve_chip_width(&nl, &cfg).unwrap();
+        let specs: Vec<ShapeSpec> = order
+            .iter()
+            .map(|&id| ShapeSpec::from_module(id, nl.module(id), &cfg))
+            .collect();
+
+        let on_opts = fp_milp::SolveOptions::default().with_threads(1);
+        let off_opts = on_opts.clone().with_strengthen(false);
+        let mut placed: Vec<PlacedModule> = Vec::new();
+        let mut envelopes: Vec<Rect> = Vec::new();
+        let mut cursor = 0usize;
+        let mut steps = 0usize;
+        while cursor < specs.len() && steps < 3 {
+            let take = cfg.group_size.min(specs.len() - cursor);
+            let group = &specs[cursor..cursor + take];
+            let (_, h_ub) = greedy_height(&envelopes, group, chip_width).unwrap();
+            let floor = envelopes.iter().map(Rect::top).fold(0.0, f64::max);
+            let input = StepInput {
+                netlist: &nl,
+                config: &cfg,
+                chip_width,
+                obstacles: &envelopes,
+                placed: &placed,
+                group,
+                h_ub,
+                floor,
+                pull_down: false,
+            };
+            let sm = StepModel::build(&input);
+            let on = sm.model.solve_with(&on_opts).unwrap();
+            let off = sm.model.solve_with(&off_opts).unwrap();
+            assert_eq!(
+                on.optimality(),
+                fp_milp::Optimality::Proven,
+                "on, step {steps}"
+            );
+            assert_eq!(
+                off.optimality(),
+                fp_milp::Optimality::Proven,
+                "off, step {steps}"
+            );
+            assert!(
+                (on.objective() - off.objective()).abs() <= 1e-6 * (1.0 + on.objective().abs()),
+                "step {steps}: strengthened {} != plain {}",
+                on.objective(),
+                off.objective()
+            );
+            let new = sm.extract(&on, group);
+            envelopes.extend(new.iter().map(|p| p.envelope));
+            placed.extend(new);
+            cursor += take;
+            steps += 1;
+        }
+        assert!(steps >= 2, "expected at least two ami33 steps");
     }
 }

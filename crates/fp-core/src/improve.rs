@@ -156,7 +156,7 @@ fn reoptimize_band_recorded(
         // incumbent still explored nodes, and those belong in the totals.
         // On errors no `Solution` exists, so the node count comes from the
         // tracer's counter delta (0 when tracing is disabled).
-        let (outcome, nodes, pivots, warm, cold) = match &solved {
+        let (outcome, nodes, pivots, warm, cold, strengthened) = match &solved {
             Ok(sol) => (
                 match sol.optimality() {
                     Optimality::Proven => StepOutcome::Optimal,
@@ -166,10 +166,22 @@ fn reoptimize_band_recorded(
                 sol.stats().simplex_iterations,
                 sol.stats().warm_nodes,
                 sol.stats().cold_nodes,
+                (
+                    sol.stats().rows_tightened,
+                    sol.stats().binaries_fixed,
+                    sol.stats().cuts_added,
+                ),
             ),
             Err(_) => {
                 let explored = config.tracer.count(fp_obs::EventKind::BnbNode) - nodes_before;
-                (StepOutcome::GreedyFallback, explored as usize, 0, 0, 0)
+                (
+                    StepOutcome::GreedyFallback,
+                    explored as usize,
+                    0,
+                    0,
+                    0,
+                    (0, 0, 0),
+                )
             }
         };
         stats.steps.push(StepStats {
@@ -181,6 +193,9 @@ fn reoptimize_band_recorded(
             simplex_iterations: pivots,
             warm_nodes: warm,
             cold_nodes: cold,
+            rows_tightened: strengthened.0,
+            binaries_fixed: strengthened.1,
+            cuts_added: strengthened.2,
             elapsed: step_started.elapsed(),
             outcome,
         });

@@ -18,7 +18,7 @@
 use crate::error::SolveError;
 use crate::model::Model;
 use crate::options::SolveOptions;
-use crate::presolve::{presolve, PresolveStatus};
+use crate::presolve::{presolve, strengthen, CutSeparator, PresolveStatus, Strengthened};
 use crate::simplex::{BasisSnapshot, LpConfig, LpOutcome, LpProblem, SparseRow, Workspace};
 use crate::solution::{Optimality, Solution, SolveStats, ThreadStats};
 use fp_obs::{Event, Phase, Tracer};
@@ -35,6 +35,95 @@ struct Node {
     /// LP can warm-start via the dual simplex. `None` at the root or when
     /// [`SolveOptions::warm_start`] is off.
     basis: Option<Arc<BasisSnapshot>>,
+}
+
+/// Root strengthening counters patched onto [`SolveStats`] after the search.
+#[derive(Default)]
+struct StrengthenCounters {
+    presolve_passes: usize,
+    rows_tightened: usize,
+    binaries_fixed: usize,
+    implications: usize,
+    cuts_added: usize,
+}
+
+/// Violated-cut separation rounds run against the root relaxation.
+const CUT_ROUNDS: usize = 4;
+
+/// Appends root cutting planes to `rows`: implication-logic cuts first
+/// (round 0, no LP point needed), then up to [`CUT_ROUNDS`] rounds of
+/// violated-cut separation against the root relaxation. Returns the number
+/// of cuts added (capped at [`SolveOptions::max_cuts`]).
+///
+/// The LP pivots spent separating are deliberately *not* counted in
+/// [`SolveStats::simplex_iterations`], which tallies tree-node pivots only
+/// (traced per-node pivot sums must keep matching it).
+#[allow(clippy::too_many_arguments)]
+fn add_root_cuts(
+    model: &Model,
+    options: &SolveOptions,
+    started: Instant,
+    c: &[f64],
+    rows: &mut Vec<SparseRow>,
+    lb: &[f64],
+    ub: &[f64],
+    integral: &[bool],
+    st: &Strengthened,
+    tracer: &Tracer,
+) -> usize {
+    let mut sep = CutSeparator::new(st, rows, lb, ub, integral);
+    let max = options.max_cuts;
+    let mut added = 0;
+
+    let logic = sep.logic_cuts(max);
+    if !logic.is_empty() {
+        added += logic.len();
+        tracer.emit(
+            Phase::Solver,
+            Event::CutRound {
+                round: 0,
+                cuts: logic.len(),
+            },
+        );
+        rows.extend(logic);
+    }
+
+    let deadline = started.checked_add(options.time_limit);
+    let lp_cfg = lp_config(options, deadline);
+    let mut ws = Workspace::new();
+    for round in 1..=CUT_ROUNDS {
+        if added >= max {
+            break;
+        }
+        let problem = LpProblem {
+            ncols: model.num_vars(),
+            rows,
+            c,
+            lb,
+            ub,
+        };
+        let (outcome, _) = ws.solve(&problem, None, &lp_cfg);
+        let x = match outcome {
+            LpOutcome::Optimal { x, .. } => x,
+            // Infeasible/unbounded/limits: leave the row set as-is and let
+            // the tree surface the condition on its normal path.
+            _ => break,
+        };
+        let cuts = sep.separate(&x, rows, max - added);
+        if cuts.is_empty() {
+            break;
+        }
+        added += cuts.len();
+        tracer.emit(
+            Phase::Solver,
+            Event::CutRound {
+                round,
+                cuts: cuts.len(),
+            },
+        );
+        rows.extend(cuts);
+    }
+    added
 }
 
 /// The per-node LP configuration derived once per solve.
@@ -89,7 +178,14 @@ pub(crate) fn solve(
     // Root presolve: tighten bounds, drop redundant rows, or prove
     // infeasibility outright.
     let integral: Vec<bool> = model.vars.iter().map(|d| d.kind.is_integral()).collect();
-    let pre = presolve(&rows, base_lb, base_ub, &integral, options.feas_tol);
+    let pre = presolve(
+        &rows,
+        base_lb,
+        base_ub,
+        &integral,
+        options.feas_tol,
+        options.presolve_passes,
+    );
     if pre.status == PresolveStatus::Infeasible {
         tracer.emit(
             Phase::Solver,
@@ -101,10 +197,72 @@ pub(crate) fn solve(
         );
         return Err(SolveError::Infeasible);
     }
-    let rows: Vec<SparseRow> = pre.kept_rows.iter().map(|&r| rows[r].clone()).collect();
+    let mut rows: Vec<SparseRow> = pre.kept_rows.iter().map(|&r| rows[r].clone()).collect();
+    let mut lb = pre.lb;
+    let mut ub = pre.ub;
+
+    // Root model strengthening: big-M coefficient tightening, 0-1 probing,
+    // and cutting planes appended to the row set so every node (and every
+    // warm-started basis) inherits the tighter relaxation.
+    let mut counters = StrengthenCounters {
+        presolve_passes: pre.passes,
+        ..StrengthenCounters::default()
+    };
+    if options.strengthen {
+        let st = match strengthen(
+            &mut rows,
+            &mut lb,
+            &mut ub,
+            &integral,
+            options.feas_tol,
+            options.probe_budget,
+        ) {
+            Ok(st) => st,
+            Err(()) => {
+                // Probing proved the model integer-infeasible.
+                tracer.emit(
+                    Phase::Solver,
+                    Event::SolveEnd {
+                        nodes: 0,
+                        simplex_iterations: 0,
+                        proven: true,
+                    },
+                );
+                return Err(SolveError::Infeasible);
+            }
+        };
+        counters.rows_tightened = st.rows_tightened;
+        counters.binaries_fixed = st.binaries_fixed;
+        counters.implications = st.implications.len();
+        tracer.emit(
+            Phase::Solver,
+            Event::Presolve {
+                passes: pre.passes,
+                rows_tightened: st.rows_tightened,
+                binaries_fixed: st.binaries_fixed,
+                implications: st.implications.len(),
+            },
+        );
+        if options.max_cuts > 0 {
+            counters.cuts_added = add_root_cuts(
+                model, options, started, &c, &mut rows, &lb, &ub, &integral, &st, tracer,
+            );
+        }
+    } else {
+        tracer.emit(
+            Phase::Solver,
+            Event::Presolve {
+                passes: pre.passes,
+                rows_tightened: 0,
+                binaries_fixed: 0,
+                implications: 0,
+            },
+        );
+    }
+
     let root = Node {
-        lb: pre.lb,
-        ub: pre.ub,
+        lb,
+        ub,
         depth: 0,
         basis: None,
     };
@@ -149,6 +307,11 @@ pub(crate) fn solve(
         }
     };
     stats.elapsed = started.elapsed();
+    stats.presolve_passes = counters.presolve_passes;
+    stats.rows_tightened = counters.rows_tightened;
+    stats.binaries_fixed = counters.binaries_fixed;
+    stats.implications = counters.implications;
+    stats.cuts_added = counters.cuts_added;
     tracer.emit(
         Phase::Solver,
         Event::SolveEnd {
@@ -408,6 +571,7 @@ fn solve_serial(
         elapsed: std::time::Duration::ZERO, // filled in by the caller
         threads: 1,
         per_thread: vec![local],
+        ..SolveStats::default()
     };
     Ok((incumbent, proven, stats))
 }
@@ -746,6 +910,7 @@ fn solve_parallel(
         elapsed: std::time::Duration::ZERO, // filled in by the caller
         threads,
         per_thread,
+        ..SolveStats::default()
     };
     Ok((incumbent, proven, stats))
 }

@@ -46,6 +46,25 @@ pub struct SolveOptions {
     /// re-solving cold. `0` (the default) sizes the cap automatically from
     /// the row count.
     pub warm_pivot_cap: usize,
+    /// Run the root model-strengthening layer (big-M coefficient
+    /// tightening, 0-1 probing, root cutting planes) after classic
+    /// presolve. Purely a performance lever: every reduction preserves the
+    /// set of integer-feasible points, so the proven objective is identical
+    /// either way. Default `true`.
+    pub strengthen: bool,
+    /// Work budget for 0-1 probing: the maximum number of tentative
+    /// fix-and-propagate runs (each single-binary probe costs two, each
+    /// co-occurring pair probe costs four). `0` disables probing while
+    /// keeping coefficient tightening and knapsack cover cuts.
+    pub probe_budget: usize,
+    /// Maximum cutting planes appended to the root LP across all
+    /// separation rounds. `0` disables cut generation.
+    pub max_cuts: usize,
+    /// Maximum fixpoint passes of the classic presolve loop (singleton
+    /// folding, activity bounds, implied/integral tightening). The number
+    /// actually run is reported in
+    /// [`SolveStats::presolve_passes`](crate::SolveStats::presolve_passes).
+    pub presolve_passes: usize,
 }
 
 impl Default for SolveOptions {
@@ -60,6 +79,10 @@ impl Default for SolveOptions {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             warm_start: true,
             warm_pivot_cap: 0,
+            strengthen: true,
+            probe_budget: 512,
+            max_cuts: 64,
+            presolve_passes: 4,
         }
     }
 }
@@ -107,6 +130,36 @@ impl SolveOptions {
         self.warm_pivot_cap = cap;
         self
     }
+
+    /// Returns options with root model strengthening enabled or disabled.
+    #[must_use]
+    pub fn with_strengthen(mut self, on: bool) -> Self {
+        self.strengthen = on;
+        self
+    }
+
+    /// Returns options with the given probing work budget (`0` disables
+    /// probing).
+    #[must_use]
+    pub fn with_probe_budget(mut self, probes: usize) -> Self {
+        self.probe_budget = probes;
+        self
+    }
+
+    /// Returns options with the given root-cut cap (`0` disables cuts).
+    #[must_use]
+    pub fn with_max_cuts(mut self, cuts: usize) -> Self {
+        self.max_cuts = cuts;
+        self
+    }
+
+    /// Returns options with the given presolve fixpoint pass cap (values
+    /// `< 1` are treated as `1`; one pass always runs).
+    #[must_use]
+    pub fn with_presolve_passes(mut self, passes: usize) -> Self {
+        self.presolve_passes = passes;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +186,23 @@ mod tests {
         assert!(o.threads >= 1);
         assert!(o.warm_start);
         assert_eq!(o.warm_pivot_cap, 0);
+        assert!(o.strengthen);
+        assert!(o.probe_budget > 0);
+        assert!(o.max_cuts > 0);
+        assert!(o.presolve_passes >= 1);
+    }
+
+    #[test]
+    fn strengthen_builders() {
+        let o = SolveOptions::default()
+            .with_strengthen(false)
+            .with_probe_budget(17)
+            .with_max_cuts(3)
+            .with_presolve_passes(9);
+        assert!(!o.strengthen);
+        assert_eq!(o.probe_budget, 17);
+        assert_eq!(o.max_cuts, 3);
+        assert_eq!(o.presolve_passes, 9);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::model::Cmp;
 use crate::simplex::SparseRow;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Outcome of presolving.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,18 +35,21 @@ pub(crate) struct Presolved {
     pub kept_rows: Vec<usize>,
     pub lb: Vec<f64>,
     pub ub: Vec<f64>,
+    /// Fixpoint passes actually run (1..=max_passes).
+    pub passes: usize,
 }
 
-const MAX_PASSES: usize = 4;
-
 /// Presolves the system. `integral[j]` marks variables whose bounds may be
-/// rounded inward.
+/// rounded inward. `max_passes` caps the fixpoint loop (values below one
+/// are treated as one); the number of passes actually run is reported in
+/// [`Presolved::passes`].
 pub(crate) fn presolve(
     rows: &[SparseRow],
     mut lb: Vec<f64>,
     mut ub: Vec<f64>,
     integral: &[bool],
     feas_tol: f64,
+    max_passes: usize,
 ) -> Presolved {
     let mut alive: Vec<bool> = rows.iter().map(|(terms, _, _)| !terms.is_empty()).collect();
 
@@ -63,7 +67,9 @@ pub(crate) fn presolve(
         }
     }
 
-    for _ in 0..MAX_PASSES {
+    let mut passes = 0;
+    for _ in 0..max_passes.max(1) {
+        passes += 1;
         let mut changed = false;
 
         for (r, (terms, cmp, rhs)) in rows.iter().enumerate() {
@@ -230,6 +236,7 @@ pub(crate) fn presolve(
             .collect(),
         lb,
         ub,
+        passes,
     }
 }
 
@@ -239,7 +246,936 @@ fn infeasible(lb: Vec<f64>, ub: Vec<f64>) -> Presolved {
         kept_rows: Vec::new(),
         lb,
         ub,
+        passes: 0,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Model strengthening: big-M coefficient tightening, 0-1 probing, and the
+// root cutting planes separated from what probing learned.
+//
+// Everything here preserves the set of integer-feasible points exactly —
+// reductions may cut LP-relaxation points (that is the goal) but never an
+// assignment where every integral variable takes an integer value within
+// its original bounds and every original row holds.
+// ---------------------------------------------------------------------------
+
+/// Bound-propagation passes used inside each tentative probe.
+const PROBE_PASSES: usize = 3;
+/// Bound implications harvested per probe (memory cap; the strongest cuts
+/// come from the first few row-mates anyway).
+const HARVEST_CAP: usize = 8;
+
+/// Which side of a variable's range a probing implication tightens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum BoundKind {
+    /// The implication raises the variable's lower bound.
+    Lower,
+    /// The implication lowers the variable's upper bound.
+    Upper,
+}
+
+/// A logical edge harvested by probing: `bin = val` forces `other = forced`.
+/// Infeasible probe vertices are recorded in the same shape (`(vp, vq)`
+/// infeasible ⇔ `p = vp ⇒ q = !vq`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Implication {
+    pub bin: usize,
+    pub val: bool,
+    pub other: usize,
+    pub forced: bool,
+}
+
+/// `bin = val` implies `var`'s `kind` bound improves to `bound`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct BoundImpl {
+    pub bin: usize,
+    pub val: bool,
+    pub var: usize,
+    pub kind: BoundKind,
+    pub bound: f64,
+}
+
+/// `(p, q) = (vp, vq)` implies `var`'s `kind` bound improves to `bound` —
+/// the two-binary analogue of [`BoundImpl`], harvested from pair probing on
+/// the floorplan disjunction shape (rows with exactly two binaries).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PairImpl {
+    pub p: usize,
+    pub q: usize,
+    pub vp: bool,
+    pub vq: bool,
+    pub var: usize,
+    pub kind: BoundKind,
+    pub bound: f64,
+}
+
+/// What [`strengthen`] learned, feeding both `SolveStats` counters and the
+/// root [`CutSeparator`].
+#[derive(Debug, Default)]
+pub(crate) struct Strengthened {
+    /// Rows whose binary coefficients were tightened at least once.
+    pub rows_tightened: usize,
+    /// Binaries fixed because one probe value propagated to a contradiction.
+    pub binaries_fixed: usize,
+    /// Binary-to-binary implications (single probes + infeasible pair
+    /// vertices), deduplicated.
+    pub implications: Vec<Implication>,
+    /// Single-binary continuous-bound implications.
+    pub bound_impls: Vec<BoundImpl>,
+    /// Pair-vertex continuous-bound implications.
+    pub pair_impls: Vec<PairImpl>,
+}
+
+/// Activity-based bound propagation to a fixpoint (capped at `max_passes`):
+/// implied bounds from every row's residual activity, integral rounding,
+/// and crossed-bound detection. Unlike [`presolve`] it never drops rows, so
+/// it is safe to run on tentative (probing) bound vectors. Returns `false`
+/// when the bounds prove the system infeasible.
+pub(crate) fn propagate(
+    rows: &[SparseRow],
+    lb: &mut [f64],
+    ub: &mut [f64],
+    integral: &[bool],
+    feas_tol: f64,
+    max_passes: usize,
+) -> bool {
+    for _ in 0..max_passes.max(1) {
+        let mut changed = false;
+        for (terms, cmp, rhs) in rows {
+            // An equality propagates as both inequalities.
+            let as_le = matches!(cmp, Cmp::Le | Cmp::Eq);
+            let as_ge = matches!(cmp, Cmp::Ge | Cmp::Eq);
+            let mut min_act = 0.0_f64;
+            let mut max_act = 0.0_f64;
+            for &(j, a) in terms {
+                let (lo, hi) = if a >= 0.0 {
+                    (a * lb[j], a * ub[j])
+                } else {
+                    (a * ub[j], a * lb[j])
+                };
+                min_act += lo;
+                max_act += hi;
+            }
+            let tol = feas_tol.max(1e-9) * (1.0 + rhs.abs());
+            if as_le && min_act.is_finite() {
+                if min_act > rhs + tol {
+                    return false;
+                }
+                for &(j, a) in terms {
+                    let own_min = if a >= 0.0 { a * lb[j] } else { a * ub[j] };
+                    let slack = rhs - (min_act - own_min);
+                    if a > 1e-12 {
+                        let implied = slack / a;
+                        if implied < ub[j] - 1e-9 {
+                            ub[j] = implied;
+                            changed = true;
+                        }
+                    } else if a < -1e-12 {
+                        let implied = slack / a;
+                        if implied > lb[j] + 1e-9 {
+                            lb[j] = implied;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if as_ge && max_act.is_finite() {
+                if max_act < rhs - tol {
+                    return false;
+                }
+                for &(j, a) in terms {
+                    let own_max = if a >= 0.0 { a * ub[j] } else { a * lb[j] };
+                    let slack = rhs - (max_act - own_max);
+                    if a > 1e-12 {
+                        let implied = slack / a;
+                        if implied > lb[j] + 1e-9 {
+                            lb[j] = implied;
+                            changed = true;
+                        }
+                    } else if a < -1e-12 {
+                        let implied = slack / a;
+                        if implied < ub[j] - 1e-9 {
+                            ub[j] = implied;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        for j in 0..lb.len() {
+            if integral[j] {
+                let rl = lb[j].ceil();
+                let ru = ub[j].floor();
+                if rl > lb[j] + 1e-9 {
+                    lb[j] = if (lb[j] - lb[j].round()).abs() <= 1e-9 {
+                        lb[j].round()
+                    } else {
+                        rl
+                    };
+                    changed = true;
+                }
+                if ru < ub[j] - 1e-9 {
+                    ub[j] = if (ub[j] - ub[j].round()).abs() <= 1e-9 {
+                        ub[j].round()
+                    } else {
+                        ru
+                    };
+                    changed = true;
+                }
+            }
+            if lb[j] > ub[j] + feas_tol {
+                return false;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    true
+}
+
+/// A free (unfixed) 0-1 column under the current bounds.
+fn is_binary(j: usize, lb: &[f64], ub: &[f64], integral: &[bool]) -> bool {
+    integral[j] && lb[j] == 0.0 && ub[j] == 1.0
+}
+
+/// Tightens the binary coefficients of one `<=` row.
+///
+/// For a binary `y` with coefficient `a > 0` in `f(x) + a·y <= b`: with
+/// `U = max f` over the current box, if `d = b - U` is strictly between `0`
+/// and `a` the `y = 0` branch has slack `d`, and `f + (a-d)·y <= b - d`
+/// keeps both integer branches exactly (`y=0`: `f <= U`, always true;
+/// `y=1`: `f <= b - a`, unchanged) while shrinking the LP relaxation.
+///
+/// For `a < 0`: the `y = 1` branch relaxes to `f <= b - a`; if `U < b - a`
+/// the coefficient lifts to `a' = b - U > a` (`y=1` becomes `f <= U`,
+/// always true; `y=0` unchanged). Returns whether anything changed.
+fn tighten_le(
+    terms: &mut [(usize, f64)],
+    rhs: &mut f64,
+    lb: &[f64],
+    ub: &[f64],
+    integral: &[bool],
+) -> bool {
+    let mut hit = false;
+    // Each tightening changes the row activity, so recompute and re-scan;
+    // the process provably stalls (a tightened coefficient's slack becomes
+    // zero), the cap is belt-and-braces against float drift.
+    for _ in 0..16 {
+        let mut max_act = 0.0_f64;
+        for &(j, a) in terms.iter() {
+            max_act += if a >= 0.0 { a * ub[j] } else { a * lb[j] };
+        }
+        if !max_act.is_finite() {
+            return hit;
+        }
+        let mut changed = false;
+        for t in terms.iter_mut() {
+            let (j, a) = (t.0, t.1);
+            if a.abs() <= 1e-12 || !is_binary(j, lb, ub, integral) {
+                continue;
+            }
+            let tol = 1e-9 * (1.0 + rhs.abs().max(a.abs()));
+            if a > 0.0 {
+                let rest = max_act - a; // y = 0 branch activity bound
+                let delta = *rhs - rest;
+                if delta > tol && delta < a - tol {
+                    t.1 = a - delta;
+                    *rhs -= delta;
+                    changed = true;
+                    hit = true;
+                    break;
+                }
+            } else {
+                let lifted = *rhs - max_act; // y's own max contribution is 0
+                if lifted > a + tol {
+                    t.1 = lifted;
+                    changed = true;
+                    hit = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            return hit;
+        }
+    }
+    hit
+}
+
+/// One coefficient-tightening sweep over every inequality row, marking the
+/// rows it changed in `hit`. `>=` rows tighten through negation to `<=`
+/// form; equalities have no slack branch and are skipped.
+fn tighten_sweep(
+    rows: &mut [SparseRow],
+    lb: &[f64],
+    ub: &[f64],
+    integral: &[bool],
+    hit: &mut [bool],
+) {
+    for (r, (terms, cmp, rhs)) in rows.iter_mut().enumerate() {
+        let changed = match cmp {
+            Cmp::Le => tighten_le(terms, rhs, lb, ub, integral),
+            Cmp::Ge => {
+                for t in terms.iter_mut() {
+                    t.1 = -t.1;
+                }
+                *rhs = -*rhs;
+                let changed = tighten_le(terms, rhs, lb, ub, integral);
+                for t in terms.iter_mut() {
+                    t.1 = -t.1;
+                }
+                *rhs = -*rhs;
+                changed
+            }
+            Cmp::Eq => false,
+        };
+        if changed {
+            hit[r] = true;
+        }
+    }
+}
+
+/// Runs the root model-strengthening pipeline in place: coefficient
+/// tightening interleaved with propagation, then single-binary probing,
+/// then pair probing on the two-binary disjunction rows, then a final
+/// tighten/propagate sweep over whatever the probes fixed. `probe_budget`
+/// is spent in propagation runs (2 per single probe, 4 per pair probe).
+/// `Err(())` means the system was proven integer-infeasible.
+pub(crate) fn strengthen(
+    rows: &mut [SparseRow],
+    lb: &mut [f64],
+    ub: &mut [f64],
+    integral: &[bool],
+    feas_tol: f64,
+    probe_budget: usize,
+) -> Result<Strengthened, ()> {
+    let mut out = Strengthened::default();
+    let mut hit = vec![false; rows.len()];
+
+    // Stage 1: tighten + propagate. Two rounds: propagation after the first
+    // sweep can expose further coefficient slack.
+    for _ in 0..2 {
+        tighten_sweep(rows, lb, ub, integral, &mut hit);
+        if !propagate(rows, lb, ub, integral, feas_tol, PROBE_PASSES) {
+            return Err(());
+        }
+    }
+
+    // Row membership per variable, for neighbor harvesting.
+    let n = lb.len();
+    let mut var_rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (r, (terms, _, _)) in rows.iter().enumerate() {
+        for &(j, _) in terms.iter() {
+            var_rows[j].push(r);
+        }
+    }
+    let mut implications: BTreeSet<Implication> = BTreeSet::new();
+    let mut budget = probe_budget;
+    let mut fixed_any = false;
+
+    // Stage 2: single-binary probing.
+    let binaries: Vec<usize> = (0..n).filter(|&j| is_binary(j, lb, ub, integral)).collect();
+    for &j in &binaries {
+        if budget < 2 {
+            break;
+        }
+        if lb[j] == ub[j] {
+            continue; // fixed by an earlier probe
+        }
+        budget -= 2;
+        let probe = |val: f64| -> Option<(Vec<f64>, Vec<f64>)> {
+            let mut plb = lb.to_vec();
+            let mut pub_ = ub.to_vec();
+            plb[j] = val;
+            pub_[j] = val;
+            propagate(rows, &mut plb, &mut pub_, integral, feas_tol, PROBE_PASSES)
+                .then_some((plb, pub_))
+        };
+        match (probe(0.0), probe(1.0)) {
+            (None, None) => return Err(()),
+            (None, Some(_)) => {
+                lb[j] = 1.0;
+                ub[j] = 1.0;
+                out.binaries_fixed += 1;
+                fixed_any = true;
+            }
+            (Some(_), None) => {
+                lb[j] = 0.0;
+                ub[j] = 0.0;
+                out.binaries_fixed += 1;
+                fixed_any = true;
+            }
+            (Some(zero), Some(one)) => {
+                for (val, (plb, pub_)) in [(false, zero), (true, one)] {
+                    harvest_single(
+                        j,
+                        val,
+                        &plb,
+                        &pub_,
+                        lb,
+                        ub,
+                        integral,
+                        &var_rows,
+                        rows,
+                        &mut implications,
+                        &mut out.bound_impls,
+                    );
+                }
+            }
+        }
+    }
+
+    // Stage 3: pair probing on rows with exactly two free binaries — the
+    // non-overlap disjunction shape. Each infeasible vertex is an
+    // implication; each feasible vertex donates bound implications over the
+    // variables the pair's rows share.
+    let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (terms, _, _) in rows.iter() {
+        let mut bins = terms
+            .iter()
+            .map(|&(j, _)| j)
+            .filter(|&j| is_binary(j, lb, ub, integral));
+        if let (Some(a), Some(b), None) = (bins.next(), bins.next(), bins.next()) {
+            if a != b {
+                pairs.insert((a.min(b), a.max(b)));
+            }
+        }
+    }
+    for &(p, q) in &pairs {
+        if budget < 4 {
+            break;
+        }
+        if lb[p] == ub[p] || lb[q] == ub[q] {
+            continue;
+        }
+        budget -= 4;
+        let vertices = [(false, false), (false, true), (true, false), (true, true)];
+        let mut feas: [Option<(Vec<f64>, Vec<f64>)>; 4] = [None, None, None, None];
+        for (k, &(vp, vq)) in vertices.iter().enumerate() {
+            let mut plb = lb.to_vec();
+            let mut pub_ = ub.to_vec();
+            plb[p] = f64::from(u8::from(vp));
+            pub_[p] = plb[p];
+            plb[q] = f64::from(u8::from(vq));
+            pub_[q] = plb[q];
+            if propagate(rows, &mut plb, &mut pub_, integral, feas_tol, PROBE_PASSES) {
+                feas[k] = Some((plb, pub_));
+            } else {
+                implications.insert(Implication {
+                    bin: p,
+                    val: vp,
+                    other: q,
+                    forced: !vq,
+                });
+            }
+        }
+        let alive: Vec<usize> = (0..4).filter(|&k| feas[k].is_some()).collect();
+        match alive.len() {
+            0 => return Err(()),
+            1 => {
+                let (vp, vq) = vertices[alive[0]];
+                lb[p] = f64::from(u8::from(vp));
+                ub[p] = lb[p];
+                lb[q] = f64::from(u8::from(vq));
+                ub[q] = lb[q];
+                out.binaries_fixed += 2;
+                fixed_any = true;
+                continue;
+            }
+            2 => {
+                // Both survivors sharing a coordinate value fix that binary.
+                let (a, b) = (vertices[alive[0]], vertices[alive[1]]);
+                if a.0 == b.0 {
+                    lb[p] = f64::from(u8::from(a.0));
+                    ub[p] = lb[p];
+                    out.binaries_fixed += 1;
+                    fixed_any = true;
+                }
+                if a.1 == b.1 {
+                    lb[q] = f64::from(u8::from(a.1));
+                    ub[q] = lb[q];
+                    out.binaries_fixed += 1;
+                    fixed_any = true;
+                }
+            }
+            _ => {}
+        }
+        // Variables appearing in a row together with both p and q.
+        let mut shared: BTreeSet<usize> = BTreeSet::new();
+        for &r in &var_rows[p] {
+            let (terms, _, _) = &rows[r];
+            if terms.iter().any(|&(j, _)| j == q) {
+                shared.extend(terms.iter().map(|&(j, _)| j));
+            }
+        }
+        shared.remove(&p);
+        shared.remove(&q);
+        let mut harvested = 0usize;
+        for (k, &(vp, vq)) in vertices.iter().enumerate() {
+            let Some((plb, pub_)) = &feas[k] else {
+                continue;
+            };
+            for &v in &shared {
+                if harvested >= HARVEST_CAP {
+                    break;
+                }
+                let tol = 1e-7 * (1.0 + lb[v].abs().min(ub[v].abs()));
+                if plb[v] > lb[v] + tol && plb[v].is_finite() {
+                    out.pair_impls.push(PairImpl {
+                        p,
+                        q,
+                        vp,
+                        vq,
+                        var: v,
+                        kind: BoundKind::Lower,
+                        bound: plb[v],
+                    });
+                    harvested += 1;
+                }
+                if harvested >= HARVEST_CAP {
+                    break;
+                }
+                if pub_[v] < ub[v] - tol && pub_[v].is_finite() {
+                    out.pair_impls.push(PairImpl {
+                        p,
+                        q,
+                        vp,
+                        vq,
+                        var: v,
+                        kind: BoundKind::Upper,
+                        bound: pub_[v],
+                    });
+                    harvested += 1;
+                }
+            }
+        }
+    }
+
+    // Probing fixings enable another propagate + tighten round.
+    if fixed_any {
+        if !propagate(rows, lb, ub, integral, feas_tol, PROBE_PASSES) {
+            return Err(());
+        }
+        tighten_sweep(rows, lb, ub, integral, &mut hit);
+    }
+
+    out.rows_tightened = hit.iter().filter(|&&h| h).count();
+    out.implications = implications.into_iter().collect();
+    Ok(out)
+}
+
+/// Harvests what a feasible single probe (`bin = val`) learned, comparing
+/// the propagated bounds of `bin`'s row-mates against the global ones.
+#[allow(clippy::too_many_arguments)]
+fn harvest_single(
+    bin: usize,
+    val: bool,
+    plb: &[f64],
+    pub_: &[f64],
+    lb: &[f64],
+    ub: &[f64],
+    integral: &[bool],
+    var_rows: &[Vec<usize>],
+    rows: &[SparseRow],
+    implications: &mut BTreeSet<Implication>,
+    bound_impls: &mut Vec<BoundImpl>,
+) {
+    let mut neighbors: BTreeSet<usize> = BTreeSet::new();
+    for &r in &var_rows[bin] {
+        neighbors.extend(rows[r].0.iter().map(|&(j, _)| j));
+    }
+    neighbors.remove(&bin);
+    let mut harvested = 0usize;
+    for &v in &neighbors {
+        if harvested >= HARVEST_CAP {
+            break;
+        }
+        if is_binary(v, lb, ub, integral) {
+            if plb[v] == pub_[v] {
+                implications.insert(Implication {
+                    bin,
+                    val,
+                    other: v,
+                    forced: plb[v] > 0.5,
+                });
+                harvested += 1;
+            }
+            continue;
+        }
+        let tol = 1e-7 * (1.0 + lb[v].abs().min(ub[v].abs()));
+        if plb[v] > lb[v] + tol && plb[v].is_finite() {
+            bound_impls.push(BoundImpl {
+                bin,
+                val,
+                var: v,
+                kind: BoundKind::Lower,
+                bound: plb[v],
+            });
+            harvested += 1;
+        }
+        if harvested < HARVEST_CAP && pub_[v] < ub[v] - tol && pub_[v].is_finite() {
+            bound_impls.push(BoundImpl {
+                bin,
+                val,
+                var: v,
+                kind: BoundKind::Upper,
+                bound: pub_[v],
+            });
+            harvested += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Root cut separation.
+// ---------------------------------------------------------------------------
+
+/// A normal form for `<=` rows used to deduplicate cuts against the rows
+/// already in the model (and against each other): sorted `(column,
+/// coefficient-bits)` terms plus the rhs bits.
+type RowKey = (Vec<(usize, u64)>, u64);
+
+fn row_key(terms: &[(usize, f64)], rhs: f64) -> RowKey {
+    let mut t: Vec<(usize, u64)> = terms.iter().map(|&(j, a)| (j, a.to_bits())).collect();
+    t.sort_unstable();
+    (t, rhs.to_bits())
+}
+
+/// Cut violation threshold: a candidate must beat the row by this much at
+/// the LP point to be worth a round.
+const CUT_VIOLATION: f64 = 1e-6;
+
+/// Separates root cutting planes from what [`strengthen`] learned plus the
+/// `<=`-rows themselves. All cuts are `<=` rows valid for every
+/// integer-feasible point, so appending them before the tree starts changes
+/// relaxation bounds, never answers.
+pub(crate) struct CutSeparator {
+    implications: Vec<Implication>,
+    bound_impls: Vec<BoundImpl>,
+    pair_impls: Vec<PairImpl>,
+    /// Conflict edges `(p, q)` meaning `p + q <= 1`, and the adjacency the
+    /// greedy clique extension walks.
+    conflicts: BTreeSet<(usize, usize)>,
+    adjacent: BTreeMap<usize, BTreeSet<usize>>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    /// Free-binary mask at separation time.
+    bin: Vec<bool>,
+    seen: BTreeSet<RowKey>,
+}
+
+impl CutSeparator {
+    /// Builds a separator over the strengthened system. Every existing row
+    /// is registered so no duplicate of it can be emitted as a cut.
+    pub(crate) fn new(
+        st: &Strengthened,
+        rows: &[SparseRow],
+        lb: &[f64],
+        ub: &[f64],
+        integral: &[bool],
+    ) -> Self {
+        let mut seen = BTreeSet::new();
+        for (terms, cmp, rhs) in rows {
+            let neg: Vec<(usize, f64)> = terms.iter().map(|&(j, a)| (j, -a)).collect();
+            match cmp {
+                Cmp::Le => {
+                    seen.insert(row_key(terms, *rhs));
+                }
+                Cmp::Ge => {
+                    seen.insert(row_key(&neg, -*rhs));
+                }
+                Cmp::Eq => {
+                    seen.insert(row_key(terms, *rhs));
+                    seen.insert(row_key(&neg, -*rhs));
+                }
+            }
+        }
+        let mut conflicts = BTreeSet::new();
+        let mut adjacent: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        for imp in &st.implications {
+            // `p=1 ⇒ q=0` is the "not both" edge feeding clique cuts.
+            if imp.val && !imp.forced {
+                let (a, b) = (imp.bin.min(imp.other), imp.bin.max(imp.other));
+                conflicts.insert((a, b));
+                adjacent.entry(a).or_default().insert(b);
+                adjacent.entry(b).or_default().insert(a);
+            }
+        }
+        CutSeparator {
+            implications: st.implications.clone(),
+            bound_impls: st.bound_impls.clone(),
+            pair_impls: st.pair_impls.clone(),
+            conflicts,
+            adjacent,
+            lb: lb.to_vec(),
+            ub: ub.to_vec(),
+            bin: (0..lb.len())
+                .map(|j| is_binary(j, lb, ub, integral))
+                .collect(),
+            seen,
+        }
+    }
+
+    /// Appends `(terms, <=, rhs)` unless it duplicates a known row. Returns
+    /// `false` once `max` cuts have been collected.
+    fn push(
+        &mut self,
+        cuts: &mut Vec<SparseRow>,
+        terms: Vec<(usize, f64)>,
+        rhs: f64,
+        max: usize,
+    ) -> bool {
+        if cuts.len() >= max {
+            return false;
+        }
+        if self.seen.insert(row_key(&terms, rhs)) {
+            cuts.push((terms, Cmp::Le, rhs));
+        }
+        true
+    }
+
+    /// Implication logic cuts — valid independent of any LP point, so they
+    /// are added once, unconditionally, before the first separation round.
+    pub(crate) fn logic_cuts(&mut self, max: usize) -> Vec<SparseRow> {
+        let mut cuts = Vec::new();
+        for imp in self.implications.clone() {
+            let (p, q) = (imp.bin, imp.other);
+            let (terms, rhs) = match (imp.val, imp.forced) {
+                (true, false) => (vec![(p, 1.0), (q, 1.0)], 1.0), // p+q <= 1
+                (true, true) => (vec![(p, 1.0), (q, -1.0)], 0.0), // p <= q
+                (false, true) => (vec![(p, -1.0), (q, -1.0)], -1.0), // p+q >= 1
+                (false, false) => (vec![(p, -1.0), (q, 1.0)], 0.0), // q <= p
+            };
+            if !self.push(&mut cuts, terms, rhs, max) {
+                break;
+            }
+        }
+        cuts
+    }
+
+    /// Cuts violated by the LP point `x`, at most `max` of them.
+    pub(crate) fn separate(&mut self, x: &[f64], rows: &[SparseRow], max: usize) -> Vec<SparseRow> {
+        let mut cuts = Vec::new();
+        self.implied_bound_cuts(x, &mut cuts, max);
+        self.pair_bound_cuts(x, &mut cuts, max);
+        self.clique_cuts(x, &mut cuts, max);
+        self.cover_cuts(x, rows, &mut cuts, max);
+        cuts
+    }
+
+    /// Single-binary implied-bound cuts: `bin=val ⇒ x ⋄ bound` linearized
+    /// over the binary so the relaxation feels the implication fractionally.
+    fn implied_bound_cuts(&mut self, x: &[f64], cuts: &mut Vec<SparseRow>, max: usize) {
+        for bi in self.bound_impls.clone() {
+            let (b, v) = (bi.bin, bi.var);
+            let (terms, rhs) = match bi.kind {
+                BoundKind::Lower => {
+                    let l = self.lb[v];
+                    if !l.is_finite() {
+                        continue;
+                    }
+                    let g = bi.bound - l;
+                    if g <= 1e-9 {
+                        continue;
+                    }
+                    if bi.val {
+                        (vec![(v, -1.0), (b, g)], -l)
+                    } else {
+                        (vec![(v, -1.0), (b, -g)], -bi.bound)
+                    }
+                }
+                BoundKind::Upper => {
+                    let u = self.ub[v];
+                    if !u.is_finite() {
+                        continue;
+                    }
+                    let g = u - bi.bound;
+                    if g <= 1e-9 {
+                        continue;
+                    }
+                    if bi.val {
+                        (vec![(v, 1.0), (b, g)], u)
+                    } else {
+                        (vec![(v, 1.0), (b, -g)], bi.bound)
+                    }
+                }
+            };
+            if violated(&terms, rhs, x) && !self.push(cuts, terms, rhs, max) {
+                return;
+            }
+        }
+    }
+
+    /// Pair-vertex implied-bound cuts. With `φ = c0 + sp·p + sq·q` (1 at
+    /// the probed vertex, 0 at adjacent vertices, -1 opposite), a lower
+    /// implication `x >= bound` at the vertex linearizes to
+    /// `x >= lb + (bound-lb)·φ`, which holds at all four vertices and cuts
+    /// fractional `(p, q)` points — the tightened-disjunction inequality
+    /// for the floorplan non-overlap rows.
+    fn pair_bound_cuts(&mut self, x: &[f64], cuts: &mut Vec<SparseRow>, max: usize) {
+        for pi in self.pair_impls.clone() {
+            let sp = if pi.vp { 1.0 } else { -1.0 };
+            let sq = if pi.vq { 1.0 } else { -1.0 };
+            let c0 = f64::from(u8::from(!pi.vp)) + f64::from(u8::from(!pi.vq)) - 1.0;
+            let v = pi.var;
+            let (terms, rhs) = match pi.kind {
+                BoundKind::Lower => {
+                    let l = self.lb[v];
+                    if !l.is_finite() {
+                        continue;
+                    }
+                    let g = pi.bound - l;
+                    if g <= 1e-9 {
+                        continue;
+                    }
+                    (vec![(v, -1.0), (pi.p, g * sp), (pi.q, g * sq)], -l - g * c0)
+                }
+                BoundKind::Upper => {
+                    let u = self.ub[v];
+                    if !u.is_finite() {
+                        continue;
+                    }
+                    let g = u - pi.bound;
+                    if g <= 1e-9 {
+                        continue;
+                    }
+                    (vec![(v, 1.0), (pi.p, g * sp), (pi.q, g * sq)], u - g * c0)
+                }
+            };
+            if violated(&terms, rhs, x) && !self.push(cuts, terms, rhs, max) {
+                return;
+            }
+        }
+    }
+
+    /// Clique cuts from the conflict graph: each violated "not both" edge
+    /// is greedily extended to a maximal clique (largest LP value first),
+    /// giving `Σ clique <= 1`.
+    fn clique_cuts(&mut self, x: &[f64], cuts: &mut Vec<SparseRow>, max: usize) {
+        for (p, q) in self.conflicts.clone() {
+            if x[p] + x[q] <= 1.0 + CUT_VIOLATION {
+                continue;
+            }
+            let mut clique = vec![p, q];
+            loop {
+                let mut best: Option<usize> = None;
+                for (&cand, neigh) in &self.adjacent {
+                    if clique.contains(&cand) || !self.bin[cand] {
+                        continue;
+                    }
+                    if clique.iter().all(|m| neigh.contains(m))
+                        && best.is_none_or(|b| x[cand] > x[b] + 1e-12)
+                    {
+                        best = Some(cand);
+                    }
+                }
+                match best {
+                    Some(c) => clique.push(c),
+                    None => break,
+                }
+            }
+            clique.sort_unstable();
+            let lhs: f64 = clique.iter().map(|&j| x[j]).sum();
+            if lhs > 1.0 + CUT_VIOLATION {
+                let terms: Vec<(usize, f64)> = clique.iter().map(|&j| (j, 1.0)).collect();
+                if !self.push(cuts, terms, 1.0, max) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Knapsack cover cuts from each `<=` row's binary support: complement
+    /// negative coefficients, absorb the continuous part's worst case into
+    /// the capacity, greedily build a violated minimal cover `C`, and emit
+    /// `Σ_{j∈C} x'_j <= |C| - 1` back in original variables.
+    fn cover_cuts(&mut self, x: &[f64], rows: &[SparseRow], cuts: &mut Vec<SparseRow>, max: usize) {
+        for (terms, cmp, rhs) in rows {
+            if *cmp != Cmp::Le {
+                continue;
+            }
+            let mut cap = *rhs;
+            // (column, weight, complemented LP value, complemented?)
+            let mut items: Vec<(usize, f64, f64, bool)> = Vec::new();
+            let mut finite = true;
+            for &(j, a) in terms {
+                if self.bin[j] && a.abs() > 1e-9 {
+                    if a > 0.0 {
+                        items.push((j, a, x[j], false));
+                    } else {
+                        cap -= a; // substitute x = 1 - x'
+                        items.push((j, -a, 1.0 - x[j], true));
+                    }
+                } else {
+                    let mn = if a >= 0.0 {
+                        a * self.lb[j]
+                    } else {
+                        a * self.ub[j]
+                    };
+                    if !mn.is_finite() {
+                        finite = false;
+                        break;
+                    }
+                    cap -= mn;
+                }
+            }
+            if !finite || items.len() < 2 || cap < -1e-9 {
+                continue;
+            }
+            let total: f64 = items.iter().map(|i| i.1).sum();
+            if total <= cap + 1e-9 {
+                continue; // no cover exists
+            }
+            items.sort_by(|a, b| {
+                b.2.partial_cmp(&a.2)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+            let mut cover: Vec<(usize, f64, f64, bool)> = Vec::new();
+            let mut w = 0.0;
+            for it in &items {
+                cover.push(*it);
+                w += it.1;
+                if w > cap + 1e-9 {
+                    break;
+                }
+            }
+            if w <= cap + 1e-9 {
+                continue;
+            }
+            // Minimalize from the weakest member up.
+            let mut i = cover.len();
+            while i > 0 {
+                i -= 1;
+                if w - cover[i].1 > cap + 1e-9 {
+                    w -= cover[i].1;
+                    cover.remove(i);
+                }
+            }
+            let lhs: f64 = cover.iter().map(|it| it.2).sum();
+            if lhs <= cover.len() as f64 - 1.0 + CUT_VIOLATION {
+                continue;
+            }
+            let ncompl = cover.iter().filter(|it| it.3).count();
+            let mut terms: Vec<(usize, f64)> = cover
+                .iter()
+                .map(|it| (it.0, if it.3 { -1.0 } else { 1.0 }))
+                .collect();
+            terms.sort_unstable_by_key(|t| t.0);
+            let rhs = cover.len() as f64 - 1.0 - ncompl as f64;
+            if !self.push(cuts, terms, rhs, max) {
+                return;
+            }
+        }
+    }
+}
+
+/// Whether the `<=` cut is violated at `x` beyond [`CUT_VIOLATION`].
+fn violated(terms: &[(usize, f64)], rhs: f64, x: &[f64]) -> bool {
+    let act: f64 = terms.iter().map(|&(j, a)| a * x[j]).sum();
+    act > rhs + CUT_VIOLATION
 }
 
 #[cfg(test)]
@@ -262,6 +1198,7 @@ mod tests {
             vec![100.0, 100.0],
             &[false, false],
             1e-7,
+            4,
         );
         assert_eq!(p.status, PresolveStatus::Reduced);
         assert!(p.kept_rows.is_empty());
@@ -273,7 +1210,7 @@ mod tests {
     fn redundant_rows_dropped() {
         // x + y <= 100 with x,y in [0,10] can never bind.
         let rows = vec![le(vec![(0, 1.0), (1, 1.0)], 100.0)];
-        let p = presolve(&rows, vec![0.0; 2], vec![10.0; 2], &[false; 2], 1e-7);
+        let p = presolve(&rows, vec![0.0; 2], vec![10.0; 2], &[false; 2], 1e-7, 4);
         assert!(p.kept_rows.is_empty());
     }
 
@@ -281,11 +1218,11 @@ mod tests {
     fn infeasibility_detected() {
         // x + y >= 50 with x,y in [0,10].
         let rows = vec![ge(vec![(0, 1.0), (1, 1.0)], 50.0)];
-        let p = presolve(&rows, vec![0.0; 2], vec![10.0; 2], &[false; 2], 1e-7);
+        let p = presolve(&rows, vec![0.0; 2], vec![10.0; 2], &[false; 2], 1e-7, 4);
         assert_eq!(p.status, PresolveStatus::Infeasible);
         // Crossed bounds after singleton folding also infeasible.
         let rows = vec![le(vec![(0, 1.0)], 1.0), ge(vec![(0, 1.0)], 2.0)];
-        let p = presolve(&rows, vec![0.0], vec![10.0], &[false], 1e-7);
+        let p = presolve(&rows, vec![0.0], vec![10.0], &[false], 1e-7, 4);
         assert_eq!(p.status, PresolveStatus::Infeasible);
     }
 
@@ -299,6 +1236,7 @@ mod tests {
             vec![f64::INFINITY, f64::INFINITY],
             &[false, false],
             1e-7,
+            4,
         );
         assert_eq!(p.status, PresolveStatus::Reduced);
         assert!((p.ub[0] - 5.0).abs() < 1e-9);
@@ -311,7 +1249,7 @@ mod tests {
     fn integral_bounds_round_inward() {
         // 2x <= 5 with x integer -> x <= 2.
         let rows = vec![le(vec![(0, 2.0)], 5.0)];
-        let p = presolve(&rows, vec![0.0], vec![10.0], &[true], 1e-7);
+        let p = presolve(&rows, vec![0.0], vec![10.0], &[true], 1e-7, 4);
         assert_eq!(p.ub[0], 2.0);
     }
 
@@ -319,17 +1257,17 @@ mod tests {
     fn ge_implied_bounds() {
         // x + y >= 8 with y <= 3 implies x >= 5.
         let rows = vec![ge(vec![(0, 1.0), (1, 1.0)], 8.0)];
-        let p = presolve(&rows, vec![0.0, 0.0], vec![10.0, 3.0], &[false; 2], 1e-7);
+        let p = presolve(&rows, vec![0.0, 0.0], vec![10.0, 3.0], &[false; 2], 1e-7, 4);
         assert!((p.lb[0] - 5.0).abs() < 1e-9);
     }
 
     #[test]
     fn empty_row_feasibility() {
         let rows = vec![(vec![], Cmp::Le, -1.0)];
-        let p = presolve(&rows, vec![], vec![], &[], 1e-7);
+        let p = presolve(&rows, vec![], vec![], &[], 1e-7, 4);
         assert_eq!(p.status, PresolveStatus::Infeasible);
         let rows = vec![(vec![], Cmp::Le, 1.0)];
-        let p = presolve(&rows, vec![], vec![], &[], 1e-7);
+        let p = presolve(&rows, vec![], vec![], &[], 1e-7, 4);
         assert_eq!(p.status, PresolveStatus::Reduced);
     }
 
@@ -337,7 +1275,7 @@ mod tests {
     fn negative_coefficients() {
         // -x <= -4  =>  x >= 4 (singleton with negative coefficient).
         let rows = vec![le(vec![(0, -1.0)], -4.0)];
-        let p = presolve(&rows, vec![0.0], vec![10.0], &[false], 1e-7);
+        let p = presolve(&rows, vec![0.0], vec![10.0], &[false], 1e-7, 4);
         assert_eq!(p.lb[0], 4.0);
         assert!(p.kept_rows.is_empty());
     }
@@ -352,8 +1290,353 @@ mod tests {
             vec![100.0, 100.0],
             &[false, false],
             1e-7,
+            4,
         );
         assert!((p.ub[0] - 3.0).abs() < 1e-9);
         assert!((p.ub[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn passes_reported_and_capped() {
+        // The dependent row comes first, so a single in-order pass cannot
+        // see through the chain; a cap of one stops early and says so.
+        let rows = vec![le(vec![(1, 1.0), (0, -1.0)], 0.0), le(vec![(0, 1.0)], 3.0)];
+        let p = presolve(
+            &rows,
+            vec![0.0, 0.0],
+            vec![100.0, 100.0],
+            &[false, false],
+            1e-7,
+            1,
+        );
+        assert_eq!(p.passes, 1);
+        assert!(p.ub[1] > 50.0, "one pass cannot see through the chain");
+        let p = presolve(
+            &rows,
+            vec![0.0, 0.0],
+            vec![100.0, 100.0],
+            &[false, false],
+            1e-7,
+            8,
+        );
+        assert!(p.passes >= 2 && p.passes <= 8);
+        assert!((p.ub[1] - 3.0).abs() < 1e-9);
+    }
+
+    // -- strengthening ------------------------------------------------------
+
+    /// `x + 5b <= 12` with `x in [0, 8]`: the `b = 0` branch has slack 4,
+    /// so the row tightens to `x + b <= 8` (both integer branches intact).
+    #[test]
+    fn big_m_positive_coefficient_tightens() {
+        let mut rows = vec![le(vec![(0, 1.0), (1, 5.0)], 12.0)];
+        let mut lb = vec![0.0, 0.0];
+        let mut ub = vec![8.0, 1.0];
+        let st = strengthen(&mut rows, &mut lb, &mut ub, &[false, true], 1e-7, 0).unwrap();
+        assert_eq!(st.rows_tightened, 1);
+        assert!((rows[0].0[1].1 - 1.0).abs() < 1e-9, "coeff: {:?}", rows[0]);
+        assert!((rows[0].2 - 8.0).abs() < 1e-9);
+    }
+
+    /// `x - 10b <= 0` with `x in [0, 8]`: the `b = 1` branch relaxes to
+    /// `x <= 10`, never binding, so the coefficient lifts to `-8`.
+    #[test]
+    fn big_m_negative_coefficient_lifts() {
+        let mut rows = vec![le(vec![(0, 1.0), (1, -10.0)], 0.0)];
+        let mut lb = vec![0.0, 0.0];
+        let mut ub = vec![8.0, 1.0];
+        let st = strengthen(&mut rows, &mut lb, &mut ub, &[false, true], 1e-7, 0).unwrap();
+        assert_eq!(st.rows_tightened, 1);
+        assert!(
+            (rows[0].0[1].1 - (-8.0)).abs() < 1e-9,
+            "coeff: {:?}",
+            rows[0]
+        );
+        assert!((rows[0].2 - 0.0).abs() < 1e-9);
+    }
+
+    /// `x + 10b >= 3` with `x in [0, 8]`: through negation the big-M
+    /// shrinks to the least coefficient covering the `b = 1` branch.
+    #[test]
+    fn big_m_ge_row_tightens_via_negation() {
+        let mut rows = vec![ge(vec![(0, 1.0), (1, 10.0)], 3.0)];
+        let mut lb = vec![0.0, 0.0];
+        let mut ub = vec![8.0, 1.0];
+        let st = strengthen(&mut rows, &mut lb, &mut ub, &[false, true], 1e-7, 0).unwrap();
+        assert_eq!(st.rows_tightened, 1);
+        assert_eq!(rows[0].1, Cmp::Ge);
+        assert!((rows[0].0[1].1 - 3.0).abs() < 1e-9, "coeff: {:?}", rows[0]);
+        assert!((rows[0].2 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probing_fixes_contradicted_binary() {
+        // x - 4b >= 2 and x + 4b <= 8 with x in [0, 10]: neither row alone
+        // moves b (each implied bound stays above 1), but probing b = 1
+        // chains them into x >= 6 and x <= 4 — contradiction, so b = 0.
+        let mut rows = vec![
+            ge(vec![(0, 1.0), (1, -4.0)], 2.0),
+            le(vec![(0, 1.0), (1, 4.0)], 8.0),
+        ];
+        let mut lb = vec![0.0, 0.0];
+        let mut ub = vec![10.0, 1.0];
+        let st = strengthen(&mut rows, &mut lb, &mut ub, &[false, true], 1e-7, 64).unwrap();
+        assert_eq!(st.binaries_fixed, 1);
+        assert_eq!((lb[1], ub[1]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn probing_detects_total_infeasibility() {
+        // x in [6, 10], x + 10b <= 10 and x - 10b <= 0: both b values die.
+        let mut rows = vec![
+            le(vec![(0, 1.0), (1, 10.0)], 10.0),
+            le(vec![(0, 1.0), (1, -10.0)], 0.0),
+        ];
+        let mut lb = vec![6.0, 0.0];
+        let mut ub = vec![10.0, 1.0];
+        assert!(strengthen(&mut rows, &mut lb, &mut ub, &[false, true], 1e-7, 64).is_err());
+    }
+
+    #[test]
+    fn probing_harvests_binary_implication() {
+        // b + c <= 1 with both binaries and enough budget: probing b = 1
+        // forces c = 0.
+        let mut rows = vec![
+            le(vec![(0, 1.0), (1, 1.0)], 1.0),
+            // A second, non-binary row keeps the system from being solved
+            // outright by bound propagation.
+            le(vec![(0, 1.0), (2, 1.0)], 5.0),
+        ];
+        let mut lb = vec![0.0, 0.0, 0.0];
+        let mut ub = vec![1.0, 1.0, 10.0];
+        let st = strengthen(&mut rows, &mut lb, &mut ub, &[true, true, false], 1e-7, 64).unwrap();
+        assert!(
+            st.implications.contains(&Implication {
+                bin: 0,
+                val: true,
+                other: 1,
+                forced: false,
+            }),
+            "implications: {:?}",
+            st.implications
+        );
+    }
+
+    #[test]
+    fn pair_probing_harvests_vertex_bound() {
+        // The placement disjunction shape: y_j + 4 - y_i + 10p + 10q <= 20
+        // (i.e. "i above j" when (p, q) = (1, 1)) with y's in [0, 10]. At
+        // the (1, 1) vertex propagation derives y_i >= y_j + 4 >= 4 — a
+        // bound that only holds at that vertex, which the separator turns
+        // into the tightened-disjunction cut -y_i + 4p + 4q <= 4.
+        let mut rows = vec![le(vec![(0, -1.0), (1, 1.0), (2, 10.0), (3, 10.0)], 16.0)];
+        let mut lb = vec![0.0; 4];
+        let mut ub = vec![10.0, 10.0, 1.0, 1.0];
+        let integral = [false, false, true, true];
+        let st = strengthen(&mut rows, &mut lb, &mut ub, &integral, 1e-7, 64).unwrap();
+        assert!(
+            st.pair_impls.iter().any(|pi| pi.p == 2
+                && pi.q == 3
+                && pi.vp
+                && pi.vq
+                && pi.var == 0
+                && pi.kind == BoundKind::Lower
+                && (pi.bound - 4.0).abs() < 1e-9),
+            "pair implications: {:?}",
+            st.pair_impls
+        );
+
+        // Violated at the fractional-friendly point (y_i, y_j, p, q) =
+        // (0, 0, 1, 1); the emitted cut must not be the original row.
+        let mut sep = CutSeparator::new(&st, &rows, &lb, &ub, &integral);
+        let cuts = sep.separate(&[0.0, 0.0, 1.0, 1.0], &rows, 64);
+        let cut = cuts
+            .iter()
+            .find(|(t, _, _)| t.iter().any(|&(j, a)| j == 0 && a < 0.0))
+            .unwrap_or_else(|| panic!("no pair cut on y_i: {cuts:?}"));
+        // Every integer vertex with its implied y_i survives the cuts.
+        for pt in [
+            [0.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+            [4.0, 0.0, 1.0, 1.0],
+            [10.0, 6.0, 1.0, 1.0],
+        ] {
+            let act: f64 = cut.0.iter().map(|&(j, a)| a * pt[j]).sum();
+            assert!(act <= cut.2 + 1e-9, "cut {cut:?} excludes vertex {pt:?}");
+        }
+    }
+
+    #[test]
+    fn cover_cut_separated_and_valid() {
+        // 3a + 4b + 2c <= 6: {a, b} is a minimal cover; at the fractional
+        // point (1, 0.9, 0) it is violated and yields a + b <= 1.
+        let rows = vec![le(vec![(0, 3.0), (1, 4.0), (2, 2.0)], 6.0)];
+        let lb = vec![0.0; 3];
+        let ub = vec![1.0; 3];
+        let integral = [true, true, true];
+        let st = Strengthened::default();
+        let mut sep = CutSeparator::new(&st, &rows, &lb, &ub, &integral);
+        let cuts = sep.separate(&[1.0, 0.9, 0.0], &rows, 64);
+        assert!(
+            cuts.iter()
+                .any(|(t, _, rhs)| t == &vec![(0, 1.0), (1, 1.0)] && (*rhs - 1.0).abs() < 1e-9),
+            "cuts: {cuts:?}"
+        );
+        // No cover is violated at an integral feasible point.
+        let none = sep.separate(&[0.0, 1.0, 1.0], &rows, 64);
+        assert!(none.is_empty(), "spurious cuts: {none:?}");
+    }
+
+    #[test]
+    fn logic_cuts_dedup_against_existing_rows() {
+        let st = Strengthened {
+            implications: vec![Implication {
+                bin: 0,
+                val: true,
+                other: 1,
+                forced: false,
+            }],
+            ..Strengthened::default()
+        };
+        // The model already carries p + q <= 1: the logic cut is a dup.
+        let rows = vec![le(vec![(0, 1.0), (1, 1.0)], 1.0)];
+        let lb = vec![0.0; 2];
+        let ub = vec![1.0; 2];
+        let mut sep = CutSeparator::new(&st, &rows, &lb, &ub, &[true, true]);
+        assert!(sep.logic_cuts(64).is_empty());
+
+        // Without the row it materializes.
+        let mut sep = CutSeparator::new(&st, &[], &lb, &ub, &[true, true]);
+        let cuts = sep.logic_cuts(64);
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].0, vec![(0, 1.0), (1, 1.0)]);
+    }
+
+    /// Satellite: randomized check that the whole strengthening pipeline —
+    /// tightening, probing, and every cut family — never excludes an
+    /// integer point that was feasible in the original system.
+    #[test]
+    fn strengthening_never_cuts_feasible_integer_points() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let feasible = |pt: &[f64], rows: &[SparseRow], lb: &[f64], ub: &[f64]| -> bool {
+            pt.iter()
+                .zip(lb.iter().zip(ub.iter()))
+                .all(|(&v, (&l, &u))| v >= l - 1e-9 && v <= u + 1e-9)
+                && rows.iter().all(|(t, cmp, rhs)| {
+                    let act: f64 = t.iter().map(|&(j, a)| a * pt[j]).sum();
+                    match cmp {
+                        Cmp::Le => act <= rhs + 1e-7,
+                        Cmp::Ge => act >= rhs - 1e-7,
+                        Cmp::Eq => (act - rhs).abs() <= 1e-7,
+                    }
+                })
+        };
+
+        for seed in 0..25u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let nbin = rng.gen_range(2..6usize);
+            let ncont = rng.gen_range(1..4usize);
+            let n = nbin + ncont;
+            let lb0 = vec![0.0; n];
+            let ub0: Vec<f64> = (0..n)
+                .map(|j| {
+                    if j < nbin {
+                        1.0
+                    } else {
+                        2.0 + rng.gen_range(0..8) as f64
+                    }
+                })
+                .collect();
+            let integral: Vec<bool> = (0..n).map(|j| j < nbin).collect();
+
+            let mut rows: Vec<SparseRow> = Vec::new();
+            for _ in 0..rng.gen_range(2..6usize) {
+                let mut terms: Vec<(usize, f64)> = Vec::new();
+                for j in 0..n {
+                    if rng.gen_bool(0.6) {
+                        let mag = rng.gen_range(1..12) as f64;
+                        terms.push((j, if rng.gen_bool(0.3) { -mag } else { mag }));
+                    }
+                }
+                if terms.is_empty() {
+                    continue;
+                }
+                // rhs near the midpoint activity keeps the system feasible
+                // often enough to matter while still binding.
+                let mid: f64 = terms
+                    .iter()
+                    .map(|&(j, a)| a * 0.5 * (lb0[j] + ub0[j]))
+                    .sum();
+                rows.push((terms, Cmp::Le, mid + rng.gen_range(0..6) as f64));
+            }
+
+            // Sample feasible integer points of the ORIGINAL system.
+            let orig = rows.clone();
+            let mut points: Vec<Vec<f64>> = Vec::new();
+            for _ in 0..300 {
+                let pt: Vec<f64> = (0..n)
+                    .map(|j| {
+                        if j < nbin {
+                            f64::from(u8::from(rng.gen_bool(0.5)))
+                        } else {
+                            rng.gen_range(0..=(ub0[j] as i64)) as f64
+                        }
+                    })
+                    .collect();
+                if feasible(&pt, &orig, &lb0, &ub0) {
+                    points.push(pt);
+                }
+                if points.len() >= 12 {
+                    break;
+                }
+            }
+
+            let mut lb = lb0.clone();
+            let mut ub = ub0.clone();
+            let st = match strengthen(&mut rows, &mut lb, &mut ub, &integral, 1e-7, 256) {
+                Ok(st) => st,
+                Err(()) => {
+                    assert!(
+                        points.is_empty(),
+                        "seed {seed}: strengthen proved infeasible but {} feasible points exist",
+                        points.len()
+                    );
+                    continue;
+                }
+            };
+
+            // Generate every cut family: unconditional logic cuts plus
+            // separation against random fractional LP-like points.
+            let mut all_rows = rows.clone();
+            let mut sep = CutSeparator::new(&st, &rows, &lb, &ub, &integral);
+            all_rows.extend(sep.logic_cuts(256));
+            for _ in 0..4 {
+                let x: Vec<f64> = (0..n)
+                    .map(|j| {
+                        let (l, u) = (lb[j], ub[j]);
+                        if l > u {
+                            l
+                        } else {
+                            l + rng.gen::<f64>() * (u - l)
+                        }
+                    })
+                    .collect();
+                let cuts = sep.separate(&x, &all_rows, 256);
+                if cuts.is_empty() {
+                    break;
+                }
+                all_rows.extend(cuts);
+            }
+
+            for pt in &points {
+                assert!(
+                    feasible(pt, &all_rows, &lb, &ub),
+                    "seed {seed}: strengthening cut off feasible point {pt:?}"
+                );
+            }
+        }
     }
 }

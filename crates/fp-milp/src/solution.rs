@@ -51,6 +51,19 @@ pub struct SolveStats {
     pub threads: usize,
     /// Per-worker node and pivot counts; length equals [`threads`](Self::threads).
     pub per_thread: Vec<ThreadStats>,
+    /// Classic presolve fixpoint passes actually run (capped by
+    /// [`SolveOptions::presolve_passes`](crate::SolveOptions::presolve_passes)).
+    pub presolve_passes: usize,
+    /// Rows whose big-M / binary coefficients were tightened at the root.
+    pub rows_tightened: usize,
+    /// Binaries fixed by root probing (tentative fix propagated to a
+    /// contradiction, so the opposite value is forced).
+    pub binaries_fixed: usize,
+    /// Binary implications harvested by probing (`x=1 ⇒ y=v` edges feeding
+    /// the clique cuts).
+    pub implications: usize,
+    /// Cutting planes appended to the root LP (inherited by every node).
+    pub cuts_added: usize,
 }
 
 /// The result of a successful solve: an assignment of values to every model

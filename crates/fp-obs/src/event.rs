@@ -92,6 +92,26 @@ pub enum Event {
         /// Incumbent objective in the model's own sense.
         objective: f64,
     },
+    /// Root presolve and model strengthening finished (emitted once per
+    /// MILP solve, before any branch-and-bound node).
+    Presolve {
+        /// Classic presolve fixpoint passes run.
+        passes: usize,
+        /// Rows whose big-M / binary coefficients were tightened.
+        rows_tightened: usize,
+        /// Binaries fixed by 0-1 probing.
+        binaries_fixed: usize,
+        /// Binary implications harvested by probing.
+        implications: usize,
+    },
+    /// One root cut-separation round added cutting planes to the LP
+    /// (round 0 is the unconditional implication-logic round).
+    CutRound {
+        /// Zero-based separation round index.
+        round: usize,
+        /// Cuts appended in this round.
+        cuts: usize,
+    },
     /// A MILP solve finished (also emitted when the solve errors; node
     /// counts then reflect the work done before the error).
     SolveEnd {
@@ -230,11 +250,15 @@ pub enum EventKind {
     CacheMiss,
     /// [`Event::JobDone`]
     JobDone,
+    /// [`Event::Presolve`]
+    Presolve,
+    /// [`Event::CutRound`]
+    CutRound,
 }
 
 impl EventKind {
     /// Number of event kinds (sizes the per-kind counter array).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 17;
 
     /// Every kind, in counter-index order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -253,6 +277,8 @@ impl EventKind {
         EventKind::CacheHit,
         EventKind::CacheMiss,
         EventKind::JobDone,
+        EventKind::Presolve,
+        EventKind::CutRound,
     ];
 
     /// Dense index of this kind in [`EventKind::ALL`].
@@ -274,6 +300,8 @@ impl EventKind {
             EventKind::CacheHit => 12,
             EventKind::CacheMiss => 13,
             EventKind::JobDone => 14,
+            EventKind::Presolve => 15,
+            EventKind::CutRound => 16,
         }
     }
 
@@ -296,6 +324,8 @@ impl EventKind {
             EventKind::CacheHit => "CacheHit",
             EventKind::CacheMiss => "CacheMiss",
             EventKind::JobDone => "JobDone",
+            EventKind::Presolve => "Presolve",
+            EventKind::CutRound => "CutRound",
         }
     }
 }
@@ -320,6 +350,8 @@ impl Event {
             Event::CacheHit { .. } => EventKind::CacheHit,
             Event::CacheMiss { .. } => EventKind::CacheMiss,
             Event::JobDone { .. } => EventKind::JobDone,
+            Event::Presolve { .. } => EventKind::Presolve,
+            Event::CutRound { .. } => EventKind::CutRound,
         }
     }
 }
@@ -382,6 +414,21 @@ impl Record {
                 field("pivots", pivots.to_string());
             }
             Event::Incumbent { objective } => field("objective", jnum(*objective)),
+            Event::Presolve {
+                passes,
+                rows_tightened,
+                binaries_fixed,
+                implications,
+            } => {
+                field("passes", passes.to_string());
+                field("rows_tightened", rows_tightened.to_string());
+                field("binaries_fixed", binaries_fixed.to_string());
+                field("implications", implications.to_string());
+            }
+            Event::CutRound { round, cuts } => {
+                field("round", round.to_string());
+                field("cuts", cuts.to_string());
+            }
             Event::SolveEnd {
                 nodes,
                 simplex_iterations,

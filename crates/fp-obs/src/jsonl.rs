@@ -284,7 +284,9 @@ pub fn parse_line(line: &str) -> Result<ParsedRecord, String> {
 /// Parses `line` and checks the trace schema: a numeric `seq`, a string
 /// `phase` and a string `event` field must be present. `BnbNode` lines
 /// additionally carry a numeric `depth`, a boolean `warm` and a numeric
-/// `pivots` (the warm-start coverage fields downstream tooling keys on).
+/// `pivots` (the warm-start coverage fields downstream tooling keys on);
+/// `Presolve` lines carry the four numeric strengthening counters and
+/// `CutRound` lines a numeric `round` and `cuts`.
 ///
 /// # Errors
 ///
@@ -307,6 +309,20 @@ pub fn validate_line(line: &str) -> Result<ParsedRecord, String> {
         }
         if parsed.bool_field("warm").is_none() {
             return Err("BnbNode: missing boolean 'warm' field".to_string());
+        }
+    }
+    if parsed.str_field("event") == Some("Presolve") {
+        for key in ["passes", "rows_tightened", "binaries_fixed", "implications"] {
+            if parsed.num(key).is_none() {
+                return Err(format!("Presolve: missing numeric '{key}' field"));
+            }
+        }
+    }
+    if parsed.str_field("event") == Some("CutRound") {
+        for key in ["round", "cuts"] {
+            if parsed.num(key).is_none() {
+                return Err(format!("CutRound: missing numeric '{key}' field"));
+            }
         }
     }
     Ok(parsed)
@@ -424,12 +440,22 @@ mod tests {
                 cached: true,
             },
         );
+        t.emit(
+            Phase::Solver,
+            Event::Presolve {
+                passes: 3,
+                rows_tightened: 11,
+                binaries_fixed: 2,
+                implications: 5,
+            },
+        );
+        t.emit(Phase::Solver, Event::CutRound { round: 1, cuts: 6 });
         t.flush();
 
         let bytes = buf.0.lock().unwrap().clone();
         let text = String::from_utf8(bytes).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 15);
+        assert_eq!(lines.len(), 17);
         for (i, line) in lines.iter().enumerate() {
             let parsed = validate_line(line).unwrap_or_else(|e| panic!("line {i}: {e}\n{line}"));
             assert_eq!(parsed.num("seq"), Some(i as f64));
@@ -448,6 +474,34 @@ mod tests {
         let done = parse_line(lines[14]).unwrap();
         assert_eq!(done.num("id"), Some(9.0));
         assert_eq!(done.get("cached"), Some(&JsonValue::Bool(true)));
+        let pre = parse_line(lines[15]).unwrap();
+        assert_eq!(pre.str_field("event"), Some("Presolve"));
+        assert_eq!(pre.num("rows_tightened"), Some(11.0));
+        assert_eq!(pre.num("implications"), Some(5.0));
+        let cut = parse_line(lines[16]).unwrap();
+        assert_eq!(cut.str_field("event"), Some("CutRound"));
+        assert_eq!(cut.num("cuts"), Some(6.0));
+    }
+
+    #[test]
+    fn presolve_and_cut_round_lines_require_counters() {
+        let ok = "{\"seq\":0,\"phase\":\"solver\",\"event\":\"Presolve\",\"passes\":2,\
+                  \"rows_tightened\":3,\"binaries_fixed\":0,\"implications\":1}";
+        validate_line(ok).unwrap();
+        let ok = "{\"seq\":1,\"phase\":\"solver\",\"event\":\"CutRound\",\"round\":0,\"cuts\":4}";
+        validate_line(ok).unwrap();
+        for bad in [
+            // Presolve missing a counter.
+            "{\"seq\":0,\"phase\":\"s\",\"event\":\"Presolve\",\"passes\":2,\
+             \"rows_tightened\":3,\"binaries_fixed\":0}",
+            // Non-numeric counter.
+            "{\"seq\":0,\"phase\":\"s\",\"event\":\"Presolve\",\"passes\":2,\
+             \"rows_tightened\":\"x\",\"binaries_fixed\":0,\"implications\":1}",
+            // CutRound missing cuts.
+            "{\"seq\":0,\"phase\":\"s\",\"event\":\"CutRound\",\"round\":0}",
+        ] {
+            assert!(validate_line(bad).is_err(), "should reject: {bad}");
+        }
     }
 
     #[test]

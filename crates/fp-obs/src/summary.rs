@@ -16,6 +16,11 @@ pub fn render_summary(records: &[Record]) -> String {
     let mut incumbents = 0usize;
     let mut bnb_nodes = 0usize;
     let mut warm_bnb = 0usize;
+    let mut presolves = 0usize;
+    let mut rows_tightened = 0usize;
+    let mut binaries_fixed = 0usize;
+    let mut cut_rounds = 0usize;
+    let mut cuts = 0usize;
 
     let mut steps = 0usize;
     let mut optimal = 0usize;
@@ -57,6 +62,19 @@ pub fn render_summary(records: &[Record]) -> String {
             Event::BnbNode { warm, .. } => {
                 bnb_nodes += 1;
                 warm_bnb += usize::from(*warm);
+            }
+            Event::Presolve {
+                rows_tightened: rt,
+                binaries_fixed: bf,
+                ..
+            } => {
+                presolves += 1;
+                rows_tightened += rt;
+                binaries_fixed += bf;
+            }
+            Event::CutRound { cuts: c, .. } => {
+                cut_rounds += 1;
+                cuts += c;
             }
             Event::AugmentStep {
                 binaries,
@@ -131,6 +149,17 @@ pub fn render_summary(records: &[Record]) -> String {
              {solver_nodes} nodes, {simplex} simplex iterations, \
              {incumbents} incumbent updates{warm}\n"
         ));
+        // Strengthening rollup: only when the stream carries Presolve or
+        // CutRound records (older traces and strengthen-off runs have none
+        // worth reporting).
+        if presolves > 0 || cut_rounds > 0 {
+            out.push_str(&format!(
+                "  presolve: {presolves} strengthened roots, \
+                 {rows_tightened} rows tightened, \
+                 {binaries_fixed} binaries fixed, \
+                 {cuts} cuts in {cut_rounds} rounds\n"
+            ));
+        }
     }
     if steps > 0 {
         out.push_str(&format!(
@@ -321,6 +350,48 @@ mod tests {
         ];
         let text = render_summary(&records);
         assert!(text.contains("2/3 warm node solves"), "{text}");
+        // No Presolve/CutRound records: the strengthening rollup is absent.
+        assert!(!text.contains("strengthened roots"), "{text}");
+    }
+
+    #[test]
+    fn strengthening_rollup_appears_with_presolve_records() {
+        let records = vec![
+            rec(
+                0,
+                Phase::Solver,
+                Event::SolveStart {
+                    binaries: 4,
+                    constraints: 9,
+                },
+            ),
+            rec(
+                1,
+                Phase::Solver,
+                Event::Presolve {
+                    passes: 3,
+                    rows_tightened: 5,
+                    binaries_fixed: 1,
+                    implications: 2,
+                },
+            ),
+            rec(2, Phase::Solver, Event::CutRound { round: 0, cuts: 2 }),
+            rec(3, Phase::Solver, Event::CutRound { round: 1, cuts: 4 }),
+            rec(
+                4,
+                Phase::Solver,
+                Event::SolveEnd {
+                    nodes: 3,
+                    simplex_iterations: 17,
+                    proven: true,
+                },
+            ),
+        ];
+        let text = render_summary(&records);
+        assert!(text.contains("1 strengthened roots"), "{text}");
+        assert!(text.contains("5 rows tightened"), "{text}");
+        assert!(text.contains("1 binaries fixed"), "{text}");
+        assert!(text.contains("6 cuts in 2 rounds"), "{text}");
     }
 
     #[test]

@@ -17,6 +17,14 @@ pub enum RouteError {
     },
     /// The routing grid degenerated (zero-area chip).
     DegenerateChip,
+    /// No path exists between two pins of a net, even with every blockage
+    /// relaxed. Unreachable on grids built by [`crate::RoutingGrid::build`]
+    /// (they are connected by construction), but kept as a typed error so a
+    /// malformed grid surfaces as an `Err` instead of a panic.
+    Unroutable {
+        /// The net whose segment could not be routed.
+        net: String,
+    },
 }
 
 impl fmt::Display for RouteError {
@@ -27,6 +35,12 @@ impl fmt::Display for RouteError {
                 write!(f, "net '{net}' references unplaced module '{module}'")
             }
             RouteError::DegenerateChip => write!(f, "chip has zero area; cannot build grid"),
+            RouteError::Unroutable { net } => {
+                write!(
+                    f,
+                    "net '{net}' has pins with no connecting path in the grid"
+                )
+            }
         }
     }
 }
@@ -47,5 +61,7 @@ mod tests {
             module: "alu".into(),
         };
         assert!(e.to_string().contains("clk") && e.to_string().contains("alu"));
+        let u = RouteError::Unroutable { net: "rst".into() };
+        assert!(u.to_string().contains("rst") && u.to_string().contains("no connecting path"));
     }
 }

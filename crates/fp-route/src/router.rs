@@ -220,7 +220,10 @@ pub fn route(
         let mut length = 0.0;
         let mut paths = Vec::with_capacity(tree.len());
         for (a, b) in tree {
-            let (seg_len, path) = route_segment(&grid, &usage, config, pins[a], pins[b]);
+            let (seg_len, path) = route_segment(&grid, &usage, config, pins[a], pins[b])
+                .ok_or_else(|| RouteError::Unroutable {
+                    net: net.name().to_string(),
+                })?;
             // Commit usage along the path edges.
             for &edge_idx in &path.edges {
                 usage[edge_idx] += 1.0;
@@ -351,21 +354,25 @@ fn edge_cost(e: &GridEdge, used: f64, config: &RouteConfig, soft_blockage: bool)
 /// pins are sealed off (fully enclosed pockets) does it fall back to soft
 /// blockage so routing always completes; those crossings then show up as
 /// overflow and drive the channel adjustment.
+///
+/// Returns `None` when even the fully-relaxed grid has no path — impossible
+/// on grids from [`RoutingGrid::build`] (connected by construction), but
+/// propagated as [`RouteError::Unroutable`] by the caller rather than
+/// panicking on a malformed grid.
 fn route_segment(
     grid: &RoutingGrid,
     usage: &[f64],
     config: &RouteConfig,
     from: (Point, Point),
     to: (Point, Point),
-) -> (f64, FoundPath) {
+) -> Option<(f64, FoundPath)> {
     if config.mode == RoutingMode::AroundTheCell {
         if let Some(found) = dijkstra(grid, usage, config, from, to, Blockage::Hard) {
-            return found;
+            return Some(found);
         }
-        return dijkstra(grid, usage, config, from, to, Blockage::Soft)
-            .expect("soft-blockage grid is fully connected");
+        return dijkstra(grid, usage, config, from, to, Blockage::Soft);
     }
-    dijkstra(grid, usage, config, from, to, Blockage::Free).expect("free grid is fully connected")
+    dijkstra(grid, usage, config, from, to, Blockage::Free)
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -669,6 +676,32 @@ mod tests {
             let result = route(&fp, &nl, &cfg).unwrap();
             assert_eq!(result.routes.len(), nl.num_nets(), "{ordering:?}");
             assert!(result.total_wirelength > 0.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_single_cell_grid_routes_without_panicking() {
+        // Two coincident modules covering the whole chip collapse the cut
+        // lines to the chip boundary: the grid is a single (blocked) cell
+        // with zero edges. Every pin anchor clamps into that one cell, so
+        // both hard-blockage Dijkstra and its relaxed fallbacks must take
+        // the source==target path and return Ok — this used to ride on an
+        // `expect("free grid is fully connected")`.
+        let fp = Floorplan::new(
+            6.0,
+            vec![placed(0, 0.0, 0.0, 6.0, 4.0), placed(1, 0.0, 0.0, 6.0, 4.0)],
+        );
+        let mut nl = Netlist::new("d");
+        nl.add_module(Module::rigid("a", 6.0, 4.0, false)).unwrap();
+        nl.add_module(Module::rigid("b", 6.0, 4.0, false)).unwrap();
+        nl.add_net(Net::new("ab", [ModuleId(0), ModuleId(1)]))
+            .unwrap();
+        for mode in [RoutingMode::AroundTheCell, RoutingMode::OverTheCell] {
+            let cfg = RouteConfig::default().with_mode(mode);
+            let result = route(&fp, &nl, &cfg)
+                .unwrap_or_else(|e| panic!("single-cell grid must still route ({mode:?}): {e}"));
+            assert_eq!(result.routes.len(), 1);
+            assert!(result.routes[0].length.is_finite());
         }
     }
 

@@ -87,13 +87,18 @@ impl ServeConfig {
 }
 
 /// Engine-wide branch-and-bound node counters, split by how each node's LP
-/// relaxation was solved (warm dual-simplex restart vs. cold two-phase).
+/// relaxation was solved (warm dual-simplex restart vs. cold two-phase),
+/// plus the root model-strengthening work (rows tightened, binaries fixed,
+/// cuts added) accumulated over every step MILP.
 /// Relaxed ordering suffices: these are monotone telemetry counters, never
 /// used for synchronization.
 #[derive(Debug, Default)]
 struct SolverCounters {
     warm: AtomicU64,
     cold: AtomicU64,
+    rows_tightened: AtomicU64,
+    binaries_fixed: AtomicU64,
+    cuts_added: AtomicU64,
 }
 
 impl SolverCounters {
@@ -102,10 +107,26 @@ impl SolverCounters {
         self.cold.fetch_add(cold as u64, Ordering::Relaxed);
     }
 
+    fn record_strengthening(&self, rows_tightened: usize, binaries_fixed: usize, cuts: usize) {
+        self.rows_tightened
+            .fetch_add(rows_tightened as u64, Ordering::Relaxed);
+        self.binaries_fixed
+            .fetch_add(binaries_fixed as u64, Ordering::Relaxed);
+        self.cuts_added.fetch_add(cuts as u64, Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> (u64, u64) {
         (
             self.warm.load(Ordering::Relaxed),
             self.cold.load(Ordering::Relaxed),
+        )
+    }
+
+    fn strengthening_snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.rows_tightened.load(Ordering::Relaxed),
+            self.binaries_fixed.load(Ordering::Relaxed),
+            self.cuts_added.load(Ordering::Relaxed),
         )
     }
 }
@@ -181,6 +202,14 @@ impl Engine {
     #[must_use]
     pub fn solver_stats(&self) -> (u64, u64) {
         self.solver.snapshot()
+    }
+
+    /// `(rows_tightened, binaries_fixed, cuts_added)` accumulated by the
+    /// root model-strengthening layer over every step MILP this engine has
+    /// solved. All three stay zero when jobs disable strengthening.
+    #[must_use]
+    pub fn strengthening_stats(&self) -> (u64, u64, u64) {
+        self.solver.strengthening_snapshot()
     }
 
     /// Closes the queue, drains every accepted job, joins the workers and
@@ -345,6 +374,11 @@ fn process(
             Ok(result) => {
                 degraded |= result.stats.greedy_fallbacks() > 0;
                 solver.record(result.stats.warm_nodes(), result.stats.cold_nodes());
+                solver.record_strengthening(
+                    result.stats.rows_tightened(),
+                    result.stats.binaries_fixed(),
+                    result.stats.cuts_added(),
+                );
                 let mut fp = result.floorplan;
                 if config.improve_rounds > 0 && !expired(Instant::now()) {
                     // Improvement is best-effort: keep the augmented
@@ -492,6 +526,15 @@ impl Server {
     #[must_use]
     pub fn solver_stats(&self) -> (u64, u64) {
         self.engine.as_ref().map_or((0, 0), Engine::solver_stats)
+    }
+
+    /// `(rows_tightened, binaries_fixed, cuts_added)` from the engine's
+    /// root model-strengthening layer.
+    #[must_use]
+    pub fn strengthening_stats(&self) -> (u64, u64, u64) {
+        self.engine
+            .as_ref()
+            .map_or((0, 0, 0), Engine::strengthening_stats)
     }
 
     /// Blocks until the acceptor exits (it only exits on shutdown or a

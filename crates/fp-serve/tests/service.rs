@@ -154,11 +154,12 @@ fn huge_deadline_does_not_kill_workers() {
 fn cache_answers_second_identical_job() {
     let collector = Collector::new();
     let tracer = Tracer::new(collector.clone());
-    let (first, second, stats, counts, solver) = with_watchdog(move || {
+    let (first, second, stats, counts, solver, strengthen) = with_watchdog(move || {
         let engine = Engine::start(tiny_config().with_workers(2).with_tracer(tracer.clone()));
         let client = engine.client();
         let nl = ProblemGenerator::new(5, 21).generate();
         let first = client.call(JobRequest::new(1, &nl));
+        let after_first = engine.strengthening_stats();
         let second = client.call(JobRequest::new(2, &nl));
         let stats = engine.cache_stats();
         let counts = (
@@ -166,8 +167,9 @@ fn cache_answers_second_identical_job() {
             tracer.count(EventKind::CacheHit),
         );
         let solver = engine.solver_stats();
+        let strengthen = (after_first, engine.strengthening_stats());
         engine.shutdown();
-        (first, second, stats, counts, solver)
+        (first, second, stats, counts, solver, strengthen)
     });
 
     assert!(first.ok && second.ok);
@@ -184,6 +186,13 @@ fn cache_answers_second_identical_job() {
     assert!(
         cold >= 1,
         "the uncached job must have run at least one cold (root) node, got ({warm}, {cold})"
+    );
+    // Strengthening counters accumulate only on real solves: the cached
+    // second job must not move them.
+    let (after_first, after_second) = strengthen;
+    assert_eq!(
+        after_first, after_second,
+        "a cache hit must not touch the strengthening counters"
     );
     // The collected records contain the serve events with matching kinds.
     let records = collector.records();

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_MILP.json: warm-start vs cold branch-and-bound node
-# throughput on the seeded MILP instance set (see
+# throughput plus model-strengthening node reduction and end-to-end
+# speedup on the seeded MILP instance set (see
 # crates/fp-bench/src/bin/milp_snapshot.rs for the methodology).
 set -euo pipefail
 cd "$(dirname "$0")/.."

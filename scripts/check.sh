@@ -42,6 +42,12 @@ grep -q "0 greedy fallback" "$summary_file" \
 # lives in fp-core's trace_regression).
 grep -q '"warm":true' "$trace_file" \
     || { echo "check.sh: ami33 trace has no warm node solves"; exit 1; }
+# Strengthening smoke: every solve emits a Presolve event, and the ami33
+# obstacle big-Ms leave enough slack that at least one step must report
+# tightened rows. All-zero means the strengthening layer silently stopped
+# engaging (the equivalence pins live in fp-milp's strengthen_equivalence).
+grep -Eq '"event":"Presolve".*"rows_tightened":[1-9]' "$trace_file" \
+    || { echo "check.sh: ami33 trace has no Presolve event with tightened rows"; exit 1; }
 
 # Service smoke: bring up `floorplan serve` on an ephemeral port, drive it
 # with the `load` generator over a repeated instance, and require (a) every
