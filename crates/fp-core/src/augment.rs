@@ -81,6 +81,12 @@ pub struct StepStats {
     pub warm_nodes: usize,
     /// Branch-and-bound nodes solved by the cold two-phase primal.
     pub cold_nodes: usize,
+    /// Basis LU (re)factorizations across this step's node LPs (sparse
+    /// revised kernel; `0` when the dense reference kernel is selected).
+    pub refactorizations: usize,
+    /// Eta-file basis updates across this step's node LPs (sparse revised
+    /// kernel only).
+    pub eta_updates: usize,
     /// Rows whose big-M coefficients the root strengthening layer
     /// tightened in this step's MILP.
     pub rows_tightened: usize,
@@ -150,6 +156,20 @@ impl RunStats {
     #[must_use]
     pub fn cold_nodes(&self) -> usize {
         self.steps.iter().map(|s| s.cold_nodes).sum()
+    }
+
+    /// Basis LU (re)factorizations performed by the sparse revised simplex,
+    /// over all steps. Zero when every step ran the dense reference kernel.
+    #[must_use]
+    pub fn refactorizations(&self) -> usize {
+        self.steps.iter().map(|s| s.refactorizations).sum()
+    }
+
+    /// Eta-file basis updates recorded by the sparse revised simplex, over
+    /// all steps.
+    #[must_use]
+    pub fn eta_updates(&self) -> usize {
+        self.steps.iter().map(|s| s.eta_updates).sum()
     }
 
     /// Rows tightened by the root strengthening layer, over all steps.
@@ -298,7 +318,7 @@ impl<'a> Floorplanner<'a> {
             // the *remaining* wall clock, so K steps cannot overshoot by
             // K × the per-step limit.
             let step_options = self.config.budgeted_step_options();
-            let (new_placements, outcome, nodes, pivots, warm, cold, strengthened) =
+            let (new_placements, outcome, nodes, pivots, warm, cold, factor, strengthened) =
                 match step_model
                     .model
                     .solve_traced(&step_options, &self.config.tracer)
@@ -315,6 +335,7 @@ impl<'a> Floorplanner<'a> {
                             sol.stats().simplex_iterations,
                             sol.stats().warm_nodes,
                             sol.stats().cold_nodes,
+                            (sol.stats().refactorizations, sol.stats().eta_updates),
                             (
                                 sol.stats().rows_tightened,
                                 sol.stats().binaries_fixed,
@@ -345,7 +366,16 @@ impl<'a> Floorplanner<'a> {
                                 }
                             })
                             .collect();
-                        (fallback, StepOutcome::GreedyFallback, 0, 0, 0, 0, (0, 0, 0))
+                        (
+                            fallback,
+                            StepOutcome::GreedyFallback,
+                            0,
+                            0,
+                            0,
+                            0,
+                            (0, 0),
+                            (0, 0, 0),
+                        )
                     }
                 };
 
@@ -371,6 +401,8 @@ impl<'a> Floorplanner<'a> {
                 simplex_iterations: pivots,
                 warm_nodes: warm,
                 cold_nodes: cold,
+                refactorizations: factor.0,
+                eta_updates: factor.1,
                 rows_tightened: strengthened.0,
                 binaries_fixed: strengthened.1,
                 cuts_added: strengthened.2,

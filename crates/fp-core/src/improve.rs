@@ -156,7 +156,7 @@ fn reoptimize_band_recorded(
         // incumbent still explored nodes, and those belong in the totals.
         // On errors no `Solution` exists, so the node count comes from the
         // tracer's counter delta (0 when tracing is disabled).
-        let (outcome, nodes, pivots, warm, cold, strengthened) = match &solved {
+        let (outcome, nodes, pivots, warm, cold, factor, strengthened) = match &solved {
             Ok(sol) => (
                 match sol.optimality() {
                     Optimality::Proven => StepOutcome::Optimal,
@@ -166,6 +166,7 @@ fn reoptimize_band_recorded(
                 sol.stats().simplex_iterations,
                 sol.stats().warm_nodes,
                 sol.stats().cold_nodes,
+                (sol.stats().refactorizations, sol.stats().eta_updates),
                 (
                     sol.stats().rows_tightened,
                     sol.stats().binaries_fixed,
@@ -180,6 +181,7 @@ fn reoptimize_band_recorded(
                     0,
                     0,
                     0,
+                    (0, 0),
                     (0, 0, 0),
                 )
             }
@@ -193,6 +195,8 @@ fn reoptimize_band_recorded(
             simplex_iterations: pivots,
             warm_nodes: warm,
             cold_nodes: cold,
+            refactorizations: factor.0,
+            eta_updates: factor.1,
             rows_tightened: strengthened.0,
             binaries_fixed: strengthened.1,
             cuts_added: strengthened.2,

@@ -47,13 +47,26 @@ struct StrengthenCounters {
     cuts_added: usize,
 }
 
-/// Violated-cut separation rounds run against the root relaxation.
+/// Cut generation rounds run against the root relaxation (logic cuts take
+/// the first round, violated-cut separation the rest).
 const CUT_ROUNDS: usize = 4;
 
+/// Relative root-bound improvement a cut round must deliver to be kept.
+/// A round that fails the test is rolled back: cuts that don't move the
+/// relaxation bound still bloat every node LP in the tree and perturb
+/// branching for nothing (the knapsack18 node-count regression).
+const CUT_IMPROVE_TOL: f64 = 1e-9;
+
 /// Appends root cutting planes to `rows`: implication-logic cuts first
-/// (round 0, no LP point needed), then up to [`CUT_ROUNDS`] rounds of
-/// violated-cut separation against the root relaxation. Returns the number
-/// of cuts added (capped at [`SolveOptions::max_cuts`]).
+/// (round 0, no LP point needed), then violated-cut separation against the
+/// root relaxation, up to [`CUT_ROUNDS`] rounds total. Every round is
+/// provisional until the re-solved root LP proves a relative bound
+/// improvement of at least [`CUT_IMPROVE_TOL`]; a stalled round is
+/// truncated off the row set and separation stops. Returns the number of
+/// cuts kept (capped at [`SolveOptions::max_cuts`]) plus the optimal basis
+/// of the final committed row set when the last LP solve still describes
+/// it — the tree's root node warm-starts from that basis instead of
+/// repeating the same cold two-phase solve.
 ///
 /// The LP pivots spent separating are deliberately *not* counted in
 /// [`SolveStats::simplex_iterations`], which tallies tree-node pivots only
@@ -70,31 +83,27 @@ fn add_root_cuts(
     integral: &[bool],
     st: &Strengthened,
     tracer: &Tracer,
-) -> usize {
+) -> (usize, Option<Arc<BasisSnapshot>>) {
     let mut sep = CutSeparator::new(st, rows, lb, ub, integral);
     let max = options.max_cuts;
     let mut added = 0;
 
-    let logic = sep.logic_cuts(max);
-    if !logic.is_empty() {
-        added += logic.len();
-        tracer.emit(
-            Phase::Solver,
-            Event::CutRound {
-                round: 0,
-                cuts: logic.len(),
-            },
-        );
-        rows.extend(logic);
-    }
-
     let deadline = started.checked_add(options.time_limit);
     let lp_cfg = lp_config(options, deadline);
     let mut ws = Workspace::new();
-    for round in 1..=CUT_ROUNDS {
-        if added >= max {
-            break;
-        }
+
+    // Bound of the relaxation over the committed row set; the first
+    // iteration solves the cut-free baseline it is measured against.
+    let mut bound = f64::NEG_INFINITY;
+    // `(round, cuts appended, row count before they were appended)` of the
+    // round awaiting its bound-improvement verdict.
+    let mut pending: Option<(usize, usize, usize)> = None;
+    // Optimal basis over the latest *committed* row set, captured before any
+    // provisional cuts are appended — a rollback truncates back to exactly
+    // the row count this basis was solved over, so it stays reusable.
+    let mut committed: Option<Arc<BasisSnapshot>> = None;
+
+    for round in 0..=CUT_ROUNDS {
         let problem = LpProblem {
             ncols: model.num_vars(),
             rows,
@@ -102,28 +111,70 @@ fn add_root_cuts(
             lb,
             ub,
         };
-        let (outcome, _) = ws.solve(&problem, None, &lp_cfg);
+        // Rounds after the first warm-start from the last committed basis:
+        // the sparse kernel extends it across the appended cut rows (their
+        // slacks go basic) and dual-repairs just those rows.
+        let (outcome, _) = ws.solve(&problem, committed.as_ref(), &lp_cfg);
         let x = match outcome {
-            LpOutcome::Optimal { x, .. } => x,
-            // Infeasible/unbounded/limits: leave the row set as-is and let
-            // the tree surface the condition on its normal path.
-            _ => break,
+            LpOutcome::Optimal { x, obj } => {
+                if let Some((r, count, base_len)) = pending.take() {
+                    if obj > bound + CUT_IMPROVE_TOL * (1.0 + bound.abs()) {
+                        added += count;
+                        tracer.emit(
+                            Phase::Solver,
+                            Event::CutRound {
+                                round: r,
+                                cuts: count,
+                            },
+                        );
+                    } else {
+                        rows.truncate(base_len);
+                        break;
+                    }
+                }
+                bound = obj;
+                committed = Some(ws.snapshot());
+                x
+            }
+            // Infeasible/unbounded/limits: the pending round can't be
+            // judged, but its cuts are valid inequalities — keep them and
+            // let the tree surface the condition on its normal path.
+            _ => {
+                if let Some((r, count, _)) = pending.take() {
+                    added += count;
+                    tracer.emit(
+                        Phase::Solver,
+                        Event::CutRound {
+                            round: r,
+                            cuts: count,
+                        },
+                    );
+                }
+                break;
+            }
         };
-        let cuts = sep.separate(&x, rows, max - added);
+        if round == CUT_ROUNDS || added >= max {
+            break;
+        }
+        // Logic cuts need no LP point and go first; when probing found
+        // none, the first round separates like the rest.
+        let mut cuts = if round == 0 {
+            sep.logic_cuts(max - added)
+        } else {
+            Vec::new()
+        };
+        if cuts.is_empty() {
+            cuts = sep.separate(&x, rows, max - added);
+        }
         if cuts.is_empty() {
             break;
         }
-        added += cuts.len();
-        tracer.emit(
-            Phase::Solver,
-            Event::CutRound {
-                round,
-                cuts: cuts.len(),
-            },
-        );
+        pending = Some((round, cuts.len(), rows.len()));
         rows.extend(cuts);
     }
-    added
+    // `committed.m < rows.len()` (cuts kept on an unjudgeable break) still
+    // warm-starts the root via the same slack-extension load.
+    (added, committed)
 }
 
 /// The per-node LP configuration derived once per solve.
@@ -133,6 +184,8 @@ fn lp_config(options: &SolveOptions, deadline: Option<Instant>) -> LpConfig {
         opt_tol: options.opt_tol,
         deadline,
         warm_pivot_cap: options.warm_pivot_cap,
+        sparse: options.sparse,
+        refactor_interval: options.refactor_interval,
     }
 }
 
@@ -200,6 +253,9 @@ pub(crate) fn solve(
     let mut rows: Vec<SparseRow> = pre.kept_rows.iter().map(|&r| rows[r].clone()).collect();
     let mut lb = pre.lb;
     let mut ub = pre.ub;
+    // Optimal basis of the final root relaxation, recovered from the cut
+    // loop so the tree's root node does not repeat its cold solve.
+    let mut root_basis: Option<Arc<BasisSnapshot>> = None;
 
     // Root model strengthening: big-M coefficient tightening, 0-1 probing,
     // and cutting planes appended to the row set so every node (and every
@@ -244,9 +300,13 @@ pub(crate) fn solve(
             },
         );
         if options.max_cuts > 0 {
-            counters.cuts_added = add_root_cuts(
+            let (cuts_added, basis) = add_root_cuts(
                 model, options, started, &c, &mut rows, &lb, &ub, &integral, &st, tracer,
             );
+            counters.cuts_added = cuts_added;
+            if options.warm_start {
+                root_basis = basis;
+            }
         }
     } else {
         tracer.emit(
@@ -264,7 +324,7 @@ pub(crate) fn solve(
         lb,
         ub,
         depth: 0,
-        basis: None,
+        basis: root_basis,
     };
 
     // Integral columns ordered by descending branch priority (stable).
@@ -408,14 +468,17 @@ impl TraceCtx<'_> {
     }
 
     /// One `BnbNode` per claimed node, emitted *after* its LP solve so the
-    /// warm/pivot fields are known; every outcome path emits exactly once.
-    fn node(&self, depth: usize, warm: bool, pivots: usize) {
+    /// warm/pivot/factorization fields are known; every outcome path emits
+    /// exactly once.
+    fn node(&self, depth: usize, info: &crate::simplex::LpInfo) {
         self.tracer.emit(
             Phase::Solver,
             Event::BnbNode {
                 depth,
-                warm,
-                pivots: pivots as u64,
+                warm: info.warm,
+                pivots: info.pivots as u64,
+                refactors: info.refactors as u64,
+                etas: info.etas as u64,
             },
         );
     }
@@ -486,12 +549,14 @@ fn solve_serial(
         };
         let (outcome, info) = ws.solve(&problem, basis, &lp_cfg);
         local.simplex_iterations += info.pivots;
+        local.refactorizations += info.refactors;
+        local.eta_updates += info.etas;
         if info.warm {
             local.warm_nodes += 1;
         } else {
             local.cold_nodes += 1;
         }
-        trace.node(node.depth, info.warm, info.pivots);
+        trace.node(node.depth, &info);
         let (x, obj) = match outcome {
             LpOutcome::Optimal { x, obj } => {
                 if node.depth == 0 {
@@ -568,6 +633,8 @@ fn solve_serial(
         simplex_iterations: local.simplex_iterations,
         warm_nodes: local.warm_nodes,
         cold_nodes: local.cold_nodes,
+        refactorizations: local.refactorizations,
+        eta_updates: local.eta_updates,
         elapsed: std::time::Duration::ZERO, // filled in by the caller
         threads: 1,
         per_thread: vec![local],
@@ -671,12 +738,14 @@ impl SharedSearch<'_> {
         };
         let (outcome, info) = ws.solve(&problem, basis, &self.lp_cfg);
         stats.simplex_iterations += info.pivots;
+        stats.refactorizations += info.refactors;
+        stats.eta_updates += info.etas;
         if info.warm {
             stats.warm_nodes += 1;
         } else {
             stats.cold_nodes += 1;
         }
-        self.trace.node(node.depth, info.warm, info.pivots);
+        self.trace.node(node.depth, &info);
         let (x, obj) = match outcome {
             LpOutcome::Optimal { x, obj } => (x, obj),
             LpOutcome::Infeasible => return,
@@ -821,14 +890,21 @@ fn solve_parallel(
         ub: &root.ub,
     };
     let mut root_ws = Workspace::new();
-    let (root_outcome, root_info) = root_ws.solve(&problem, None, &shared.lp_cfg);
+    let root_basis = if options.warm_start {
+        root.basis.as_ref()
+    } else {
+        None
+    };
+    let (root_outcome, root_info) = root_ws.solve(&problem, root_basis, &shared.lp_cfg);
     root_stats.simplex_iterations += root_info.pivots;
+    root_stats.refactorizations += root_info.refactors;
+    root_stats.eta_updates += root_info.etas;
     if root_info.warm {
         root_stats.warm_nodes += 1;
     } else {
         root_stats.cold_nodes += 1;
     }
-    trace.node(0, root_info.warm, root_info.pivots);
+    trace.node(0, &root_info);
     match root_outcome {
         LpOutcome::Optimal { x, obj } => {
             trace.root_lp(obj);
@@ -870,6 +946,8 @@ fn solve_parallel(
                 simplex_iterations: root_stats.simplex_iterations,
                 warm_nodes: root_stats.warm_nodes,
                 cold_nodes: root_stats.cold_nodes,
+                refactorizations: root_stats.refactorizations,
+                eta_updates: root_stats.eta_updates,
                 threads,
                 per_thread,
                 ..SolveStats::default()
@@ -899,6 +977,8 @@ fn solve_parallel(
     per_thread[0].simplex_iterations += root_stats.simplex_iterations;
     per_thread[0].warm_nodes += root_stats.warm_nodes;
     per_thread[0].cold_nodes += root_stats.cold_nodes;
+    per_thread[0].refactorizations += root_stats.refactorizations;
+    per_thread[0].eta_updates += root_stats.eta_updates;
 
     let proven = shared.proven.load(Ordering::Relaxed);
     let incumbent = shared.incumbent.into_inner().expect("incumbent lock");
@@ -907,6 +987,8 @@ fn solve_parallel(
         simplex_iterations: per_thread.iter().map(|t| t.simplex_iterations).sum(),
         warm_nodes: per_thread.iter().map(|t| t.warm_nodes).sum(),
         cold_nodes: per_thread.iter().map(|t| t.cold_nodes).sum(),
+        refactorizations: per_thread.iter().map(|t| t.refactorizations).sum(),
+        eta_updates: per_thread.iter().map(|t| t.eta_updates).sum(),
         elapsed: std::time::Duration::ZERO, // filled in by the caller
         threads,
         per_thread,
@@ -1197,8 +1279,14 @@ mod tests {
         let warm = m.solve_with(&serial()).unwrap();
         let ws = warm.stats();
         assert_eq!(ws.warm_nodes + ws.cold_nodes, ws.nodes);
-        assert!(ws.cold_nodes >= 1, "the root is always cold");
         assert!(ws.warm_nodes > 0, "a branching solve should warm-start");
+
+        // Without the strengthening cut loop there is no recovered root
+        // basis, so the root relaxation must solve cold.
+        let nostr = m.solve_with(&serial().with_strengthen(false)).unwrap();
+        let ns = nostr.stats();
+        assert_eq!(ns.warm_nodes + ns.cold_nodes, ns.nodes);
+        assert!(ns.cold_nodes >= 1, "without root cuts the root solves cold");
 
         let cold = m.solve_with(&serial().with_warm_start(false)).unwrap();
         let cs = cold.stats();

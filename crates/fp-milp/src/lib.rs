@@ -6,8 +6,10 @@
 //! package as a procedure. This crate is the open substitute for LINDO: an
 //! exact solver for small-to-medium mixed 0-1 linear programs built on
 //!
-//! * a **two-phase, bounded-variable primal simplex** over a dense tableau
-//!   (the `simplex` module), and
+//! * a **two-phase, bounded-variable primal simplex** — by default a sparse
+//!   revised implementation with an LU-factorized basis and eta-file updates
+//!   (the `sparse` module), with the original dense-tableau engine kept as a
+//!   differential reference behind [`SolveOptions::sparse`] — and
 //! * a **branch-and-bound** search on the integer variables with
 //!   most-fractional / user-priority branching, depth-first diving for early
 //!   incumbents, and node / time limits that return the best incumbent found
@@ -68,6 +70,9 @@ mod options;
 mod presolve;
 mod simplex;
 mod solution;
+mod sparse;
+#[doc(hidden)]
+pub mod test_support;
 mod var;
 
 pub use error::SolveError;

@@ -46,6 +46,19 @@ pub struct SolveOptions {
     /// re-solving cold. `0` (the default) sizes the cap automatically from
     /// the row count.
     pub warm_pivot_cap: usize,
+    /// Solve node LPs on the sparse revised simplex (CSC matrix, LU-factored
+    /// basis with eta-file updates, partial pricing) instead of the dense
+    /// tableau. Both kernels implement identical pivot rules and are held
+    /// equal by a differential test suite, so this only changes speed.
+    /// Default `true`; the dense engine remains available as a reference.
+    pub sparse: bool,
+    /// Eta-file updates tolerated between basis refactorizations on the
+    /// sparse kernel. Smaller values trade factorization time for tighter
+    /// numerical drift control; `0` (the default) picks automatically.
+    /// Ignored by the dense kernel, which refactorizes never (it carries
+    /// `B⁻¹·A` explicitly). Sits alongside [`Self::warm_pivot_cap`] in the
+    /// numerics-vs-speed knob family.
+    pub refactor_interval: usize,
     /// Run the root model-strengthening layer (big-M coefficient
     /// tightening, 0-1 probing, root cutting planes) after classic
     /// presolve. Purely a performance lever: every reduction preserves the
@@ -79,6 +92,8 @@ impl Default for SolveOptions {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             warm_start: true,
             warm_pivot_cap: 0,
+            sparse: true,
+            refactor_interval: 0,
             strengthen: true,
             probe_budget: 512,
             max_cuts: 64,
@@ -128,6 +143,22 @@ impl SolveOptions {
     #[must_use]
     pub fn with_warm_pivot_cap(mut self, cap: usize) -> Self {
         self.warm_pivot_cap = cap;
+        self
+    }
+
+    /// Returns options solving node LPs on the sparse revised kernel
+    /// (`true`, the default) or the dense reference tableau (`false`).
+    #[must_use]
+    pub fn with_sparse(mut self, sparse: bool) -> Self {
+        self.sparse = sparse;
+        self
+    }
+
+    /// Returns options with the given eta-update budget between basis
+    /// refactorizations (`0` = auto; ignored by the dense kernel).
+    #[must_use]
+    pub fn with_refactor_interval(mut self, interval: usize) -> Self {
+        self.refactor_interval = interval;
         self
     }
 
@@ -186,6 +217,8 @@ mod tests {
         assert!(o.threads >= 1);
         assert!(o.warm_start);
         assert_eq!(o.warm_pivot_cap, 0);
+        assert!(o.sparse);
+        assert_eq!(o.refactor_interval, 0);
         assert!(o.strengthen);
         assert!(o.probe_budget > 0);
         assert!(o.max_cuts > 0);
@@ -212,6 +245,15 @@ mod tests {
             .with_warm_pivot_cap(7);
         assert!(!o.warm_start);
         assert_eq!(o.warm_pivot_cap, 7);
+    }
+
+    #[test]
+    fn sparse_builders() {
+        let o = SolveOptions::default()
+            .with_sparse(false)
+            .with_refactor_interval(16);
+        assert!(!o.sparse);
+        assert_eq!(o.refactor_interval, 16);
     }
 
     #[test]

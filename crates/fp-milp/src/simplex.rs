@@ -28,6 +28,7 @@
 //! never answers.
 
 use crate::model::Cmp;
+use crate::sparse::SparseKernel;
 use std::sync::{Arc, Weak};
 use std::time::Instant;
 
@@ -38,7 +39,7 @@ pub(crate) type SparseRow = (Vec<(usize, f64)>, Cmp, f64);
 /// `Instant::now()` costs tens of nanoseconds while even a small pivot is
 /// microseconds of dense row arithmetic, so polling every 16 iterations is
 /// free yet bounds the overshoot past a deadline to 16 pivots.
-const DEADLINE_POLL_MASK: usize = 15;
+pub(crate) const DEADLINE_POLL_MASK: usize = 15;
 
 /// A bound-constrained LP in minimization form:
 /// `min c·x` subject to `row·x (cmp) rhs` for each row and `lb <= x <= ub`.
@@ -84,6 +85,12 @@ pub(crate) struct LpConfig {
     /// Max dual pivots per warm attempt before falling back cold
     /// (`0` = auto: `2·m + 100`).
     pub warm_pivot_cap: usize,
+    /// Solve on the sparse revised kernel (LU basis + eta file) instead of
+    /// the dense tableau. Both kernels implement identical pivot rules.
+    pub sparse: bool,
+    /// Eta updates tolerated between basis refactorizations on the sparse
+    /// kernel (`0` = auto).
+    pub refactor_interval: usize,
 }
 
 /// How a node's LP was solved, for stats and tracing.
@@ -94,6 +101,12 @@ pub(crate) struct LpInfo {
     pub warm: bool,
     /// Simplex pivots spent on this node, wasted warm pivots included.
     pub pivots: usize,
+    /// Basis LU (re)factorizations performed on this node (sparse kernel;
+    /// the dense tableau reports `0`).
+    pub refactors: usize,
+    /// Eta-file updates appended between refactorizations on this node
+    /// (sparse kernel; the dense tableau reports `0`).
+    pub etas: usize,
 }
 
 /// A saved basis: which column is basic in each row plus the resting
@@ -101,14 +114,14 @@ pub(crate) struct LpInfo {
 /// children through an [`Arc`] so the frontier never clones tableaux.
 #[derive(Debug)]
 pub(crate) struct BasisSnapshot {
-    m: usize,
-    n_struct: usize,
-    basis: Vec<usize>,
-    status: Vec<ColStatus>,
+    pub(crate) m: usize,
+    pub(crate) n_struct: usize,
+    pub(crate) basis: Vec<usize>,
+    pub(crate) status: Vec<ColStatus>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ColStatus {
+pub(crate) enum ColStatus {
     Basic(usize),
     AtLower,
     AtUpper,
@@ -117,7 +130,7 @@ enum ColStatus {
 }
 
 /// The resting status a column would get in a fresh cold start.
-fn default_status(lb: f64, ub: f64) -> ColStatus {
+pub(crate) fn default_status(lb: f64, ub: f64) -> ColStatus {
     if lb.is_finite() {
         ColStatus::AtLower
     } else if ub.is_finite() {
@@ -147,27 +160,27 @@ struct Tableau {
     bland: bool,
 }
 
-const PIVOT_TOL: f64 = 1e-9;
+pub(crate) const PIVOT_TOL: f64 = 1e-9;
 /// Minimum acceptable pivot magnitude when re-eliminating a snapshot basis;
 /// anything smaller means the saved basis is (numerically) singular for the
 /// child and the warm attempt is abandoned.
-const REFACTOR_TOL: f64 = 1e-8;
+pub(crate) const REFACTOR_TOL: f64 = 1e-8;
 
-enum StepOutcome {
+pub(crate) enum StepOutcome {
     Optimal,
     Unbounded,
     Pivoted,
 }
 
 /// Why a call to [`Tableau::optimize`] stopped iterating.
-enum OptimizeEnd {
+pub(crate) enum OptimizeEnd {
     Done(StepOutcome),
     IterationCap,
     TimedOut,
 }
 
 /// Why a call to [`Tableau::dual_optimize`] stopped iterating.
-enum DualEnd {
+pub(crate) enum DualEnd {
     /// All basic variables are back inside their bounds.
     Feasible,
     /// A violated row has no eligible entering column — an infeasibility
@@ -563,6 +576,19 @@ impl Tableau {
 /// parallel case) skips even the refactorization.
 pub(crate) struct Workspace {
     tab: Tableau,
+    /// The sparse revised kernel, engaged when [`LpConfig::sparse`] is set.
+    /// Both kernels stay allocated; a workspace can switch per solve.
+    pub(crate) sp: SparseKernel,
+    /// Which kernel produced the current state — governs which one
+    /// [`Workspace::snapshot`] reads and gates the hot path (a hot re-seed
+    /// is only valid on the kernel that actually realizes the snapshot).
+    last_sparse: bool,
+    /// Whether the sparse kernel's in-place state realizes an optimal basis
+    /// for its cached row set. When it does, a sibling or backtracked node
+    /// over the same rows can warm-start by applying bound deltas directly
+    /// — no snapshot reload, no refactorization — even though the basis is
+    /// not the parent's.
+    sp_optimal: bool,
     n_struct: usize,
     /// Phase-2 cost buffer (structural costs then zeros), reused per solve.
     cost: Vec<f64>,
@@ -597,6 +623,9 @@ impl Workspace {
                 iterations: 0,
                 bland: false,
             },
+            sp: SparseKernel::new(),
+            last_sparse: false,
+            sp_optimal: false,
             n_struct: 0,
             cost: Vec::new(),
             resid: Vec::new(),
@@ -606,20 +635,32 @@ impl Workspace {
     }
 
     /// Captures the current basis so children of this node can warm-start.
-    /// Only meaningful right after a solve that returned `Optimal`.
+    /// Only meaningful right after a solve that returned `Optimal`. The
+    /// snapshot format is kernel-agnostic (basis columns + resting
+    /// statuses), so a basis saved by one kernel warm-starts the other.
     pub(crate) fn snapshot(&mut self) -> Arc<BasisSnapshot> {
-        let snap = Arc::new(BasisSnapshot {
-            m: self.tab.m,
-            n_struct: self.n_struct,
-            basis: self.tab.basis.clone(),
-            status: self.tab.status.clone(),
-        });
+        let snap = if self.last_sparse {
+            Arc::new(BasisSnapshot {
+                m: self.sp.m,
+                n_struct: self.sp.n_struct,
+                basis: self.sp.basis.clone(),
+                status: self.sp.status.clone(),
+            })
+        } else {
+            Arc::new(BasisSnapshot {
+                m: self.tab.m,
+                n_struct: self.n_struct,
+                basis: self.tab.basis.clone(),
+                status: self.tab.status.clone(),
+            })
+        };
         self.loaded = Some(Arc::downgrade(&snap));
         snap
     }
 
-    /// Solves the LP, warm-starting from `basis` when given and falling
-    /// back to the cold two-phase primal on any numerical doubt.
+    /// Solves the LP on the kernel selected by [`LpConfig::sparse`],
+    /// warm-starting from `basis` when given and falling back to the cold
+    /// two-phase primal on any numerical doubt.
     pub(crate) fn solve(
         &mut self,
         p: &LpProblem<'_>,
@@ -627,32 +668,183 @@ impl Workspace {
         cfg: &LpConfig,
     ) -> (LpOutcome, LpInfo) {
         let loaded = self.loaded.take();
+        if cfg.sparse {
+            return self.solve_sparse(p, basis, cfg, loaded);
+        }
         self.tab.opt_tol = cfg.opt_tol;
         let mut wasted = 0;
         if let Some(snap) = basis {
             if snap.m == p.rows.len() && snap.n_struct == p.ncols {
-                let hot = loaded
-                    .as_ref()
-                    .and_then(Weak::upgrade)
-                    .is_some_and(|cur| Arc::ptr_eq(&cur, snap));
+                let hot = !self.last_sparse
+                    && loaded
+                        .as_ref()
+                        .and_then(Weak::upgrade)
+                        .is_some_and(|cur| Arc::ptr_eq(&cur, snap));
                 match self.attempt_warm(p, snap, cfg, hot) {
                     WarmAttempt::Done(out) => {
+                        self.last_sparse = false;
                         let pivots = self.tab.iterations;
-                        return (out, LpInfo { warm: true, pivots });
+                        return (
+                            out,
+                            LpInfo {
+                                warm: true,
+                                pivots,
+                                refactors: 0,
+                                etas: 0,
+                            },
+                        );
                     }
                     WarmAttempt::Fallback(pivots) => wasted = pivots,
                 }
             }
         }
         let out = self.solve_cold(p, cfg);
+        self.last_sparse = false;
         let pivots = self.tab.iterations + wasted;
         (
             out,
             LpInfo {
                 warm: false,
                 pivots,
+                refactors: 0,
+                etas: 0,
             },
         )
+    }
+
+    /// The sparse-kernel twin of the dispatch above: same warm/cold tiers,
+    /// with pivots *and* factorization work spent on an abandoned warm
+    /// attempt still charged to this node's counters. The hot tier is wider
+    /// than the dense kernel's: the revised method can re-seed from *any*
+    /// optimal in-place state over the same row set by applying bound
+    /// deltas (the dual simplex repairs from whatever basis is current), so
+    /// backtracking to a sibling costs no snapshot reload and no
+    /// refactorization. The parent-snapshot reload is the middle tier.
+    fn solve_sparse(
+        &mut self,
+        p: &LpProblem<'_>,
+        basis: Option<&Arc<BasisSnapshot>>,
+        cfg: &LpConfig,
+        loaded: Option<Weak<BasisSnapshot>>,
+    ) -> (LpOutcome, LpInfo) {
+        self.sp.opt_tol = cfg.opt_tol;
+        self.sp.refactor_interval = cfg.refactor_interval;
+        let mut wasted = (0, 0, 0);
+        if let Some(snap) = basis {
+            // `snap.m < rows` is the cut-round case: the snapshot predates
+            // appended rows, and the warm load extends it with their slacks.
+            if snap.m <= p.rows.len() && snap.n_struct == p.ncols {
+                let parent_state = loaded
+                    .as_ref()
+                    .and_then(Weak::upgrade)
+                    .is_some_and(|cur| Arc::ptr_eq(&cur, snap));
+                for hot in [true, false] {
+                    if hot
+                        && !(self.last_sparse
+                            && self.sp_optimal
+                            && parent_state
+                            && self.sp.matches_problem(p))
+                    {
+                        continue;
+                    }
+                    match self.attempt_warm_sparse(p, snap, cfg, hot) {
+                        WarmAttempt::Done(out) => {
+                            self.last_sparse = true;
+                            self.sp_optimal = matches!(out, LpOutcome::Optimal { .. });
+                            return (
+                                out,
+                                LpInfo {
+                                    warm: true,
+                                    pivots: self.sp.iterations + wasted.0,
+                                    refactors: self.sp.refactors + wasted.1,
+                                    etas: self.sp.eta_updates + wasted.2,
+                                },
+                            );
+                        }
+                        WarmAttempt::Fallback(pivots) => {
+                            wasted.0 += pivots;
+                            wasted.1 += self.sp.refactors;
+                            wasted.2 += self.sp.eta_updates;
+                        }
+                    }
+                }
+            }
+        }
+        let out = self.sp.solve_cold(p, cfg);
+        self.last_sparse = true;
+        self.sp_optimal = matches!(out, LpOutcome::Optimal { .. });
+        (
+            out,
+            LpInfo {
+                warm: false,
+                pivots: self.sp.iterations + wasted.0,
+                refactors: self.sp.refactors + wasted.1,
+                etas: self.sp.eta_updates + wasted.2,
+            },
+        )
+    }
+
+    /// One warm attempt on the sparse kernel, mirroring [`Self::attempt_warm`]
+    /// tier for tier. There is no reprice step: the revised method derives
+    /// reduced costs from `Bᵀ·y = c_B` fresh every iteration, so loading
+    /// the phase-2 cost vector is the entire re-seed.
+    fn attempt_warm_sparse(
+        &mut self,
+        p: &LpProblem<'_>,
+        snap: &BasisSnapshot,
+        cfg: &LpConfig,
+        hot: bool,
+    ) -> WarmAttempt {
+        let seeded = if hot {
+            self.sp.apply_bound_deltas(p)
+        } else {
+            self.sp.load_snapshot(p, snap)
+        };
+        if !seeded {
+            return WarmAttempt::Fallback(self.sp.iterations);
+        }
+        self.sp.set_phase2_cost(p.c);
+
+        let m = self.sp.m;
+        let cap = if cfg.warm_pivot_cap > 0 {
+            cfg.warm_pivot_cap
+        } else {
+            2 * m + 100
+        };
+        let dual_end = self.sp.dual_optimize(cfg.feas_tol, cap, cfg.deadline);
+        match dual_end {
+            DualEnd::TimedOut => return WarmAttempt::Done(LpOutcome::TimedOut),
+            // Same trust policy as the dense kernel: an infeasibility claim
+            // is only accepted with a one-row interval certificate; anything
+            // weaker is confirmed by the cold fallback.
+            DualEnd::NoEntering { row } => {
+                if self.sp.certify_infeasible(row, cfg.feas_tol) {
+                    return WarmAttempt::Done(LpOutcome::Infeasible);
+                }
+                return WarmAttempt::Fallback(self.sp.iterations);
+            }
+            DualEnd::Cap => return WarmAttempt::Fallback(self.sp.iterations),
+            DualEnd::Feasible => {}
+        }
+
+        let max_iters = 60 * (m + self.sp.n) + 5_000;
+        self.sp.bland = false;
+        let end = self.sp.optimize(max_iters, cfg.deadline);
+        match end {
+            OptimizeEnd::TimedOut => WarmAttempt::Done(LpOutcome::TimedOut),
+            OptimizeEnd::IterationCap | OptimizeEnd::Done(StepOutcome::Unbounded) => {
+                WarmAttempt::Fallback(self.sp.iterations)
+            }
+            OptimizeEnd::Done(_) => {
+                let (x, obj) = self.sp.extract(p.c);
+                let ok = verify_primal(p, &x, cfg.feas_tol);
+                if ok {
+                    WarmAttempt::Done(LpOutcome::Optimal { x, obj })
+                } else {
+                    WarmAttempt::Fallback(self.sp.iterations)
+                }
+            }
+        }
     }
 
     /// One warm attempt: seed the tableau (in place if `hot`, else by
@@ -921,26 +1113,12 @@ impl Workspace {
     /// against accumulated elimination error. `None` means "don't trust
     /// this tableau", which sends the caller to the cold path.
     fn extract_checked(&self, p: &LpProblem<'_>, feas_tol: f64) -> Option<(Vec<f64>, f64)> {
-        let tol0 = feas_tol.max(1e-7);
         let mut x = vec![0.0; p.ncols];
         for (j, xv) in x.iter_mut().enumerate() {
             *xv = self.tab.nonbasic_value(j);
-            let tol = tol0 * (1.0 + xv.abs());
-            if *xv < p.lb[j] - tol || *xv > p.ub[j] + tol {
-                return None;
-            }
         }
-        for (terms, cmp, rhs) in p.rows {
-            let lhs: f64 = terms.iter().map(|&(j, a)| a * x[j]).sum();
-            let tol = tol0 * (1.0 + rhs.abs());
-            let ok = match cmp {
-                Cmp::Le => lhs <= rhs + tol,
-                Cmp::Ge => lhs >= rhs - tol,
-                Cmp::Eq => (lhs - rhs).abs() <= tol,
-            };
-            if !ok {
-                return None;
-            }
+        if !verify_primal(p, &x, feas_tol) {
+            return None;
         }
         let obj = p.c.iter().zip(&x).map(|(c, v)| c * v).sum();
         Some((x, obj))
@@ -1099,19 +1277,48 @@ impl Workspace {
     }
 }
 
-/// Cold one-shot solve, kept as the test-suite entry point.
+/// Re-checks a candidate structural solution against the *original* bounds
+/// and rows, shared by both kernels' warm-path extraction. A `false` means
+/// "don't trust this basis representation" and sends the caller cold.
+fn verify_primal(p: &LpProblem<'_>, x: &[f64], feas_tol: f64) -> bool {
+    let tol0 = feas_tol.max(1e-7);
+    for (j, xv) in x.iter().enumerate() {
+        let tol = tol0 * (1.0 + xv.abs());
+        if *xv < p.lb[j] - tol || *xv > p.ub[j] + tol {
+            return false;
+        }
+    }
+    for (terms, cmp, rhs) in p.rows {
+        let lhs: f64 = terms.iter().map(|&(j, a)| a * x[j]).sum();
+        let tol = tol0 * (1.0 + rhs.abs());
+        let ok = match cmp {
+            Cmp::Le => lhs <= rhs + tol,
+            Cmp::Ge => lhs >= rhs - tol,
+            Cmp::Eq => (lhs - rhs).abs() <= tol,
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Cold one-shot solve on a chosen kernel, kept as a test entry point.
 #[cfg(test)]
-pub(crate) fn solve_lp(
+pub(crate) fn solve_lp_kernel(
     p: &LpProblem<'_>,
     feas_tol: f64,
     opt_tol: f64,
     deadline: Option<Instant>,
+    sparse: bool,
 ) -> LpOutcome {
     let cfg = LpConfig {
         feas_tol,
         opt_tol,
         deadline,
         warm_pivot_cap: 0,
+        sparse,
+        refactor_interval: 0,
     };
     Workspace::new().solve(p, None, &cfg).0
 }
@@ -1151,17 +1358,41 @@ mod tests {
         (terms, Cmp::Eq, rhs)
     }
 
-    fn cfg() -> LpConfig {
+    fn cfg_kernel(sparse: bool) -> LpConfig {
         LpConfig {
             feas_tol: 1e-7,
             opt_tol: 1e-9,
             deadline: None,
             warm_pivot_cap: 0,
+            sparse,
+            refactor_interval: 0,
         }
     }
 
+    fn cfg() -> LpConfig {
+        cfg_kernel(true)
+    }
+
+    /// Differential solve: every in-module case runs on both kernels and
+    /// must agree on the outcome variant (and objective, when optimal)
+    /// before the sparse result is handed to the assertion.
     fn solve(p: &Owned) -> LpOutcome {
-        solve_lp(&p.as_problem(), 1e-7, 1e-9, None)
+        let dense = solve_lp_kernel(&p.as_problem(), 1e-7, 1e-9, None, false);
+        let sparse = solve_lp_kernel(&p.as_problem(), 1e-7, 1e-9, None, true);
+        match (&dense, &sparse) {
+            (LpOutcome::Optimal { obj: a, .. }, LpOutcome::Optimal { obj: b, .. }) => {
+                assert!(
+                    (a - b).abs() <= 1e-7 * (1.0 + a.abs()),
+                    "dense obj {a} vs sparse obj {b}"
+                );
+            }
+            (d, s) => assert_eq!(
+                std::mem::discriminant(d),
+                std::mem::discriminant(s),
+                "dense {d:?} vs sparse {s:?}"
+            ),
+        }
+        sparse
     }
 
     fn optimal(p: &Owned) -> (Vec<f64>, f64) {
@@ -1394,47 +1625,77 @@ mod tests {
 
     #[test]
     fn hot_warm_start_matches_cold_after_tightening() {
-        let mut p = branchy();
-        let mut ws = Workspace::new();
-        let (out, info) = ws.solve(&p.as_problem(), None, &cfg());
-        expect_opt(&out);
-        assert!(!info.warm);
-        let snap = ws.snapshot();
+        for c in [cfg_kernel(false), cfg_kernel(true)] {
+            let mut p = branchy();
+            let mut ws = Workspace::new();
+            let (out, info) = ws.solve(&p.as_problem(), None, &c);
+            expect_opt(&out);
+            assert!(!info.warm);
+            let snap = ws.snapshot();
 
-        // Branch x1 down to 0, then up to 1, reusing the same workspace.
-        for (lo, hi) in [(0.0, 0.0), (1.0, 1.0)] {
-            p.lb[1] = lo;
-            p.ub[1] = hi;
-            let (warm_out, warm_info) = ws.solve(&p.as_problem(), Some(&snap), &cfg());
-            let (wx, wobj) = expect_opt(&warm_out);
-            assert!(warm_info.warm, "expected the warm path for ({lo},{hi})");
-            let (cx, cobj) = optimal(&p);
-            assert!(
-                (wobj - cobj).abs() <= 1e-9 * (1.0 + cobj.abs()),
-                "warm {wobj} vs cold {cobj}"
-            );
-            for (a, b) in wx.iter().zip(&cx) {
-                assert!((a - b).abs() < 1e-6, "warm x {wx:?} vs cold {cx:?}");
+            // Branch x1 down to 0, then up to 1, reusing the same workspace.
+            for (lo, hi) in [(0.0, 0.0), (1.0, 1.0)] {
+                p.lb[1] = lo;
+                p.ub[1] = hi;
+                let (warm_out, warm_info) = ws.solve(&p.as_problem(), Some(&snap), &c);
+                let (wx, wobj) = expect_opt(&warm_out);
+                assert!(warm_info.warm, "expected the warm path for ({lo},{hi})");
+                let (cx, cobj) = optimal(&p);
+                assert!(
+                    (wobj - cobj).abs() <= 1e-9 * (1.0 + cobj.abs()),
+                    "warm {wobj} vs cold {cobj}"
+                );
+                for (a, b) in wx.iter().zip(&cx) {
+                    assert!((a - b).abs() < 1e-6, "warm x {wx:?} vs cold {cx:?}");
+                }
             }
         }
     }
 
     #[test]
     fn refactorized_warm_start_from_foreign_workspace() {
-        let mut p = branchy();
-        let mut ws1 = Workspace::new();
-        let (out, _) = ws1.solve(&p.as_problem(), None, &cfg());
-        expect_opt(&out);
-        let snap = ws1.snapshot();
+        for c in [cfg_kernel(false), cfg_kernel(true)] {
+            let mut p = branchy();
+            let mut ws1 = Workspace::new();
+            let (out, _) = ws1.solve(&p.as_problem(), None, &c);
+            expect_opt(&out);
+            let snap = ws1.snapshot();
 
-        // A different workspace never saw this tableau: must refactorize.
-        p.ub[0] = 0.0;
-        let mut ws2 = Workspace::new();
-        let (warm_out, warm_info) = ws2.solve(&p.as_problem(), Some(&snap), &cfg());
-        let (_, wobj) = expect_opt(&warm_out);
-        assert!(warm_info.warm);
-        let (_, cobj) = optimal(&p);
-        assert!((wobj - cobj).abs() <= 1e-9 * (1.0 + cobj.abs()));
+            // A different workspace never saw this basis: must refactorize.
+            p.ub[0] = 0.0;
+            let mut ws2 = Workspace::new();
+            let (warm_out, warm_info) = ws2.solve(&p.as_problem(), Some(&snap), &c);
+            let (_, wobj) = expect_opt(&warm_out);
+            assert!(warm_info.warm);
+            let (_, cobj) = optimal(&p);
+            assert!((wobj - cobj).abs() <= 1e-9 * (1.0 + cobj.abs()));
+        }
+    }
+
+    #[test]
+    fn snapshot_crosses_kernels_both_ways() {
+        // A basis captured on one kernel must warm-start the other: the
+        // snapshot format is kernel-agnostic, and branch-and-bound is free
+        // to hand sparse-made snapshots to dense workers (or vice versa).
+        for (first, second) in [(false, true), (true, false)] {
+            let mut p = branchy();
+            let mut ws = Workspace::new();
+            let (out, _) = ws.solve(&p.as_problem(), None, &cfg_kernel(first));
+            expect_opt(&out);
+            let snap = ws.snapshot();
+
+            p.ub[1] = 0.0;
+            let (warm_out, info) = ws.solve(&p.as_problem(), Some(&snap), &cfg_kernel(second));
+            let (_, wobj) = expect_opt(&warm_out);
+            let (_, cobj) = optimal(&p);
+            assert!(
+                (wobj - cobj).abs() <= 1e-9 * (1.0 + cobj.abs()),
+                "cross-kernel warm {wobj} vs cold {cobj}"
+            );
+            // The hot path must NOT fire across kernels; warm (refactorize)
+            // or cold fallback are both acceptable, wrong answers are not.
+            let _ = info;
+        }
     }
 
     #[test]
@@ -1461,47 +1722,50 @@ mod tests {
     fn warm_start_with_redundant_equality_basis() {
         // The snapshot keeps an artificial basic on the redundant row;
         // refactorization must re-admit it as a plain unit column.
-        let mut p = Owned {
-            ncols: 2,
-            rows: vec![
-                eq(vec![(0, 1.0), (1, 1.0)], 2.0),
-                eq(vec![(0, 1.0), (1, 1.0)], 2.0),
-            ],
-            c: vec![1.0, 2.0],
-            lb: vec![0.0, 0.0],
-            ub: vec![2.0, 2.0],
-        };
-        let mut ws = Workspace::new();
-        let (out, _) = ws.solve(&p.as_problem(), None, &cfg());
-        expect_opt(&out);
-        let snap = ws.snapshot();
+        for c in [cfg_kernel(false), cfg_kernel(true)] {
+            let mut p = Owned {
+                ncols: 2,
+                rows: vec![
+                    eq(vec![(0, 1.0), (1, 1.0)], 2.0),
+                    eq(vec![(0, 1.0), (1, 1.0)], 2.0),
+                ],
+                c: vec![1.0, 2.0],
+                lb: vec![0.0, 0.0],
+                ub: vec![2.0, 2.0],
+            };
+            let mut ws = Workspace::new();
+            let (out, _) = ws.solve(&p.as_problem(), None, &c);
+            expect_opt(&out);
+            let snap = ws.snapshot();
 
-        p.ub[0] = 0.5; // force x1 = 1.5
-        let (warm_out, info) = ws.solve(&p.as_problem(), Some(&snap), &cfg());
-        let (x, obj) = expect_opt(&warm_out);
-        assert!(info.warm);
-        assert!((x[0] - 0.5).abs() < 1e-6);
-        assert!((obj - 3.5).abs() < 1e-6);
+            p.ub[0] = 0.5; // force x1 = 1.5
+            let (warm_out, info) = ws.solve(&p.as_problem(), Some(&snap), &c);
+            let (x, obj) = expect_opt(&warm_out);
+            assert!(info.warm);
+            assert!((x[0] - 0.5).abs() < 1e-6);
+            assert!((obj - 3.5).abs() < 1e-6);
+        }
     }
 
     #[test]
     fn tiny_pivot_cap_forces_cold_fallback() {
-        let mut p = branchy();
-        let mut ws = Workspace::new();
-        let mut c = cfg();
-        ws.solve(&p.as_problem(), None, &c);
-        let snap = ws.snapshot();
+        for mut c in [cfg_kernel(false), cfg_kernel(true)] {
+            let mut p = branchy();
+            let mut ws = Workspace::new();
+            ws.solve(&p.as_problem(), None, &c);
+            let snap = ws.snapshot();
 
-        p.ub[1] = 0.0;
-        p.lb[2] = 1.0;
-        c.warm_pivot_cap = 1; // starve the dual loop so it caps out
-        let (out, info) = ws.solve(&p.as_problem(), Some(&snap), &c);
-        let (_, wobj) = expect_opt(&out);
-        let (_, cobj) = optimal(&p);
-        assert!((wobj - cobj).abs() <= 1e-9 * (1.0 + cobj.abs()));
-        // Either the dual finished within one pivot (warm) or it fell back
-        // cold; both must be correct, and a cap must never error out.
-        let _ = info;
+            p.ub[1] = 0.0;
+            p.lb[2] = 1.0;
+            c.warm_pivot_cap = 1; // starve the dual loop so it caps out
+            let (out, info) = ws.solve(&p.as_problem(), Some(&snap), &c);
+            let (_, wobj) = expect_opt(&out);
+            let (_, cobj) = optimal(&p);
+            assert!((wobj - cobj).abs() <= 1e-9 * (1.0 + cobj.abs()));
+            // Either the dual finished within one pivot (warm) or it fell
+            // back cold; both must be correct, a cap must never error out.
+            let _ = info;
+        }
     }
 
     #[test]
@@ -1511,22 +1775,24 @@ mod tests {
         // helpful column is boxed to zero width), or the claim fails the
         // certificate and a cold solve confirms it. Either way the outcome
         // must be `Infeasible` — never a bogus optimum.
-        let mut p = Owned {
-            ncols: 2,
-            rows: vec![ge(vec![(0, 1.0), (1, 1.0)], 1.5)],
-            c: vec![1.0, 1.0],
-            lb: vec![0.0, 0.0],
-            ub: vec![1.0, 1.0],
-        };
-        let mut ws = Workspace::new();
-        let (out, _) = ws.solve(&p.as_problem(), None, &cfg());
-        expect_opt(&out);
-        let snap = ws.snapshot();
+        for c in [cfg_kernel(false), cfg_kernel(true)] {
+            let mut p = Owned {
+                ncols: 2,
+                rows: vec![ge(vec![(0, 1.0), (1, 1.0)], 1.5)],
+                c: vec![1.0, 1.0],
+                lb: vec![0.0, 0.0],
+                ub: vec![1.0, 1.0],
+            };
+            let mut ws = Workspace::new();
+            let (out, _) = ws.solve(&p.as_problem(), None, &c);
+            expect_opt(&out);
+            let snap = ws.snapshot();
 
-        p.ub[0] = 0.0;
-        p.ub[1] = 0.0;
-        let (out, _info) = ws.solve(&p.as_problem(), Some(&snap), &cfg());
-        assert!(matches!(out, LpOutcome::Infeasible), "got {out:?}");
+            p.ub[0] = 0.0;
+            p.ub[1] = 0.0;
+            let (out, _info) = ws.solve(&p.as_problem(), Some(&snap), &c);
+            assert!(matches!(out, LpOutcome::Infeasible), "got {out:?}");
+        }
     }
 
     #[test]
@@ -1535,27 +1801,49 @@ mod tests {
         // via two Ge rows): feasible, but a narrow warm box might tempt a
         // sloppy certificate. The solve must find the optimum, not claim
         // infeasibility.
-        let mut p = Owned {
-            ncols: 2,
-            rows: vec![
-                ge(vec![(0, 1.0), (1, -1.0)], 0.0),
-                ge(vec![(0, -1.0), (1, 1.0)], 0.0),
-            ],
-            c: vec![1.0, 0.0],
-            lb: vec![0.0, f64::NEG_INFINITY],
-            ub: vec![5.0, f64::INFINITY],
-        };
-        let mut ws = Workspace::new();
-        let (out, _) = ws.solve(&p.as_problem(), None, &cfg());
-        expect_opt(&out);
-        let snap = ws.snapshot();
+        for c in [cfg_kernel(false), cfg_kernel(true)] {
+            let mut p = Owned {
+                ncols: 2,
+                rows: vec![
+                    ge(vec![(0, 1.0), (1, -1.0)], 0.0),
+                    ge(vec![(0, -1.0), (1, 1.0)], 0.0),
+                ],
+                c: vec![1.0, 0.0],
+                lb: vec![0.0, f64::NEG_INFINITY],
+                ub: vec![5.0, f64::INFINITY],
+            };
+            let mut ws = Workspace::new();
+            let (out, _) = ws.solve(&p.as_problem(), None, &c);
+            expect_opt(&out);
+            let snap = ws.snapshot();
 
-        p.lb[0] = 2.0;
-        p.ub[0] = 3.0;
-        let (out, _) = ws.solve(&p.as_problem(), Some(&snap), &cfg());
-        let LpOutcome::Optimal { obj, .. } = out else {
-            panic!("feasible child judged {out:?}");
-        };
-        assert!((obj - 2.0).abs() < 1e-6, "obj {obj}");
+            p.lb[0] = 2.0;
+            p.ub[0] = 3.0;
+            let (out, _) = ws.solve(&p.as_problem(), Some(&snap), &c);
+            let LpOutcome::Optimal { obj, .. } = out else {
+                panic!("feasible child judged {out:?}");
+            };
+            assert!((obj - 2.0).abs() < 1e-6, "obj {obj}");
+        }
+    }
+
+    #[test]
+    fn sparse_counters_populated_and_forced_refactor_agrees() {
+        // A cold sparse solve factorizes at least once (the initial basis
+        // load) and once more for the final accuracy refresh; forcing a
+        // refactorization after every pivot must not change the optimum.
+        let p = branchy();
+        let mut ws = Workspace::new();
+        let (out, info) = ws.solve(&p.as_problem(), None, &cfg_kernel(true));
+        let (_, obj) = expect_opt(&out);
+        assert!(info.refactors >= 1, "refactors {}", info.refactors);
+
+        let mut forced = cfg_kernel(true);
+        forced.refactor_interval = 1;
+        let mut ws2 = Workspace::new();
+        let (out2, info2) = ws2.solve(&p.as_problem(), None, &forced);
+        let (_, obj2) = expect_opt(&out2);
+        assert!((obj - obj2).abs() <= 1e-9 * (1.0 + obj.abs()));
+        assert!(info2.refactors >= info.refactors);
     }
 }

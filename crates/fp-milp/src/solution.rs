@@ -29,6 +29,12 @@ pub struct ThreadStats {
     pub warm_nodes: usize,
     /// Nodes solved cold (two-phase primal), including warm fallbacks.
     pub cold_nodes: usize,
+    /// Basis LU (re)factorizations this worker performed (sparse kernel;
+    /// always `0` on the dense tableau).
+    pub refactorizations: usize,
+    /// Eta-file basis updates this worker recorded between
+    /// refactorizations (sparse kernel; always `0` on the dense tableau).
+    pub eta_updates: usize,
 }
 
 /// Search statistics reported alongside a [`Solution`].
@@ -45,6 +51,15 @@ pub struct SolveStats {
     /// Nodes solved by the cold two-phase primal (including warm attempts
     /// that fell back on numerical trouble).
     pub cold_nodes: usize,
+    /// Total basis LU (re)factorizations across all node LPs. Zero when the
+    /// dense reference kernel is selected
+    /// ([`SolveOptions::sparse`](crate::SolveOptions::sparse) = `false`),
+    /// since the dense tableau never factorizes.
+    pub refactorizations: usize,
+    /// Total eta-file basis updates recorded between refactorizations
+    /// across all node LPs (sparse kernel only; see
+    /// [`SolveOptions::refactor_interval`](crate::SolveOptions::refactor_interval)).
+    pub eta_updates: usize,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
     /// Worker threads the search ran on (`1` for a serial solve).

@@ -91,6 +91,39 @@ fn brute_force(p: &BinaryProgram) -> Option<i64> {
     best
 }
 
+/// Builds the witness-feasible random LP shared by the LP properties: each
+/// row is `a·x <= a·witness + slack`, so `witness` is always feasible.
+/// Returns the model and the witness's objective value.
+fn witness_lp(
+    witness: &[f64],
+    coeff_rows: &[Vec<i32>],
+    obj: &[i32],
+    slacks: &[f64],
+) -> (Model, f64) {
+    let n = witness.len();
+    let mut m = Model::new(Sense::Minimize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_continuous(format!("x{i}"), 0.0, 20.0))
+        .collect();
+    for (coeffs, slack) in coeff_rows.iter().zip(slacks) {
+        let mut e = LinExpr::new();
+        let mut rhs = *slack;
+        for (v, (&c, w)) in vars.iter().zip(coeffs.iter().zip(witness)) {
+            e.add_term(*v, f64::from(c));
+            rhs += f64::from(c) * w;
+        }
+        m.add_le(e, rhs);
+    }
+    let mut objective = LinExpr::new();
+    let mut witness_obj = 0.0;
+    for (v, (&c, w)) in vars.iter().zip(obj.iter().zip(witness)) {
+        objective.add_term(*v, f64::from(c));
+        witness_obj += f64::from(c) * w;
+    }
+    m.set_objective(objective);
+    (m, witness_obj)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -122,29 +155,7 @@ proptest! {
         obj in proptest::collection::vec(-3i32..=3, 6),
         slacks in proptest::collection::vec(0.0f64..5.0, 1..5),
     ) {
-        let n = witness.len();
-        let mut m = Model::new(Sense::Minimize);
-        let vars: Vec<_> = (0..n)
-            .map(|i| m.add_continuous(format!("x{i}"), 0.0, 20.0))
-            .collect();
-        // Each row: a·x <= a·witness + slack, so `witness` stays feasible.
-        for (coeffs, slack) in coeff_rows.iter().zip(&slacks) {
-            let mut e = LinExpr::new();
-            let mut rhs = *slack;
-            for (v, (&c, w)) in vars.iter().zip(coeffs.iter().zip(&witness)) {
-                e.add_term(*v, f64::from(c));
-                rhs += f64::from(c) * w;
-            }
-            m.add_le(e, rhs);
-        }
-        let mut objective = LinExpr::new();
-        let mut witness_obj = 0.0;
-        for (v, (&c, w)) in vars.iter().zip(obj.iter().zip(&witness)) {
-            objective.add_term(*v, f64::from(c));
-            witness_obj += f64::from(c) * w;
-        }
-        m.set_objective(objective);
-
+        let (m, witness_obj) = witness_lp(&witness, &coeff_rows, &obj, &slacks);
         let sol = m.solve().expect("witness point guarantees feasibility");
         prop_assert!(m.is_feasible(sol.values(), 1e-5),
             "returned point infeasible: {:?}", sol.values());
@@ -208,5 +219,54 @@ proptest! {
         let expect: f64 = sorted[..open].iter().map(|&g| 10.0 * f64::from(g)).sum();
         prop_assert!((sol.objective() - expect).abs() < 1e-5,
             "got {} expected {}", sol.objective(), expect);
+    }
+
+    /// Sparse revised basis invariant: with the refactorization interval
+    /// pushed out of reach, the eta file holds every pivot since the last
+    /// factorization, and `B·(B⁻¹·e_i)` must still round-trip within 1e-7
+    /// for every basis column.
+    #[test]
+    fn sparse_basis_roundtrips_after_random_pivots(
+        witness in proptest::collection::vec(0.0f64..10.0, 2..6),
+        coeff_rows in proptest::collection::vec(
+            proptest::collection::vec(-3i32..=3, 6), 1..5),
+        obj in proptest::collection::vec(-3i32..=3, 6),
+        slacks in proptest::collection::vec(0.0f64..5.0, 1..5),
+    ) {
+        let (m, _) = witness_lp(&witness, &coeff_rows, &obj, &slacks);
+        let probe = fp_milp::test_support::sparse_root_lp_probe(&m, 1_000_000);
+        prop_assert!(probe.objective.is_some(), "witness LP must solve to optimality");
+        prop_assert!(probe.roundtrip <= 1e-7,
+            "basis round-trip residual {} after {} pivots ({} etas live, {} refactors)",
+            probe.roundtrip, probe.pivots, probe.live_etas, probe.refactors);
+    }
+
+    /// Refactorizing after every pivot must land on the same objective as
+    /// the accumulated eta-file path: the interval trades factorization
+    /// time against drift, never the answer.
+    #[test]
+    fn forced_refactorization_reaches_same_objective(
+        witness in proptest::collection::vec(0.0f64..10.0, 2..6),
+        coeff_rows in proptest::collection::vec(
+            proptest::collection::vec(-3i32..=3, 6), 1..5),
+        obj in proptest::collection::vec(-3i32..=3, 6),
+        slacks in proptest::collection::vec(0.0f64..5.0, 1..5),
+    ) {
+        let (m, _) = witness_lp(&witness, &coeff_rows, &obj, &slacks);
+        let lazy = fp_milp::test_support::sparse_root_lp_probe(&m, 1_000_000);
+        let eager = fp_milp::test_support::sparse_root_lp_probe(&m, 1);
+        match (lazy.objective, eager.objective) {
+            (Some(a), Some(b)) => prop_assert!(
+                (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())),
+                "interval drift: lazy {a} vs forced {b}"
+            ),
+            (None, None) => {}
+            other => prop_assert!(false, "outcome diverged: {other:?}"),
+        }
+        // Interval 1 really does refactorize the eta file away after every
+        // pivot (one survivor tolerated in case a refresh hit a singular
+        // scratch factorization and fell back to the eta representation).
+        prop_assert!(eager.live_etas <= 1,
+            "{} live etas after {} pivots at interval 1", eager.live_etas, eager.pivots);
     }
 }

@@ -84,6 +84,12 @@ pub enum Event {
         /// Simplex pivots spent on this node's LP, wasted warm pivots
         /// included on cold fallbacks.
         pivots: u64,
+        /// Basis LU (re)factorizations this node's LP performed (sparse
+        /// revised kernel; the dense reference tableau reports `0`).
+        refactors: u64,
+        /// Eta-file basis updates recorded between refactorizations on
+        /// this node's LP (sparse revised kernel only).
+        etas: u64,
     },
     /// A new incumbent was installed. Within one solve these are emitted
     /// in improvement order, so the objective sequence is monotone
@@ -408,10 +414,14 @@ impl Record {
                 depth,
                 warm,
                 pivots,
+                refactors,
+                etas,
             } => {
                 field("depth", depth.to_string());
                 field("warm", warm.to_string());
                 field("pivots", pivots.to_string());
+                field("refactors", refactors.to_string());
+                field("etas", etas.to_string());
             }
             Event::Incumbent { objective } => field("objective", jnum(*objective)),
             Event::Presolve {

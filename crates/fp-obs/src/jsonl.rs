@@ -283,8 +283,9 @@ pub fn parse_line(line: &str) -> Result<ParsedRecord, String> {
 
 /// Parses `line` and checks the trace schema: a numeric `seq`, a string
 /// `phase` and a string `event` field must be present. `BnbNode` lines
-/// additionally carry a numeric `depth`, a boolean `warm` and a numeric
-/// `pivots` (the warm-start coverage fields downstream tooling keys on);
+/// additionally carry a numeric `depth`, a boolean `warm` and numeric
+/// `pivots`, `refactors` and `etas` (the warm-start and factorization
+/// coverage fields downstream tooling keys on);
 /// `Presolve` lines carry the four numeric strengthening counters and
 /// `CutRound` lines a numeric `round` and `cuts`.
 ///
@@ -302,7 +303,7 @@ pub fn validate_line(line: &str) -> Result<ParsedRecord, String> {
         }
     }
     if parsed.str_field("event") == Some("BnbNode") {
-        for key in ["depth", "pivots"] {
+        for key in ["depth", "pivots", "refactors", "etas"] {
             if parsed.num(key).is_none() {
                 return Err(format!("BnbNode: missing numeric '{key}' field"));
             }
@@ -367,6 +368,8 @@ mod tests {
                 depth: 2,
                 warm: true,
                 pivots: 7,
+                refactors: 1,
+                etas: 5,
             },
         );
         t.emit(Phase::Solver, Event::Incumbent { objective: 7.0 });
@@ -518,15 +521,26 @@ mod tests {
     #[test]
     fn bnb_node_lines_require_warm_start_fields() {
         let ok = "{\"seq\":0,\"phase\":\"solver\",\"event\":\"BnbNode\",\
-                  \"depth\":1,\"warm\":true,\"pivots\":4}";
+                  \"depth\":1,\"warm\":true,\"pivots\":4,\
+                  \"refactors\":1,\"etas\":3}";
         let parsed = validate_line(ok).unwrap();
         assert_eq!(parsed.bool_field("warm"), Some(true));
         assert_eq!(parsed.num("pivots"), Some(4.0));
-        // Missing warm, non-boolean warm, missing pivots: all rejected.
+        assert_eq!(parsed.num("refactors"), Some(1.0));
+        assert_eq!(parsed.num("etas"), Some(3.0));
+        // Missing warm, non-boolean warm, missing pivots, missing
+        // factorization counters: all rejected.
         for bad in [
-            "{\"seq\":0,\"phase\":\"s\",\"event\":\"BnbNode\",\"depth\":1,\"pivots\":4}",
-            "{\"seq\":0,\"phase\":\"s\",\"event\":\"BnbNode\",\"depth\":1,\"warm\":1,\"pivots\":4}",
-            "{\"seq\":0,\"phase\":\"s\",\"event\":\"BnbNode\",\"depth\":1,\"warm\":false}",
+            "{\"seq\":0,\"phase\":\"s\",\"event\":\"BnbNode\",\"depth\":1,\
+             \"pivots\":4,\"refactors\":0,\"etas\":0}",
+            "{\"seq\":0,\"phase\":\"s\",\"event\":\"BnbNode\",\"depth\":1,\
+             \"warm\":1,\"pivots\":4,\"refactors\":0,\"etas\":0}",
+            "{\"seq\":0,\"phase\":\"s\",\"event\":\"BnbNode\",\"depth\":1,\
+             \"warm\":false,\"refactors\":0,\"etas\":0}",
+            "{\"seq\":0,\"phase\":\"s\",\"event\":\"BnbNode\",\"depth\":1,\
+             \"warm\":false,\"pivots\":4,\"etas\":0}",
+            "{\"seq\":0,\"phase\":\"s\",\"event\":\"BnbNode\",\"depth\":1,\
+             \"warm\":false,\"pivots\":4,\"refactors\":0}",
         ] {
             assert!(validate_line(bad).is_err(), "should reject: {bad}");
         }
@@ -558,6 +572,8 @@ mod tests {
                     depth: 0,
                     warm: false,
                     pivots: 0,
+                    refactors: 1,
+                    etas: 0,
                 },
             );
             t.flush();

@@ -27,7 +27,7 @@
 //!
 //! let collector = Collector::new();
 //! let tracer = Tracer::new(collector.clone());
-//! tracer.emit(Phase::Solver, Event::BnbNode { depth: 0, warm: false, pivots: 0 });
+//! tracer.emit(Phase::Solver, Event::BnbNode { depth: 0, warm: false, pivots: 0, refactors: 1, etas: 0 });
 //! tracer.emit(Phase::Solver, Event::Incumbent { objective: 42.0 });
 //! assert_eq!(tracer.count(EventKind::BnbNode), 1);
 //! let records = collector.records();
@@ -36,7 +36,7 @@
 //!
 //! // Disabled tracing emits nothing and costs one Option check.
 //! let off = Tracer::disabled();
-//! off.emit(Phase::Solver, Event::BnbNode { depth: 9, warm: false, pivots: 0 });
+//! off.emit(Phase::Solver, Event::BnbNode { depth: 9, warm: false, pivots: 0, refactors: 0, etas: 0 });
 //! assert_eq!(off.count(EventKind::BnbNode), 0);
 //! ```
 
@@ -225,6 +225,8 @@ mod tests {
                 depth: 1,
                 warm: false,
                 pivots: 0,
+                refactors: 0,
+                etas: 0,
             },
         );
         drop(t.span(Phase::Augment, "noop"));
@@ -246,6 +248,8 @@ mod tests {
                     depth: d,
                     warm: false,
                     pivots: 0,
+                    refactors: 0,
+                    etas: 0,
                 },
             );
         }
@@ -268,6 +272,8 @@ mod tests {
                 depth: 0,
                 warm: false,
                 pivots: 0,
+                refactors: 0,
+                etas: 0,
             },
         );
         b.emit(
@@ -276,6 +282,8 @@ mod tests {
                 depth: 1,
                 warm: false,
                 pivots: 0,
+                refactors: 0,
+                etas: 0,
             },
         );
         assert_eq!(a.count(EventKind::BnbNode), 2);
@@ -316,6 +324,8 @@ mod tests {
                                 depth: d,
                                 warm: false,
                                 pivots: 0,
+                                refactors: 0,
+                                etas: 0,
                             },
                         );
                     }

@@ -152,6 +152,8 @@ mod tests {
                 depth: 0,
                 warm: false,
                 pivots: 0,
+                refactors: 0,
+                etas: 0,
             },
         );
         t.emit(Phase::Solver, Event::Incumbent { objective: 1.0 });
@@ -161,6 +163,8 @@ mod tests {
                 depth: 1,
                 warm: false,
                 pivots: 0,
+                refactors: 0,
+                etas: 0,
             },
         );
         assert_eq!(c.len(), 3);
@@ -191,6 +195,8 @@ mod tests {
                 depth: 0,
                 warm: false,
                 pivots: 0,
+                refactors: 0,
+                etas: 0,
             },
         );
         assert_eq!(t.count(EventKind::BnbNode), 1); // counters still work

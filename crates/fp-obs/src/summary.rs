@@ -16,6 +16,8 @@ pub fn render_summary(records: &[Record]) -> String {
     let mut incumbents = 0usize;
     let mut bnb_nodes = 0usize;
     let mut warm_bnb = 0usize;
+    let mut node_refactors = 0u64;
+    let mut node_etas = 0u64;
     let mut presolves = 0usize;
     let mut rows_tightened = 0usize;
     let mut binaries_fixed = 0usize;
@@ -59,9 +61,16 @@ pub fn render_summary(records: &[Record]) -> String {
                 proven += usize::from(*p);
             }
             Event::Incumbent { .. } => incumbents += 1,
-            Event::BnbNode { warm, .. } => {
+            Event::BnbNode {
+                warm,
+                refactors,
+                etas,
+                ..
+            } => {
                 bnb_nodes += 1;
                 warm_bnb += usize::from(*warm);
+                node_refactors += refactors;
+                node_etas += etas;
             }
             Event::Presolve {
                 rows_tightened: rt,
@@ -140,7 +149,10 @@ pub fn render_summary(records: &[Record]) -> String {
         // streams that only carry solve boundaries), so the warm-start
         // rollup only appears when BnbNode events are present.
         let warm = if bnb_nodes > 0 {
-            format!(", {warm_bnb}/{bnb_nodes} warm node solves")
+            format!(
+                ", {warm_bnb}/{bnb_nodes} warm node solves, \
+                 {node_refactors} refactorizations, {node_etas} eta updates"
+            )
         } else {
             String::new()
         };
@@ -318,6 +330,8 @@ mod tests {
                     depth: 0,
                     warm: false,
                     pivots: 12,
+                    refactors: 2,
+                    etas: 10,
                 },
             ),
             rec(
@@ -327,6 +341,8 @@ mod tests {
                     depth: 1,
                     warm: true,
                     pivots: 2,
+                    refactors: 1,
+                    etas: 2,
                 },
             ),
             rec(
@@ -336,6 +352,8 @@ mod tests {
                     depth: 1,
                     warm: true,
                     pivots: 3,
+                    refactors: 0,
+                    etas: 0,
                 },
             ),
             rec(
@@ -350,6 +368,10 @@ mod tests {
         ];
         let text = render_summary(&records);
         assert!(text.contains("2/3 warm node solves"), "{text}");
+        assert!(
+            text.contains("3 refactorizations, 12 eta updates"),
+            "{text}"
+        );
         // No Presolve/CutRound records: the strengthening rollup is absent.
         assert!(!text.contains("strengthened roots"), "{text}");
     }

@@ -96,6 +96,8 @@ impl ServeConfig {
 struct SolverCounters {
     warm: AtomicU64,
     cold: AtomicU64,
+    refactorizations: AtomicU64,
+    eta_updates: AtomicU64,
     rows_tightened: AtomicU64,
     binaries_fixed: AtomicU64,
     cuts_added: AtomicU64,
@@ -105,6 +107,13 @@ impl SolverCounters {
     fn record(&self, warm: usize, cold: usize) {
         self.warm.fetch_add(warm as u64, Ordering::Relaxed);
         self.cold.fetch_add(cold as u64, Ordering::Relaxed);
+    }
+
+    fn record_factorizations(&self, refactorizations: usize, eta_updates: usize) {
+        self.refactorizations
+            .fetch_add(refactorizations as u64, Ordering::Relaxed);
+        self.eta_updates
+            .fetch_add(eta_updates as u64, Ordering::Relaxed);
     }
 
     fn record_strengthening(&self, rows_tightened: usize, binaries_fixed: usize, cuts: usize) {
@@ -127,6 +136,13 @@ impl SolverCounters {
             self.rows_tightened.load(Ordering::Relaxed),
             self.binaries_fixed.load(Ordering::Relaxed),
             self.cuts_added.load(Ordering::Relaxed),
+        )
+    }
+
+    fn factorization_snapshot(&self) -> (u64, u64) {
+        (
+            self.refactorizations.load(Ordering::Relaxed),
+            self.eta_updates.load(Ordering::Relaxed),
         )
     }
 }
@@ -210,6 +226,14 @@ impl Engine {
     #[must_use]
     pub fn strengthening_stats(&self) -> (u64, u64, u64) {
         self.solver.strengthening_snapshot()
+    }
+
+    /// `(refactorizations, eta_updates)` of the sparse revised simplex
+    /// basis, accumulated over every node LP this engine has solved. Both
+    /// stay zero when jobs select the dense reference kernel.
+    #[must_use]
+    pub fn factorization_stats(&self) -> (u64, u64) {
+        self.solver.factorization_snapshot()
     }
 
     /// Closes the queue, drains every accepted job, joins the workers and
@@ -374,6 +398,10 @@ fn process(
             Ok(result) => {
                 degraded |= result.stats.greedy_fallbacks() > 0;
                 solver.record(result.stats.warm_nodes(), result.stats.cold_nodes());
+                solver.record_factorizations(
+                    result.stats.refactorizations(),
+                    result.stats.eta_updates(),
+                );
                 solver.record_strengthening(
                     result.stats.rows_tightened(),
                     result.stats.binaries_fixed(),
@@ -535,6 +563,15 @@ impl Server {
         self.engine
             .as_ref()
             .map_or((0, 0, 0), Engine::strengthening_stats)
+    }
+
+    /// `(refactorizations, eta_updates)` of the engine's sparse revised
+    /// simplex basis work.
+    #[must_use]
+    pub fn factorization_stats(&self) -> (u64, u64) {
+        self.engine
+            .as_ref()
+            .map_or((0, 0), Engine::factorization_stats)
     }
 
     /// Blocks until the acceptor exits (it only exits on shutdown or a

@@ -48,6 +48,26 @@ grep -q '"warm":true' "$trace_file" \
 # engaging (the equivalence pins live in fp-milp's strengthen_equivalence).
 grep -Eq '"event":"Presolve".*"rows_tightened":[1-9]' "$trace_file" \
     || { echo "check.sh: ami33 trace has no Presolve event with tightened rows"; exit 1; }
+# Sparse-kernel smoke: validate_trace above already requires every BnbNode
+# line to carry the numeric `refactors`/`etas` factorization fields; here
+# additionally require that some node actually refactorized — all-zero
+# means the solver silently fell back to the dense tableau (the
+# equivalence pins live in fp-milp's sparse_equivalence).
+grep -Eq '"event":"BnbNode".*"refactors":[1-9]' "$trace_file" \
+    || { echo "check.sh: ami33 trace shows no LU refactorizations"; exit 1; }
+
+# MILP benchmark snapshot smoke: the snapshot binary must run end to end
+# and emit the dense-vs-sparse comparison legs BENCH_MILP.json is diffed
+# against (per-instance `sparse` objects plus the two headline medians).
+echo "== milp_snapshot smoke"
+bench_json="$(mktemp --suffix=.json)"
+trap 'rm -f "$trace_file" "$summary_file" "$bench_json"' EXIT
+cargo run --release -q -p fp-bench --bin milp_snapshot -- "$bench_json" \
+    > /dev/null
+for key in '"sparse"' '"pivot_time_speedup"' '"median_sparse_pivot_time_speedup"' '"median_sparse_speedup"'; do
+    grep -q "$key" "$bench_json" \
+        || { echo "check.sh: milp_snapshot output missing $key"; exit 1; }
+done
 
 # Service smoke: bring up `floorplan serve` on an ephemeral port, drive it
 # with the `load` generator over a repeated instance, and require (a) every
@@ -58,7 +78,7 @@ echo "== service smoke (floorplan serve / load)"
 serve_log="$(mktemp)"
 serve_trace="$(mktemp --suffix=.jsonl)"
 load_log="$(mktemp)"
-trap 'rm -f "$trace_file" "$summary_file" "$serve_log" "$serve_trace" "$load_log"; kill "${serve_pid:-0}" 2>/dev/null || true' EXIT
+trap 'rm -f "$trace_file" "$summary_file" "$bench_json" "$serve_log" "$serve_trace" "$load_log"; kill "${serve_pid:-0}" 2>/dev/null || true' EXIT
 cargo build --release -q -p fp-cli
 ./target/release/floorplan serve --bind 127.0.0.1:0 --workers 2 \
     --trace "$serve_trace" > "$serve_log" 2>&1 &
