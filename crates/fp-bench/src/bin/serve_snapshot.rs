@@ -1,0 +1,251 @@
+//! Writes `BENCH_SERVE.json`: the event-driven front end (sharded poll
+//! loops + single-flight coalescing) against the original
+//! thread-per-connection front end, on the same workload, plus an
+//! overload leg pinning the admission-control accounting.
+//!
+//! Usage: `serve_snapshot [OUT_PATH] [CONNS]` (default `BENCH_SERVE.json`,
+//! 1000 connections). Three legs:
+//!
+//! * `event` / `threaded` — CONNS concurrent connections, one job each,
+//!   50% of them one shared duplicate instance (evenly interleaved), the
+//!   cache off so dedup is pure coalescing. Each leg runs [`REPS`] times;
+//!   the reported rep is the median by wall time. Recorded per leg:
+//!   throughput, latency p50/p90/p99/max, solves, coalesced, and the
+//!   post-shutdown accounting (`accepted == completed + shed`). The
+//!   headline `throughput_speedup` is event/threaded.
+//! * `overload` — open-loop 2x-capacity burst against a deliberately tiny
+//!   admission budget (1 worker, queue 2, per-shard bound 4): pins that
+//!   overload sheds with typed `retry_after_ms` instead of queueing
+//!   without bound, and that the books still balance.
+
+use fp_netlist::generator::ProblemGenerator;
+use fp_serve::{IoMode, JobRequest, JobResponse, ServeConfig, Server, ShutdownReport};
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::Instant;
+
+const REPS: usize = 3;
+const DUP_PCT: u64 = 50;
+const MODULES: usize = 4;
+
+struct Measured {
+    wall_s: f64,
+    throughput: f64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    solves: u64,
+    coalesced: u64,
+    report: ShutdownReport,
+}
+
+fn request_line(id: u64) -> String {
+    // Bresenham interleave: of every 100 consecutive ids, DUP_PCT are the
+    // shared instance (seed 1), the rest all distinct.
+    let seed = if (id * DUP_PCT) % 100 < DUP_PCT {
+        1
+    } else {
+        1000 + id
+    };
+    let nl = ProblemGenerator::new(MODULES, seed).generate();
+    JobRequest::new(id, &nl).with_cache(false).encode()
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// One rep: CONNS concurrent connections, one request/response each.
+fn drive(io: IoMode, conns: usize) -> Measured {
+    let config = ServeConfig::default()
+        .with_io(io)
+        .with_workers(2)
+        .with_cache_capacity(0)
+        .with_queue_capacity(4 * conns.max(16))
+        .with_per_shard_pending(4 * conns.max(16))
+        .with_node_limit(4_000);
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..conns as u64)
+        .map(|id| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                let sent = Instant::now();
+                writeln!(stream, "{}", request_line(id)).expect("send");
+                let mut line = String::new();
+                BufReader::new(&stream)
+                    .read_line(&mut line)
+                    .expect("read response");
+                let resp = JobResponse::decode(line.trim_end()).expect("decode");
+                assert!(resp.ok, "job {id} failed: {}", resp.error);
+                (resp, sent.elapsed().as_secs_f64() * 1e3)
+            })
+        })
+        .collect();
+    let responses: Vec<(JobResponse, f64)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client"))
+        .collect();
+    let wall_s = started.elapsed().as_secs_f64();
+    let report = server.shutdown();
+
+    let coalesced = responses.iter().filter(|(r, _)| r.coalesced).count() as u64;
+    let solves = responses
+        .iter()
+        .filter(|(r, _)| r.ok && !r.cached && !r.coalesced)
+        .count() as u64;
+    let mut lat: Vec<f64> = responses.iter().map(|&(_, ms)| ms).collect();
+    lat.sort_by(f64::total_cmp);
+    Measured {
+        wall_s,
+        throughput: conns as f64 / wall_s.max(1e-12),
+        p50_ms: percentile(&lat, 50.0),
+        p90_ms: percentile(&lat, 90.0),
+        p99_ms: percentile(&lat, 99.0),
+        max_ms: lat.last().copied().unwrap_or(0.0),
+        solves,
+        coalesced,
+        report,
+    }
+}
+
+fn median_rep(io: IoMode, conns: usize) -> Measured {
+    let mut runs: Vec<Measured> = (0..REPS).map(|_| drive(io, conns)).collect();
+    runs.sort_by(|a, b| a.wall_s.total_cmp(&b.wall_s));
+    runs.swap_remove(REPS / 2)
+}
+
+/// The overload leg: a pipelined 2x-capacity burst against a tiny
+/// admission budget must produce typed sheds and balanced books.
+fn drive_overload(jobs: u64) -> (ShutdownReport, u64, u64, u64) {
+    let config = ServeConfig::default()
+        .with_io(IoMode::Event)
+        .with_shards(1)
+        .with_workers(1)
+        .with_queue_capacity(2)
+        .with_per_shard_pending(4)
+        .with_cache_capacity(0)
+        .with_node_limit(500);
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let reader = std::thread::spawn(move || {
+        let mut got = Vec::with_capacity(jobs as usize);
+        let mut reader = BufReader::new(stream);
+        while got.len() < jobs as usize {
+            let mut line = String::new();
+            if reader.read_line(&mut line).expect("read") == 0 {
+                break;
+            }
+            got.push(JobResponse::decode(line.trim_end()).expect("decode"));
+        }
+        got
+    });
+    for id in 0..jobs {
+        writeln!(writer, "{}", request_line(id)).expect("send");
+    }
+    let responses = reader.join().expect("reader");
+    assert_eq!(responses.len(), jobs as usize, "every job answered");
+    let ok = responses.iter().filter(|r| r.ok).count() as u64;
+    let shed = responses.iter().filter(|r| r.is_shed()).count() as u64;
+    assert_eq!(ok + shed, jobs, "overload answers are ok or typed sheds");
+    let retry_max = responses
+        .iter()
+        .filter(|r| r.is_shed())
+        .map(|r| r.retry_after_ms)
+        .max()
+        .unwrap_or(0);
+    (server.shutdown(), ok, shed, retry_max)
+}
+
+fn leg_json(m: &Measured) -> String {
+    let acc = m.report.accounting;
+    format!(
+        "{{\"wall_s\": {:.6}, \"throughput_jobs_per_s\": {:.1}, \
+         \"p50_ms\": {:.1}, \"p90_ms\": {:.1}, \"p99_ms\": {:.1}, \
+         \"max_ms\": {:.1}, \"solves\": {}, \"coalesced\": {}, \
+         \"accepted\": {}, \"completed\": {}, \"shed\": {}}}",
+        m.wall_s,
+        m.throughput,
+        m.p50_ms,
+        m.p90_ms,
+        m.p99_ms,
+        m.max_ms,
+        m.solves,
+        m.coalesced,
+        acc.accepted,
+        acc.completed,
+        acc.shed
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_SERVE.json".to_string());
+    let conns: usize = std::env::args()
+        .nth(2)
+        .map_or(1000, |s| s.parse().expect("CONNS must be a number"));
+
+    let event = median_rep(IoMode::Event, conns);
+    eprintln!(
+        "event: {:.1} jobs/s, p99 {:.1}ms, {} solves / {} coalesced",
+        event.throughput, event.p99_ms, event.solves, event.coalesced
+    );
+    let threaded = median_rep(IoMode::Threaded, conns);
+    eprintln!(
+        "threaded: {:.1} jobs/s, p99 {:.1}ms, {} solves / {} coalesced",
+        threaded.throughput, threaded.p99_ms, threaded.solves, threaded.coalesced
+    );
+    for (leg, m) in [("event", &event), ("threaded", &threaded)] {
+        let acc = m.report.accounting;
+        assert_eq!(acc.accepted as usize, conns, "{leg}: every job accepted");
+        assert_eq!(
+            acc.accepted,
+            acc.completed + acc.shed,
+            "{leg}: books must balance"
+        );
+        // The duplicate share must actually dedup: at most the distinct
+        // half plus the handful of shared-instance leader solves.
+        assert!(
+            m.solves <= (conns as u64) * 55 / 100,
+            "{leg}: {} solves out of {conns} jobs — coalescing not engaging",
+            m.solves
+        );
+    }
+
+    let (overload, over_ok, over_shed, retry_max) = drive_overload(40);
+    eprintln!("overload: {over_ok} served, {over_shed} shed (retry_after <= {retry_max}ms)");
+    assert!(over_shed > 0, "2x-capacity burst with queue=2 must shed");
+    let oacc = overload.accounting;
+    assert_eq!(oacc.accepted, oacc.completed + oacc.shed);
+
+    let speedup = event.throughput / threaded.throughput.max(1e-12);
+    let json = format!(
+        "{{\n  \"bench\": \"serve_io\",\n  \"reps\": {REPS},\n  \
+         \"conns\": {conns},\n  \"dup_pct\": {DUP_PCT},\n  \
+         \"modules\": {MODULES},\n  \
+         \"throughput_speedup\": {speedup:.3},\n  \
+         \"event\": {},\n  \"threaded\": {},\n  \
+         \"overload\": {{\"jobs\": 40, \"served\": {over_ok}, \
+         \"shed\": {over_shed}, \"retry_after_ms_max\": {retry_max}, \
+         \"accepted\": {}, \"completed\": {}}}\n}}\n",
+        leg_json(&event),
+        leg_json(&threaded),
+        oacc.accepted,
+        oacc.completed
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    eprintln!(
+        "event vs threaded throughput: {speedup:.2}x on {conns} conns \
+         ({DUP_PCT}% duplicates) -> {out_path}"
+    );
+}

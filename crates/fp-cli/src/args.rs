@@ -11,6 +11,7 @@
 use fp_core::{Objective, OrderingStrategy};
 use fp_netlist::{ami33, format, generator::ProblemGenerator, Netlist};
 use fp_route::{RouteAlgorithm, RoutingMode};
+use fp_serve::IoMode;
 
 /// A parsed invocation.
 #[derive(Debug)]
@@ -75,6 +76,16 @@ pub struct ServeArgs {
     pub cache: usize,
     /// Per-step node limit for jobs.
     pub node_limit: usize,
+    /// Which front end: the sharded event loop or thread-per-connection.
+    pub io: IoMode,
+    /// Event-loop shard count (0 = auto from available parallelism).
+    pub shards: usize,
+    /// Global job-queue capacity (the shedding admission bound).
+    pub queue: usize,
+    /// Per-shard bound on decoded-but-unanswered jobs.
+    pub pending: usize,
+    /// Longest accepted request line in bytes.
+    pub max_line: usize,
     /// Write service trace events (cache hits/misses, jobs) to a file.
     pub trace: Option<String>,
 }
@@ -95,6 +106,13 @@ pub struct LoadArgs {
     /// Number of distinct instances the jobs cycle through (repeats are
     /// what exercises the solution cache).
     pub spread: usize,
+    /// Open-loop aggregate arrival rate in jobs/s (0 = closed loop:
+    /// each client waits for its answer before sending the next job).
+    pub rate: f64,
+    /// Percentage (0-100) of jobs that submit one shared duplicate
+    /// instance; the rest are all distinct. Overrides `spread` when
+    /// set — this is the coalescing/cache-dedup workload.
+    pub dup: usize,
     /// Disable the solution cache for the submitted jobs.
     pub no_cache: bool,
 }
@@ -231,6 +249,11 @@ fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, 
         workers: 2,
         cache: 128,
         node_limit: 4_000,
+        io: IoMode::Event,
+        shards: 0,
+        queue: 64,
+        pending: 256,
+        max_line: 1 << 20,
         trace: None,
     };
     while let Some(arg) = it.next() {
@@ -256,6 +279,41 @@ fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, 
                     .parse()
                     .map_err(|_| "bad node limit")?;
             }
+            "--io" => {
+                args.io = match value("--io")?.as_str() {
+                    "event" => IoMode::Event,
+                    "threads" => IoMode::Threaded,
+                    other => return Err(format!("unknown io mode '{other}' (event|threads)")),
+                };
+            }
+            "--shards" => {
+                args.shards = value("--shards")?.parse().map_err(|_| "bad shard count")?;
+            }
+            "--queue" => {
+                let n: usize = value("--queue")?
+                    .parse()
+                    .map_err(|_| "bad queue capacity")?;
+                if n == 0 {
+                    return Err("--queue wants at least 1".to_string());
+                }
+                args.queue = n;
+            }
+            "--pending" => {
+                let n: usize = value("--pending")?
+                    .parse()
+                    .map_err(|_| "bad pending bound")?;
+                if n == 0 {
+                    return Err("--pending wants at least 1".to_string());
+                }
+                args.pending = n;
+            }
+            "--max-line" => {
+                let n: usize = value("--max-line")?.parse().map_err(|_| "bad line limit")?;
+                if n == 0 {
+                    return Err("--max-line wants at least 1".to_string());
+                }
+                args.max_line = n;
+            }
             "--trace" => args.trace = Some(value("--trace")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown serve option '{other}'")),
@@ -272,6 +330,8 @@ fn parse_load_args<I: Iterator<Item = String>>(mut it: I) -> Result<LoadArgs, St
         deadline_ms: 0,
         modules: 5,
         spread: 4,
+        rate: 0.0,
+        dup: 0,
         no_cache: false,
     };
     while let Some(arg) = it.next() {
@@ -314,6 +374,20 @@ fn parse_load_args<I: Iterator<Item = String>>(mut it: I) -> Result<LoadArgs, St
                     return Err("--spread wants at least 1".to_string());
                 }
                 args.spread = n;
+            }
+            "--rate" => {
+                let r: f64 = value("--rate")?.parse().map_err(|_| "bad rate")?;
+                if !r.is_finite() || r < 0.0 {
+                    return Err("--rate wants a non-negative jobs/s".to_string());
+                }
+                args.rate = r;
+            }
+            "--dup" => {
+                let p: usize = value("--dup")?.parse().map_err(|_| "bad dup percent")?;
+                if p > 100 {
+                    return Err("--dup wants a percentage 0-100".to_string());
+                }
+                args.dup = p;
             }
             "--no-cache" => args.no_cache = true,
             "--help" | "-h" => return Err(String::new()),
@@ -368,16 +442,26 @@ pub const HELP: &str = "usage: floorplan [INPUT.fp] [--ami33 | --random N:SEED]
   --summary      print a per-phase rollup of the traced run
 
 usage: floorplan serve [--bind ADDR] [--workers N] [--cache N]
-  [--node-limit N] [--trace FILE.jsonl]
+  [--node-limit N] [--io event|threads] [--shards N] [--queue N]
+  [--pending N] [--max-line BYTES] [--trace FILE.jsonl]
 
   serve floorplanning jobs over TCP, one JSON object per line in each
   direction; --bind 127.0.0.1:0 picks an ephemeral port (printed on start)
+  --io event    sharded poll loops, request coalescing, load shedding
+                with typed retry_after_ms (the default)
+  --io threads  the original two-threads-per-connection front end
+  --queue N     global admission bound; --pending N per-shard bound
 
 usage: floorplan load [--addr ADDR] [--clients N] [--jobs M]
-  [--deadline-ms D] [--modules K] [--spread S] [--no-cache]
+  [--deadline-ms D] [--modules K] [--spread S] [--dup PCT]
+  [--rate JOBS_PER_S] [--no-cache]
 
   drive a running serve with N clients x M jobs over S distinct random
-  instances and report accounting, throughput and latency percentiles";
+  instances and report accounting, throughput and latency percentiles
+  --dup PCT   PCT% of jobs submit one shared instance (coalesce/cache
+              fodder), the rest are all distinct; overrides --spread
+  --rate R    open loop: send at R jobs/s aggregate without waiting for
+              answers (default closed loop: one in flight per client)";
 
 #[cfg(test)]
 mod tests {
@@ -509,8 +593,35 @@ mod tests {
         assert_eq!(s.bind, "127.0.0.1:0");
         assert_eq!((s.workers, s.cache, s.node_limit), (4, 32, 900));
         assert_eq!(s.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(s.io, IoMode::Event);
+        assert_eq!((s.shards, s.queue, s.pending), (0, 64, 256));
         assert!(command(&["serve", "--workers", "0"]).is_err());
         assert!(command(&["serve", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn serve_io_flags_parse() {
+        let Command::Serve(s) = command(&[
+            "serve",
+            "--io",
+            "threads",
+            "--shards",
+            "2",
+            "--queue",
+            "8",
+            "--pending",
+            "16",
+            "--max-line",
+            "4096",
+        ])
+        .unwrap() else {
+            panic!("expected serve");
+        };
+        assert_eq!(s.io, IoMode::Threaded);
+        assert_eq!((s.shards, s.queue, s.pending, s.max_line), (2, 8, 16, 4096));
+        assert!(command(&["serve", "--io", "epoll"]).is_err());
+        assert!(command(&["serve", "--queue", "0"]).is_err());
+        assert!(command(&["serve", "--max-line", "0"]).is_err());
     }
 
     #[test]
@@ -539,7 +650,20 @@ mod tests {
         assert_eq!(l.deadline_ms, 50);
         assert_eq!((l.modules, l.spread), (6, 2));
         assert!(l.no_cache);
+        assert_eq!(l.rate, 0.0);
+        assert_eq!(l.dup, 0);
         assert!(command(&["load", "--clients", "0"]).is_err());
         assert!(command(&["load", "--jobs", "x"]).is_err());
+    }
+
+    #[test]
+    fn load_open_loop_flags_parse() {
+        let Command::Load(l) = command(&["load", "--rate", "250.5", "--dup", "50"]).unwrap() else {
+            panic!("expected load");
+        };
+        assert_eq!(l.rate, 250.5);
+        assert_eq!(l.dup, 50);
+        assert!(command(&["load", "--rate", "-1"]).is_err());
+        assert!(command(&["load", "--dup", "101"]).is_err());
     }
 }

@@ -16,6 +16,7 @@ use fp_netlist::generator::ProblemGenerator;
 use fp_route::{route, RouteConfig};
 use fp_serve::{JobRequest, JobResponse, ServeConfig, Server};
 use fp_viz::{ascii_floorplan, svg_floorplan, svg_routed};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
@@ -134,31 +135,56 @@ fn cmd_serve(args: &ServeArgs) -> Result<(), String> {
         }
         None => fp_obs::Tracer::disabled(),
     };
-    let config = ServeConfig::default()
+    let mut config = ServeConfig::default()
         .with_workers(args.workers)
         .with_cache_capacity(args.cache)
         .with_node_limit(args.node_limit)
+        .with_io(args.io)
+        .with_queue_capacity(args.queue)
+        .with_per_shard_pending(args.pending)
+        .with_max_line_bytes(args.max_line)
         .with_tracer(tracer);
+    if args.shards > 0 {
+        config = config.with_shards(args.shards);
+    }
+    let shards = config.shards;
     let server = Server::bind(args.bind.as_str(), config).map_err(|e| e.to_string())?;
     // The resolved address (not the bind string) so `--bind 127.0.0.1:0`
     // callers learn the ephemeral port; flushed because scripts read this
     // line through a pipe while the process keeps running.
     println!(
-        "serving on {} ({} workers, cache {})",
+        "serving on {} ({} workers, cache {}, {})",
         server.local_addr(),
         args.workers,
-        args.cache
+        args.cache,
+        match args.io {
+            fp_serve::IoMode::Event => format!("{shards} event shards"),
+            fp_serve::IoMode::Threaded => "threaded io".to_string(),
+        }
     );
     std::io::stdout().flush().map_err(|e| e.to_string())?;
     server.wait();
     Ok(())
 }
 
-/// The instance a load job submits: jobs cycle through `spread` distinct
-/// seeds, so every seed after the first round repeats an earlier instance
-/// and can be answered from the service's solution cache.
+/// The instance a load job submits. Default: jobs cycle through `spread`
+/// distinct seeds, so every seed after the first round repeats an earlier
+/// instance and can be answered from the service's solution cache. With
+/// `--dup PCT`, PCT% of jobs (evenly interleaved) submit ONE shared
+/// instance — the coalescing/dedup workload — and the rest are all
+/// distinct.
 fn load_instance(args: &LoadArgs, global_job: usize) -> JobRequest {
-    let seed = 1 + (global_job % args.spread) as u64;
+    let seed = if args.dup > 0 {
+        // Bresenham-style interleave: of every 100 consecutive jobs,
+        // `dup` are the shared instance, spaced evenly, not bunched.
+        if (global_job as u64 * args.dup as u64) % 100 < args.dup as u64 {
+            1
+        } else {
+            1000 + global_job as u64
+        }
+    } else {
+        1 + (global_job % args.spread) as u64
+    };
     let nl = ProblemGenerator::new(args.modules, seed).generate();
     JobRequest::new(global_job as u64, &nl)
         .with_deadline_ms(args.deadline_ms)
@@ -173,37 +199,99 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx.min(sorted_ms.len() - 1)]
 }
 
+/// One client's closed-loop run: one job in flight at a time, latency is
+/// pure request-to-response time.
+fn run_closed_loop(args: &LoadArgs, client: usize) -> Result<Vec<(JobResponse, f64)>, String> {
+    let stream = TcpStream::connect(&args.addr)
+        .map_err(|e| format!("cannot connect to '{}': {e}", args.addr))?;
+    // Each job is one small line each way; without NODELAY the
+    // Nagle/delayed-ACK interaction dominates latency.
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut out = Vec::with_capacity(args.jobs);
+    for j in 0..args.jobs {
+        let req = load_instance(args, client * args.jobs + j);
+        let sent = Instant::now();
+        writeln!(writer, "{}", req.encode()).map_err(|e| e.to_string())?;
+        let mut line = String::new();
+        if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        let resp = JobResponse::decode(line.trim_end())?;
+        out.push((resp, sent.elapsed().as_secs_f64() * 1e3));
+    }
+    Ok(out)
+}
+
+/// One client's open-loop run: sends are paced by the arrival rate and
+/// never wait for answers, so queueing (and shedding) at the service is
+/// visible in the measured latency instead of throttling the offered
+/// load. A reader thread collects the possibly out-of-order responses.
+fn run_open_loop(
+    args: &LoadArgs,
+    client: usize,
+    gap: Duration,
+) -> Result<Vec<(JobResponse, f64)>, String> {
+    let stream = TcpStream::connect(&args.addr)
+        .map_err(|e| format!("cannot connect to '{}': {e}", args.addr))?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let jobs = args.jobs;
+    let reader = std::thread::spawn(move || -> Result<Vec<(JobResponse, Instant)>, String> {
+        let mut reader = BufReader::new(stream);
+        let mut got = Vec::with_capacity(jobs);
+        while got.len() < jobs {
+            let mut line = String::new();
+            if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+                return Err("server closed the connection".to_string());
+            }
+            got.push((JobResponse::decode(line.trim_end())?, Instant::now()));
+        }
+        Ok(got)
+    });
+    let mut sent = HashMap::with_capacity(args.jobs);
+    for j in 0..args.jobs {
+        let req = load_instance(args, client * args.jobs + j);
+        sent.insert(req.id, Instant::now());
+        writeln!(writer, "{}", req.encode()).map_err(|e| e.to_string())?;
+        std::thread::sleep(gap);
+    }
+    let got = reader.join().map_err(|_| "reader thread panicked")??;
+    Ok(got
+        .into_iter()
+        .map(|(resp, at)| {
+            let ms = at.duration_since(sent[&resp.id]).as_secs_f64() * 1e3;
+            (resp, ms)
+        })
+        .collect())
+}
+
 fn cmd_load(args: &LoadArgs) -> Result<(), String> {
     let total = args.clients * args.jobs;
+    let mix = if args.dup > 0 {
+        format!("{}% duplicate instances", args.dup)
+    } else {
+        format!("{} distinct instances", args.spread)
+    };
+    let pacing = if args.rate > 0.0 {
+        format!("open loop at {} jobs/s", args.rate)
+    } else {
+        "closed loop".to_string()
+    };
     println!(
-        "load: {} clients x {} jobs -> {} ({} distinct instances of {} modules)",
-        args.clients, args.jobs, args.addr, args.spread, args.modules
+        "load: {} clients x {} jobs -> {} ({mix} of {} modules, {pacing})",
+        args.clients, args.jobs, args.addr, args.modules
     );
+    // Open loop: aggregate arrival rate `--rate` split across clients.
+    let gap = (args.rate > 0.0).then(|| Duration::from_secs_f64(args.clients as f64 / args.rate));
     let started = Instant::now();
     let handles: Vec<_> = (0..args.clients)
         .map(|c| {
             let args = args.clone();
-            std::thread::spawn(move || -> Result<Vec<(JobResponse, f64)>, String> {
-                let stream = TcpStream::connect(&args.addr)
-                    .map_err(|e| format!("cannot connect to '{}': {e}", args.addr))?;
-                // Each job is one small line each way; without NODELAY the
-                // Nagle/delayed-ACK interaction dominates latency.
-                stream.set_nodelay(true).map_err(|e| e.to_string())?;
-                let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-                let mut reader = BufReader::new(stream);
-                let mut out = Vec::with_capacity(args.jobs);
-                for j in 0..args.jobs {
-                    let req = load_instance(&args, c * args.jobs + j);
-                    let sent = Instant::now();
-                    writeln!(writer, "{}", req.encode()).map_err(|e| e.to_string())?;
-                    let mut line = String::new();
-                    if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
-                        return Err("server closed the connection".to_string());
-                    }
-                    let resp = JobResponse::decode(line.trim_end())?;
-                    out.push((resp, sent.elapsed().as_secs_f64() * 1e3));
-                }
-                Ok(out)
+            std::thread::spawn(move || match gap {
+                Some(gap) => run_open_loop(&args, c, gap),
+                None => run_closed_loop(&args, c),
             })
         })
         .collect();
@@ -221,12 +309,34 @@ fn cmd_load(args: &LoadArgs) -> Result<(), String> {
     let ok = responses.iter().filter(|(r, _)| r.ok).count();
     let degraded = responses.iter().filter(|(r, _)| r.degraded).count();
     let cached = responses.iter().filter(|(r, _)| r.cached).count();
-    println!("responses {ok}/{total} ok  degraded {degraded}  cached {cached}  lost {lost}");
-    for (r, _) in responses.iter().filter(|(r, _)| !r.ok).take(3) {
+    let coalesced = responses.iter().filter(|(r, _)| r.coalesced).count();
+    let shed = responses.iter().filter(|(r, _)| r.is_shed()).count();
+    // Solves = answered neither from the cache nor by riding another
+    // job's solve nor shed: what the duplicate-heavy workloads minimize.
+    let solves = ok
+        - responses
+            .iter()
+            .filter(|(r, _)| r.ok && (r.cached || r.coalesced))
+            .count();
+    println!(
+        "responses {ok}/{total} ok  degraded {degraded}  cached {cached}  \
+         coalesced {coalesced}  shed {shed}  solves {solves}  lost {lost}"
+    );
+    for (r, _) in responses
+        .iter()
+        .filter(|(r, _)| !r.ok && !r.is_shed())
+        .take(3)
+    {
         eprintln!("  job {} failed: {}", r.id, r.error);
     }
 
-    let mut lat: Vec<f64> = responses.iter().map(|&(_, ms)| ms).collect();
+    // Latency percentiles cover the accepted (non-shed) jobs; a shed is
+    // an immediate typed refusal, not a serviced request.
+    let mut lat: Vec<f64> = responses
+        .iter()
+        .filter(|(r, _)| !r.is_shed())
+        .map(|&(_, ms)| ms)
+        .collect();
     lat.sort_by(|a, b| a.total_cmp(b));
     println!(
         "throughput {:.1} jobs/s  wall {wall:.2}s",
@@ -242,8 +352,8 @@ fn cmd_load(args: &LoadArgs) -> Result<(), String> {
     if lost > 0 {
         return Err(format!("{lost} responses lost or duplicated"));
     }
-    if ok < total {
-        return Err(format!("{} jobs failed", total - ok));
+    if ok + shed < total {
+        return Err(format!("{} jobs failed", total - ok - shed));
     }
     Ok(())
 }

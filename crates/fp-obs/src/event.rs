@@ -221,6 +221,39 @@ pub enum Event {
         /// Whether the response came from the solution cache.
         cached: bool,
     },
+    /// A service job joined an identical in-flight solve instead of
+    /// queueing its own (`fp-serve` single-flight coalescing): the job
+    /// will be answered by the leader's result when it lands.
+    Coalesced {
+        /// Canonical FNV-1a instance fingerprint shared with the leader.
+        key: u64,
+    },
+    /// A service job was load-shed at admission (`fp-serve`): the queue
+    /// was full, so the job was answered immediately with a typed
+    /// `retry_after_ms` hint instead of being accepted.
+    Shed {
+        /// Jobs queued (or in flight) when the shed decision was made.
+        queued: usize,
+        /// Suggested client back-off in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// One event-loop shard's lifetime accounting, emitted when the shard
+    /// drains and exits (`fp-serve` sharded server shutdown).
+    ShardStats {
+        /// Zero-based shard index.
+        shard: usize,
+        /// Connections this shard ever owned.
+        conns: usize,
+        /// Well-formed requests decoded (accepted for processing).
+        accepted: u64,
+        /// Responses delivered for accepted requests (includes failures
+        /// and coalesced fan-outs; excludes sheds).
+        completed: u64,
+        /// Requests answered with a load-shed response.
+        shed: u64,
+        /// Malformed lines answered with `ok:false`.
+        malformed: u64,
+    },
 }
 
 /// Discriminant-only view of [`Event`], used for counters and filtering.
@@ -260,11 +293,17 @@ pub enum EventKind {
     Presolve,
     /// [`Event::CutRound`]
     CutRound,
+    /// [`Event::Coalesced`]
+    Coalesced,
+    /// [`Event::Shed`]
+    Shed,
+    /// [`Event::ShardStats`]
+    ShardStats,
 }
 
 impl EventKind {
     /// Number of event kinds (sizes the per-kind counter array).
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 20;
 
     /// Every kind, in counter-index order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -285,6 +324,9 @@ impl EventKind {
         EventKind::JobDone,
         EventKind::Presolve,
         EventKind::CutRound,
+        EventKind::Coalesced,
+        EventKind::Shed,
+        EventKind::ShardStats,
     ];
 
     /// Dense index of this kind in [`EventKind::ALL`].
@@ -308,6 +350,9 @@ impl EventKind {
             EventKind::JobDone => 14,
             EventKind::Presolve => 15,
             EventKind::CutRound => 16,
+            EventKind::Coalesced => 17,
+            EventKind::Shed => 18,
+            EventKind::ShardStats => 19,
         }
     }
 
@@ -332,6 +377,9 @@ impl EventKind {
             EventKind::JobDone => "JobDone",
             EventKind::Presolve => "Presolve",
             EventKind::CutRound => "CutRound",
+            EventKind::Coalesced => "Coalesced",
+            EventKind::Shed => "Shed",
+            EventKind::ShardStats => "ShardStats",
         }
     }
 }
@@ -358,6 +406,9 @@ impl Event {
             Event::JobDone { .. } => EventKind::JobDone,
             Event::Presolve { .. } => EventKind::Presolve,
             Event::CutRound { .. } => EventKind::CutRound,
+            Event::Coalesced { .. } => EventKind::Coalesced,
+            Event::Shed { .. } => EventKind::Shed,
+            Event::ShardStats { .. } => EventKind::ShardStats,
         }
     }
 }
@@ -515,6 +566,29 @@ impl Record {
                 field("micros", micros.to_string());
                 field("degraded", degraded.to_string());
                 field("cached", cached.to_string());
+            }
+            Event::Coalesced { key } => field("key", format!("\"{key:016x}\"")),
+            Event::Shed {
+                queued,
+                retry_after_ms,
+            } => {
+                field("queued", queued.to_string());
+                field("retry_after_ms", retry_after_ms.to_string());
+            }
+            Event::ShardStats {
+                shard,
+                conns,
+                accepted,
+                completed,
+                shed,
+                malformed,
+            } => {
+                field("shard", shard.to_string());
+                field("conns", conns.to_string());
+                field("accepted", accepted.to_string());
+                field("completed", completed.to_string());
+                field("shed", shed.to_string());
+                field("malformed", malformed.to_string());
             }
         }
         s.push('}');

@@ -287,7 +287,10 @@ pub fn parse_line(line: &str) -> Result<ParsedRecord, String> {
 /// `pivots`, `refactors` and `etas` (the warm-start and factorization
 /// coverage fields downstream tooling keys on);
 /// `Presolve` lines carry the four numeric strengthening counters and
-/// `CutRound` lines a numeric `round` and `cuts`.
+/// `CutRound` lines a numeric `round` and `cuts`. Service lines have
+/// schemas of their own: `Coalesced` carries a string `key`, `Shed` a
+/// numeric `queued` and `retry_after_ms`, and `ShardStats` the six
+/// numeric per-shard accounting counters.
 ///
 /// # Errors
 ///
@@ -323,6 +326,30 @@ pub fn validate_line(line: &str) -> Result<ParsedRecord, String> {
         for key in ["round", "cuts"] {
             if parsed.num(key).is_none() {
                 return Err(format!("CutRound: missing numeric '{key}' field"));
+            }
+        }
+    }
+    if parsed.str_field("event") == Some("Coalesced") && parsed.str_field("key").is_none() {
+        return Err("Coalesced: missing string 'key' field".to_string());
+    }
+    if parsed.str_field("event") == Some("Shed") {
+        for key in ["queued", "retry_after_ms"] {
+            if parsed.num(key).is_none() {
+                return Err(format!("Shed: missing numeric '{key}' field"));
+            }
+        }
+    }
+    if parsed.str_field("event") == Some("ShardStats") {
+        for key in [
+            "shard",
+            "conns",
+            "accepted",
+            "completed",
+            "shed",
+            "malformed",
+        ] {
+            if parsed.num(key).is_none() {
+                return Err(format!("ShardStats: missing numeric '{key}' field"));
             }
         }
     }
@@ -453,12 +480,31 @@ mod tests {
             },
         );
         t.emit(Phase::Solver, Event::CutRound { round: 1, cuts: 6 });
+        t.emit(Phase::Serve, Event::Coalesced { key: u64::MAX });
+        t.emit(
+            Phase::Serve,
+            Event::Shed {
+                queued: 64,
+                retry_after_ms: 25,
+            },
+        );
+        t.emit(
+            Phase::Serve,
+            Event::ShardStats {
+                shard: 1,
+                conns: 9,
+                accepted: 40,
+                completed: 38,
+                shed: 2,
+                malformed: 3,
+            },
+        );
         t.flush();
 
         let bytes = buf.0.lock().unwrap().clone();
         let text = String::from_utf8(bytes).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 17);
+        assert_eq!(lines.len(), 20);
         for (i, line) in lines.iter().enumerate() {
             let parsed = validate_line(line).unwrap_or_else(|e| panic!("line {i}: {e}\n{line}"));
             assert_eq!(parsed.num("seq"), Some(i as f64));
@@ -484,6 +530,42 @@ mod tests {
         let cut = parse_line(lines[16]).unwrap();
         assert_eq!(cut.str_field("event"), Some("CutRound"));
         assert_eq!(cut.num("cuts"), Some(6.0));
+        let coalesced = parse_line(lines[17]).unwrap();
+        assert_eq!(coalesced.str_field("event"), Some("Coalesced"));
+        assert_eq!(coalesced.str_field("key"), Some("ffffffffffffffff"));
+        let shed = parse_line(lines[18]).unwrap();
+        assert_eq!(shed.num("queued"), Some(64.0));
+        assert_eq!(shed.num("retry_after_ms"), Some(25.0));
+        let shard = parse_line(lines[19]).unwrap();
+        assert_eq!(shard.num("shard"), Some(1.0));
+        assert_eq!(shard.num("accepted"), Some(40.0));
+        assert_eq!(shard.num("malformed"), Some(3.0));
+    }
+
+    #[test]
+    fn service_admission_lines_require_their_fields() {
+        validate_line("{\"seq\":0,\"phase\":\"serve\",\"event\":\"Coalesced\",\"key\":\"ab\"}")
+            .unwrap();
+        validate_line(
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"Shed\",\"queued\":3,\"retry_after_ms\":9}",
+        )
+        .unwrap();
+        validate_line(
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"ShardStats\",\"shard\":0,\"conns\":1,\
+             \"accepted\":5,\"completed\":5,\"shed\":0,\"malformed\":0}",
+        )
+        .unwrap();
+        for bad in [
+            // Coalesced with a numeric key (must be full-width hex string).
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"Coalesced\",\"key\":12}",
+            // Shed missing the back-off hint.
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"Shed\",\"queued\":3}",
+            // ShardStats missing a counter.
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"ShardStats\",\"shard\":0,\"conns\":1,\
+             \"accepted\":5,\"completed\":5,\"shed\":0}",
+        ] {
+            assert!(validate_line(bad).is_err(), "should reject: {bad}");
+        }
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub fn render_summary(records: &[Record]) -> String {
     let mut job_micros = 0u64;
     let mut cache_hits = 0usize;
     let mut cache_misses = 0usize;
+    let mut coalesced = 0usize;
+    let mut shed = 0usize;
+    let mut shards = 0usize;
 
     for record in records {
         match &record.event {
@@ -127,6 +130,9 @@ pub fn render_summary(records: &[Record]) -> String {
             }
             Event::CacheHit { .. } => cache_hits += 1,
             Event::CacheMiss { .. } => cache_misses += 1,
+            Event::Coalesced { .. } => coalesced += 1,
+            Event::Shed { .. } => shed += 1,
+            Event::ShardStats { .. } => shards += 1,
             Event::JobDone {
                 micros,
                 degraded,
@@ -196,16 +202,22 @@ pub fn render_summary(records: &[Record]) -> String {
             extra.0, extra.1
         ));
     }
-    if jobs > 0 || cache_hits > 0 || cache_misses > 0 {
+    if jobs > 0 || cache_hits > 0 || cache_misses > 0 || shed > 0 || coalesced > 0 {
         let mean = if jobs > 0 {
             job_micros / jobs as u64
         } else {
             0
         };
+        let shards = if shards > 0 {
+            format!(", {shards} shards")
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
             "  serve:   {jobs} jobs ({cached_jobs} cached, \
              {degraded_jobs} degraded), cache {cache_hits} hits / \
-             {cache_misses} misses, mean {mean} us/job\n"
+             {cache_misses} misses, {coalesced} coalesced, {shed} shed, \
+             mean {mean} us/job{shards}\n"
         ));
     }
     out
@@ -441,10 +453,33 @@ mod tests {
                     cached: true,
                 },
             ),
+            rec(4, Phase::Serve, Event::Coalesced { key: 7 }),
+            rec(
+                5,
+                Phase::Serve,
+                Event::Shed {
+                    queued: 8,
+                    retry_after_ms: 12,
+                },
+            ),
+            rec(
+                6,
+                Phase::Serve,
+                Event::ShardStats {
+                    shard: 0,
+                    conns: 4,
+                    accepted: 3,
+                    completed: 2,
+                    shed: 1,
+                    malformed: 0,
+                },
+            ),
         ];
         let text = render_summary(&records);
         assert!(text.contains("2 jobs (1 cached, 1 degraded)"), "{text}");
         assert!(text.contains("cache 1 hits / 1 misses"), "{text}");
+        assert!(text.contains("1 coalesced, 1 shed"), "{text}");
         assert!(text.contains("mean 200 us/job"), "{text}");
+        assert!(text.contains("1 shards"), "{text}");
     }
 }

@@ -15,13 +15,15 @@
 use crate::protocol::JobResponse;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 struct Entry {
     stamp: u64,
     /// Canonical instance text; compared on every hit to rule out
-    /// fingerprint collisions.
-    canon: String,
+    /// fingerprint collisions. Shared (`Arc<str>`) because the engine
+    /// carries the same text through the single-flight table and the job
+    /// queue — one allocation per instance, not one per subsystem.
+    canon: Arc<str>,
     value: JobResponse,
 }
 
@@ -60,7 +62,7 @@ impl SolutionCache {
         *clock += 1;
         let stamp = *clock;
         match map.get_mut(&key) {
-            Some(entry) if entry.canon == canon => {
+            Some(entry) if *entry.canon == *canon => {
                 entry.stamp = stamp;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(entry.value.clone())
@@ -75,7 +77,7 @@ impl SolutionCache {
     /// Stores `value` under `key` (with its canonical text `canon` for
     /// collision verification), evicting the least-recently-used entry
     /// when the cache is full. A no-op at capacity 0.
-    pub fn insert(&self, key: u64, canon: String, value: JobResponse) {
+    pub fn insert(&self, key: u64, canon: Arc<str>, value: JobResponse) {
         if self.capacity == 0 {
             return;
         }
@@ -134,8 +136,8 @@ mod tests {
 
     /// Shorthand: entry `k`'s canonical text in these tests is just `k`
     /// stringified.
-    fn canon(key: u64) -> String {
-        key.to_string()
+    fn canon(key: u64) -> Arc<str> {
+        Arc::from(key.to_string())
     }
 
     #[test]
@@ -184,11 +186,11 @@ mod tests {
         // 64-bit key: the canonical-text check must turn the lookup into a
         // miss, never hand instance B instance A's placement.
         let c = SolutionCache::new(4);
-        c.insert(7, "instance-a".to_string(), resp(1));
+        c.insert(7, Arc::from("instance-a"), resp(1));
         assert!(c.get(7, "instance-b").is_none());
         assert_eq!(c.stats(), (0, 1));
         // The colliding instance may then claim the slot like any write.
-        c.insert(7, "instance-b".to_string(), resp(2));
+        c.insert(7, Arc::from("instance-b"), resp(2));
         assert_eq!(c.get(7, "instance-b").unwrap().area, 2.0);
         assert!(c.get(7, "instance-a").is_none());
     }

@@ -1,0 +1,831 @@
+//! The service engine: worker pool, single-flight coalescing, admission
+//! control, and the in-process client.
+//!
+//! Every job — whether it arrives over TCP or from an in-process
+//! [`Client`] — funnels through [`submit`]: parse and canonicalize on
+//! the submitting thread, try to **coalesce** onto an identical
+//! in-flight solve, then pass **admission** into the bounded queue
+//! (blocking for in-process callers, load-shedding for the event loop).
+//! Workers pop jobs, run the degradation ladder in [`process`], and fan
+//! the one response out to every waiter of the flight.
+
+use crate::cache::SolutionCache;
+use crate::fingerprint::{canonical, fingerprint_of, FingerprintParams};
+use crate::protocol::{JobRequest, JobResponse};
+use crate::queue::{Bounded, PushError};
+use crate::singleflight::{Admit, Inflight};
+use fp_core::{FloorplanConfig, Floorplanner, Objective};
+use fp_netlist::Netlist;
+use fp_obs::{Event, Phase, Tracer};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Which IO front end [`crate::Server::bind`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// Sharded event loop: nonblocking sockets, one poll thread per
+    /// shard, load-shedding admission. The default.
+    Event,
+    /// The original two-threads-per-connection design with blocking
+    /// admission (kept for comparison benchmarks).
+    Threaded,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads running the floorplanning pipeline.
+    pub workers: usize,
+    /// Bounded job-queue capacity. The global admission bound: a
+    /// shedding submit that finds the queue full answers `overloaded`
+    /// with a `retry_after_ms` hint instead of queueing.
+    pub queue_capacity: usize,
+    /// Solution-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Branch-and-bound node limit per augmentation step.
+    pub node_limit: usize,
+    /// Per-step solver time-limit cap; jobs with a deadline additionally
+    /// clamp every step to the time remaining before it.
+    pub time_limit: Duration,
+    /// Improvement rounds after augmentation (skipped past a deadline).
+    pub improve_rounds: usize,
+    /// Whether identical concurrent jobs may share one solve
+    /// (single-flight coalescing); requests can opt out per job.
+    pub coalesce: bool,
+    /// Which TCP front end to run.
+    pub io: IoMode,
+    /// Event-loop shard (poll thread) count.
+    pub shards: usize,
+    /// Per-shard bound on decoded-but-unanswered jobs; excess requests
+    /// are shed at the shard before touching the global queue.
+    pub per_shard_pending: usize,
+    /// Longest request line the event loop accepts; a connection that
+    /// exceeds it without a newline gets an error response and is
+    /// closed (slow-loris / runaway-frame protection).
+    pub max_line_bytes: usize,
+    /// How long shutdown waits for shards to flush answers to slow
+    /// readers before force-closing their connections.
+    pub drain_timeout: Duration,
+    /// Tracer receiving the service events ([`Event::CacheHit`] /
+    /// [`Event::CacheMiss`] / [`Event::JobDone`] / [`Event::Coalesced`] /
+    /// [`Event::Shed`] / [`Event::ShardStats`]).
+    pub tracer: Tracer,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 128,
+            node_limit: 4_000,
+            time_limit: Duration::from_secs(10),
+            improve_rounds: 1,
+            coalesce: true,
+            io: IoMode::Event,
+            shards: std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .min(4),
+            per_shard_pending: 256,
+            max_line_bytes: 1 << 20,
+            drain_timeout: Duration::from_secs(5),
+            tracer: Tracer::disabled(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the worker-thread count (minimum 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the solution-cache capacity (0 disables caching).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the bounded job-queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the per-step branch-and-bound node limit.
+    #[must_use]
+    pub fn with_node_limit(mut self, node_limit: usize) -> Self {
+        self.node_limit = node_limit;
+        self
+    }
+
+    /// Enables or disables single-flight coalescing engine-wide.
+    #[must_use]
+    pub fn with_coalesce(mut self, on: bool) -> Self {
+        self.coalesce = on;
+        self
+    }
+
+    /// Selects the TCP front end.
+    #[must_use]
+    pub fn with_io(mut self, io: IoMode) -> Self {
+        self.io = io;
+        self
+    }
+
+    /// Sets the event-loop shard count (minimum 1).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the per-shard pending-job bound (minimum 1).
+    #[must_use]
+    pub fn with_per_shard_pending(mut self, bound: usize) -> Self {
+        self.per_shard_pending = bound.max(1);
+        self
+    }
+
+    /// Sets the longest accepted request line in bytes (minimum 1 KiB).
+    #[must_use]
+    pub fn with_max_line_bytes(mut self, bytes: usize) -> Self {
+        self.max_line_bytes = bytes.max(1024);
+        self
+    }
+
+    /// Sets the shutdown drain timeout.
+    #[must_use]
+    pub fn with_drain_timeout(mut self, timeout: Duration) -> Self {
+        self.drain_timeout = timeout;
+        self
+    }
+
+    /// Installs a tracer for the service events.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+}
+
+/// Engine-wide branch-and-bound node counters, split by how each node's LP
+/// relaxation was solved (warm dual-simplex restart vs. cold two-phase),
+/// plus the root model-strengthening work (rows tightened, binaries fixed,
+/// cuts added) accumulated over every step MILP.
+/// Relaxed ordering suffices: these are monotone telemetry counters, never
+/// used for synchronization.
+#[derive(Debug, Default)]
+struct SolverCounters {
+    warm: AtomicU64,
+    cold: AtomicU64,
+    refactorizations: AtomicU64,
+    eta_updates: AtomicU64,
+    rows_tightened: AtomicU64,
+    binaries_fixed: AtomicU64,
+    cuts_added: AtomicU64,
+}
+
+impl SolverCounters {
+    fn record(&self, warm: usize, cold: usize) {
+        self.warm.fetch_add(warm as u64, Ordering::Relaxed);
+        self.cold.fetch_add(cold as u64, Ordering::Relaxed);
+    }
+
+    fn record_factorizations(&self, refactorizations: usize, eta_updates: usize) {
+        self.refactorizations
+            .fetch_add(refactorizations as u64, Ordering::Relaxed);
+        self.eta_updates
+            .fetch_add(eta_updates as u64, Ordering::Relaxed);
+    }
+
+    fn record_strengthening(&self, rows_tightened: usize, binaries_fixed: usize, cuts: usize) {
+        self.rows_tightened
+            .fetch_add(rows_tightened as u64, Ordering::Relaxed);
+        self.binaries_fixed
+            .fetch_add(binaries_fixed as u64, Ordering::Relaxed);
+        self.cuts_added.fetch_add(cuts as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> (u64, u64) {
+        (
+            self.warm.load(Ordering::Relaxed),
+            self.cold.load(Ordering::Relaxed),
+        )
+    }
+
+    fn strengthening_snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.rows_tightened.load(Ordering::Relaxed),
+            self.binaries_fixed.load(Ordering::Relaxed),
+            self.cuts_added.load(Ordering::Relaxed),
+        )
+    }
+
+    fn factorization_snapshot(&self) -> (u64, u64) {
+        (
+            self.refactorizations.load(Ordering::Relaxed),
+            self.eta_updates.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Where one waiter's answer goes.
+pub(crate) enum Reply {
+    /// An mpsc channel (in-process clients and the threaded front end).
+    Channel(mpsc::Sender<JobResponse>),
+    /// A connection owned by an event-loop shard: the response line is
+    /// handed to the shard's inbox and the shard writes it.
+    #[cfg(unix)]
+    Shard {
+        shard: Arc<crate::shard::ShardShared>,
+        conn: u64,
+    },
+}
+
+impl Reply {
+    fn deliver(&self, resp: JobResponse, shed: bool) {
+        match self {
+            Reply::Channel(tx) => {
+                // A gone receiver (client hung up) is not an error.
+                let _ = tx.send(resp);
+            }
+            #[cfg(unix)]
+            Reply::Shard { shard, conn } => shard.deliver(*conn, resp.encode(), shed),
+        }
+    }
+}
+
+/// One parked claim on a job's answer: who asked, when (each waiter's
+/// `micros` measures *its own* wait), and where to send it.
+pub(crate) struct Waiter {
+    id: u64,
+    submitted: Instant,
+    reply: Reply,
+}
+
+/// How a finished job finds its waiters.
+enum JobRoute {
+    /// The waiters (leader first) are parked in the single-flight table
+    /// under the job's (`key`, `canon`).
+    Flight,
+    /// Coalescing was off for this job: the single waiter rides along.
+    Direct(Waiter),
+}
+
+/// One queued job, pre-parsed and canonicalized at submission so workers
+/// never re-do front-end work.
+pub(crate) struct Job {
+    req: JobRequest,
+    netlist: Netlist,
+    canon: Arc<str>,
+    key: u64,
+    submitted: Instant,
+    route: JobRoute,
+}
+
+/// How [`submit`] behaves when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admission {
+    /// Block until there is room (in-process back-pressure).
+    Block,
+    /// Refuse immediately with a typed `retry_after_ms` response.
+    Shed,
+}
+
+/// Everything workers and front ends share.
+pub(crate) struct Shared {
+    pub(crate) queue: Bounded<Job>,
+    table: Inflight<Waiter>,
+    cache: SolutionCache,
+    solver: SolverCounters,
+    submitted: AtomicU64,
+    answered: AtomicU64,
+    shed: AtomicU64,
+    coalesced: AtomicU64,
+    /// Exponential moving average of job service time in microseconds;
+    /// feeds the `retry_after_ms` estimate.
+    ema_micros: AtomicU64,
+    pub(crate) config: ServeConfig,
+}
+
+/// Monotone job accounting of an [`Engine`].
+///
+/// Once the engine has drained (after [`Engine::shutdown`]),
+/// `submitted == answered + shed` — every submitted job got exactly one
+/// response. While running, jobs in flight make `submitted` larger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Jobs handed to [`submit`] (including ones later shed or refused).
+    pub submitted: u64,
+    /// Responses delivered that were not load-sheds (success, degraded,
+    /// failure, and coalesced fan-outs alike).
+    pub answered: u64,
+    /// Load-shed responses delivered.
+    pub shed: u64,
+    /// Jobs that joined an existing flight instead of solving
+    /// (informational; they are eventually counted in `answered`).
+    pub coalesced: u64,
+}
+
+/// The worker-pool engine. Dropping it (or calling
+/// [`shutdown`](Engine::shutdown)) closes the queue, lets the workers
+/// drain every job already accepted, and joins them.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Starts `config.workers` pipeline workers.
+    #[must_use]
+    pub fn start(config: ServeConfig) -> Self {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Bounded::new(config.queue_capacity),
+            table: Inflight::new(),
+            cache: SolutionCache::new(config.cache_capacity),
+            solver: SolverCounters::default(),
+            submitted: AtomicU64::new(0),
+            answered: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            ema_micros: AtomicU64::new(0),
+            config,
+        });
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Engine { shared, workers }
+    }
+
+    /// A cheap handle for submitting jobs in-process.
+    #[must_use]
+    pub fn client(&self) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// `(hits, misses)` of the solution cache.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.shared.cache.stats()
+    }
+
+    /// `(warm, cold)` branch-and-bound node counts accumulated over every
+    /// augmentation pipeline this engine has run. Warm nodes reused the
+    /// parent's simplex basis; cold nodes ran the two-phase primal from
+    /// scratch (the root of every solve is always cold).
+    #[must_use]
+    pub fn solver_stats(&self) -> (u64, u64) {
+        self.shared.solver.snapshot()
+    }
+
+    /// `(rows_tightened, binaries_fixed, cuts_added)` accumulated by the
+    /// root model-strengthening layer over every step MILP this engine has
+    /// solved. All three stay zero when jobs disable strengthening.
+    #[must_use]
+    pub fn strengthening_stats(&self) -> (u64, u64, u64) {
+        self.shared.solver.strengthening_snapshot()
+    }
+
+    /// `(refactorizations, eta_updates)` of the sparse revised simplex
+    /// basis, accumulated over every node LP this engine has solved. Both
+    /// stay zero when jobs select the dense reference kernel.
+    #[must_use]
+    pub fn factorization_stats(&self) -> (u64, u64) {
+        self.shared.solver.factorization_snapshot()
+    }
+
+    /// Job accounting so far (see [`EngineStats`] for the invariant).
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            answered: self.shared.answered.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            coalesced: self.shared.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Closes the queue without joining: new submissions are refused,
+    /// workers keep draining. The server calls this before waiting on
+    /// shards so answers still flow while the backlog empties.
+    pub(crate) fn close_queue(&self) {
+        self.shared.queue.close();
+    }
+
+    /// Closes the queue, drains every accepted job, joins the workers and
+    /// flushes the tracer. Returns the final (post-drain) accounting, for
+    /// which the [`EngineStats`] invariant `submitted == answered + shed`
+    /// holds.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.shared.config.tracer.flush();
+        EngineStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            answered: self.shared.answered.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            coalesced: self.shared.coalesced.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.shared.config.tracer.flush();
+    }
+}
+
+/// In-process submission handle (cloneable; backed by the shared engine).
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<Shared>,
+}
+
+impl Client {
+    /// Enqueues `req`; the response arrives on the returned receiver.
+    /// Blocks while the queue is full (back-pressure).
+    #[must_use]
+    pub fn submit(&self, req: JobRequest) -> mpsc::Receiver<JobResponse> {
+        let (tx, rx) = mpsc::channel();
+        self.submit_with(req, tx);
+        rx
+    }
+
+    /// Enqueues `req` with the response routed to `reply` — the threaded
+    /// TCP front end funnels every job of one connection into one writer
+    /// this way. A closed engine answers immediately with a failure
+    /// response. Blocks while the queue is full.
+    pub fn submit_with(&self, req: JobRequest, reply: mpsc::Sender<JobResponse>) {
+        submit(&self.shared, req, Reply::Channel(reply), Admission::Block);
+    }
+
+    /// Like [`submit_with`](Client::submit_with) but never blocks: a full
+    /// queue answers immediately with a typed load-shed response
+    /// (`retry_after_ms`) instead of waiting for room.
+    pub fn try_submit_with(&self, req: JobRequest, reply: mpsc::Sender<JobResponse>) {
+        submit(&self.shared, req, Reply::Channel(reply), Admission::Shed);
+    }
+
+    /// Submits `req` and blocks for the answer.
+    #[must_use]
+    pub fn call(&self, req: JobRequest) -> JobResponse {
+        let id = req.id;
+        self.submit(req)
+            .recv()
+            .unwrap_or_else(|_| JobResponse::failure(id, "service shut down"))
+    }
+}
+
+/// The server's estimate of how long a shed client should back off:
+/// roughly one queue-drain time at the current service rate, clamped to
+/// [1 ms, 30 s].
+pub(crate) fn retry_hint(shared: &Shared) -> u64 {
+    let ema = shared.ema_micros.load(Ordering::Relaxed).max(500);
+    let queued = shared.queue.len() as u64 + 1;
+    let workers = shared.config.workers.max(1) as u64;
+    (queued * ema / workers / 1000).clamp(1, 30_000)
+}
+
+/// Emits the shed trace event for one refused admission.
+pub(crate) fn emit_shed(shared: &Shared, retry_after_ms: u64) {
+    shared.config.tracer.emit(
+        Phase::Serve,
+        Event::Shed {
+            queued: shared.queue.len(),
+            retry_after_ms,
+        },
+    );
+}
+
+/// The single entry point for every job.
+///
+/// Parses and canonicalizes on the calling thread, coalesces onto an
+/// identical in-flight solve when allowed (followers park in the table
+/// and return immediately), then enqueues under the chosen admission
+/// policy. Whatever happens — parse failure, full queue, closed queue —
+/// every call results in exactly one response per waiter, which is the
+/// accounting invariant of [`EngineStats`].
+pub(crate) fn submit(shared: &Arc<Shared>, req: JobRequest, reply: Reply, admission: Admission) {
+    shared.submitted.fetch_add(1, Ordering::Relaxed);
+    let submitted = Instant::now();
+    let netlist = match req.parse_netlist() {
+        Ok(n) => n,
+        Err(e) => {
+            let waiter = Waiter {
+                id: req.id,
+                submitted,
+                reply,
+            };
+            let failure = JobResponse::failure(req.id, format!("bad netlist: {e}"));
+            finish(shared, waiter, &failure, false);
+            shared.config.tracer.flush();
+            return;
+        }
+    };
+    let params = FingerprintParams {
+        width: req.width,
+        lambda: req.lambda,
+        rotation: req.rotation,
+        route: req.route,
+    };
+    let canon: Arc<str> = Arc::from(canonical(&netlist, &params));
+    let key = fingerprint_of(&canon);
+    let waiter = Waiter {
+        id: req.id,
+        submitted,
+        reply,
+    };
+    let route = if shared.config.coalesce && req.coalesce {
+        match shared.table.join(key, &canon, waiter) {
+            Admit::Follower => {
+                // An identical instance is already being solved; this
+                // job rides along and is answered at fan-out.
+                shared.coalesced.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .config
+                    .tracer
+                    .emit(Phase::Serve, Event::Coalesced { key });
+                return;
+            }
+            Admit::Leader => JobRoute::Flight,
+        }
+    } else {
+        JobRoute::Direct(waiter)
+    };
+    let job = Job {
+        req,
+        netlist,
+        canon,
+        key,
+        submitted,
+        route,
+    };
+    let refused = match admission {
+        Admission::Block => shared.queue.push(job).map_err(|j| (j, PushError::Closed)),
+        Admission::Shed => shared.queue.try_push(job),
+    };
+    let Err((job, why)) = refused else { return };
+    // The leader could not enter the queue: resolve the whole flight now
+    // (followers that joined in the meantime included) so nobody waits
+    // on a solve that will never run.
+    let waiters = match job.route {
+        JobRoute::Flight => shared.table.complete(job.key, &job.canon),
+        JobRoute::Direct(w) => vec![w],
+    };
+    match why {
+        PushError::Full => {
+            let retry = retry_hint(shared);
+            emit_shed(shared, retry);
+            for w in waiters {
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                w.reply.deliver(JobResponse::shed(w.id, retry), true);
+            }
+        }
+        PushError::Closed => {
+            for w in waiters {
+                shared.answered.fetch_add(1, Ordering::Relaxed);
+                w.reply
+                    .deliver(JobResponse::failure(w.id, "service shut down"), false);
+            }
+        }
+    }
+    shared.config.tracer.flush();
+}
+
+/// Stamps the per-waiter fields onto a copy of `template`, emits
+/// [`Event::JobDone`], counts it, and delivers.
+fn finish(shared: &Shared, waiter: Waiter, template: &JobResponse, coalesced: bool) {
+    let mut resp = template.clone();
+    resp.id = waiter.id;
+    resp.coalesced = coalesced;
+    resp.micros = waiter.submitted.elapsed().as_micros() as u64;
+    shared.config.tracer.emit(
+        Phase::Serve,
+        Event::JobDone {
+            id: resp.id,
+            micros: resp.micros,
+            degraded: resp.degraded,
+            cached: resp.cached,
+        },
+    );
+    shared.answered.fetch_add(1, Ordering::Relaxed);
+    waiter.reply.deliver(resp, false);
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let template = process(&job, shared);
+        let sample = job.submitted.elapsed().as_micros() as u64;
+        let ema = shared.ema_micros.load(Ordering::Relaxed);
+        let next = if ema == 0 {
+            sample
+        } else {
+            (3 * ema + sample) / 4
+        };
+        shared.ema_micros.store(next, Ordering::Relaxed);
+        match job.route {
+            JobRoute::Direct(waiter) => finish(shared, waiter, &template, false),
+            JobRoute::Flight => {
+                // Everyone who joined before this point shares the one
+                // solve; later arrivals start a fresh flight.
+                let waiters = shared.table.complete(job.key, &job.canon);
+                for (i, waiter) in waiters.into_iter().enumerate() {
+                    finish(shared, waiter, &template, i > 0);
+                }
+            }
+        }
+        // Per-job flush so an external trace file is greppable while the
+        // server is still running (and after a hard kill).
+        shared.config.tracer.flush();
+    }
+}
+
+/// Runs one job through the degradation ladder:
+/// cache hit → full pipeline (augment → improve → route) under the
+/// remaining budget → greedy bottom-left skyline when the budget is
+/// already gone or the pipeline fails. Only a missing/unplaceable
+/// instance yields `ok: false`. Returns a *template* response: `id`,
+/// `micros` and `coalesced` are stamped per waiter by `finish`.
+///
+/// Deadlines are measured from the *leader's* submission; coalesced
+/// followers share the leader's remaining budget (they arrived later, so
+/// their own budget can only be looser — except when a follower carried
+/// a tighter `deadline_ms`, which coalescing deliberately ignores).
+fn process(job: &Job, shared: &Shared) -> JobResponse {
+    let req = &job.req;
+    let config = &shared.config;
+    let tracer = &config.tracer;
+    let netlist = &job.netlist;
+
+    if req.use_cache {
+        if let Some(mut hit) = shared.cache.get(job.key, &job.canon) {
+            tracer.emit(Phase::Serve, Event::CacheHit { key: job.key });
+            hit.cached = true;
+            return hit;
+        }
+        tracer.emit(Phase::Serve, Event::CacheMiss { key: job.key });
+    }
+
+    // `checked_add` so a huge-but-parseable deadline_ms cannot panic the
+    // worker via `Instant` overflow; a deadline too far away to represent
+    // is no deadline at all.
+    let deadline = (req.deadline_ms > 0)
+        .then(|| {
+            job.submitted
+                .checked_add(Duration::from_millis(req.deadline_ms))
+        })
+        .flatten();
+    let expired = |at: Instant| deadline.is_some_and(|d| at >= d);
+
+    let objective = if req.lambda > 0.0 {
+        Objective::AreaPlusWirelength { lambda: req.lambda }
+    } else {
+        Objective::Area
+    };
+    let mut fp_config = FloorplanConfig::default()
+        .with_objective(objective)
+        .with_rotation(req.rotation)
+        .with_step_options(
+            fp_milp::SolveOptions::default()
+                .with_node_limit(config.node_limit)
+                .with_time_limit(config.time_limit)
+                .with_threads(1),
+        )
+        // The driver re-budgets every augmentation/re-optimization MILP
+        // with the time *remaining* before the deadline (the per-step
+        // limit above is only a cap), so a K-step job cannot overshoot
+        // its deadline K-fold; the cooperative in-LP check makes each
+        // budget binding at simplex-iteration granularity.
+        .with_deadline(deadline);
+    if let Some(w) = req.width {
+        fp_config = fp_config.with_chip_width(w);
+    }
+
+    let mut degraded = false;
+    let floorplan = if expired(Instant::now()) {
+        // Budget gone before any solving started (long queue wait):
+        // greedy skyline placement instead of an error.
+        degraded = true;
+        match fp_core::bottom_left(netlist, &fp_config) {
+            Ok(fp) => fp,
+            Err(e) => return JobResponse::failure(req.id, e.to_string()),
+        }
+    } else {
+        match Floorplanner::with_config(netlist, fp_config.clone()).run() {
+            Ok(result) => {
+                degraded |= result.stats.greedy_fallbacks() > 0;
+                shared
+                    .solver
+                    .record(result.stats.warm_nodes(), result.stats.cold_nodes());
+                shared.solver.record_factorizations(
+                    result.stats.refactorizations(),
+                    result.stats.eta_updates(),
+                );
+                shared.solver.record_strengthening(
+                    result.stats.rows_tightened(),
+                    result.stats.binaries_fixed(),
+                    result.stats.cuts_added(),
+                );
+                let mut fp = result.floorplan;
+                if config.improve_rounds > 0 && !expired(Instant::now()) {
+                    // Improvement is best-effort: keep the augmented
+                    // placement if re-optimization fails.
+                    if let Ok(better) =
+                        fp_core::improve(&fp, netlist, &fp_config, config.improve_rounds)
+                    {
+                        fp = better;
+                    }
+                }
+                fp
+            }
+            Err(_) => {
+                degraded = true;
+                match fp_core::bottom_left(netlist, &fp_config) {
+                    Ok(fp) => fp,
+                    Err(e) => return JobResponse::failure(req.id, e.to_string()),
+                }
+            }
+        }
+    };
+    degraded |= expired(Instant::now());
+
+    // Routed wirelength only when asked for and still inside budget;
+    // otherwise the paper's center-to-center estimate.
+    let mut wirelength = floorplan.center_wirelength(netlist);
+    if req.route {
+        if expired(Instant::now()) {
+            degraded = true;
+        } else {
+            match fp_route::route(&floorplan, netlist, &fp_route::RouteConfig::default()) {
+                Ok(routing) => wirelength = routing.total_wirelength,
+                Err(_) => degraded = true,
+            }
+        }
+    }
+
+    let mut placement = String::new();
+    for (i, m) in floorplan.iter().enumerate() {
+        if i > 0 {
+            placement.push(';');
+        }
+        let _ = write!(
+            placement,
+            "{} {} {} {} {} {}",
+            netlist.module(m.id).name(),
+            m.rect.x,
+            m.rect.y,
+            m.rect.w,
+            m.rect.h,
+            u8::from(m.rotated)
+        );
+    }
+
+    let resp = JobResponse {
+        id: req.id,
+        ok: true,
+        error: String::new(),
+        chip_width: floorplan.chip_width(),
+        chip_height: floorplan.chip_height(),
+        area: floorplan.chip_area(),
+        utilization: floorplan.utilization(netlist),
+        wirelength,
+        degraded,
+        cached: false,
+        coalesced: false,
+        retry_after_ms: 0,
+        micros: 0, // stamped per waiter
+        placement,
+    };
+    // Only full-quality answers are worth replaying; a degraded result
+    // would pin a worse placement for future non-degraded requests.
+    if req.use_cache && !degraded {
+        shared
+            .cache
+            .insert(job.key, Arc::clone(&job.canon), resp.clone());
+    }
+    resp
+}

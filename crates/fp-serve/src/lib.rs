@@ -9,7 +9,15 @@
 //!   flat-JSON codec ([`protocol`]) reusing `fp_obs`'s hand-rolled trace
 //!   parser — no external JSON dependency.
 //! * **A bounded MPMC queue** ([`queue::Bounded`]) feeding a worker pool
-//!   ([`Engine`]); each worker runs the full pipeline per job.
+//!   ([`Engine`]); each worker runs the full pipeline per job. The queue
+//!   pins a close/drain ordering guarantee (no job accepted after close,
+//!   every accepted job delivered) that clean shutdown is built on.
+//! * **Single-flight coalescing** ([`singleflight::Inflight`]): N
+//!   concurrent identical jobs share one solve, fanned out to N waiters,
+//!   with the same canonical-text collision check as the cache.
+//! * **Admission control**: bounded per-shard and global queue depth;
+//!   overload answers a typed `retry_after_ms` load-shed response
+//!   ([`JobResponse::is_shed`]) instead of silently queueing latency.
 //! * **Per-job deadlines** measured from submission (queue wait counts
 //!   against the budget) with *graceful degradation*: a job that exceeds its
 //!   budget returns the greedy bottom-left skyline placement flagged
@@ -19,8 +27,11 @@
 //!   plus the solve parameters ([`fingerprint`]), with hit/miss counters
 //!   surfaced as [`fp_obs::Event::CacheHit`] / [`fp_obs::Event::CacheMiss`]
 //!   trace events.
-//! * **A TCP front end** ([`Server`]): one JSON object per line in, one per
-//!   line out, plus an in-process [`Client`] for embedding and benches.
+//! * **A sharded event-loop TCP front end** ([`Server`]): nonblocking
+//!   sockets, one poll(2) thread per shard owning its connections' buffers
+//!   and framing ([`IoMode::Event`]); the original thread-per-connection
+//!   design survives as [`IoMode::Threaded`] for comparison. Plus an
+//!   in-process [`Client`] for embedding and benches.
 //!
 //! # Example
 //!
@@ -36,14 +47,23 @@
 //! engine.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `sys` module lifts it for exactly one
+// poll(2) FFI call (see its module docs); everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+mod engine;
 pub mod fingerprint;
 pub mod protocol;
 pub mod queue;
 mod server;
+#[cfg(unix)]
+mod shard;
+pub mod singleflight;
+#[cfg(unix)]
+mod sys;
 
+pub use engine::{Client, Engine, EngineStats, IoMode, ServeConfig};
 pub use protocol::{JobRequest, JobResponse, PlacedRect};
-pub use server::{Client, Engine, ServeConfig, Server};
+pub use server::{ServeAccounting, Server, ShutdownReport};

@@ -29,6 +29,10 @@ pub struct JobRequest {
     pub deadline_ms: u64,
     /// Whether the solution cache may answer (and store) this job.
     pub use_cache: bool,
+    /// Whether this job may share an in-flight solve of the identical
+    /// instance (single-flight coalescing). Coalesced followers inherit
+    /// the leader's deadline budget.
+    pub coalesce: bool,
 }
 
 impl JobRequest {
@@ -45,6 +49,7 @@ impl JobRequest {
             route: false,
             deadline_ms: 0,
             use_cache: true,
+            coalesce: true,
         }
     }
 
@@ -59,6 +64,13 @@ impl JobRequest {
     #[must_use]
     pub fn with_cache(mut self, on: bool) -> Self {
         self.use_cache = on;
+        self
+    }
+
+    /// Enables or disables single-flight coalescing for this job.
+    #[must_use]
+    pub fn with_coalesce(mut self, on: bool) -> Self {
+        self.coalesce = on;
         self
     }
 
@@ -84,6 +96,7 @@ impl JobRequest {
         push_field(&mut s, "route", &self.route.to_string());
         push_field(&mut s, "deadline_ms", &self.deadline_ms.to_string());
         push_field(&mut s, "use_cache", &self.use_cache.to_string());
+        push_field(&mut s, "coalesce", &self.coalesce.to_string());
         s.push('}');
         s
     }
@@ -117,6 +130,7 @@ impl JobRequest {
             route: bool_or(&p, "route", false),
             deadline_ms,
             use_cache: bool_or(&p, "use_cache", true),
+            coalesce: bool_or(&p, "coalesce", true),
         })
     }
 }
@@ -164,6 +178,13 @@ pub struct JobResponse {
     pub degraded: bool,
     /// `true` when the solution cache answered.
     pub cached: bool,
+    /// `true` when this response was fanned out from a solve led by a
+    /// concurrent identical request (single-flight follower).
+    pub coalesced: bool,
+    /// Nonzero when the job was load-shed: the server's estimate of how
+    /// long to wait before retrying, in milliseconds. `ok` is false and
+    /// `error` says "overloaded" in that case.
+    pub retry_after_ms: u64,
     /// Wall-clock from submission to completion, microseconds.
     pub micros: u64,
     /// The placement as `name x y w h 0|1` entries joined with `;`.
@@ -186,9 +207,26 @@ impl JobResponse {
             wirelength: 0.0,
             degraded: false,
             cached: false,
+            coalesced: false,
+            retry_after_ms: 0,
             micros: 0,
             placement: String::new(),
         }
+    }
+
+    /// A typed load-shed response for `id`: `ok` is false and
+    /// `retry_after_ms` carries the server's backoff estimate.
+    #[must_use]
+    pub fn shed(id: u64, retry_after_ms: u64) -> Self {
+        let mut resp = JobResponse::failure(id, "overloaded: retry later");
+        resp.retry_after_ms = retry_after_ms.max(1);
+        resp
+    }
+
+    /// Whether this response is a load-shed rejection.
+    #[must_use]
+    pub fn is_shed(&self) -> bool {
+        !self.ok && self.retry_after_ms > 0
     }
 
     /// Parses the `placement` field back into typed entries.
@@ -234,6 +272,10 @@ impl JobResponse {
         push_field(&mut s, "wirelength", &jnum(self.wirelength));
         push_field(&mut s, "degraded", &self.degraded.to_string());
         push_field(&mut s, "cached", &self.cached.to_string());
+        push_field(&mut s, "coalesced", &self.coalesced.to_string());
+        if self.retry_after_ms > 0 {
+            push_field(&mut s, "retry_after_ms", &self.retry_after_ms.to_string());
+        }
         push_field(&mut s, "micros", &self.micros.to_string());
         push_field(&mut s, "placement", &json_str(&self.placement));
         s.push('}');
@@ -260,6 +302,8 @@ impl JobResponse {
             wirelength: p.num("wirelength").unwrap_or(0.0),
             degraded: bool_or(&p, "degraded", false),
             cached: bool_or(&p, "cached", false),
+            coalesced: bool_or(&p, "coalesced", false),
+            retry_after_ms: p.num("retry_after_ms").unwrap_or(0.0).max(0.0) as u64,
             micros: p.num("micros").unwrap_or(0.0) as u64,
             placement: p.str_field("placement").unwrap_or_default().to_string(),
         })
@@ -335,6 +379,7 @@ mod tests {
             route: true,
             deadline_ms: 250,
             use_cache: false,
+            coalesce: false,
         };
         let line = req.encode();
         assert!(!line.contains('\n'), "wire lines must be single-line");
@@ -349,7 +394,7 @@ mod tests {
         let line = "{\"id\":7,\"netlist\":\"problem p\\n\"}";
         let req = JobRequest::decode(line).unwrap();
         assert_eq!(req.id, 7);
-        assert!(req.rotation && req.use_cache && !req.route);
+        assert!(req.rotation && req.use_cache && req.coalesce && !req.route);
         assert_eq!(req.deadline_ms, 0);
         assert_eq!(req.width, None);
     }
@@ -385,6 +430,8 @@ mod tests {
             wirelength: 44.25,
             degraded: true,
             cached: false,
+            coalesced: true,
+            retry_after_ms: 0,
             micros: 12345,
             placement: "a 0 0 4 2 0;b 4 0 3 3 1".to_string(),
         };
@@ -403,6 +450,21 @@ mod tests {
         assert!(!back.ok);
         assert_eq!(back.error, "bad netlist: line 2");
         assert!(back.placement_entries().unwrap().is_empty());
+    }
+
+    #[test]
+    fn shed_response_round_trips_typed_backoff() {
+        let resp = JobResponse::shed(11, 250);
+        assert!(resp.is_shed());
+        let back = JobResponse::decode(&resp.encode()).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.retry_after_ms, 250);
+        assert!(back.is_shed());
+        assert!(back.error.contains("overloaded"));
+        // Non-shed failures carry no retry hint.
+        let plain = JobResponse::decode(&JobResponse::failure(3, "nope").encode()).unwrap();
+        assert!(!plain.is_shed());
+        assert_eq!(plain.retry_after_ms, 0);
     }
 
     #[test]

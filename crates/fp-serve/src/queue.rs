@@ -5,6 +5,29 @@
 //! the two directions of blocking, and a `closed` flag that lets consumers
 //! *drain* remaining items before observing end-of-stream — the property
 //! the engine's clean shutdown relies on.
+//!
+//! # Close/drain ordering guarantee
+//!
+//! Every push and the close decision happen under the one queue mutex, so
+//! acceptance is linearized against [`close`](Bounded::close):
+//!
+//! 1. **No item is accepted after close.** A [`push`](Bounded::push) /
+//!    [`try_push`](Bounded::try_push) that returns `Ok` took the mutex
+//!    *before* `close` did; any push that observes `closed == true` —
+//!    including one that was already blocked waiting for room — returns
+//!    the item to the caller instead of enqueueing it. There is no window
+//!    in which a push succeeds but the item is dropped.
+//! 2. **Every accepted item is delivered.** `close` never discards:
+//!    [`pop`](Bounded::pop) keeps returning queued items after close and
+//!    only reports end-of-stream (`None`) once the backlog is empty. With
+//!    consumers that keep popping until `None`, accepted = delivered,
+//!    which is exactly the "every accepted job is answered" half of the
+//!    service's shutdown contract (the other half — answering items the
+//!    push *returned* — is the caller's).
+//!
+//! The `close_ordering_*` tests below pin both properties under
+//! concurrency; the chaos suite re-checks them end-to-end through the
+//! server.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -12,6 +35,15 @@ use std::sync::{Condvar, Mutex};
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
+}
+
+/// Why a [`Bounded::try_push`] did not enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue was at capacity (admission control should shed).
+    Full,
+    /// The queue was closed (the service is shutting down).
+    Closed,
 }
 
 /// A bounded MPMC queue. `push` blocks while full, `pop` blocks while
@@ -57,6 +89,29 @@ impl<T> Bounded<T> {
             }
             inner = self.not_full.wait(inner).expect("queue lock");
         }
+    }
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// The admission-control entry point: a full queue is a shed decision
+    /// for the caller, never a stall on the submitting (event-loop)
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back with [`PushError::Full`] when the queue is at
+    /// capacity and [`PushError::Closed`] once the queue is closed.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err((item, PushError::Closed));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        inner.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
     }
 
     /// Blocks until an item is available or the queue is closed *and*
@@ -143,6 +198,100 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_push_distinguishes_full_from_closed() {
+        let q = Bounded::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err((3, PushError::Full)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), Ok(()));
+        q.close();
+        assert_eq!(q.try_push(5), Err((5, PushError::Closed)));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Pins guarantee (1): a push that was *blocked* at close time fails
+    /// rather than sneaking its item in afterwards.
+    #[test]
+    fn close_ordering_blocked_push_fails_and_backlog_survives() {
+        let q = Arc::new(Bounded::new(1));
+        q.push(0).unwrap();
+        let blocked: Vec<_> = (1..=3)
+            .map(|i| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.push(i))
+            })
+            .collect();
+        // Give the pushers time to park on the not_full condvar.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.close();
+        for h in blocked {
+            assert!(
+                h.join().unwrap().is_err(),
+                "blocked push accepted after close"
+            );
+        }
+        assert_eq!(q.pop(), Some(0), "close dropped an accepted item");
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Pins both halves of the ordering guarantee under concurrency:
+    /// with pushers racing a close, exactly the items whose push returned
+    /// `Ok` come out of the queue — no loss, no post-close acceptance.
+    #[test]
+    fn close_ordering_accepted_equals_drained_under_race() {
+        for round in 0..20 {
+            let q = Arc::new(Bounded::new(4));
+            let pushers: Vec<_> = (0..4u64)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        let mut accepted = Vec::new();
+                        for i in 0..100u64 {
+                            let v = p * 1000 + i;
+                            let ok = if i % 2 == 0 {
+                                q.push(v).is_ok()
+                            } else {
+                                q.try_push(v).is_ok()
+                            };
+                            if ok {
+                                accepted.push(v);
+                            }
+                        }
+                        accepted
+                    })
+                })
+                .collect();
+            let drainer = {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            };
+            // Close at a pseudo-random point in the race.
+            std::thread::sleep(std::time::Duration::from_micros(37 * (round + 1)));
+            q.close();
+            let mut accepted: Vec<u64> = pushers
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            let mut drained = drainer.join().unwrap();
+            accepted.sort_unstable();
+            drained.sort_unstable();
+            assert_eq!(
+                accepted, drained,
+                "round {round}: accepted set != drained set across close"
+            );
+        }
     }
 
     #[test]

@@ -1,517 +1,133 @@
-//! The service engine: worker pool, in-process client, TCP front end.
+//! The TCP front ends over an [`Engine`]: the sharded event loop
+//! (default) and the original thread-per-connection design (kept for
+//! old-vs-new comparison benchmarks).
+//!
+//! Both speak the same line-delimited protocol; they differ in who owns
+//! a connection and what happens under load:
+//!
+//! * [`IoMode::Event`] — the acceptor round-robins connections across
+//!   poll-loop shards ([`crate::shard`]); requests are admitted with
+//!   shedding (typed `retry_after_ms` on overload) and shutdown drains
+//!   every accepted job before closing.
+//! * [`IoMode::Threaded`] — one reader and one writer thread per
+//!   connection, blocking admission (submitters stall while the queue
+//!   is full).
 
-use crate::cache::SolutionCache;
-use crate::fingerprint::{canonical, fingerprint_of, FingerprintParams};
+use crate::engine::{Client, Engine, EngineStats, IoMode, ServeConfig};
 use crate::protocol::{JobRequest, JobResponse};
-use crate::queue::Bounded;
-use fp_core::{FloorplanConfig, Floorplanner, Objective};
-use fp_obs::{Event, Phase, Tracer};
-use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
 
-/// Engine configuration.
-#[derive(Debug, Clone)]
-pub struct ServeConfig {
-    /// Worker threads running the floorplanning pipeline.
-    pub workers: usize,
-    /// Bounded job-queue capacity (back-pressure for producers).
-    pub queue_capacity: usize,
-    /// Solution-cache capacity in entries (0 disables caching).
-    pub cache_capacity: usize,
-    /// Branch-and-bound node limit per augmentation step.
-    pub node_limit: usize,
-    /// Per-step solver time-limit cap; jobs with a deadline additionally
-    /// clamp every step to the time remaining before it.
-    pub time_limit: Duration,
-    /// Improvement rounds after augmentation (skipped past a deadline).
-    pub improve_rounds: usize,
-    /// Tracer receiving [`Event::CacheHit`] / [`Event::CacheMiss`] /
-    /// [`Event::JobDone`] service events.
-    pub tracer: Tracer,
+/// Request/connection accounting aggregated over the whole front end.
+///
+/// In event mode, after [`Server::shutdown`] the books balance:
+/// `accepted == completed + shed` (every decoded request got exactly one
+/// answer; `malformed` lines are answered too but counted separately).
+/// In threaded mode the fields are derived from [`EngineStats`] —
+/// `conns` and `malformed` are not tracked there and read 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeAccounting {
+    /// Connections ever accepted.
+    pub conns: u64,
+    /// Well-formed requests decoded off the wire.
+    pub accepted: u64,
+    /// Non-shed responses delivered (success, degraded, failure,
+    /// coalesced fan-outs).
+    pub completed: u64,
+    /// Load-shed responses delivered.
+    pub shed: u64,
+    /// Malformed lines answered with `ok: false`.
+    pub malformed: u64,
 }
 
-impl Default for ServeConfig {
-    fn default() -> Self {
-        ServeConfig {
-            workers: 2,
-            queue_capacity: 64,
-            cache_capacity: 128,
-            node_limit: 4_000,
-            time_limit: Duration::from_secs(10),
-            improve_rounds: 1,
-            tracer: Tracer::disabled(),
-        }
-    }
-}
-
-impl ServeConfig {
-    /// Sets the worker-thread count (minimum 1).
-    #[must_use]
-    pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
-        self
-    }
-
-    /// Sets the solution-cache capacity (0 disables caching).
-    #[must_use]
-    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache_capacity = capacity;
-        self
-    }
-
-    /// Sets the bounded job-queue capacity.
-    #[must_use]
-    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
-        self.queue_capacity = capacity.max(1);
-        self
-    }
-
-    /// Sets the per-step branch-and-bound node limit.
-    #[must_use]
-    pub fn with_node_limit(mut self, node_limit: usize) -> Self {
-        self.node_limit = node_limit;
-        self
-    }
-
-    /// Installs a tracer for the service events.
-    #[must_use]
-    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
-        self.tracer = tracer;
-        self
-    }
-}
-
-/// Engine-wide branch-and-bound node counters, split by how each node's LP
-/// relaxation was solved (warm dual-simplex restart vs. cold two-phase),
-/// plus the root model-strengthening work (rows tightened, binaries fixed,
-/// cuts added) accumulated over every step MILP.
-/// Relaxed ordering suffices: these are monotone telemetry counters, never
-/// used for synchronization.
-#[derive(Debug, Default)]
-struct SolverCounters {
-    warm: AtomicU64,
-    cold: AtomicU64,
-    refactorizations: AtomicU64,
-    eta_updates: AtomicU64,
-    rows_tightened: AtomicU64,
-    binaries_fixed: AtomicU64,
-    cuts_added: AtomicU64,
-}
-
-impl SolverCounters {
-    fn record(&self, warm: usize, cold: usize) {
-        self.warm.fetch_add(warm as u64, Ordering::Relaxed);
-        self.cold.fetch_add(cold as u64, Ordering::Relaxed);
-    }
-
-    fn record_factorizations(&self, refactorizations: usize, eta_updates: usize) {
-        self.refactorizations
-            .fetch_add(refactorizations as u64, Ordering::Relaxed);
-        self.eta_updates
-            .fetch_add(eta_updates as u64, Ordering::Relaxed);
-    }
-
-    fn record_strengthening(&self, rows_tightened: usize, binaries_fixed: usize, cuts: usize) {
-        self.rows_tightened
-            .fetch_add(rows_tightened as u64, Ordering::Relaxed);
-        self.binaries_fixed
-            .fetch_add(binaries_fixed as u64, Ordering::Relaxed);
-        self.cuts_added.fetch_add(cuts as u64, Ordering::Relaxed);
-    }
-
-    fn snapshot(&self) -> (u64, u64) {
-        (
-            self.warm.load(Ordering::Relaxed),
-            self.cold.load(Ordering::Relaxed),
-        )
-    }
-
-    fn strengthening_snapshot(&self) -> (u64, u64, u64) {
-        (
-            self.rows_tightened.load(Ordering::Relaxed),
-            self.binaries_fixed.load(Ordering::Relaxed),
-            self.cuts_added.load(Ordering::Relaxed),
-        )
-    }
-
-    fn factorization_snapshot(&self) -> (u64, u64) {
-        (
-            self.refactorizations.load(Ordering::Relaxed),
-            self.eta_updates.load(Ordering::Relaxed),
-        )
-    }
-}
-
-/// One queued job: the request, when it was submitted (deadlines count the
-/// queue wait), and where the answer goes.
-struct Job {
-    req: JobRequest,
-    submitted: Instant,
-    reply: mpsc::Sender<JobResponse>,
-}
-
-/// The worker-pool engine. Dropping it (or calling
-/// [`shutdown`](Engine::shutdown)) closes the queue, lets the workers
-/// drain every job already accepted, and joins them.
-pub struct Engine {
-    queue: Arc<Bounded<Job>>,
-    cache: Arc<SolutionCache>,
-    solver: Arc<SolverCounters>,
-    tracer: Tracer,
-    workers: Vec<JoinHandle<()>>,
-}
-
-impl Engine {
-    /// Starts `config.workers` pipeline workers.
-    #[must_use]
-    pub fn start(config: ServeConfig) -> Self {
-        let queue: Arc<Bounded<Job>> = Arc::new(Bounded::new(config.queue_capacity));
-        let cache = Arc::new(SolutionCache::new(config.cache_capacity));
-        let solver = Arc::new(SolverCounters::default());
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
-                let queue = Arc::clone(&queue);
-                let cache = Arc::clone(&cache);
-                let solver = Arc::clone(&solver);
-                let config = config.clone();
-                std::thread::spawn(move || {
-                    while let Some(job) = queue.pop() {
-                        let resp = process(&job.req, job.submitted, &cache, &solver, &config);
-                        // A gone receiver (client hung up) is not an error.
-                        let _ = job.reply.send(resp);
-                    }
-                })
-            })
-            .collect();
-        Engine {
-            queue,
-            cache,
-            solver,
-            tracer: config.tracer,
-            workers,
-        }
-    }
-
-    /// A cheap handle for submitting jobs in-process.
-    #[must_use]
-    pub fn client(&self) -> Client {
-        Client {
-            queue: Arc::clone(&self.queue),
-        }
-    }
-
-    /// `(hits, misses)` of the solution cache.
-    #[must_use]
-    pub fn cache_stats(&self) -> (u64, u64) {
-        self.cache.stats()
-    }
-
-    /// `(warm, cold)` branch-and-bound node counts accumulated over every
-    /// augmentation pipeline this engine has run. Warm nodes reused the
-    /// parent's simplex basis; cold nodes ran the two-phase primal from
-    /// scratch (the root of every solve is always cold).
-    #[must_use]
-    pub fn solver_stats(&self) -> (u64, u64) {
-        self.solver.snapshot()
-    }
-
-    /// `(rows_tightened, binaries_fixed, cuts_added)` accumulated by the
-    /// root model-strengthening layer over every step MILP this engine has
-    /// solved. All three stay zero when jobs disable strengthening.
-    #[must_use]
-    pub fn strengthening_stats(&self) -> (u64, u64, u64) {
-        self.solver.strengthening_snapshot()
-    }
-
-    /// `(refactorizations, eta_updates)` of the sparse revised simplex
-    /// basis, accumulated over every node LP this engine has solved. Both
-    /// stay zero when jobs select the dense reference kernel.
-    #[must_use]
-    pub fn factorization_stats(&self) -> (u64, u64) {
-        self.solver.factorization_snapshot()
-    }
-
-    /// Closes the queue, drains every accepted job, joins the workers and
-    /// flushes the tracer.
-    pub fn shutdown(mut self) {
-        self.queue.close();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-        self.tracer.flush();
-    }
-}
-
-impl Drop for Engine {
-    fn drop(&mut self) {
-        self.queue.close();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-        self.tracer.flush();
-    }
-}
-
-/// In-process submission handle (cloneable; backed by the shared queue).
-#[derive(Clone)]
-pub struct Client {
-    queue: Arc<Bounded<Job>>,
-}
-
-impl Client {
-    /// Enqueues `req`; the response arrives on the returned receiver.
-    /// Blocks while the queue is full (back-pressure).
-    #[must_use]
-    pub fn submit(&self, req: JobRequest) -> mpsc::Receiver<JobResponse> {
-        let (tx, rx) = mpsc::channel();
-        self.submit_with(req, tx);
-        rx
-    }
-
-    /// Enqueues `req` with the response routed to `reply` — the TCP
-    /// front end funnels every job of one connection into one writer this
-    /// way. A closed engine answers immediately with a failure response.
-    pub fn submit_with(&self, req: JobRequest, reply: mpsc::Sender<JobResponse>) {
-        let job = Job {
-            req,
-            submitted: Instant::now(),
-            reply,
-        };
-        if let Err(job) = self.queue.push(job) {
-            let _ = job
-                .reply
-                .send(JobResponse::failure(job.req.id, "service shut down"));
-        }
-    }
-
-    /// Submits `req` and blocks for the answer.
-    #[must_use]
-    pub fn call(&self, req: JobRequest) -> JobResponse {
-        let id = req.id;
-        self.submit(req)
-            .recv()
-            .unwrap_or_else(|_| JobResponse::failure(id, "service shut down"))
-    }
-}
-
-/// Runs one job through the degradation ladder:
-/// cache hit → full pipeline (augment → improve → route) under the
-/// remaining budget → greedy bottom-left skyline when the budget is
-/// already gone or the pipeline fails. Only a missing/unplaceable
-/// instance yields `ok: false`.
-fn process(
-    req: &JobRequest,
-    submitted: Instant,
-    cache: &SolutionCache,
-    solver: &SolverCounters,
-    config: &ServeConfig,
-) -> JobResponse {
-    let tracer = &config.tracer;
-    let done = |mut resp: JobResponse| -> JobResponse {
-        resp.id = req.id;
-        resp.micros = submitted.elapsed().as_micros() as u64;
-        tracer.emit(
-            Phase::Serve,
-            Event::JobDone {
-                id: resp.id,
-                micros: resp.micros,
-                degraded: resp.degraded,
-                cached: resp.cached,
-            },
-        );
-        // Per-job flush so an external trace file is greppable while the
-        // server is still running (and after a hard kill).
-        tracer.flush();
-        resp
-    };
-
-    let netlist = match req.parse_netlist() {
-        Ok(n) => n,
-        Err(e) => return done(JobResponse::failure(req.id, format!("bad netlist: {e}"))),
-    };
-
-    let params = FingerprintParams {
-        width: req.width,
-        lambda: req.lambda,
-        rotation: req.rotation,
-        route: req.route,
-    };
-    let canon = canonical(&netlist, &params);
-    let key = fingerprint_of(&canon);
-    if req.use_cache {
-        if let Some(mut hit) = cache.get(key, &canon) {
-            tracer.emit(Phase::Serve, Event::CacheHit { key });
-            hit.cached = true;
-            return done(hit);
-        }
-        tracer.emit(Phase::Serve, Event::CacheMiss { key });
-    }
-
-    // `checked_add` so a huge-but-parseable deadline_ms cannot panic the
-    // worker via `Instant` overflow; a deadline too far away to represent
-    // is no deadline at all.
-    let deadline = (req.deadline_ms > 0)
-        .then(|| submitted.checked_add(Duration::from_millis(req.deadline_ms)))
-        .flatten();
-    let expired = |at: Instant| deadline.is_some_and(|d| at >= d);
-
-    let objective = if req.lambda > 0.0 {
-        Objective::AreaPlusWirelength { lambda: req.lambda }
-    } else {
-        Objective::Area
-    };
-    let mut fp_config = FloorplanConfig::default()
-        .with_objective(objective)
-        .with_rotation(req.rotation)
-        .with_step_options(
-            fp_milp::SolveOptions::default()
-                .with_node_limit(config.node_limit)
-                .with_time_limit(config.time_limit)
-                .with_threads(1),
-        )
-        // The driver re-budgets every augmentation/re-optimization MILP
-        // with the time *remaining* before the deadline (the per-step
-        // limit above is only a cap), so a K-step job cannot overshoot
-        // its deadline K-fold; the cooperative in-LP check makes each
-        // budget binding at simplex-iteration granularity.
-        .with_deadline(deadline);
-    if let Some(w) = req.width {
-        fp_config = fp_config.with_chip_width(w);
-    }
-
-    let mut degraded = false;
-    let floorplan = if expired(Instant::now()) {
-        // Budget gone before any solving started (long queue wait):
-        // greedy skyline placement instead of an error.
-        degraded = true;
-        match fp_core::bottom_left(&netlist, &fp_config) {
-            Ok(fp) => fp,
-            Err(e) => return done(JobResponse::failure(req.id, e.to_string())),
-        }
-    } else {
-        match Floorplanner::with_config(&netlist, fp_config.clone()).run() {
-            Ok(result) => {
-                degraded |= result.stats.greedy_fallbacks() > 0;
-                solver.record(result.stats.warm_nodes(), result.stats.cold_nodes());
-                solver.record_factorizations(
-                    result.stats.refactorizations(),
-                    result.stats.eta_updates(),
-                );
-                solver.record_strengthening(
-                    result.stats.rows_tightened(),
-                    result.stats.binaries_fixed(),
-                    result.stats.cuts_added(),
-                );
-                let mut fp = result.floorplan;
-                if config.improve_rounds > 0 && !expired(Instant::now()) {
-                    // Improvement is best-effort: keep the augmented
-                    // placement if re-optimization fails.
-                    if let Ok(better) =
-                        fp_core::improve(&fp, &netlist, &fp_config, config.improve_rounds)
-                    {
-                        fp = better;
-                    }
-                }
-                fp
-            }
-            Err(_) => {
-                degraded = true;
-                match fp_core::bottom_left(&netlist, &fp_config) {
-                    Ok(fp) => fp,
-                    Err(e) => return done(JobResponse::failure(req.id, e.to_string())),
-                }
-            }
-        }
-    };
-    degraded |= expired(Instant::now());
-
-    // Routed wirelength only when asked for and still inside budget;
-    // otherwise the paper's center-to-center estimate.
-    let mut wirelength = floorplan.center_wirelength(&netlist);
-    if req.route {
-        if expired(Instant::now()) {
-            degraded = true;
-        } else {
-            match fp_route::route(&floorplan, &netlist, &fp_route::RouteConfig::default()) {
-                Ok(routing) => wirelength = routing.total_wirelength,
-                Err(_) => degraded = true,
-            }
-        }
-    }
-
-    let mut placement = String::new();
-    for (i, m) in floorplan.iter().enumerate() {
-        if i > 0 {
-            placement.push(';');
-        }
-        let _ = write!(
-            placement,
-            "{} {} {} {} {} {}",
-            netlist.module(m.id).name(),
-            m.rect.x,
-            m.rect.y,
-            m.rect.w,
-            m.rect.h,
-            u8::from(m.rotated)
-        );
-    }
-
-    let resp = JobResponse {
-        id: req.id,
-        ok: true,
-        error: String::new(),
-        chip_width: floorplan.chip_width(),
-        chip_height: floorplan.chip_height(),
-        area: floorplan.chip_area(),
-        utilization: floorplan.utilization(&netlist),
-        wirelength,
-        degraded,
-        cached: false,
-        micros: 0, // stamped by `done`
-        placement,
-    };
-    // Only full-quality answers are worth replaying; a degraded result
-    // would pin a worse placement for future non-degraded requests.
-    if req.use_cache && !degraded {
-        cache.insert(key, canon, resp.clone());
-    }
-    done(resp)
+/// What a completed [`Server::shutdown`] observed: the front-end books
+/// and the engine books, both final (every shard and worker joined).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShutdownReport {
+    /// Final front-end accounting (`accepted == completed + shed` in
+    /// event mode).
+    pub accounting: ServeAccounting,
+    /// Final engine accounting (`submitted == answered + shed`).
+    pub engine: EngineStats,
 }
 
 /// A line-delimited TCP front end over an [`Engine`].
 ///
-/// One reader and one writer thread per connection: requests are decoded
-/// per line and submitted, responses (possibly out of request order) are
-/// funneled through a channel to the writer. Malformed lines get an
-/// `ok: false` response instead of killing the connection.
+/// Malformed lines get an `ok: false` response instead of killing the
+/// connection in both modes.
 pub struct Server {
     engine: Option<Engine>,
     local: SocketAddr,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
+    /// Cross-thread shard handles; kept after teardown so accounting
+    /// stays readable once the poll threads are gone.
+    #[cfg(unix)]
+    shard_shareds: Vec<Arc<crate::shard::ShardShared>>,
+    #[cfg(unix)]
+    shard_threads: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
-    /// accepting connections backed by a fresh engine.
+    /// accepting connections backed by a fresh engine, in the IO mode
+    /// `config.io` selects (non-unix targets always get the threaded
+    /// front end — the poll shim is unix-only).
     ///
     /// # Errors
     ///
-    /// Propagates the bind error.
+    /// Propagates bind/shard-setup errors.
     pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let engine = Engine::start(config);
-        let client = engine.client();
         let stop = Arc::new(AtomicBool::new(false));
-        let acceptor = {
+        #[cfg(unix)]
+        let event_mode = config.io == IoMode::Event;
+        #[cfg(not(unix))]
+        let event_mode = false;
+        let shard_count = config.shards.max(1);
+        let engine = Engine::start(config);
+
+        #[cfg(unix)]
+        let mut shard_shareds = Vec::new();
+        #[cfg(unix)]
+        let mut shard_threads = Vec::new();
+        let acceptor: JoinHandle<()>;
+        if event_mode {
+            #[cfg(unix)]
+            {
+                for index in 0..shard_count {
+                    let handle = crate::shard::spawn(index, Arc::clone(engine.shared()))?;
+                    shard_shareds.push(handle.shared);
+                    shard_threads.push(handle.thread);
+                }
+                let targets = shard_shareds.clone();
+                let stop = Arc::clone(&stop);
+                acceptor = std::thread::spawn(move || {
+                    for (i, stream) in listener.incoming().enumerate() {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        match stream {
+                            Ok(stream) => targets[i % targets.len()].adopt(stream),
+                            Err(_) => break,
+                        }
+                    }
+                });
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = shard_count;
+                unreachable!("event mode is unix-only");
+            }
+        } else {
+            let _ = shard_count;
+            let client = engine.client();
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || {
+            acceptor = std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if stop.load(Ordering::Relaxed) {
                         break;
@@ -528,13 +144,17 @@ impl Server {
                         Err(_) => break,
                     }
                 }
-            })
-        };
+            });
+        }
         Ok(Server {
             engine: Some(engine),
             local,
             stop,
             acceptor: Some(acceptor),
+            #[cfg(unix)]
+            shard_shareds,
+            #[cfg(unix)]
+            shard_threads,
         })
     }
 
@@ -574,6 +194,51 @@ impl Server {
             .map_or((0, 0), Engine::factorization_stats)
     }
 
+    /// The engine's job accounting (submitted / answered / shed /
+    /// coalesced).
+    #[must_use]
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.as_ref().map_or(
+            EngineStats {
+                submitted: 0,
+                answered: 0,
+                shed: 0,
+                coalesced: 0,
+            },
+            Engine::stats,
+        )
+    }
+
+    /// Front-end accounting (see [`ServeAccounting`] for the invariant
+    /// and the threaded-mode caveats).
+    #[must_use]
+    pub fn accounting(&self) -> ServeAccounting {
+        self.accounting_with(self.engine_stats())
+    }
+
+    fn accounting_with(&self, engine: EngineStats) -> ServeAccounting {
+        #[cfg(unix)]
+        if !self.shard_shareds.is_empty() {
+            let mut acc = ServeAccounting::default();
+            for s in &self.shard_shareds {
+                let (conns, accepted, completed, shed, malformed) = s.counters();
+                acc.conns += conns;
+                acc.accepted += accepted;
+                acc.completed += completed;
+                acc.shed += shed;
+                acc.malformed += malformed;
+            }
+            return acc;
+        }
+        ServeAccounting {
+            conns: 0,
+            accepted: engine.submitted,
+            completed: engine.answered,
+            shed: engine.shed,
+            malformed: 0,
+        }
+    }
+
     /// Blocks until the acceptor exits (it only exits on shutdown or a
     /// listener error) — the `floorplan serve` foreground mode.
     pub fn wait(mut self) {
@@ -582,11 +247,35 @@ impl Server {
         }
     }
 
-    /// Stops accepting, drains in-flight jobs and joins the workers.
-    pub fn shutdown(mut self) {
+    /// Stops accepting, drains every accepted job (answering it), joins
+    /// shards and workers, and returns the final books.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.teardown()
+    }
+
+    fn teardown(&mut self) -> ShutdownReport {
         self.stop_accepting();
-        if let Some(engine) = self.engine.take() {
-            engine.shutdown();
+        // Ordering matters: shards must stop reading (no new accepts)
+        // before the queue closes, and workers must stay alive while the
+        // shards wait for their in-flight answers.
+        #[cfg(unix)]
+        for s in &self.shard_shareds {
+            s.start_drain();
+        }
+        if let Some(engine) = self.engine.as_ref() {
+            engine.close_queue();
+        }
+        #[cfg(unix)]
+        for t in self.shard_threads.drain(..) {
+            let _ = t.join();
+        }
+        let engine = self
+            .engine
+            .take()
+            .map_or_else(EngineStats::default, Engine::shutdown);
+        ShutdownReport {
+            accounting: self.accounting_with(engine),
+            engine,
         }
     }
 
@@ -611,10 +300,13 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.stop_accepting();
+        let _ = self.teardown();
     }
 }
 
+/// The threaded front end's per-connection loop: a reader thread (this
+/// one) decoding lines and a writer thread funneling responses (possibly
+/// out of request order) back.
 fn handle_connection(stream: TcpStream, client: &Client) {
     let Ok(read_half) = stream.try_clone() else {
         return;

@@ -1,0 +1,182 @@
+//! Single-flight coalescing of identical in-flight jobs.
+//!
+//! The table maps a 64-bit FNV fingerprint to the set of waiters for an
+//! instance that is currently being solved. The first waiter to arrive
+//! for a canonical instance becomes the **leader** and owns the solve;
+//! everyone who joins before the leader completes is a **follower** and
+//! receives a fan-out copy of the leader's response. Like the solution
+//! cache, a fingerprint is only trusted together with its canonical
+//! text: two different instances that collide on the hash occupy
+//! *separate* flights under the same key and never coalesce.
+//!
+//! The table is generic over the waiter payload so the engine can park
+//! reply routes in it while the property tests drive it with plain
+//! markers from many threads.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// What [`Inflight::join`] made of the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// First waiter for this canonical instance: run the solve, then
+    /// [`Inflight::complete`] to collect everyone to answer.
+    Leader,
+    /// An identical instance is already in flight; this waiter was parked
+    /// and will be returned by the leader's `complete`.
+    Follower,
+}
+
+/// One in-flight solve: the canonical text that disambiguates hash
+/// collisions, and everyone waiting on the result (leader first).
+struct Flight<T> {
+    canon: Arc<str>,
+    waiters: Vec<T>,
+}
+
+/// The single-flight table. All operations take one short mutex; the
+/// solve itself happens outside the lock.
+pub struct Inflight<T> {
+    map: Mutex<HashMap<u64, Vec<Flight<T>>>>,
+}
+
+impl<T> Default for Inflight<T> {
+    fn default() -> Self {
+        Inflight::new()
+    }
+}
+
+impl<T> Inflight<T> {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Inflight {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Parks `waiter` under (`key`, `canon`).
+    ///
+    /// Returns [`Admit::Leader`] when no flight for this canonical text
+    /// exists (the caller must solve and then call
+    /// [`complete`](Inflight::complete) exactly once), or
+    /// [`Admit::Follower`] when the waiter joined an existing flight.
+    /// A same-key flight whose canonical text differs is a hash
+    /// collision and is left untouched — the caller leads its own flight.
+    pub fn join(&self, key: u64, canon: &Arc<str>, waiter: T) -> Admit {
+        let mut map = self.map.lock().expect("inflight lock");
+        let flights = map.entry(key).or_default();
+        if let Some(flight) = flights.iter_mut().find(|f| *f.canon == **canon) {
+            flight.waiters.push(waiter);
+            return Admit::Follower;
+        }
+        flights.push(Flight {
+            canon: Arc::clone(canon),
+            waiters: vec![waiter],
+        });
+        Admit::Leader
+    }
+
+    /// Removes the flight for (`key`, `canon`) and returns its waiters,
+    /// leader first. The leader calls this once its solve finished (or
+    /// was shed/refused) and answers every returned waiter; waiters that
+    /// join after this point start a fresh flight.
+    ///
+    /// Returns an empty vector if no such flight exists (already
+    /// completed — callers treat that as "nothing left to answer").
+    #[must_use]
+    pub fn complete(&self, key: u64, canon: &str) -> Vec<T> {
+        let mut map = self.map.lock().expect("inflight lock");
+        let Some(flights) = map.get_mut(&key) else {
+            return Vec::new();
+        };
+        let Some(pos) = flights.iter().position(|f| *f.canon == *canon) else {
+            return Vec::new();
+        };
+        let flight = flights.swap_remove(pos);
+        if flights.is_empty() {
+            map.remove(&key);
+        }
+        flight.waiters
+    }
+
+    /// Number of distinct in-flight canonical instances.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .expect("inflight lock")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether no flight is outstanding.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total waiters parked across all flights (leaders included).
+    #[must_use]
+    pub fn total_waiters(&self) -> usize {
+        self.map
+            .lock()
+            .expect("inflight lock")
+            .values()
+            .flat_map(|flights| flights.iter())
+            .map(|f| f.waiters.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canon(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn leader_then_followers_then_fanout() {
+        let t: Inflight<u32> = Inflight::new();
+        let c = canon("problem p\n");
+        assert_eq!(t.join(7, &c, 0), Admit::Leader);
+        assert_eq!(t.join(7, &c, 1), Admit::Follower);
+        assert_eq!(t.join(7, &c, 2), Admit::Follower);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.total_waiters(), 3);
+        let waiters = t.complete(7, &c);
+        assert_eq!(waiters, vec![0, 1, 2], "leader first, joiners in order");
+        assert!(t.is_empty());
+        // After completion the next joiner leads a fresh flight.
+        assert_eq!(t.join(7, &c, 3), Admit::Leader);
+        assert_eq!(t.complete(7, &c), vec![3]);
+    }
+
+    #[test]
+    fn hash_collision_never_coalesces() {
+        let t: Inflight<&str> = Inflight::new();
+        let a = canon("problem a\n");
+        let b = canon("problem b\n");
+        // Same fingerprint, different canonical text: two flights.
+        assert_eq!(t.join(42, &a, "a-lead"), Admit::Leader);
+        assert_eq!(t.join(42, &b, "b-lead"), Admit::Leader);
+        assert_eq!(t.join(42, &a, "a-follow"), Admit::Follower);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.complete(42, &b), vec!["b-lead"]);
+        assert_eq!(t.complete(42, &a), vec!["a-lead", "a-follow"]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn complete_unknown_flight_returns_nothing() {
+        let t: Inflight<u8> = Inflight::new();
+        assert!(t.complete(1, "missing").is_empty());
+        let c = canon("x");
+        assert_eq!(t.join(1, &c, 5), Admit::Leader);
+        assert!(t.complete(1, "other-text").is_empty());
+        assert_eq!(t.complete(1, &c), vec![5]);
+    }
+}

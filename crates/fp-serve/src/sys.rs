@@ -1,0 +1,144 @@
+//! Thin poll(2) wrapper — the one place `fp-serve` talks to the OS
+//! directly.
+//!
+//! The event loop needs exactly one capability std does not expose:
+//! blocking on readiness of *many* sockets at once. Rather than pull in
+//! a dependency, this module declares poll(2) itself; std already links
+//! libc on every unix target, so the symbol resolves without any build
+//! script. Everything else the loop does (nonblocking sockets, raw fds)
+//! is plain std. The crate-level `deny(unsafe_code)` is lifted only for
+//! this module, and only for the single FFI call below.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::raw::{c_int, c_ulong};
+
+/// Readiness: data to read (or a pending accept).
+pub const POLLIN: i16 = 0x001;
+/// Readiness: writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Condition: error on the descriptor (always polled, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Condition: peer hung up.
+pub const POLLHUP: i16 = 0x010;
+/// Condition: descriptor not open (a bookkeeping bug if ever seen).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the poll set, layout-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The descriptor to watch.
+    pub fd: c_int,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events, filled by [`poll`].
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A poll entry watching `fd` for `events`.
+    #[must_use]
+    pub fn new(fd: c_int, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether `fd` is readable (or the peer closed: a hangup must be
+    /// read to observe the EOF).
+    #[must_use]
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR) != 0
+    }
+
+    /// Whether `fd` is writable (or errored: the write will surface it).
+    #[must_use]
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLHUP | POLLERR) != 0
+    }
+
+    /// Whether the descriptor is gone or broken beyond use.
+    #[must_use]
+    pub fn broken(&self) -> bool {
+        self.revents & (POLLERR | POLLNVAL) != 0
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Blocks until at least one entry is ready or `timeout_ms` elapses
+/// (negative = forever). Returns how many entries have nonzero
+/// `revents`; 0 means timeout. Retries transparently on `EINTR`.
+///
+/// # Errors
+///
+/// Any poll(2) failure other than `EINTR`, as the OS error.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `PollFd` is #[repr(C)] and layout-compatible with
+        // `struct pollfd`; the pointer/length pair describes exactly the
+        // caller's slice, which poll(2) only writes within.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn times_out_with_nothing_ready() {
+        let (_a, b) = pair();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 10).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn sees_readable_after_write_and_hup_after_close() {
+        let (mut a, b) = pair();
+        a.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        drop(a);
+        // Peer gone: still "readable" so the loop reads the EOF.
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        poll_fds(&mut fds, 1000).unwrap();
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn fresh_socket_is_writable() {
+        let (a, _b) = pair();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLOUT)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].writable());
+    }
+}

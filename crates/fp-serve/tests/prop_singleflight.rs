@@ -1,0 +1,185 @@
+//! Property tests for the single-flight table and its fan-out through
+//! the engine.
+//!
+//! The contract under test (ISSUE satellite): with N threads joining M
+//! fingerprints concurrently, exactly one waiter per distinct canonical
+//! instance becomes the leader (one solve), every waiter is accounted
+//! for at fan-out, and a fingerprint collision with *different*
+//! canonical text never coalesces.
+
+use fp_serve::singleflight::{Admit, Inflight};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// One waiter marker: (thread, sequence-within-thread, instance).
+type Marker = (usize, usize, usize);
+/// Every join's admission decision, in per-thread arrival order.
+type Admits = Vec<(Marker, Admit)>;
+/// The fan-out each instance's `complete` returned.
+type Fanouts = HashMap<usize, Vec<Marker>>;
+
+/// Runs `threads` threads, each joining `per_thread` times across
+/// `instances` distinct canonical instances. When `collide` is set,
+/// every instance shares ONE fingerprint key (the adversarial collision
+/// case); otherwise each instance has its own key.
+fn hammer(threads: usize, instances: usize, per_thread: usize, collide: bool) -> (Admits, Fanouts) {
+    let table: Arc<Inflight<Marker>> = Arc::new(Inflight::new());
+    let canons: Vec<Arc<str>> = (0..instances)
+        .map(|i| Arc::from(format!("problem inst-{i}\n")))
+        .collect();
+    let keys: Vec<u64> = (0..instances)
+        .map(|i| if collide { 0xDEAD } else { i as u64 })
+        .collect();
+
+    // Phase 1: every thread joins all its waiters. The barrier keeps all
+    // joins strictly before any complete, so each instance must end up
+    // with exactly one leader among them.
+    let barrier = Arc::new(Barrier::new(threads));
+    let admits = Arc::new(Mutex::new(Vec::new()));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let table = Arc::clone(&table);
+            let canons = canons.clone();
+            let keys = keys.clone();
+            let barrier = Arc::clone(&barrier);
+            let admits = Arc::clone(&admits);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for s in 0..per_thread {
+                    let inst = (t * per_thread + s) % canons.len();
+                    let marker = (t, s, inst);
+                    let admit = table.join(keys[inst], &canons[inst], marker);
+                    admits.lock().unwrap().push((marker, admit));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Phase 2: complete each instance once and collect its fan-out.
+    let mut fanouts = HashMap::new();
+    for (inst, canon) in canons.iter().enumerate() {
+        fanouts.insert(inst, table.complete(keys[inst], canon));
+    }
+    assert!(table.is_empty(), "table must be empty after completes");
+    let admits = Arc::try_unwrap(admits).ok().unwrap().into_inner().unwrap();
+    (admits, fanouts)
+}
+
+fn check_invariants(threads: usize, instances: usize, per_thread: usize, collide: bool) {
+    let (admits, fanouts) = hammer(threads, instances, per_thread, collide);
+    let total_joins = threads * per_thread;
+    let touched: HashSet<usize> = admits.iter().map(|((_, _, inst), _)| *inst).collect();
+
+    // Exactly one leader (one solve) per touched canonical instance —
+    // also in the collision case, where "instance" means canonical text,
+    // not fingerprint.
+    let mut leaders: HashMap<usize, Vec<Marker>> = HashMap::new();
+    for (marker, admit) in &admits {
+        if *admit == Admit::Leader {
+            leaders.entry(marker.2).or_default().push(*marker);
+        }
+    }
+    for &inst in &touched {
+        let n = leaders.get(&inst).map_or(0, Vec::len);
+        assert_eq!(n, 1, "instance {inst} had {n} leaders (want exactly 1)");
+    }
+
+    // Every waiter is accounted for at fan-out, under its own instance,
+    // with the leader first.
+    let fanned: usize = fanouts.values().map(Vec::len).sum();
+    assert_eq!(fanned, total_joins, "fan-out lost or duplicated waiters");
+    for (&inst, waiters) in &fanouts {
+        for &(_, _, winst) in waiters {
+            assert_eq!(
+                winst, inst,
+                "waiter of instance {winst} fanned out under {inst}"
+            );
+        }
+        if let Some(first) = waiters.first() {
+            assert_eq!(
+                leaders[&inst][0], *first,
+                "fan-out must return the leader first"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// N threads × M distinct-key fingerprints.
+    #[test]
+    fn one_solve_per_instance_distinct_keys(
+        threads in 1usize..6,
+        instances in 1usize..5,
+        per_thread in 1usize..8,
+    ) {
+        check_invariants(threads, instances, per_thread, false);
+    }
+
+    /// Same, but every canonical instance shares one 64-bit fingerprint:
+    /// collisions must split flights by canonical text, never coalesce.
+    #[test]
+    fn collisions_never_coalesce(
+        threads in 1usize..6,
+        instances in 2usize..5,
+        per_thread in 1usize..8,
+    ) {
+        check_invariants(threads, instances, per_thread, true);
+    }
+}
+
+/// End-to-end fan-out through the engine: K identical concurrent jobs
+/// produce one solve whose response reaches every waiter byte-identical
+/// up to the per-waiter fields (`id`, `micros`, `coalesced`).
+#[test]
+fn fanout_responses_are_byte_identical() {
+    let config = fp_serve::ServeConfig::default()
+        .with_workers(1)
+        .with_node_limit(500)
+        .with_cache_capacity(0);
+    let engine = fp_serve::Engine::start(config);
+    let client = engine.client();
+
+    // A blocker occupies the single worker so the K identical jobs below
+    // all join the leader's flight while it waits in the queue.
+    let blocker_nl = fp_netlist::generator::ProblemGenerator::new(6, 99).generate();
+    let blocker = client.submit(fp_serve::JobRequest::new(1000, &blocker_nl).with_cache(false));
+
+    let netlist = fp_netlist::generator::ProblemGenerator::new(5, 7).generate();
+    let k = 6;
+    let receivers: Vec<_> = (0..k)
+        .map(|i| client.submit(fp_serve::JobRequest::new(i, &netlist).with_cache(false)))
+        .collect();
+    assert!(blocker.recv().unwrap().ok);
+
+    let mut normalized = Vec::new();
+    let mut coalesced = 0;
+    for (i, rx) in receivers.into_iter().enumerate() {
+        let mut resp = rx.recv().unwrap();
+        assert!(resp.ok, "job {i}: {}", resp.error);
+        assert_eq!(resp.id, i as u64);
+        coalesced += u32::from(resp.coalesced);
+        resp.id = 0;
+        resp.micros = 0;
+        resp.coalesced = false;
+        normalized.push(resp.encode());
+    }
+    assert!(
+        normalized.iter().all(|line| line == &normalized[0]),
+        "fan-out responses differ beyond per-waiter fields"
+    );
+    assert_eq!(
+        coalesced,
+        k as u32 - 1,
+        "expected one leader and k-1 coalesced followers"
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.coalesced as u32, k as u32 - 1);
+    assert_eq!(stats.submitted, stats.answered + stats.shed);
+    engine.shutdown();
+}

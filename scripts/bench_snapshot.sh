@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_MILP.json: warm-start vs cold branch-and-bound node
-# throughput plus model-strengthening node reduction and end-to-end
-# speedup on the seeded MILP instance set (see
-# crates/fp-bench/src/bin/milp_snapshot.rs for the methodology).
+# Regenerates the benchmark snapshots:
+#  - BENCH_MILP.json: warm-start vs cold branch-and-bound node throughput
+#    plus model-strengthening node reduction and end-to-end speedup on the
+#    seeded MILP instance set (crates/fp-bench/src/bin/milp_snapshot.rs).
+#  - BENCH_SERVE.json: the event-driven front end vs the original
+#    thread-per-connection server on a 1000-connection 50%-duplicate
+#    workload, plus the overload/load-shed accounting leg
+#    (crates/fp-bench/src/bin/serve_snapshot.rs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
-out="${1:-BENCH_MILP.json}"
+milp_out="${1:-BENCH_MILP.json}"
+serve_out="${2:-BENCH_SERVE.json}"
 
-cargo run --release -q -p fp-bench --bin milp_snapshot -- "$out"
+cargo run --release -q -p fp-bench --bin milp_snapshot -- "$milp_out"
+cargo run --release -q -p fp-bench --bin serve_snapshot -- "$serve_out"

@@ -17,6 +17,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+# The deterministic chaos/fault-injection suite for the event-driven
+# front end (slow-loris drips, half-closed sockets, mid-job disconnects,
+# oversized frames, seeded flaky-client swarm) is tier-1: run it by name
+# so a filtered workspace test run can never silently skip it.
+echo "== fp-serve chaos suite"
+cargo test -q -p fp-serve --test chaos
+
 echo "== cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run -q
 
@@ -103,5 +110,38 @@ wait "$serve_pid" 2>/dev/null || true
 cargo run --release -q -p fp-obs --example validate_trace -- "$serve_trace"
 grep -q '"event":"CacheHit"' "$serve_trace" \
     || { echo "check.sh: repeated instance never hit the solution cache"; exit 1; }
+
+# Overload smoke: 200 open-loop connections, half submitting one shared
+# duplicate instance, against one worker with a tiny global queue. The
+# duplicates must coalesce onto in-flight solves (>=1 Coalesced event)
+# and the overflow must be load-shed with a typed retry (>=1 Shed event),
+# all in a schema-valid trace, with every job answered (ok or shed).
+echo "== overload smoke (coalescing + load shedding)"
+shed_log="$(mktemp)"
+shed_trace="$(mktemp --suffix=.jsonl)"
+shed_load="$(mktemp)"
+trap 'rm -f "$trace_file" "$summary_file" "$bench_json" "$serve_log" "$serve_trace" "$load_log" "$shed_log" "$shed_trace" "$shed_load"; kill "${serve_pid:-0}" "${shed_pid:-0}" 2>/dev/null || true' EXIT
+./target/release/floorplan serve --bind 127.0.0.1:0 --workers 1 --cache 0 \
+    --queue 2 --pending 64 --trace "$shed_trace" > "$shed_log" 2>&1 &
+shed_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "serving on" "$shed_log" && break
+    kill -0 "$shed_pid" 2>/dev/null || { cat "$shed_log"; exit 1; }
+    sleep 0.1
+done
+shed_addr="$(sed -n 's/serving on \([0-9.:]*\) .*/\1/p' "$shed_log")"
+[ -n "$shed_addr" ] || { echo "check.sh: overload serve did not report its address"; cat "$shed_log"; exit 1; }
+./target/release/floorplan load --addr "$shed_addr" \
+    --clients 200 --jobs 1 --modules 4 --dup 50 --no-cache --rate 4000 \
+    | tee "$shed_load"
+grep -q "lost 0" "$shed_load" \
+    || { echo "check.sh: overload load lost responses"; exit 1; }
+kill "$shed_pid" 2>/dev/null || true
+wait "$shed_pid" 2>/dev/null || true
+cargo run --release -q -p fp-obs --example validate_trace -- "$shed_trace"
+grep -q '"event":"Coalesced"' "$shed_trace" \
+    || { echo "check.sh: duplicate instances never coalesced"; exit 1; }
+grep -q '"event":"Shed"' "$shed_trace" \
+    || { echo "check.sh: overload never load-shed"; exit 1; }
 
 echo "check.sh: all green"
