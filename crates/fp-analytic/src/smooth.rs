@@ -1,0 +1,118 @@
+//! Smooth surrogates for the non-differentiable pieces of placement cost.
+//!
+//! Three ingredients, all classical in analytical placement:
+//!
+//! * `sabs` — a smoothed `|d|` for Manhattan wirelength,
+//!   `γ·ln(2·cosh(d/γ))`, whose gradient is `tanh(d/γ)`;
+//! * `lse` — the log-sum-exp softmax that turns `max(tops)` (the chip
+//!   height) into a differentiable function;
+//! * `bell` — the bell-shaped overlap kernel `(1 − (d/r)²)²` on `|d| < r`
+//!   used by smoothed density/overlap penalties: positive exactly when two
+//!   module extents overlap on an axis, with a gradient that pushes centers
+//!   apart.
+
+/// Smoothed absolute value `γ·ln(2·cosh(d/γ))`, computed overflow-safely as
+/// `|d| + γ·ln(1 + e^(−2|d|/γ))`. Approaches `|d|` from above as γ → 0.
+pub(crate) fn sabs(d: f64, gamma: f64) -> f64 {
+    let a = d.abs();
+    a + gamma * (-2.0 * a / gamma).exp().ln_1p()
+}
+
+/// Gradient of [`sabs`] with respect to `d`: `tanh(d/γ)`.
+pub(crate) fn dsabs(d: f64, gamma: f64) -> f64 {
+    (d / gamma).tanh()
+}
+
+/// Log-sum-exp softmax of `vals` at temperature `gamma`, max-shifted so the
+/// exponentials never overflow. Returns the smoothed maximum and fills
+/// `weights` with `∂lse/∂vals[i]` (a softmax distribution).
+pub(crate) fn lse(vals: &[f64], gamma: f64, weights: &mut [f64]) -> f64 {
+    debug_assert_eq!(vals.len(), weights.len());
+    let m = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut z = 0.0;
+    for (w, &v) in weights.iter_mut().zip(vals) {
+        *w = ((v - m) / gamma).exp();
+        z += *w;
+    }
+    for w in weights.iter_mut() {
+        *w /= z;
+    }
+    m + gamma * z.ln()
+}
+
+/// Bell-shaped overlap kernel: `(1 − (d/r)²)²` for `|d| < r`, else `0`.
+/// `d` is the center distance on one axis, `r` the half-extent sum — the
+/// kernel is positive exactly when the two extents overlap on that axis.
+pub(crate) fn bell(d: f64, r: f64) -> f64 {
+    let s = d / r;
+    if s.abs() >= 1.0 {
+        0.0
+    } else {
+        let t = 1.0 - s * s;
+        t * t
+    }
+}
+
+/// Gradient of [`bell`] with respect to `d`: `−4·s·(1 − s²)/r` with
+/// `s = d/r` (zero outside the support).
+pub(crate) fn dbell(d: f64, r: f64) -> f64 {
+    let s = d / r;
+    if s.abs() >= 1.0 {
+        0.0
+    } else {
+        -4.0 * s * (1.0 - s * s) / r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_grad(f: impl Fn(f64) -> f64, x: f64) -> f64 {
+        let h = 1e-6;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn sabs_upper_bounds_abs_and_converges() {
+        for &d in &[-5.0, -0.3, 0.0, 0.7, 12.0] {
+            assert!(sabs(d, 1.0) >= d.abs());
+            assert!(sabs(d, 0.01) - d.abs() < 0.01);
+        }
+        // Huge arguments must not overflow.
+        assert!(sabs(1e12, 1.0).is_finite());
+    }
+
+    #[test]
+    fn dsabs_matches_numeric_gradient() {
+        for &d in &[-3.0, -0.2, 0.1, 2.5] {
+            let num = numeric_grad(|x| sabs(x, 0.7), d);
+            assert!((dsabs(d, 0.7) - num).abs() < 1e-5, "at {d}");
+        }
+    }
+
+    #[test]
+    fn lse_bounds_max() {
+        let vals = [1.0, 4.0, 2.5];
+        let mut w = [0.0; 3];
+        let v = lse(&vals, 0.5, &mut w);
+        assert!(v >= 4.0 && v <= 4.0 + 0.5 * (3.0f64).ln() + 1e-12);
+        let total: f64 = w.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(w[1] > w[2] && w[2] > w[0]);
+        // Max-shift keeps huge inputs finite.
+        let mut w2 = [0.0; 2];
+        assert!(lse(&[1e9, 1e9 + 1.0], 1.0, &mut w2).is_finite());
+    }
+
+    #[test]
+    fn bell_support_and_gradient() {
+        assert_eq!(bell(3.0, 2.0), 0.0);
+        assert_eq!(bell(0.0, 2.0), 1.0);
+        assert!(bell(1.0, 2.0) > 0.0);
+        for &d in &[-1.5, -0.4, 0.3, 1.9] {
+            let num = numeric_grad(|x| bell(x, 2.0), d);
+            assert!((dbell(d, 2.0) - num).abs() < 1e-5, "at {d}");
+        }
+    }
+}

@@ -16,10 +16,20 @@
 //! * `overload` — open-loop 2x-capacity burst against a deliberately tiny
 //!   admission budget (1 worker, queue 2, per-shard bound 4): pins that
 //!   overload sheds with typed `retry_after_ms` instead of queueing
-//!   without bound, and that the books still balance.
+//!   without bound, that the books still balance, and the served jobs'
+//!   p99 latency (the tail `scripts/check.sh` diffs against this
+//!   snapshot). `serve_snapshot --overload-only` runs just this leg and
+//!   prints its JSON object to stdout for that comparison.
+//! * `deadline` — the same 50 ms-deadline workload solved twice: by the
+//!   sequential MILP ladder and by the milp+annealer+analytic portfolio
+//!   race. Recorded per leg: deadline-hit rate, degraded share, mean
+//!   area, and which backend won each job. The portfolio's hit rate must
+//!   be at least the sequential ladder's.
 
 use fp_netlist::generator::ProblemGenerator;
-use fp_serve::{IoMode, JobRequest, JobResponse, ServeConfig, Server, ShutdownReport};
+use fp_serve::{
+    Backend, Engine, IoMode, JobRequest, JobResponse, ServeConfig, Server, ShutdownReport,
+};
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::TcpStream;
 use std::time::Instant;
@@ -27,6 +37,11 @@ use std::time::Instant;
 const REPS: usize = 3;
 const DUP_PCT: u64 = 50;
 const MODULES: usize = 4;
+
+/// The deadline leg's workload: jobs, modules per instance, budget.
+const DL_JOBS: u64 = 24;
+const DL_MODULES: usize = 9;
+const DL_MS: u64 = 50;
 
 struct Measured {
     wall_s: f64,
@@ -123,9 +138,20 @@ fn median_rep(io: IoMode, conns: usize) -> Measured {
     runs.swap_remove(REPS / 2)
 }
 
+/// The overload leg's measurements.
+struct Overload {
+    report: ShutdownReport,
+    served: u64,
+    shed: u64,
+    retry_max: u64,
+    /// p99 latency of the *served* jobs, measured from burst start (a
+    /// shed is an immediate typed refusal, not a serviced request).
+    p99_ms: f64,
+}
+
 /// The overload leg: a pipelined 2x-capacity burst against a tiny
 /// admission budget must produce typed sheds and balanced books.
-fn drive_overload(jobs: u64) -> (ShutdownReport, u64, u64, u64) {
+fn drive_overload(jobs: u64) -> Overload {
     let config = ServeConfig::default()
         .with_io(IoMode::Event)
         .with_shards(1)
@@ -137,6 +163,7 @@ fn drive_overload(jobs: u64) -> (ShutdownReport, u64, u64, u64) {
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let stream = TcpStream::connect(server.local_addr()).expect("connect");
     let mut writer = stream.try_clone().expect("clone");
+    let started = Instant::now();
     let reader = std::thread::spawn(move || {
         let mut got = Vec::with_capacity(jobs as usize);
         let mut reader = BufReader::new(stream);
@@ -145,7 +172,8 @@ fn drive_overload(jobs: u64) -> (ShutdownReport, u64, u64, u64) {
             if reader.read_line(&mut line).expect("read") == 0 {
                 break;
             }
-            got.push(JobResponse::decode(line.trim_end()).expect("decode"));
+            let ms = started.elapsed().as_secs_f64() * 1e3;
+            got.push((JobResponse::decode(line.trim_end()).expect("decode"), ms));
         }
         got
     });
@@ -154,16 +182,82 @@ fn drive_overload(jobs: u64) -> (ShutdownReport, u64, u64, u64) {
     }
     let responses = reader.join().expect("reader");
     assert_eq!(responses.len(), jobs as usize, "every job answered");
-    let ok = responses.iter().filter(|r| r.ok).count() as u64;
-    let shed = responses.iter().filter(|r| r.is_shed()).count() as u64;
-    assert_eq!(ok + shed, jobs, "overload answers are ok or typed sheds");
+    let served = responses.iter().filter(|(r, _)| r.ok).count() as u64;
+    let shed = responses.iter().filter(|(r, _)| r.is_shed()).count() as u64;
+    assert_eq!(
+        served + shed,
+        jobs,
+        "overload answers are ok or typed sheds"
+    );
     let retry_max = responses
         .iter()
-        .filter(|r| r.is_shed())
-        .map(|r| r.retry_after_ms)
+        .filter(|(r, _)| r.is_shed())
+        .map(|(r, _)| r.retry_after_ms)
         .max()
         .unwrap_or(0);
-    (server.shutdown(), ok, shed, retry_max)
+    let mut lat: Vec<f64> = responses
+        .iter()
+        .filter(|(r, _)| r.ok)
+        .map(|&(_, ms)| ms)
+        .collect();
+    lat.sort_by(f64::total_cmp);
+    Overload {
+        report: server.shutdown(),
+        served,
+        shed,
+        retry_max,
+        p99_ms: percentile(&lat, 99.0),
+    }
+}
+
+/// One deadline-leg measurement: every job under a 50 ms budget, solved
+/// sequentially (`backends` empty) or by the portfolio race.
+struct DeadlineLeg {
+    hits: u64,
+    degraded: u64,
+    mean_area: f64,
+    /// Winning backend per job, first seen first.
+    wins: Vec<(String, u64)>,
+}
+
+/// Drives [`DL_JOBS`] distinct instances through an in-process engine,
+/// each under the same [`DL_MS`] deadline; a hit answered within budget.
+fn drive_deadline(backends: Vec<Backend>) -> DeadlineLeg {
+    let engine = Engine::start(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_cache_capacity(0)
+            .with_backends(backends),
+    );
+    let client = engine.client();
+    let mut leg = DeadlineLeg {
+        hits: 0,
+        degraded: 0,
+        mean_area: 0.0,
+        wins: Vec::new(),
+    };
+    for id in 0..DL_JOBS {
+        let nl = ProblemGenerator::new(DL_MODULES, 2000 + id).generate();
+        let resp = client.call(
+            JobRequest::new(id, &nl)
+                .with_deadline_ms(DL_MS)
+                .with_cache(false),
+        );
+        assert!(resp.ok, "deadline job {id} failed: {}", resp.error);
+        if resp.micros <= DL_MS * 1000 {
+            leg.hits += 1;
+        }
+        leg.degraded += u64::from(resp.degraded);
+        leg.mean_area += resp.area;
+        match leg.wins.iter_mut().find(|(name, _)| *name == resp.backend) {
+            Some((_, n)) => *n += 1,
+            None => leg.wins.push((resp.backend.clone(), 1)),
+        }
+    }
+    engine.shutdown();
+    leg.mean_area /= DL_JOBS as f64;
+    leg.wins.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    leg
 }
 
 fn leg_json(m: &Measured) -> String {
@@ -187,12 +281,55 @@ fn leg_json(m: &Measured) -> String {
     )
 }
 
+fn overload_json(o: &Overload) -> String {
+    let acc = o.report.accounting;
+    format!(
+        "{{\"jobs\": 40, \"served\": {}, \"shed\": {}, \
+         \"retry_after_ms_max\": {}, \"p99_ms\": {:.1}, \
+         \"accepted\": {}, \"completed\": {}}}",
+        o.served, o.shed, o.retry_max, o.p99_ms, acc.accepted, acc.completed
+    )
+}
+
+fn deadline_json(leg: &DeadlineLeg) -> String {
+    let wins: Vec<String> = leg
+        .wins
+        .iter()
+        .map(|(name, n)| format!("\"{name}\": {n}"))
+        .collect();
+    format!(
+        "{{\"hit_rate\": {:.3}, \"degraded\": {}, \"mean_area\": {:.1}, \
+         \"wins\": {{{}}}}}",
+        leg.hits as f64 / DL_JOBS as f64,
+        leg.degraded,
+        leg.mean_area,
+        wins.join(", ")
+    )
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_SERVE.json".to_string());
-    let conns: usize = std::env::args()
-        .nth(2)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--overload-only") {
+        // The check-script entry point: just the overload leg, its JSON
+        // object on stdout (progress stays on stderr).
+        let overload = drive_overload(40);
+        eprintln!(
+            "overload: {} served, {} shed, p99 {:.1}ms",
+            overload.served, overload.shed, overload.p99_ms
+        );
+        assert!(
+            overload.shed > 0,
+            "2x-capacity burst with queue=2 must shed"
+        );
+        println!("{}", overload_json(&overload));
+        return;
+    }
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let out_path = positional
+        .first()
+        .map_or_else(|| "BENCH_SERVE.json".to_string(), |s| (*s).clone());
+    let conns: usize = positional
+        .get(1)
         .map_or(1000, |s| s.parse().expect("CONNS must be a number"));
 
     let event = median_rep(IoMode::Event, conns);
@@ -222,11 +359,32 @@ fn main() {
         );
     }
 
-    let (overload, over_ok, over_shed, retry_max) = drive_overload(40);
-    eprintln!("overload: {over_ok} served, {over_shed} shed (retry_after <= {retry_max}ms)");
-    assert!(over_shed > 0, "2x-capacity burst with queue=2 must shed");
-    let oacc = overload.accounting;
+    let overload = drive_overload(40);
+    eprintln!(
+        "overload: {} served, {} shed (retry_after <= {}ms), p99 {:.1}ms",
+        overload.served, overload.shed, overload.retry_max, overload.p99_ms
+    );
+    assert!(
+        overload.shed > 0,
+        "2x-capacity burst with queue=2 must shed"
+    );
+    let oacc = overload.report.accounting;
     assert_eq!(oacc.accepted, oacc.completed + oacc.shed);
+
+    let sequential = drive_deadline(Vec::new());
+    let portfolio = drive_deadline(vec![Backend::Milp, Backend::Annealer, Backend::Analytic]);
+    for (leg, m) in [("sequential", &sequential), ("portfolio", &portfolio)] {
+        eprintln!(
+            "deadline/{leg}: {}/{DL_JOBS} within {DL_MS}ms, {} degraded, mean area {:.0}",
+            m.hits, m.degraded, m.mean_area
+        );
+    }
+    assert!(
+        portfolio.hits >= sequential.hits,
+        "portfolio hit {}/{DL_JOBS} deadlines, sequential {}/{DL_JOBS} — racing made it worse",
+        portfolio.hits,
+        sequential.hits
+    );
 
     let speedup = event.throughput / threaded.throughput.max(1e-12);
     let json = format!(
@@ -235,13 +393,14 @@ fn main() {
          \"modules\": {MODULES},\n  \
          \"throughput_speedup\": {speedup:.3},\n  \
          \"event\": {},\n  \"threaded\": {},\n  \
-         \"overload\": {{\"jobs\": 40, \"served\": {over_ok}, \
-         \"shed\": {over_shed}, \"retry_after_ms_max\": {retry_max}, \
-         \"accepted\": {}, \"completed\": {}}}\n}}\n",
+         \"overload\": {},\n  \
+         \"deadline\": {{\"jobs\": {DL_JOBS}, \"modules\": {DL_MODULES}, \
+         \"deadline_ms\": {DL_MS}, \"sequential\": {}, \"portfolio\": {}}}\n}}\n",
         leg_json(&event),
         leg_json(&threaded),
-        oacc.accepted,
-        oacc.completed
+        overload_json(&overload),
+        deadline_json(&sequential),
+        deadline_json(&portfolio)
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     eprintln!(

@@ -11,7 +11,7 @@
 use fp_core::{Objective, OrderingStrategy};
 use fp_netlist::{ami33, format, generator::ProblemGenerator, Netlist};
 use fp_route::{RouteAlgorithm, RoutingMode};
-use fp_serve::IoMode;
+use fp_serve::{Backend, IoMode};
 
 /// A parsed invocation.
 #[derive(Debug)]
@@ -63,6 +63,9 @@ pub struct RunArgs {
     pub trace: Option<String>,
     /// Print a per-phase trace summary.
     pub summary: bool,
+    /// Race the MILP pipeline against the annealer and analytic backends
+    /// instead of running the pipeline alone.
+    pub portfolio: bool,
 }
 
 /// Flags of `floorplan serve`.
@@ -88,6 +91,8 @@ pub struct ServeArgs {
     pub max_line: usize,
     /// Write service trace events (cache hits/misses, jobs) to a file.
     pub trace: Option<String>,
+    /// Solver backends to race per job (empty = the sequential ladder).
+    pub backends: Vec<Backend>,
 }
 
 /// Flags of `floorplan load`.
@@ -156,6 +161,7 @@ pub fn parse_run_args<I: Iterator<Item = String>>(mut it: I) -> Result<RunArgs, 
         svg: None,
         trace: None,
         summary: false,
+        portfolio: false,
     };
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -235,6 +241,7 @@ pub fn parse_run_args<I: Iterator<Item = String>>(mut it: I) -> Result<RunArgs, 
             "--svg" => args.svg = Some(value("--svg")?),
             "--trace" => args.trace = Some(value("--trace")?),
             "--summary" => args.summary = true,
+            "--portfolio" => args.portfolio = true,
             "--help" | "-h" => return Err(String::new()),
             other if !other.starts_with('-') => args.input = Some(other.to_string()),
             other => return Err(format!("unknown option '{other}'")),
@@ -255,6 +262,7 @@ fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, 
         pending: 256,
         max_line: 1 << 20,
         trace: None,
+        backends: Vec::new(),
     };
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -315,6 +323,7 @@ fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, 
                 args.max_line = n;
             }
             "--trace" => args.trace = Some(value("--trace")?),
+            "--backends" => args.backends = Backend::parse_list(&value("--backends")?)?,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown serve option '{other}'")),
         }
@@ -435,15 +444,19 @@ pub const HELP: &str = "usage: floorplan [INPUT.fp] [--ami33 | --random N:SEED]
   [--node-limit N] [--time-limit SECS] [--threads N]
   [--route sp|wsp] [--mode over|around]
   [--ascii] [--svg FILE]
-  [--trace FILE.jsonl] [--summary]
+  [--trace FILE.jsonl] [--summary] [--portfolio]
 
   --trace FILE   write structured trace events (one JSON object per line:
                  solver nodes/incumbents, augmentation steps, routing)
   --summary      print a per-phase rollup of the traced run
+  --portfolio    race the MILP pipeline, the slicing annealer and the
+                 analytic placer on threads; the lowest-cost legal
+                 answer wins and the report names the winning backend
 
 usage: floorplan serve [--bind ADDR] [--workers N] [--cache N]
   [--node-limit N] [--io event|threads] [--shards N] [--queue N]
   [--pending N] [--max-line BYTES] [--trace FILE.jsonl]
+  [--backends LIST]
 
   serve floorplanning jobs over TCP, one JSON object per line in each
   direction; --bind 127.0.0.1:0 picks an ephemeral port (printed on start)
@@ -451,6 +464,9 @@ usage: floorplan serve [--bind ADDR] [--workers N] [--cache N]
                 with typed retry_after_ms (the default)
   --io threads  the original two-threads-per-connection front end
   --queue N     global admission bound; --pending N per-shard bound
+  --backends LIST  race these solver backends per job (comma-separated
+                from milp, annealer, analytic; default: the sequential
+                MILP ladder alone)
 
 usage: floorplan load [--addr ADDR] [--clients N] [--jobs M]
   [--deadline-ms D] [--modules K] [--spread S] [--dup PCT]
@@ -483,6 +499,12 @@ mod tests {
         assert!(a.rotation && !a.envelopes && !a.compact);
         assert!(a.route.is_none());
         assert!(a.trace.is_none() && !a.summary);
+        assert!(!a.portfolio);
+    }
+
+    #[test]
+    fn portfolio_flag_parses() {
+        assert!(parse(&["--ami33", "--portfolio"]).unwrap().portfolio);
     }
 
     #[test]
@@ -595,8 +617,24 @@ mod tests {
         assert_eq!(s.trace.as_deref(), Some("t.jsonl"));
         assert_eq!(s.io, IoMode::Event);
         assert_eq!((s.shards, s.queue, s.pending), (0, 64, 256));
+        assert!(s.backends.is_empty());
         assert!(command(&["serve", "--workers", "0"]).is_err());
         assert!(command(&["serve", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn serve_backends_parse() {
+        let Command::Serve(s) =
+            command(&["serve", "--backends", "milp,annealer,analytic"]).unwrap()
+        else {
+            panic!("expected serve");
+        };
+        assert_eq!(
+            s.backends,
+            vec![Backend::Milp, Backend::Annealer, Backend::Analytic]
+        );
+        assert!(command(&["serve", "--backends", "milp,quantum"]).is_err());
+        assert!(command(&["serve", "--backends", "milp,milp"]).is_err());
     }
 
     #[test]

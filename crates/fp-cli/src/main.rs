@@ -71,24 +71,41 @@ fn cmd_run(args: &RunArgs) -> Result<(), String> {
         netlist.name(),
         fp_netlist::NetlistStats::of(&netlist)
     );
-    let result = Floorplanner::with_config(&netlist, config.clone())
-        .run()
-        .map_err(|e| e.to_string())?;
-    let mut floorplan = result.floorplan;
+    let started = Instant::now();
+    let (mut floorplan, detail) = if args.portfolio {
+        // Race the pipeline against the heuristic backends; the lowest
+        // cost legal answer wins (see fp-serve's portfolio module).
+        let backends = [
+            fp_serve::Backend::Milp,
+            fp_serve::Backend::Annealer,
+            fp_serve::Backend::Analytic,
+        ];
+        let outcome = fp_serve::race(&netlist, &config, &backends, 0, 0x5EED, &tracer)
+            .ok_or("every portfolio backend failed")?;
+        (outcome.floorplan, format!("backend {}", outcome.winner))
+    } else {
+        let result = Floorplanner::with_config(&netlist, config.clone())
+            .run()
+            .map_err(|e| e.to_string())?;
+        let detail = format!(
+            "steps {}  nodes {}",
+            result.stats.steps.len(),
+            result.stats.total_nodes(),
+        );
+        (result.floorplan, detail)
+    };
     if args.compact {
         floorplan = optimize_topology(&floorplan, &netlist, &config).map_err(|e| e.to_string())?;
     }
 
     println!(
-        "chip {:.1} x {:.1} = {:.0}  utilization {:.1}%  wirelength(est) {:.0}  steps {}  nodes {}  time {:.2?}",
+        "chip {:.1} x {:.1} = {:.0}  utilization {:.1}%  wirelength(est) {:.0}  {detail}  time {:.2?}",
         floorplan.chip_width(),
         floorplan.chip_height(),
         floorplan.chip_area(),
         100.0 * floorplan.utilization(&netlist),
         floorplan.center_wirelength(&netlist),
-        result.stats.steps.len(),
-        result.stats.total_nodes(),
-        result.stats.elapsed,
+        started.elapsed(),
     );
 
     let routing = match args.route {
@@ -143,6 +160,7 @@ fn cmd_serve(args: &ServeArgs) -> Result<(), String> {
         .with_queue_capacity(args.queue)
         .with_per_shard_pending(args.pending)
         .with_max_line_bytes(args.max_line)
+        .with_backends(args.backends.clone())
         .with_tracer(tracer);
     if args.shards > 0 {
         config = config.with_shards(args.shards);
@@ -152,8 +170,14 @@ fn cmd_serve(args: &ServeArgs) -> Result<(), String> {
     // The resolved address (not the bind string) so `--bind 127.0.0.1:0`
     // callers learn the ephemeral port; flushed because scripts read this
     // line through a pipe while the process keeps running.
+    let portfolio = if args.backends.is_empty() {
+        String::new()
+    } else {
+        let names: Vec<&str> = args.backends.iter().map(|b| b.as_str()).collect();
+        format!(", racing {}", names.join("+"))
+    };
     println!(
-        "serving on {} ({} workers, cache {}, {})",
+        "serving on {} ({} workers, cache {}, {}{portfolio})",
         server.local_addr(),
         args.workers,
         args.cache,
@@ -322,6 +346,28 @@ fn cmd_load(args: &LoadArgs) -> Result<(), String> {
         "responses {ok}/{total} ok  degraded {degraded}  cached {cached}  \
          coalesced {coalesced}  shed {shed}  solves {solves}  lost {lost}"
     );
+    // Which backend won each answered job (servers predating the
+    // portfolio protocol omit the field; then there is nothing to say),
+    // plus the share of answers that fell back to the degraded greedy.
+    let mut wins: Vec<(&str, usize)> = Vec::new();
+    for (r, _) in responses
+        .iter()
+        .filter(|(r, _)| r.ok && !r.backend.is_empty())
+    {
+        match wins.iter_mut().find(|(name, _)| *name == r.backend) {
+            Some((_, n)) => *n += 1,
+            None => wins.push((r.backend.as_str(), 1)),
+        }
+    }
+    if !wins.is_empty() {
+        wins.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let dist: Vec<String> = wins.iter().map(|(name, n)| format!("{name} {n}")).collect();
+        println!(
+            "backends: {}  degraded {:.1}%",
+            dist.join("  "),
+            100.0 * degraded as f64 / ok.max(1) as f64
+        );
+    }
     for (r, _) in responses
         .iter()
         .filter(|(r, _)| !r.ok && !r.is_shed())

@@ -15,7 +15,7 @@
 //! close to a constant in each step", which is what makes the whole run
 //! linear in the number of modules (Table 1).
 
-use crate::config::{FloorplanConfig, OrderingStrategy};
+use crate::config::{FloorplanConfig, Objective, OrderingStrategy};
 use crate::envelope::ShapeSpec;
 use crate::error::FloorplanError;
 use crate::formulation::{estimate_binaries, StepInput, StepModel};
@@ -266,6 +266,10 @@ impl<'a> Floorplanner<'a> {
         let mut target = self.config.seed_size.min(specs.len()).max(1);
 
         while cursor < specs.len() {
+            if self.config.stop.is_set() {
+                return Err(FloorplanError::Cancelled("stop flag raised".into()));
+            }
+
             // Collapse the partial floorplan into covering rectangles
             // (§3.1) — or keep every module as its own obstacle when the
             // reduction is ablated away.
@@ -276,6 +280,21 @@ impl<'a> Floorplanner<'a> {
                 envelopes.clone()
             };
             let floor = obstacles.iter().map(Rect::top).fold(0.0, f64::max);
+
+            // Portfolio pruning, sound only for the pure-area objective
+            // (with λ > 0 a same-height, lower-wirelength completion could
+            // still win the race): the partial floor is monotone across
+            // steps, so once it reaches the best full-floorplan height any
+            // backend has published, this run can never strictly beat it.
+            let inc_height = match (&self.config.incumbent, self.config.objective) {
+                (Some(inc), Objective::Area) => inc.best_height(),
+                _ => f64::INFINITY,
+            };
+            if floor >= inc_height - 1e-9 {
+                return Err(FloorplanError::Cancelled(
+                    "partial floor cannot beat the portfolio incumbent".into(),
+                ));
+            }
 
             // Adaptive group size: honor the target but stay under the
             // binary budget (>= 1 module per step, always).
@@ -317,7 +336,16 @@ impl<'a> Floorplanner<'a> {
             // Re-budgeted per step: with a config deadline the limit is
             // the *remaining* wall clock, so K steps cannot overshoot by
             // K × the per-step limit.
-            let step_options = self.config.budgeted_step_options();
+            let mut step_options = self.config.budgeted_step_options();
+            // Pure-area step objective is W · height, so the incumbent
+            // height becomes an external objective cutoff the step must
+            // strictly beat.
+            if inc_height.is_finite() {
+                step_options.initial_upper_bound = step_options
+                    .initial_upper_bound
+                    .min(chip_width * inc_height);
+            }
+            let bounded = step_options.initial_upper_bound.is_finite();
             let (new_placements, outcome, nodes, pivots, warm, cold, factor, strengthened) =
                 match step_model
                     .model
@@ -345,6 +373,16 @@ impl<'a> Floorplanner<'a> {
                     }
                     Err(SolveError::InvalidModel(why)) => {
                         return Err(FloorplanError::Solver(SolveError::InvalidModel(why)))
+                    }
+                    Err(SolveError::Infeasible) if bounded => {
+                        // The greedy witness makes the step feasible, so a
+                        // *proven* infeasibility under an injected cutoff
+                        // means no placement of this group beats the
+                        // incumbent height — and the floor only rises from
+                        // here, so neither will any later step.
+                        return Err(FloorplanError::Cancelled(
+                            "step proved the portfolio incumbent unbeatable".into(),
+                        ));
                     }
                     Err(_) => {
                         // Infeasible cannot truly happen (the greedy witness
@@ -491,6 +529,23 @@ pub(crate) fn resolve_chip_width(
     }
 }
 
+/// The chip width a run with this configuration would use: the configured
+/// width, or one derived from total module area and the target utilization.
+/// Exposed so alternative backends (annealer, analytical placer) can target
+/// the same fixed outline the MILP pipeline solves for, making portfolio
+/// costs directly comparable.
+///
+/// # Errors
+///
+/// [`FloorplanError::EmptyNetlist`] or [`FloorplanError::ModuleTooWide`]
+/// exactly as [`Floorplanner::run`] would report them.
+pub fn derive_chip_width(
+    netlist: &Netlist,
+    config: &FloorplanConfig,
+) -> Result<f64, FloorplanError> {
+    resolve_chip_width(netlist, config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -566,6 +621,61 @@ mod tests {
             Floorplanner::with_config(&nl, missing).run(),
             Err(FloorplanError::InvalidOrdering(_))
         ));
+    }
+
+    #[test]
+    fn pre_triggered_stop_cancels_run() {
+        let nl = ProblemGenerator::new(8, 3).generate();
+        let stop = fp_milp::StopFlag::new();
+        stop.trigger();
+        let cfg = fast().with_stop(stop);
+        assert!(matches!(
+            Floorplanner::with_config(&nl, cfg).run(),
+            Err(FloorplanError::Cancelled(_))
+        ));
+    }
+
+    #[test]
+    fn unbeatable_incumbent_cancels_area_run() {
+        use crate::portfolio::SharedIncumbent;
+        use std::sync::Arc;
+        let nl = ProblemGenerator::new(8, 3).generate();
+        let inc = Arc::new(SharedIncumbent::new());
+        // Nothing can be strictly below zero height: the very first step's
+        // bound makes the MILP proven-infeasible and the run cancels.
+        inc.publish(0.0, 0.0);
+        let cfg = fast().with_incumbent(Some(inc.clone()));
+        assert!(matches!(
+            Floorplanner::with_config(&nl, cfg).run(),
+            Err(FloorplanError::Cancelled(_))
+        ));
+        // With λ > 0 the incumbent must be ignored: the run completes.
+        let cfg = fast()
+            .with_incumbent(Some(inc))
+            .with_objective(Objective::AreaPlusWirelength { lambda: 0.5 });
+        let result = Floorplanner::with_config(&nl, cfg).run().unwrap();
+        assert!(result.floorplan.is_valid());
+    }
+
+    #[test]
+    fn beatable_incumbent_does_not_change_area_result() {
+        use crate::portfolio::SharedIncumbent;
+        use std::sync::Arc;
+        let nl = ProblemGenerator::new(8, 5).generate();
+        let baseline = Floorplanner::with_config(&nl, fast()).run().unwrap();
+        let inc = Arc::new(SharedIncumbent::new());
+        // A loose incumbent (well above what the run achieves) must not
+        // change the outcome: pruning against it is inactive on the optimal
+        // path.
+        inc.publish(f64::MAX / 4.0, baseline.floorplan.chip_height() * 2.0);
+        let cfg = fast().with_incumbent(Some(inc));
+        let bounded = Floorplanner::with_config(&nl, cfg).run().unwrap();
+        assert!(
+            (bounded.floorplan.chip_height() - baseline.floorplan.chip_height()).abs() < 1e-9,
+            "incumbent-bounded run changed the result: {} vs {}",
+            bounded.floorplan.chip_height(),
+            baseline.floorplan.chip_height()
+        );
     }
 
     #[test]

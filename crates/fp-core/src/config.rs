@@ -1,7 +1,9 @@
 //! Floorplanner configuration.
 
-use fp_milp::SolveOptions;
+use crate::portfolio::SharedIncumbent;
+use fp_milp::{SolveOptions, StopFlag};
 use fp_netlist::ModuleId;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Objective function for the MILP steps (paper §4, Series 2 compares the
@@ -123,6 +125,17 @@ pub struct FloorplanConfig {
     /// augmentation driver, and [`improve_traced`](crate::improve_traced).
     /// Disabled by default (one pointer check per would-be event).
     pub tracer: fp_obs::Tracer,
+    /// Cooperative cancellation flag, checked at every augmentation-step
+    /// boundary and inside every step MILP's branch-and-bound loop. When
+    /// raised, the run returns [`FloorplanError::Cancelled`]
+    /// (crate::FloorplanError::Cancelled). Disabled by default.
+    pub stop: StopFlag,
+    /// Shared portfolio incumbent. When set and the objective is pure
+    /// [`Objective::Area`], each step MILP receives the incumbent's best
+    /// height as an external upper bound, and the run aborts with
+    /// `Cancelled` as soon as its partial floorplan provably cannot beat
+    /// that height (the partial floor is monotone across steps).
+    pub incumbent: Option<Arc<SharedIncumbent>>,
 }
 
 impl Default for FloorplanConfig {
@@ -148,6 +161,8 @@ impl Default for FloorplanConfig {
             enforce_critical_nets: false,
             covering_reduction: true,
             tracer: fp_obs::Tracer::disabled(),
+            stop: StopFlag::disabled(),
+            incumbent: None,
         }
     }
 }
@@ -210,7 +225,7 @@ impl FloorplanConfig {
     /// and re-optimization drivers hand to each MILP solve.
     #[must_use]
     pub(crate) fn budgeted_step_options(&self) -> SolveOptions {
-        match self.deadline {
+        let opts = match self.deadline {
             None => self.step_options.clone(),
             Some(d) => {
                 let remaining = d.saturating_duration_since(Instant::now());
@@ -218,7 +233,11 @@ impl FloorplanConfig {
                     .clone()
                     .with_time_limit(self.step_options.time_limit.min(remaining))
             }
-        }
+        };
+        // The run-level stop flag reaches into every step MILP so a
+        // cancelled portfolio leg stops mid-branch-and-bound, not just at
+        // the next step boundary.
+        opts.with_stop(self.stop.clone())
     }
 
     /// Sets the branch-and-bound worker-thread count for every step MILP.
@@ -280,6 +299,22 @@ impl FloorplanConfig {
     #[must_use]
     pub fn with_tracer(mut self, tracer: fp_obs::Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Installs a cooperative stop flag; raising it cancels the run at the
+    /// next step boundary and stops any in-flight step MILP.
+    #[must_use]
+    pub fn with_stop(mut self, stop: StopFlag) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Installs (or clears) a shared portfolio incumbent used to bound and
+    /// early-abort pure-area runs.
+    #[must_use]
+    pub fn with_incumbent(mut self, incumbent: Option<Arc<SharedIncumbent>>) -> Self {
+        self.incumbent = incumbent;
         self
     }
 }

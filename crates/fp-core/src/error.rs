@@ -26,6 +26,10 @@ pub enum FloorplanError {
     /// A topology re-optimization was asked for a module set that does not
     /// match the floorplan.
     TopologyMismatch(String),
+    /// The run was cancelled cooperatively — the stop flag was raised, or a
+    /// shared portfolio incumbent proved this backend cannot win. Not a
+    /// failure of the instance: another backend's result should be used.
+    Cancelled(String),
 }
 
 impl fmt::Display for FloorplanError {
@@ -43,6 +47,7 @@ impl fmt::Display for FloorplanError {
             FloorplanError::InvalidOrdering(why) => write!(f, "invalid ordering: {why}"),
             FloorplanError::Solver(e) => write!(f, "MILP solver failure: {e}"),
             FloorplanError::TopologyMismatch(why) => write!(f, "topology mismatch: {why}"),
+            FloorplanError::Cancelled(why) => write!(f, "cancelled: {why}"),
         }
     }
 }

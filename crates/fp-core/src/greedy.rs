@@ -18,7 +18,7 @@ use crate::envelope::ShapeSpec;
 use crate::error::FloorplanError;
 use crate::placement::{Floorplan, PlacedModule};
 use fp_geom::{Rect, Skyline};
-use fp_netlist::Netlist;
+use fp_netlist::{ModuleId, Netlist};
 
 /// A greedy shape + position decision for one module.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,6 +128,120 @@ pub fn bottom_left(
     Ok(Floorplan::new(chip_w, placed))
 }
 
+/// One module's shape decision handed to [`legalize`], in placement order.
+///
+/// Produced by continuous or tree-based backends (the analytical placer,
+/// the slicing annealer) that know *which* shape each module should take
+/// and roughly *where* it should sit, but whose raw coordinates may overlap
+/// or overflow the outline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LegalizeItem {
+    /// The module to place.
+    pub id: ModuleId,
+    /// Preferred orientation (ignored when the module cannot rotate).
+    pub rotated: bool,
+    /// Preferred soft-module width shrink Δw from `w_max`; clamped to the
+    /// legal range and ignored for rigid modules.
+    pub width_adjust: f64,
+}
+
+/// Legalizes a backend's placement intent onto the skyline: drops each
+/// module bottom-left **in the given order**, honoring its preferred shape
+/// when it fits and falling back to the best-fitting alternative shape
+/// otherwise. Always returns a valid overlap-free [`Floorplan`] on the
+/// same fixed outline the MILP pipeline uses (see
+/// [`derive_chip_width`](crate::derive_chip_width)).
+///
+/// The order *is* the placement information: callers sort modules by their
+/// intended position (bottom row first), which the skyline drop then
+/// reproduces as closely as legality allows.
+///
+/// # Errors
+///
+/// * [`FloorplanError::InvalidOrdering`] unless `items` covers every module
+///   of `netlist` exactly once,
+/// * [`FloorplanError::EmptyNetlist`] / [`FloorplanError::ModuleTooWide`]
+///   as the width derivation reports them.
+pub fn legalize(
+    netlist: &Netlist,
+    config: &FloorplanConfig,
+    items: &[LegalizeItem],
+) -> Result<Floorplan, FloorplanError> {
+    let n = netlist.num_modules();
+    let mut seen = vec![false; n];
+    for item in items {
+        if item.id.0 >= n {
+            return Err(FloorplanError::InvalidOrdering(format!(
+                "module id {} out of range ({n} modules)",
+                item.id.0
+            )));
+        }
+        if seen[item.id.0] {
+            return Err(FloorplanError::InvalidOrdering(format!(
+                "module id {} listed twice",
+                item.id.0
+            )));
+        }
+        seen[item.id.0] = true;
+    }
+    if items.len() != n {
+        return Err(FloorplanError::InvalidOrdering(format!(
+            "{} items for {n} modules",
+            items.len()
+        )));
+    }
+    let chip_w = crate::augment::resolve_chip_width(netlist, config)?;
+
+    let mut rects: Vec<Rect> = Vec::with_capacity(n);
+    let mut placed: Vec<PlacedModule> = Vec::with_capacity(n);
+    for item in items {
+        let spec = ShapeSpec::from_module(item.id, netlist.module(item.id), config);
+        // Preferred shape first, then the generic candidates as fallbacks.
+        let preferred = (
+            item.rotated && spec.has_z,
+            if spec.has_dw {
+                item.width_adjust.clamp(0.0, spec.dw_max)
+            } else {
+                0.0
+            },
+        );
+        let sky = Skyline::from_rects(&rects);
+        let mut chosen: Option<(f64, f64, f64, bool, f64)> = None; // (top, x, y, z, dw)
+        let we = spec.env_width(preferred.0, preferred.1);
+        if let Some((x, y)) = sky.drop_position(we, chip_w) {
+            let he = spec.env_height(preferred.0, preferred.1);
+            chosen = Some((y + he, x, y, preferred.0, preferred.1));
+        } else {
+            for (z, dw) in spec.shape_candidates() {
+                let we = spec.env_width(z, dw);
+                let Some((x, y)) = sky.drop_position(we, chip_w) else {
+                    continue;
+                };
+                let top = y + spec.env_height(z, dw);
+                let better = match &chosen {
+                    None => true,
+                    Some((bt, bx, ..)) => top < bt - 1e-9 || ((top - bt).abs() <= 1e-9 && x < *bx),
+                };
+                if better {
+                    chosen = Some((top, x, y, z, dw));
+                }
+            }
+        }
+        let Some((_, x, y, z, dw)) = chosen else {
+            return Err(widest_error(&[spec], chip_w, netlist));
+        };
+        let (rect, envelope, rotated) = spec.realize(x, y, z, dw);
+        rects.push(envelope);
+        placed.push(PlacedModule {
+            id: spec.id,
+            rect,
+            envelope,
+            rotated,
+        });
+    }
+    Ok(Floorplan::new(chip_w, placed))
+}
+
 pub(crate) fn widest_error(specs: &[ShapeSpec], chip_w: f64, netlist: &Netlist) -> FloorplanError {
     let widest = specs
         .iter()
@@ -209,6 +323,66 @@ mod tests {
         assert!(matches!(
             bottom_left(&nl, &FloorplanConfig::default()),
             Err(FloorplanError::EmptyNetlist)
+        ));
+    }
+
+    #[test]
+    fn legalize_produces_valid_floorplan() {
+        let nl = fp_netlist::generator::ProblemGenerator::new(12, 3)
+            .with_flexible_fraction(0.3)
+            .generate();
+        let items: Vec<LegalizeItem> = (0..12)
+            .map(|i| LegalizeItem {
+                id: ModuleId(i),
+                rotated: i % 2 == 0,
+                width_adjust: 0.5,
+            })
+            .collect();
+        let fp = legalize(&nl, &FloorplanConfig::default(), &items).unwrap();
+        assert_eq!(fp.len(), 12);
+        assert!(fp.is_valid(), "{:?}", fp.violations());
+    }
+
+    #[test]
+    fn legalize_honors_preferred_rotation_when_it_fits() {
+        let mut nl = Netlist::new("one");
+        nl.add_module(Module::rigid("a", 6.0, 2.0, true)).unwrap();
+        let cfg = FloorplanConfig::default().with_chip_width(10.0);
+        let items = [LegalizeItem {
+            id: ModuleId(0),
+            rotated: true,
+            width_adjust: 0.0,
+        }];
+        let fp = legalize(&nl, &cfg, &items).unwrap();
+        let placed = fp.placement(ModuleId(0)).unwrap();
+        assert!(placed.rotated);
+        // 6x2 rotated -> 2x6 footprint.
+        assert_eq!(placed.rect.w, 2.0);
+    }
+
+    #[test]
+    fn legalize_rejects_bad_coverage() {
+        let nl = fp_netlist::generator::ProblemGenerator::new(3, 2).generate();
+        let short = [LegalizeItem {
+            id: ModuleId(0),
+            rotated: false,
+            width_adjust: 0.0,
+        }];
+        assert!(matches!(
+            legalize(&nl, &FloorplanConfig::default(), &short),
+            Err(FloorplanError::InvalidOrdering(_))
+        ));
+        let dup: Vec<LegalizeItem> = [0usize, 1, 1]
+            .iter()
+            .map(|&i| LegalizeItem {
+                id: ModuleId(i),
+                rotated: false,
+                width_adjust: 0.0,
+            })
+            .collect();
+        assert!(matches!(
+            legalize(&nl, &FloorplanConfig::default(), &dup),
+            Err(FloorplanError::InvalidOrdering(_))
         ));
     }
 }

@@ -52,12 +52,17 @@ mod formulation;
 mod greedy;
 mod improve;
 mod placement;
+mod portfolio;
 mod topology;
 
-pub use augment::{FloorplanResult, Floorplanner, RunStats, StepKind, StepOutcome, StepStats};
+pub use augment::{
+    derive_chip_width, FloorplanResult, Floorplanner, RunStats, StepKind, StepOutcome, StepStats,
+};
 pub use config::{FloorplanConfig, Objective, OrderingStrategy, SoftShapeModel};
 pub use error::FloorplanError;
-pub use greedy::bottom_left;
+pub use fp_milp::StopFlag;
+pub use greedy::{bottom_left, legalize, LegalizeItem};
 pub use improve::{improve, improve_traced, reoptimize_top};
 pub use placement::{Floorplan, PlacedModule};
+pub use portfolio::SharedIncumbent;
 pub use topology::{extract_topology, optimize_topology, Relation};

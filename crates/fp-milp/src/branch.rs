@@ -153,7 +153,7 @@ fn add_root_cuts(
                 break;
             }
         };
-        if round == CUT_ROUNDS || added >= max {
+        if round == CUT_ROUNDS || added >= max || options.stop.is_set() {
             break;
         }
         // Logic cuts need no LP point and go first; when probing found
@@ -212,6 +212,17 @@ pub(crate) fn solve(
         },
     );
     let (c, c_offset) = model.min_objective();
+
+    // External-sense cutoff internalized to minimization form: the search
+    // prunes against it from the first node and only accepts strictly
+    // better incumbents, so the returned solution can never be at or worse
+    // than the injected bound. `externalize_obj` is an involution, so it
+    // also maps external → internal sense.
+    let cutoff = if options.initial_upper_bound.is_finite() {
+        model.externalize_obj(options.initial_upper_bound) - c_offset
+    } else {
+        f64::INFINITY
+    };
 
     let rows: Vec<SparseRow> = model
         .cons
@@ -344,10 +355,12 @@ pub(crate) fn solve(
         c_offset,
     };
     let searched = if threads == 1 {
-        solve_serial(model, options, started, &c, &rows, &int_cols, root, &trace)
+        solve_serial(
+            model, options, started, &c, &rows, &int_cols, root, cutoff, &trace,
+        )
     } else {
         solve_parallel(
-            model, options, started, &c, &rows, &int_cols, root, threads, &trace,
+            model, options, started, &c, &rows, &int_cols, root, cutoff, threads, &trace,
         )
     };
     let (incumbent, proven, mut stats) = match searched {
@@ -512,10 +525,16 @@ fn solve_serial(
     rows: &[SparseRow],
     int_cols: &[usize],
     root: Node,
+    cutoff: f64,
     trace: &TraceCtx,
 ) -> Result<SearchResult, SolveError> {
     let mut local = ThreadStats::default();
     let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, min-form obj)
+                                                       // Pruning bound: starts at the externally injected cutoff (infinite when
+                                                       // none) and tightens to each new incumbent. Exhausting the tree with a
+                                                       // finite cutoff and no incumbent proves nothing better than the cutoff
+                                                       // exists, which the epilogue reports as `Infeasible`.
+    let mut bound = cutoff;
     let mut proven = true;
     // Absolute deadline handed to every LP so a single long relaxation
     // cannot overshoot the time limit (`None` if it overflows Instant).
@@ -529,7 +548,10 @@ fn solve_serial(
     let mut stack = vec![root];
 
     while let Some(node) = stack.pop() {
-        if local.nodes >= options.node_limit || started.elapsed() >= options.time_limit {
+        if local.nodes >= options.node_limit
+            || started.elapsed() >= options.time_limit
+            || options.stop.is_set()
+        {
             proven = false;
             break;
         }
@@ -589,11 +611,10 @@ fn solve_serial(
             }
         };
 
-        // Bound pruning against the incumbent (minimization form).
-        if let Some((_, inc_obj)) = &incumbent {
-            if obj >= inc_obj - options.absolute_gap - 1e-9 {
-                continue;
-            }
+        // Bound pruning against the incumbent or injected cutoff
+        // (minimization form).
+        if obj >= bound - options.absolute_gap - 1e-9 {
+            continue;
         }
 
         match branch_choice(model, int_cols, &x, options.int_tol) {
@@ -603,11 +624,9 @@ fn solve_serial(
                 for &j in int_cols {
                     vals[j] = vals[j].round();
                 }
-                let better = incumbent
-                    .as_ref()
-                    .is_none_or(|(_, inc_obj)| obj < *inc_obj - 1e-9);
-                if better {
+                if obj < bound - 1e-9 {
                     trace.incumbent(obj);
+                    bound = obj;
                     incumbent = Some((vals, obj));
                 }
             }
@@ -668,9 +687,10 @@ struct SharedSearch<'a> {
     work_ready: Condvar,
     /// Best integer-feasible point found, in minimization form.
     incumbent: Mutex<Option<(Vec<f64>, f64)>>,
-    /// `f64::to_bits` of the incumbent objective (`f64::INFINITY` while no
-    /// incumbent exists), so pruning can read the bound without a lock.
-    /// Written only while `incumbent` is held, so stores never go backward.
+    /// `f64::to_bits` of the incumbent objective (the injected cutoff —
+    /// `f64::INFINITY` by default — while no incumbent exists), so pruning
+    /// can read the bound without a lock. Written only while `incumbent` is
+    /// held, so stores never go backward.
     bound_bits: AtomicU64,
     /// Nodes claimed against `node_limit` across all workers.
     nodes: AtomicUsize,
@@ -681,7 +701,7 @@ struct SharedSearch<'a> {
 impl SharedSearch<'_> {
     /// Counts one node against the limits; `false` means a limit bound.
     fn claim_node(&self) -> bool {
-        if self.started.elapsed() >= self.options.time_limit {
+        if self.started.elapsed() >= self.options.time_limit || self.options.stop.is_set() {
             return false;
         }
         self.nodes
@@ -704,13 +724,13 @@ impl SharedSearch<'_> {
         f64::from_bits(self.bound_bits.load(Ordering::Relaxed))
     }
 
-    /// Installs `vals` as the incumbent if it improves on the current one.
+    /// Installs `vals` as the incumbent if it improves on the current bound
+    /// (the best incumbent so far, or the injected cutoff before one exists).
     fn offer_incumbent(&self, vals: Vec<f64>, obj: f64) {
         let mut inc = self.incumbent.lock().expect("incumbent lock");
-        let better = inc
-            .as_ref()
-            .is_none_or(|(_, inc_obj)| obj < *inc_obj - 1e-9);
-        if better {
+        // `bound_bits` is only written under this lock, so the read is
+        // consistent with `inc`.
+        if obj < self.incumbent_bound() - 1e-9 {
             self.bound_bits.store(obj.to_bits(), Ordering::Relaxed);
             // Emitted while the incumbent lock is held so sink order equals
             // improvement order: collected incumbent objectives are monotone
@@ -844,6 +864,7 @@ fn solve_parallel(
     rows: &[SparseRow],
     int_cols: &[usize],
     root: Node,
+    cutoff: f64,
     threads: usize,
     trace: &TraceCtx,
 ) -> Result<SearchResult, SolveError> {
@@ -864,7 +885,7 @@ fn solve_parallel(
         }),
         work_ready: Condvar::new(),
         incumbent: Mutex::new(None),
-        bound_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        bound_bits: AtomicU64::new(cutoff.to_bits()),
         nodes: AtomicUsize::new(0),
         proven: AtomicBool::new(true),
     };
@@ -1329,5 +1350,108 @@ mod tests {
                 .sum::<usize>(),
             stats.simplex_iterations
         );
+    }
+
+    /// Minimization covering knapsack used by the cutoff tests: enough
+    /// binaries that the tree is nontrivial, so pruning is observable.
+    fn covering_knapsack() -> Model {
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<_> = (0..10).map(|i| m.add_binary(format!("b{i}"))).collect();
+        let cover: crate::LinExpr = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (3.0 + (i % 5) as f64) * v)
+            .sum();
+        m.add_ge(cover, 17.0);
+        let cost: crate::LinExpr = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (4.0 + (i % 7) as f64) * v)
+            .sum();
+        m.set_objective(cost);
+        m
+    }
+
+    #[test]
+    fn initial_upper_bound_prunes_and_never_returns_worse() {
+        let baseline = covering_knapsack().solve_with(&serial()).unwrap();
+        let opt = baseline.objective();
+        assert_eq!(baseline.optimality(), Optimality::Proven);
+
+        // A bound strictly above the optimum: same answer, and the injected
+        // cutoff can only prune (the dive order is identical), so the tree
+        // is no larger than the baseline's.
+        let loose = covering_knapsack()
+            .solve_with(&serial().with_initial_upper_bound(opt + 0.5))
+            .unwrap();
+        assert!((loose.objective() - opt).abs() < 1e-7);
+        assert_eq!(loose.optimality(), Optimality::Proven);
+        assert!(loose.stats().nodes <= baseline.stats().nodes);
+
+        // A bound at the optimum: the solver must strictly beat it, so it
+        // proves no acceptable solution exists rather than returning one
+        // that merely ties.
+        let tied = covering_knapsack().solve_with(&serial().with_initial_upper_bound(opt));
+        assert!(matches!(tied, Err(SolveError::Infeasible)));
+
+        // A bound below the optimum: likewise never returns anything worse
+        // than the bound.
+        let below = covering_knapsack().solve_with(&serial().with_initial_upper_bound(opt - 1.0));
+        assert!(matches!(below, Err(SolveError::Infeasible)));
+    }
+
+    #[test]
+    fn initial_upper_bound_maximize_sense() {
+        // max 10a + 13b + 7c, 3a + 4b + 2c <= 6 -> optimum 20 (b + c).
+        let build = || {
+            let mut m = Model::new(Sense::Maximize);
+            let a = m.add_binary("a");
+            let b = m.add_binary("b");
+            let c = m.add_binary("c");
+            m.add_le(3.0 * a + 4.0 * b + 2.0 * c, 6.0);
+            m.set_objective(10.0 * a + 13.0 * b + 7.0 * c);
+            m
+        };
+        // For Maximize the "upper bound" is an objective value to beat from
+        // below externally: a known solution of value 19 must not stop the
+        // solver from finding 20...
+        let s = build()
+            .solve_with(&serial().with_initial_upper_bound(19.0))
+            .unwrap();
+        assert!((s.objective() - 20.0).abs() < 1e-7);
+        // ...and a known solution of value 20 proves nothing better exists.
+        let tied = build().solve_with(&serial().with_initial_upper_bound(20.0));
+        assert!(matches!(tied, Err(SolveError::Infeasible)));
+    }
+
+    #[test]
+    fn initial_upper_bound_parallel_matches_serial() {
+        let baseline = covering_knapsack().solve_with(&serial()).unwrap();
+        let opt = baseline.objective();
+        let opts = SolveOptions::default()
+            .with_threads(3)
+            .with_initial_upper_bound(opt + 0.5);
+        let s = covering_knapsack().solve_with(&opts).unwrap();
+        assert!((s.objective() - opt).abs() < 1e-7);
+        assert_eq!(s.optimality(), Optimality::Proven);
+        let tied = covering_knapsack().solve_with(
+            &SolveOptions::default()
+                .with_threads(3)
+                .with_initial_upper_bound(opt),
+        );
+        assert!(matches!(tied, Err(SolveError::Infeasible)));
+    }
+
+    #[test]
+    fn pre_triggered_stop_flag_halts_search() {
+        let stop = crate::StopFlag::new();
+        stop.trigger();
+        // Serial: the stop binds before the first node, like a zero limit.
+        let s = covering_knapsack().solve_with(&serial().with_stop(stop.clone()));
+        assert!(matches!(s, Err(SolveError::LimitWithoutIncumbent)));
+        // Parallel: claim_node refuses, same shape as limits binding early.
+        let p = covering_knapsack()
+            .solve_with(&SolveOptions::default().with_threads(3).with_stop(stop));
+        assert!(matches!(p, Err(SolveError::LimitWithoutIncumbent)));
     }
 }

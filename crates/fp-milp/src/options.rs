@@ -1,6 +1,61 @@
 //! Solver configuration.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// A cooperative cancellation handle polled at branch-and-bound node
+/// boundaries (and between root cut rounds).
+///
+/// The default flag is *disabled*: it never trips and costs one `Option`
+/// check per poll. A live flag ([`StopFlag::new`]) can be cloned into a
+/// solve and [triggered](StopFlag::trigger) from another thread; the search
+/// stops at its next node boundary and reports its best incumbent (or
+/// [`SolveError::LimitWithoutIncumbent`](crate::SolveError) when none
+/// exists), exactly like a node or time limit binding.
+#[derive(Debug, Clone, Default)]
+pub struct StopFlag(Option<Arc<AtomicBool>>);
+
+impl StopFlag {
+    /// A live flag, initially unset.
+    #[must_use]
+    pub fn new() -> Self {
+        StopFlag(Some(Arc::new(AtomicBool::new(false))))
+    }
+
+    /// The disabled flag that never trips (what [`Default`] returns).
+    #[must_use]
+    pub fn disabled() -> Self {
+        StopFlag(None)
+    }
+
+    /// Requests cancellation. Safe to call from any thread, idempotent, and
+    /// a no-op on a disabled flag.
+    pub fn trigger(&self) {
+        if let Some(flag) = &self.0 {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_set(&self) -> bool {
+        self.0.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+}
+
+/// Two flags are equal when they share the same underlying cell (or are
+/// both disabled) — handle identity, not current state, so configs holding
+/// cloned flags compare equal.
+impl PartialEq for StopFlag {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
 
 /// Tunable limits and tolerances for [`Model::solve_with`](crate::Model::solve_with).
 ///
@@ -78,6 +133,20 @@ pub struct SolveOptions {
     /// actually run is reported in
     /// [`SolveStats::presolve_passes`](crate::SolveStats::presolve_passes).
     pub presolve_passes: usize,
+    /// An externally known objective value (in the model's sense) that the
+    /// search must strictly beat — typically the cost of a solution another
+    /// solver already holds. Branch-and-bound prunes against it from the
+    /// first node and only installs incumbents strictly better than it, so
+    /// a solve can never return a solution at or worse than this bound; if
+    /// nothing better exists the solve reports
+    /// [`SolveError::Infeasible`](crate::SolveError) (proven) or
+    /// [`SolveError::LimitWithoutIncumbent`](crate::SolveError) (limit
+    /// bound first). For `Maximize` models the value acts as a lower
+    /// cutoff. Non-finite values (the default, `f64::INFINITY`) disable it.
+    pub initial_upper_bound: f64,
+    /// Cooperative cancellation flag polled at node boundaries; see
+    /// [`StopFlag`]. Disabled by default.
+    pub stop: StopFlag,
 }
 
 impl Default for SolveOptions {
@@ -98,6 +167,8 @@ impl Default for SolveOptions {
             probe_budget: 512,
             max_cuts: 64,
             presolve_passes: 4,
+            initial_upper_bound: f64::INFINITY,
+            stop: StopFlag::disabled(),
         }
     }
 }
@@ -191,6 +262,23 @@ impl SolveOptions {
         self.presolve_passes = passes;
         self
     }
+
+    /// Returns options with an externally known objective cutoff the search
+    /// must strictly beat (non-finite disables; see
+    /// [`Self::initial_upper_bound`]).
+    #[must_use]
+    pub fn with_initial_upper_bound(mut self, bound: f64) -> Self {
+        self.initial_upper_bound = bound;
+        self
+    }
+
+    /// Returns options polling the given cooperative cancellation flag at
+    /// node boundaries.
+    #[must_use]
+    pub fn with_stop(mut self, stop: StopFlag) -> Self {
+        self.stop = stop;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +311,36 @@ mod tests {
         assert!(o.probe_budget > 0);
         assert!(o.max_cuts > 0);
         assert!(o.presolve_passes >= 1);
+        assert!(o.initial_upper_bound.is_infinite());
+        assert!(!o.stop.is_set());
+    }
+
+    #[test]
+    fn stop_flag_semantics() {
+        let disabled = StopFlag::disabled();
+        disabled.trigger();
+        assert!(!disabled.is_set());
+
+        let live = StopFlag::new();
+        assert!(!live.is_set());
+        let clone = live.clone();
+        live.trigger();
+        assert!(clone.is_set(), "clones share the underlying cell");
+
+        // Identity equality: a clone is equal, a fresh flag is not.
+        assert_eq!(live, clone);
+        assert_ne!(live, StopFlag::new());
+        assert_eq!(StopFlag::disabled(), StopFlag::default());
+    }
+
+    #[test]
+    fn portfolio_builders() {
+        let stop = StopFlag::new();
+        let o = SolveOptions::default()
+            .with_initial_upper_bound(42.5)
+            .with_stop(stop.clone());
+        assert_eq!(o.initial_upper_bound, 42.5);
+        assert_eq!(o.stop, stop);
     }
 
     #[test]

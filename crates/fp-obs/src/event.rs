@@ -254,6 +254,31 @@ pub enum Event {
         /// Malformed lines answered with `ok:false`.
         malformed: u64,
     },
+    /// One portfolio backend finished its leg of a race (`fp-serve`
+    /// solver portfolio). Emitted once per backend per raced job,
+    /// including backends that lost or were cancelled.
+    BackendDone {
+        /// Stable backend name (`"milp"`, `"annealer"`, `"analytic"`).
+        backend: &'static str,
+        /// Wall time this backend's leg ran, in microseconds.
+        micros: u64,
+        /// Objective cost of the backend's floorplan (`NaN` when the
+        /// backend produced nothing — cancelled or failed).
+        cost: f64,
+        /// Whether this backend's result answered the job.
+        won: bool,
+    },
+    /// A portfolio race concluded (`fp-serve`): every backend leg is
+    /// accounted for and the winner's floorplan answers the job.
+    Portfolio {
+        /// Backends raced.
+        backends: usize,
+        /// Stable name of the winning backend (`"none"` when every leg
+        /// failed and the greedy degradation stood in).
+        winner: &'static str,
+        /// Wall time of the whole race, in microseconds.
+        micros: u64,
+    },
 }
 
 /// Discriminant-only view of [`Event`], used for counters and filtering.
@@ -299,11 +324,15 @@ pub enum EventKind {
     Shed,
     /// [`Event::ShardStats`]
     ShardStats,
+    /// [`Event::BackendDone`]
+    BackendDone,
+    /// [`Event::Portfolio`]
+    Portfolio,
 }
 
 impl EventKind {
     /// Number of event kinds (sizes the per-kind counter array).
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 22;
 
     /// Every kind, in counter-index order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -327,6 +356,8 @@ impl EventKind {
         EventKind::Coalesced,
         EventKind::Shed,
         EventKind::ShardStats,
+        EventKind::BackendDone,
+        EventKind::Portfolio,
     ];
 
     /// Dense index of this kind in [`EventKind::ALL`].
@@ -353,6 +384,8 @@ impl EventKind {
             EventKind::Coalesced => 17,
             EventKind::Shed => 18,
             EventKind::ShardStats => 19,
+            EventKind::BackendDone => 20,
+            EventKind::Portfolio => 21,
         }
     }
 
@@ -380,6 +413,8 @@ impl EventKind {
             EventKind::Coalesced => "Coalesced",
             EventKind::Shed => "Shed",
             EventKind::ShardStats => "ShardStats",
+            EventKind::BackendDone => "BackendDone",
+            EventKind::Portfolio => "Portfolio",
         }
     }
 }
@@ -409,6 +444,8 @@ impl Event {
             Event::Coalesced { .. } => EventKind::Coalesced,
             Event::Shed { .. } => EventKind::Shed,
             Event::ShardStats { .. } => EventKind::ShardStats,
+            Event::BackendDone { .. } => EventKind::BackendDone,
+            Event::Portfolio { .. } => EventKind::Portfolio,
         }
     }
 }
@@ -590,6 +627,26 @@ impl Record {
                 field("shed", shed.to_string());
                 field("malformed", malformed.to_string());
             }
+            Event::BackendDone {
+                backend,
+                micros,
+                cost,
+                won,
+            } => {
+                field("backend", format!("\"{backend}\""));
+                field("micros", micros.to_string());
+                field("cost", jnum(*cost));
+                field("won", won.to_string());
+            }
+            Event::Portfolio {
+                backends,
+                winner,
+                micros,
+            } => {
+                field("backends", backends.to_string());
+                field("winner", format!("\"{winner}\""));
+                field("micros", micros.to_string());
+            }
         }
         s.push('}');
         s
@@ -657,6 +714,50 @@ mod tests {
         assert!(json.contains("\"id\":42"), "{json}");
         assert!(json.contains("\"degraded\":true"), "{json}");
         assert!(json.contains("\"cached\":false"), "{json}");
+    }
+
+    #[test]
+    fn portfolio_events_render() {
+        let r = Record {
+            seq: 3,
+            phase: Phase::Serve,
+            event: Event::BackendDone {
+                backend: "analytic",
+                micros: 812,
+                cost: 36.5,
+                won: true,
+            },
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"event\":\"BackendDone\""), "{json}");
+        assert!(json.contains("\"backend\":\"analytic\""), "{json}");
+        assert!(json.contains("\"cost\":36.5"), "{json}");
+        assert!(json.contains("\"won\":true"), "{json}");
+        // A failed leg has no cost: NaN renders as null.
+        let r = Record {
+            seq: 4,
+            phase: Phase::Serve,
+            event: Event::BackendDone {
+                backend: "milp",
+                micros: 9,
+                cost: f64::NAN,
+                won: false,
+            },
+        };
+        assert!(r.to_json().contains("\"cost\":null"));
+        let r = Record {
+            seq: 5,
+            phase: Phase::Serve,
+            event: Event::Portfolio {
+                backends: 3,
+                winner: "annealer",
+                micros: 1200,
+            },
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"event\":\"Portfolio\""), "{json}");
+        assert!(json.contains("\"backends\":3"), "{json}");
+        assert!(json.contains("\"winner\":\"annealer\""), "{json}");
     }
 
     #[test]

@@ -289,8 +289,11 @@ pub fn parse_line(line: &str) -> Result<ParsedRecord, String> {
 /// `Presolve` lines carry the four numeric strengthening counters and
 /// `CutRound` lines a numeric `round` and `cuts`. Service lines have
 /// schemas of their own: `Coalesced` carries a string `key`, `Shed` a
-/// numeric `queued` and `retry_after_ms`, and `ShardStats` the six
-/// numeric per-shard accounting counters.
+/// numeric `queued` and `retry_after_ms`, `ShardStats` the six numeric
+/// per-shard accounting counters, `BackendDone` a string `backend`, a
+/// numeric `micros` and a boolean `won` (its `cost` may be `null` for
+/// failed legs), and `Portfolio` a string `winner` and numeric
+/// `backends` and `micros`.
 ///
 /// # Errors
 ///
@@ -350,6 +353,32 @@ pub fn validate_line(line: &str) -> Result<ParsedRecord, String> {
         ] {
             if parsed.num(key).is_none() {
                 return Err(format!("ShardStats: missing numeric '{key}' field"));
+            }
+        }
+    }
+    if parsed.str_field("event") == Some("BackendDone") {
+        if parsed.str_field("backend").is_none() {
+            return Err("BackendDone: missing string 'backend' field".to_string());
+        }
+        if parsed.num("micros").is_none() {
+            return Err("BackendDone: missing numeric 'micros' field".to_string());
+        }
+        if parsed.bool_field("won").is_none() {
+            return Err("BackendDone: missing boolean 'won' field".to_string());
+        }
+        // `cost` is null for failed legs; any other type is malformed.
+        match parsed.get("cost") {
+            Some(JsonValue::Num(_) | JsonValue::Null) => {}
+            _ => return Err("BackendDone: 'cost' must be a number or null".to_string()),
+        }
+    }
+    if parsed.str_field("event") == Some("Portfolio") {
+        if parsed.str_field("winner").is_none() {
+            return Err("Portfolio: missing string 'winner' field".to_string());
+        }
+        for key in ["backends", "micros"] {
+            if parsed.num(key).is_none() {
+                return Err(format!("Portfolio: missing numeric '{key}' field"));
             }
         }
     }
@@ -499,12 +528,29 @@ mod tests {
                 malformed: 3,
             },
         );
+        t.emit(
+            Phase::Serve,
+            Event::BackendDone {
+                backend: "analytic",
+                micros: 700,
+                cost: 42.25,
+                won: false,
+            },
+        );
+        t.emit(
+            Phase::Serve,
+            Event::Portfolio {
+                backends: 3,
+                winner: "milp",
+                micros: 1500,
+            },
+        );
         t.flush();
 
         let bytes = buf.0.lock().unwrap().clone();
         let text = String::from_utf8(bytes).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 20);
+        assert_eq!(lines.len(), 22);
         for (i, line) in lines.iter().enumerate() {
             let parsed = validate_line(line).unwrap_or_else(|e| panic!("line {i}: {e}\n{line}"));
             assert_eq!(parsed.num("seq"), Some(i as f64));
@@ -540,6 +586,55 @@ mod tests {
         assert_eq!(shard.num("shard"), Some(1.0));
         assert_eq!(shard.num("accepted"), Some(40.0));
         assert_eq!(shard.num("malformed"), Some(3.0));
+        let leg = parse_line(lines[20]).unwrap();
+        assert_eq!(leg.str_field("event"), Some("BackendDone"));
+        assert_eq!(leg.str_field("backend"), Some("analytic"));
+        assert_eq!(leg.num("cost"), Some(42.25));
+        assert_eq!(leg.bool_field("won"), Some(false));
+        let race = parse_line(lines[21]).unwrap();
+        assert_eq!(race.str_field("event"), Some("Portfolio"));
+        assert_eq!(race.str_field("winner"), Some("milp"));
+        assert_eq!(race.num("backends"), Some(3.0));
+        assert_eq!(race.num("micros"), Some(1500.0));
+    }
+
+    #[test]
+    fn portfolio_lines_require_their_fields() {
+        validate_line(
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"BackendDone\",\
+             \"backend\":\"milp\",\"micros\":5,\"cost\":1.5,\"won\":true}",
+        )
+        .unwrap();
+        // A failed leg carries cost:null — still valid.
+        validate_line(
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"BackendDone\",\
+             \"backend\":\"annealer\",\"micros\":5,\"cost\":null,\"won\":false}",
+        )
+        .unwrap();
+        validate_line(
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"Portfolio\",\
+             \"backends\":2,\"winner\":\"analytic\",\"micros\":90}",
+        )
+        .unwrap();
+        for bad in [
+            // BackendDone missing the backend name.
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"BackendDone\",\
+             \"micros\":5,\"cost\":1.5,\"won\":true}",
+            // Non-boolean won.
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"BackendDone\",\
+             \"backend\":\"milp\",\"micros\":5,\"cost\":1.5,\"won\":1}",
+            // Cost as a string.
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"BackendDone\",\
+             \"backend\":\"milp\",\"micros\":5,\"cost\":\"x\",\"won\":true}",
+            // Portfolio missing the winner.
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"Portfolio\",\
+             \"backends\":2,\"micros\":90}",
+            // Portfolio missing the race wall-clock.
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"Portfolio\",\
+             \"backends\":2,\"winner\":\"milp\"}",
+        ] {
+            assert!(validate_line(bad).is_err(), "should reject: {bad}");
+        }
     }
 
     #[test]

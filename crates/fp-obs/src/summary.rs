@@ -51,6 +51,11 @@ pub fn render_summary(records: &[Record]) -> String {
     let mut shed = 0usize;
     let mut shards = 0usize;
 
+    let mut races = 0usize;
+    let mut race_micros = 0u64;
+    // Per-backend (name, legs, wins, wall-clock micros) in first-seen order.
+    let mut backends: Vec<(&'static str, usize, usize, u64)> = Vec::new();
+
     for record in records {
         match &record.event {
             Event::SolveStart { .. } => solves += 1,
@@ -144,6 +149,27 @@ pub fn render_summary(records: &[Record]) -> String {
                 cached_jobs += usize::from(*cached);
                 job_micros += micros;
             }
+            Event::BackendDone {
+                backend,
+                micros,
+                won,
+                ..
+            } => {
+                let entry = match backends.iter_mut().find(|e| e.0 == *backend) {
+                    Some(e) => e,
+                    None => {
+                        backends.push((backend, 0, 0, 0));
+                        backends.last_mut().expect("just pushed")
+                    }
+                };
+                entry.1 += 1;
+                entry.2 += usize::from(*won);
+                entry.3 += micros;
+            }
+            Event::Portfolio { micros, .. } => {
+                races += 1;
+                race_micros += micros;
+            }
             _ => {}
         }
     }
@@ -218,6 +244,16 @@ pub fn render_summary(records: &[Record]) -> String {
              {degraded_jobs} degraded), cache {cache_hits} hits / \
              {cache_misses} misses, {coalesced} coalesced, {shed} shed, \
              mean {mean} us/job{shards}\n"
+        ));
+    }
+    if races > 0 || !backends.is_empty() {
+        let legs: Vec<String> = backends
+            .iter()
+            .map(|(name, legs, wins, micros)| format!("{name} {wins}/{legs} wins ({micros} us)"))
+            .collect();
+        out.push_str(&format!(
+            "  portfolio: {races} races ({race_micros} us total); {}\n",
+            legs.join(", ")
         ));
     }
     out
@@ -481,5 +517,56 @@ mod tests {
         assert!(text.contains("1 coalesced, 1 shed"), "{text}");
         assert!(text.contains("mean 200 us/job"), "{text}");
         assert!(text.contains("1 shards"), "{text}");
+        // No portfolio events: no portfolio rollup line.
+        assert!(!text.contains("portfolio:"), "{text}");
+    }
+
+    #[test]
+    fn portfolio_events_roll_up_per_backend() {
+        let leg = |seq, backend, micros, won| {
+            rec(
+                seq,
+                Phase::Serve,
+                Event::BackendDone {
+                    backend,
+                    micros,
+                    cost: 10.0,
+                    won,
+                },
+            )
+        };
+        let records = vec![
+            leg(0, "milp", 900, true),
+            leg(1, "annealer", 400, false),
+            leg(2, "analytic", 300, false),
+            rec(
+                3,
+                Phase::Serve,
+                Event::Portfolio {
+                    backends: 3,
+                    winner: "milp",
+                    micros: 950,
+                },
+            ),
+            leg(4, "milp", 800, false),
+            leg(5, "analytic", 250, true),
+            rec(
+                6,
+                Phase::Serve,
+                Event::Portfolio {
+                    backends: 2,
+                    winner: "analytic",
+                    micros: 820,
+                },
+            ),
+        ];
+        let text = render_summary(&records);
+        assert!(
+            text.contains("portfolio: 2 races (1770 us total)"),
+            "{text}"
+        );
+        assert!(text.contains("milp 1/2 wins (1700 us)"), "{text}");
+        assert!(text.contains("annealer 0/1 wins (400 us)"), "{text}");
+        assert!(text.contains("analytic 1/2 wins (550 us)"), "{text}");
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::cache::SolutionCache;
 use crate::fingerprint::{canonical, fingerprint_of, FingerprintParams};
+use crate::portfolio::Backend;
 use crate::protocol::{JobRequest, JobResponse};
 use crate::queue::{Bounded, PushError};
 use crate::singleflight::{Admit, Inflight};
@@ -73,6 +74,11 @@ pub struct ServeConfig {
     /// [`Event::CacheMiss`] / [`Event::JobDone`] / [`Event::Coalesced`] /
     /// [`Event::Shed`] / [`Event::ShardStats`]).
     pub tracer: Tracer,
+    /// Solver-portfolio backends to race per job. Empty (the default)
+    /// selects the sequential degradation ladder; non-empty replaces the
+    /// full-pipeline rung with a race of the listed backends under the
+    /// job's deadline (see [`crate::Backend`]).
+    pub backends: Vec<Backend>,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +99,7 @@ impl Default for ServeConfig {
             max_line_bytes: 1 << 20,
             drain_timeout: Duration::from_secs(5),
             tracer: Tracer::disabled(),
+            backends: Vec::new(),
         }
     }
 }
@@ -172,6 +179,14 @@ impl ServeConfig {
     #[must_use]
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Sets the solver-portfolio backends raced per job (empty selects
+    /// the sequential ladder).
+    #[must_use]
+    pub fn with_backends(mut self, backends: Vec<Backend>) -> Self {
+        self.backends = backends;
         self
     }
 }
@@ -726,13 +741,43 @@ fn process(job: &Job, shared: &Shared) -> JobResponse {
     }
 
     let mut degraded = false;
+    let mut backend = "milp";
+    let mut portfolio = false;
     let floorplan = if expired(Instant::now()) {
         // Budget gone before any solving started (long queue wait):
         // greedy skyline placement instead of an error.
         degraded = true;
+        backend = "greedy";
         match fp_core::bottom_left(netlist, &fp_config) {
             Ok(fp) => fp,
             Err(e) => return JobResponse::failure(req.id, e.to_string()),
+        }
+    } else if !config.backends.is_empty() {
+        // Solver portfolio: race the configured backends under the
+        // job's deadline instead of running the sequential ladder.
+        portfolio = true;
+        match crate::portfolio::race(
+            netlist,
+            &fp_config,
+            &config.backends,
+            config.improve_rounds,
+            job.key,
+            tracer,
+        ) {
+            Some(outcome) => {
+                backend = outcome.winner;
+                outcome.floorplan
+            }
+            None => {
+                // Every leg failed or was cancelled: same greedy rung
+                // the sequential ladder degrades to.
+                degraded = true;
+                backend = "greedy";
+                match fp_core::bottom_left(netlist, &fp_config) {
+                    Ok(fp) => fp,
+                    Err(e) => return JobResponse::failure(req.id, e.to_string()),
+                }
+            }
         }
     } else {
         match Floorplanner::with_config(netlist, fp_config.clone()).run() {
@@ -764,6 +809,7 @@ fn process(job: &Job, shared: &Shared) -> JobResponse {
             }
             Err(_) => {
                 degraded = true;
+                backend = "greedy";
                 match fp_core::bottom_left(netlist, &fp_config) {
                     Ok(fp) => fp,
                     Err(e) => return JobResponse::failure(req.id, e.to_string()),
@@ -818,6 +864,8 @@ fn process(job: &Job, shared: &Shared) -> JobResponse {
         coalesced: false,
         retry_after_ms: 0,
         micros: 0, // stamped per waiter
+        backend: backend.to_string(),
+        portfolio,
         placement,
     };
     // Only full-quality answers are worth replaying; a degraded result

@@ -55,6 +55,7 @@
 pub mod cache;
 mod engine;
 pub mod fingerprint;
+mod portfolio;
 pub mod protocol;
 pub mod queue;
 mod server;
@@ -65,5 +66,6 @@ pub mod singleflight;
 mod sys;
 
 pub use engine::{Client, Engine, EngineStats, IoMode, ServeConfig};
+pub use portfolio::{race, Backend, RaceOutcome};
 pub use protocol::{JobRequest, JobResponse, PlacedRect};
 pub use server::{ServeAccounting, Server, ShutdownReport};

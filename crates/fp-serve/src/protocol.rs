@@ -187,6 +187,13 @@ pub struct JobResponse {
     pub retry_after_ms: u64,
     /// Wall-clock from submission to completion, microseconds.
     pub micros: u64,
+    /// Which solver backend produced the placement: `"milp"`,
+    /// `"annealer"`, `"analytic"`, or `"greedy"` for the degraded
+    /// skyline fallback. Empty when `ok` is false.
+    pub backend: String,
+    /// `true` when the placement was decided by a solver-portfolio race
+    /// (`backend` then names the winning leg).
+    pub portfolio: bool,
     /// The placement as `name x y w h 0|1` entries joined with `;`.
     /// Empty when `ok` is false.
     pub placement: String,
@@ -210,6 +217,8 @@ impl JobResponse {
             coalesced: false,
             retry_after_ms: 0,
             micros: 0,
+            backend: String::new(),
+            portfolio: false,
             placement: String::new(),
         }
     }
@@ -277,6 +286,10 @@ impl JobResponse {
             push_field(&mut s, "retry_after_ms", &self.retry_after_ms.to_string());
         }
         push_field(&mut s, "micros", &self.micros.to_string());
+        if !self.backend.is_empty() {
+            push_field(&mut s, "backend", &json_str(&self.backend));
+        }
+        push_field(&mut s, "portfolio", &self.portfolio.to_string());
         push_field(&mut s, "placement", &json_str(&self.placement));
         s.push('}');
         s
@@ -305,6 +318,8 @@ impl JobResponse {
             coalesced: bool_or(&p, "coalesced", false),
             retry_after_ms: p.num("retry_after_ms").unwrap_or(0.0).max(0.0) as u64,
             micros: p.num("micros").unwrap_or(0.0) as u64,
+            backend: p.str_field("backend").unwrap_or_default().to_string(),
+            portfolio: bool_or(&p, "portfolio", false),
             placement: p.str_field("placement").unwrap_or_default().to_string(),
         })
     }
@@ -433,6 +448,8 @@ mod tests {
             coalesced: true,
             retry_after_ms: 0,
             micros: 12345,
+            backend: "milp".to_string(),
+            portfolio: true,
             placement: "a 0 0 4 2 0;b 4 0 3 3 1".to_string(),
         };
         let back = JobResponse::decode(&resp.encode()).unwrap();
@@ -441,6 +458,15 @@ mod tests {
         assert_eq!(rects.len(), 2);
         assert_eq!(rects[1].name, "b");
         assert!(rects[1].rotated);
+    }
+
+    #[test]
+    fn backend_fields_default_when_absent() {
+        // Responses from older servers carry neither field: decode fills
+        // in an empty backend and portfolio=false.
+        let back = JobResponse::decode("{\"id\":1,\"ok\":true}").unwrap();
+        assert_eq!(back.backend, "");
+        assert!(!back.portfolio);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Portfolio-mode integration tests: legality, winner attribution, the
+//! quality guarantee against the sequential ladder, and tight-deadline
+//! any-of behavior.
+
+use fp_netlist::generator::ProblemGenerator;
+use fp_netlist::Netlist;
+use fp_obs::{Collector, EventKind, Tracer};
+use fp_serve::{Backend, Engine, JobRequest, JobResponse, ServeConfig};
+
+/// Solves `netlist` on a fresh single-worker engine (cache off so every
+/// run actually solves) and returns the response.
+fn solve(
+    netlist: &Netlist,
+    backends: Vec<Backend>,
+    deadline_ms: u64,
+    tracer: Tracer,
+) -> JobResponse {
+    let engine = Engine::start(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_cache_capacity(0)
+            .with_backends(backends)
+            .with_tracer(tracer),
+    );
+    let client = engine.client();
+    let resp = client.call(
+        JobRequest::new(1, netlist)
+            .with_deadline_ms(deadline_ms)
+            .with_cache(false),
+    );
+    engine.shutdown();
+    resp
+}
+
+/// Placement sanity independent of the engine's own validity checks: all
+/// modules present, every rectangle inside the outline, no overlap.
+fn assert_legal(resp: &JobResponse, modules: usize) {
+    assert!(resp.ok, "{}", resp.error);
+    let rects = resp.placement_entries().expect("parseable placement");
+    assert_eq!(rects.len(), modules);
+    for r in &rects {
+        assert!(r.x >= -1e-9 && r.x + r.w <= resp.chip_width + 1e-9, "{r:?}");
+        assert!(
+            r.y >= -1e-9 && r.y + r.h <= resp.chip_height + 1e-9,
+            "{r:?}"
+        );
+    }
+    for (i, a) in rects.iter().enumerate() {
+        for b in rects.iter().skip(i + 1) {
+            let apart = a.x + a.w <= b.x + 1e-9
+                || b.x + b.w <= a.x + 1e-9
+                || a.y + a.h <= b.y + 1e-9
+                || b.y + b.h <= a.y + 1e-9;
+            assert!(apart, "overlap between {a:?} and {b:?}");
+        }
+    }
+}
+
+#[test]
+fn portfolio_names_its_winner_and_is_legal() {
+    let netlist = ProblemGenerator::new(6, 31).generate();
+    let collector = Collector::new();
+    let resp = solve(
+        &netlist,
+        vec![Backend::Milp, Backend::Annealer, Backend::Analytic],
+        0,
+        Tracer::new(collector.clone()),
+    );
+    assert_legal(&resp, 6);
+    assert!(resp.portfolio);
+    assert!(
+        matches!(resp.backend.as_str(), "milp" | "annealer" | "analytic"),
+        "unexpected winner '{}'",
+        resp.backend
+    );
+    // One BackendDone per leg, exactly one marked as the winner, and one
+    // Portfolio record naming it.
+    let legs = collector.of_kind(EventKind::BackendDone);
+    assert_eq!(legs.len(), 3);
+    let winners: Vec<&str> = legs
+        .iter()
+        .filter_map(|r| match &r.event {
+            fp_obs::Event::BackendDone {
+                backend, won: true, ..
+            } => Some(*backend),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(winners, vec![resp.backend.as_str()]);
+    let races = collector.of_kind(EventKind::Portfolio);
+    assert_eq!(races.len(), 1);
+    match &races[0].event {
+        fp_obs::Event::Portfolio {
+            backends, winner, ..
+        } => {
+            assert_eq!(*backends, 3);
+            assert_eq!(*winner, resp.backend.as_str());
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
+}
+
+#[test]
+fn portfolio_cost_never_exceeds_the_sequential_ladder() {
+    // With no deadline the race is best-of-N and the MILP leg mirrors
+    // the sequential ladder exactly (same budgets, same improvement
+    // rounds, no incumbent cutoff — that is an any-of-mode mechanism).
+    // The winner is the lowest-cost leg, so the portfolio's cost is
+    // bounded by the ladder's on every instance.
+    for seed in [3_u64, 17, 42] {
+        let netlist = ProblemGenerator::new(6, seed).generate();
+        let sequential = solve(&netlist, Vec::new(), 0, Tracer::disabled());
+        let portfolio = solve(
+            &netlist,
+            vec![Backend::Milp, Backend::Annealer, Backend::Analytic],
+            0,
+            Tracer::disabled(),
+        );
+        assert_legal(&sequential, 6);
+        assert_legal(&portfolio, 6);
+        assert!(!sequential.portfolio);
+        assert!(portfolio.portfolio);
+        assert!(
+            portfolio.area <= sequential.area + 1e-6,
+            "seed {seed}: portfolio area {} (winner {}) worse than sequential {}",
+            portfolio.area,
+            portfolio.backend,
+            sequential.area
+        );
+    }
+}
+
+#[test]
+fn tight_deadline_races_first_to_finish() {
+    // 30 ms is far below the MILP pipeline's time on this instance but
+    // plenty for the heuristic legs: the any-of race must still answer
+    // with a legal placement from one of them.
+    let netlist = ProblemGenerator::new(9, 77).generate();
+    let resp = solve(
+        &netlist,
+        vec![Backend::Milp, Backend::Annealer, Backend::Analytic],
+        30,
+        Tracer::disabled(),
+    );
+    assert_legal(&resp, 9);
+    assert!(resp.portfolio);
+    assert!(!resp.backend.is_empty());
+}

@@ -3,7 +3,7 @@
 
 use crate::curve::ShapeCurve;
 use crate::polish::{Element, PolishExpression};
-use fp_core::{Floorplan, PlacedModule};
+use fp_core::{Floorplan, PlacedModule, StopFlag};
 use fp_geom::Rect;
 use fp_netlist::{ModuleId, Netlist, Shape};
 use rand::rngs::StdRng;
@@ -15,6 +15,10 @@ use std::time::{Duration, Instant};
 pub struct SlicingResult {
     /// The realized floorplan (chip width = the chosen root shape's width).
     pub floorplan: Floorplan,
+    /// The best normalized Polish expression found — the slicing tree
+    /// itself, exposed so reproducibility tests can compare runs
+    /// structurally, not just by realized cost.
+    pub expression: PolishExpression,
     /// Area of the chosen root shape (`== floorplan.chip_area()`).
     pub area: f64,
     /// Accepted / attempted move counts.
@@ -38,6 +42,10 @@ pub struct SlicingAnnealer<'a> {
     cooling: f64,
     min_temperature_ratio: f64,
     soft_samples: usize,
+    deadline: Option<Instant>,
+    stop: StopFlag,
+    move_budget: usize,
+    max_width: Option<f64>,
 }
 
 impl<'a> SlicingAnnealer<'a> {
@@ -51,6 +59,10 @@ impl<'a> SlicingAnnealer<'a> {
             cooling: 0.9,
             min_temperature_ratio: 1e-4,
             soft_samples: 5,
+            deadline: None,
+            stop: StopFlag::disabled(),
+            move_budget: 0, // 0 = unlimited
+            max_width: None,
         }
     }
 
@@ -72,6 +84,39 @@ impl<'a> SlicingAnnealer<'a> {
         self
     }
 
+    /// Sets (or clears) an absolute wall-clock deadline. Checked every few
+    /// moves; on expiry the best-so-far tree is realized and returned.
+    /// Wall-clock exits are *not* deterministic — use
+    /// [`with_move_budget`](Self::with_move_budget) for reproducible
+    /// bounded runs.
+    pub fn with_deadline(&mut self, deadline: Option<Instant>) -> &mut Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Installs a cooperative stop flag; raising it ends the run at the
+    /// next check, returning the best tree found so far.
+    pub fn with_stop(&mut self, stop: StopFlag) -> &mut Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Caps total attempted moves (0 = unlimited). Unlike the wall-clock
+    /// deadline this bound is deterministic: same seed + same budget ⇒
+    /// identical move sequence, tree, and cost.
+    pub fn with_move_budget(&mut self, budget: usize) -> &mut Self {
+        self.move_budget = budget;
+        self
+    }
+
+    /// Constrains the root shape to widths `≤ max_width` (when any such
+    /// point exists), so the realized floorplan targets the same fixed
+    /// outline as the other portfolio backends.
+    pub fn with_max_width(&mut self, max_width: Option<f64>) -> &mut Self {
+        self.max_width = max_width;
+        self
+    }
+
     /// Runs the annealing schedule.
     ///
     /// # Panics
@@ -86,7 +131,7 @@ impl<'a> SlicingAnnealer<'a> {
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         let mut current = PolishExpression::row(n);
-        let mut current_cost = evaluate(&current, &candidates).1;
+        let mut current_cost = evaluate(&current, &candidates, self.max_width).1;
         let mut best = current.clone();
         let mut best_cost = current_cost;
 
@@ -95,7 +140,7 @@ impl<'a> SlicingAnnealer<'a> {
         for _ in 0..20.max(n) {
             let mut probe = current.clone();
             perturb(&mut probe, &mut rng);
-            let c = evaluate(&probe, &candidates).1;
+            let c = evaluate(&probe, &candidates, self.max_width).1;
             if c > current_cost {
                 uphill.push(c - current_cost);
             }
@@ -116,13 +161,24 @@ impl<'a> SlicingAnnealer<'a> {
 
         let mut accepted_moves = 0usize;
         let mut attempted_moves = 0usize;
-        while temperature > floor_temperature {
+        'schedule: while temperature > floor_temperature {
             let mut accepted_here = 0usize;
             for _ in 0..moves {
+                // Deterministic bound first, wall-clock exits second (the
+                // budget must cut the move sequence at the same point on
+                // every run with the same seed).
+                if self.move_budget > 0 && attempted_moves >= self.move_budget {
+                    break 'schedule;
+                }
+                if attempted_moves.is_multiple_of(16)
+                    && (self.stop.is_set() || self.deadline.is_some_and(|d| Instant::now() >= d))
+                {
+                    break 'schedule;
+                }
                 attempted_moves += 1;
                 let mut proposal = current.clone();
                 perturb(&mut proposal, &mut rng);
-                let cost = evaluate(&proposal, &candidates).1;
+                let cost = evaluate(&proposal, &candidates, self.max_width).1;
                 let delta = cost - current_cost;
                 let accept = delta <= 0.0 || {
                     let p = (-delta / temperature).exp();
@@ -146,10 +202,11 @@ impl<'a> SlicingAnnealer<'a> {
             }
         }
 
-        let floorplan = realize(&best, &candidates, self.netlist);
+        let floorplan = realize(&best, &candidates, self.netlist, self.max_width);
         SlicingResult {
             area: floorplan.chip_area(),
             floorplan,
+            expression: best,
             accepted_moves,
             attempted_moves,
             elapsed: started.elapsed(),
@@ -202,9 +259,21 @@ fn perturb<R: Rng>(p: &mut PolishExpression, rng: &mut R) {
     }
 }
 
-/// Evaluates the expression bottom-up; returns the root curve and the
-/// minimum area over it.
-fn evaluate(p: &PolishExpression, candidates: &[Vec<(f64, f64)>]) -> (Vec<ShapeCurve>, f64) {
+/// Picks the root shape: the minimum-height point within `max_width` when
+/// one exists (fixed-outline mode), otherwise the minimum-area point.
+fn root_choice(root: &ShapeCurve, max_width: Option<f64>) -> Option<usize> {
+    max_width
+        .and_then(|w| root.best_height_within(w))
+        .or_else(|| root.best_area())
+}
+
+/// Evaluates the expression bottom-up; returns the per-element curves and
+/// the area of the chosen root shape.
+fn evaluate(
+    p: &PolishExpression,
+    candidates: &[Vec<(f64, f64)>],
+    max_width: Option<f64>,
+) -> (Vec<ShapeCurve>, f64) {
     let mut stack: Vec<ShapeCurve> = Vec::new();
     let mut curves: Vec<ShapeCurve> = Vec::with_capacity(p.elements().len());
     for &e in p.elements() {
@@ -220,11 +289,17 @@ fn evaluate(p: &PolishExpression, candidates: &[Vec<(f64, f64)>]) -> (Vec<ShapeC
         curves.push(curve);
     }
     let root = stack.pop().expect("non-empty expression");
-    let area = root
-        .best_area()
+    let area = root_choice(&root, max_width)
         .map(|k| {
             let pt = &root.points()[k];
-            pt.w * pt.h
+            let mut a = pt.w * pt.h;
+            // Fixed-outline mode with no fitting root shape: realizable
+            // (the fallback point is used) but strongly penalized, so the
+            // search walks toward trees that fit the outline.
+            if max_width.is_some_and(|w| pt.w > w + 1e-9) {
+                a *= 4.0;
+            }
+            a
         })
         .unwrap_or(f64::INFINITY);
     (curves, area)
@@ -232,12 +307,17 @@ fn evaluate(p: &PolishExpression, candidates: &[Vec<(f64, f64)>]) -> (Vec<ShapeC
 
 /// Realizes the best expression into a floorplan by walking the curve
 /// backpointers top-down.
-fn realize(p: &PolishExpression, candidates: &[Vec<(f64, f64)>], netlist: &Netlist) -> Floorplan {
-    let (curves, _) = evaluate(p, candidates);
+fn realize(
+    p: &PolishExpression,
+    candidates: &[Vec<(f64, f64)>],
+    netlist: &Netlist,
+    max_width: Option<f64>,
+) -> Floorplan {
+    let (curves, _) = evaluate(p, candidates, max_width);
     let elements = p.elements();
     let root_curve = curves.last().expect("non-empty");
-    let root_choice = root_curve.best_area().expect("non-empty curve");
-    let root_pt = root_curve.points()[root_choice];
+    let chosen = root_choice(root_curve, max_width).expect("non-empty curve");
+    let root_pt = root_curve.points()[chosen];
 
     // Rebuild child indices: for each element, which elements are its
     // children (postfix structure).
@@ -254,7 +334,7 @@ fn realize(p: &PolishExpression, candidates: &[Vec<(f64, f64)>], netlist: &Netli
 
     let mut placed: Vec<PlacedModule> = Vec::with_capacity(candidates.len());
     // Depth-first placement: (element index, chosen point, origin).
-    let mut todo = vec![(elements.len() - 1, root_choice, (0.0_f64, 0.0_f64))];
+    let mut todo = vec![(elements.len() - 1, chosen, (0.0_f64, 0.0_f64))];
     while let Some((node, choice, (x, y))) = todo.pop() {
         let pt = curves[node].points()[choice];
         match elements[node] {
@@ -336,6 +416,63 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_under_a_move_budget() {
+        // The portfolio's reproducibility contract: same seed + same
+        // deterministic budget ⇒ identical tree, cost, and floorplan,
+        // regardless of wall-clock conditions.
+        let nl = ProblemGenerator::new(9, 21).generate();
+        let run = |budget: usize| {
+            SlicingAnnealer::new(&nl)
+                .with_seed(5)
+                .with_move_budget(budget)
+                .run()
+        };
+        let a = run(400);
+        let b = run(400);
+        assert_eq!(a.expression, b.expression, "trees differ across runs");
+        assert_eq!(a.area.to_bits(), b.area.to_bits(), "costs differ");
+        assert_eq!(a.floorplan, b.floorplan);
+        assert_eq!(a.attempted_moves, b.attempted_moves);
+        assert!(a.attempted_moves <= 400);
+        // A different budget is allowed to land elsewhere — the bound cuts
+        // the same move sequence at a different point.
+        let c = run(80);
+        assert!(c.attempted_moves <= 80);
+        assert!(c.floorplan.is_valid());
+    }
+
+    #[test]
+    fn stop_flag_cuts_run_short_with_valid_result() {
+        let nl = ProblemGenerator::new(8, 6).generate();
+        let stop = StopFlag::new();
+        stop.trigger();
+        let result = SlicingAnnealer::new(&nl).with_stop(stop).run();
+        assert_eq!(result.attempted_moves, 0);
+        assert_eq!(result.floorplan.len(), 8);
+        assert!(result.floorplan.is_valid());
+    }
+
+    #[test]
+    fn max_width_constrains_root_shape() {
+        // Four 2x2 squares with a width-4 outline: the 2x2 arrangement
+        // fits exactly, so the constrained annealer must realize a chip
+        // no wider than 4.
+        let mut nl = Netlist::new("t");
+        for i in 0..4 {
+            nl.add_module(Module::rigid(format!("m{i}"), 2.0, 2.0, false))
+                .unwrap();
+        }
+        let result = SlicingAnnealer::new(&nl).with_max_width(Some(4.0)).run();
+        assert!(result.floorplan.is_valid());
+        assert!(
+            result.floorplan.chip_width() <= 4.0 + 1e-9,
+            "width {} exceeds the outline",
+            result.floorplan.chip_width()
+        );
+        assert!((result.area - 16.0).abs() < 1e-6, "area {}", result.area);
+    }
+
+    #[test]
     fn flexible_modules_keep_exact_area() {
         let nl = ProblemGenerator::new(6, 8)
             .with_flexible_fraction(0.5)
@@ -377,7 +514,7 @@ mod tests {
         let nl = ProblemGenerator::new(10, 17).generate();
         let candidates = SlicingAnnealer::new(&nl).leaf_candidates();
         let row = PolishExpression::row(10);
-        let (_, row_area) = evaluate(&row, &candidates);
+        let (_, row_area) = evaluate(&row, &candidates, None);
         let result = SlicingAnnealer::new(&nl).with_seed(3).run();
         assert!(
             result.area < row_area,

@@ -144,4 +144,20 @@ grep -q '"event":"Coalesced"' "$shed_trace" \
 grep -q '"event":"Shed"' "$shed_trace" \
     || { echo "check.sh: overload never load-shed"; exit 1; }
 
+# Overload tail-latency pin: a fresh run of the snapshot's overload leg
+# must not regress the committed BENCH_SERVE.json p99 by more than 2x
+# plus a 50ms noise floor (the leg serves only a handful of jobs, so the
+# floor absorbs scheduler jitter while still catching a real regression
+# in how long a served job sits behind the tiny admission queue).
+echo "== overload p99 pin (serve_snapshot --overload-only vs BENCH_SERVE.json)"
+base_p99="$(sed -n 's/.*"overload": {[^}]*"p99_ms": \([0-9.]*\).*/\1/p' BENCH_SERVE.json)"
+[ -n "$base_p99" ] || { echo "check.sh: BENCH_SERVE.json has no overload p99_ms"; exit 1; }
+fresh_overload="$(cargo run --release -q -p fp-bench --bin serve_snapshot -- --overload-only)"
+echo "$fresh_overload"
+fresh_p99="$(printf '%s\n' "$fresh_overload" | sed -n 's/.*"p99_ms": \([0-9.]*\).*/\1/p')"
+[ -n "$fresh_p99" ] || { echo "check.sh: --overload-only emitted no p99_ms"; exit 1; }
+awk -v fresh="$fresh_p99" -v base="$base_p99" \
+    'BEGIN { exit !(fresh <= 2 * base + 50) }' \
+    || { echo "check.sh: overload p99 ${fresh_p99}ms vs snapshot ${base_p99}ms — past 2x + 50ms"; exit 1; }
+
 echo "check.sh: all green"
