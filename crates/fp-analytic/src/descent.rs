@@ -15,6 +15,7 @@
 //! squeeze overlaps out before legalization.
 
 use crate::smooth::{bell, dbell, dsabs, lse, sabs};
+use fp_geom::BinGrid;
 
 /// Deterministic SplitMix64 stream — the crate's only randomness source,
 /// so placements are reproducible from the seed alone with no external
@@ -94,10 +95,16 @@ pub(crate) struct CostParams {
     pub kappa: f64,
 }
 
-/// Scratch buffers reused across evaluations (tops + softmax weights).
+/// Scratch buffers reused across evaluations: tops + softmax weights for
+/// the LSE height term, and the bin grid + packed payloads the pruned
+/// overlap pass re-bins into each call (rebuild-in-place keeps the
+/// steady state free of allocator traffic, which is what lets the pruned
+/// path win even at ami33 scale).
 pub(crate) struct Scratch {
     tops: Vec<f64>,
     weights: Vec<f64>,
+    grid: BinGrid,
+    packed: Vec<(f64, f64, f64, f64, u32)>,
 }
 
 impl Scratch {
@@ -105,13 +112,240 @@ impl Scratch {
         Scratch {
             tops: vec![0.0; n],
             weights: vec![0.0; n],
+            grid: BinGrid::build(std::iter::empty(), 1.0),
+            packed: Vec::with_capacity(n),
         }
     }
 }
 
+/// One pair's bell overlap contribution: `(cost, ∂/∂cx_i, ∂/∂cy_i)`
+/// (the `j` gradients are the negation). `None` outside the kernel's
+/// compact support.
+#[inline]
+fn bell_pair(a: &ModuleState, b: &ModuleState, mu: f64) -> Option<(f64, f64, f64)> {
+    let rx = (a.w + b.w) / 2.0;
+    let ry = (a.h + b.h) / 2.0;
+    let dx = a.cx - b.cx;
+    let dy = a.cy - b.cy;
+    let px = bell(dx, rx);
+    if px == 0.0 {
+        return None;
+    }
+    let py = bell(dy, ry);
+    if py == 0.0 {
+        return None;
+    }
+    Some((
+        mu * px * py,
+        mu * dbell(dx, rx) * py,
+        mu * px * dbell(dy, ry),
+    ))
+}
+
+/// Bell overlap term over all `i < j` pairs — `O(n²)`. Kept as the
+/// differential-test and benchmark oracle for [`overlap_pruned`].
+pub(crate) fn overlap_all_pairs(
+    st: &[ModuleState],
+    mu: f64,
+    gx: &mut [f64],
+    gy: &mut [f64],
+) -> f64 {
+    let n = st.len();
+    let mut cost = 0.0;
+    for i in 0..n {
+        for j in i + 1..n {
+            if let Some((c, gdx, gdy)) = bell_pair(&st[i], &st[j], mu) {
+                cost += c;
+                gx[i] += gdx;
+                gx[j] -= gdx;
+                gy[i] += gdy;
+                gy[j] -= gdy;
+            }
+        }
+    }
+    cost
+}
+
+/// The `O(n²)` loop [`overlap_pruned`] falls back to when window
+/// coverage says the grid cannot prune: same pair set and arithmetic as
+/// [`overlap_all_pairs`], but out-of-support pairs are rejected by the
+/// multiply-free `|Δ| ≥ (w_i + w_j)/2` comparisons before any of the
+/// kernel's divisions run — measurably faster than the oracle on
+/// macro-heavy decks even though the asymptotics match.
+fn overlap_dense(st: &[ModuleState], mu: f64, gx: &mut [f64], gy: &mut [f64]) -> f64 {
+    let n = st.len();
+    let mut cost = 0.0;
+    for i in 0..n {
+        let a = st[i];
+        for (jo, b) in st[i + 1..].iter().enumerate() {
+            let dx = a.cx - b.cx;
+            let rxp = (a.w + b.w) * 0.5;
+            if dx.abs() >= rxp {
+                continue;
+            }
+            let dy = a.cy - b.cy;
+            let ryp = (a.h + b.h) * 0.5;
+            if dy.abs() >= ryp {
+                continue;
+            }
+            let sx = dx / rxp;
+            let tx = 1.0 - sx * sx;
+            let px = tx * tx;
+            let sy = dy / ryp;
+            let ty = 1.0 - sy * sy;
+            let py = ty * ty;
+            cost += mu * px * py;
+            let gdx = mu * (-4.0 * sx * tx / rxp) * py;
+            let gdy = mu * px * (-4.0 * sy * ty / ryp);
+            let j = i + 1 + jo;
+            gx[i] += gdx;
+            gx[j] -= gdx;
+            gy[i] += gdy;
+            gy[j] -= gdy;
+        }
+    }
+    cost
+}
+
+/// How much of the all-pairs candidate set a windowed grid scan is
+/// expected to visit, assuming roughly uniform module density: the mean
+/// window extent over the point spread, per axis, multiplied. Above
+/// [`DENSE_FRACTION`] the grid cannot prune enough to pay for itself.
+const DENSE_FRACTION: f64 = 0.3;
+
+/// Below this module count the dense loop's working set fits in cache
+/// and the grid's fixed re-binning passes dominate whatever it prunes.
+const DENSE_N: usize = 64;
+
+/// Bell overlap term pruned to spatial neighbors — `O(n·k)` for `k`
+/// neighbors per module.
+///
+/// The kernel's support is compact: pair `(i, j)` contributes only when
+/// `|Δcx| < (w_i + w_j)/2 ≤ (w_i + w_max)/2` **and** `|Δcy| < (h_i +
+/// h_j)/2 ≤ (h_i + h_max)/2`, so scanning the bin-grid cells covered by
+/// the window `(w_i + w_max) × (h_i + h_max)` around module `i`'s center
+/// misses nothing — the pruning is exact, which the differential tests
+/// pin against [`overlap_all_pairs`] at every continuation stage. The
+/// window is covered by whatever cells intersect it, so the cell size is
+/// purely a performance knob: half the maximum extent (tighter than the
+/// kernel's worst-case support, so typical smaller-than-the-largest-
+/// macro modules scan few candidates), floored by the point spread so
+/// the grid stays at ~`n` cells even when an early continuation stage
+/// scatters modules over a huge extent. Candidate payloads are packed in
+/// the grid's CSR order so each window is a few sequential row scans,
+/// and the cheap `|Δ| ≥ (w_i + w_j)/2` rejections happen before any of
+/// the kernel's divisions. Pairs are visited in a fixed deterministic
+/// order, so results are reproducible run-to-run (they may differ from
+/// the all-pairs *summation order* by float rounding only).
+///
+/// When the expected window coverage says pruning cannot pay — tiny
+/// instances, or macros so large relative to the spread that every
+/// window spans most of it (ami33-class decks late in the schedule) —
+/// the kernel switches to a dense `O(n²)` loop that keeps the
+/// division-free rejection tests, so the adaptive path is never slower
+/// than the plain oracle.
+pub(crate) fn overlap_pruned(
+    st: &[ModuleState],
+    mu: f64,
+    scratch: &mut Scratch,
+    gx: &mut [f64],
+    gy: &mut [f64],
+) -> f64 {
+    let n = st.len();
+    let mut w_max = 0.0f64;
+    let mut h_max = 0.0f64;
+    let mut w_sum = 0.0f64;
+    let mut h_sum = 0.0f64;
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for m in st {
+        w_max = w_max.max(m.w);
+        h_max = h_max.max(m.h);
+        w_sum += m.w;
+        h_sum += m.h;
+        min_x = min_x.min(m.cx);
+        max_x = max_x.max(m.cx);
+        min_y = min_y.min(m.cy);
+        max_y = max_y.max(m.cy);
+    }
+    let inv_n = 1.0 / (n.max(1) as f64);
+    let frac_x = ((w_sum * inv_n + w_max) / (max_x - min_x).max(1e-9)).min(1.0);
+    let frac_y = ((h_sum * inv_n + h_max) / (max_y - min_y).max(1e-9)).min(1.0);
+    if n < DENSE_N || frac_x * frac_y > DENSE_FRACTION {
+        return overlap_dense(st, mu, gx, gy);
+    }
+    let per_axis = (n as f64).sqrt().ceil().max(1.0);
+    let cell_x = (w_max * 0.5).max((max_x - min_x) / per_axis);
+    let cell_y = (h_max * 0.5).max((max_y - min_y) / per_axis);
+    let Scratch { grid, packed, .. } = scratch;
+    grid.rebuild_xy_bounded(
+        st.iter().map(|m| (m.cx, m.cy)),
+        cell_x,
+        cell_y,
+        (min_x, min_y, max_x, max_y),
+    );
+    // (cx, cy, w, h, index) in CSR order: window scans walk contiguous
+    // memory instead of chasing `st[j]` through the heap.
+    packed.clear();
+    packed.extend(grid.items().iter().map(|&j| {
+        let m = &st[j as usize];
+        (m.cx, m.cy, m.w, m.h, j)
+    }));
+    let mut cost = 0.0;
+    // Walk modules in CSR order. Both endpoints of an in-support pair see
+    // each other's window (|Δcx| < (w_i + w_j)/2 bounds both radii), so
+    // restricting each scan to CSR positions *after* the probe's own
+    // visits every unordered pair exactly once — from whichever endpoint
+    // the grid ordered first — with no per-candidate identity check.
+    for (p, &(acx, acy, aw, ah, i)) in packed.iter().enumerate() {
+        let i = i as usize;
+        let rx = (aw + w_max) * 0.5;
+        let ry = (ah + h_max) * 0.5;
+        grid.for_each_run_in_window(acx - rx, acy - ry, acx + rx, acy + ry, |range| {
+            let lo = range.start.max(p + 1);
+            if lo >= range.end {
+                return; // run is entirely at or before the probe
+            }
+            for &(bcx, bcy, bw, bh, j) in &packed[lo..range.end] {
+                let dx = acx - bcx;
+                let rxp = (aw + bw) * 0.5;
+                if dx.abs() >= rxp {
+                    continue;
+                }
+                let dy = acy - bcy;
+                let ryp = (ah + bh) * 0.5;
+                if dy.abs() >= ryp {
+                    continue;
+                }
+                // In support: same arithmetic as `bell_pair`, inlined so
+                // the rejected candidates above never paid for it.
+                let sx = dx / rxp;
+                let tx = 1.0 - sx * sx;
+                let px = tx * tx;
+                let sy = dy / ryp;
+                let ty = 1.0 - sy * sy;
+                let py = ty * ty;
+                cost += mu * px * py;
+                let gdx = mu * (-4.0 * sx * tx / rxp) * py;
+                let gdy = mu * px * (-4.0 * sy * ty / ryp);
+                let j = j as usize;
+                gx[i] += gdx;
+                gx[j] -= gdx;
+                gy[i] += gdy;
+                gy[j] -= gdy;
+            }
+        });
+    }
+    cost
+}
+
 /// Evaluates the smoothed cost and writes its gradient with respect to
 /// every center into `(gx, gy)`. `conn` holds the sparse positive
-/// connectivity pairs `(i, j, c_ij)` with `i < j`.
+/// connectivity pairs `(i, j, c_ij)` with `i < j`. The overlap term runs
+/// through the bin-grid pruned path; [`cost_and_grad_all_pairs`] is the
+/// all-pairs oracle variant.
 pub(crate) fn cost_and_grad(
     st: &[ModuleState],
     conn: &[(usize, usize, f64)],
@@ -120,7 +354,32 @@ pub(crate) fn cost_and_grad(
     gx: &mut [f64],
     gy: &mut [f64],
 ) -> f64 {
-    let n = st.len();
+    cost_and_grad_impl(st, conn, p, scratch, gx, gy, true)
+}
+
+/// [`cost_and_grad`] with the `O(n²)` all-pairs overlap term — the oracle
+/// the pruned path is differentially tested and benchmarked against.
+pub(crate) fn cost_and_grad_all_pairs(
+    st: &[ModuleState],
+    conn: &[(usize, usize, f64)],
+    p: &CostParams,
+    scratch: &mut Scratch,
+    gx: &mut [f64],
+    gy: &mut [f64],
+) -> f64 {
+    cost_and_grad_impl(st, conn, p, scratch, gx, gy, false)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cost_and_grad_impl(
+    st: &[ModuleState],
+    conn: &[(usize, usize, f64)],
+    p: &CostParams,
+    scratch: &mut Scratch,
+    gx: &mut [f64],
+    gy: &mut [f64],
+    pruned: bool,
+) -> f64 {
     gx.fill(0.0);
     gy.fill(0.0);
 
@@ -151,29 +410,11 @@ pub(crate) fn cost_and_grad(
 
     // Bell overlap penalty: product of the two axis kernels, so the
     // gradient of each axis is weighted by the other's kernel value.
-    for i in 0..n {
-        for j in i + 1..n {
-            let rx = (st[i].w + st[j].w) / 2.0;
-            let ry = (st[i].h + st[j].h) / 2.0;
-            let dx = st[i].cx - st[j].cx;
-            let dy = st[i].cy - st[j].cy;
-            let px = bell(dx, rx);
-            if px == 0.0 {
-                continue;
-            }
-            let py = bell(dy, ry);
-            if py == 0.0 {
-                continue;
-            }
-            cost += p.mu * px * py;
-            let gdx = p.mu * dbell(dx, rx) * py;
-            let gdy = p.mu * px * dbell(dy, ry);
-            gx[i] += gdx;
-            gx[j] -= gdx;
-            gy[i] += gdy;
-            gy[j] -= gdy;
-        }
-    }
+    cost += if pruned {
+        overlap_pruned(st, p.mu, scratch, gx, gy)
+    } else {
+        overlap_all_pairs(st, p.mu, gx, gy)
+    };
 
     // Quadratic walls: left/right at x ∈ [0, W], floor at y = 0. The top
     // is free — the height term already pulls downward.
@@ -418,6 +659,79 @@ mod tests {
             st[0].rotated,
             "6-wide module should rotate on a 3-wide chip"
         );
+    }
+
+    /// The bin-grid pruned overlap term must agree with the all-pairs
+    /// oracle — cost and full gradient — at *every continuation stage*:
+    /// after each descent round, under that round's (μ, γ) schedule, on
+    /// the states the optimizer actually visits.
+    #[test]
+    fn pruned_overlap_matches_all_pairs_at_every_continuation_stage() {
+        for seed in [3u64, 17, 101] {
+            // Scatter a mixed deck the way `place` does.
+            let mut rng = SplitMix64(seed);
+            let n = 40;
+            let chip_w = 30.0;
+            let mut st: Vec<ModuleState> = (0..n)
+                .map(|k| {
+                    let w = 1.0 + 5.0 * rng.next_f64();
+                    let h = 1.0 + 5.0 * rng.next_f64();
+                    let mut m = rigid(0.0, 0.0, w, h);
+                    m.rotated = k % 3 == 0;
+                    m.cx = w / 2.0 + rng.next_f64() * (chip_w - w).max(0.0);
+                    m.cy = h / 2.0 + rng.next_f64() * 20.0;
+                    m
+                })
+                .collect();
+            let conn: Vec<(usize, usize, f64)> = (0..n - 1)
+                .step_by(3)
+                .map(|i| (i, i + 1, 1.0 + (i % 4) as f64))
+                .collect();
+            let mut p = CostParams {
+                chip_w,
+                lambda: 0.5,
+                mu: chip_w,
+                gamma: 1.5,
+                gamma_w: 0.5,
+                kappa: 4.0 * chip_w,
+            };
+            let mut scratch = Scratch::new(n);
+            let mut step = 0.5 / chip_w;
+            for round in 0..5 {
+                let mut gx_p = vec![0.0; n];
+                let mut gy_p = vec![0.0; n];
+                let mut gx_o = vec![0.0; n];
+                let mut gy_o = vec![0.0; n];
+                let cp = cost_and_grad(&st, &conn, &p, &mut scratch, &mut gx_p, &mut gy_p);
+                let co =
+                    cost_and_grad_all_pairs(&st, &conn, &p, &mut scratch, &mut gx_o, &mut gy_o);
+                let scale = 1.0 + cp.abs();
+                assert!(
+                    (cp - co).abs() <= 1e-9 * scale,
+                    "seed {seed} round {round}: cost pruned {cp} vs oracle {co}"
+                );
+                for i in 0..n {
+                    let gscale = 1.0 + gx_o[i].abs().max(gy_o[i].abs());
+                    assert!(
+                        (gx_p[i] - gx_o[i]).abs() <= 1e-9 * gscale
+                            && (gy_p[i] - gy_o[i]).abs() <= 1e-9 * gscale,
+                        "seed {seed} round {round} module {i}: grad pruned \
+                         ({}, {}) vs oracle ({}, {})",
+                        gx_p[i],
+                        gy_p[i],
+                        gx_o[i],
+                        gy_o[i]
+                    );
+                }
+                // Advance to the next continuation stage with the real
+                // optimizer and the outward μ schedule.
+                descend(&mut st, &conn, &p, 40, &mut step, &mut scratch, &mut || {
+                    false
+                });
+                p.mu *= 2.0;
+                p.gamma = (p.gamma * 0.75).max(1e-3);
+            }
+        }
     }
 
     #[test]

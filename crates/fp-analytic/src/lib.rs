@@ -113,35 +113,20 @@ pub struct AnalyticResult {
     pub elapsed: Duration,
 }
 
-/// Places `netlist` analytically and legalizes the result.
-///
-/// Cooperative exits (deadline passed, stop flag raised) legalize whatever
-/// state the descent reached — the function still returns `Ok` with a valid
-/// floorplan, just a worse one; the caller decides whether it still wants
-/// it. Runs with the same config (and no deadline) are bit-identical.
-///
-/// # Errors
-///
-/// [`FloorplanError::EmptyNetlist`] / [`FloorplanError::ModuleTooWide`]
-/// from the outline derivation — never from the descent itself.
-pub fn place(netlist: &Netlist, config: &AnalyticConfig) -> Result<AnalyticResult, FloorplanError> {
-    let started = Instant::now();
-    let chip_w = derive_chip_width(netlist, &config.floorplan)?;
-    let n = netlist.num_modules();
-
-    // Initial state: realized shapes at their unrotated/widest form,
-    // centers scattered deterministically over a band sized for ~66%
-    // utilization so the overlap penalty has room to work.
-    let mut rng = SplitMix64(config.seed);
+/// Initial state: realized shapes at their unrotated/widest form, centers
+/// scattered deterministically over a band sized for ~66% utilization so
+/// the overlap penalty has room to work.
+fn initial_states(netlist: &Netlist, rotation: bool, chip_w: f64, seed: u64) -> Vec<ModuleState> {
+    let mut rng = SplitMix64(seed);
     let band_h = (netlist.total_module_area() * 1.5 / chip_w).max(1.0);
-    let mut st: Vec<ModuleState> = netlist
+    netlist
         .modules()
         .map(|(_, m)| {
             let shape = match *m.shape() {
                 fp_netlist::Shape::Rigid { w, h } => ShapeState::Rigid {
                     w0: w,
                     h0: h,
-                    rotatable: config.floorplan.rotation && m.rotatable(),
+                    rotatable: rotation && m.rotatable(),
                 },
                 fp_netlist::Shape::Flexible { .. } => {
                     let (w_min, w_max) = m.width_range();
@@ -165,9 +150,11 @@ pub fn place(netlist: &Netlist, config: &AnalyticConfig) -> Result<AnalyticResul
             s.cy = s.h / 2.0 + rng.next_f64() * band_h;
             s
         })
-        .collect();
+        .collect()
+}
 
-    // Sparse positive-connectivity pairs (i < j).
+/// Sparse positive-connectivity pairs (i < j).
+fn connectivity_pairs(netlist: &Netlist) -> Vec<(usize, usize, f64)> {
     let matrix = netlist.connectivity_matrix();
     let mut conn = Vec::new();
     for (i, row) in matrix.iter().enumerate() {
@@ -177,6 +164,28 @@ pub fn place(netlist: &Netlist, config: &AnalyticConfig) -> Result<AnalyticResul
             }
         }
     }
+    conn
+}
+
+/// Places `netlist` analytically and legalizes the result.
+///
+/// Cooperative exits (deadline passed, stop flag raised) legalize whatever
+/// state the descent reached — the function still returns `Ok` with a valid
+/// floorplan, just a worse one; the caller decides whether it still wants
+/// it. Runs with the same config (and no deadline) are bit-identical.
+///
+/// # Errors
+///
+/// [`FloorplanError::EmptyNetlist`] / [`FloorplanError::ModuleTooWide`]
+/// from the outline derivation — never from the descent itself.
+pub fn place(netlist: &Netlist, config: &AnalyticConfig) -> Result<AnalyticResult, FloorplanError> {
+    let started = Instant::now();
+    let chip_w = derive_chip_width(netlist, &config.floorplan)?;
+    let n = netlist.num_modules();
+
+    let band_h = (netlist.total_module_area() * 1.5 / chip_w).max(1.0);
+    let mut st = initial_states(netlist, config.floorplan.rotation, chip_w, config.seed);
+    let conn = connectivity_pairs(netlist);
 
     let deadline = config.floorplan.deadline;
     let stop = config.floorplan.stop.clone();
@@ -254,6 +263,129 @@ pub fn place(netlist: &Netlist, config: &AnalyticConfig) -> Result<AnalyticResul
         rounds: rounds_done,
         elapsed: started.elapsed(),
     })
+}
+
+/// Benchmark-only hooks for fp-bench's `geom_snapshot` bin — **not** a
+/// stable API. Exposes the internal gradient evaluation (pruned vs
+/// all-pairs) so the spatial-index speedup can be measured without making
+/// optimizer internals public.
+#[doc(hidden)]
+pub mod bench_support {
+    use crate::descent::{
+        cost_and_grad, cost_and_grad_all_pairs, descend, overlap_all_pairs, overlap_pruned,
+        CostParams, ModuleState, Scratch,
+    };
+    use fp_core::{derive_chip_width, FloorplanConfig};
+    use fp_netlist::Netlist;
+
+    /// A reusable gradient-evaluation harness over the states the
+    /// optimizer actually visits for `netlist`.
+    pub struct GradHarness {
+        st: Vec<ModuleState>,
+        conn: Vec<(usize, usize, f64)>,
+        params: CostParams,
+        scratch: Scratch,
+        step: f64,
+        gx: Vec<f64>,
+        gy: Vec<f64>,
+    }
+
+    impl GradHarness {
+        /// Builds the harness at the deterministic initial scatter of
+        /// `netlist` (the state the first descent round sees).
+        ///
+        /// # Panics
+        ///
+        /// Panics on an empty netlist.
+        #[must_use]
+        pub fn new(netlist: &Netlist, seed: u64) -> Self {
+            let chip_w = derive_chip_width(netlist, &FloorplanConfig::default())
+                .expect("bench netlists are non-empty");
+            let n = netlist.num_modules();
+            let band_h = (netlist.total_module_area() * 1.5 / chip_w).max(1.0);
+            GradHarness {
+                st: crate::initial_states(netlist, true, chip_w, seed),
+                conn: crate::connectivity_pairs(netlist),
+                params: CostParams {
+                    chip_w,
+                    lambda: 0.5,
+                    mu: chip_w,
+                    gamma: 0.08 * band_h,
+                    gamma_w: (0.05 * chip_w).max(1e-3),
+                    kappa: 4.0 * chip_w,
+                },
+                scratch: Scratch::new(n),
+                step: 0.5 / chip_w.max(1.0),
+                gx: vec![0.0; n],
+                gy: vec![0.0; n],
+            }
+        }
+
+        /// Runs `iters` real descent iterations and doubles μ — advances
+        /// the harness to a later (denser) continuation stage.
+        pub fn advance(&mut self, iters: usize) {
+            descend(
+                &mut self.st,
+                &self.conn,
+                &self.params,
+                iters,
+                &mut self.step,
+                &mut self.scratch,
+                &mut || false,
+            );
+            self.params.mu *= 2.0;
+        }
+
+        /// One full cost+gradient evaluation through the bin-grid pruned
+        /// overlap path.
+        pub fn eval_pruned(&mut self) -> f64 {
+            cost_and_grad(
+                &self.st,
+                &self.conn,
+                &self.params,
+                &mut self.scratch,
+                &mut self.gx,
+                &mut self.gy,
+            )
+        }
+
+        /// One full cost+gradient evaluation through the `O(n²)`
+        /// all-pairs overlap oracle.
+        pub fn eval_all_pairs(&mut self) -> f64 {
+            cost_and_grad_all_pairs(
+                &self.st,
+                &self.conn,
+                &self.params,
+                &mut self.scratch,
+                &mut self.gx,
+                &mut self.gy,
+            )
+        }
+
+        /// The overlap term (cost + gradient) alone, through the
+        /// bin-grid pruned `O(n·k)` path — the term the spatial index
+        /// accelerates, isolated from the wirelength/height/wall terms
+        /// that are identical on both kernels.
+        pub fn eval_overlap_pruned(&mut self) -> f64 {
+            self.gx.fill(0.0);
+            self.gy.fill(0.0);
+            overlap_pruned(
+                &self.st,
+                self.params.mu,
+                &mut self.scratch,
+                &mut self.gx,
+                &mut self.gy,
+            )
+        }
+
+        /// The overlap term (cost + gradient) alone, through the
+        /// all-pairs `O(n²)` oracle.
+        pub fn eval_overlap_all_pairs(&mut self) -> f64 {
+            self.gx.fill(0.0);
+            self.gy.fill(0.0);
+            overlap_all_pairs(&self.st, self.params.mu, &mut self.gx, &mut self.gy)
+        }
+    }
 }
 
 #[cfg(test)]

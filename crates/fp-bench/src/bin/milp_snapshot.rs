@@ -23,10 +23,12 @@
 //!   sparse elapsed), with `median_sparse_pivot_time_speedup` and
 //!   `median_sparse_speedup` as headlines. The sparse leg reuses the
 //!   `warm` measurement (warm starts and strengthening both default on the
-//!   default kernel), so only the dense leg solves again.
+//!   default kernel), so only the dense leg solves again. Each instance
+//!   also records `auto_kernel` — which kernel the default
+//!   `SparseMode::Auto` policy resolves to for its dimensions.
 
 use fp_bench::instances::seeded_set;
-use fp_milp::SolveOptions;
+use fp_milp::{SolveOptions, SparseMode};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -132,6 +134,14 @@ fn main() {
         let sparse_ppt = warm.elapsed_s / (warm.pivots as f64).max(1.0);
         let sparse_pivot_speedup = dense_ppt / sparse_ppt.max(1e-12);
         let sparse_speedup = dense.elapsed_s / warm.elapsed_s.max(1e-12);
+        // Which kernel the default `SparseMode::Auto` picks for this
+        // instance (resolved from the model's own dimensions; presolve may
+        // shrink them slightly, but the verdict is the same either way).
+        let auto_kernel = if SparseMode::Auto.resolve(model.num_constraints(), model.num_vars()) {
+            "sparse"
+        } else {
+            "dense"
+        };
         sparse_pivot_speedups.push(sparse_pivot_speedup);
         sparse_speedups.push(sparse_speedup);
         if i > 0 {
@@ -157,7 +167,8 @@ fn main() {
              \"sparse\": {{\"elapsed_s\": {:.6}, \"nodes\": {}, \"pivots\": {}, \
              \"refactorizations\": {}, \"eta_updates\": {}, \
              \"s_per_pivot\": {:.9}}}, \
-             \"pivot_time_speedup\": {:.3}, \"speedup\": {:.3}}}}}",
+             \"pivot_time_speedup\": {:.3}, \"speedup\": {:.3}, \
+             \"auto_kernel\": \"{auto_kernel}\"}}}}",
             cold.elapsed_s,
             cold.nodes,
             cold.pivots,
@@ -207,7 +218,7 @@ fn main() {
         eprintln!(
             "{name}: dense {:.0} ns/pivot vs sparse {:.0} ns/pivot \
              ({sparse_pivot_speedup:.2}x, {} refactors, {} etas), \
-             end-to-end {sparse_speedup:.2}x",
+             end-to-end {sparse_speedup:.2}x, auto -> {auto_kernel}",
             dense_ppt * 1e9,
             sparse_ppt * 1e9,
             warm.refactorizations,

@@ -19,10 +19,10 @@ use crate::config::{FloorplanConfig, Objective, OrderingStrategy};
 use crate::envelope::ShapeSpec;
 use crate::error::FloorplanError;
 use crate::formulation::{estimate_binaries, StepInput, StepModel};
-use crate::greedy::{greedy_height, widest_error};
+use crate::greedy::{greedy_height_on, widest_error};
 use crate::placement::{Floorplan, PlacedModule};
-use fp_geom::covering::covering_rectangles;
-use fp_geom::Rect;
+use fp_geom::covering::covering_rectangles_from_skyline;
+use fp_geom::Skyline;
 use fp_milp::{Optimality, SolveError};
 use fp_netlist::{ordering, ModuleId, Netlist};
 use fp_obs::{Event, Phase, StepTermination};
@@ -261,6 +261,9 @@ impl<'a> Floorplanner<'a> {
             .collect();
 
         let mut placed: Vec<PlacedModule> = Vec::with_capacity(order.len());
+        // The partial floorplan's skyline, maintained incrementally: one
+        // `add_rect` per placed module instead of a full rebuild per step.
+        let mut sky = Skyline::new();
         let mut stats = RunStats::default();
         let mut cursor = 0usize;
         let mut target = self.config.seed_size.min(specs.len()).max(1);
@@ -271,15 +274,15 @@ impl<'a> Floorplanner<'a> {
             }
 
             // Collapse the partial floorplan into covering rectangles
-            // (§3.1) — or keep every module as its own obstacle when the
-            // reduction is ablated away.
-            let envelopes: Vec<Rect> = placed.iter().map(|p| p.envelope).collect();
+            // (§3.1) — derived from the incrementally-maintained skyline —
+            // or keep every module as its own obstacle when the reduction
+            // is ablated away.
             let obstacles = if self.config.covering_reduction {
-                covering_rectangles(&envelopes)
+                covering_rectangles_from_skyline(&sky)
             } else {
-                envelopes.clone()
+                placed.iter().map(|p| p.envelope).collect()
             };
-            let floor = obstacles.iter().map(Rect::top).fold(0.0, f64::max);
+            let floor = sky.max_height();
 
             // Portfolio pruning, sound only for the pure-area objective
             // (with λ > 0 a same-height, lower-wirelength completion could
@@ -313,7 +316,7 @@ impl<'a> Floorplanner<'a> {
 
             // Greedy witness: both the incumbent fallback and the height
             // bound that keeps the MILP's big-M tight.
-            let Some((greedy, h_ub)) = greedy_height(&envelopes, group, chip_width) else {
+            let Some((greedy, h_ub)) = greedy_height_on(&sky, group, chip_width) else {
                 return Err(widest_error(group, chip_width, self.netlist));
             };
 
@@ -447,7 +450,11 @@ impl<'a> Floorplanner<'a> {
                 elapsed: step_started.elapsed(),
                 outcome,
             });
+            let before = placed.len();
             placed.extend(new_placements);
+            for p in &placed[before..] {
+                sky.add_rect(&p.envelope);
+            }
             cursor += take;
             target = self.config.group_size.max(1);
         }

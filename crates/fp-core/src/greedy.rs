@@ -40,10 +40,21 @@ pub(crate) fn greedy_place(
     group: &[ShapeSpec],
     chip_w: f64,
 ) -> Option<Vec<GreedyPlacement>> {
-    let mut rects: Vec<Rect> = existing.to_vec();
+    greedy_place_on(&Skyline::from_rects(existing), group, chip_w)
+}
+
+/// [`greedy_place`] on a pre-built skyline — the incremental path for the
+/// augmentation driver, which maintains one skyline across all steps.
+pub(crate) fn greedy_place_on(
+    existing: &Skyline,
+    group: &[ShapeSpec],
+    chip_w: f64,
+) -> Option<Vec<GreedyPlacement>> {
+    // One skyline maintained incrementally: each placement is a single
+    // `add_rect` instead of a full rebuild over all placed rects.
+    let mut sky = existing.clone();
     let mut out = Vec::with_capacity(group.len());
     for spec in group {
-        let sky = Skyline::from_rects(&rects);
         let mut best: Option<(f64, f64, GreedyPlacement)> = None; // (top, x, g)
         for (z, dw) in spec.shape_candidates() {
             let we = spec.env_width(z, dw);
@@ -61,7 +72,7 @@ pub(crate) fn greedy_place(
             }
         }
         let (_, _, g) = best?;
-        rects.push(Rect::new(
+        sky.add_rect(&Rect::new(
             g.x,
             g.y,
             spec.env_width(g.z, g.dw),
@@ -79,8 +90,17 @@ pub(crate) fn greedy_height(
     group: &[ShapeSpec],
     chip_w: f64,
 ) -> Option<(Vec<GreedyPlacement>, f64)> {
-    let placements = greedy_place(existing, group, chip_w)?;
-    let mut top: f64 = existing.iter().map(Rect::top).fold(0.0, f64::max);
+    greedy_height_on(&Skyline::from_rects(existing), group, chip_w)
+}
+
+/// [`greedy_height`] on a pre-built skyline (see [`greedy_place_on`]).
+pub(crate) fn greedy_height_on(
+    existing: &Skyline,
+    group: &[ShapeSpec],
+    chip_w: f64,
+) -> Option<(Vec<GreedyPlacement>, f64)> {
+    let placements = greedy_place_on(existing, group, chip_w)?;
+    let mut top: f64 = existing.max_height();
     for (g, spec) in placements.iter().zip(group) {
         top = top.max(g.y + spec.env_height(g.z, g.dw));
     }
@@ -192,7 +212,9 @@ pub fn legalize(
     }
     let chip_w = crate::augment::resolve_chip_width(netlist, config)?;
 
-    let mut rects: Vec<Rect> = Vec::with_capacity(n);
+    // Incremental skyline: one `add_rect` per placed module instead of an
+    // O(n) rebuild before each drop.
+    let mut sky = Skyline::new();
     let mut placed: Vec<PlacedModule> = Vec::with_capacity(n);
     for item in items {
         let spec = ShapeSpec::from_module(item.id, netlist.module(item.id), config);
@@ -205,7 +227,6 @@ pub fn legalize(
                 0.0
             },
         );
-        let sky = Skyline::from_rects(&rects);
         let mut chosen: Option<(f64, f64, f64, bool, f64)> = None; // (top, x, y, z, dw)
         let we = spec.env_width(preferred.0, preferred.1);
         if let Some((x, y)) = sky.drop_position(we, chip_w) {
@@ -231,7 +252,7 @@ pub fn legalize(
             return Err(widest_error(&[spec], chip_w, netlist));
         };
         let (rect, envelope, rotated) = spec.realize(x, y, z, dw);
-        rects.push(envelope);
+        sky.add_rect(&envelope);
         placed.push(PlacedModule {
             id: spec.id,
             rect,

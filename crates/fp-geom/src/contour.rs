@@ -32,7 +32,15 @@ impl Contour {
     /// Returns `None` for an empty placement.
     #[must_use]
     pub fn from_rects(placed: &[Rect]) -> Option<Self> {
-        let sky = Skyline::from_rects(placed);
+        Self::from_skyline(&Skyline::from_rects(placed))
+    }
+
+    /// Builds the contour from a pre-built skyline — the incremental path
+    /// for callers that maintain the skyline with [`Skyline::add_rect`]
+    /// instead of rebuilding from the full rectangle set. Returns `None`
+    /// for an empty skyline.
+    #[must_use]
+    pub fn from_skyline(sky: &Skyline) -> Option<Self> {
         if sky.is_empty() {
             return None;
         }
@@ -184,6 +192,21 @@ mod tests {
             .map(|(x0, x1, h)| (x1 - x0) * h)
             .sum();
         assert!((c.area() - sky_area).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_skyline_matches_from_rects() {
+        let rects = [
+            Rect::new(0.0, 0.0, 3.0, 2.0),
+            Rect::new(1.0, 0.0, 2.0, 5.0),
+            Rect::new(5.0, 0.0, 2.0, 1.0),
+        ];
+        let mut sky = Skyline::new();
+        for r in &rects {
+            sky.add_rect(r);
+        }
+        assert_eq!(Contour::from_skyline(&sky), Contour::from_rects(&rects));
+        assert_eq!(Contour::from_skyline(&Skyline::new()), None);
     }
 
     #[test]

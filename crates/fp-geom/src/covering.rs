@@ -34,7 +34,15 @@ use crate::GEOM_EPS;
 /// obstacle set for the MILP requires.
 #[must_use]
 pub fn horizontal_edge_cuts(placed: &[Rect]) -> Vec<Rect> {
-    let sky = Skyline::from_rects(placed);
+    horizontal_edge_cuts_from_skyline(&Skyline::from_rects(placed))
+}
+
+/// [`horizontal_edge_cuts`] on a pre-built skyline — the incremental path:
+/// the augmentation driver maintains one [`Skyline`] across steps (one
+/// [`Skyline::add_rect`] per placed module) instead of rebuilding from the
+/// full rectangle set on every step.
+#[must_use]
+pub fn horizontal_edge_cuts_from_skyline(sky: &Skyline) -> Vec<Rect> {
     let levels = sky.levels();
     let mut out = Vec::new();
     let mut y_lo = 0.0;
@@ -69,8 +77,14 @@ pub fn horizontal_edge_cuts(placed: &[Rect]) -> Vec<Rect> {
 /// of the skyline, each anchored at `y = 0`.
 #[must_use]
 pub fn skyline_runs(placed: &[Rect]) -> Vec<Rect> {
-    Skyline::from_rects(placed)
-        .segments()
+    skyline_runs_from_skyline(&Skyline::from_rects(placed))
+}
+
+/// [`skyline_runs`] on a pre-built skyline (see
+/// [`horizontal_edge_cuts_from_skyline`] for why).
+#[must_use]
+pub fn skyline_runs_from_skyline(sky: &Skyline) -> Vec<Rect> {
+    sky.segments()
         .filter(|&(_, _, h)| h > GEOM_EPS)
         .map(|(x0, x1, h)| Rect::new(x0, 0.0, x1 - x0, h))
         .collect()
@@ -84,8 +98,15 @@ pub fn skyline_runs(placed: &[Rect]) -> Vec<Rect> {
 /// this crate's property tests.
 #[must_use]
 pub fn covering_rectangles(placed: &[Rect]) -> Vec<Rect> {
-    let horizontal = horizontal_edge_cuts(placed);
-    let vertical = skyline_runs(placed);
+    covering_rectangles_from_skyline(&Skyline::from_rects(placed))
+}
+
+/// [`covering_rectangles`] on a pre-built skyline — the incremental path
+/// for drivers that maintain the skyline across augmentation steps.
+#[must_use]
+pub fn covering_rectangles_from_skyline(sky: &Skyline) -> Vec<Rect> {
+    let horizontal = horizontal_edge_cuts_from_skyline(sky);
+    let vertical = skyline_runs_from_skyline(sky);
     if vertical.len() <= horizontal.len() {
         vertical
     } else {
@@ -230,6 +251,26 @@ mod tests {
         // than the module area (8): over-approximation by design.
         let total: f64 = covers.iter().map(Rect::area).sum();
         assert!((total - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_skyline_gives_identical_covers() {
+        // The from_skyline entry points on an incrementally-grown skyline
+        // must match the batch builders exactly.
+        let modules = figure4_modules();
+        let mut sky = Skyline::new();
+        for m in &modules {
+            sky.add_rect(m);
+        }
+        assert_eq!(
+            covering_rectangles_from_skyline(&sky),
+            covering_rectangles(&modules)
+        );
+        assert_eq!(
+            horizontal_edge_cuts_from_skyline(&sky),
+            horizontal_edge_cuts(&modules)
+        );
+        assert_eq!(skyline_runs_from_skyline(&sky), skyline_runs(&modules));
     }
 
     #[test]

@@ -1,0 +1,499 @@
+//! Dynamic R-tree over axis-aligned rectangles.
+//!
+//! The placement hot paths (overlap audits in `fp-core`, annealer legality
+//! checks in `fp-slicing`) ask one question over and over: *which of the
+//! already-placed rectangles intersect this one?* A linear scan answers it
+//! in `O(n)` per query — `O(n²)` per full audit — which is exactly the
+//! scaling wall the ROADMAP pins for decks past a few dozen modules. The
+//! [`RTree`] answers the same question in `O(log n + k)` for `k` hits by
+//! grouping rectangles into a bounding-box hierarchy.
+//!
+//! Overlap semantics match [`Rect::overlaps`]: only *interior* intersections
+//! count, so abutting modules (shared edges) are legal and never reported.
+//! Internal-node descent uses closed boxes with [`GEOM_EPS`](crate::GEOM_EPS)
+//! slack, so entries within tolerance of a query are never missed.
+//!
+//! ```
+//! use fp_geom::{Rect, RTree};
+//! let mut tree = RTree::new();
+//! tree.insert(0, Rect::new(0.0, 0.0, 2.0, 2.0));
+//! tree.insert(1, Rect::new(2.0, 0.0, 2.0, 2.0)); // abuts entry 0
+//! tree.insert(2, Rect::new(1.0, 1.0, 2.0, 2.0)); // overlaps both
+//! assert_eq!(tree.query(&Rect::new(0.5, 0.5, 1.0, 1.0)), vec![0, 2]);
+//! tree.remove(2);
+//! assert!(!tree.any_overlap(&Rect::new(2.1, 2.1, 0.5, 0.5), u64::MAX));
+//! ```
+
+use crate::rect::Rect;
+use crate::GEOM_EPS;
+use std::collections::HashMap;
+
+/// Maximum entries per node before a split.
+const MAX_ENTRIES: usize = 8;
+/// Minimum entries per node; an underfull node is dissolved and its entries
+/// reinserted.
+const MIN_ENTRIES: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(Vec<(Rect, u64)>),
+    Internal(Vec<(Rect, Box<Node>)>),
+}
+
+/// Whether two closed boxes intersect, with `GEOM_EPS` slack. Used for
+/// internal-node descent only; entry hits use the strict
+/// [`Rect::overlaps`] interior test.
+fn boxes_touch(a: &Rect, b: &Rect) -> bool {
+    a.x <= b.right() + GEOM_EPS
+        && b.x <= a.right() + GEOM_EPS
+        && a.y <= b.top() + GEOM_EPS
+        && b.y <= a.top() + GEOM_EPS
+}
+
+impl Node {
+    fn bbox(&self) -> Option<Rect> {
+        match self {
+            Node::Leaf(entries) => entries
+                .iter()
+                .map(|(r, _)| *r)
+                .reduce(|a, b| a.union_bounds(&b)),
+            Node::Internal(children) => children
+                .iter()
+                .map(|(r, _)| *r)
+                .reduce(|a, b| a.union_bounds(&b)),
+        }
+    }
+
+    fn fanout(&self) -> usize {
+        match self {
+            Node::Leaf(entries) => entries.len(),
+            Node::Internal(children) => children.len(),
+        }
+    }
+
+    fn collect_entries(&self, out: &mut Vec<(Rect, u64)>) {
+        match self {
+            Node::Leaf(entries) => out.extend_from_slice(entries),
+            Node::Internal(children) => {
+                for (_, c) in children {
+                    c.collect_entries(out);
+                }
+            }
+        }
+    }
+}
+
+/// A dynamic R-tree mapping `u64` keys to rectangles.
+///
+/// Keys are caller-chosen (module indices in practice) and must be unique:
+/// inserting an existing key replaces its rectangle.
+#[derive(Debug, Clone, Default)]
+pub struct RTree {
+    root: Option<Node>,
+    /// Key → rectangle, so [`RTree::remove`] can descend by bounding box
+    /// instead of scanning the whole tree.
+    rects: HashMap<u64, Rect>,
+}
+
+impl RTree {
+    /// Creates an empty tree.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a tree from `(key, rect)` pairs.
+    #[must_use]
+    pub fn from_entries(entries: impl IntoIterator<Item = (u64, Rect)>) -> Self {
+        let mut tree = Self::new();
+        for (id, r) in entries {
+            tree.insert(id, r);
+        }
+        tree
+    }
+
+    /// Number of stored rectangles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Whether the tree is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// The stored rectangle for `id`, if present.
+    #[must_use]
+    pub fn rect_of(&self, id: u64) -> Option<&Rect> {
+        self.rects.get(&id)
+    }
+
+    /// Bounding box of every stored rectangle (`None` when empty).
+    #[must_use]
+    pub fn bounds(&self) -> Option<Rect> {
+        self.root.as_ref().and_then(Node::bbox)
+    }
+
+    /// Inserts `rect` under `id`, replacing any previous rectangle for
+    /// `id`.
+    pub fn insert(&mut self, id: u64, rect: Rect) {
+        if self.rects.contains_key(&id) {
+            self.remove(id);
+        }
+        self.rects.insert(id, rect);
+        match self.root.take() {
+            None => self.root = Some(Node::Leaf(vec![(rect, id)])),
+            Some(mut root) => {
+                if let Some(sibling) = insert_rec(&mut root, rect, id) {
+                    // Root split: grow the tree by one level.
+                    let left_bb = root.bbox().expect("split root is non-empty");
+                    let right_bb = sibling.bbox().expect("split sibling is non-empty");
+                    self.root = Some(Node::Internal(vec![
+                        (left_bb, Box::new(root)),
+                        (right_bb, Box::new(sibling)),
+                    ]));
+                } else {
+                    self.root = Some(root);
+                }
+            }
+        }
+    }
+
+    /// Removes the rectangle stored under `id`. Returns `false` when `id`
+    /// was absent.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let Some(rect) = self.rects.remove(&id) else {
+            return false;
+        };
+        let Some(mut root) = self.root.take() else {
+            return false;
+        };
+        let mut orphans = Vec::new();
+        let removed = remove_rec(&mut root, &rect, id, &mut orphans);
+        debug_assert!(removed, "rects map and tree disagree on key {id}");
+        // Shrink: a root with a single internal child collapses one level;
+        // an empty root disappears.
+        loop {
+            match root {
+                Node::Internal(ref mut children) if children.len() == 1 => {
+                    root = *children.pop().expect("len checked").1;
+                }
+                Node::Internal(ref children) if children.is_empty() => {
+                    self.root = None;
+                    break;
+                }
+                Node::Leaf(ref entries) if entries.is_empty() => {
+                    self.root = None;
+                    break;
+                }
+                _ => {
+                    self.root = Some(root);
+                    break;
+                }
+            }
+        }
+        for (r, orphan_id) in orphans {
+            // Reinsert through the public path but without touching the
+            // rects map (the orphan is still present there).
+            match self.root.take() {
+                None => self.root = Some(Node::Leaf(vec![(r, orphan_id)])),
+                Some(mut node) => {
+                    if let Some(sibling) = insert_rec(&mut node, r, orphan_id) {
+                        let left_bb = node.bbox().expect("non-empty");
+                        let right_bb = sibling.bbox().expect("non-empty");
+                        self.root = Some(Node::Internal(vec![
+                            (left_bb, Box::new(node)),
+                            (right_bb, Box::new(sibling)),
+                        ]));
+                    } else {
+                        self.root = Some(node);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Keys of every stored rectangle whose *interior* overlaps `region`,
+    /// ascending.
+    #[must_use]
+    pub fn query(&self, region: &Rect) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.for_each_overlap(region, |id, _| out.push(id));
+        out.sort_unstable();
+        out
+    }
+
+    /// Calls `f(id, rect)` for every stored rectangle whose interior
+    /// overlaps `region`, in tree order (deterministic for a fixed
+    /// insert/remove history, but otherwise unspecified).
+    pub fn for_each_overlap(&self, region: &Rect, mut f: impl FnMut(u64, &Rect)) {
+        if let Some(root) = &self.root {
+            query_rec(root, region, &mut f);
+        }
+    }
+
+    /// Whether any stored rectangle other than `exclude` overlaps `region`
+    /// in its interior. Pass `u64::MAX` (or any unused key) to consider
+    /// every entry. Early-exits on the first hit.
+    #[must_use]
+    pub fn any_overlap(&self, region: &Rect, exclude: u64) -> bool {
+        let mut hit = false;
+        if let Some(root) = &self.root {
+            any_overlap_rec(root, region, exclude, &mut hit);
+        }
+        hit
+    }
+}
+
+fn query_rec(node: &Node, region: &Rect, f: &mut impl FnMut(u64, &Rect)) {
+    match node {
+        Node::Leaf(entries) => {
+            for (r, id) in entries {
+                if r.overlaps(region) {
+                    f(*id, r);
+                }
+            }
+        }
+        Node::Internal(children) => {
+            for (bb, child) in children {
+                if boxes_touch(bb, region) {
+                    query_rec(child, region, f);
+                }
+            }
+        }
+    }
+}
+
+fn any_overlap_rec(node: &Node, region: &Rect, exclude: u64, hit: &mut bool) {
+    if *hit {
+        return;
+    }
+    match node {
+        Node::Leaf(entries) => {
+            for (r, id) in entries {
+                if *id != exclude && r.overlaps(region) {
+                    *hit = true;
+                    return;
+                }
+            }
+        }
+        Node::Internal(children) => {
+            for (bb, child) in children {
+                if boxes_touch(bb, region) {
+                    any_overlap_rec(child, region, exclude, hit);
+                    if *hit {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Recursive insert; returns a split-off sibling when the node overflowed.
+fn insert_rec(node: &mut Node, rect: Rect, id: u64) -> Option<Node> {
+    match node {
+        Node::Leaf(entries) => {
+            entries.push((rect, id));
+            (entries.len() > MAX_ENTRIES).then(|| {
+                let high = split_entries(entries, |e| e.0);
+                Node::Leaf(high)
+            })
+        }
+        Node::Internal(children) => {
+            let k = choose_subtree(children, &rect);
+            children[k].0 = children[k].0.union_bounds(&rect);
+            if let Some(sibling) = insert_rec(&mut children[k].1, rect, id) {
+                // The split moved entries out of the child: recompute its
+                // box before adding the sibling next to it.
+                children[k].0 = children[k].1.bbox().expect("split child is non-empty");
+                let bb = sibling.bbox().expect("split sibling is non-empty");
+                children.push((bb, Box::new(sibling)));
+                if children.len() > MAX_ENTRIES {
+                    let high = split_entries(children, |e| e.0);
+                    return Some(Node::Internal(high));
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Child index whose box needs the least area enlargement to admit `rect`
+/// (ties: smaller area, then lower index — deterministic).
+fn choose_subtree(children: &[(Rect, Box<Node>)], rect: &Rect) -> usize {
+    let mut best = 0usize;
+    let mut best_growth = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for (k, (bb, _)) in children.iter().enumerate() {
+        let area = bb.area();
+        let growth = bb.union_bounds(rect).area() - area;
+        if growth < best_growth - GEOM_EPS
+            || ((growth - best_growth).abs() <= GEOM_EPS && area < best_area)
+        {
+            best = k;
+            best_growth = growth;
+            best_area = area;
+        }
+    }
+    best
+}
+
+/// Axis-sort split: sort by center along the axis with the larger spread
+/// and cut in the middle. Keeps the low half in place, returns the high
+/// half. Both halves satisfy `MIN_ENTRIES` because the split only runs on
+/// overflow (`MAX_ENTRIES + 1` entries).
+fn split_entries<T>(entries: &mut Vec<T>, rect_of: impl Fn(&T) -> Rect) -> Vec<T> {
+    let cx = |e: &T| {
+        let r = rect_of(e);
+        r.x + r.w / 2.0
+    };
+    let cy = |e: &T| {
+        let r = rect_of(e);
+        r.y + r.h / 2.0
+    };
+    let spread = |vals: Vec<f64>| {
+        let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        hi - lo
+    };
+    let sx = spread(entries.iter().map(&cx).collect());
+    let sy = spread(entries.iter().map(&cy).collect());
+    if sx >= sy {
+        entries.sort_by(|a, b| cx(a).total_cmp(&cx(b)));
+    } else {
+        entries.sort_by(|a, b| cy(a).total_cmp(&cy(b)));
+    }
+    let mid = entries.len() / 2;
+    entries.split_off(mid)
+}
+
+/// Recursive remove; pushes entries of dissolved (underfull) nodes into
+/// `orphans` for reinsertion by the caller.
+fn remove_rec(node: &mut Node, rect: &Rect, id: u64, orphans: &mut Vec<(Rect, u64)>) -> bool {
+    match node {
+        Node::Leaf(entries) => {
+            if let Some(pos) = entries.iter().position(|&(_, e)| e == id) {
+                entries.remove(pos);
+                true
+            } else {
+                false
+            }
+        }
+        Node::Internal(children) => {
+            for k in 0..children.len() {
+                if !boxes_touch(&children[k].0, rect) {
+                    continue;
+                }
+                if remove_rec(&mut children[k].1, rect, id, orphans) {
+                    if children[k].1.fanout() < MIN_ENTRIES {
+                        children[k].1.collect_entries(orphans);
+                        children.remove(k);
+                    } else {
+                        children[k].0 = children[k].1.bbox().expect("fanout >= MIN_ENTRIES");
+                    }
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_query(entries: &[(u64, Rect)], region: &Rect) -> Vec<u64> {
+        let mut out: Vec<u64> = entries
+            .iter()
+            .filter(|(_, r)| r.overlaps(region))
+            .map(|&(id, _)| id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = RTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        assert!(tree.bounds().is_none());
+        assert!(tree.query(&Rect::new(0.0, 0.0, 10.0, 10.0)).is_empty());
+        assert!(!tree.any_overlap(&Rect::new(0.0, 0.0, 10.0, 10.0), u64::MAX));
+    }
+
+    #[test]
+    fn touching_edges_do_not_overlap() {
+        let mut tree = RTree::new();
+        tree.insert(0, Rect::new(0.0, 0.0, 2.0, 2.0));
+        // Shares the x = 2 edge with entry 0: legal abutment, no overlap.
+        assert!(!tree.any_overlap(&Rect::new(2.0, 0.0, 2.0, 2.0), u64::MAX));
+        // Interior intersection of any width beyond GEOM_EPS is a hit.
+        assert!(tree.any_overlap(&Rect::new(1.99, 0.0, 2.0, 2.0), u64::MAX));
+    }
+
+    #[test]
+    fn insert_replaces_existing_key() {
+        let mut tree = RTree::new();
+        tree.insert(7, Rect::new(0.0, 0.0, 1.0, 1.0));
+        tree.insert(7, Rect::new(10.0, 10.0, 1.0, 1.0));
+        assert_eq!(tree.len(), 1);
+        assert!(tree.query(&Rect::new(0.0, 0.0, 2.0, 2.0)).is_empty());
+        assert_eq!(tree.query(&Rect::new(9.0, 9.0, 3.0, 3.0)), vec![7]);
+    }
+
+    #[test]
+    fn grows_past_one_split_and_stays_consistent() {
+        // A 6×6 grid of unit rects forces several leaf and internal splits.
+        let mut tree = RTree::new();
+        let mut entries = Vec::new();
+        for i in 0..6u64 {
+            for j in 0..6u64 {
+                let id = i * 6 + j;
+                let r = Rect::new(i as f64 * 1.5, j as f64 * 1.5, 1.0, 1.0);
+                tree.insert(id, r);
+                entries.push((id, r));
+            }
+        }
+        assert_eq!(tree.len(), 36);
+        let probe = Rect::new(2.0, 2.0, 3.0, 3.0);
+        assert_eq!(tree.query(&probe), brute_query(&entries, &probe));
+        // Whole-plane query returns everything.
+        let all = Rect::new(-1.0, -1.0, 100.0, 100.0);
+        assert_eq!(tree.query(&all).len(), 36);
+    }
+
+    #[test]
+    fn remove_underflow_reinserts_orphans() {
+        let mut tree = RTree::new();
+        let mut entries = Vec::new();
+        for i in 0..30u64 {
+            let r = Rect::new((i % 6) as f64 * 2.0, (i / 6) as f64 * 2.0, 1.5, 1.5);
+            tree.insert(i, r);
+            entries.push((i, r));
+        }
+        // Remove most of one corner so a leaf underflows and dissolves.
+        for id in [0u64, 1, 6, 7, 12, 13, 2, 8] {
+            assert!(tree.remove(id));
+            entries.retain(|&(e, _)| e != id);
+            let probe = Rect::new(-1.0, -1.0, 100.0, 100.0);
+            assert_eq!(tree.query(&probe), brute_query(&entries, &probe));
+        }
+        assert!(!tree.remove(0), "double remove must report absence");
+        assert_eq!(tree.len(), 22);
+    }
+
+    #[test]
+    fn exclude_key_is_skipped() {
+        let mut tree = RTree::new();
+        tree.insert(3, Rect::new(0.0, 0.0, 4.0, 4.0));
+        let probe = Rect::new(1.0, 1.0, 1.0, 1.0);
+        assert!(tree.any_overlap(&probe, u64::MAX));
+        assert!(!tree.any_overlap(&probe, 3));
+    }
+}

@@ -21,7 +21,7 @@ use crate::GEOM_EPS;
 /// assert_eq!(sky.height_at(9.0), 0.0);
 /// assert_eq!(sky.max_height(), 3.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Skyline {
     /// Strictly increasing breakpoints; `heights[k]` applies on
     /// `[xs[k], xs[k+1])`.
@@ -30,6 +30,16 @@ pub struct Skyline {
 }
 
 impl Skyline {
+    /// An empty skyline (zero height everywhere). Seed for incremental
+    /// construction via [`Skyline::add_rect`].
+    #[must_use]
+    pub fn new() -> Self {
+        Skyline {
+            xs: Vec::new(),
+            heights: Vec::new(),
+        }
+    }
+
     /// Builds the skyline of the given rectangles (zero height everywhere if
     /// empty).
     #[must_use]
@@ -74,6 +84,79 @@ impl Skyline {
             xs: m_xs,
             heights: m_hs,
         }
+    }
+
+    /// Raises the contour by one rectangle — the incremental path for the
+    /// augmentation loop's one-module-added case, `O(len)` instead of the
+    /// `O(n·len)` full [`Skyline::from_rects`] rebuild.
+    ///
+    /// The result is canonical (adjacent equal-height steps merged), so a
+    /// skyline grown by repeated `add_rect` calls equals the one built from
+    /// scratch over the same rectangles.
+    pub fn add_rect(&mut self, r: &Rect) {
+        if r.is_degenerate() {
+            return;
+        }
+        if self.is_empty() {
+            self.xs = vec![r.x, r.right()];
+            self.heights = vec![r.top()];
+            return;
+        }
+        // Extend the covered domain with zero-height filler so the rect's
+        // span lies inside `[xs[0], xs[last]]`.
+        if r.x < self.xs[0] - GEOM_EPS {
+            self.xs.insert(0, r.x);
+            self.heights.insert(0, 0.0);
+        }
+        if r.right() > *self.xs.last().expect("non-empty") + GEOM_EPS {
+            self.xs.push(r.right());
+            self.heights.push(0.0);
+        }
+        // Split segments at the rect's edges so each segment is entirely
+        // inside or outside its span.
+        self.insert_breakpoint(r.x);
+        self.insert_breakpoint(r.right());
+        for k in 0..self.heights.len() {
+            let mid = (self.xs[k] + self.xs[k + 1]) / 2.0;
+            if r.x <= mid && mid <= r.right() {
+                self.heights[k] = self.heights[k].max(r.top());
+            }
+        }
+        self.merge_equal_steps();
+    }
+
+    /// Inserts `x` as a segment boundary (no-op when an existing boundary
+    /// is within `GEOM_EPS`, or when `x` falls outside the covered range).
+    fn insert_breakpoint(&mut self, x: f64) {
+        for k in 0..self.xs.len() {
+            if (self.xs[k] - x).abs() <= GEOM_EPS {
+                return;
+            }
+            if self.xs[k] > x {
+                if k == 0 {
+                    return; // left of the covered range
+                }
+                self.xs.insert(k, x);
+                self.heights.insert(k, self.heights[k - 1]);
+                return;
+            }
+        }
+    }
+
+    /// Re-canonicalizes by merging adjacent equal-height steps.
+    fn merge_equal_steps(&mut self) {
+        let mut w = 0usize;
+        for k in 0..self.heights.len() {
+            if w > 0 && (self.heights[w - 1] - self.heights[k]).abs() <= GEOM_EPS {
+                self.xs[w] = self.xs[k + 1];
+            } else {
+                self.heights[w] = self.heights[k];
+                self.xs[w + 1] = self.xs[k + 1];
+                w += 1;
+            }
+        }
+        self.heights.truncate(w);
+        self.xs.truncate(w + 1);
     }
 
     /// Height of the contour at `x` (0 outside the covered range).
@@ -233,5 +316,70 @@ mod tests {
     fn drop_on_empty_chip() {
         let sky = Skyline::from_rects(&[]);
         assert_eq!(sky.drop_position(3.0, 10.0), Some((0.0, 0.0)));
+    }
+
+    /// Segment-by-segment equality within tolerance.
+    fn assert_same(a: &Skyline, b: &Skyline) {
+        let sa: Vec<_> = a.segments().collect();
+        let sb: Vec<_> = b.segments().collect();
+        assert_eq!(
+            sa.len(),
+            sb.len(),
+            "segment counts differ: {sa:?} vs {sb:?}"
+        );
+        for ((x0, x1, h), (y0, y1, g)) in sa.iter().zip(&sb) {
+            assert!((x0 - y0).abs() <= 1e-9, "{sa:?} vs {sb:?}");
+            assert!((x1 - y1).abs() <= 1e-9, "{sa:?} vs {sb:?}");
+            assert!((h - g).abs() <= 1e-9, "{sa:?} vs {sb:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_add_matches_batch_build() {
+        let rects = [
+            Rect::new(0.0, 0.0, 2.0, 3.0),
+            Rect::new(2.0, 0.0, 2.0, 1.0),
+            Rect::new(5.0, 0.0, 1.0, 4.0),  // gap before it
+            Rect::new(-2.0, 0.0, 1.5, 2.0), // extends domain left
+            Rect::new(1.0, 0.0, 3.0, 3.0),  // straddles existing steps
+            Rect::new(0.0, 0.0, 6.0, 0.5),  // low filler: raises only the gaps
+        ];
+        let mut incremental = Skyline::new();
+        for k in 0..rects.len() {
+            incremental.add_rect(&rects[k]);
+            assert_same(&incremental, &Skyline::from_rects(&rects[..=k]));
+        }
+    }
+
+    #[test]
+    fn add_rect_ignores_degenerate() {
+        let mut sky = Skyline::from_rects(&[Rect::new(0.0, 0.0, 2.0, 2.0)]);
+        let before = sky.clone();
+        sky.add_rect(&Rect::new(1.0, 0.0, 0.0, 5.0));
+        assert_eq!(sky, before);
+    }
+
+    #[test]
+    fn add_rect_seeded_random_matches_batch() {
+        // Deterministic pseudo-random drops, including touching edges and
+        // near-GEOM_EPS offsets.
+        let mut state = 0x9E37_79B9_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64)
+        };
+        let mut rects = Vec::new();
+        let mut incremental = Skyline::new();
+        for _ in 0..60 {
+            let x = (next() * 20.0).round() / 2.0; // quantized: exact abutments
+            let w = 0.5 + (next() * 6.0).round() / 2.0;
+            let h = 0.5 + (next() * 6.0).round() / 2.0;
+            let r = Rect::new(x, 0.0, w, h);
+            rects.push(r);
+            incremental.add_rect(&r);
+            assert_same(&incremental, &Skyline::from_rects(&rects));
+        }
     }
 }

@@ -1,0 +1,147 @@
+//! Property/differential tests for the spatial-indexing layer: R-tree
+//! insert/remove/query against a brute-force scan, and sweep-line union
+//! area against the `O(n³)` compressed-grid oracle — including touching
+//! edges and GEOM_EPS-degenerate inputs.
+
+use fp_geom::{union_area, union_area_oracle, RTree, Rect, Skyline, GEOM_EPS};
+use proptest::prelude::*;
+
+/// Rectangles on a quarter-unit grid, so exact abutments (shared edges)
+/// occur constantly.
+fn grid_rects() -> impl Strategy<Value = Vec<Rect>> {
+    proptest::collection::vec((0u32..60, 0u32..40, 1u32..16, 1u32..16), 1..40).prop_map(|v| {
+        v.into_iter()
+            .map(|(x, y, w, h)| {
+                Rect::new(
+                    f64::from(x) * 0.25,
+                    f64::from(y) * 0.25,
+                    f64::from(w) * 0.25,
+                    f64::from(h) * 0.25,
+                )
+            })
+            .collect()
+    })
+}
+
+/// Rectangles with arbitrary float coordinates, a fraction of them
+/// degenerate (width or height at or below GEOM_EPS).
+fn messy_rects() -> impl Strategy<Value = Vec<Rect>> {
+    let normal = || {
+        (0.0f64..20.0, 0.0f64..12.0, 0.01f64..6.0, 0.01f64..6.0)
+            .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+            .boxed()
+    };
+    let degenerate = (0.0f64..20.0, 0.0f64..12.0, 0.0f64..2.0)
+        .prop_map(|(x, y, l)| Rect::new(x, y, GEOM_EPS / 2.0, l))
+        .boxed();
+    // Weight 4:1 toward normal rects by repeating the variant.
+    proptest::collection::vec(
+        proptest::strategy::Union::new(vec![normal(), normal(), normal(), normal(), degenerate]),
+        1..30,
+    )
+}
+
+fn brute_query(entries: &[(u64, Rect)], region: &Rect) -> Vec<u64> {
+    let mut out: Vec<u64> = entries
+        .iter()
+        .filter(|(_, r)| r.overlaps(region))
+        .map(|&(id, _)| id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    /// R-tree query equals a brute-force scan after any interleaving of
+    /// inserts and removes, on grids dense with touching edges.
+    #[test]
+    fn rtree_matches_brute_force(
+        rects in grid_rects(),
+        removals in proptest::collection::vec(0usize..40, 0..20),
+        probe in (0u32..60, 0u32..40, 1u32..20, 1u32..20),
+    ) {
+        let mut tree = RTree::new();
+        let mut entries: Vec<(u64, Rect)> = Vec::new();
+        for (k, r) in rects.iter().enumerate() {
+            tree.insert(k as u64, *r);
+            entries.push((k as u64, *r));
+        }
+        for &victim in &removals {
+            let id = victim as u64;
+            let present = entries.iter().any(|&(e, _)| e == id);
+            prop_assert_eq!(tree.remove(id), present);
+            entries.retain(|&(e, _)| e != id);
+        }
+        prop_assert_eq!(tree.len(), entries.len());
+        let region = Rect::new(
+            f64::from(probe.0) * 0.25,
+            f64::from(probe.1) * 0.25,
+            f64::from(probe.2) * 0.25,
+            f64::from(probe.3) * 0.25,
+        );
+        prop_assert_eq!(tree.query(&region), brute_query(&entries, &region));
+        prop_assert_eq!(
+            tree.any_overlap(&region, u64::MAX),
+            !brute_query(&entries, &region).is_empty()
+        );
+    }
+
+    /// Identical overlap verdicts on every stored rect probed against the
+    /// rest — the legality-check pattern used by the placement drivers.
+    #[test]
+    fn rtree_overlap_verdicts_match_pairwise_scan(rects in grid_rects()) {
+        let tree = RTree::from_entries(
+            rects.iter().enumerate().map(|(k, r)| (k as u64, *r)),
+        );
+        for (i, r) in rects.iter().enumerate() {
+            let brute = rects
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && other.overlaps(r));
+            prop_assert_eq!(tree.any_overlap(r, i as u64), brute, "module {}", i);
+        }
+    }
+
+    /// Sweep-line union area equals the O(n³) oracle on touching-edge
+    /// grids (exactly) ...
+    #[test]
+    fn sweep_union_matches_oracle_on_grids(rects in grid_rects()) {
+        let sweep = union_area(&rects);
+        let oracle = union_area_oracle(&rects);
+        prop_assert!((sweep - oracle).abs() <= 1e-9 * (1.0 + oracle),
+            "sweep {sweep} vs oracle {oracle}");
+    }
+
+    /// ... and within GEOM_EPS-scale tolerance on messy float inputs with
+    /// degenerate slivers (the oracle merges coordinates within GEOM_EPS;
+    /// the sweep is exact).
+    #[test]
+    fn sweep_union_matches_oracle_on_messy_inputs(rects in messy_rects()) {
+        let sweep = union_area(&rects);
+        let oracle = union_area_oracle(&rects);
+        // Each merged coordinate can shift the oracle by eps × extent.
+        let extent = Rect::bounding(&rects).map_or(0.0, |b| b.w + b.h);
+        let tol = 1e-9 + 4.0 * GEOM_EPS * extent * rects.len() as f64;
+        prop_assert!((sweep - oracle).abs() <= tol,
+            "sweep {sweep} vs oracle {oracle} (tol {tol})");
+    }
+
+    /// Incrementally grown skylines agree with batch builds on arbitrary
+    /// (floating, overlapping) rectangle sets.
+    #[test]
+    fn incremental_skyline_matches_batch(rects in grid_rects()) {
+        let mut sky = Skyline::new();
+        for r in &rects {
+            sky.add_rect(r);
+        }
+        let batch = Skyline::from_rects(&rects);
+        let a: Vec<_> = sky.segments().collect();
+        let b: Vec<_> = batch.segments().collect();
+        prop_assert_eq!(a.len(), b.len(), "{:?} vs {:?}", sky, batch);
+        for ((x0, x1, h), (y0, y1, g)) in a.iter().zip(&b) {
+            prop_assert!((x0 - y0).abs() <= 1e-9);
+            prop_assert!((x1 - y1).abs() <= 1e-9);
+            prop_assert!((h - g).abs() <= 1e-9);
+        }
+    }
+}

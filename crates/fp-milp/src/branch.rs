@@ -89,7 +89,7 @@ fn add_root_cuts(
     let mut added = 0;
 
     let deadline = started.checked_add(options.time_limit);
-    let lp_cfg = lp_config(options, deadline);
+    let lp_cfg = lp_config(options, deadline, rows.len(), c.len());
     let mut ws = Workspace::new();
 
     // Bound of the relaxation over the committed row set; the first
@@ -177,14 +177,22 @@ fn add_root_cuts(
     (added, committed)
 }
 
-/// The per-node LP configuration derived once per solve.
-fn lp_config(options: &SolveOptions, deadline: Option<Instant>) -> LpConfig {
+/// The per-node LP configuration derived once per solve. The kernel choice
+/// ([`SparseMode`](crate::SparseMode)) is resolved here against the root
+/// dimensions — every
+/// node of one solve runs on the same kernel.
+fn lp_config(
+    options: &SolveOptions,
+    deadline: Option<Instant>,
+    rows: usize,
+    structural_cols: usize,
+) -> LpConfig {
     LpConfig {
         feas_tol: options.feas_tol,
         opt_tol: options.opt_tol,
         deadline,
         warm_pivot_cap: options.warm_pivot_cap,
-        sparse: options.sparse,
+        sparse: options.sparse.resolve(rows, structural_cols),
         refactor_interval: options.refactor_interval,
     }
 }
@@ -539,7 +547,7 @@ fn solve_serial(
     // Absolute deadline handed to every LP so a single long relaxation
     // cannot overshoot the time limit (`None` if it overflows Instant).
     let deadline = started.checked_add(options.time_limit);
-    let lp_cfg = lp_config(options, deadline);
+    let lp_cfg = lp_config(options, deadline, rows.len(), c.len());
     // One workspace for the whole serial solve: the dive child is popped
     // immediately after its parent, so its warm start is usually the hot
     // path (bound deltas applied to the still-loaded parent tableau).
@@ -875,7 +883,12 @@ fn solve_parallel(
         int_cols,
         options,
         started,
-        lp_cfg: lp_config(options, started.checked_add(options.time_limit)),
+        lp_cfg: lp_config(
+            options,
+            started.checked_add(options.time_limit),
+            rows.len(),
+            c.len(),
+        ),
         nworkers: threads,
         trace,
         frontier: Mutex::new(Frontier {

@@ -79,6 +79,6 @@ pub use error::SolveError;
 pub use expr::LinExpr;
 pub use lp_parse::parse_lp;
 pub use model::{Cmp, Constraint, Model, Sense};
-pub use options::{SolveOptions, StopFlag};
+pub use options::{SolveOptions, SparseMode, StopFlag};
 pub use solution::{Optimality, Solution, SolveStats, ThreadStats};
 pub use var::{Var, VarKind};

@@ -57,6 +57,48 @@ impl PartialEq for StopFlag {
     }
 }
 
+/// Which simplex kernel solves node LPs: the sparse revised simplex, the
+/// dense reference tableau, or an automatic per-instance choice.
+///
+/// Both kernels implement identical pivot rules and are held equal by a
+/// differential test suite, so the mode only changes speed. `BENCH_MILP`
+/// shows the sparse kernel at 0.33–0.54× the dense per-pivot throughput on
+/// tiny knapsacks (the CSC/LU machinery has fixed overhead a one-row
+/// tableau never amortizes) while winning clearly on placement-sized LPs —
+/// hence [`SparseMode::Auto`], which keeps the dense tableau below a small
+/// size threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SparseMode {
+    /// Pick per solve from the root LP dimensions: dense when
+    /// `rows + structural columns < `[`SparseMode::AUTO_THRESHOLD`], sparse
+    /// otherwise. The default.
+    #[default]
+    Auto,
+    /// Always the sparse revised kernel.
+    Sparse,
+    /// Always the dense reference tableau.
+    Dense,
+}
+
+impl SparseMode {
+    /// `Auto` switches to the sparse kernel when `rows + structural
+    /// columns` reaches this value. Calibrated so the knapsack family
+    /// (1 row + ≤30 columns) stays dense while the placement MILPs
+    /// (tens of rows and columns) go sparse.
+    pub const AUTO_THRESHOLD: usize = 48;
+
+    /// Resolves the mode against an instance's root dimensions: `true`
+    /// selects the sparse kernel.
+    #[must_use]
+    pub fn resolve(self, rows: usize, structural_cols: usize) -> bool {
+        match self {
+            SparseMode::Sparse => true,
+            SparseMode::Dense => false,
+            SparseMode::Auto => rows + structural_cols >= Self::AUTO_THRESHOLD,
+        }
+    }
+}
+
 /// Tunable limits and tolerances for [`Model::solve_with`](crate::Model::solve_with).
 ///
 /// The defaults are sized for the floorplanner's augmentation subproblems
@@ -101,12 +143,14 @@ pub struct SolveOptions {
     /// re-solving cold. `0` (the default) sizes the cap automatically from
     /// the row count.
     pub warm_pivot_cap: usize,
-    /// Solve node LPs on the sparse revised simplex (CSC matrix, LU-factored
-    /// basis with eta-file updates, partial pricing) instead of the dense
-    /// tableau. Both kernels implement identical pivot rules and are held
-    /// equal by a differential test suite, so this only changes speed.
-    /// Default `true`; the dense engine remains available as a reference.
-    pub sparse: bool,
+    /// Which kernel solves node LPs: the sparse revised simplex (CSC
+    /// matrix, LU-factored basis with eta-file updates, partial pricing),
+    /// the dense reference tableau, or a per-instance automatic choice.
+    /// Both kernels implement identical pivot rules and are held equal by a
+    /// differential test suite, so this only changes speed. Default
+    /// [`SparseMode::Auto`]; [`SolveOptions::with_sparse`] still forces a
+    /// kernel explicitly.
+    pub sparse: SparseMode,
     /// Eta-file updates tolerated between basis refactorizations on the
     /// sparse kernel. Smaller values trade factorization time for tighter
     /// numerical drift control; `0` (the default) picks automatically.
@@ -161,7 +205,7 @@ impl Default for SolveOptions {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             warm_start: true,
             warm_pivot_cap: 0,
-            sparse: true,
+            sparse: SparseMode::Auto,
             refactor_interval: 0,
             strengthen: true,
             probe_budget: 512,
@@ -217,11 +261,23 @@ impl SolveOptions {
         self
     }
 
-    /// Returns options solving node LPs on the sparse revised kernel
-    /// (`true`, the default) or the dense reference tableau (`false`).
+    /// Returns options forcing a kernel: the sparse revised simplex
+    /// (`true`) or the dense reference tableau (`false`), overriding the
+    /// default per-instance [`SparseMode::Auto`] choice.
     #[must_use]
     pub fn with_sparse(mut self, sparse: bool) -> Self {
-        self.sparse = sparse;
+        self.sparse = if sparse {
+            SparseMode::Sparse
+        } else {
+            SparseMode::Dense
+        };
+        self
+    }
+
+    /// Returns options with the given kernel-selection mode.
+    #[must_use]
+    pub fn with_sparse_mode(mut self, mode: SparseMode) -> Self {
+        self.sparse = mode;
         self
     }
 
@@ -305,7 +361,7 @@ mod tests {
         assert!(o.threads >= 1);
         assert!(o.warm_start);
         assert_eq!(o.warm_pivot_cap, 0);
-        assert!(o.sparse);
+        assert_eq!(o.sparse, SparseMode::Auto);
         assert_eq!(o.refactor_interval, 0);
         assert!(o.strengthen);
         assert!(o.probe_budget > 0);
@@ -370,8 +426,31 @@ mod tests {
         let o = SolveOptions::default()
             .with_sparse(false)
             .with_refactor_interval(16);
-        assert!(!o.sparse);
+        assert_eq!(o.sparse, SparseMode::Dense);
         assert_eq!(o.refactor_interval, 16);
+        assert_eq!(
+            SolveOptions::default().with_sparse(true).sparse,
+            SparseMode::Sparse
+        );
+        assert_eq!(
+            SolveOptions::default()
+                .with_sparse_mode(SparseMode::Auto)
+                .sparse,
+            SparseMode::Auto
+        );
+    }
+
+    #[test]
+    fn sparse_mode_resolution() {
+        // Forced modes ignore the dimensions entirely.
+        assert!(SparseMode::Sparse.resolve(0, 0));
+        assert!(!SparseMode::Dense.resolve(1_000, 1_000));
+        // Auto: knapsack-sized stays dense, placement-sized goes sparse.
+        assert!(!SparseMode::Auto.resolve(1, 22)); // knapsack22
+        assert!(SparseMode::Auto.resolve(32, 21)); // placement4
+        let t = SparseMode::AUTO_THRESHOLD;
+        assert!(!SparseMode::Auto.resolve(t - 1, 0));
+        assert!(SparseMode::Auto.resolve(t, 0));
     }
 
     #[test]

@@ -11,7 +11,9 @@
 mod common;
 
 use common::{classic_cases, parallel, random_milp, serial};
-use fp_milp::{LinExpr, Model, Optimality, Sense, Solution, SolveError, SolveOptions, Var};
+use fp_milp::{
+    LinExpr, Model, Optimality, Sense, Solution, SolveError, SolveOptions, SparseMode, Var,
+};
 use std::sync::mpsc;
 use std::time::Duration;
 
@@ -52,7 +54,7 @@ fn proven(model: &Model, opts: &SolveOptions, what: &str) -> Solution {
         model.is_feasible(sol.values(), 1e-6),
         "{what}: proven incumbent violates the model"
     );
-    if !opts.sparse {
+    if opts.sparse == SparseMode::Dense {
         let stats = sol.stats();
         assert_eq!(
             (stats.refactorizations, stats.eta_updates),
@@ -88,6 +90,22 @@ fn classics_agree_dense_vs_sparse() {
         assert!(
             close(obj, expected),
             "{name}: {obj} != known optimum {expected}"
+        );
+    }
+}
+
+/// `SparseMode::Auto` is a dispatch policy, never a semantics lever: on
+/// every classic case it must prove the same objective as both forced
+/// kernels, whichever side of the size threshold the instance lands on.
+#[test]
+fn auto_mode_matches_forced_kernels() {
+    for (name, build) in classic_cases() {
+        let (model, expected) = build();
+        let opts = serial().with_sparse_mode(SparseMode::Auto);
+        let obj = proven(&model, &opts, &format!("{name} [auto]")).objective();
+        assert!(
+            close(obj, expected),
+            "{name} [auto]: {obj} != known optimum {expected}"
         );
     }
 }

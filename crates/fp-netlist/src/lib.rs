@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod ami33;
+pub mod decks;
 mod error;
 pub mod format;
 pub mod generator;

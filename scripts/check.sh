@@ -76,6 +76,21 @@ for key in '"sparse"' '"pivot_time_speedup"' '"median_sparse_pivot_time_speedup"
         || { echo "check.sh: milp_snapshot output missing $key"; exit 1; }
 done
 
+# Geometry benchmark snapshot smoke: the spatial-indexing snapshot must
+# run end to end on the sub-100-module decks (the full 300-module sweep
+# stays in scripts/bench_snapshot.sh) and emit both headline medians
+# BENCH_GEOM.json is diffed against.
+echo "== geom_snapshot smoke (--max-n 100)"
+geom_json="$(mktemp --suffix=.json)"
+trap 'rm -f "$trace_file" "$summary_file" "$bench_json" "$geom_json"' EXIT
+cargo run --release -q -p fp-bench --bin geom_snapshot -- "$geom_json" --max-n 100 \
+    > /dev/null
+[ -s "$geom_json" ] || { echo "check.sh: geom_snapshot wrote no output"; exit 1; }
+for key in '"median_gradient_speedup"' '"median_overlap_speedup"'; do
+    grep -q "$key" "$geom_json" \
+        || { echo "check.sh: geom_snapshot output missing $key"; exit 1; }
+done
+
 # Service smoke: bring up `floorplan serve` on an ephemeral port, drive it
 # with the `load` generator over a repeated instance, and require (a) every
 # response accounted for and (b) the repeats answered from the solution
@@ -85,7 +100,7 @@ echo "== service smoke (floorplan serve / load)"
 serve_log="$(mktemp)"
 serve_trace="$(mktemp --suffix=.jsonl)"
 load_log="$(mktemp)"
-trap 'rm -f "$trace_file" "$summary_file" "$bench_json" "$serve_log" "$serve_trace" "$load_log"; kill "${serve_pid:-0}" 2>/dev/null || true' EXIT
+trap 'rm -f "$trace_file" "$summary_file" "$bench_json" "$geom_json" "$serve_log" "$serve_trace" "$load_log"; kill "${serve_pid:-0}" 2>/dev/null || true' EXIT
 cargo build --release -q -p fp-cli
 ./target/release/floorplan serve --bind 127.0.0.1:0 --workers 2 \
     --trace "$serve_trace" > "$serve_log" 2>&1 &
@@ -120,7 +135,7 @@ echo "== overload smoke (coalescing + load shedding)"
 shed_log="$(mktemp)"
 shed_trace="$(mktemp --suffix=.jsonl)"
 shed_load="$(mktemp)"
-trap 'rm -f "$trace_file" "$summary_file" "$bench_json" "$serve_log" "$serve_trace" "$load_log" "$shed_log" "$shed_trace" "$shed_load"; kill "${serve_pid:-0}" "${shed_pid:-0}" 2>/dev/null || true' EXIT
+trap 'rm -f "$trace_file" "$summary_file" "$bench_json" "$geom_json" "$serve_log" "$serve_trace" "$load_log" "$shed_log" "$shed_trace" "$shed_load"; kill "${serve_pid:-0}" "${shed_pid:-0}" 2>/dev/null || true' EXIT
 ./target/release/floorplan serve --bind 127.0.0.1:0 --workers 1 --cache 0 \
     --queue 2 --pending 64 --trace "$shed_trace" > "$shed_log" 2>&1 &
 shed_pid=$!
