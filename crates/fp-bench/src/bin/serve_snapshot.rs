@@ -25,6 +25,15 @@
 //!   race. Recorded per leg: deadline-hit rate, degraded share, mean
 //!   area, and which backend won each job. The portfolio's hit rate must
 //!   be at least the sequential ladder's.
+//! * `eco` — one [`ECO_MODULES`]-module base instance solved from
+//!   scratch, then [`ECO_EDITS`] single-module edits each solved both
+//!   ways: from scratch (the edited netlist as a fresh job) and as an
+//!   ECO delta job pinned to the base fingerprint. Recorded: the median
+//!   and mean ECO-vs-scratch solve-time ratio, the median and max
+//!   ECO-vs-scratch area ratio, and how many deltas rode the incremental
+//!   path. `serve_snapshot --eco-only` runs just this leg and prints its
+//!   JSON object to stdout; `scripts/check.sh` pins the median latency
+//!   ratio <= 0.5 and the median area ratio <= 1.05 against it.
 
 use fp_netlist::generator::ProblemGenerator;
 use fp_serve::{
@@ -42,6 +51,12 @@ const MODULES: usize = 4;
 const DL_JOBS: u64 = 24;
 const DL_MODULES: usize = 9;
 const DL_MS: u64 = 50;
+
+/// The eco leg's workload: base size (the ISSUE pins n >= 33) and how
+/// many single-module edits are timed both ways.
+const ECO_MODULES: usize = 33;
+const ECO_EDITS: usize = 5;
+const ECO_SEED: u64 = 0xEC0;
 
 struct Measured {
     wall_s: f64,
@@ -260,6 +275,86 @@ fn drive_deadline(backends: Vec<Backend>) -> DeadlineLeg {
     leg
 }
 
+/// The eco leg's measurements over [`ECO_EDITS`] single-module edits.
+struct EcoLeg {
+    /// Per-edit ECO/scratch solve-time ratios, sorted ascending.
+    latency_ratios: Vec<f64>,
+    /// Per-edit ECO/scratch chip-area ratios, sorted ascending.
+    area_ratios: Vec<f64>,
+    /// Edits whose delta job rode the incremental path.
+    base_hits: usize,
+    scratch_p50_ms: f64,
+    eco_p50_ms: f64,
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    percentile(sorted, 50.0)
+}
+
+/// Drives the eco leg through an in-process engine: solve the base from
+/// scratch (warming the solution cache and basis store), then time each
+/// single-module edit as a fresh scratch job and as a pinned delta job.
+/// Scratch runs first so the delta job cannot ride anything the scratch
+/// solve published beyond what any equally fresh client would see.
+fn drive_eco() -> EcoLeg {
+    let engine = Engine::start(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_cache_capacity(64)
+            .with_node_limit(4_000),
+    );
+    let client = engine.client();
+    let base = ProblemGenerator::new(ECO_MODULES, ECO_SEED).generate();
+    let resp = client.call(JobRequest::new(0, &base));
+    assert!(resp.ok, "eco base solve failed: {}", resp.error);
+    let base_fp = resp.fingerprint;
+    assert_ne!(base_fp, 0, "base job must report its fingerprint");
+
+    let mut leg = EcoLeg {
+        latency_ratios: Vec::with_capacity(ECO_EDITS),
+        area_ratios: Vec::with_capacity(ECO_EDITS),
+        base_hits: 0,
+        scratch_p50_ms: 0.0,
+        eco_p50_ms: 0.0,
+    };
+    let mut scratch_ms = Vec::with_capacity(ECO_EDITS);
+    let mut eco_ms = Vec::with_capacity(ECO_EDITS);
+    for i in 0..ECO_EDITS {
+        let script = format!("mod! m{:02} rigid {} {} rot", i * 5, 2 + i % 4, 3 + i % 3);
+        let ops = fp_serve::parse_delta_ops(&script).expect("edit script");
+        let edited = fp_serve::apply_delta(&base, &ops)
+            .expect("apply edit")
+            .netlist;
+        let scratch = client.call(JobRequest::new(100 + i as u64, &edited).with_cache(false));
+        assert!(scratch.ok, "scratch job {i} failed: {}", scratch.error);
+        let eco = client.call(
+            JobRequest::new(200 + i as u64, &base)
+                .with_eco(&script)
+                .with_eco_base(base_fp)
+                .with_cache(false),
+        );
+        assert!(eco.ok, "eco job {i} failed: {}", eco.error);
+        assert_eq!(
+            eco.fingerprint, scratch.fingerprint,
+            "edit {i}: delta and scratch must agree on the edited instance"
+        );
+        leg.base_hits += usize::from(eco.eco_base_hit);
+        leg.latency_ratios
+            .push(eco.micros as f64 / (scratch.micros as f64).max(1.0));
+        leg.area_ratios.push(eco.area / scratch.area.max(1e-12));
+        scratch_ms.push(scratch.micros as f64 / 1e3);
+        eco_ms.push(eco.micros as f64 / 1e3);
+    }
+    engine.shutdown();
+    leg.latency_ratios.sort_by(f64::total_cmp);
+    leg.area_ratios.sort_by(f64::total_cmp);
+    scratch_ms.sort_by(f64::total_cmp);
+    eco_ms.sort_by(f64::total_cmp);
+    leg.scratch_p50_ms = median(&scratch_ms);
+    leg.eco_p50_ms = median(&eco_ms);
+    leg
+}
+
 fn leg_json(m: &Measured) -> String {
     let acc = m.report.accounting;
     format!(
@@ -307,8 +402,52 @@ fn deadline_json(leg: &DeadlineLeg) -> String {
     )
 }
 
+fn eco_json(leg: &EcoLeg) -> String {
+    format!(
+        "{{\"modules\": {ECO_MODULES}, \"edits\": {ECO_EDITS}, \
+         \"base_hits\": {}, \"median_latency_ratio\": {:.3}, \
+         \"mean_latency_ratio\": {:.3}, \"median_area_ratio\": {:.3}, \
+         \"max_area_ratio\": {:.3}, \"scratch_p50_ms\": {:.1}, \
+         \"eco_p50_ms\": {:.1}}}",
+        leg.base_hits,
+        median(&leg.latency_ratios),
+        leg.latency_ratios.iter().sum::<f64>() / leg.latency_ratios.len().max(1) as f64,
+        median(&leg.area_ratios),
+        leg.area_ratios.last().copied().unwrap_or(0.0),
+        leg.scratch_p50_ms,
+        leg.eco_p50_ms
+    )
+}
+
+/// Runs the eco leg, prints its progress line, and asserts every delta
+/// rode the incremental path (the whole point of the leg).
+fn eco_leg_checked() -> EcoLeg {
+    let eco = drive_eco();
+    eprintln!(
+        "eco: {}/{ECO_EDITS} base hits, latency ratio p50 {:.3}, \
+         area ratio p50 {:.3}, scratch p50 {:.0}ms vs eco p50 {:.0}ms",
+        eco.base_hits,
+        median(&eco.latency_ratios),
+        median(&eco.area_ratios),
+        eco.scratch_p50_ms,
+        eco.eco_p50_ms
+    );
+    assert_eq!(
+        eco.base_hits, ECO_EDITS,
+        "every single-module delta must ride the incremental path"
+    );
+    eco
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--eco-only") {
+        // The check-script entry point: just the eco leg, its JSON
+        // object on stdout (progress stays on stderr).
+        let eco = eco_leg_checked();
+        println!("{}", eco_json(&eco));
+        return;
+    }
     if args.iter().any(|a| a == "--overload-only") {
         // The check-script entry point: just the overload leg, its JSON
         // object on stdout (progress stays on stderr).
@@ -386,6 +525,8 @@ fn main() {
         sequential.hits
     );
 
+    let eco = eco_leg_checked();
+
     let speedup = event.throughput / threaded.throughput.max(1e-12);
     let json = format!(
         "{{\n  \"bench\": \"serve_io\",\n  \"reps\": {REPS},\n  \
@@ -395,12 +536,14 @@ fn main() {
          \"event\": {},\n  \"threaded\": {},\n  \
          \"overload\": {},\n  \
          \"deadline\": {{\"jobs\": {DL_JOBS}, \"modules\": {DL_MODULES}, \
-         \"deadline_ms\": {DL_MS}, \"sequential\": {}, \"portfolio\": {}}}\n}}\n",
+         \"deadline_ms\": {DL_MS}, \"sequential\": {}, \"portfolio\": {}}},\n  \
+         \"eco\": {}\n}}\n",
         leg_json(&event),
         leg_json(&threaded),
         overload_json(&overload),
         deadline_json(&sequential),
-        deadline_json(&portfolio)
+        deadline_json(&portfolio),
+        eco_json(&eco)
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     eprintln!(

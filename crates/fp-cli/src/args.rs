@@ -93,6 +93,9 @@ pub struct ServeArgs {
     pub trace: Option<String>,
     /// Solver backends to race per job (empty = the sequential ladder).
     pub backends: Vec<Backend>,
+    /// Solution-cache snapshot file: loaded on start, written on
+    /// graceful shutdown (None = in-memory only).
+    pub cache_file: Option<String>,
 }
 
 /// Flags of `floorplan load`.
@@ -120,6 +123,10 @@ pub struct LoadArgs {
     pub dup: usize,
     /// Disable the solution cache for the submitted jobs.
     pub no_cache: bool,
+    /// Percentage (0-100) of jobs sent as ECO delta jobs against one
+    /// shared base instance (solved up front so its placement is in the
+    /// service cache); each delta edits a single module.
+    pub eco: usize,
 }
 
 /// Parses a full argument list (without the program name).
@@ -263,6 +270,7 @@ fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, 
         max_line: 1 << 20,
         trace: None,
         backends: Vec::new(),
+        cache_file: None,
     };
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -324,6 +332,7 @@ fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, 
             }
             "--trace" => args.trace = Some(value("--trace")?),
             "--backends" => args.backends = Backend::parse_list(&value("--backends")?)?,
+            "--cache-file" => args.cache_file = Some(value("--cache-file")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown serve option '{other}'")),
         }
@@ -342,6 +351,7 @@ fn parse_load_args<I: Iterator<Item = String>>(mut it: I) -> Result<LoadArgs, St
         rate: 0.0,
         dup: 0,
         no_cache: false,
+        eco: 0,
     };
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -399,6 +409,13 @@ fn parse_load_args<I: Iterator<Item = String>>(mut it: I) -> Result<LoadArgs, St
                 args.dup = p;
             }
             "--no-cache" => args.no_cache = true,
+            "--eco" => {
+                let p: usize = value("--eco")?.parse().map_err(|_| "bad eco percent")?;
+                if p > 100 {
+                    return Err("--eco wants a percentage 0-100".to_string());
+                }
+                args.eco = p;
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown load option '{other}'")),
         }
@@ -456,7 +473,7 @@ pub const HELP: &str = "usage: floorplan [INPUT.fp] [--ami33 | --random N:SEED]
 usage: floorplan serve [--bind ADDR] [--workers N] [--cache N]
   [--node-limit N] [--io event|threads] [--shards N] [--queue N]
   [--pending N] [--max-line BYTES] [--trace FILE.jsonl]
-  [--backends LIST]
+  [--backends LIST] [--cache-file FILE.jsonl]
 
   serve floorplanning jobs over TCP, one JSON object per line in each
   direction; --bind 127.0.0.1:0 picks an ephemeral port (printed on start)
@@ -467,17 +484,23 @@ usage: floorplan serve [--bind ADDR] [--workers N] [--cache N]
   --backends LIST  race these solver backends per job (comma-separated
                 from milp, annealer, analytic; default: the sequential
                 MILP ladder alone)
+  --cache-file F   persist the solution cache: load the snapshot on
+                start, write it back on graceful shutdown
 
 usage: floorplan load [--addr ADDR] [--clients N] [--jobs M]
   [--deadline-ms D] [--modules K] [--spread S] [--dup PCT]
-  [--rate JOBS_PER_S] [--no-cache]
+  [--rate JOBS_PER_S] [--no-cache] [--eco PCT]
 
   drive a running serve with N clients x M jobs over S distinct random
   instances and report accounting, throughput and latency percentiles
   --dup PCT   PCT% of jobs submit one shared instance (coalesce/cache
               fodder), the rest are all distinct; overrides --spread
   --rate R    open loop: send at R jobs/s aggregate without waiting for
-              answers (default closed loop: one in flight per client)";
+              answers (default closed loop: one in flight per client)
+  --eco PCT   PCT% of jobs are ECO delta jobs: one shared base instance
+              is solved up front, then each delta edits a single module
+              and pins the base fingerprint so the service re-solves
+              incrementally from the cached base placement";
 
 #[cfg(test)]
 mod tests {
@@ -690,8 +713,28 @@ mod tests {
         assert!(l.no_cache);
         assert_eq!(l.rate, 0.0);
         assert_eq!(l.dup, 0);
+        assert_eq!(l.eco, 0);
         assert!(command(&["load", "--clients", "0"]).is_err());
         assert!(command(&["load", "--jobs", "x"]).is_err());
+    }
+
+    #[test]
+    fn load_eco_flag_parses() {
+        let Command::Load(l) = command(&["load", "--eco", "40"]).unwrap() else {
+            panic!("expected load");
+        };
+        assert_eq!(l.eco, 40);
+        assert!(command(&["load", "--eco", "101"]).is_err());
+        assert!(command(&["load", "--eco", "some"]).is_err());
+    }
+
+    #[test]
+    fn serve_cache_file_parses() {
+        let Command::Serve(s) = command(&["serve", "--cache-file", "snap.jsonl"]).unwrap() else {
+            panic!("expected serve");
+        };
+        assert_eq!(s.cache_file.as_deref(), Some("snap.jsonl"));
+        assert!(command(&["serve", "--cache-file"]).is_err());
     }
 
     #[test]

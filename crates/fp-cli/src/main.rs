@@ -12,7 +12,7 @@ mod args;
 
 use args::{Command, LoadArgs, RunArgs, ServeArgs, HELP};
 use fp_core::{optimize_topology, FloorplanConfig, Floorplanner};
-use fp_netlist::generator::ProblemGenerator;
+use fp_netlist::{generator::ProblemGenerator, Netlist};
 use fp_route::{route, RouteConfig};
 use fp_serve::{JobRequest, JobResponse, ServeConfig, Server};
 use fp_viz::{ascii_floorplan, svg_floorplan, svg_routed};
@@ -165,6 +165,9 @@ fn cmd_serve(args: &ServeArgs) -> Result<(), String> {
     if args.shards > 0 {
         config = config.with_shards(args.shards);
     }
+    if let Some(path) = &args.cache_file {
+        config = config.with_cache_path(Some(std::path::PathBuf::from(path)));
+    }
     let shards = config.shards;
     let server = Server::bind(args.bind.as_str(), config).map_err(|e| e.to_string())?;
     // The resolved address (not the bind string) so `--bind 127.0.0.1:0`
@@ -191,13 +194,74 @@ fn cmd_serve(args: &ServeArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// The base instance `--eco` delta jobs edit, plus its fingerprint as
+/// reported by the service after the up-front scratch solve (pinning it
+/// on each delta job detects base drift server-side).
+struct EcoBase {
+    netlist: Netlist,
+    fingerprint: u64,
+}
+
+/// Seed of the shared `--eco` base instance, outside the 1..=spread and
+/// 1000+ ranges the normal mix draws from.
+const ECO_BASE_SEED: u64 = 0xEC0;
+
+/// Solves the `--eco` base instance once over its own connection so its
+/// placement is in the service's solution cache before any delta job
+/// refers to it.
+fn solve_eco_base(args: &LoadArgs) -> Result<EcoBase, String> {
+    let netlist = ProblemGenerator::new(args.modules, ECO_BASE_SEED).generate();
+    let stream = TcpStream::connect(&args.addr)
+        .map_err(|e| format!("cannot connect to '{}': {e}", args.addr))?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let req = JobRequest::new(u64::MAX, &netlist);
+    writeln!(writer, "{}", req.encode()).map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+        return Err("server closed the connection".to_string());
+    }
+    let resp = JobResponse::decode(line.trim_end())?;
+    if !resp.ok {
+        return Err(format!("eco base solve failed: {}", resp.error));
+    }
+    if resp.fingerprint == 0 {
+        return Err("server did not report a fingerprint (predates ECO)".to_string());
+    }
+    Ok(EcoBase {
+        netlist,
+        fingerprint: resp.fingerprint,
+    })
+}
+
+/// The single-module edit script of the `global_job`-th delta job: each
+/// resizes one module (cycling through the base's modules) to dimensions
+/// varied by job index, so every delta yields a distinct edited instance.
+fn eco_script(args: &LoadArgs, global_job: usize) -> String {
+    let k = global_job % args.modules;
+    let w = 2 + (global_job / args.modules) % 4;
+    let h = 2 + (global_job / 7) % 3;
+    format!("mod! m{k:02} rigid {w} {h} rot")
+}
+
 /// The instance a load job submits. Default: jobs cycle through `spread`
 /// distinct seeds, so every seed after the first round repeats an earlier
 /// instance and can be answered from the service's solution cache. With
 /// `--dup PCT`, PCT% of jobs (evenly interleaved) submit ONE shared
 /// instance — the coalescing/dedup workload — and the rest are all
-/// distinct.
-fn load_instance(args: &LoadArgs, global_job: usize) -> JobRequest {
+/// distinct. With `--eco PCT`, PCT% of jobs (same interleave) submit a
+/// delta against the shared base instead.
+fn load_instance(args: &LoadArgs, global_job: usize, eco: Option<&EcoBase>) -> JobRequest {
+    if let Some(base) = eco {
+        if (global_job as u64 * args.eco as u64) % 100 < args.eco as u64 {
+            return JobRequest::new(global_job as u64, &base.netlist)
+                .with_eco(eco_script(args, global_job))
+                .with_eco_base(base.fingerprint)
+                .with_deadline_ms(args.deadline_ms)
+                .with_cache(!args.no_cache);
+        }
+    }
     let seed = if args.dup > 0 {
         // Bresenham-style interleave: of every 100 consecutive jobs,
         // `dup` are the shared instance, spaced evenly, not bunched.
@@ -225,7 +289,11 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
 
 /// One client's closed-loop run: one job in flight at a time, latency is
 /// pure request-to-response time.
-fn run_closed_loop(args: &LoadArgs, client: usize) -> Result<Vec<(JobResponse, f64)>, String> {
+fn run_closed_loop(
+    args: &LoadArgs,
+    client: usize,
+    eco: Option<&EcoBase>,
+) -> Result<Vec<(JobResponse, f64)>, String> {
     let stream = TcpStream::connect(&args.addr)
         .map_err(|e| format!("cannot connect to '{}': {e}", args.addr))?;
     // Each job is one small line each way; without NODELAY the
@@ -235,7 +303,7 @@ fn run_closed_loop(args: &LoadArgs, client: usize) -> Result<Vec<(JobResponse, f
     let mut reader = BufReader::new(stream);
     let mut out = Vec::with_capacity(args.jobs);
     for j in 0..args.jobs {
-        let req = load_instance(args, client * args.jobs + j);
+        let req = load_instance(args, client * args.jobs + j, eco);
         let sent = Instant::now();
         writeln!(writer, "{}", req.encode()).map_err(|e| e.to_string())?;
         let mut line = String::new();
@@ -256,6 +324,7 @@ fn run_open_loop(
     args: &LoadArgs,
     client: usize,
     gap: Duration,
+    eco: Option<&EcoBase>,
 ) -> Result<Vec<(JobResponse, f64)>, String> {
     let stream = TcpStream::connect(&args.addr)
         .map_err(|e| format!("cannot connect to '{}': {e}", args.addr))?;
@@ -276,7 +345,7 @@ fn run_open_loop(
     });
     let mut sent = HashMap::with_capacity(args.jobs);
     for j in 0..args.jobs {
-        let req = load_instance(args, client * args.jobs + j);
+        let req = load_instance(args, client * args.jobs + j, eco);
         sent.insert(req.id, Instant::now());
         writeln!(writer, "{}", req.encode()).map_err(|e| e.to_string())?;
         std::thread::sleep(gap);
@@ -307,15 +376,31 @@ fn cmd_load(args: &LoadArgs) -> Result<(), String> {
         "load: {} clients x {} jobs -> {} ({mix} of {} modules, {pacing})",
         args.clients, args.jobs, args.addr, args.modules
     );
+    // ECO traffic needs the shared base solved (and cached service-side)
+    // before the first delta job refers to its fingerprint.
+    let eco_base = if args.eco > 0 {
+        let base = solve_eco_base(args)?;
+        println!(
+            "eco: base instance solved, fingerprint {:016x} ({}% delta jobs)",
+            base.fingerprint, args.eco
+        );
+        Some(std::sync::Arc::new(base))
+    } else {
+        None
+    };
     // Open loop: aggregate arrival rate `--rate` split across clients.
     let gap = (args.rate > 0.0).then(|| Duration::from_secs_f64(args.clients as f64 / args.rate));
     let started = Instant::now();
     let handles: Vec<_> = (0..args.clients)
         .map(|c| {
             let args = args.clone();
-            std::thread::spawn(move || match gap {
-                Some(gap) => run_open_loop(&args, c, gap),
-                None => run_closed_loop(&args, c),
+            let eco_base = eco_base.clone();
+            std::thread::spawn(move || {
+                let eco = eco_base.as_deref();
+                match gap {
+                    Some(gap) => run_open_loop(&args, c, gap, eco),
+                    None => run_closed_loop(&args, c, eco),
+                }
             })
         })
         .collect();
@@ -366,6 +451,29 @@ fn cmd_load(args: &LoadArgs) -> Result<(), String> {
             "backends: {}  degraded {:.1}%",
             dist.join("  "),
             100.0 * degraded as f64 / ok.max(1) as f64
+        );
+    }
+    // ECO accounting: how many delta jobs rode the incremental path
+    // (base placement found, only touched modules re-placed) versus
+    // falling back to a scratch solve of the edited instance.
+    let eco_jobs: Vec<&JobResponse> = responses
+        .iter()
+        .filter(|(r, _)| r.eco_total > 0)
+        .map(|(r, _)| r)
+        .collect();
+    if !eco_jobs.is_empty() {
+        let hits = eco_jobs.iter().filter(|r| r.eco_base_hit).count();
+        let replaced: usize = eco_jobs
+            .iter()
+            .filter(|r| r.eco_base_hit)
+            .map(|r| r.eco_replaced)
+            .sum();
+        println!(
+            "eco: {} delta jobs  base hits {hits}  scratch fallbacks {}  avg replaced {:.1}/{}",
+            eco_jobs.len(),
+            eco_jobs.len() - hits,
+            replaced as f64 / hits.max(1) as f64,
+            args.modules
         );
     }
     for (r, _) in responses

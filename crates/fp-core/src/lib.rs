@@ -46,6 +46,7 @@
 
 mod augment;
 mod config;
+mod eco;
 mod envelope;
 mod error;
 mod formulation;
@@ -59,6 +60,7 @@ pub use augment::{
     derive_chip_width, FloorplanResult, Floorplanner, RunStats, StepKind, StepOutcome, StepStats,
 };
 pub use config::{FloorplanConfig, Objective, OrderingStrategy, SoftShapeModel};
+pub use eco::{eco_replace, EcoOutcome};
 pub use error::FloorplanError;
 pub use fp_milp::StopFlag;
 pub use greedy::{bottom_left, legalize, LegalizeItem};

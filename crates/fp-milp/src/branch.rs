@@ -82,8 +82,13 @@ fn add_root_cuts(
     ub: &[f64],
     integral: &[bool],
     st: &Strengthened,
+    seed: Option<Arc<BasisSnapshot>>,
     tracer: &Tracer,
-) -> (usize, Option<Arc<BasisSnapshot>>) {
+) -> (
+    usize,
+    Option<Arc<BasisSnapshot>>,
+    Option<Arc<BasisSnapshot>>,
+) {
     let mut sep = CutSeparator::new(st, rows, lb, ub, integral);
     let max = options.max_cuts;
     let mut added = 0;
@@ -100,8 +105,14 @@ fn add_root_cuts(
     let mut pending: Option<(usize, usize, usize)> = None;
     // Optimal basis over the latest *committed* row set, captured before any
     // provisional cuts are appended — a rollback truncates back to exactly
-    // the row count this basis was solved over, so it stays reusable.
-    let mut committed: Option<Arc<BasisSnapshot>> = None;
+    // the row count this basis was solved over, so it stays reusable. The
+    // cross-solve `seed` (if any) plays the role of a zeroth committed
+    // basis, so the otherwise-cold baseline solve warm-starts from it.
+    let mut committed: Option<Arc<BasisSnapshot>> = seed;
+    // The basis of the cut-free baseline relaxation: the only snapshot whose
+    // row count a *future* solve of this model can still load (cut rows are
+    // per-solve), so it is what a BasisStore publishes.
+    let mut baseline: Option<Arc<BasisSnapshot>> = None;
 
     for round in 0..=CUT_ROUNDS {
         let problem = LpProblem {
@@ -134,6 +145,9 @@ fn add_root_cuts(
                 }
                 bound = obj;
                 committed = Some(ws.snapshot());
+                if baseline.is_none() {
+                    baseline = committed.clone();
+                }
                 x
             }
             // Infeasible/unbounded/limits: the pending round can't be
@@ -174,7 +188,7 @@ fn add_root_cuts(
     }
     // `committed.m < rows.len()` (cuts kept on an unjudgeable break) still
     // warm-starts the root via the same slack-extension load.
-    (added, committed)
+    (added, committed, baseline)
 }
 
 /// The per-node LP configuration derived once per solve. The kernel choice
@@ -275,6 +289,35 @@ pub(crate) fn solve(
     // Optimal basis of the final root relaxation, recovered from the cut
     // loop so the tree's root node does not repeat its cold solve.
     let mut root_basis: Option<Arc<BasisSnapshot>> = None;
+    // The basis a cross-solve BasisStore publishes for future solves; only
+    // the cut-free baseline qualifies (cut rows are per-solve).
+    let mut publish_basis: Option<Arc<BasisSnapshot>> = None;
+
+    // Cross-solve warm start: seed this solve's root relaxation from the
+    // basis an earlier keyed solve published. Dimension checks mirror what
+    // the kernels accept (`n_struct` must match; fewer rows load via slack
+    // extension), so a stale entry degrades to a cold root, never an error —
+    // a wrong-but-well-formed basis can only cost pivots.
+    let mut basis_tier = crate::BasisTier::Cold;
+    let basis_seed = if options.warm_start {
+        options.basis_store.as_ref().and_then(|store| {
+            store
+                .fetch(crate::basis_store::slot(
+                    options.basis_load_key,
+                    model.num_vars(),
+                ))
+                .filter(|snap| snap.n_struct == model.num_vars() && snap.m <= rows.len())
+        })
+    } else {
+        None
+    };
+    if let Some(snap) = &basis_seed {
+        basis_tier = if snap.m == rows.len() {
+            crate::BasisTier::Hot
+        } else {
+            crate::BasisTier::Warm
+        };
+    }
 
     // Root model strengthening: big-M coefficient tightening, 0-1 probing,
     // and cutting planes appended to the row set so every node (and every
@@ -319,13 +362,26 @@ pub(crate) fn solve(
             },
         );
         if options.max_cuts > 0 {
-            let (cuts_added, basis) = add_root_cuts(
-                model, options, started, &c, &mut rows, &lb, &ub, &integral, &st, tracer,
+            let (cuts_added, basis, baseline) = add_root_cuts(
+                model,
+                options,
+                started,
+                &c,
+                &mut rows,
+                &lb,
+                &ub,
+                &integral,
+                &st,
+                basis_seed.clone(),
+                tracer,
             );
             counters.cuts_added = cuts_added;
+            publish_basis = baseline;
             if options.warm_start {
                 root_basis = basis;
             }
+        } else if options.warm_start {
+            root_basis = basis_seed.clone();
         }
     } else {
         tracer.emit(
@@ -337,6 +393,21 @@ pub(crate) fn solve(
                 implications: 0,
             },
         );
+        if options.warm_start {
+            root_basis = basis_seed;
+        }
+    }
+
+    // Publish the cut-free baseline basis for future solves of this (or a
+    // structurally similar) instance. Solves that never reached a baseline
+    // optimum (strengthen off, infeasible root, limits) publish nothing.
+    if let Some(store) = &options.basis_store {
+        if let Some(snap) = &publish_basis {
+            store.publish(
+                crate::basis_store::slot(options.basis_publish_key, model.num_vars()),
+                Arc::clone(snap),
+            );
+        }
     }
 
     let root = Node {
@@ -393,6 +464,7 @@ pub(crate) fn solve(
     stats.binaries_fixed = counters.binaries_fixed;
     stats.implications = counters.implications;
     stats.cuts_added = counters.cuts_added;
+    stats.basis_tier = basis_tier;
     tracer.emit(
         Phase::Solver,
         Event::SolveEnd {
@@ -1466,5 +1538,60 @@ mod tests {
         let p = covering_knapsack()
             .solve_with(&SolveOptions::default().with_threads(3).with_stop(stop));
         assert!(matches!(p, Err(SolveError::LimitWithoutIncumbent)));
+    }
+
+    #[test]
+    fn basis_store_cross_solve_hot_reuse() {
+        use crate::{BasisStore, BasisTier};
+        use std::sync::Arc;
+
+        let store = Arc::new(BasisStore::new(8));
+        let key = 0xfeed_beef_u64;
+        let opts = serial().with_basis_store(Arc::clone(&store), key, key);
+
+        // First solve: store is empty, so the root LP is cold; the cut-free
+        // baseline basis is published under (key, num_vars).
+        let cold = covering_knapsack().solve_with(&opts).unwrap();
+        assert_eq!(cold.stats().basis_tier, BasisTier::Cold);
+        assert!(!store.is_empty(), "first solve publishes its root basis");
+
+        // Second solve of the identical model: same column and row space, so
+        // the stored basis loads hot and the answer is unchanged.
+        let hot = covering_knapsack().solve_with(&opts).unwrap();
+        assert_eq!(hot.stats().basis_tier, BasisTier::Hot);
+        assert!((hot.objective() - cold.objective()).abs() < 1e-9);
+        assert_eq!(hot.optimality(), Optimality::Proven);
+        let (hits, _, published) = store.stats();
+        assert!(hits >= 1);
+        assert!(published >= 2, "both solves publish");
+    }
+
+    #[test]
+    fn basis_store_mismatched_key_stays_cold() {
+        use crate::{BasisStore, BasisTier};
+        use std::sync::Arc;
+
+        let store = Arc::new(BasisStore::new(8));
+        let first = serial().with_basis_store(Arc::clone(&store), 1, 1);
+        covering_knapsack().solve_with(&first).unwrap();
+        // Loading under a different key misses; the solve stays cold and
+        // still reaches the same proven optimum.
+        let second = serial().with_basis_store(Arc::clone(&store), 2, 2);
+        let s = covering_knapsack().solve_with(&second).unwrap();
+        assert_eq!(s.stats().basis_tier, BasisTier::Cold);
+        assert_eq!(s.optimality(), Optimality::Proven);
+    }
+
+    #[test]
+    fn basis_store_warm_start_off_ignores_store() {
+        use crate::{BasisStore, BasisTier};
+        use std::sync::Arc;
+
+        let store = Arc::new(BasisStore::new(8));
+        let opts = serial().with_basis_store(Arc::clone(&store), 5, 5);
+        covering_knapsack().solve_with(&opts).unwrap();
+        let no_warm = opts.clone().with_warm_start(false);
+        let s = covering_knapsack().solve_with(&no_warm).unwrap();
+        assert_eq!(s.stats().basis_tier, BasisTier::Cold);
     }
 }

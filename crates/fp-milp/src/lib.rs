@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod basis_store;
 mod branch;
 mod error;
 mod expr;
@@ -75,6 +76,7 @@ mod sparse;
 pub mod test_support;
 mod var;
 
+pub use basis_store::{BasisStore, BasisTier};
 pub use error::SolveError;
 pub use expr::LinExpr;
 pub use lp_parse::parse_lp;

@@ -1,5 +1,6 @@
 //! Solver configuration.
 
+use crate::basis_store::BasisStore;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -191,6 +192,19 @@ pub struct SolveOptions {
     /// Cooperative cancellation flag polled at node boundaries; see
     /// [`StopFlag`]. Disabled by default.
     pub stop: StopFlag,
+    /// Cross-solve root-basis store (see [`BasisStore`]). When set, the
+    /// solve fetches a root basis under [`Self::basis_load_key`] before the
+    /// tree starts (unless the root cut loop already committed one of its
+    /// own) and publishes its committed root basis under
+    /// [`Self::basis_publish_key`] afterwards. `None` (the default) keeps
+    /// warm starts strictly within one solve.
+    pub basis_store: Option<Arc<BasisStore>>,
+    /// Store key the root basis is *fetched* under — typically the base
+    /// instance's fingerprint (an ECO re-solve loads the base job's basis).
+    pub basis_load_key: u64,
+    /// Store key the committed root basis is *published* under — typically
+    /// this instance's own fingerprint.
+    pub basis_publish_key: u64,
 }
 
 impl Default for SolveOptions {
@@ -213,6 +227,9 @@ impl Default for SolveOptions {
             presolve_passes: 4,
             initial_upper_bound: f64::INFINITY,
             stop: StopFlag::disabled(),
+            basis_store: None,
+            basis_load_key: 0,
+            basis_publish_key: 0,
         }
     }
 }
@@ -335,6 +352,23 @@ impl SolveOptions {
         self.stop = stop;
         self
     }
+
+    /// Returns options wired to a cross-solve [`BasisStore`]: the root LP
+    /// is seeded from the basis stored under `load_key` and the committed
+    /// root basis is published under `publish_key` (pass the same key for
+    /// plain repeat-traffic warm starts).
+    #[must_use]
+    pub fn with_basis_store(
+        mut self,
+        store: Arc<BasisStore>,
+        load_key: u64,
+        publish_key: u64,
+    ) -> Self {
+        self.basis_store = Some(store);
+        self.basis_load_key = load_key;
+        self.basis_publish_key = publish_key;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -451,6 +485,18 @@ mod tests {
         let t = SparseMode::AUTO_THRESHOLD;
         assert!(!SparseMode::Auto.resolve(t - 1, 0));
         assert!(SparseMode::Auto.resolve(t, 0));
+    }
+
+    #[test]
+    fn basis_store_builder() {
+        let o = SolveOptions::default();
+        assert!(o.basis_store.is_none());
+        let store = Arc::new(BasisStore::new(8));
+        let o = o.with_basis_store(Arc::clone(&store), 3, 9);
+        assert!(o.basis_store.is_some());
+        assert_eq!((o.basis_load_key, o.basis_publish_key), (3, 9));
+        // Identity equality, like StopFlag: a clone of the handle is equal.
+        assert_eq!(o.clone(), o);
     }
 
     #[test]

@@ -79,6 +79,12 @@ pub struct SolveStats {
     pub implications: usize,
     /// Cutting planes appended to the root LP (inherited by every node).
     pub cuts_added: usize,
+    /// How the root LP was seeded from a cross-solve
+    /// [`BasisStore`](crate::BasisStore): `Hot` (exact-dimension stored
+    /// basis), `Warm` (stored basis over fewer rows, slack-extended), or
+    /// `Cold` (no cross-solve basis engaged — the default, including when
+    /// no store is wired or the cut loop committed its own basis).
+    pub basis_tier: crate::BasisTier,
 }
 
 /// The result of a successful solve: an assignment of values to every model

@@ -279,6 +279,38 @@ pub enum Event {
         /// Wall time of the whole race, in microseconds.
         micros: u64,
     },
+    /// A delta edit script was applied to a base instance (`fp-serve` ECO
+    /// path): the edited instance is now the job being solved.
+    DeltaApply {
+        /// Canonical FNV-1a fingerprint of the *base* instance.
+        base_key: u64,
+        /// Edit operations in the script.
+        ops: usize,
+        /// Modules the script touched (upserted or removed).
+        touched: usize,
+        /// Modules in the edited instance.
+        total: usize,
+    },
+    /// An ECO job concluded (`fp-serve`): either the incremental driver
+    /// re-placed a neighborhood of the base placement, or the job fell
+    /// back to a scratch solve.
+    EcoJob {
+        /// Client-assigned job id.
+        id: u64,
+        /// Canonical FNV-1a fingerprint of the base instance.
+        base_key: u64,
+        /// Whether the base placement was found in the solution cache and
+        /// the incremental path ran (`false` = scratch fallback).
+        base_hit: bool,
+        /// Modules re-placed by the incremental driver (`total` on a
+        /// scratch fallback).
+        replaced: usize,
+        /// Modules in the edited instance.
+        total: usize,
+        /// Cross-job basis reuse tier of the first re-solve LP
+        /// (`"hot"` / `"warm"` / `"cold"`).
+        basis: &'static str,
+    },
 }
 
 /// Discriminant-only view of [`Event`], used for counters and filtering.
@@ -328,11 +360,15 @@ pub enum EventKind {
     BackendDone,
     /// [`Event::Portfolio`]
     Portfolio,
+    /// [`Event::DeltaApply`]
+    DeltaApply,
+    /// [`Event::EcoJob`]
+    EcoJob,
 }
 
 impl EventKind {
     /// Number of event kinds (sizes the per-kind counter array).
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 24;
 
     /// Every kind, in counter-index order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -358,6 +394,8 @@ impl EventKind {
         EventKind::ShardStats,
         EventKind::BackendDone,
         EventKind::Portfolio,
+        EventKind::DeltaApply,
+        EventKind::EcoJob,
     ];
 
     /// Dense index of this kind in [`EventKind::ALL`].
@@ -386,6 +424,8 @@ impl EventKind {
             EventKind::ShardStats => 19,
             EventKind::BackendDone => 20,
             EventKind::Portfolio => 21,
+            EventKind::DeltaApply => 22,
+            EventKind::EcoJob => 23,
         }
     }
 
@@ -415,6 +455,8 @@ impl EventKind {
             EventKind::ShardStats => "ShardStats",
             EventKind::BackendDone => "BackendDone",
             EventKind::Portfolio => "Portfolio",
+            EventKind::DeltaApply => "DeltaApply",
+            EventKind::EcoJob => "EcoJob",
         }
     }
 }
@@ -446,6 +488,8 @@ impl Event {
             Event::ShardStats { .. } => EventKind::ShardStats,
             Event::BackendDone { .. } => EventKind::BackendDone,
             Event::Portfolio { .. } => EventKind::Portfolio,
+            Event::DeltaApply { .. } => EventKind::DeltaApply,
+            Event::EcoJob { .. } => EventKind::EcoJob,
         }
     }
 }
@@ -646,6 +690,32 @@ impl Record {
                 field("backends", backends.to_string());
                 field("winner", format!("\"{winner}\""));
                 field("micros", micros.to_string());
+            }
+            Event::DeltaApply {
+                base_key,
+                ops,
+                touched,
+                total,
+            } => {
+                field("base_key", format!("\"{base_key:016x}\""));
+                field("ops", ops.to_string());
+                field("touched", touched.to_string());
+                field("total", total.to_string());
+            }
+            Event::EcoJob {
+                id,
+                base_key,
+                base_hit,
+                replaced,
+                total,
+                basis,
+            } => {
+                field("id", id.to_string());
+                field("base_key", format!("\"{base_key:016x}\""));
+                field("base_hit", base_hit.to_string());
+                field("replaced", replaced.to_string());
+                field("total", total.to_string());
+                field("basis", format!("\"{basis}\""));
             }
         }
         s.push('}');

@@ -292,8 +292,11 @@ pub fn parse_line(line: &str) -> Result<ParsedRecord, String> {
 /// numeric `queued` and `retry_after_ms`, `ShardStats` the six numeric
 /// per-shard accounting counters, `BackendDone` a string `backend`, a
 /// numeric `micros` and a boolean `won` (its `cost` may be `null` for
-/// failed legs), and `Portfolio` a string `winner` and numeric
-/// `backends` and `micros`.
+/// failed legs), `Portfolio` a string `winner` and numeric
+/// `backends` and `micros`, `DeltaApply` a string `base_key` and numeric
+/// `ops`, `touched` and `total`, and `EcoJob` string `base_key` and
+/// `basis`, a boolean `base_hit` and numeric `id`, `replaced` and
+/// `total`.
 ///
 /// # Errors
 ///
@@ -379,6 +382,31 @@ pub fn validate_line(line: &str) -> Result<ParsedRecord, String> {
         for key in ["backends", "micros"] {
             if parsed.num(key).is_none() {
                 return Err(format!("Portfolio: missing numeric '{key}' field"));
+            }
+        }
+    }
+    if parsed.str_field("event") == Some("DeltaApply") {
+        if parsed.str_field("base_key").is_none() {
+            return Err("DeltaApply: missing string 'base_key' field".to_string());
+        }
+        for key in ["ops", "touched", "total"] {
+            if parsed.num(key).is_none() {
+                return Err(format!("DeltaApply: missing numeric '{key}' field"));
+            }
+        }
+    }
+    if parsed.str_field("event") == Some("EcoJob") {
+        for key in ["base_key", "basis"] {
+            if parsed.str_field(key).is_none() {
+                return Err(format!("EcoJob: missing string '{key}' field"));
+            }
+        }
+        if parsed.bool_field("base_hit").is_none() {
+            return Err("EcoJob: missing boolean 'base_hit' field".to_string());
+        }
+        for key in ["id", "replaced", "total"] {
+            if parsed.num(key).is_none() {
+                return Err(format!("EcoJob: missing numeric '{key}' field"));
             }
         }
     }
@@ -545,12 +573,32 @@ mod tests {
                 micros: 1500,
             },
         );
+        t.emit(
+            Phase::Serve,
+            Event::DeltaApply {
+                base_key: u64::MAX,
+                ops: 2,
+                touched: 3,
+                total: 33,
+            },
+        );
+        t.emit(
+            Phase::Serve,
+            Event::EcoJob {
+                id: 12,
+                base_key: u64::MAX,
+                base_hit: true,
+                replaced: 4,
+                total: 33,
+                basis: "hot",
+            },
+        );
         t.flush();
 
         let bytes = buf.0.lock().unwrap().clone();
         let text = String::from_utf8(bytes).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 22);
+        assert_eq!(lines.len(), 24);
         for (i, line) in lines.iter().enumerate() {
             let parsed = validate_line(line).unwrap_or_else(|e| panic!("line {i}: {e}\n{line}"));
             assert_eq!(parsed.num("seq"), Some(i as f64));
@@ -596,6 +644,49 @@ mod tests {
         assert_eq!(race.str_field("winner"), Some("milp"));
         assert_eq!(race.num("backends"), Some(3.0));
         assert_eq!(race.num("micros"), Some(1500.0));
+        let delta = parse_line(lines[22]).unwrap();
+        assert_eq!(delta.str_field("event"), Some("DeltaApply"));
+        assert_eq!(delta.str_field("base_key"), Some("ffffffffffffffff"));
+        assert_eq!(delta.num("ops"), Some(2.0));
+        assert_eq!(delta.num("touched"), Some(3.0));
+        let eco = parse_line(lines[23]).unwrap();
+        assert_eq!(eco.str_field("event"), Some("EcoJob"));
+        assert_eq!(eco.str_field("base_key"), Some("ffffffffffffffff"));
+        assert_eq!(eco.bool_field("base_hit"), Some(true));
+        assert_eq!(eco.num("replaced"), Some(4.0));
+        assert_eq!(eco.str_field("basis"), Some("hot"));
+    }
+
+    #[test]
+    fn eco_lines_require_their_fields() {
+        validate_line(
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"DeltaApply\",\
+             \"base_key\":\"ab\",\"ops\":1,\"touched\":1,\"total\":9}",
+        )
+        .unwrap();
+        validate_line(
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"EcoJob\",\"id\":3,\
+             \"base_key\":\"ab\",\"base_hit\":false,\"replaced\":9,\
+             \"total\":9,\"basis\":\"cold\"}",
+        )
+        .unwrap();
+        for bad in [
+            // DeltaApply with a numeric base_key (must be a hex string).
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"DeltaApply\",\
+             \"base_key\":12,\"ops\":1,\"touched\":1,\"total\":9}",
+            // DeltaApply missing the op count.
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"DeltaApply\",\
+             \"base_key\":\"ab\",\"touched\":1,\"total\":9}",
+            // EcoJob missing the basis tier.
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"EcoJob\",\"id\":3,\
+             \"base_key\":\"ab\",\"base_hit\":false,\"replaced\":9,\"total\":9}",
+            // EcoJob with a non-boolean base_hit.
+            "{\"seq\":0,\"phase\":\"serve\",\"event\":\"EcoJob\",\"id\":3,\
+             \"base_key\":\"ab\",\"base_hit\":1,\"replaced\":9,\
+             \"total\":9,\"basis\":\"cold\"}",
+        ] {
+            assert!(validate_line(bad).is_err(), "should reject: {bad}");
+        }
     }
 
     #[test]

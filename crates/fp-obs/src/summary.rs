@@ -51,6 +51,13 @@ pub fn render_summary(records: &[Record]) -> String {
     let mut shed = 0usize;
     let mut shards = 0usize;
 
+    let mut eco_jobs = 0usize;
+    let mut eco_hits = 0usize;
+    let mut eco_replaced = 0usize;
+    let mut eco_total = 0usize;
+    let mut eco_hot = 0usize;
+    let mut eco_warm = 0usize;
+
     let mut races = 0usize;
     let mut race_micros = 0u64;
     // Per-backend (name, legs, wins, wall-clock micros) in first-seen order.
@@ -170,6 +177,20 @@ pub fn render_summary(records: &[Record]) -> String {
                 races += 1;
                 race_micros += micros;
             }
+            Event::EcoJob {
+                base_hit,
+                replaced,
+                total,
+                basis,
+                ..
+            } => {
+                eco_jobs += 1;
+                eco_hits += usize::from(*base_hit);
+                eco_replaced += replaced;
+                eco_total += total;
+                eco_hot += usize::from(*basis == "hot");
+                eco_warm += usize::from(*basis == "warm");
+            }
             _ => {}
         }
     }
@@ -244,6 +265,13 @@ pub fn render_summary(records: &[Record]) -> String {
              {degraded_jobs} degraded), cache {cache_hits} hits / \
              {cache_misses} misses, {coalesced} coalesced, {shed} shed, \
              mean {mean} us/job{shards}\n"
+        ));
+    }
+    if eco_jobs > 0 {
+        out.push_str(&format!(
+            "  eco:     {eco_jobs} delta jobs ({eco_hits} base hits), \
+             replaced {eco_replaced}/{eco_total} modules, \
+             basis {eco_hot} hot / {eco_warm} warm\n"
         ));
     }
     if races > 0 || !backends.is_empty() {
@@ -568,5 +596,52 @@ mod tests {
         assert!(text.contains("milp 1/2 wins (1700 us)"), "{text}");
         assert!(text.contains("annealer 0/1 wins (400 us)"), "{text}");
         assert!(text.contains("analytic 1/2 wins (550 us)"), "{text}");
+    }
+
+    #[test]
+    fn eco_events_roll_up() {
+        let records = vec![
+            rec(
+                0,
+                Phase::Serve,
+                Event::DeltaApply {
+                    base_key: 7,
+                    ops: 1,
+                    touched: 1,
+                    total: 12,
+                },
+            ),
+            rec(
+                1,
+                Phase::Serve,
+                Event::EcoJob {
+                    id: 1,
+                    base_key: 7,
+                    base_hit: true,
+                    replaced: 2,
+                    total: 12,
+                    basis: "hot",
+                },
+            ),
+            rec(
+                2,
+                Phase::Serve,
+                Event::EcoJob {
+                    id: 2,
+                    base_key: 9,
+                    base_hit: false,
+                    replaced: 12,
+                    total: 12,
+                    basis: "cold",
+                },
+            ),
+        ];
+        let text = render_summary(&records);
+        assert!(
+            text.contains("eco:     2 delta jobs (1 base hits)"),
+            "{text}"
+        );
+        assert!(text.contains("replaced 14/24 modules"), "{text}");
+        assert!(text.contains("basis 1 hot / 0 warm"), "{text}");
     }
 }

@@ -14,6 +14,8 @@
 
 use crate::protocol::JobResponse;
 use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -37,6 +39,9 @@ pub struct SolutionCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Bumped on every [`insert`](Self::insert); the background persist
+    /// loop compares generations to skip snapshots of an unchanged cache.
+    generation: AtomicU64,
 }
 
 impl SolutionCache {
@@ -49,6 +54,7 @@ impl SolutionCache {
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -99,6 +105,16 @@ impl SolutionCache {
                 value,
             },
         );
+        self.generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A counter that advances whenever [`insert`](Self::insert) stores
+    /// something. Two equal readings mean no writes happened in between,
+    /// so a persisted snapshot taken at the first reading is still
+    /// current at the second.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 
     /// `(hits, misses)` since construction.
@@ -121,6 +137,74 @@ impl SolutionCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Writes every entry to `path` as one flat JSON line each
+    /// (`key` as fixed-width hex, `canon`, and the encoded response),
+    /// oldest first so a reload replays recency. [`load`](Self::load)
+    /// round-trips it. The write goes through a `.tmp` sibling and a
+    /// rename, so a crash mid-save never truncates a previous snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating or writing the file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut entries: Vec<(u64, u64, String, String)> = {
+            let guard = self.map.lock().expect("cache lock");
+            guard
+                .0
+                .iter()
+                .map(|(&k, e)| (e.stamp, k, e.canon.to_string(), e.value.encode()))
+                .collect()
+        };
+        entries.sort_by_key(|(stamp, ..)| *stamp);
+        let tmp = path.with_extension("tmp");
+        let mut out = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        for (_, key, canon, resp) in entries {
+            writeln!(
+                out,
+                "{{\"key\":\"{key:016x}\",\"canon\":{},\"resp\":{}}}",
+                crate::protocol::json_str(&canon),
+                crate::protocol::json_str(&resp),
+            )?;
+        }
+        out.flush()?;
+        drop(out);
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a [`save`](Self::save) snapshot into the cache, inserting
+    /// entries in file order (capacity and LRU eviction apply as usual).
+    /// Returns how many entries were loaded. Unreadable or malformed
+    /// lines are *skipped*, not fatal — a truncated or hand-edited
+    /// snapshot still restores everything salvageable.
+    ///
+    /// # Errors
+    ///
+    /// Only failing to open the file; a missing file is the caller's
+    /// cold-start case to handle (`io::ErrorKind::NotFound`).
+    pub fn load(&self, path: &Path) -> std::io::Result<usize> {
+        let reader = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut loaded = 0;
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            let Some((key, canon, resp)) = decode_snapshot_line(&line) else {
+                continue;
+            };
+            self.insert(key, Arc::from(canon), resp);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+/// Decodes one snapshot line; `None` for anything malformed (bad JSON,
+/// missing fields, non-hex key, undecodable response).
+fn decode_snapshot_line(line: &str) -> Option<(u64, String, JobResponse)> {
+    let p = fp_obs::parse_line(line).ok()?;
+    let key = u64::from_str_radix(p.str_field("key")?, 16).ok()?;
+    let canon = p.str_field("canon")?.to_string();
+    let resp = JobResponse::decode(p.str_field("resp")?).ok()?;
+    Some((key, canon, resp))
 }
 
 #[cfg(test)]
@@ -178,6 +262,86 @@ mod tests {
         c.insert(1, canon(1), resp(9));
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(1, &canon(1)).unwrap().area, 9.0);
+    }
+
+    /// A unique temp path per test (pid + name) with drop cleanup.
+    struct TempPath(std::path::PathBuf);
+    impl TempPath {
+        fn new(name: &str) -> Self {
+            TempPath(
+                std::env::temp_dir().join(format!("fp-serve-cache-{}-{name}", std::process::id())),
+            )
+        }
+    }
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_entries_and_recency() {
+        let path = TempPath::new("roundtrip.jsonl");
+        let c = SolutionCache::new(4);
+        let mut special = resp(1);
+        special.placement = "a 0 0 1 2 0;b 1 0 2 1 1".to_string();
+        special.backend = "milp".to_string();
+        c.insert(
+            1,
+            Arc::from("canon with \"quotes\"\nand newline"),
+            special.clone(),
+        );
+        c.insert(2, canon(2), resp(2));
+        assert!(c.get(1, "canon with \"quotes\"\nand newline").is_some()); // 1 is now MRU
+        c.save(&path.0).unwrap();
+
+        let fresh = SolutionCache::new(2);
+        assert_eq!(fresh.load(&path.0).unwrap(), 2);
+        let got = fresh
+            .get(1, "canon with \"quotes\"\nand newline")
+            .expect("hit");
+        assert_eq!(got.placement, special.placement);
+        assert_eq!(got.area, 1.0);
+        // Recency replayed: at capacity 2 both fit, and key 2 (saved
+        // older) is the one a new insert evicts.
+        fresh.insert(3, canon(3), resp(3));
+        assert!(fresh.get(2, &canon(2)).is_none(), "2 was the LRU entry");
+        assert!(fresh.get(1, "canon with \"quotes\"\nand newline").is_some());
+    }
+
+    #[test]
+    fn corrupt_snapshot_lines_are_skipped_not_fatal() {
+        let path = TempPath::new("corrupt.jsonl");
+        let c = SolutionCache::new(4);
+        c.insert(1, canon(1), resp(1));
+        c.insert(2, canon(2), resp(2));
+        c.save(&path.0).unwrap();
+        // Corrupt the middle: garbage, a non-hex key, a truncated line,
+        // and a well-formed line whose resp doesn't decode.
+        let good = std::fs::read_to_string(&path.0).unwrap();
+        let mut lines: Vec<&str> = good.lines().collect();
+        let withheld = lines.remove(1);
+        let mangled = format!(
+            "{}\nnot json at all\n{{\"key\":\"zz\",\"canon\":\"c\",\"resp\":\"r\"}}\n\
+             {{\"key\":\"0000000000000003\",\"canon\":\"c\",\"resp\":\"not a response\"}}\n\
+             {{\"key\":\"00000000000\n{withheld}\n",
+            lines.join("\n")
+        );
+        std::fs::write(&path.0, mangled).unwrap();
+
+        let fresh = SolutionCache::new(8);
+        assert_eq!(fresh.load(&path.0).unwrap(), 2, "both real entries survive");
+        assert!(fresh.get(1, &canon(1)).is_some());
+        assert!(fresh.get(2, &canon(2)).is_some());
+        assert!(fresh.get(3, "c").is_none());
+    }
+
+    #[test]
+    fn loading_missing_snapshot_is_not_found() {
+        let path = TempPath::new("missing.jsonl");
+        let c = SolutionCache::new(4);
+        let err = c.load(&path.0).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
     }
 
     #[test]

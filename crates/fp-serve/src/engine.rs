@@ -15,10 +15,11 @@ use crate::portfolio::Backend;
 use crate::protocol::{JobRequest, JobResponse};
 use crate::queue::{Bounded, PushError};
 use crate::singleflight::{Admit, Inflight};
-use fp_core::{FloorplanConfig, Floorplanner, Objective};
+use fp_core::{Floorplan, FloorplanConfig, Floorplanner, Objective, PlacedModule};
 use fp_netlist::Netlist;
 use fp_obs::{Event, Phase, Tracer};
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -79,6 +80,18 @@ pub struct ServeConfig {
     /// full-pipeline rung with a race of the listed backends under the
     /// job's deadline (see [`crate::Backend`]).
     pub backends: Vec<Backend>,
+    /// ECO jobs whose touched fraction (edited modules / total) exceeds
+    /// this threshold solve from scratch instead of incrementally — past
+    /// it the "delta" is most of the instance and keeping the base buys
+    /// nothing.
+    pub eco_threshold: f64,
+    /// Solution-cache snapshot file: loaded (if present) on
+    /// [`Engine::start`], re-written in the background (atomic
+    /// tmp+rename, every 500ms when the cache changed) and once more on
+    /// shutdown/drop, so ECO base placements survive a server restart —
+    /// even an abrupt one that skips destructors. `None` disables
+    /// persistence.
+    pub cache_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -100,6 +113,8 @@ impl Default for ServeConfig {
             drain_timeout: Duration::from_secs(5),
             tracer: Tracer::disabled(),
             backends: Vec::new(),
+            eco_threshold: 0.5,
+            cache_path: None,
         }
     }
 }
@@ -187,6 +202,22 @@ impl ServeConfig {
     #[must_use]
     pub fn with_backends(mut self, backends: Vec<Backend>) -> Self {
         self.backends = backends;
+        self
+    }
+
+    /// Sets the ECO touched-fraction threshold (clamped to `[0, 1]`)
+    /// above which delta jobs solve from scratch.
+    #[must_use]
+    pub fn with_eco_threshold(mut self, threshold: f64) -> Self {
+        self.eco_threshold = threshold.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the solution-cache snapshot file (`None` disables
+    /// persistence).
+    #[must_use]
+    pub fn with_cache_path(mut self, path: Option<PathBuf>) -> Self {
+        self.cache_path = path;
         self
     }
 }
@@ -295,15 +326,36 @@ enum JobRoute {
     Direct(Waiter),
 }
 
+/// ECO context carried by a delta job: the base instance's identity (for
+/// the cache lookup) and the names the delta touched.
+pub(crate) struct EcoInfo {
+    /// Fingerprint of the base instance under the job's parameters.
+    base_key: u64,
+    /// Canonical text of the base instance (collision check for the
+    /// base-placement cache lookup).
+    base_canon: Arc<str>,
+    /// Whether the request's `eco_base` pin (if any) matched our computed
+    /// base fingerprint; a mismatch means the client's base is not ours
+    /// and its placement must not seed the solve.
+    base_trusted: bool,
+    /// Module names to re-place (edited modules, plus net neighbors when
+    /// the objective weighs wirelength).
+    touched: Vec<String>,
+}
+
 /// One queued job, pre-parsed and canonicalized at submission so workers
 /// never re-do front-end work.
 pub(crate) struct Job {
     req: JobRequest,
+    /// The instance to solve — for ECO jobs, the *edited* netlist (base
+    /// with the delta script applied).
     netlist: Netlist,
     canon: Arc<str>,
     key: u64,
     submitted: Instant,
     route: JobRoute,
+    /// `Some` for ECO (delta) jobs.
+    eco: Option<EcoInfo>,
 }
 
 /// How [`submit`] behaves when the queue is full.
@@ -320,6 +372,9 @@ pub(crate) struct Shared {
     pub(crate) queue: Bounded<Job>,
     table: Inflight<Waiter>,
     cache: SolutionCache,
+    /// Cross-job root-basis store: every solve publishes its root basis
+    /// under the instance fingerprint, ECO re-solves load the base's.
+    basis: Arc<fp_milp::BasisStore>,
     solver: SolverCounters,
     submitted: AtomicU64,
     answered: AtomicU64,
@@ -356,6 +411,10 @@ pub struct EngineStats {
 pub struct Engine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// Dropping this sender is the shutdown signal for the background
+    /// cache-persist thread (present only when `cache_path` is set).
+    persist_stop: Option<mpsc::Sender<()>>,
+    persist: Option<JoinHandle<()>>,
 }
 
 impl Engine {
@@ -363,10 +422,17 @@ impl Engine {
     #[must_use]
     pub fn start(config: ServeConfig) -> Self {
         let workers = config.workers.max(1);
+        let cache = SolutionCache::new(config.cache_capacity);
+        if let Some(path) = &config.cache_path {
+            // Best-effort warm start: a missing or partly corrupt
+            // snapshot is a cold(er) cache, not a startup failure.
+            let _ = cache.load(path);
+        }
         let shared = Arc::new(Shared {
             queue: Bounded::new(config.queue_capacity),
             table: Inflight::new(),
-            cache: SolutionCache::new(config.cache_capacity),
+            cache,
+            basis: Arc::new(fp_milp::BasisStore::new(256)),
             solver: SolverCounters::default(),
             submitted: AtomicU64::new(0),
             answered: AtomicU64::new(0),
@@ -381,7 +447,42 @@ impl Engine {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        Engine { shared, workers }
+        // Background persistence: snapshot the cache (atomic tmp+rename)
+        // whenever it changed, so even a SIGKILL'd server restarts from a
+        // recent snapshot instead of relying solely on the drop-time save
+        // (which a killed process never reaches).
+        let (persist_stop, persist) = if shared.config.cache_path.is_some() {
+            let (tx, rx) = mpsc::channel::<()>();
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::spawn(move || {
+                let mut saved = shared.cache.generation();
+                loop {
+                    match rx.recv_timeout(Duration::from_millis(500)) {
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            let generation = shared.cache.generation();
+                            if generation != saved {
+                                if let Some(path) = &shared.config.cache_path {
+                                    let _ = shared.cache.save(path);
+                                }
+                                saved = generation;
+                            }
+                        }
+                        // Sender dropped: the engine is shutting down; the
+                        // drop-time save takes the final snapshot.
+                        _ => return,
+                    }
+                }
+            });
+            (Some(tx), Some(handle))
+        } else {
+            (None, None)
+        };
+        Engine {
+            shared,
+            workers,
+            persist_stop,
+            persist,
+        }
     }
 
     /// A cheap handle for submitting jobs in-process.
@@ -400,6 +501,12 @@ impl Engine {
     #[must_use]
     pub fn cache_stats(&self) -> (u64, u64) {
         self.shared.cache.stats()
+    }
+
+    /// `(hits, misses, published)` of the cross-job root-basis store.
+    #[must_use]
+    pub fn basis_stats(&self) -> (u64, u64, u64) {
+        self.shared.basis.stats()
     }
 
     /// `(warm, cold)` branch-and-bound node counts accumulated over every
@@ -469,6 +576,17 @@ impl Drop for Engine {
         self.shared.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        drop(self.persist_stop.take());
+        if let Some(handle) = self.persist.take() {
+            let _ = handle.join();
+        }
+        // Graceful-shutdown persistence: every path through shutdown()
+        // or a plain drop lands here exactly once, after the drain and
+        // after the background persist loop has exited, so the snapshot
+        // holds the final cache contents.
+        if let Some(path) = &self.shared.config.cache_path {
+            let _ = self.shared.cache.save(path);
         }
         self.shared.config.tracer.flush();
     }
@@ -547,25 +665,71 @@ pub(crate) fn emit_shed(shared: &Shared, retry_after_ms: u64) {
 pub(crate) fn submit(shared: &Arc<Shared>, req: JobRequest, reply: Reply, admission: Admission) {
     shared.submitted.fetch_add(1, Ordering::Relaxed);
     let submitted = Instant::now();
+    let fail = |req: &JobRequest, reply: Reply, error: String| {
+        let waiter = Waiter {
+            id: req.id,
+            submitted,
+            reply,
+        };
+        let failure = JobResponse::failure(req.id, error);
+        finish(shared, waiter, &failure, false);
+        shared.config.tracer.flush();
+    };
     let netlist = match req.parse_netlist() {
         Ok(n) => n,
-        Err(e) => {
-            let waiter = Waiter {
-                id: req.id,
-                submitted,
-                reply,
-            };
-            let failure = JobResponse::failure(req.id, format!("bad netlist: {e}"));
-            finish(shared, waiter, &failure, false);
-            shared.config.tracer.flush();
-            return;
-        }
+        Err(e) => return fail(&req, reply, format!("bad netlist: {e}")),
     };
     let params = FingerprintParams {
         width: req.width,
         lambda: req.lambda,
         rotation: req.rotation,
         route: req.route,
+    };
+    // An ECO request ships the *base* instance plus a delta script: apply
+    // the script here so everything downstream (coalescing, caching, the
+    // solve) keys on the *edited* instance, exactly as if the client had
+    // sent it whole.
+    let (netlist, eco) = if req.eco_ops.is_empty() {
+        (netlist, None)
+    } else {
+        let applied = crate::delta::parse_ops(&req.eco_ops)
+            .and_then(|ops| crate::delta::apply(&netlist, &ops).map(|out| (ops, out)));
+        let (ops, out) = match applied {
+            Ok(v) => v,
+            Err(e) => return fail(&req, reply, format!("bad delta: {e}")),
+        };
+        let base_canon: Arc<str> = Arc::from(canonical(&netlist, &params));
+        let base_key = fingerprint_of(&base_canon);
+        let base_trusted = req.eco_base.is_none_or(|pinned| pinned == base_key);
+        let mut touched = out.touched_modules;
+        if req.lambda > 0.0 {
+            // Net neighbors only matter when wirelength is in the
+            // objective; pure-area re-solves gain nothing from freeing
+            // them (see `fp_core::eco_replace`).
+            for name in out.touched_net_members {
+                if !touched.contains(&name) {
+                    touched.push(name);
+                }
+            }
+        }
+        shared.config.tracer.emit(
+            Phase::Serve,
+            Event::DeltaApply {
+                base_key,
+                ops: ops.len(),
+                touched: touched.len(),
+                total: out.netlist.num_modules(),
+            },
+        );
+        (
+            out.netlist,
+            Some(EcoInfo {
+                base_key,
+                base_canon,
+                base_trusted,
+                touched,
+            }),
+        )
     };
     let canon: Arc<str> = Arc::from(canonical(&netlist, &params));
     let key = fingerprint_of(&canon);
@@ -598,6 +762,7 @@ pub(crate) fn submit(shared: &Arc<Shared>, req: JobRequest, reply: Reply, admiss
         key,
         submitted,
         route,
+        eco,
     };
     let refused = match admission {
         Admission::Block => shared.queue.push(job).map_err(|j| (j, PushError::Closed)),
@@ -700,6 +865,7 @@ fn process(job: &Job, shared: &Shared) -> JobResponse {
         if let Some(mut hit) = shared.cache.get(job.key, &job.canon) {
             tracer.emit(Phase::Serve, Event::CacheHit { key: job.key });
             hit.cached = true;
+            hit.fingerprint = job.key;
             return hit;
         }
         tracer.emit(Phase::Serve, Event::CacheMiss { key: job.key });
@@ -721,6 +887,10 @@ fn process(job: &Job, shared: &Shared) -> JobResponse {
     } else {
         Objective::Area
     };
+    // Every solve publishes its committed root basis under its own
+    // fingerprint and loads under the base's (ECO) or its own (repeat
+    // traffic), so re-solves of related instances start hot or warm.
+    let load_key = job.eco.as_ref().map_or(job.key, |e| e.base_key);
     let mut fp_config = FloorplanConfig::default()
         .with_objective(objective)
         .with_rotation(req.rotation)
@@ -728,7 +898,8 @@ fn process(job: &Job, shared: &Shared) -> JobResponse {
             fp_milp::SolveOptions::default()
                 .with_node_limit(config.node_limit)
                 .with_time_limit(config.time_limit)
-                .with_threads(1),
+                .with_threads(1)
+                .with_basis_store(Arc::clone(&shared.basis), load_key, job.key),
         )
         // The driver re-budgets every augmentation/re-optimization MILP
         // with the time *remaining* before the deadline (the per-step
@@ -743,7 +914,84 @@ fn process(job: &Job, shared: &Shared) -> JobResponse {
     let mut degraded = false;
     let mut backend = "milp";
     let mut portfolio = false;
-    let floorplan = if expired(Instant::now()) {
+
+    // The ECO fast path: resolve the base placement from the cache, seed
+    // the incremental driver with it, and re-place only the touched
+    // neighborhood. Any miss on the ladder (untrusted base, cache miss,
+    // delta too large, driver error) falls through to a scratch solve of
+    // the edited instance — the answer is then merely slower, never wrong.
+    let mut eco_replaced = 0usize;
+    let mut eco_basis = fp_milp::BasisTier::Cold;
+    let eco_fp: Option<Floorplan> = job.eco.as_ref().and_then(|eco| {
+        if expired(Instant::now()) {
+            return None;
+        }
+        let base_resp = eco
+            .base_trusted
+            .then(|| shared.cache.get(eco.base_key, &eco.base_canon))
+            .flatten()?;
+        let entries = base_resp.placement_entries().ok()?;
+        let total = netlist.num_modules();
+        let edited_ids: Vec<fp_netlist::ModuleId> = eco
+            .touched
+            .iter()
+            .filter_map(|name| netlist.module_by_name(name))
+            .collect();
+        if total == 0 || edited_ids.len() as f64 / total as f64 > config.eco_threshold {
+            return None;
+        }
+        // Base placements mapped by *name* into the edited id space;
+        // entries for modules the delta removed simply drop out. The
+        // server never enables routing envelopes, so envelope == rect.
+        let base_mods: Vec<PlacedModule> = entries
+            .iter()
+            .filter_map(|e| {
+                netlist.module_by_name(&e.name).map(|id| PlacedModule {
+                    id,
+                    rect: fp_geom::Rect::new(e.x, e.y, e.w, e.h),
+                    envelope: fp_geom::Rect::new(e.x, e.y, e.w, e.h),
+                    rotated: e.rotated,
+                })
+            })
+            .collect();
+        let eco_cfg = fp_config.clone().with_chip_width(base_resp.chip_width);
+        let outcome = fp_core::eco_replace(netlist, &eco_cfg, &base_mods, &edited_ids).ok()?;
+        degraded |= outcome.stats.greedy_fallbacks() > 0;
+        shared
+            .solver
+            .record(outcome.stats.warm_nodes(), outcome.stats.cold_nodes());
+        shared.solver.record_factorizations(
+            outcome.stats.refactorizations(),
+            outcome.stats.eta_updates(),
+        );
+        shared.solver.record_strengthening(
+            outcome.stats.rows_tightened(),
+            outcome.stats.binaries_fixed(),
+            outcome.stats.cuts_added(),
+        );
+        eco_replaced = outcome.replaced.len();
+        eco_basis = outcome.basis;
+        backend = "eco";
+        Some(outcome.floorplan)
+    });
+    let eco_base_hit = eco_fp.is_some();
+    if let Some(eco) = &job.eco {
+        tracer.emit(
+            Phase::Serve,
+            Event::EcoJob {
+                id: req.id,
+                base_key: eco.base_key,
+                base_hit: eco_base_hit,
+                replaced: eco_replaced,
+                total: netlist.num_modules(),
+                basis: eco_basis.as_str(),
+            },
+        );
+    }
+
+    let floorplan = if let Some(fp) = eco_fp {
+        fp
+    } else if expired(Instant::now()) {
         // Budget gone before any solving started (long queue wait):
         // greedy skyline placement instead of an error.
         degraded = true;
@@ -867,13 +1115,25 @@ fn process(job: &Job, shared: &Shared) -> JobResponse {
         backend: backend.to_string(),
         portfolio,
         placement,
+        fingerprint: job.key,
+        eco_base_hit,
+        eco_replaced,
+        eco_total: if job.eco.is_some() {
+            netlist.num_modules()
+        } else {
+            0
+        },
     };
     // Only full-quality answers are worth replaying; a degraded result
-    // would pin a worse placement for future non-degraded requests.
+    // would pin a worse placement for future non-degraded requests. The
+    // cached template drops the ECO report — a later cache hit on this
+    // instance is an ordinary hit, however the placement was first made.
     if req.use_cache && !degraded {
-        shared
-            .cache
-            .insert(job.key, Arc::clone(&job.canon), resp.clone());
+        let mut cached = resp.clone();
+        cached.eco_base_hit = false;
+        cached.eco_replaced = 0;
+        cached.eco_total = 0;
+        shared.cache.insert(job.key, Arc::clone(&job.canon), cached);
     }
     resp
 }

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod delta;
 mod engine;
 pub mod fingerprint;
 mod portfolio;
@@ -65,6 +66,7 @@ pub mod singleflight;
 #[cfg(unix)]
 mod sys;
 
+pub use delta::{apply as apply_delta, parse_ops as parse_delta_ops, DeltaOp, DeltaOutcome};
 pub use engine::{Client, Engine, EngineStats, IoMode, ServeConfig};
 pub use portfolio::{race, Backend, RaceOutcome};
 pub use protocol::{JobRequest, JobResponse, PlacedRect};

@@ -33,6 +33,15 @@ pub struct JobRequest {
     /// instance (single-flight coalescing). Coalesced followers inherit
     /// the leader's deadline budget.
     pub coalesce: bool,
+    /// ECO delta script ([`crate::delta`] grammar). Non-empty makes this
+    /// an *incremental* job: `netlist` then carries the **base** instance,
+    /// the server applies the script and re-solves only the touched
+    /// neighborhood, seeded from the base job's cached placement.
+    pub eco_ops: String,
+    /// Optional expected base-instance fingerprint for an ECO job. When
+    /// set and the server's computed base fingerprint differs, the base
+    /// placement is not trusted and the job solves from scratch.
+    pub eco_base: Option<u64>,
 }
 
 impl JobRequest {
@@ -50,7 +59,24 @@ impl JobRequest {
             deadline_ms: 0,
             use_cache: true,
             coalesce: true,
+            eco_ops: String::new(),
+            eco_base: None,
         }
+    }
+
+    /// Makes this an ECO job: `ops` is a [`crate::delta`] script applied
+    /// to the request's (base) netlist.
+    #[must_use]
+    pub fn with_eco(mut self, ops: impl Into<String>) -> Self {
+        self.eco_ops = ops.into();
+        self
+    }
+
+    /// Pins the expected base-instance fingerprint for an ECO job.
+    #[must_use]
+    pub fn with_eco_base(mut self, key: u64) -> Self {
+        self.eco_base = Some(key);
+        self
     }
 
     /// Sets the deadline in milliseconds (0 disables).
@@ -97,6 +123,14 @@ impl JobRequest {
         push_field(&mut s, "deadline_ms", &self.deadline_ms.to_string());
         push_field(&mut s, "use_cache", &self.use_cache.to_string());
         push_field(&mut s, "coalesce", &self.coalesce.to_string());
+        if !self.eco_ops.is_empty() {
+            push_field(&mut s, "eco_ops", &json_str(&self.eco_ops));
+        }
+        if let Some(base) = self.eco_base {
+            // 64-bit keys travel as fixed-width hex strings: JSON numbers
+            // are f64 on the wire and would corrupt high bits.
+            push_field(&mut s, "eco_base", &format!("\"{base:016x}\""));
+        }
         s.push('}');
         s
     }
@@ -121,6 +155,13 @@ impl JobRequest {
             Some(v) if v.is_finite() && v >= 0.0 => v as u64,
             Some(_) => return Err("'deadline_ms' must be a non-negative number".to_string()),
         };
+        let eco_base = match p.str_field("eco_base") {
+            None => None,
+            Some(hex) => Some(
+                u64::from_str_radix(hex, 16)
+                    .map_err(|_| "'eco_base' must be a hex fingerprint string".to_string())?,
+            ),
+        };
         Ok(JobRequest {
             id,
             netlist,
@@ -131,6 +172,8 @@ impl JobRequest {
             deadline_ms,
             use_cache: bool_or(&p, "use_cache", true),
             coalesce: bool_or(&p, "coalesce", true),
+            eco_ops: p.str_field("eco_ops").unwrap_or_default().to_string(),
+            eco_base,
         })
     }
 }
@@ -197,6 +240,20 @@ pub struct JobResponse {
     /// The placement as `name x y w h 0|1` entries joined with `;`.
     /// Empty when `ok` is false.
     pub placement: String,
+    /// FNV-1a fingerprint of the solved instance (the *edited* instance
+    /// for ECO jobs), or 0 when no placement was produced. Clients use it
+    /// as `eco_base` for follow-up deltas.
+    pub fingerprint: u64,
+    /// ECO jobs only: whether the base placement was found (cache hit)
+    /// and the incremental driver ran. `false` means the job fell back to
+    /// a scratch solve.
+    pub eco_base_hit: bool,
+    /// ECO jobs only: modules actually re-placed by the incremental
+    /// driver (0 on scratch fallback).
+    pub eco_replaced: usize,
+    /// ECO jobs only: total modules of the edited instance. 0 marks a
+    /// non-ECO response.
+    pub eco_total: usize,
 }
 
 impl JobResponse {
@@ -220,6 +277,10 @@ impl JobResponse {
             backend: String::new(),
             portfolio: false,
             placement: String::new(),
+            fingerprint: 0,
+            eco_base_hit: false,
+            eco_replaced: 0,
+            eco_total: 0,
         }
     }
 
@@ -291,6 +352,18 @@ impl JobResponse {
         }
         push_field(&mut s, "portfolio", &self.portfolio.to_string());
         push_field(&mut s, "placement", &json_str(&self.placement));
+        if self.fingerprint != 0 {
+            push_field(
+                &mut s,
+                "fingerprint",
+                &format!("\"{:016x}\"", self.fingerprint),
+            );
+        }
+        if self.eco_total > 0 {
+            push_field(&mut s, "eco_base_hit", &self.eco_base_hit.to_string());
+            push_field(&mut s, "eco_replaced", &self.eco_replaced.to_string());
+            push_field(&mut s, "eco_total", &self.eco_total.to_string());
+        }
         s.push('}');
         s
     }
@@ -321,6 +394,13 @@ impl JobResponse {
             backend: p.str_field("backend").unwrap_or_default().to_string(),
             portfolio: bool_or(&p, "portfolio", false),
             placement: p.str_field("placement").unwrap_or_default().to_string(),
+            fingerprint: p
+                .str_field("fingerprint")
+                .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+                .unwrap_or(0),
+            eco_base_hit: bool_or(&p, "eco_base_hit", false),
+            eco_replaced: p.num("eco_replaced").unwrap_or(0.0).max(0.0) as usize,
+            eco_total: p.num("eco_total").unwrap_or(0.0).max(0.0) as usize,
         })
     }
 }
@@ -343,7 +423,7 @@ fn jnum(v: f64) -> String {
 
 /// Quotes and escapes `s` with exactly the escapes [`fp_obs::parse_line`]
 /// understands.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -395,6 +475,8 @@ mod tests {
             deadline_ms: 250,
             use_cache: false,
             coalesce: false,
+            eco_ops: String::new(),
+            eco_base: None,
         };
         let line = req.encode();
         assert!(!line.contains('\n'), "wire lines must be single-line");
@@ -451,6 +533,10 @@ mod tests {
             backend: "milp".to_string(),
             portfolio: true,
             placement: "a 0 0 4 2 0;b 4 0 3 3 1".to_string(),
+            fingerprint: 0xdead_beef_0123_4567,
+            eco_base_hit: true,
+            eco_replaced: 2,
+            eco_total: 33,
         };
         let back = JobResponse::decode(&resp.encode()).unwrap();
         assert_eq!(back, resp);
@@ -491,6 +577,39 @@ mod tests {
         let plain = JobResponse::decode(&JobResponse::failure(3, "nope").encode()).unwrap();
         assert!(!plain.is_shed());
         assert_eq!(plain.retry_after_ms, 0);
+    }
+
+    #[test]
+    fn eco_request_round_trips_hex_base() {
+        let nl = ProblemGenerator::new(4, 3).generate();
+        let req = JobRequest::new(5, &nl)
+            .with_eco("mod! a rigid 2 2 rot; net- n0")
+            .with_eco_base(u64::MAX - 7);
+        let back = JobRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back, req);
+        // u64::MAX-scale keys survive exactly (a JSON number would not).
+        assert_eq!(back.eco_base, Some(u64::MAX - 7));
+        // Non-ECO requests omit both fields.
+        let plain = JobRequest::new(1, &nl).encode();
+        assert!(!plain.contains("eco_ops") && !plain.contains("eco_base"));
+        assert!(JobRequest::decode("{\"id\":1,\"netlist\":\"x\",\"eco_base\":\"zz\"}").is_err());
+    }
+
+    #[test]
+    fn eco_report_encoded_only_for_eco_jobs() {
+        let mut resp = JobResponse::failure(2, "");
+        resp.ok = true;
+        resp.fingerprint = 0x0123_4567_89ab_cdef;
+        let line = resp.encode();
+        assert!(!line.contains("eco_total"), "non-ECO response: {line}");
+        let back = JobResponse::decode(&line).unwrap();
+        assert_eq!(back.fingerprint, resp.fingerprint);
+        assert_eq!(back.eco_total, 0);
+        resp.eco_total = 10;
+        resp.eco_replaced = 3;
+        resp.eco_base_hit = true;
+        let back = JobResponse::decode(&resp.encode()).unwrap();
+        assert_eq!(back, resp);
     }
 
     #[test]

@@ -175,4 +175,69 @@ awk -v fresh="$fresh_p99" -v base="$base_p99" \
     'BEGIN { exit !(fresh <= 2 * base + 50) }' \
     || { echo "check.sh: overload p99 ${fresh_p99}ms vs snapshot ${base_p99}ms — past 2x + 50ms"; exit 1; }
 
+# ECO smoke: serve with a trace, solve a base instance from scratch, then
+# send delta jobs against it. The load accounting must show every delta
+# riding the incremental path (base hits == delta jobs) and the trace must
+# carry schema-valid EcoJob events reporting base_hit.
+echo "== eco smoke (floorplan load --eco)"
+eco_log="$(mktemp)"
+eco_trace="$(mktemp --suffix=.jsonl)"
+eco_load="$(mktemp)"
+eco_snap="$(mktemp -u --suffix=.jsonl)"
+trap 'rm -f "$trace_file" "$summary_file" "$bench_json" "$geom_json" "$serve_log" "$serve_trace" "$load_log" "$shed_log" "$shed_trace" "$shed_load" "$eco_log" "$eco_trace" "$eco_load" "$eco_snap"; kill "${serve_pid:-0}" "${shed_pid:-0}" "${eco_pid:-0}" 2>/dev/null || true' EXIT
+./target/release/floorplan serve --bind 127.0.0.1:0 --workers 2 \
+    --cache-file "$eco_snap" --trace "$eco_trace" > "$eco_log" 2>&1 &
+eco_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "serving on" "$eco_log" && break
+    kill -0 "$eco_pid" 2>/dev/null || { cat "$eco_log"; exit 1; }
+    sleep 0.1
+done
+eco_addr="$(sed -n 's/serving on \([0-9.:]*\) .*/\1/p' "$eco_log")"
+[ -n "$eco_addr" ] || { echo "check.sh: eco serve did not report its address"; cat "$eco_log"; exit 1; }
+./target/release/floorplan load --addr "$eco_addr" \
+    --clients 2 --jobs 4 --modules 6 --eco 50 | tee "$eco_load"
+grep -q "lost 0" "$eco_load" \
+    || { echo "check.sh: eco load lost responses"; exit 1; }
+grep -Eq "eco: [1-9][0-9]* delta jobs  base hits [1-9]" "$eco_load" \
+    || { echo "check.sh: no delta job rode the incremental path"; exit 1; }
+grep -q "scratch fallbacks 0" "$eco_load" \
+    || { echo "check.sh: some delta jobs fell back to scratch"; exit 1; }
+# The background persist loop must land the snapshot before any shutdown
+# (a killed server never runs destructors), so wait for it, then SIGKILL.
+for _ in $(seq 1 100); do
+    [ -s "$eco_snap" ] && break
+    sleep 0.1
+done
+[ -s "$eco_snap" ] \
+    || { echo "check.sh: cache snapshot not written while server was live"; exit 1; }
+kill -9 "$eco_pid" 2>/dev/null || true
+wait "$eco_pid" 2>/dev/null || true
+[ -s "$eco_snap" ] \
+    || { echo "check.sh: cache snapshot lost after SIGKILL"; exit 1; }
+cargo run --release -q -p fp-obs --example validate_trace -- "$eco_trace"
+grep -Eq '"event":"EcoJob".*"base_hit":true' "$eco_trace" \
+    || { echo "check.sh: trace has no EcoJob event with base_hit"; exit 1; }
+grep -q '"event":"DeltaApply"' "$eco_trace" \
+    || { echo "check.sh: trace has no DeltaApply event"; exit 1; }
+
+# ECO speedup pin: a fresh run of the snapshot's eco leg (one 33-module
+# base, single-module-edit deltas solved both ways through an in-process
+# engine) must keep the median ECO-vs-scratch solve-time ratio at or
+# under 0.5 and the median area within 5% of scratch. The committed
+# BENCH_SERVE.json must carry the same leg.
+echo "== eco speedup pin (serve_snapshot --eco-only)"
+grep -q '"eco": {"modules"' BENCH_SERVE.json \
+    || { echo "check.sh: BENCH_SERVE.json has no eco leg"; exit 1; }
+fresh_eco="$(cargo run --release -q -p fp-bench --bin serve_snapshot -- --eco-only)"
+echo "$fresh_eco"
+eco_ratio="$(printf '%s\n' "$fresh_eco" | sed -n 's/.*"median_latency_ratio": \([0-9.]*\).*/\1/p')"
+eco_area="$(printf '%s\n' "$fresh_eco" | sed -n 's/.*"median_area_ratio": \([0-9.]*\).*/\1/p')"
+[ -n "$eco_ratio" ] && [ -n "$eco_area" ] \
+    || { echo "check.sh: --eco-only emitted no ratios"; exit 1; }
+awk -v r="$eco_ratio" 'BEGIN { exit !(r <= 0.5) }' \
+    || { echo "check.sh: eco latency ratio ${eco_ratio} — past the 0.5 pin"; exit 1; }
+awk -v a="$eco_area" 'BEGIN { exit !(a <= 1.05) }' \
+    || { echo "check.sh: eco area ratio ${eco_area} — past 5% of scratch"; exit 1; }
+
 echo "check.sh: all green"
